@@ -1,0 +1,412 @@
+//! Structural and semantic analysis: evaluation, support, size, model
+//! counting and model enumeration.
+
+use crate::hash::FibHashMap;
+use crate::manager::{Bdd, Manager};
+use std::collections::HashSet;
+
+impl Manager {
+    /// Evaluates `f` under a complete assignment (`env[v]` is the value of
+    /// variable `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `env` is shorter than the highest variable occurring in `f`.
+    pub fn eval(&self, f: Bdd, env: &[bool]) -> bool {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let n = &self.nodes[cur.0 as usize];
+            cur = if env[n.var as usize] { n.hi } else { n.lo };
+        }
+        cur.is_one()
+    }
+
+    /// Variables occurring in `f`, in ascending order.
+    pub fn support(&self, f: Bdd) -> Vec<u32> {
+        let mut seen = HashSet::new();
+        let mut vars = HashSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            let node = &self.nodes[n.0 as usize];
+            vars.insert(node.var);
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        let mut vars: Vec<u32> = vars.into_iter().collect();
+        vars.sort_unstable();
+        vars
+    }
+
+    /// Number of nodes reachable from `f`, including terminals.
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = HashSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            if !n.is_terminal() {
+                let node = &self.nodes[n.0 as usize];
+                stack.push(node.lo);
+                stack.push(node.hi);
+            }
+        }
+        seen.len()
+    }
+
+    /// Number of satisfying assignments of `f` over the variable universe
+    /// `0..nvars`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` depends on a variable `>= nvars`, or if the count
+    /// overflows `u128` (requires `nvars > 127`).
+    pub fn sat_count(&self, f: Bdd, nvars: u32) -> u128 {
+        let vars: Vec<u32> = (0..nvars).collect();
+        self.count_models(f, &vars)
+    }
+
+    /// Number of satisfying assignments of `f` over exactly the variables in
+    /// `vars` (sorted or not; normalized internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` depends on a variable not in `vars`.
+    pub fn count_models(&self, f: Bdd, vars: &[u32]) -> u128 {
+        let mut sorted = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for v in self.support(f) {
+            assert!(
+                sorted.binary_search(&v).is_ok(),
+                "function depends on variable {v} outside the model universe"
+            );
+        }
+        let mut memo: FibHashMap<(Bdd, usize), u128> = FibHashMap::default();
+        self.count_rec(f, &sorted, 0, &mut memo)
+    }
+
+    fn count_rec(
+        &self,
+        f: Bdd,
+        vars: &[u32],
+        idx: usize,
+        memo: &mut FibHashMap<(Bdd, usize), u128>,
+    ) -> u128 {
+        if f.is_zero() {
+            return 0;
+        }
+        if idx == vars.len() {
+            debug_assert!(f.is_one());
+            return 1;
+        }
+        if let Some(&c) = memo.get(&(f, idx)) {
+            return c;
+        }
+        let level = self.level(f);
+        let c = if f.is_one() || level > vars[idx] {
+            // f does not test vars[idx]; both values extend every model.
+            2u128
+                .checked_mul(self.count_rec(f, vars, idx + 1, memo))
+                .expect("model count overflow")
+        } else {
+            debug_assert_eq!(level, vars[idx]);
+            let (lo, hi) = self.children(f);
+            self.count_rec(lo, vars, idx + 1, memo)
+                .checked_add(self.count_rec(hi, vars, idx + 1, memo))
+                .expect("model count overflow")
+        };
+        memo.insert((f, idx), c);
+        c
+    }
+
+    /// One satisfying assignment over the variables in `f`'s support, or
+    /// `None` if `f` is unsatisfiable. Variables not in the support are
+    /// absent from the result.
+    pub fn one_sat(&self, f: Bdd) -> Option<Vec<(u32, bool)>> {
+        if f.is_zero() {
+            return None;
+        }
+        let mut cur = f;
+        let mut assignment = Vec::new();
+        while !cur.is_terminal() {
+            let n = &self.nodes[cur.0 as usize];
+            if n.lo.is_zero() {
+                assignment.push((n.var, true));
+                cur = n.hi;
+            } else {
+                assignment.push((n.var, false));
+                cur = n.lo;
+            }
+        }
+        debug_assert!(cur.is_one());
+        Some(assignment)
+    }
+
+    /// Iterates over **all** satisfying assignments of `f`, viewed as
+    /// complete assignments to `vars` (free variables are expanded both
+    /// ways). This is how the synthesis engine materializes every minimal
+    /// network from the final BDD over the gate-select variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` depends on a variable not in `vars`.
+    pub fn models<'a>(&'a self, f: Bdd, vars: &[u32]) -> ModelIter<'a> {
+        let mut sorted = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for v in self.support(f) {
+            assert!(
+                sorted.binary_search(&v).is_ok(),
+                "function depends on variable {v} outside the model universe"
+            );
+        }
+        ModelIter::new(self, f, sorted)
+    }
+}
+
+/// Iterator over all models of a BDD; see [`Manager::models`].
+///
+/// Yields each complete assignment as a `Vec<bool>` aligned with the
+/// (sorted) variable list passed to `models`.
+pub struct ModelIter<'a> {
+    manager: &'a Manager,
+    vars: Vec<u32>,
+    /// Depth-first stack of `(node, idx, value_chosen)` frames.
+    stack: Vec<Frame>,
+    current: Vec<bool>,
+    exhausted: bool,
+}
+
+#[derive(Clone, Copy)]
+struct Frame {
+    node: Bdd,
+    idx: usize,
+    /// Next branch value to explore at this frame (false first, then true).
+    branch: bool,
+    /// Whether the false branch has already been fully explored.
+    tried_false: bool,
+}
+
+impl<'a> ModelIter<'a> {
+    fn new(manager: &'a Manager, f: Bdd, vars: Vec<u32>) -> Self {
+        let nvars = vars.len();
+        let mut it = ModelIter {
+            manager,
+            vars,
+            stack: Vec::new(),
+            current: vec![false; nvars],
+            exhausted: f.is_zero(),
+        };
+        if !it.exhausted {
+            it.stack.push(Frame {
+                node: f,
+                idx: 0,
+                branch: false,
+                tried_false: false,
+            });
+        }
+        it
+    }
+
+    /// Child of `node` when assigning `vars[idx] = value` (identity when the
+    /// node does not test that variable).
+    fn descend(&self, node: Bdd, idx: usize, value: bool) -> Bdd {
+        if node.is_terminal() {
+            return node;
+        }
+        let level = self.manager.level(node);
+        if level > self.vars[idx] {
+            node
+        } else {
+            debug_assert_eq!(level, self.vars[idx]);
+            let (lo, hi) = self.manager.children(node);
+            if value {
+                hi
+            } else {
+                lo
+            }
+        }
+    }
+}
+
+impl Iterator for ModelIter<'_> {
+    type Item = Vec<bool>;
+
+    fn next(&mut self) -> Option<Vec<bool>> {
+        if self.exhausted {
+            return None;
+        }
+        loop {
+            let Some(top) = self.stack.last().copied() else {
+                self.exhausted = true;
+                return None;
+            };
+            if top.idx == self.vars.len() {
+                // Complete assignment. Terminal must be decided.
+                debug_assert!(top.node.is_terminal());
+                let hit = top.node.is_one();
+                self.stack.pop();
+                self.backtrack();
+                if hit {
+                    return Some(self.current.clone());
+                }
+                continue;
+            }
+            let child = self.descend(top.node, top.idx, top.branch);
+            self.current[top.idx] = top.branch;
+            if child.is_zero() {
+                // Dead branch: advance this frame or backtrack.
+                self.advance_top();
+            } else {
+                self.stack.push(Frame {
+                    node: child,
+                    idx: top.idx + 1,
+                    branch: false,
+                    tried_false: false,
+                });
+            }
+        }
+    }
+}
+
+impl ModelIter<'_> {
+    /// Moves the top frame to its next branch, or pops it if exhausted.
+    fn advance_top(&mut self) {
+        while let Some(top) = self.stack.last_mut() {
+            if !top.tried_false {
+                top.tried_false = true;
+                top.branch = true;
+                return;
+            }
+            self.stack.pop();
+        }
+    }
+
+    /// After yielding a model, step the deepest unexplored branch.
+    fn backtrack(&mut self) {
+        self.advance_top();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Manager, Bdd, Bdd, Bdd) {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        (m, a, b, c)
+    }
+
+    #[test]
+    fn eval_walks_the_diagram() {
+        let (mut m, a, b, c) = setup();
+        let ab = m.and(a, b);
+        let f = m.xor(ab, c);
+        for bits in 0u32..8 {
+            let env = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
+            let expected = (env[0] && env[1]) ^ env[2];
+            assert_eq!(m.eval(f, &env), expected, "bits={bits:03b}");
+        }
+    }
+
+    #[test]
+    fn support_lists_occurring_vars() {
+        let (mut m, a, _, c) = setup();
+        let f = m.and(a, c);
+        assert_eq!(m.support(f), vec![0, 2]);
+        assert!(m.support(Bdd::ONE).is_empty());
+    }
+
+    #[test]
+    fn size_counts_reachable_nodes() {
+        let (mut m, a, b, _) = setup();
+        assert_eq!(m.size(Bdd::ZERO), 1);
+        assert_eq!(m.size(a), 3); // node + two terminals
+        let f = m.and(a, b);
+        assert_eq!(m.size(f), 4);
+    }
+
+    #[test]
+    fn sat_count_matches_truth_table() {
+        let (mut m, a, b, c) = setup();
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        // a∧b∨c over 3 vars: c=1 → 4, plus c=0,a=b=1 → 1. Total 5.
+        assert_eq!(m.sat_count(f, 3), 5);
+        assert_eq!(m.sat_count(Bdd::ONE, 3), 8);
+        assert_eq!(m.sat_count(Bdd::ZERO, 3), 0);
+    }
+
+    #[test]
+    fn count_models_over_subset_universe() {
+        let (m, a, _, _) = setup();
+        assert_eq!(m.count_models(a, &[0]), 1);
+        assert_eq!(m.count_models(a, &[0, 2]), 2);
+        assert_eq!(m.count_models(Bdd::ONE, &[1, 2]), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the model universe")]
+    fn count_models_rejects_missing_support() {
+        let (m2, a, _, _) = {
+            let (m, a, b, c) = setup();
+            (m, a, b, c)
+        };
+        let _ = m2.count_models(a, &[1, 2]);
+    }
+
+    #[test]
+    fn one_sat_finds_model() {
+        let (mut m, a, b, _) = setup();
+        let na = m.not(a);
+        let f = m.and(na, b);
+        let model = m.one_sat(f).expect("satisfiable");
+        let mut env = [false; 3];
+        for (v, val) in model {
+            env[v as usize] = val;
+        }
+        assert!(m.eval(f, &env));
+        assert_eq!(m.one_sat(Bdd::ZERO), None);
+    }
+
+    #[test]
+    fn models_enumerates_exactly_the_satisfying_assignments() {
+        let (mut m, a, b, c) = setup();
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        let models: Vec<Vec<bool>> = m.models(f, &[0, 1, 2]).collect();
+        assert_eq!(models.len() as u128, m.sat_count(f, 3));
+        for env in &models {
+            assert!(m.eval(f, env));
+        }
+        // Uniqueness.
+        let set: std::collections::HashSet<_> = models.iter().collect();
+        assert_eq!(set.len(), models.len());
+    }
+
+    #[test]
+    fn models_expands_free_variables() {
+        let (m, a, _, _) = setup();
+        // f = a over universe {0,1,2}: 4 models.
+        let models: Vec<Vec<bool>> = m.models(a, &[0, 1, 2]).collect();
+        assert_eq!(models.len(), 4);
+        for env in &models {
+            assert!(env[0]);
+        }
+    }
+
+    #[test]
+    fn models_of_constants() {
+        let (m, _, _, _) = setup();
+        assert_eq!(m.models(Bdd::ZERO, &[0, 1]).count(), 0);
+        assert_eq!(m.models(Bdd::ONE, &[0, 1]).count(), 4);
+        assert_eq!(m.models(Bdd::ONE, &[]).count(), 1);
+    }
+}

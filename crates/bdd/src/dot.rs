@@ -1,0 +1,73 @@
+//! Graphviz export for debugging and documentation.
+
+use crate::manager::{Bdd, Manager};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+impl Manager {
+    /// Renders the diagram rooted at `f` in Graphviz `dot` syntax.
+    ///
+    /// Variable names are taken from `names` where available and fall back
+    /// to `x<i>`. Dashed edges are `lo` (variable = 0), solid edges `hi`.
+    pub fn to_dot(&self, f: Bdd, names: &[&str]) -> String {
+        let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+        let name = |v: u32| -> String {
+            names
+                .get(v as usize)
+                .map_or_else(|| format!("x{v}"), |s| (*s).to_string())
+        };
+        writeln!(out, "  n0 [label=\"0\", shape=box];").unwrap();
+        writeln!(out, "  n1 [label=\"1\", shape=box];").unwrap();
+        let mut seen = HashSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            let (lo, hi) = self.children(n);
+            let var = self.root_var(n).expect("non-terminal");
+            writeln!(out, "  n{} [label=\"{}\", shape=circle];", n.0, name(var)).unwrap();
+            writeln!(out, "  n{} -> n{} [style=dashed];", n.0, lo.0).unwrap();
+            writeln!(out, "  n{} -> n{};", n.0, hi.0).unwrap();
+            stack.push(lo);
+            stack.push(hi);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_output_contains_all_nodes_and_edges() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        let dot = m.to_dot(f, &["a", "b"]);
+        assert!(dot.starts_with("digraph bdd {"));
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.contains("label=\"b\""));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_falls_back_to_generated_names() {
+        let mut m = Manager::new(2);
+        let a = m.var(1);
+        let dot = m.to_dot(a, &[]);
+        assert!(dot.contains("label=\"x1\""));
+    }
+
+    #[test]
+    fn dot_of_terminal_is_minimal() {
+        let m = Manager::new(1);
+        let dot = m.to_dot(Bdd::ONE, &[]);
+        assert!(dot.contains("n1 [label=\"1\""));
+        assert!(!dot.contains("shape=circle"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Reduced ordered binary decision diagrams (ROBDDs) with quantification.
+//!
+//! This crate is the decision-diagram substrate of the `qsyn` workspace: it
+//! plays the role CUDD plays in *"Quantified Synthesis of Reversible Logic"*
+//! (Wille, Le, Dueck, Große — DATE 2008). It provides everything the
+//! BDD-based synthesis engine of that paper needs:
+//!
+//! * hash-consed node storage with a fixed variable order (a [`Manager`]
+//!   arena),
+//! * the `ITE` operator and the usual Boolean connectives,
+//! * **existential and universal quantification** (the paper's key step is
+//!   `∀x₁…x_n (F_d = f)`),
+//! * cofactors, functional composition and support computation,
+//! * model counting and **all-model enumeration** (the paper reads *all*
+//!   minimal networks off the 1-paths of the final BDD),
+//! * `dot` export for debugging.
+//!
+//! # Example
+//!
+//! ```
+//! use qsyn_bdd::Manager;
+//!
+//! let mut m = Manager::new(3);
+//! let (a, b, c) = (m.var(0), m.var(1), m.var(2));
+//! // f = (a ∧ b) ⊕ c
+//! let ab = m.and(a, b);
+//! let f = m.xor(ab, c);
+//! assert_eq!(m.sat_count(f, 3), 4);
+//!
+//! // ∀a f — true exactly where f holds for both values of a:
+//! // f(0,b,c) = c and f(1,b,c) = b ⊕ c, so ∀a f = ¬b ∧ c.
+//! let g = m.forall_var(f, 0);
+//! assert!(m.eval(g, &[false, false, true]));
+//! assert!(!m.eval(g, &[false, true, true]));
+//! ```
+//!
+//! The manager is an *arena*: nodes are never freed individually. This is a
+//! deliberate simplification over CUDD's reference-counting garbage
+//! collection — in the synthesis workload a run's peak live size is close to
+//! its total size, and dropping the whole manager between runs reclaims
+//! everything at once. [`Manager::clear_caches`] can be used to bound the
+//! memoization tables on long runs.
+
+#![warn(missing_docs)]
+
+mod analysis;
+mod dot;
+mod hash;
+mod manager;
+mod ops;
+mod quant;
+
+pub use analysis::ModelIter;
+pub use manager::{Bdd, Manager, ManagerStats};
+
+#[cfg(test)]
+mod oracle_tests;

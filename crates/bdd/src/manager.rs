@@ -1,0 +1,496 @@
+//! The BDD manager: hash-consed node storage with a fixed variable order.
+
+use crate::hash::FibHashMap;
+
+/// Handle to a BDD node inside a [`Manager`].
+///
+/// Handles are plain indices; they are only meaningful together with the
+/// manager that created them. Mixing handles across managers is a logic
+/// error (it is memory-safe but yields nonsense results or panics).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The constant-false function.
+    pub const ZERO: Bdd = Bdd(0);
+    /// The constant-true function.
+    pub const ONE: Bdd = Bdd(1);
+
+    /// Returns `true` if this is the constant-false terminal.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == Bdd::ZERO
+    }
+
+    /// Returns `true` if this is the constant-true terminal.
+    #[inline]
+    pub fn is_one(self) -> bool {
+        self == Bdd::ONE
+    }
+
+    /// Returns `true` if this is either terminal.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+impl std::fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Bdd::ZERO => write!(f, "Bdd(⊥)"),
+            Bdd::ONE => write!(f, "Bdd(⊤)"),
+            Bdd(i) => write!(f, "Bdd(#{i})"),
+        }
+    }
+}
+
+/// Variable level used for terminals: compares greater than any real level.
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+pub(crate) struct Node {
+    /// Variable index (== level in the fixed order). `TERMINAL_LEVEL` for
+    /// the two terminals.
+    pub var: u32,
+    pub lo: Bdd,
+    pub hi: Bdd,
+}
+
+/// Operation tags for the shared operation cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum OpTag {
+    Ite,
+    Not,
+    Exists(u32),
+    Forall(u32),
+    Compose(u32),
+    Restrict,
+}
+
+/// Snapshot of manager size counters, useful for resource budgeting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Total nodes allocated (including the two terminals).
+    pub nodes: usize,
+    /// Entries currently in the operation cache.
+    pub cache_entries: usize,
+    /// Number of declared variables.
+    pub vars: usize,
+}
+
+impl std::fmt::Display for ManagerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} cache entries, {} vars",
+            self.nodes, self.cache_entries, self.vars
+        )
+    }
+}
+
+/// Arena-style BDD manager with a fixed variable order.
+///
+/// Variable `0` is the topmost level. The manager owns all nodes it ever
+/// creates; nodes are reclaimed only when the manager is dropped (see the
+/// crate-level docs for why this fits the synthesis workload).
+pub struct Manager {
+    pub(crate) nodes: Vec<Node>,
+    unique: FibHashMap<(u32, Bdd, Bdd), Bdd>,
+    pub(crate) op_cache: FibHashMap<(OpTag, Bdd, Bdd, Bdd), Bdd>,
+    /// Interned variable sets for quantification, keyed by sorted contents.
+    varsets: Vec<Vec<u32>>,
+    varset_ids: FibHashMap<Vec<u32>, u32>,
+    num_vars: u32,
+    /// Hard allocation cap; see [`Manager::set_node_cap`].
+    node_cap: usize,
+    /// Memoization cap; see [`Manager::set_cache_cap`].
+    cache_cap: usize,
+    overflowed: bool,
+}
+
+impl std::fmt::Debug for Manager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Manager")
+            .field("vars", &self.num_vars)
+            .field("nodes", &self.nodes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Manager {
+    /// Creates a manager with `num_vars` variables, indexed `0..num_vars`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars >= u32::MAX / 2` (far beyond any practical use).
+    pub fn new(num_vars: u32) -> Self {
+        assert!(num_vars < u32::MAX / 2, "variable count out of range");
+        let nodes = vec![
+            Node {
+                var: TERMINAL_LEVEL,
+                lo: Bdd::ZERO,
+                hi: Bdd::ZERO,
+            },
+            Node {
+                var: TERMINAL_LEVEL,
+                lo: Bdd::ONE,
+                hi: Bdd::ONE,
+            },
+        ];
+        Manager {
+            nodes,
+            unique: FibHashMap::default(),
+            op_cache: FibHashMap::default(),
+            varsets: Vec::new(),
+            varset_ids: FibHashMap::default(),
+            num_vars,
+            node_cap: usize::MAX,
+            cache_cap: usize::MAX,
+            overflowed: false,
+        }
+    }
+
+    /// Caps the number of memoized operation results. Beyond the cap,
+    /// results are still computed correctly but no longer cached (time may
+    /// degrade; memory stays bounded). Pair with
+    /// [`Manager::set_node_cap`] to fully bound a manager's footprint.
+    pub fn set_cache_cap(&mut self, cap: usize) {
+        self.cache_cap = cap;
+    }
+
+    /// Inserts into the operation cache unless the cache cap is reached.
+    #[inline]
+    pub(crate) fn cache_insert(&mut self, key: (OpTag, Bdd, Bdd, Bdd), value: Bdd) {
+        if self.op_cache.len() < self.cache_cap {
+            self.op_cache.insert(key, value);
+        }
+    }
+
+    /// Installs a hard cap on the number of allocated nodes. Once the cap
+    /// is hit, the manager enters an **overflowed** state: every further
+    /// construction returns `⊥` and [`Manager::is_overflowed`] reports
+    /// `true`. Results produced after overflow are meaningless — callers
+    /// must check the flag and discard the manager. This is the
+    /// out-of-memory containment strategy (CUDD's `NULL` returns, in Rust
+    /// clothing) used by the synthesis engine's node budget.
+    pub fn set_node_cap(&mut self, cap: usize) {
+        self.node_cap = cap;
+    }
+
+    /// `true` once the node cap has been hit; all results produced since
+    /// then are unreliable.
+    #[inline]
+    pub fn is_overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Number of declared variables.
+    #[inline]
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Declares additional variables *below* all existing ones and returns
+    /// the index of the first new variable.
+    ///
+    /// The synthesis engine uses this to append the gate-select variables of
+    /// a new cascade level while keeping all previously built BDDs valid.
+    pub fn add_vars(&mut self, count: u32) -> u32 {
+        let first = self.num_vars;
+        self.num_vars = self
+            .num_vars
+            .checked_add(count)
+            .expect("variable count overflow");
+        first
+    }
+
+    /// The constant-false function.
+    #[inline]
+    pub fn zero(&self) -> Bdd {
+        Bdd::ZERO
+    }
+
+    /// The constant-true function.
+    #[inline]
+    pub fn one(&self) -> Bdd {
+        Bdd::ONE
+    }
+
+    /// Converts a boolean constant into the corresponding terminal.
+    #[inline]
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value {
+            Bdd::ONE
+        } else {
+            Bdd::ZERO
+        }
+    }
+
+    /// The projection function of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a declared variable.
+    pub fn var(&mut self, v: u32) -> Bdd {
+        assert!(v < self.num_vars, "variable {v} not declared");
+        self.mk(v, Bdd::ZERO, Bdd::ONE)
+    }
+
+    /// The negated projection function of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a declared variable.
+    pub fn nvar(&mut self, v: u32) -> Bdd {
+        assert!(v < self.num_vars, "variable {v} not declared");
+        self.mk(v, Bdd::ONE, Bdd::ZERO)
+    }
+
+    /// Literal helper: variable `v` if `positive`, else its negation.
+    pub fn literal(&mut self, v: u32, positive: bool) -> Bdd {
+        if positive {
+            self.var(v)
+        } else {
+            self.nvar(v)
+        }
+    }
+
+    /// Hash-consing constructor enforcing the two ROBDD reduction rules.
+    #[inline]
+    pub(crate) fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        if self.overflowed {
+            return Bdd::ZERO;
+        }
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(var < self.level(lo) && var < self.level(hi), "order violation");
+        if let Some(&id) = self.unique.get(&(var, lo, hi)) {
+            return id;
+        }
+        if self.nodes.len() >= self.node_cap {
+            self.overflowed = true;
+            return Bdd::ZERO;
+        }
+        let id = Bdd(u32::try_from(self.nodes.len()).expect("node table overflow"));
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), id);
+        id
+    }
+
+    /// Level (variable index) of the root of `f`; terminals report
+    /// `TERMINAL_LEVEL`.
+    #[inline]
+    pub(crate) fn level(&self, f: Bdd) -> u32 {
+        self.nodes[f.0 as usize].var
+    }
+
+    /// Root variable of `f`, or `None` for terminals.
+    pub fn root_var(&self, f: Bdd) -> Option<u32> {
+        let l = self.level(f);
+        (l != TERMINAL_LEVEL).then_some(l)
+    }
+
+    /// Children of a non-terminal node `(lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn children(&self, f: Bdd) -> (Bdd, Bdd) {
+        assert!(!f.is_terminal(), "terminals have no children");
+        let n = self.nodes[f.0 as usize];
+        (n.lo, n.hi)
+    }
+
+    /// Cofactors of `f` with respect to variable/level `var`, assuming the
+    /// root of `f` is at `var` or below.
+    #[inline]
+    pub(crate) fn cofactors_at(&self, f: Bdd, var: u32) -> (Bdd, Bdd) {
+        let n = self.nodes[f.0 as usize];
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Interns a **sorted, deduplicated** variable list for quantification
+    /// caching and returns its id.
+    pub(crate) fn intern_varset(&mut self, vars: &[u32]) -> u32 {
+        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "varset must be sorted");
+        if let Some(&id) = self.varset_ids.get(vars) {
+            return id;
+        }
+        let id = u32::try_from(self.varsets.len()).expect("varset table overflow");
+        self.varsets.push(vars.to_vec());
+        self.varset_ids.insert(vars.to_vec(), id);
+        id
+    }
+
+    pub(crate) fn varset(&self, id: u32) -> &[u32] {
+        &self.varsets[id as usize]
+    }
+
+    /// Total number of allocated nodes (including both terminals).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Drops all memoization tables, keeping the node store intact.
+    ///
+    /// Subsequent operations recompute results but remain correct. Call this
+    /// to bound memory on long-running synthesis loops.
+    pub fn clear_caches(&mut self) {
+        self.op_cache.clear();
+    }
+
+    /// Clears the operation cache only when it holds more than
+    /// `max_entries` results — a cheap way to bound cache memory without
+    /// giving up memoization on small workloads.
+    pub fn trim_cache(&mut self, max_entries: usize) {
+        if self.op_cache.len() > max_entries {
+            self.op_cache = crate::hash::FibHashMap::default();
+        }
+    }
+
+    /// Current size counters.
+    pub fn stats(&self) -> ManagerStats {
+        ManagerStats {
+            nodes: self.nodes.len(),
+            cache_entries: self.op_cache.len(),
+            vars: self.num_vars as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_preallocated() {
+        let m = Manager::new(4);
+        assert_eq!(m.node_count(), 2);
+        assert!(m.zero().is_zero());
+        assert!(m.one().is_one());
+        assert!(m.zero().is_terminal() && m.one().is_terminal());
+        assert_ne!(m.zero(), m.one());
+    }
+
+    #[test]
+    fn mk_is_hash_consed() {
+        let mut m = Manager::new(4);
+        let a = m.var(2);
+        let b = m.var(2);
+        assert_eq!(a, b);
+        assert_eq!(m.node_count(), 3);
+    }
+
+    #[test]
+    fn mk_elides_redundant_nodes() {
+        let mut m = Manager::new(4);
+        let t = m.one();
+        let r = m.mk(1, t, t);
+        assert_eq!(r, t);
+        assert_eq!(m.node_count(), 2);
+    }
+
+    #[test]
+    fn var_and_nvar_differ() {
+        let mut m = Manager::new(2);
+        let v = m.var(0);
+        let nv = m.nvar(0);
+        assert_ne!(v, nv);
+        assert_eq!(m.children(v), (Bdd::ZERO, Bdd::ONE));
+        assert_eq!(m.children(nv), (Bdd::ONE, Bdd::ZERO));
+    }
+
+    #[test]
+    fn literal_dispatches_on_sign() {
+        let mut m = Manager::new(2);
+        assert_eq!(m.literal(1, true), m.var(1));
+        assert_eq!(m.literal(1, false), m.nvar(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn var_out_of_range_panics() {
+        let mut m = Manager::new(2);
+        let _ = m.var(2);
+    }
+
+    #[test]
+    fn add_vars_extends_below() {
+        let mut m = Manager::new(2);
+        let first = m.add_vars(3);
+        assert_eq!(first, 2);
+        assert_eq!(m.num_vars(), 5);
+        let _ = m.var(4);
+    }
+
+    #[test]
+    fn root_var_reports_level() {
+        let mut m = Manager::new(3);
+        let v = m.var(1);
+        assert_eq!(m.root_var(v), Some(1));
+        assert_eq!(m.root_var(Bdd::ONE), None);
+    }
+
+    #[test]
+    fn varsets_are_interned() {
+        let mut m = Manager::new(8);
+        let a = m.intern_varset(&[1, 3, 5]);
+        let b = m.intern_varset(&[1, 3, 5]);
+        let c = m.intern_varset(&[1, 3]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(m.varset(a), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn node_cap_triggers_overflow_flag() {
+        let mut m = Manager::new(8);
+        m.set_node_cap(6);
+        assert!(!m.is_overflowed());
+        // Build a parity function — needs more than 6 nodes.
+        let mut f = m.zero();
+        for v in 0..8 {
+            let x = m.var(v);
+            f = m.xor(f, x);
+            if m.is_overflowed() {
+                break;
+            }
+        }
+        assert!(m.is_overflowed(), "cap of 6 nodes must overflow");
+        assert!(m.node_count() <= 7, "allocation stops at the cap");
+        // Post-overflow constructions return ⊥ without allocating.
+        let before = m.node_count();
+        let _ = m.var(3);
+        assert_eq!(m.node_count(), before);
+    }
+
+    #[test]
+    fn uncapped_manager_never_overflows() {
+        let mut m = Manager::new(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let _ = m.xor(a, b);
+        assert!(!m.is_overflowed());
+    }
+
+    #[test]
+    fn stats_and_clear_caches() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let _ = m.and(a, b);
+        assert!(m.stats().cache_entries > 0);
+        m.clear_caches();
+        assert_eq!(m.stats().cache_entries, 0);
+        // Operations still work after clearing.
+        let c = m.and(a, b);
+        assert!(!c.is_terminal());
+    }
+}

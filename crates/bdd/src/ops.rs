@@ -1,0 +1,248 @@
+//! Boolean connectives on BDDs, all derived from the `ITE` operator.
+
+use crate::manager::{Bdd, Manager, OpTag};
+
+impl Manager {
+    /// If-then-else: `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
+    ///
+    /// This is the universal binary/ternary operator; all other connectives
+    /// are thin wrappers around it.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        if self.is_overflowed() {
+            return Bdd::ZERO;
+        }
+        // Terminal and absorption cases.
+        if f.is_one() {
+            return g;
+        }
+        if f.is_zero() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_one() && h.is_zero() {
+            return f;
+        }
+        if g.is_zero() && h.is_one() {
+            return self.not(f);
+        }
+        let key = (OpTag::Ite, f, g, h);
+        if let Some(&r) = self.op_cache.get(&key) {
+            return r;
+        }
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let (h0, h1) = self.cofactors_at(h, top);
+        let r1 = self.ite(f1, g1, h1);
+        let r0 = self.ite(f0, g0, h0);
+        let r = self.mk(top, r0, r1);
+        self.cache_insert(key, r);
+        r
+    }
+
+    /// Negation `¬f`.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        if self.is_overflowed() {
+            return Bdd::ZERO;
+        }
+        if f.is_zero() {
+            return Bdd::ONE;
+        }
+        if f.is_one() {
+            return Bdd::ZERO;
+        }
+        let key = (OpTag::Not, f, Bdd::ZERO, Bdd::ZERO);
+        if let Some(&r) = self.op_cache.get(&key) {
+            return r;
+        }
+        let top = self.level(f);
+        let (f0, f1) = self.cofactors_at(f, top);
+        let r1 = self.not(f1);
+        let r0 = self.not(f0);
+        let r = self.mk(top, r0, r1);
+        self.cache_insert(key, r);
+        // Negation is an involution; prime the cache for the way back.
+        self.cache_insert((OpTag::Not, r, Bdd::ZERO, Bdd::ZERO), f);
+        r
+    }
+
+    /// Conjunction `f ∧ g`.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::ZERO)
+    }
+
+    /// Disjunction `f ∨ g`.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, Bdd::ONE, g)
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Equivalence `f ⊙ g` (XNOR). This is the `F_d = f` building block of
+    /// the synthesis encoding.
+    pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Bdd::ONE)
+    }
+
+    /// Difference `f ∧ ¬g`.
+    pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Conjunction of an iterator of BDDs (empty ⇒ `⊤`).
+    pub fn and_all<I: IntoIterator<Item = Bdd>>(&mut self, items: I) -> Bdd {
+        let mut acc = Bdd::ONE;
+        for f in items {
+            acc = self.and(acc, f);
+            if acc.is_zero() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of an iterator of BDDs (empty ⇒ `⊥`).
+    pub fn or_all<I: IntoIterator<Item = Bdd>>(&mut self, items: I) -> Bdd {
+        let mut acc = Bdd::ZERO;
+        for f in items {
+            acc = self.or(acc, f);
+            if acc.is_one() {
+                break;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Manager, Bdd, Bdd, Bdd) {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        (m, a, b, c)
+    }
+
+    #[test]
+    fn ite_terminal_cases() {
+        let (mut m, a, b, _) = setup();
+        assert_eq!(m.ite(Bdd::ONE, a, b), a);
+        assert_eq!(m.ite(Bdd::ZERO, a, b), b);
+        assert_eq!(m.ite(a, b, b), b);
+        assert_eq!(m.ite(a, Bdd::ONE, Bdd::ZERO), a);
+        let na = m.not(a);
+        assert_eq!(m.ite(a, Bdd::ZERO, Bdd::ONE), na);
+    }
+
+    #[test]
+    fn and_or_truth_semantics() {
+        let (mut m, a, b, _) = setup();
+        let conj = m.and(a, b);
+        let disj = m.or(a, b);
+        for &(va, vb) in &[(false, false), (false, true), (true, false), (true, true)] {
+            let env = [va, vb, false];
+            assert_eq!(m.eval(conj, &env), va && vb);
+            assert_eq!(m.eval(disj, &env), va || vb);
+        }
+    }
+
+    #[test]
+    fn xor_xnor_are_complements() {
+        let (mut m, a, b, _) = setup();
+        let x = m.xor(a, b);
+        let xn = m.xnor(a, b);
+        let nx = m.not(x);
+        assert_eq!(xn, nx);
+    }
+
+    #[test]
+    fn not_is_involution() {
+        let (mut m, a, b, c) = setup();
+        let ab = m.and(a, b);
+        let f = m.xor(ab, c);
+        let nf = m.not(f);
+        let nnf = m.not(nf);
+        assert_eq!(nnf, f);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let (mut m, a, b, _) = setup();
+        let conj = m.and(a, b);
+        let lhs = m.not(conj);
+        let na = m.not(a);
+        let nb = m.not(b);
+        let rhs = m.or(na, nb);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn implies_semantics() {
+        let (mut m, a, b, _) = setup();
+        let imp = m.implies(a, b);
+        assert!(m.eval(imp, &[false, false, false]));
+        assert!(m.eval(imp, &[false, true, false]));
+        assert!(!m.eval(imp, &[true, false, false]));
+        assert!(m.eval(imp, &[true, true, false]));
+    }
+
+    #[test]
+    fn diff_semantics() {
+        let (mut m, a, b, _) = setup();
+        let d = m.diff(a, b);
+        assert!(m.eval(d, &[true, false, false]));
+        assert!(!m.eval(d, &[true, true, false]));
+        assert!(!m.eval(d, &[false, false, false]));
+    }
+
+    #[test]
+    fn and_all_or_all_fold() {
+        let (mut m, a, b, c) = setup();
+        let all = m.and_all([a, b, c]);
+        assert!(m.eval(all, &[true, true, true]));
+        assert!(!m.eval(all, &[true, true, false]));
+        let any = m.or_all([a, b, c]);
+        assert!(m.eval(any, &[false, false, true]));
+        assert!(!m.eval(any, &[false, false, false]));
+        assert_eq!(m.and_all(std::iter::empty()), Bdd::ONE);
+        assert_eq!(m.or_all(std::iter::empty()), Bdd::ZERO);
+    }
+
+    #[test]
+    fn canonical_form_detects_tautology() {
+        let (mut m, a, b, _) = setup();
+        // (a ∧ b) ∨ ¬(a ∧ b) ≡ ⊤
+        let ab = m.and(a, b);
+        let nab = m.not(ab);
+        let taut = m.or(ab, nab);
+        assert!(taut.is_one());
+    }
+
+    #[test]
+    fn shannon_expansion_rebuilds_function() {
+        let (mut m, a, b, c) = setup();
+        let bc = m.or(b, c);
+        let f = m.xor(a, bc);
+        // f = ite(a, f|a=1, f|a=0)
+        let f1 = m.restrict(f, 0, true);
+        let f0 = m.restrict(f, 0, false);
+        let rebuilt = m.ite(a, f1, f0);
+        assert_eq!(rebuilt, f);
+    }
+}

@@ -1,0 +1,262 @@
+//! Property tests checking every BDD operation against a truth-table
+//! oracle on small variable counts.
+
+use crate::manager::{Bdd, Manager};
+use proptest::prelude::*;
+
+const NVARS: u32 = 4;
+const ROWS: u32 = 1 << NVARS;
+
+/// Truth table over `NVARS` variables packed into the low `ROWS` bits.
+type Table = u16;
+
+/// Random Boolean expression tree.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (0..NVARS).prop_map(Expr::Var);
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn var_table(v: u32) -> Table {
+    let mut t = 0;
+    for row in 0..ROWS {
+        if (row >> v) & 1 == 1 {
+            t |= 1 << row;
+        }
+    }
+    t
+}
+
+fn expr_table(e: &Expr) -> Table {
+    match e {
+        Expr::Var(v) => var_table(*v),
+        Expr::Not(a) => !expr_table(a),
+        Expr::And(a, b) => expr_table(a) & expr_table(b),
+        Expr::Or(a, b) => expr_table(a) | expr_table(b),
+        Expr::Xor(a, b) => expr_table(a) ^ expr_table(b),
+        Expr::Ite(f, g, h) => {
+            let tf = expr_table(f);
+            (tf & expr_table(g)) | (!tf & expr_table(h))
+        }
+    }
+}
+
+fn expr_bdd(m: &mut Manager, e: &Expr) -> Bdd {
+    match e {
+        Expr::Var(v) => m.var(*v),
+        Expr::Not(a) => {
+            let fa = expr_bdd(m, a);
+            m.not(fa)
+        }
+        Expr::And(a, b) => {
+            let fa = expr_bdd(m, a);
+            let fb = expr_bdd(m, b);
+            m.and(fa, fb)
+        }
+        Expr::Or(a, b) => {
+            let fa = expr_bdd(m, a);
+            let fb = expr_bdd(m, b);
+            m.or(fa, fb)
+        }
+        Expr::Xor(a, b) => {
+            let fa = expr_bdd(m, a);
+            let fb = expr_bdd(m, b);
+            m.xor(fa, fb)
+        }
+        Expr::Ite(f, g, h) => {
+            let ff = expr_bdd(m, f);
+            let fg = expr_bdd(m, g);
+            let fh = expr_bdd(m, h);
+            m.ite(ff, fg, fh)
+        }
+    }
+}
+
+fn bdd_table(m: &Manager, f: Bdd) -> Table {
+    let mut t = 0;
+    for row in 0..ROWS {
+        let env: Vec<bool> = (0..NVARS).map(|v| (row >> v) & 1 == 1).collect();
+        if m.eval(f, &env) {
+            t |= 1 << row;
+        }
+    }
+    t
+}
+
+proptest! {
+    #[test]
+    fn bdd_matches_truth_table_oracle(e in arb_expr()) {
+        let mut m = Manager::new(NVARS);
+        let f = expr_bdd(&mut m, &e);
+        prop_assert_eq!(bdd_table(&m, f), expr_table(&e));
+    }
+
+    #[test]
+    fn canonicity_equal_tables_equal_handles(e1 in arb_expr(), e2 in arb_expr()) {
+        let mut m = Manager::new(NVARS);
+        let f1 = expr_bdd(&mut m, &e1);
+        let f2 = expr_bdd(&mut m, &e2);
+        prop_assert_eq!(expr_table(&e1) == expr_table(&e2), f1 == f2);
+    }
+
+    #[test]
+    fn sat_count_matches_popcount(e in arb_expr()) {
+        let mut m = Manager::new(NVARS);
+        let f = expr_bdd(&mut m, &e);
+        prop_assert_eq!(m.sat_count(f, NVARS), u128::from(expr_table(&e).count_ones()));
+    }
+
+    #[test]
+    fn exists_matches_oracle(e in arb_expr(), v in 0..NVARS) {
+        let mut m = Manager::new(NVARS);
+        let f = expr_bdd(&mut m, &e);
+        let q = m.exists_var(f, v);
+        // Oracle: OR of the two cofactor tables.
+        let t = expr_table(&e);
+        let mut expected = 0;
+        for row in 0..ROWS {
+            let lo = row & !(1 << v);
+            let hi = row | (1 << v);
+            if (t >> lo) & 1 == 1 || (t >> hi) & 1 == 1 {
+                expected |= 1 << row;
+            }
+        }
+        prop_assert_eq!(bdd_table(&m, q), expected);
+    }
+
+    #[test]
+    fn forall_matches_oracle(e in arb_expr(), v in 0..NVARS) {
+        let mut m = Manager::new(NVARS);
+        let f = expr_bdd(&mut m, &e);
+        let q = m.forall_var(f, v);
+        let t = expr_table(&e);
+        let mut expected = 0;
+        for row in 0..ROWS {
+            let lo = row & !(1 << v);
+            let hi = row | (1 << v);
+            if (t >> lo) & 1 == 1 && (t >> hi) & 1 == 1 {
+                expected |= 1 << row;
+            }
+        }
+        prop_assert_eq!(bdd_table(&m, q), expected);
+    }
+
+    #[test]
+    fn quantifier_de_morgan_duality(e in arb_expr(), v in 0..NVARS) {
+        let mut m = Manager::new(NVARS);
+        let f = expr_bdd(&mut m, &e);
+        let nf = m.not(f);
+        let forall_nf = m.forall_var(nf, v);
+        let exists_f = m.exists_var(f, v);
+        let not_exists = m.not(exists_f);
+        prop_assert_eq!(forall_nf, not_exists);
+    }
+
+    #[test]
+    fn restrict_matches_oracle(e in arb_expr(), v in 0..NVARS, val in any::<bool>()) {
+        let mut m = Manager::new(NVARS);
+        let f = expr_bdd(&mut m, &e);
+        let r = m.restrict(f, v, val);
+        let t = expr_table(&e);
+        let mut expected = 0;
+        for row in 0..ROWS {
+            let src = if val { row | (1 << v) } else { row & !(1 << v) };
+            if (t >> src) & 1 == 1 {
+                expected |= 1 << row;
+            }
+        }
+        prop_assert_eq!(bdd_table(&m, r), expected);
+        // The result must not depend on v.
+        prop_assert!(!m.support(r).contains(&v));
+    }
+
+    #[test]
+    fn compose_matches_oracle(e in arb_expr(), g in arb_expr(), v in 0..NVARS) {
+        let mut m = Manager::new(NVARS);
+        let f = expr_bdd(&mut m, &e);
+        let gf = expr_bdd(&mut m, &g);
+        let composed = m.compose(f, v, gf);
+        let tf = expr_table(&e);
+        let tg = expr_table(&g);
+        let mut expected = 0;
+        for row in 0..ROWS {
+            let gval = (tg >> row) & 1 == 1;
+            let src = if gval { row | (1 << v) } else { row & !(1 << v) };
+            if (tf >> src) & 1 == 1 {
+                expected |= 1 << row;
+            }
+        }
+        prop_assert_eq!(bdd_table(&m, composed), expected);
+    }
+
+    #[test]
+    fn models_agree_with_sat_count(e in arb_expr()) {
+        let mut m = Manager::new(NVARS);
+        let f = expr_bdd(&mut m, &e);
+        let vars: Vec<u32> = (0..NVARS).collect();
+        let models: Vec<Vec<bool>> = m.models(f, &vars).collect();
+        prop_assert_eq!(models.len() as u128, m.sat_count(f, NVARS));
+        for env in &models {
+            prop_assert!(m.eval(f, env));
+        }
+        let uniq: std::collections::HashSet<_> = models.iter().collect();
+        prop_assert_eq!(uniq.len(), models.len());
+    }
+
+    #[test]
+    fn one_sat_is_a_model(e in arb_expr()) {
+        let mut m = Manager::new(NVARS);
+        let f = expr_bdd(&mut m, &e);
+        match m.one_sat(f) {
+            None => prop_assert!(f.is_zero()),
+            Some(partial) => {
+                let mut env = vec![false; NVARS as usize];
+                for (v, val) in partial {
+                    env[v as usize] = val;
+                }
+                prop_assert!(m.eval(f, &env));
+            }
+        }
+    }
+
+    #[test]
+    fn support_is_exact(e in arb_expr()) {
+        let mut m = Manager::new(NVARS);
+        let f = expr_bdd(&mut m, &e);
+        let t = expr_table(&e);
+        let support = m.support(f);
+        for v in 0..NVARS {
+            // v is semantically relevant iff some row flips f when v flips.
+            let mut relevant = false;
+            for row in 0..ROWS {
+                let flipped = row ^ (1 << v);
+                if (t >> row) & 1 != (t >> flipped) & 1 {
+                    relevant = true;
+                    break;
+                }
+            }
+            prop_assert_eq!(support.contains(&v), relevant, "var {}", v);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Quantification, cofactoring and composition.
+//!
+//! Universal quantification over the input variables `X` is the heart of the
+//! DATE 2008 synthesis approach: after building `F_d = f` as a BDD, the
+//! formula `∀x₁…x_n (F_d = f)` is computed by `forall` and leaves a BDD over
+//! the gate-select variables `Y` only.
+
+use crate::manager::{Bdd, Manager, OpTag};
+
+impl Manager {
+    /// Cofactor `f|_{var=value}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not a declared variable.
+    pub fn restrict(&mut self, f: Bdd, var: u32, value: bool) -> Bdd {
+        assert!(var < self.num_vars(), "variable {var} not declared");
+        let selector = self.constant(value);
+        self.restrict_rec(f, var, selector)
+    }
+
+    fn restrict_rec(&mut self, f: Bdd, var: u32, selector: Bdd) -> Bdd {
+        if self.is_overflowed() {
+            return Bdd::ZERO;
+        }
+        let level = self.level(f);
+        if level > var {
+            // Root below var (or terminal): f does not depend on var here.
+            return f;
+        }
+        let key = (OpTag::Restrict, f, Bdd(var), selector);
+        if let Some(&r) = self.op_cache.get(&key) {
+            return r;
+        }
+        let (lo, hi) = self.children(f);
+        let r = if level == var {
+            if selector.is_one() {
+                hi
+            } else {
+                lo
+            }
+        } else {
+            let r0 = self.restrict_rec(lo, var, selector);
+            let r1 = self.restrict_rec(hi, var, selector);
+            self.mk(level, r0, r1)
+        };
+        self.cache_insert(key, r);
+        r
+    }
+
+    /// Existential quantification over a single variable:
+    /// `∃v f = f|_{v=0} ∨ f|_{v=1}`.
+    pub fn exists_var(&mut self, f: Bdd, var: u32) -> Bdd {
+        self.exists(f, &[var])
+    }
+
+    /// Universal quantification over a single variable:
+    /// `∀v f = f|_{v=0} ∧ f|_{v=1}`.
+    pub fn forall_var(&mut self, f: Bdd, var: u32) -> Bdd {
+        self.forall(f, &[var])
+    }
+
+    /// Existential quantification over a set of variables.
+    ///
+    /// `vars` may be in any order and may contain duplicates; it is
+    /// normalized internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable is undeclared.
+    pub fn exists(&mut self, f: Bdd, vars: &[u32]) -> Bdd {
+        let set = self.normalize_varset(vars);
+        if set.is_empty() {
+            return f;
+        }
+        let id = self.intern_varset(&set);
+        self.quant_rec(f, id, 0, false)
+    }
+
+    /// Universal quantification over a set of variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable is undeclared.
+    pub fn forall(&mut self, f: Bdd, vars: &[u32]) -> Bdd {
+        let set = self.normalize_varset(vars);
+        if set.is_empty() {
+            return f;
+        }
+        let id = self.intern_varset(&set);
+        self.quant_rec(f, id, 0, true)
+    }
+
+    fn normalize_varset(&self, vars: &[u32]) -> Vec<u32> {
+        for &v in vars {
+            assert!(v < self.num_vars(), "variable {v} not declared");
+        }
+        let mut set = vars.to_vec();
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+
+    /// Quantifies the variables `varset(id)[pos..]` out of `f`.
+    /// `universal` selects ∀ (AND) vs ∃ (OR) combination.
+    fn quant_rec(&mut self, f: Bdd, id: u32, pos: u32, universal: bool) -> Bdd {
+        if self.is_overflowed() {
+            return Bdd::ZERO;
+        }
+        if f.is_terminal() {
+            return f;
+        }
+        // Skip set variables above the root of f: they do not occur in f.
+        let level = self.level(f);
+        let set = self.varset(id);
+        let mut pos = pos as usize;
+        while pos < set.len() && set[pos] < level {
+            pos += 1;
+        }
+        if pos == set.len() {
+            return f;
+        }
+        let pos = u32::try_from(pos).expect("varset index fits u32");
+        let tag = if universal {
+            OpTag::Forall(id)
+        } else {
+            OpTag::Exists(id)
+        };
+        let key = (tag, f, Bdd(pos), Bdd::ZERO);
+        if let Some(&r) = self.op_cache.get(&key) {
+            return r;
+        }
+        let next_var = self.varset(id)[pos as usize];
+        let (lo, hi) = self.children(f);
+        let r = if level == next_var {
+            let r0 = self.quant_rec(lo, id, pos + 1, universal);
+            // Short-circuit: ⊥ ∧ x = ⊥ and ⊤ ∨ x = ⊤.
+            if universal && r0.is_zero() {
+                Bdd::ZERO
+            } else if !universal && r0.is_one() {
+                Bdd::ONE
+            } else {
+                let r1 = self.quant_rec(hi, id, pos + 1, universal);
+                if universal {
+                    self.and(r0, r1)
+                } else {
+                    self.or(r0, r1)
+                }
+            }
+        } else {
+            let r0 = self.quant_rec(lo, id, pos, universal);
+            let r1 = self.quant_rec(hi, id, pos, universal);
+            self.mk(level, r0, r1)
+        };
+        self.cache_insert(key, r);
+        r
+    }
+
+    /// Functional composition `f[var := g]`: substitutes the function `g`
+    /// for the variable `var` in `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not a declared variable.
+    pub fn compose(&mut self, f: Bdd, var: u32, g: Bdd) -> Bdd {
+        assert!(var < self.num_vars(), "variable {var} not declared");
+        self.compose_rec(f, var, g)
+    }
+
+    fn compose_rec(&mut self, f: Bdd, var: u32, g: Bdd) -> Bdd {
+        if self.is_overflowed() {
+            return Bdd::ZERO;
+        }
+        let level = self.level(f);
+        if level > var {
+            return f;
+        }
+        let key = (OpTag::Compose(var), f, g, Bdd::ZERO);
+        if let Some(&r) = self.op_cache.get(&key) {
+            return r;
+        }
+        let (lo, hi) = self.children(f);
+        let r = if level == var {
+            self.ite(g, hi, lo)
+        } else {
+            let r0 = self.compose_rec(lo, var, g);
+            let r1 = self.compose_rec(hi, var, g);
+            // The substituted g may depend on variables above `level`, so a
+            // plain mk() could violate the order; use ite on the level var.
+            let v = self.var(level);
+            self.ite(v, r1, r0)
+        };
+        self.cache_insert(key, r);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Manager, Bdd, Bdd, Bdd) {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        (m, a, b, c)
+    }
+
+    #[test]
+    fn restrict_projects_cofactor() {
+        let (mut m, a, b, _) = setup();
+        let f = m.and(a, b);
+        assert_eq!(m.restrict(f, 0, true), b);
+        assert_eq!(m.restrict(f, 0, false), Bdd::ZERO);
+        // Restricting an absent variable is the identity.
+        assert_eq!(m.restrict(f, 2, true), f);
+    }
+
+    #[test]
+    fn exists_is_or_of_cofactors() {
+        let (mut m, a, b, _) = setup();
+        let f = m.and(a, b);
+        let e = m.exists_var(f, 0);
+        assert_eq!(e, b);
+    }
+
+    #[test]
+    fn forall_is_and_of_cofactors() {
+        let (mut m, a, b, _) = setup();
+        let f = m.or(a, b);
+        let g = m.forall_var(f, 0);
+        assert_eq!(g, b);
+        let h = m.forall_var(f, 1);
+        assert_eq!(h, a);
+    }
+
+    #[test]
+    fn forall_of_tautology_in_var_is_identity_free() {
+        let (mut m, a, _, c) = setup();
+        // f = a ⊕ a ∨ c = c — no dependence on a.
+        let f = m.xor(a, a);
+        let f = m.or(f, c);
+        assert_eq!(m.forall_var(f, 0), f);
+    }
+
+    #[test]
+    fn multi_var_quantification() {
+        let (mut m, a, b, c) = setup();
+        // f = (a ∧ b) ∨ c
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        // ∃a∃b f = ⊤ ∨ c = ⊤? cofactors: a=b=1 gives ⊤... ∃ab f = 1∨c = 1.
+        let e = m.exists(f, &[0, 1]);
+        assert!(e.is_one());
+        // ∀a∀b f = c.
+        let g = m.forall(f, &[1, 0]);
+        assert_eq!(g, c);
+        // Quantifying everything yields a constant.
+        let all = m.forall(f, &[0, 1, 2]);
+        assert!(all.is_zero());
+        let any = m.exists(f, &[0, 1, 2]);
+        assert!(any.is_one());
+    }
+
+    #[test]
+    fn quantifier_duality() {
+        let (mut m, a, b, c) = setup();
+        let ab = m.xor(a, b);
+        let f = m.ite(c, ab, a);
+        // ¬∃x f = ∀x ¬f
+        let e = m.exists(f, &[0, 2]);
+        let lhs = m.not(e);
+        let nf = m.not(f);
+        let rhs = m.forall(nf, &[0, 2]);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn empty_varset_is_identity() {
+        let (mut m, a, b, _) = setup();
+        let f = m.or(a, b);
+        assert_eq!(m.exists(f, &[]), f);
+        assert_eq!(m.forall(f, &[]), f);
+    }
+
+    #[test]
+    fn duplicate_and_unsorted_vars_are_normalized() {
+        let (mut m, a, b, c) = setup();
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        let g1 = m.forall(f, &[1, 0, 1, 0]);
+        let g2 = m.forall(f, &[0, 1]);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn compose_substitutes_function() {
+        let (mut m, a, b, c) = setup();
+        // f = a ⊕ b; f[b := (a ∧ c)] = a ⊕ (a ∧ c)
+        let f = m.xor(a, b);
+        let ac = m.and(a, c);
+        let composed = m.compose(f, 1, ac);
+        let expected = m.xor(a, ac);
+        assert_eq!(composed, expected);
+    }
+
+    #[test]
+    fn compose_with_variable_above() {
+        let (mut m, a, b, c) = setup();
+        // f depends on c (level 2); substitute c := a (level 0, above).
+        let f = m.and(b, c);
+        let composed = m.compose(f, 2, a);
+        let expected = m.and(b, a);
+        assert_eq!(composed, expected);
+    }
+
+    #[test]
+    fn compose_with_constant_equals_restrict() {
+        let (mut m, a, b, c) = setup();
+        let bc = m.or(b, c);
+        let f = m.xor(a, bc);
+        let via_compose = m.compose(f, 1, Bdd::ONE);
+        let via_restrict = m.restrict(f, 1, true);
+        assert_eq!(via_compose, via_restrict);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn quantifying_undeclared_var_panics() {
+        let (mut m, a, _, _) = setup();
+        let _ = m.exists(a, &[7]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Criterion bench for the design-choice ablations (`DESIGN.md` §2):
+//! variable order, incremental construction and SAT select encoding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsyn_core::{
+    synthesize, Engine, GateLibrary, SatSelectEncoding, SynthesisOptions, VarOrder,
+};
+use qsyn_revlogic::benchmarks;
+
+fn bench_var_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_var_order");
+    group.sample_size(10);
+    for name in ["3_17", "rd32-v0"] {
+        let bench = benchmarks::by_name(name).expect("known benchmark");
+        for (label, order) in [("x_then_y", VarOrder::XThenY), ("y_then_x", VarOrder::YThenX)] {
+            group.bench_with_input(BenchmarkId::new(label, name), &order, |b, &order| {
+                b.iter(|| {
+                    synthesize(
+                        &bench.spec,
+                        &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd)
+                            .with_var_order(order),
+                    )
+                    .expect("synthesizes")
+                    .depth()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_incremental");
+    group.sample_size(10);
+    for name in ["3_17", "decod24-v0"] {
+        let bench = benchmarks::by_name(name).expect("known benchmark");
+        for (label, incremental) in [("incremental", true), ("from_scratch", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, name),
+                &incremental,
+                |b, &incremental| {
+                    b.iter(|| {
+                        synthesize(
+                            &bench.spec,
+                            &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd)
+                                .with_incremental(incremental),
+                        )
+                        .expect("synthesizes")
+                        .depth()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sat_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sat_encoding");
+    group.sample_size(10);
+    for name in ["3_17", "rd32-v0"] {
+        let bench = benchmarks::by_name(name).expect("known benchmark");
+        for (label, enc) in [
+            ("one_hot", SatSelectEncoding::OneHot),
+            ("binary", SatSelectEncoding::Binary),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, name), &enc, |b, &enc| {
+                b.iter(|| {
+                    synthesize(
+                        &bench.spec,
+                        &SynthesisOptions::new(GateLibrary::mct(), Engine::Sat)
+                            .with_sat_encoding(enc),
+                    )
+                    .expect("synthesizes")
+                    .depth()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_var_order, bench_incremental, bench_sat_encoding);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for **Table 1**: per-engine synthesis time on the fast
+//! benchmarks (MCT library). The `gen_table1` binary prints the full
+//! paper-style table; this bench gives statistically robust timings for
+//! the quick subset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsyn_core::{synthesize, Engine, GateLibrary, SatSelectEncoding, SynthesisOptions};
+use qsyn_revlogic::benchmarks;
+
+const FAST: &[&str] = &["3_17", "rd32-v0", "rd32-v1", "decod24-v0"];
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for name in FAST {
+        let bench = benchmarks::by_name(name).expect("known benchmark");
+        let configs: [(&str, SynthesisOptions); 4] = [
+            (
+                "sat_onehot",
+                SynthesisOptions::new(GateLibrary::mct(), Engine::Sat)
+                    .with_sat_encoding(SatSelectEncoding::OneHot),
+            ),
+            (
+                "sat_binary",
+                SynthesisOptions::new(GateLibrary::mct(), Engine::Sat)
+                    .with_sat_encoding(SatSelectEncoding::Binary),
+            ),
+            (
+                "qbf",
+                SynthesisOptions::new(GateLibrary::mct(), Engine::Qbf),
+            ),
+            (
+                "bdd",
+                SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd),
+            ),
+        ];
+        for (engine_name, options) in configs {
+            group.bench_with_input(
+                BenchmarkId::new(engine_name, name),
+                &options,
+                |b, options| {
+                    b.iter(|| {
+                        let r = synthesize(&bench.spec, options).expect("synthesizes");
+                        assert!(r.depth() > 0);
+                        r.depth()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for **Table 2**: the all-solutions BDD sweep including
+//! model counting, enumeration and quantum-cost ranking (the part previous
+//! single-solution approaches cannot do at all).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsyn_core::{synthesize, Engine, GateLibrary, SynthesisOptions};
+use qsyn_revlogic::benchmarks;
+
+const FAST: &[&str] = &["3_17", "rd32-v1", "decod24-v0", "decod24-v3"];
+
+fn bench_all_solutions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for name in FAST {
+        let bench = benchmarks::by_name(name).expect("known benchmark");
+        group.bench_with_input(
+            BenchmarkId::new("bdd_all_solutions", name),
+            &bench.spec,
+            |b, spec| {
+                b.iter(|| {
+                    let r = synthesize(
+                        spec,
+                        &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd)
+                            .with_max_solutions(200_000),
+                    )
+                    .expect("synthesizes");
+                    let (lo, hi) = r.solutions().quantum_cost_range();
+                    assert!(lo <= hi);
+                    (r.solutions().count(), lo, hi)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_solutions);
+criterion_main!(benches);

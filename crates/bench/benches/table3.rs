@@ -1,0 +1,38 @@
+//! Criterion bench for **Table 3**: BDD synthesis under the extended gate
+//! libraries. Larger |G| means more select variables per level; the bench
+//! quantifies that cost on the quick subset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsyn_core::{synthesize, Engine, GateLibrary, SynthesisOptions};
+use qsyn_revlogic::benchmarks;
+
+const FAST: &[&str] = &["3_17", "rd32-v1", "decod24-v0"];
+
+fn bench_libraries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    for name in FAST {
+        let bench = benchmarks::by_name(name).expect("known benchmark");
+        for lib in [
+            GateLibrary::mct(),
+            GateLibrary::mct_mcf(),
+            GateLibrary::mct_peres(),
+            GateLibrary::all(),
+        ] {
+            group.bench_with_input(BenchmarkId::new(lib.label(), name), &lib, |b, &lib| {
+                b.iter(|| {
+                    let r = synthesize(
+                        &bench.spec,
+                        &SynthesisOptions::new(lib, Engine::Bdd).with_max_solutions(200_000),
+                    )
+                    .expect("synthesizes");
+                    r.depth()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_libraries);
+criterion_main!(benches);

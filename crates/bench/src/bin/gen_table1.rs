@@ -1,0 +1,80 @@
+//! Regenerates **Table 1** of the paper: runtime comparison of the
+//! SAT-based approaches ([9] and the improved encoding standing in for
+//! SWORD [22]) against the two quantified approaches (QBF solver and BDD),
+//! all with the multiple-control Toffoli library.
+//!
+//! ```text
+//! cargo run --release -p qsyn-bench --bin gen_table1
+//! QSYN_FULL=1 QSYN_TIMEOUT=2000 cargo run --release -p qsyn-bench --bin gen_table1
+//! ```
+
+use qsyn_bench::{bench_names, improvement_cell, is_complete_bench, run_budgeted, timeout_from_env};
+use qsyn_core::{Engine, GateLibrary, SatSelectEncoding, SynthesisOptions};
+use qsyn_revlogic::benchmarks;
+
+fn main() {
+    let budget = timeout_from_env();
+    println!("Table 1: Comparison to Previous Work (timeout {}s)", budget.as_secs());
+    println!("SAT SOLVER = row-wise one-hot encoding [9]; SWORD* = row-wise binary");
+    println!("encoding standing in for the specialised SWORD prover [22] (see DESIGN.md).");
+    println!();
+    println!(
+        "{:<12} {:>2} | {:>9} {:>9} | {:>9} {:>8} {:>8} | {:>9} {:>8} {:>8}",
+        "BENCH", "D", "SAT", "SWORD*", "QBF", "IMPR_SAT", "IMPR_SW", "BDD", "IMPR_SAT", "IMPR_SW"
+    );
+    let mut section = "";
+    for name in bench_names() {
+        let header = if is_complete_bench(name) {
+            "COMPLETELY SPECIFIED FUNCTIONS"
+        } else {
+            "INCOMPLETELY SPECIFIED FUNCTIONS"
+        };
+        if header != section {
+            section = header;
+            println!("--- {section}");
+        }
+        let bench = benchmarks::by_name(name).expect("known benchmark");
+        let sat = run_budgeted(
+            &bench.spec,
+            &SynthesisOptions::new(GateLibrary::mct(), Engine::Sat)
+                .with_sat_encoding(SatSelectEncoding::OneHot),
+            budget,
+        );
+        let sword = run_budgeted(
+            &bench.spec,
+            &SynthesisOptions::new(GateLibrary::mct(), Engine::Sat)
+                .with_sat_encoding(SatSelectEncoding::Binary),
+            budget,
+        );
+        let qbf = run_budgeted(
+            &bench.spec,
+            &SynthesisOptions::new(GateLibrary::mct(), Engine::Qbf),
+            budget,
+        );
+        let bdd = run_budgeted(
+            &bench.spec,
+            &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd),
+            budget,
+        );
+        let depth = [&sat, &sword, &qbf, &bdd]
+            .iter()
+            .find_map(|o| o.depth())
+            .map_or("-".to_string(), |d| d.to_string());
+        println!(
+            "{:<12} {:>2} | {:>9} {:>9} | {:>9} {:>8} {:>8} | {:>9} {:>8} {:>8}",
+            name,
+            depth,
+            sat.time_cell(budget),
+            sword.time_cell(budget),
+            qbf.time_cell(budget),
+            improvement_cell(&sat, &qbf, budget),
+            improvement_cell(&sword, &qbf, budget),
+            bdd.time_cell(budget),
+            improvement_cell(&sat, &bdd, budget),
+            improvement_cell(&sword, &bdd, budget),
+        );
+    }
+    println!();
+    println!("Expected shape (paper): QBF beats plain SAT; BDD has the smallest total");
+    println!("time on every non-trivial function.");
+}

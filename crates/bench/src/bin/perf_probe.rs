@@ -1,0 +1,51 @@
+//! Single-benchmark probe: synthesize one function with one engine and
+//! library, printing depth, solution count, quantum-cost range and time.
+//!
+//! ```text
+//! perf_probe <benchmark> [mct|mct+mcf|mct+p|all] [bdd|qbf|sat]
+//! ```
+
+use qsyn_core::{synthesize, Engine, GateLibrary, SynthesisOptions};
+use qsyn_revlogic::benchmarks;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("3_17");
+    let library = match args.get(2).map(String::as_str).unwrap_or("mct") {
+        "mct" => GateLibrary::mct(),
+        "mct+mcf" => GateLibrary::mct_mcf(),
+        "mct+p" => GateLibrary::mct_peres(),
+        "all" => GateLibrary::all(),
+        other => {
+            eprintln!("unknown library {other}");
+            std::process::exit(2);
+        }
+    };
+    let engine = match args.get(3).map(String::as_str).unwrap_or("bdd") {
+        "bdd" => Engine::Bdd,
+        "qbf" => Engine::Qbf,
+        "sat" => Engine::Sat,
+        other => {
+            eprintln!("unknown engine {other}");
+            std::process::exit(2);
+        }
+    };
+    let b = benchmarks::by_name(name).expect("benchmark exists");
+    let t = Instant::now();
+    let r = synthesize(
+        &b.spec,
+        &SynthesisOptions::new(library, engine).with_max_solutions(100_000),
+    );
+    match r {
+        Ok(r) => println!(
+            "{name} [{}/{engine:?}]: D={} #SOL={} QC={:?} time={:?}",
+            library.label(),
+            r.depth(),
+            r.solutions().count(),
+            r.solutions().quantum_cost_range(),
+            t.elapsed()
+        ),
+        Err(e) => println!("{name} [{}/{engine:?}]: error {e} after {:?}", library.label(), t.elapsed()),
+    }
+}

@@ -1,0 +1,542 @@
+//! The BDD-based synthesis engine (Section 5.2 of the paper).
+//!
+//! The cascade `F_d` is maintained as a vector of output BDDs over the
+//! inputs `X` and the gate-select variables `Y`, built incrementally as
+//! `F_d = U_G(F_{d−1}, Y_d)`. For the per-depth check, `F_d = f` is
+//! conjoined (with don't-care relaxation for incompletely specified
+//! functions), the inputs are universally quantified, and the surviving
+//! BDD over `Y` encodes **every** minimal network at once: each model is
+//! one realization.
+
+use crate::encode::{decode_circuit, select_bits};
+use crate::error::SynthesisError;
+use crate::options::{SynthesisOptions, VarOrder};
+use crate::solutions::SolutionSet;
+use qsyn_bdd::{Bdd, Manager};
+use qsyn_revlogic::{Circuit, Gate, Spec};
+
+/// BDD-based depth oracle; see the module docs.
+pub struct BddEngine {
+    spec: Spec,
+    options: SynthesisOptions,
+    gates: Vec<Gate>,
+    sbits: u32,
+    built: Built,
+}
+
+/// The mutable BDD state of a (possibly partial) cascade construction.
+struct Built {
+    m: Manager,
+    /// Variable index of each input line.
+    x_vars: Vec<u32>,
+    /// Select variables so far, level-major, LSB first.
+    y_vars: Vec<u32>,
+    /// Cascade outputs `F_d` per line, over `X ∪ Y`.
+    state: Vec<Bdd>,
+    /// ON-set and don't-care-set BDDs of the spec per line (over `X`).
+    spec_on: Vec<Bdd>,
+    spec_dc: Vec<Bdd>,
+    depth: u32,
+}
+
+impl std::fmt::Debug for BddEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BddEngine")
+            .field("lines", &self.spec.lines())
+            .field("gates", &self.gates.len())
+            .field("depth", &self.built.depth)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BddEngine {
+    /// Prepares an engine for `spec` under `options`.
+    pub fn new(spec: &Spec, options: &SynthesisOptions) -> BddEngine {
+        let gates = options.library.enumerate(spec.lines());
+        let sbits = select_bits(gates.len());
+        let built = Built::fresh(spec, options, sbits);
+        BddEngine {
+            spec: spec.clone(),
+            options: options.clone(),
+            gates,
+            sbits,
+            built,
+        }
+    }
+
+    /// Nodes currently allocated in the BDD manager (for the benchmark
+    /// harness and the variable-order ablation).
+    pub fn bdd_nodes(&self) -> usize {
+        self.built.m.node_count()
+    }
+
+    /// Decides whether a `d`-gate realization exists and, if so, returns
+    /// all of them (up to `options.max_solutions` materialized circuits).
+    ///
+    /// Depths must be queried in increasing order when the engine is
+    /// incremental.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::ResourceLimit`] when the BDD node budget runs out.
+    pub fn solve_depth(&mut self, d: u32) -> Result<Option<SolutionSet>, SynthesisError> {
+        if self.built.m.is_overflowed() {
+            // A previous depth ran out of nodes; the incremental state is
+            // unusable.
+            return Err(SynthesisError::ResourceLimit {
+                depth: d,
+                what: "BDD node",
+            });
+        }
+        if !self.options.incremental {
+            self.built = Built::fresh(&self.spec, &self.options, self.sbits);
+        }
+        assert!(
+            self.built.depth <= d,
+            "depths must be queried in increasing order (at {}, asked {d})",
+            self.built.depth
+        );
+        while self.built.depth < d {
+            self.built.extend_one_level(&self.gates, self.sbits, &self.options)?;
+            if self.built.m.node_count() > self.options.bdd_node_limit {
+                return Err(SynthesisError::ResourceLimit {
+                    depth: d,
+                    what: "BDD node",
+                });
+            }
+            // Bound the operation-cache footprint on long runs; memoized
+            // results are recomputed on demand.
+            self.built.m.trim_cache(self.options.bdd_node_limit);
+        }
+        let solutions_bdd = self
+            .built
+            .check(self.options.bdd_node_limit)
+            .ok_or(SynthesisError::ResourceLimit {
+                depth: d,
+                what: "BDD node",
+            })?;
+        if solutions_bdd.is_zero() {
+            return Ok(None);
+        }
+        Ok(Some(self.materialize(solutions_bdd, d)))
+    }
+
+    /// Turns the final BDD over `Y` into circuits — "each path to the
+    /// 1-terminal represents an assignment to all variables `y_ij`".
+    fn materialize(&self, solutions: Bdd, d: u32) -> SolutionSet {
+        let b = &self.built;
+        if self.sbits == 0 {
+            // Single-gate library: there is exactly one candidate cascade.
+            let circuit = Circuit::from_gates(
+                self.spec.lines(),
+                std::iter::repeat_n(self.gates[0], d as usize),
+            );
+            debug_assert!(self.spec.is_realized_by(&circuit));
+            return SolutionSet::new(vec![circuit], 1, true);
+        }
+        let total = b.m.count_models(solutions, &b.y_vars);
+        let cap = self.options.max_solutions;
+        let mut circuits = Vec::new();
+        for model in b.m.models(solutions, &b.y_vars).take(cap) {
+            let c = decode_circuit(self.spec.lines(), &self.gates, self.sbits, &model);
+            debug_assert!(
+                self.spec.is_realized_by(&c),
+                "decoded circuit violates the spec"
+            );
+            // When d is the minimal depth (the iterative-deepening driver's
+            // invariant), no model selects an identity padding slot — that
+            // would imply a shorter realization. Queried beyond the minimal
+            // depth, shorter circuits are legitimately among the models.
+            circuits.push(c);
+        }
+        let exhaustive = total <= circuits.len() as u128;
+        SolutionSet::new(circuits, total, exhaustive)
+    }
+}
+
+impl Built {
+    /// Fresh depth-0 state: `F_0 = (x_1, …, x_n)`.
+    fn fresh(spec: &Spec, options: &SynthesisOptions, sbits: u32) -> Built {
+        let n = spec.lines();
+        let (mut m, x_vars): (Manager, Vec<u32>) = match options.var_order {
+            VarOrder::XThenY => {
+                let m = Manager::new(n);
+                (m, (0..n).collect())
+            }
+            VarOrder::YThenX => {
+                // Pre-allocate the select block for the worst-case depth so
+                // that every Y variable sits above every X variable.
+                let y_total = options.max_depth * sbits;
+                let m = Manager::new(y_total + n);
+                (m, (y_total..y_total + n).collect())
+            }
+        };
+        // Hard caps: a single apply/quantify call must not allocate nodes
+        // or memoization entries past the budget (out-of-memory
+        // containment; see Manager::set_node_cap / set_cache_cap).
+        m.set_node_cap(options.bdd_node_limit.saturating_add(1_000));
+        m.set_cache_cap(options.bdd_node_limit.saturating_mul(2));
+        let state: Vec<Bdd> = x_vars.iter().map(|&v| m.var(v)).collect();
+        // Row minterms over X, shared by the per-line ON/DC set BDDs.
+        let minterms: Vec<Bdd> = (0..spec.num_rows() as u32)
+            .map(|row| {
+                let lits: Vec<Bdd> = (0..n)
+                    .map(|l| m.literal(x_vars[l as usize], (row >> l) & 1 == 1))
+                    .collect();
+                m.and_all(lits)
+            })
+            .collect();
+        let spec_on: Vec<Bdd> = (0..n)
+            .map(|l| {
+                let rows = spec.on_set(l);
+                m.or_all(rows.iter().map(|&r| minterms[r as usize]))
+            })
+            .collect();
+        let spec_dc: Vec<Bdd> = (0..n)
+            .map(|l| {
+                let rows = spec.dc_set(l);
+                m.or_all(rows.iter().map(|&r| minterms[r as usize]))
+            })
+            .collect();
+        Built {
+            m,
+            x_vars,
+            y_vars: Vec::new(),
+            state,
+            spec_on,
+            spec_dc,
+            depth: 0,
+        }
+    }
+
+    /// Applies one universal gate: `F_{d+1} = U_G(F_d, Y_{d+1})`.
+    fn extend_one_level(
+        &mut self,
+        gates: &[Gate],
+        sbits: u32,
+        options: &SynthesisOptions,
+    ) -> Result<(), SynthesisError> {
+        let n = self.state.len();
+        let level_vars: Vec<u32> = match options.var_order {
+            VarOrder::XThenY => {
+                let base = self.m.add_vars(sbits);
+                (base..base + sbits).collect()
+            }
+            VarOrder::YThenX => {
+                if self.depth >= options.max_depth {
+                    return Err(SynthesisError::ResourceLimit {
+                        depth: self.depth + 1,
+                        what: "pre-allocated Y-block",
+                    });
+                }
+                let base = self.depth * sbits;
+                (base..base + sbits).collect()
+            }
+        };
+        // Slot table: per line, the output of each of the 2^s gate slots
+        // (identity for the padding slots beyond q).
+        let slot_count = 1usize << sbits;
+        let mut slots: Vec<Vec<Bdd>> = (0..n)
+            .map(|j| vec![self.state[j]; slot_count])
+            .collect();
+        for (k, g) in gates.iter().enumerate() {
+            for (line, out) in self.apply_gate(g) {
+                slots[line as usize][k] = out;
+            }
+        }
+        // Multiplexer reduction over the select bits, LSB first.
+        #[allow(clippy::needless_range_loop)] // j indexes both slots and state
+        for j in 0..n {
+            let mut layer = std::mem::take(&mut slots[j]);
+            for &yv in &level_vars {
+                let y = self.m.var(yv);
+                let mut next = Vec::with_capacity(layer.len() / 2);
+                for pair in layer.chunks(2) {
+                    next.push(self.m.ite(y, pair[1], pair[0]));
+                }
+                layer = next;
+            }
+            debug_assert_eq!(layer.len(), 1);
+            self.state[j] = layer[0];
+        }
+        self.y_vars.extend(level_vars);
+        self.depth += 1;
+        Ok(())
+    }
+
+    /// Symbolic application of a concrete gate to the current state,
+    /// returning only the changed lines.
+    fn apply_gate(&mut self, g: &Gate) -> Vec<(u32, Bdd)> {
+        match *g {
+            Gate::Toffoli {
+                controls,
+                negative_controls,
+                target,
+            } => {
+                let mut cond = self.control_conjunction(controls.iter());
+                for c in negative_controls.iter() {
+                    let nc = {
+                        let s = self.state[c as usize];
+                        self.m.not(s)
+                    };
+                    cond = self.m.and(cond, nc);
+                }
+                let out = {
+                    let t = self.state[target as usize];
+                    self.m.xor(t, cond)
+                };
+                vec![(target, out)]
+            }
+            Gate::Fredkin { controls, targets } => {
+                let cond = self.control_conjunction(controls.iter());
+                let a = self.state[targets.0 as usize];
+                let b = self.state[targets.1 as usize];
+                let out_a = self.m.ite(cond, b, a);
+                let out_b = self.m.ite(cond, a, b);
+                vec![(targets.0, out_a), (targets.1, out_b)]
+            }
+            Gate::Peres { control, targets } => {
+                let c = self.state[control as usize];
+                let a = self.state[targets.0 as usize];
+                let b = self.state[targets.1 as usize];
+                let out_a = self.m.xor(c, a);
+                let ca = self.m.and(c, a);
+                let out_b = self.m.xor(ca, b);
+                vec![(targets.0, out_a), (targets.1, out_b)]
+            }
+        }
+    }
+
+    fn control_conjunction(&mut self, controls: impl Iterator<Item = u32>) -> Bdd {
+        let parts: Vec<Bdd> = controls.map(|c| self.state[c as usize]).collect();
+        self.m.and_all(parts)
+    }
+
+    /// Builds `∀X ⋀_l (f_l^dc ∨ (F_{d,l} ⊙ f_l^on))` — the quantified
+    /// formula of Section 4 — and returns the BDD over `Y`, or `None` when
+    /// the node budget runs out mid-construction.
+    ///
+    /// The conjunction is built before quantifying (quantifying each line
+    /// separately yields weakly-constrained diagrams over `Y` that blow
+    /// up); `∀` is then applied one input variable at a time so the node
+    /// budget can be enforced between steps.
+    fn check(&mut self, node_limit: usize) -> Option<Bdd> {
+        let n = self.state.len();
+        let mut eq = self.m.one();
+        for l in 0..n {
+            let agree = self.m.xnor(self.state[l], self.spec_on[l]);
+            let ok = self.m.or(self.spec_dc[l], agree);
+            eq = self.m.and(eq, ok);
+            // Overflow must be ruled out before trusting any ⊥ result.
+            if self.m.is_overflowed() || self.m.node_count() > node_limit {
+                return None;
+            }
+            if eq.is_zero() {
+                return Some(eq);
+            }
+        }
+        // X sits on top of the order, so quantifying from the innermost
+        // (largest) X variable upward strips one top level at a time.
+        let x = self.x_vars.clone();
+        for &v in x.iter().rev() {
+            eq = self.m.forall_var(eq, v);
+            if self.m.is_overflowed() || self.m.node_count() > node_limit {
+                return None;
+            }
+            if eq.is_zero() {
+                return Some(eq);
+            }
+            self.m.trim_cache(node_limit.saturating_mul(2));
+        }
+        Some(eq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::Engine;
+    use qsyn_revlogic::{GateLibrary, LineSet, Permutation};
+
+    fn opts(lib: GateLibrary) -> SynthesisOptions {
+        SynthesisOptions::new(lib, Engine::Bdd)
+    }
+
+    #[test]
+    fn depth_zero_accepts_identity() {
+        let spec = Spec::from_permutation(&Permutation::identity(2));
+        let mut e = BddEngine::new(&spec, &opts(GateLibrary::mct()));
+        let sols = e.solve_depth(0).unwrap().expect("identity needs 0 gates");
+        assert_eq!(sols.depth(), 0);
+        assert_eq!(sols.count(), 1);
+    }
+
+    #[test]
+    fn depth_zero_rejects_non_identity() {
+        let spec = Spec::from_permutation(&Permutation::from_map(1, vec![1, 0]));
+        let mut e = BddEngine::new(&spec, &opts(GateLibrary::mct()));
+        assert!(e.solve_depth(0).unwrap().is_none());
+        // …and a single NOT gate realizes it at depth 1.
+        let sols = e.solve_depth(1).unwrap().expect("NOT realizes it");
+        assert_eq!(sols.depth(), 1);
+        assert_eq!(sols.circuits()[0].gates()[0], Gate::not(0));
+    }
+
+    #[test]
+    fn single_gate_library_uses_no_select_vars() {
+        // 1 line: MCT library = {NOT(0)} only. NOT∘NOT = identity.
+        let spec = Spec::from_permutation(&Permutation::from_map(1, vec![1, 0]));
+        let mut e = BddEngine::new(&spec, &opts(GateLibrary::mct()));
+        assert!(e.solve_depth(0).unwrap().is_none());
+        let sols = e.solve_depth(1).unwrap().unwrap();
+        assert_eq!(sols.count(), 1);
+        assert_eq!(sols.circuits()[0].len(), 1);
+    }
+
+    #[test]
+    fn cnot_spec_found_at_depth_one_with_all_solutions() {
+        // x2 ^= x1 on 2 lines.
+        let spec = Spec::from_permutation(&Permutation::from_fn(2, |v| v ^ ((v & 1) << 1)));
+        let mut e = BddEngine::new(&spec, &opts(GateLibrary::mct()));
+        assert!(e.solve_depth(0).unwrap().is_none());
+        let sols = e.solve_depth(1).unwrap().expect("CNOT realizes it");
+        assert_eq!(sols.count(), 1, "only one 1-gate MCT realization");
+        assert!(sols.is_exhaustive());
+        assert_eq!(
+            sols.circuits()[0].gates()[0],
+            Gate::toffoli(LineSet::from_iter([0]), 1)
+        );
+    }
+
+    #[test]
+    fn swap_needs_three_mct_but_one_fredkin() {
+        let spec = Spec::from_permutation(&Permutation::from_fn(2, |v| {
+            ((v & 1) << 1) | ((v >> 1) & 1)
+        }));
+        // MCT: 3 CNOTs.
+        let mut e = BddEngine::new(&spec, &opts(GateLibrary::mct()));
+        assert!(e.solve_depth(0).unwrap().is_none());
+        assert!(e.solve_depth(1).unwrap().is_none());
+        assert!(e.solve_depth(2).unwrap().is_none());
+        let sols = e.solve_depth(3).unwrap().expect("swap = 3 CNOTs");
+        assert_eq!(sols.depth(), 3);
+        // Two orders: (a→b)(b→a)(a→b) and (b→a)(a→b)(b→a).
+        assert_eq!(sols.count(), 2);
+        // MCT+MCF: a single controlled-free swap.
+        let mut e2 = BddEngine::new(&spec, &opts(GateLibrary::mct_mcf()));
+        assert!(e2.solve_depth(0).unwrap().is_none());
+        let sols2 = e2.solve_depth(1).unwrap().expect("one swap gate");
+        assert_eq!(sols2.depth(), 1);
+        // Ordered Fredkin targets make the same swap selectable twice.
+        assert_eq!(sols2.count(), 2);
+    }
+
+    #[test]
+    fn all_returned_circuits_realize_the_spec() {
+        let spec = Spec::from_permutation(&Permutation::from_map(2, vec![3, 0, 1, 2]));
+        let mut e = BddEngine::new(&spec, &opts(GateLibrary::mct()));
+        for d in 0..=6 {
+            if let Some(sols) = e.solve_depth(d).unwrap() {
+                assert!(sols.is_exhaustive());
+                for c in sols.circuits() {
+                    assert!(spec.is_realized_by(c));
+                    assert_eq!(c.len(), d as usize);
+                }
+                return;
+            }
+        }
+        panic!("no realization found up to depth 6");
+    }
+
+    #[test]
+    fn incomplete_spec_exploits_dont_cares() {
+        // Output line 2 must be a AND b; line 0/1 garbage; constant 0 on
+        // line 2 — a single Toffoli satisfies it.
+        let spec = qsyn_revlogic::embedding::Embedding {
+            lines: 3,
+            input_lines: vec![0, 1],
+            constants: vec![(2, false)],
+            output_lines: vec![2],
+        }
+        .embed(|ab| (ab & 1) & (ab >> 1))
+        .unwrap();
+        let mut e = BddEngine::new(&spec, &opts(GateLibrary::mct()));
+        assert!(e.solve_depth(0).unwrap().is_none());
+        let sols = e.solve_depth(1).unwrap().expect("one Toffoli suffices");
+        assert!(sols
+            .circuits()
+            .iter()
+            .any(|c| c.gates()[0] == Gate::toffoli(LineSet::from_iter([0, 1]), 2)));
+    }
+
+    #[test]
+    fn y_then_x_order_gives_same_answers() {
+        let spec = Spec::from_permutation(&Permutation::from_map(2, vec![1, 2, 3, 0]));
+        let mut normal = BddEngine::new(&spec, &opts(GateLibrary::mct()));
+        let mut flipped = BddEngine::new(
+            &spec,
+            &opts(GateLibrary::mct()).with_var_order(VarOrder::YThenX),
+        );
+        for d in 0..4 {
+            let a = normal.solve_depth(d).unwrap().map(|s| s.count());
+            let b = flipped.solve_depth(d).unwrap().map(|s| s.count());
+            assert_eq!(a, b, "depth {d}");
+            if a.is_some() {
+                return;
+            }
+        }
+        panic!("no realization found up to depth 3");
+    }
+
+    #[test]
+    fn non_incremental_mode_gives_same_answers() {
+        let spec = Spec::from_permutation(&Permutation::from_map(2, vec![2, 3, 1, 0]));
+        let mut inc = BddEngine::new(&spec, &opts(GateLibrary::mct()));
+        let mut scratch =
+            BddEngine::new(&spec, &opts(GateLibrary::mct()).with_incremental(false));
+        for d in 0..5 {
+            let a = inc.solve_depth(d).unwrap().map(|s| s.count());
+            let b = scratch.solve_depth(d).unwrap().map(|s| s.count());
+            assert_eq!(a, b, "depth {d}");
+            if a.is_some() {
+                return;
+            }
+        }
+        panic!("no realization found");
+    }
+
+    #[test]
+    fn node_limit_aborts() {
+        let spec = Spec::from_permutation(&Permutation::from_map(
+            3,
+            vec![7, 1, 4, 3, 0, 2, 6, 5],
+        ));
+        let mut e = BddEngine::new(
+            &spec,
+            &opts(GateLibrary::mct()).with_bdd_node_limit(50),
+        );
+        let err = (0..8)
+            .find_map(|d| e.solve_depth(d).err())
+            .expect("tiny node budget must trip");
+        assert!(matches!(err, SynthesisError::ResourceLimit { .. }));
+    }
+
+    #[test]
+    fn max_solutions_truncates_but_counts_exactly() {
+        // The identity at depth 2 has many realizations (g then g⁻¹ for
+        // every self-inverse gate). Cap materialization at 3.
+        let spec = Spec::from_permutation(&Permutation::identity(2));
+        let mut e = BddEngine::new(
+            &spec,
+            &opts(GateLibrary::mct()).with_max_solutions(3),
+        );
+        // Depth 0 finds the identity; force depth-2 query via fresh engine
+        // semantics: ask directly.
+        let sols0 = e.solve_depth(0).unwrap().unwrap();
+        assert_eq!(sols0.count(), 1);
+        let sols2 = e.solve_depth(2).unwrap().expect("g·g⁻¹ realizations");
+        assert!(sols2.count() > 3);
+        assert_eq!(sols2.circuits().len(), 3);
+        assert!(!sols2.is_exhaustive());
+    }
+}

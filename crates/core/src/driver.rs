@@ -1,0 +1,363 @@
+//! The iterative-deepening synthesis driver (Figure 1 of the paper).
+//!
+//! Starting from `d = 0`, the per-depth question *"is there a network with
+//! `d` gates realizing `f`?"* is posed to the configured engine; `d` is
+//! incremented on every UNSAT answer. The first SAT answer is minimal by
+//! construction.
+
+use crate::bdd_engine::BddEngine;
+use crate::error::SynthesisError;
+use crate::options::{Engine, SynthesisOptions};
+use crate::qbf_engine::QbfEngine;
+use crate::sat_engine::SatEngine;
+use crate::solutions::SolutionSet;
+use qsyn_revlogic::Spec;
+use std::time::{Duration, Instant};
+
+/// Answer of one per-depth oracle call.
+#[derive(Clone, Debug)]
+pub enum DepthOutcome {
+    /// No `d`-gate realization exists.
+    Unsat,
+    /// Realizations found.
+    Sat(SolutionSet),
+}
+
+/// Per-depth oracle: the common face of the three engines.
+///
+/// Depths must be queried in ascending order (the incremental BDD engine
+/// relies on it).
+pub trait DepthSolver {
+    /// Engine label for reports.
+    fn name(&self) -> &'static str;
+
+    /// Decides depth `d`.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError`] when a resource budget is exhausted.
+    fn solve_depth(&mut self, d: u32) -> Result<Option<SolutionSet>, SynthesisError>;
+}
+
+impl DepthSolver for BddEngine {
+    fn name(&self) -> &'static str {
+        "BDD"
+    }
+
+    fn solve_depth(&mut self, d: u32) -> Result<Option<SolutionSet>, SynthesisError> {
+        BddEngine::solve_depth(self, d)
+    }
+}
+
+impl DepthSolver for QbfEngine {
+    fn name(&self) -> &'static str {
+        "QBF"
+    }
+
+    fn solve_depth(&mut self, d: u32) -> Result<Option<SolutionSet>, SynthesisError> {
+        QbfEngine::solve_depth(self, d)
+    }
+}
+
+impl DepthSolver for SatEngine {
+    fn name(&self) -> &'static str {
+        "SAT"
+    }
+
+    fn solve_depth(&mut self, d: u32) -> Result<Option<SolutionSet>, SynthesisError> {
+        SatEngine::solve_depth(self, d)
+    }
+}
+
+/// Result of a successful synthesis run.
+#[derive(Clone, Debug)]
+pub struct SynthesisResult {
+    solutions: SolutionSet,
+    depth: u32,
+    engine: &'static str,
+    depth_times: Vec<Duration>,
+    total_time: Duration,
+}
+
+impl SynthesisResult {
+    /// Minimal number of gates (the `D` column of the paper's tables).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// All minimal realizations found (all of them for the BDD engine, one
+    /// for QBF/SAT).
+    pub fn solutions(&self) -> &SolutionSet {
+        &self.solutions
+    }
+
+    /// Label of the engine that produced the result.
+    pub fn engine(&self) -> &'static str {
+        self.engine
+    }
+
+    /// Wall-clock time spent on each depth `0..=depth`.
+    pub fn depth_times(&self) -> &[Duration] {
+        &self.depth_times
+    }
+
+    /// Total wall-clock time (the `TIME` column of the paper's tables).
+    pub fn total_time(&self) -> Duration {
+        self.total_time
+    }
+}
+
+/// A sound lower bound on the minimal gate count: every output line whose
+/// function differs from its input projection must be targeted by at least
+/// one gate, and a gate of the library targets at most `t` lines (1 for
+/// MCT, 2 once Fredkin or Peres gates are allowed). Hence
+/// `D ≥ ⌈differing / t⌉`. Iterative deepening may start there instead of
+/// at 0 without losing minimality.
+pub fn depth_lower_bound(spec: &Spec, options: &SynthesisOptions) -> u32 {
+    let n = spec.lines();
+    let mut differing = 0u32;
+    for l in 0..n {
+        let bit = 1u32 << l;
+        let differs = (0..spec.num_rows() as u32).any(|row| {
+            let r = spec.row(row);
+            r.care & bit != 0 && (r.value ^ row) & bit != 0
+        });
+        if differs {
+            differing += 1;
+        }
+    }
+    let max_targets = if options.library.has_mcf() || options.library.has_peres() {
+        2
+    } else {
+        1
+    };
+    differing.div_ceil(max_targets)
+}
+
+/// Runs the full iterative-deepening flow of Figure 1 with the engine named
+/// in `options`.
+///
+/// # Errors
+///
+/// * [`SynthesisError::SpecTooLarge`] for specifications beyond 8 lines
+///   (the universal-gate table alone would be astronomically large).
+/// * [`SynthesisError::DepthLimitReached`] when `options.max_depth` is
+///   exhausted — every depth up to the cap is then *proven* unrealizable.
+/// * [`SynthesisError::TimeBudgetExceeded`] / [`SynthesisError::ResourceLimit`]
+///   when budgets run out.
+pub fn synthesize(
+    spec: &Spec,
+    options: &SynthesisOptions,
+) -> Result<SynthesisResult, SynthesisError> {
+    match options.engine {
+        Engine::Bdd => {
+            let mut engine = BddEngine::new(spec, options);
+            drive(spec, options, &mut engine)
+        }
+        Engine::Qbf => {
+            let mut engine = QbfEngine::new(spec, options);
+            drive(spec, options, &mut engine)
+        }
+        Engine::Sat => {
+            let mut engine = SatEngine::new(spec, options);
+            drive(spec, options, &mut engine)
+        }
+    }
+}
+
+/// Drives any [`DepthSolver`] through the iterative checks.
+///
+/// # Errors
+///
+/// See [`synthesize`].
+pub fn drive<S: DepthSolver>(
+    spec: &Spec,
+    options: &SynthesisOptions,
+    engine: &mut S,
+) -> Result<SynthesisResult, SynthesisError> {
+    if spec.lines() > 8 {
+        return Err(SynthesisError::SpecTooLarge {
+            lines: spec.lines(),
+        });
+    }
+    let start = Instant::now();
+    let mut depth_times = Vec::new();
+    let first_depth = if options.start_at_lower_bound {
+        depth_lower_bound(spec, options).min(options.max_depth)
+    } else {
+        0
+    };
+    for d in first_depth..=options.max_depth {
+        if let Some(budget) = options.time_budget {
+            if start.elapsed() > budget {
+                return Err(SynthesisError::TimeBudgetExceeded { depth: d });
+            }
+        }
+        let depth_start = Instant::now();
+        let outcome = engine.solve_depth(d)?;
+        depth_times.push(depth_start.elapsed());
+        if let Some(solutions) = outcome {
+            return Ok(SynthesisResult {
+                solutions,
+                depth: d,
+                engine: engine.name(),
+                depth_times,
+                total_time: start.elapsed(),
+            });
+        }
+    }
+    Err(SynthesisError::DepthLimitReached {
+        max_depth: options.max_depth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsyn_revlogic::{GateLibrary, Permutation};
+    use std::time::Duration;
+
+    #[test]
+    fn driver_finds_minimal_depth() {
+        // SWAP needs exactly 3 MCT gates. Both output lines differ from
+        // their inputs, so the lower bound lets the driver start at d = 2.
+        let spec = Spec::from_permutation(&Permutation::from_fn(2, |v| {
+            ((v & 1) << 1) | (v >> 1)
+        }));
+        let options = SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd);
+        assert_eq!(depth_lower_bound(&spec, &options), 2);
+        let r = synthesize(&spec, &options).unwrap();
+        assert_eq!(r.depth(), 3);
+        assert_eq!(r.engine(), "BDD");
+        assert_eq!(r.depth_times().len(), 2); // depths 2..=3
+        assert!(r.total_time() >= *r.depth_times().last().unwrap());
+        // With the bound disabled, every depth from 0 is queried.
+        let r0 = synthesize(&spec, &options.clone().with_lower_bound_start(false)).unwrap();
+        assert_eq!(r0.depth(), 3);
+        assert_eq!(r0.depth_times().len(), 4);
+    }
+
+    #[test]
+    fn lower_bound_accounts_for_two_target_gates_and_dont_cares() {
+        // Fredkin/Peres libraries target two lines per gate.
+        let spec = Spec::from_permutation(&Permutation::from_fn(3, |v| {
+            // rotate all three lines: every line differs.
+            ((v << 1) | (v >> 2)) & 0b111
+        }));
+        let mct = SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd);
+        let all = SynthesisOptions::new(GateLibrary::all(), Engine::Bdd);
+        assert_eq!(depth_lower_bound(&spec, &mct), 3);
+        assert_eq!(depth_lower_bound(&spec, &all), 2);
+        // Don't-care outputs never count as differing.
+        let dc = qsyn_revlogic::benchmarks::random_incomplete_spec(3, 1, 0);
+        assert_eq!(depth_lower_bound(&dc, &mct), 0);
+    }
+
+    #[test]
+    fn depth_limit_is_an_error() {
+        let spec = Spec::from_permutation(&Permutation::from_fn(2, |v| {
+            ((v & 1) << 1) | (v >> 1)
+        }));
+        let err = synthesize(
+            &spec,
+            &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd).with_max_depth(2),
+        )
+        .unwrap_err();
+        assert_eq!(err, SynthesisError::DepthLimitReached { max_depth: 2 });
+    }
+
+    #[test]
+    fn zero_time_budget_trips() {
+        let spec = Spec::from_permutation(&Permutation::identity(2));
+        let err = synthesize(
+            &spec,
+            &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd)
+                .with_time_budget(Duration::ZERO),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SynthesisError::TimeBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn oversized_spec_is_rejected() {
+        let spec = Spec::from_permutation(&Permutation::identity(9));
+        let err = synthesize(
+            &spec,
+            &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd),
+        )
+        .unwrap_err();
+        assert_eq!(err, SynthesisError::SpecTooLarge { lines: 9 });
+    }
+
+    /// A scripted oracle: answers UNSAT until `sat_at`, then SAT.
+    struct MockSolver {
+        sat_at: u32,
+        calls: Vec<u32>,
+    }
+
+    impl DepthSolver for MockSolver {
+        fn name(&self) -> &'static str {
+            "mock"
+        }
+
+        fn solve_depth(&mut self, d: u32) -> Result<Option<SolutionSet>, SynthesisError> {
+            self.calls.push(d);
+            if d >= self.sat_at {
+                let c = qsyn_revlogic::Circuit::from_gates(
+                    1,
+                    std::iter::repeat_n(qsyn_revlogic::Gate::not(0), d as usize),
+                );
+                Ok(Some(SolutionSet::single(c)))
+            } else {
+                Ok(None)
+            }
+        }
+    }
+
+    #[test]
+    fn drive_queries_depths_in_order_and_stops_at_first_sat() {
+        let spec = Spec::from_permutation(&qsyn_revlogic::Permutation::identity(1));
+        let mut mock = MockSolver {
+            sat_at: 4,
+            calls: Vec::new(),
+        };
+        let options =
+            SynthesisOptions::new(GateLibrary::mct(), crate::Engine::Bdd).with_max_depth(10);
+        let r = drive(&spec, &options, &mut mock).unwrap();
+        assert_eq!(r.depth(), 4);
+        assert_eq!(r.engine(), "mock");
+        assert_eq!(mock.calls, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.depth_times().len(), 5);
+    }
+
+    #[test]
+    fn drive_respects_max_depth_with_mock() {
+        let spec = Spec::from_permutation(&qsyn_revlogic::Permutation::identity(1));
+        let mut mock = MockSolver {
+            sat_at: 100,
+            calls: Vec::new(),
+        };
+        let options =
+            SynthesisOptions::new(GateLibrary::mct(), crate::Engine::Bdd).with_max_depth(3);
+        let err = drive(&spec, &options, &mut mock).unwrap_err();
+        assert_eq!(err, SynthesisError::DepthLimitReached { max_depth: 3 });
+        assert_eq!(mock.calls, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn all_three_engines_agree_on_minimal_depth() {
+        let spec = Spec::from_permutation(&Permutation::from_map(2, vec![3, 0, 1, 2]));
+        let mut depths = Vec::new();
+        for engine in [Engine::Bdd, Engine::Qbf, Engine::Sat] {
+            let r = synthesize(
+                &spec,
+                &SynthesisOptions::new(GateLibrary::mct(), engine),
+            )
+            .unwrap();
+            assert!(spec.is_realized_by(&r.solutions().circuits()[0]));
+            depths.push(r.depth());
+        }
+        assert_eq!(depths[0], depths[1]);
+        assert_eq!(depths[0], depths[2]);
+    }
+}

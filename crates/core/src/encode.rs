@@ -1,0 +1,105 @@
+//! Shared pieces of the universal-gate encoding (Definition 2 of the
+//! paper): gate-select dimensioning and select-index decoding.
+
+use qsyn_revlogic::{Circuit, Gate};
+
+/// Number of gate-select inputs `⌈log₂ q⌉` for a library of `q` gates.
+/// A single-gate library needs no select input.
+pub(crate) fn select_bits(q: usize) -> u32 {
+    assert!(q > 0, "empty gate library");
+    usize::BITS - (q - 1).leading_zeros().min(usize::BITS)
+}
+
+/// The gate a select index `k` denotes: `gates[k]` for `k < q`, identity
+/// (`None`) for the padding slots `q ≤ k < 2^s` (Definition 2 extends `G`
+/// with identity gates when `q` is not a power of two).
+pub(crate) fn gate_for_index(gates: &[Gate], k: usize) -> Option<&Gate> {
+    gates.get(k)
+}
+
+/// Decodes one level's select-bit assignment into an index.
+/// `bits[b]` is the value of `y_{i,b}` (LSB first).
+pub(crate) fn index_from_bits(bits: &[bool]) -> usize {
+    bits.iter()
+        .enumerate()
+        .fold(0usize, |acc, (b, &v)| acc | (usize::from(v) << b))
+}
+
+/// Reconstructs a circuit from a full assignment to all `d·s` select
+/// variables (level-major, LSB first within a level). Identity slots are
+/// skipped.
+pub(crate) fn decode_circuit(
+    lines: u32,
+    gates: &[Gate],
+    sbits: u32,
+    assignment: &[bool],
+) -> Circuit {
+    let mut c = Circuit::new(lines);
+    if sbits == 0 {
+        // Single-gate library: the number of levels cannot be recovered
+        // from an empty assignment; callers handle this case themselves.
+        return c;
+    }
+    assert_eq!(
+        assignment.len() % sbits as usize,
+        0,
+        "assignment length must be a multiple of the select width"
+    );
+    for level in assignment.chunks(sbits as usize) {
+        let k = index_from_bits(level);
+        if let Some(g) = gate_for_index(gates, k) {
+            c.push(*g);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsyn_revlogic::GateLibrary;
+
+    #[test]
+    fn select_bits_is_ceil_log2() {
+        assert_eq!(select_bits(1), 0);
+        assert_eq!(select_bits(2), 1);
+        assert_eq!(select_bits(3), 2);
+        assert_eq!(select_bits(4), 2);
+        assert_eq!(select_bits(5), 3);
+        assert_eq!(select_bits(12), 4);
+        assert_eq!(select_bits(24), 5);
+        assert_eq!(select_bits(64), 6);
+        assert_eq!(select_bits(65), 7);
+    }
+
+    #[test]
+    fn index_round_trips_through_bits() {
+        for k in 0usize..16 {
+            let bits: Vec<bool> = (0..4).map(|b| (k >> b) & 1 == 1).collect();
+            assert_eq!(index_from_bits(&bits), k);
+        }
+    }
+
+    #[test]
+    fn padding_slots_are_identity() {
+        let gates = GateLibrary::mct().enumerate(3); // 12 gates, 16 slots
+        assert_eq!(select_bits(gates.len()), 4);
+        assert!(gate_for_index(&gates, 11).is_some());
+        assert!(gate_for_index(&gates, 12).is_none());
+        assert!(gate_for_index(&gates, 15).is_none());
+    }
+
+    #[test]
+    fn decode_skips_identity_slots() {
+        let gates = GateLibrary::mct().enumerate(3);
+        let sbits = select_bits(gates.len());
+        // Level 1 selects gate 0, level 2 selects slot 15 (identity).
+        let mut assignment = vec![false; (sbits * 2) as usize];
+        for b in sbits..2 * sbits {
+            assignment[b as usize] = true;
+        }
+        let c = decode_circuit(3, &gates, sbits, &assignment);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.gates()[0], gates[0]);
+    }
+}

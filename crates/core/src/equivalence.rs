@@ -1,0 +1,258 @@
+//! Equivalence checking of reversible circuits.
+//!
+//! A companion technique from the same research group ("Equivalence
+//! Checking of Reversible Circuits"): two cascades are functionally
+//! equivalent iff their output functions agree on every input. Three
+//! decision procedures are provided, mirroring the synthesis engines:
+//!
+//! * [`equivalent_bdd`] — build both circuits' output BDDs over shared
+//!   input variables; by canonicity, equivalence is handle equality.
+//! * [`counterexample_sat`] — a *miter*: both netlists are
+//!   Tseitin-transformed over shared inputs and the CDCL solver searches
+//!   for an input where some output differs.
+//! * [`Circuit::equivalent`] (in `qsyn-revlogic`) — exhaustive simulation,
+//!   the reference the other two are tested against.
+
+use qsyn_bdd::{Bdd, Manager};
+use qsyn_revlogic::{Circuit, Gate};
+use qsyn_sat::{CnfBuilder, Lit, SolveResult, Solver};
+
+/// Symbolically executes a cascade on a vector of BDDs.
+fn run_circuit_bdd(m: &mut Manager, circuit: &Circuit, inputs: &[Bdd]) -> Vec<Bdd> {
+    let mut state = inputs.to_vec();
+    for g in circuit.gates() {
+        match *g {
+            Gate::Toffoli {
+                controls,
+                negative_controls,
+                target,
+            } => {
+                let mut cond = {
+                    let parts: Vec<Bdd> =
+                        controls.iter().map(|c| state[c as usize]).collect();
+                    m.and_all(parts)
+                };
+                for c in negative_controls.iter() {
+                    let nc = m.not(state[c as usize]);
+                    cond = m.and(cond, nc);
+                }
+                state[target as usize] = m.xor(state[target as usize], cond);
+            }
+            Gate::Fredkin { controls, targets } => {
+                let parts: Vec<Bdd> = controls.iter().map(|c| state[c as usize]).collect();
+                let cond = m.and_all(parts);
+                let a = state[targets.0 as usize];
+                let b = state[targets.1 as usize];
+                state[targets.0 as usize] = m.ite(cond, b, a);
+                state[targets.1 as usize] = m.ite(cond, a, b);
+            }
+            Gate::Peres { control, targets } => {
+                let c = state[control as usize];
+                let a = state[targets.0 as usize];
+                let b = state[targets.1 as usize];
+                state[targets.0 as usize] = m.xor(c, a);
+                let ca = m.and(c, a);
+                state[targets.1 as usize] = m.xor(ca, b);
+            }
+        }
+    }
+    state
+}
+
+/// BDD-based equivalence check: both circuits' outputs are built over the
+/// same input variables; canonicity reduces equivalence to handle equality
+/// per line.
+///
+/// # Panics
+///
+/// Panics if the circuits have different line counts.
+pub fn equivalent_bdd(c1: &Circuit, c2: &Circuit) -> bool {
+    assert_eq!(c1.lines(), c2.lines(), "line counts differ");
+    let n = c1.lines();
+    let mut m = Manager::new(n);
+    let inputs: Vec<Bdd> = (0..n).map(|v| m.var(v)).collect();
+    let out1 = run_circuit_bdd(&mut m, c1, &inputs);
+    let out2 = run_circuit_bdd(&mut m, c2, &inputs);
+    out1 == out2
+}
+
+/// Symbolically executes a cascade on a vector of literals in a CNF
+/// builder.
+fn run_circuit_netlist(b: &mut CnfBuilder, circuit: &Circuit, inputs: &[Lit]) -> Vec<Lit> {
+    let mut state = inputs.to_vec();
+    for g in circuit.gates() {
+        match *g {
+            Gate::Toffoli {
+                controls,
+                negative_controls,
+                target,
+            } => {
+                let ctrl: Vec<Lit> = controls
+                    .iter()
+                    .map(|c| state[c as usize])
+                    .chain(negative_controls.iter().map(|c| !state[c as usize]))
+                    .collect();
+                let cond = b.and_all(&ctrl);
+                state[target as usize] = b.xor(state[target as usize], cond);
+            }
+            Gate::Fredkin { controls, targets } => {
+                let ctrl: Vec<Lit> = controls.iter().map(|c| state[c as usize]).collect();
+                let cond = b.and_all(&ctrl);
+                let a = state[targets.0 as usize];
+                let t = state[targets.1 as usize];
+                state[targets.0 as usize] = b.mux(cond, t, a);
+                state[targets.1 as usize] = b.mux(cond, a, t);
+            }
+            Gate::Peres { control, targets } => {
+                let c = state[control as usize];
+                let a = state[targets.0 as usize];
+                let t = state[targets.1 as usize];
+                state[targets.0 as usize] = b.xor(c, a);
+                let ca = b.and(c, a);
+                state[targets.1 as usize] = b.xor(ca, t);
+            }
+        }
+    }
+    state
+}
+
+/// SAT-based miter check: returns `None` if the circuits are equivalent,
+/// or `Some(input)` — a packed input assignment on which some output
+/// differs.
+///
+/// # Panics
+///
+/// Panics if the circuits have different line counts.
+pub fn counterexample_sat(c1: &Circuit, c2: &Circuit) -> Option<u32> {
+    assert_eq!(c1.lines(), c2.lines(), "line counts differ");
+    let n = c1.lines();
+    let mut b = CnfBuilder::new(n);
+    let inputs: Vec<Lit> = (0..n).map(|l| b.input(l)).collect();
+    let out1 = run_circuit_netlist(&mut b, c1, &inputs);
+    let out2 = run_circuit_netlist(&mut b, c2, &inputs);
+    let diffs: Vec<Lit> = out1
+        .iter()
+        .zip(&out2)
+        .map(|(&a, &c)| b.xor(a, c))
+        .collect();
+    let any_diff = b.or_all(&diffs);
+    b.assert_lit(any_diff);
+    let mut solver = Solver::from_formula(b.formula());
+    match solver.solve() {
+        SolveResult::Unsat => None,
+        SolveResult::Sat(model) => {
+            let mut input = 0u32;
+            for l in 0..n {
+                if model[l as usize] {
+                    input |= 1 << l;
+                }
+            }
+            Some(input)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsyn_revlogic::LineSet;
+
+    fn peres_circuit() -> Circuit {
+        Circuit::from_gates(3, [Gate::peres(0, 1, 2)])
+    }
+
+    fn peres_expansion() -> Circuit {
+        Circuit::from_gates(
+            3,
+            [
+                Gate::toffoli(LineSet::from_iter([0, 1]), 2),
+                Gate::cnot(0, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn peres_equals_its_expansion() {
+        let (p, e) = (peres_circuit(), peres_expansion());
+        assert!(p.equivalent(&e));
+        assert!(equivalent_bdd(&p, &e));
+        assert_eq!(counterexample_sat(&p, &e), None);
+    }
+
+    #[test]
+    fn different_circuits_are_caught_with_counterexample() {
+        let p = peres_circuit();
+        let almost = Circuit::from_gates(
+            3,
+            [
+                Gate::toffoli(LineSet::from_iter([0, 1]), 2),
+                Gate::cnot(1, 0), // wrong direction
+            ],
+        );
+        assert!(!p.equivalent(&almost));
+        assert!(!equivalent_bdd(&p, &almost));
+        let cex = counterexample_sat(&p, &almost).expect("must find a witness");
+        assert_ne!(p.simulate(cex), almost.simulate(cex));
+    }
+
+    #[test]
+    fn identity_checks() {
+        let empty = Circuit::new(4);
+        let nop = Circuit::from_gates(4, [Gate::not(2), Gate::not(2)]);
+        assert!(equivalent_bdd(&empty, &nop));
+        assert_eq!(counterexample_sat(&empty, &nop), None);
+        let not_nop = Circuit::from_gates(4, [Gate::not(2)]);
+        assert!(!equivalent_bdd(&empty, &not_nop));
+        assert!(counterexample_sat(&empty, &not_nop).is_some());
+    }
+
+    #[test]
+    fn all_three_procedures_agree_on_random_pairs() {
+        use qsyn_revlogic::GateLibrary;
+        let gates = GateLibrary::all().with_mixed_polarity().enumerate(3);
+        // Deterministic pseudo-random circuit pairs.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..30 {
+            let mk = |len: u64, next: &mut dyn FnMut() -> u64| {
+                Circuit::from_gates(
+                    3,
+                    (0..len).map(|_| gates[(next() % gates.len() as u64) as usize]),
+                )
+            };
+            let c1 = mk(1 + next() % 4, &mut next);
+            let c2 = mk(1 + next() % 4, &mut next);
+            let sim = c1.equivalent(&c2);
+            assert_eq!(equivalent_bdd(&c1, &c2), sim);
+            assert_eq!(counterexample_sat(&c1, &c2).is_none(), sim);
+        }
+    }
+
+    #[test]
+    fn inverse_composition_is_identity_by_all_checks() {
+        let c = Circuit::from_gates(
+            3,
+            [
+                Gate::peres(2, 0, 1),
+                Gate::fredkin(LineSet::from_iter([0]), 1, 2),
+                Gate::toffoli_mixed(LineSet::from_iter([1]), LineSet::from_iter([0]), 2),
+            ],
+        );
+        let mut both = c.clone();
+        both.extend_with(&c.inverse());
+        let empty = Circuit::new(3);
+        assert!(equivalent_bdd(&both, &empty));
+        assert_eq!(counterexample_sat(&both, &empty), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "line counts differ")]
+    fn mismatched_lines_panic() {
+        let _ = equivalent_bdd(&Circuit::new(2), &Circuit::new(3));
+    }
+}

@@ -1,0 +1,96 @@
+//! Synthesis errors.
+
+/// Reasons a synthesis run can fail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// No realization was found up to the configured depth cap.
+    DepthLimitReached {
+        /// The exhausted cap (every depth `0..=max_depth` is proven
+        /// unrealizable).
+        max_depth: u32,
+    },
+    /// A per-depth resource budget (BDD nodes, solver conflicts) ran out.
+    ResourceLimit {
+        /// Depth being solved when the budget ran out.
+        depth: u32,
+        /// Which budget was exhausted.
+        what: &'static str,
+    },
+    /// The wall-clock budget ran out between depths.
+    TimeBudgetExceeded {
+        /// First depth that was *not* fully solved.
+        depth: u32,
+    },
+    /// The specification's line count exceeds what exact synthesis
+    /// supports here.
+    SpecTooLarge {
+        /// Offending line count.
+        lines: u32,
+    },
+}
+
+impl SynthesisError {
+    /// The depth at which the run stopped, where applicable.
+    pub fn depth(&self) -> Option<u32> {
+        match *self {
+            SynthesisError::DepthLimitReached { max_depth } => Some(max_depth),
+            SynthesisError::ResourceLimit { depth, .. }
+            | SynthesisError::TimeBudgetExceeded { depth } => Some(depth),
+            SynthesisError::SpecTooLarge { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::DepthLimitReached { max_depth } => {
+                write!(f, "no realization with at most {max_depth} gates")
+            }
+            SynthesisError::ResourceLimit { depth, what } => {
+                write!(f, "{what} budget exhausted while solving depth {depth}")
+            }
+            SynthesisError::TimeBudgetExceeded { depth } => {
+                write!(f, "time budget exceeded before finishing depth {depth}")
+            }
+            SynthesisError::SpecTooLarge { lines } => {
+                write!(f, "specification with {lines} lines is too large for exact synthesis")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SynthesisError::DepthLimitReached { max_depth: 4 }
+            .to_string()
+            .contains("4 gates"));
+        assert!(SynthesisError::ResourceLimit {
+            depth: 3,
+            what: "BDD node"
+        }
+        .to_string()
+        .contains("depth 3"));
+        assert!(SynthesisError::TimeBudgetExceeded { depth: 2 }
+            .to_string()
+            .contains("time budget"));
+        assert!(SynthesisError::SpecTooLarge { lines: 20 }
+            .to_string()
+            .contains("20 lines"));
+    }
+
+    #[test]
+    fn depth_accessor() {
+        assert_eq!(
+            SynthesisError::DepthLimitReached { max_depth: 7 }.depth(),
+            Some(7)
+        );
+        assert_eq!(SynthesisError::SpecTooLarge { lines: 20 }.depth(), None);
+    }
+}

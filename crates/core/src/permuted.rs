@@ -1,0 +1,280 @@
+//! Synthesis with output permutation — the follow-up direction of the same
+//! group ("Reversible Logic Synthesis with Output Permutation"): since
+//! output lines are just signal names, a realization is also acceptable if
+//! its outputs match the specification *up to a permutation of the lines*.
+//! Exploiting this freedom often saves gates (a SWAP costs three CNOTs if
+//! it has to be realized, but nothing if it can be absorbed into the
+//! output labeling).
+//!
+//! The implementation follows the iterative-deepening flow of Figure 1,
+//! but each depth is checked against every line permutation of the
+//! specification (the search is minimal in the gate count, and among the
+//! depth-minimal options the identity permutation is preferred).
+
+use crate::driver::{drive, SynthesisResult};
+use crate::error::SynthesisError;
+use crate::options::{Engine, SynthesisOptions};
+use crate::{BddEngine, DepthSolver, QbfEngine, SatEngine};
+use qsyn_revlogic::{Spec, SpecError};
+
+/// A successful output-permutation synthesis.
+#[derive(Clone, Debug)]
+pub struct PermutedSynthesisResult {
+    /// The synthesis result for the permuted specification.
+    pub result: SynthesisResult,
+    /// `permutation[j]` = circuit output line that drives specification
+    /// line `j` (identity when no permutation was needed).
+    pub permutation: Vec<u32>,
+}
+
+impl PermutedSynthesisResult {
+    /// `true` if the identity permutation was used.
+    pub fn is_identity_permutation(&self) -> bool {
+        self.permutation.iter().enumerate().all(|(i, &p)| i as u32 == p)
+    }
+}
+
+/// All permutations of `0..n` in lexicographic order (identity first).
+fn permutations(n: u32) -> Vec<Vec<u32>> {
+    let mut all = Vec::new();
+    let mut current: Vec<u32> = (0..n).collect();
+    let mut used = vec![false; n as usize];
+    fn rec(
+        n: u32,
+        pos: usize,
+        current: &mut Vec<u32>,
+        used: &mut Vec<bool>,
+        all: &mut Vec<Vec<u32>>,
+    ) {
+        if pos == n as usize {
+            all.push(current.clone());
+            return;
+        }
+        for v in 0..n {
+            if !used[v as usize] {
+                used[v as usize] = true;
+                current[pos] = v;
+                rec(n, pos + 1, current, used, all);
+                used[v as usize] = false;
+            }
+        }
+    }
+    rec(n, 0, &mut current, &mut used, &mut all);
+    all
+}
+
+/// The specification a circuit must meet so that wiring its output line
+/// `permutation[j]` to specification line `j` realizes `spec`.
+///
+/// # Errors
+///
+/// [`SpecError`] if the permuted table is detectably unrealizable (cannot
+/// happen for permutations of realizable specs; surfaced for robustness).
+pub fn permute_spec(spec: &Spec, permutation: &[u32]) -> Result<Spec, SpecError> {
+    let n = spec.lines();
+    assert_eq!(permutation.len(), n as usize, "permutation length mismatch");
+    let rows = (0..spec.num_rows() as u32)
+        .map(|i| {
+            let r = spec.row(i);
+            let mut value = 0u32;
+            let mut care = 0u32;
+            for (j, &p) in permutation.iter().enumerate() {
+                let bit = 1u32 << j;
+                if r.care & bit != 0 {
+                    care |= 1 << p;
+                    value |= ((r.value >> j) & 1) << p;
+                }
+            }
+            qsyn_revlogic::SpecRow { value, care }
+        })
+        .collect();
+    Spec::new_incomplete(n, rows)
+}
+
+/// Iterative-deepening synthesis over all output permutations: returns a
+/// gate-count-minimal circuit together with the permutation under which it
+/// realizes `spec`.
+///
+/// The returned depth is ≤ the plain [`crate::synthesize`] depth — output
+/// relabeling can only help.
+///
+/// # Errors
+///
+/// As for [`crate::synthesize`]. The depth/time budgets apply to the run
+/// as a whole.
+pub fn synthesize_with_output_permutation(
+    spec: &Spec,
+    options: &SynthesisOptions,
+) -> Result<PermutedSynthesisResult, SynthesisError> {
+    if spec.lines() > 8 {
+        return Err(SynthesisError::SpecTooLarge {
+            lines: spec.lines(),
+        });
+    }
+    let perms = permutations(spec.lines());
+    // One engine per permutation so the incremental BDD state is reused
+    // across depths within each permutation.
+    let mut candidates: Vec<(Vec<u32>, Spec)> = perms
+        .into_iter()
+        .filter_map(|p| permute_spec(spec, &p).ok().map(|s| (p, s)))
+        .collect();
+    // Per-permutation single-depth probing, all permutations advancing in
+    // lock-step so the first hit is depth-minimal.
+    let mut engines: Vec<Box<dyn DepthSolver>> = candidates
+        .iter()
+        .map(|(_, s)| -> Box<dyn DepthSolver> {
+            match options.engine {
+                Engine::Bdd => Box::new(BddEngine::new(s, options)),
+                Engine::Qbf => Box::new(QbfEngine::new(s, options)),
+                Engine::Sat => Box::new(SatEngine::new(s, options)),
+            }
+        })
+        .collect();
+    let start = std::time::Instant::now();
+    for d in 0..=options.max_depth {
+        if let Some(budget) = options.time_budget {
+            if start.elapsed() > budget {
+                return Err(SynthesisError::TimeBudgetExceeded { depth: d });
+            }
+        }
+        for (idx, engine) in engines.iter_mut().enumerate() {
+            if let Some(solutions) = engine.solve_depth(d)? {
+                let (permutation, permuted_spec) = candidates.swap_remove(idx);
+                // Re-run the stock driver on the winning spec to get a
+                // fully-populated result (timings, engine label); its
+                // minimal depth is d by construction.
+                let result = {
+                    let mut capped = options.clone();
+                    capped.max_depth = d;
+                    drive_one(&permuted_spec, &capped, options.engine)?
+                };
+                debug_assert_eq!(result.depth(), d);
+                let _ = solutions;
+                return Ok(PermutedSynthesisResult {
+                    result,
+                    permutation,
+                });
+            }
+        }
+    }
+    Err(SynthesisError::DepthLimitReached {
+        max_depth: options.max_depth,
+    })
+}
+
+fn drive_one(
+    spec: &Spec,
+    options: &SynthesisOptions,
+    engine: Engine,
+) -> Result<SynthesisResult, SynthesisError> {
+    match engine {
+        Engine::Bdd => {
+            let mut e = BddEngine::new(spec, options);
+            drive(spec, options, &mut e)
+        }
+        Engine::Qbf => {
+            let mut e = QbfEngine::new(spec, options);
+            drive(spec, options, &mut e)
+        }
+        Engine::Sat => {
+            let mut e = SatEngine::new(spec, options);
+            drive(spec, options, &mut e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::Engine;
+    use qsyn_revlogic::{GateLibrary, Permutation};
+
+    fn opts() -> SynthesisOptions {
+        SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd).with_max_depth(8)
+    }
+
+    #[test]
+    fn permutations_enumerate_factorially() {
+        assert_eq!(permutations(1).len(), 1);
+        assert_eq!(permutations(2).len(), 2);
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(4).len(), 24);
+        assert_eq!(permutations(2)[0], vec![0, 1]); // identity first
+    }
+
+    #[test]
+    fn swap_becomes_free_with_output_permutation() {
+        // SWAP needs 3 CNOTs normally, 0 gates with output relabeling.
+        let spec = Spec::from_permutation(&Permutation::from_fn(2, |v| {
+            ((v & 1) << 1) | (v >> 1)
+        }));
+        let plain = crate::synthesize(&spec, &opts()).unwrap();
+        assert_eq!(plain.depth(), 3);
+        let permuted = synthesize_with_output_permutation(&spec, &opts()).unwrap();
+        assert_eq!(permuted.result.depth(), 0);
+        assert!(!permuted.is_identity_permutation());
+        assert_eq!(permuted.permutation, vec![1, 0]);
+    }
+
+    #[test]
+    fn identity_permutation_preferred_when_depths_tie() {
+        // CNOT: already minimal at depth 1 with identity labeling.
+        let spec = Spec::from_permutation(&Permutation::from_fn(2, |v| {
+            v ^ ((v & 1) << 1)
+        }));
+        let permuted = synthesize_with_output_permutation(&spec, &opts()).unwrap();
+        assert_eq!(permuted.result.depth(), 1);
+        assert!(permuted.is_identity_permutation());
+    }
+
+    #[test]
+    fn permuted_depth_never_exceeds_plain_depth() {
+        use qsyn_revlogic::benchmarks::random_permutation;
+        for seed in 0..5u64 {
+            let spec = Spec::from_permutation(&random_permutation(2, seed + 11));
+            let plain = crate::synthesize(&spec, &opts()).unwrap();
+            let permuted = synthesize_with_output_permutation(&spec, &opts()).unwrap();
+            assert!(
+                permuted.result.depth() <= plain.depth(),
+                "seed {seed}: {} > {}",
+                permuted.result.depth(),
+                plain.depth()
+            );
+        }
+    }
+
+    #[test]
+    fn solutions_realize_the_permuted_spec() {
+        let spec = Spec::from_permutation(&Permutation::from_map(2, vec![2, 0, 3, 1]));
+        let permuted = synthesize_with_output_permutation(&spec, &opts()).unwrap();
+        let pspec = permute_spec(&spec, &permuted.permutation).unwrap();
+        for c in permuted.result.solutions().circuits() {
+            assert!(pspec.is_realized_by(c));
+            // And routing output line permutation[j] to spec line j yields
+            // the original function on every cared bit.
+            for row in 0..spec.num_rows() as u32 {
+                let out = c.simulate(row);
+                let r = spec.row(row);
+                for (j, &p) in permuted.permutation.iter().enumerate() {
+                    let bit = 1u32 << j;
+                    if r.care & bit != 0 {
+                        assert_eq!(
+                            (out >> p) & 1,
+                            (r.value >> j) & 1,
+                            "row {row} line {j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permute_spec_roundtrip_under_inverse() {
+        let spec = Spec::from_permutation(&Permutation::from_map(2, vec![2, 0, 3, 1]));
+        let p = vec![1u32, 0];
+        let permuted = permute_spec(&spec, &p).unwrap();
+        let back = permute_spec(&permuted, &p).unwrap();
+        assert_eq!(back.rows(), spec.rows());
+    }
+}

@@ -1,0 +1,421 @@
+//! The row-wise SAT baseline (Section 3 of the paper; the approach of
+//! [9]/[22] that quantified synthesis improves on).
+//!
+//! The cascade constraints are instantiated **once per truth-table row**:
+//! for each of the `2ⁿ` input rows, a separate copy of the `d`-level
+//! network is built over row-specific value literals, all sharing the
+//! gate-select variables. The instance therefore grows exponentially with
+//! the number of lines — exactly the weakness the QBF formulation removes.
+//!
+//! Two gate-select encodings are provided: one-hot (as in the original
+//! exact SAT synthesis [9]) and binary (the improvement direction of [22]).
+
+use crate::encode::{decode_circuit, select_bits};
+use crate::error::SynthesisError;
+use crate::options::{SatSelectEncoding, SynthesisOptions};
+use crate::solutions::SolutionSet;
+use qsyn_sat::{CnfBuilder, Lit, SolveResult, Solver};
+use qsyn_revlogic::{Circuit, Gate, Spec};
+
+/// SAT-baseline depth oracle; see the module docs.
+pub struct SatEngine {
+    spec: Spec,
+    options: SynthesisOptions,
+    gates: Vec<Gate>,
+    sbits: u32,
+    /// Size (vars, clauses) of the last generated instance.
+    last_instance_size: (u32, usize),
+}
+
+impl std::fmt::Debug for SatEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SatEngine")
+            .field("lines", &self.spec.lines())
+            .field("gates", &self.gates.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Which literals select each gate at one level.
+enum Selects {
+    /// `one_hot[k]` true ⇔ gate `k` chosen.
+    OneHot(Vec<Lit>),
+    /// Binary-encoded index, LSB first.
+    Binary(Vec<Lit>),
+}
+
+impl SatEngine {
+    /// Prepares an engine for `spec` under `options`.
+    pub fn new(spec: &Spec, options: &SynthesisOptions) -> SatEngine {
+        let gates = options.library.enumerate(spec.lines());
+        let sbits = select_bits(gates.len());
+        SatEngine {
+            spec: spec.clone(),
+            options: options.clone(),
+            gates,
+            sbits,
+            last_instance_size: (0, 0),
+        }
+    }
+
+    /// Size `(variables, clauses)` of the most recently generated instance
+    /// — grows with `2ⁿ`, unlike the QBF engine's.
+    pub fn last_instance_size(&self) -> (u32, usize) {
+        self.last_instance_size
+    }
+
+    /// Select-variable block width per level under the configured encoding.
+    fn select_width(&self) -> u32 {
+        match self.options.sat_encoding {
+            SatSelectEncoding::OneHot => self.gates.len() as u32,
+            SatSelectEncoding::Binary => self.sbits,
+        }
+    }
+
+    /// Builds the row-wise instance for depth `d`.
+    pub fn encode(&self, d: u32) -> qsyn_sat::CnfFormula {
+        let q = self.gates.len();
+        let n = self.spec.lines();
+        // Select variables, shared across all rows.
+        let select_width = self.select_width();
+        let mut b = CnfBuilder::new(d * select_width);
+        let mut levels: Vec<Selects> = Vec::with_capacity(d as usize);
+        for level in 0..d {
+            let base = level * select_width;
+            let lits: Vec<Lit> = (base..base + select_width).map(|i| b.input(i)).collect();
+            match self.options.sat_encoding {
+                SatSelectEncoding::OneHot => {
+                    b.assert_at_least_one(&lits);
+                    b.assert_at_most_one(&lits);
+                    levels.push(Selects::OneHot(lits));
+                }
+                SatSelectEncoding::Binary => {
+                    // Forbid the identity padding slots ≥ q (a minimal-depth
+                    // network never uses them, and excluding them keeps the
+                    // two encodings equivalent).
+                    forbid_padding(&mut b, &lits, q);
+                    levels.push(Selects::Binary(lits));
+                }
+            }
+        }
+        // One copy of the cascade per truth-table row — the exponential
+        // part of this encoding.
+        for row in 0..self.spec.num_rows() as u32 {
+            let spec_row = self.spec.row(row);
+            if spec_row.care == 0 {
+                continue; // fully unconstrained row adds nothing
+            }
+            let mut state: Vec<Lit> = (0..n)
+                .map(|l| {
+                    if (row >> l) & 1 == 1 {
+                        b.constant_true()
+                    } else {
+                        b.constant_false()
+                    }
+                })
+                .collect();
+            for sel in &levels {
+                state = self.level_outputs(&mut b, &state, sel);
+            }
+            for l in 0..n {
+                let bit = 1u32 << l;
+                if spec_row.care & bit != 0 {
+                    let lit = state[l as usize];
+                    b.assert_lit(if spec_row.value & bit != 0 { lit } else { !lit });
+                }
+            }
+        }
+
+        b.into_formula()
+    }
+
+    /// Decides whether a `d`-gate realization exists.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::ResourceLimit`] when the conflict budget runs out.
+    pub fn solve_depth(&mut self, d: u32) -> Result<Option<SolutionSet>, SynthesisError> {
+        let formula = self.encode(d);
+        self.last_instance_size = (formula.num_vars(), formula.len());
+        let mut solver = Solver::from_formula(&formula);
+        solver.set_conflict_budget(self.options.conflict_limit);
+        match solver.solve_limited() {
+            None => Err(SynthesisError::ResourceLimit {
+                depth: d,
+                what: "SAT conflict",
+            }),
+            Some(SolveResult::Unsat) => Ok(None),
+            Some(SolveResult::Sat(model)) => {
+                let circuit = self.decode(d, self.select_width(), &model);
+                debug_assert!(
+                    self.spec.is_realized_by(&circuit),
+                    "SAT model decodes to a circuit violating the spec"
+                );
+                Ok(Some(SolutionSet::single(circuit)))
+            }
+        }
+    }
+
+    /// Produces a **checkable refutation** of "a `d`-gate realization
+    /// exists": the row-wise instance for depth `d` together with a clausal
+    /// proof of its unsatisfiability (verify with
+    /// [`qsyn_sat::proof::check_rup`]). Returns `None` when depth `d` is in
+    /// fact realizable. Running this for every `d` below a synthesis
+    /// result's depth yields a machine-checkable minimality certificate.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::ResourceLimit`] when the conflict budget runs out.
+    pub fn refutation_for_depth(
+        &mut self,
+        d: u32,
+    ) -> Result<Option<(qsyn_sat::CnfFormula, qsyn_sat::proof::Proof)>, SynthesisError> {
+        let formula = self.encode(d);
+        let mut solver = Solver::from_formula(&formula);
+        solver.set_conflict_budget(self.options.conflict_limit);
+        solver.enable_proof_logging();
+        match solver.solve_limited() {
+            None => Err(SynthesisError::ResourceLimit {
+                depth: d,
+                what: "SAT conflict",
+            }),
+            Some(SolveResult::Sat(_)) => Ok(None),
+            Some(SolveResult::Unsat) => {
+                let proof = solver.take_proof().expect("logging enabled");
+                Ok(Some((formula, proof)))
+            }
+        }
+    }
+
+    /// Applies one universal-gate level to a row's state literals.
+    fn level_outputs(&self, b: &mut CnfBuilder, state: &[Lit], sel: &Selects) -> Vec<Lit> {
+        let n = state.len();
+        match sel {
+            Selects::OneHot(one_hot) => {
+                // out_j = OR_k (o_k ∧ gate_k(state)_j), encoded implication-
+                // wise: o_k → (out_j ↔ gate_k_out_j).
+                let mut slot_outs: Vec<Vec<Lit>> = vec![state.to_vec(); self.gates.len()];
+                for (k, g) in self.gates.iter().enumerate() {
+                    apply_gate_netlist(b, g, state, &mut slot_outs[k]);
+                }
+                (0..n)
+                    .map(|j| {
+                        let out = b.new_aux();
+                        for (k, slot) in slot_outs.iter().enumerate() {
+                            let o = one_hot[k];
+                            let g_out = slot[j];
+                            // o ∧ g_out → out;  o ∧ ¬g_out → ¬out.
+                            b.add_clause([!o, !g_out, out]);
+                            b.add_clause([!o, g_out, !out]);
+                        }
+                        out
+                    })
+                    .collect()
+            }
+            Selects::Binary(bits) => {
+                let slot_count = 1usize << self.sbits;
+                let mut slots: Vec<Vec<Lit>> = vec![state.to_vec(); slot_count];
+                for (k, g) in self.gates.iter().enumerate() {
+                    apply_gate_netlist(b, g, state, &mut slots[k]);
+                }
+                (0..n)
+                    .map(|j| {
+                        let mut layer: Vec<Lit> = slots.iter().map(|s| s[j]).collect();
+                        for &y in bits {
+                            let mut next = Vec::with_capacity(layer.len() / 2);
+                            for pair in layer.chunks(2) {
+                                next.push(if pair[0] == pair[1] {
+                                    pair[0]
+                                } else {
+                                    b.mux(y, pair[1], pair[0])
+                                });
+                            }
+                            layer = next;
+                        }
+                        layer[0]
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn decode(&self, d: u32, select_width: u32, model: &[bool]) -> Circuit {
+        let n = self.spec.lines();
+        let mut c = Circuit::new(n);
+        for level in 0..d as usize {
+            let base = level * select_width as usize;
+            match self.options.sat_encoding {
+                SatSelectEncoding::OneHot => {
+                    let k = (0..self.gates.len())
+                        .find(|&k| model[base + k])
+                        .expect("at-least-one guarantees a selected gate");
+                    c.push(self.gates[k]);
+                }
+                SatSelectEncoding::Binary => {
+                    let bits: Vec<bool> =
+                        (0..self.sbits as usize).map(|b| model[base + b]).collect();
+                    let sub = decode_circuit(n, &self.gates, self.sbits, &bits);
+                    for g in sub.gates() {
+                        c.push(*g);
+                    }
+                }
+            }
+        }
+        c
+    }
+}
+
+/// Blocks the binary select codes `q ≤ k < 2^s`.
+fn forbid_padding(b: &mut CnfBuilder, bits: &[Lit], q: usize) {
+    let slot_count = 1usize << bits.len();
+    for k in q..slot_count {
+        // ¬(bits == k)
+        let clause: Vec<Lit> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| if (k >> i) & 1 == 1 { !l } else { l })
+            .collect();
+        b.add_clause(clause);
+    }
+}
+
+/// Identical to the QBF engine's netlist application (duplicated locally to
+/// keep the engines independent).
+fn apply_gate_netlist(b: &mut CnfBuilder, g: &Gate, state: &[Lit], slot: &mut [Lit]) {
+    match *g {
+        Gate::Toffoli {
+            controls,
+            negative_controls,
+            target,
+        } => {
+            let ctrl: Vec<Lit> = controls
+                .iter()
+                .map(|c| state[c as usize])
+                .chain(negative_controls.iter().map(|c| !state[c as usize]))
+                .collect();
+            let cond = b.and_all(&ctrl);
+            slot[target as usize] = b.xor(state[target as usize], cond);
+        }
+        Gate::Fredkin { controls, targets } => {
+            let ctrl: Vec<Lit> = controls.iter().map(|c| state[c as usize]).collect();
+            let cond = b.and_all(&ctrl);
+            let a = state[targets.0 as usize];
+            let t = state[targets.1 as usize];
+            slot[targets.0 as usize] = b.mux(cond, t, a);
+            slot[targets.1 as usize] = b.mux(cond, a, t);
+        }
+        Gate::Peres { control, targets } => {
+            let c = state[control as usize];
+            let a = state[targets.0 as usize];
+            let t = state[targets.1 as usize];
+            slot[targets.0 as usize] = b.xor(c, a);
+            let ca = b.and(c, a);
+            slot[targets.1 as usize] = b.xor(ca, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::Engine;
+    use qsyn_revlogic::{GateLibrary, LineSet, Permutation};
+
+    fn opts(enc: SatSelectEncoding) -> SynthesisOptions {
+        SynthesisOptions::new(GateLibrary::mct(), Engine::Sat).with_sat_encoding(enc)
+    }
+
+    #[test]
+    fn depth_zero_identity_both_encodings() {
+        let id = Spec::from_permutation(&Permutation::identity(2));
+        let other = Spec::from_permutation(&Permutation::from_map(2, vec![1, 0, 2, 3]));
+        for enc in [SatSelectEncoding::OneHot, SatSelectEncoding::Binary] {
+            assert!(SatEngine::new(&id, &opts(enc)).solve_depth(0).unwrap().is_some());
+            assert!(SatEngine::new(&other, &opts(enc))
+                .solve_depth(0)
+                .unwrap()
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn finds_single_cnot_both_encodings() {
+        let spec = Spec::from_permutation(&Permutation::from_fn(2, |v| v ^ ((v & 1) << 1)));
+        for enc in [SatSelectEncoding::OneHot, SatSelectEncoding::Binary] {
+            let mut e = SatEngine::new(&spec, &opts(enc));
+            assert!(e.solve_depth(0).unwrap().is_none(), "{enc:?}");
+            let sols = e.solve_depth(1).unwrap().expect("CNOT realizes it");
+            assert_eq!(
+                sols.circuits()[0].gates()[0],
+                Gate::toffoli(LineSet::from_iter([0]), 1),
+                "{enc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn encodings_agree_on_unsat_depths() {
+        // SWAP needs 3 CNOTs; both encodings must prove 1 and 2 unsat.
+        let spec = Spec::from_permutation(&Permutation::from_fn(2, |v| {
+            ((v & 1) << 1) | ((v >> 1) & 1)
+        }));
+        for enc in [SatSelectEncoding::OneHot, SatSelectEncoding::Binary] {
+            let mut e = SatEngine::new(&spec, &opts(enc));
+            assert!(e.solve_depth(1).unwrap().is_none(), "{enc:?} depth 1");
+            assert!(e.solve_depth(2).unwrap().is_none(), "{enc:?} depth 2");
+            assert!(e.solve_depth(3).unwrap().is_some(), "{enc:?} depth 3");
+        }
+    }
+
+    #[test]
+    fn instance_grows_with_row_count() {
+        // The baseline's defining weakness: clauses scale with 2ⁿ.
+        let spec2 = Spec::from_permutation(&Permutation::identity(2));
+        let spec3 = Spec::from_permutation(&Permutation::identity(3));
+        let mut e2 = SatEngine::new(&spec2, &opts(SatSelectEncoding::OneHot));
+        let mut e3 = SatEngine::new(&spec3, &opts(SatSelectEncoding::OneHot));
+        let _ = e2.solve_depth(1).unwrap();
+        let _ = e3.solve_depth(1).unwrap();
+        let (_, c2) = e2.last_instance_size();
+        let (_, c3) = e3.last_instance_size();
+        // 3 lines has 2× the rows of 2 lines (and more gates): the instance
+        // must grow super-linearly.
+        assert!(c3 > 2 * c2, "rows don't dominate: {c2} vs {c3}");
+    }
+
+    #[test]
+    fn incomplete_spec_skips_unconstrained_rows() {
+        let spec = qsyn_revlogic::embedding::Embedding {
+            lines: 3,
+            input_lines: vec![0, 1],
+            constants: vec![(2, false)],
+            output_lines: vec![2],
+        }
+        .embed(|ab| (ab & 1) & (ab >> 1))
+        .unwrap();
+        let mut e = SatEngine::new(&spec, &opts(SatSelectEncoding::OneHot));
+        assert!(e.solve_depth(0).unwrap().is_none());
+        let sols = e.solve_depth(1).unwrap().expect("Toffoli suffices");
+        assert!(spec.is_realized_by(&sols.circuits()[0]));
+    }
+
+    #[test]
+    fn conflict_budget_trips_on_tiny_limit() {
+        let spec = Spec::from_permutation(&Permutation::from_map(
+            3,
+            vec![7, 1, 4, 3, 0, 2, 6, 5],
+        ));
+        let mut e = SatEngine::new(
+            &spec,
+            &opts(SatSelectEncoding::OneHot).with_conflict_limit(1),
+        );
+        // Some depth in 1..4 must exceed one conflict.
+        let tripped = (1..5).any(|d| {
+            matches!(
+                e.solve_depth(d),
+                Err(SynthesisError::ResourceLimit { .. })
+            )
+        });
+        assert!(tripped);
+    }
+}

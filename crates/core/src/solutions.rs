@@ -1,0 +1,139 @@
+//! Sets of minimal realizations and their quantum-cost statistics.
+
+use qsyn_revlogic::{cost, Circuit};
+
+/// All (or a truncated prefix of all) minimal networks found for one
+/// specification, plus the exact model count.
+///
+/// The BDD engine finds *every* minimal network in one step (the paper's
+/// second headline improvement); the QBF and SAT engines return a single
+/// one. The `#SOL` and `QC` columns of Tables 2 and 3 come from here.
+#[derive(Clone, Debug)]
+pub struct SolutionSet {
+    circuits: Vec<Circuit>,
+    total: u128,
+    exhaustive: bool,
+}
+
+impl SolutionSet {
+    /// Builds a solution set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuits` is empty, or `total < circuits.len()`.
+    pub fn new(circuits: Vec<Circuit>, total: u128, exhaustive: bool) -> SolutionSet {
+        assert!(!circuits.is_empty(), "a solution set holds at least one circuit");
+        assert!(
+            total >= circuits.len() as u128,
+            "total count below materialized circuits"
+        );
+        SolutionSet {
+            circuits,
+            total,
+            exhaustive,
+        }
+    }
+
+    /// A set holding exactly one known solution of an unknown-size space.
+    pub fn single(circuit: Circuit) -> SolutionSet {
+        SolutionSet::new(vec![circuit], 1, false)
+    }
+
+    /// The materialized circuits.
+    pub fn circuits(&self) -> &[Circuit] {
+        &self.circuits
+    }
+
+    /// Exact number of minimal networks (`#SOL`). May exceed
+    /// `circuits().len()` when enumeration was truncated, and is a lower
+    /// bound (1) for single-solution engines.
+    pub fn count(&self) -> u128 {
+        self.total
+    }
+
+    /// `true` if `circuits()` contains every minimal network.
+    pub fn is_exhaustive(&self) -> bool {
+        self.exhaustive
+    }
+
+    /// The circuit with the smallest quantum cost among the materialized
+    /// ones — the paper's Table 2 selection step.
+    pub fn best_by_quantum_cost(&self) -> &Circuit {
+        self.circuits
+            .iter()
+            .min_by_key(|c| cost::circuit_cost(c))
+            .expect("non-empty by construction")
+    }
+
+    /// `(min, max)` quantum cost over the materialized circuits (the `QC`
+    /// column of Tables 2 and 3).
+    pub fn quantum_cost_range(&self) -> (u64, u64) {
+        let costs = self.circuits.iter().map(cost::circuit_cost);
+        let mut min = u64::MAX;
+        let mut max = 0;
+        for c in costs {
+            min = min.min(c);
+            max = max.max(c);
+        }
+        (min, max)
+    }
+
+    /// Gate count of the (uniform-depth) solutions.
+    pub fn depth(&self) -> usize {
+        self.circuits[0].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsyn_revlogic::{Gate, LineSet};
+
+    fn toffoli_circuit() -> Circuit {
+        Circuit::from_gates(3, [Gate::toffoli(LineSet::from_iter([0, 1]), 2)])
+    }
+
+    fn peres_like() -> Circuit {
+        Circuit::from_gates(
+            3,
+            [Gate::toffoli(LineSet::from_iter([0, 1]), 2)],
+        )
+    }
+
+    #[test]
+    fn single_solution_set() {
+        let s = SolutionSet::single(toffoli_circuit());
+        assert_eq!(s.count(), 1);
+        assert!(!s.is_exhaustive());
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.quantum_cost_range(), (5, 5));
+    }
+
+    #[test]
+    fn best_by_cost_prefers_cheaper() {
+        let cheap = Circuit::from_gates(3, [Gate::peres(0, 1, 2)]); // QC 4
+        let costly = toffoli_circuit(); // QC 5
+        let s = SolutionSet::new(vec![costly, cheap.clone()], 2, true);
+        assert_eq!(s.best_by_quantum_cost(), &cheap);
+        assert_eq!(s.quantum_cost_range(), (4, 5));
+    }
+
+    #[test]
+    fn truncated_sets_report_exact_total() {
+        let s = SolutionSet::new(vec![toffoli_circuit(), peres_like()], 77, false);
+        assert_eq!(s.count(), 77);
+        assert_eq!(s.circuits().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one circuit")]
+    fn empty_set_rejected() {
+        let _ = SolutionSet::new(Vec::new(), 0, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "below materialized")]
+    fn inconsistent_total_rejected() {
+        let _ = SolutionSet::new(vec![toffoli_circuit()], 0, true);
+    }
+}

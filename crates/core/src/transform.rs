@@ -1,0 +1,168 @@
+//! Transformation-based heuristic synthesis (the unidirectional algorithm
+//! of Miller, Maslov and Dueck — reference [13] of the paper).
+//!
+//! The paper's exact approach is contrasted against heuristics like this
+//! one: fast, no minimality guarantee. The algorithm walks the truth table
+//! in row order and applies Toffoli gates *to the output side* until the
+//! function becomes the identity; the collected gates, reversed, realize
+//! the original function. Row `i`'s repairs use controls on the ones of
+//! the current output (when setting bits) or the ones of `i` (when
+//! clearing), which provably never disturbs already-fixed rows.
+//!
+//! The result doubles as a cheap **upper bound** on the minimal gate count
+//! for the exact engines.
+
+use qsyn_revlogic::{Circuit, Gate, LineSet, Permutation};
+
+/// Synthesizes `perm` with the unidirectional transformation-based
+/// algorithm. The result realizes `perm` exactly but is generally **not**
+/// minimal.
+pub fn transformation_synthesis(perm: &Permutation) -> Circuit {
+    let n = perm.lines();
+    let rows = perm.num_rows() as u32;
+    let mut f: Vec<u32> = perm.as_slice().to_vec();
+    let mut gates: Vec<Gate> = Vec::new();
+    let apply = |gates: &mut Vec<Gate>, f: &mut Vec<u32>, g: Gate| {
+        for v in f.iter_mut() {
+            *v = g.apply(*v);
+        }
+        gates.push(g);
+    };
+    for i in 0..rows {
+        // Rows < i are fixed points, so f[i] ∈ {i, …, 2ⁿ−1}.
+        debug_assert!(f[i as usize] >= i);
+        if f[i as usize] == i {
+            continue;
+        }
+        // (a) Set the bits of i missing from the current output, controlled
+        // on the output's ones. Any earlier row j would need
+        // ones(f[i]) ⊆ ones(j), i.e. f[i] ≤ j < i ≤ f[i] — impossible.
+        for p in 0..n {
+            let bit = 1u32 << p;
+            let v = f[i as usize];
+            if i & bit != 0 && v & bit == 0 {
+                let controls = LineSet::from_mask(v);
+                apply(&mut gates, &mut f, Gate::toffoli(controls, p));
+            }
+        }
+        // (b) Clear the surplus bits, controlled on the ones of i. Earlier
+        // rows j would need ones(i) ⊆ ones(j), i.e. i ≤ j < i — impossible.
+        for p in 0..n {
+            let bit = 1u32 << p;
+            if i & bit == 0 && f[i as usize] & bit != 0 {
+                let controls = LineSet::from_mask(i);
+                apply(&mut gates, &mut f, Gate::toffoli(controls, p));
+            }
+        }
+        debug_assert_eq!(f[i as usize], i, "row {i} not repaired");
+    }
+    debug_assert!(f.iter().enumerate().all(|(i, &v)| i as u32 == v));
+    // The gates turned perm into the identity on the output side; applied
+    // in reverse (each MCT is self-inverse) they realize perm itself.
+    gates.reverse();
+    Circuit::from_gates(n, gates)
+}
+
+/// A quick upper bound on the minimal MCT gate count of `perm`, from one
+/// run of [`transformation_synthesis`].
+pub fn gate_count_upper_bound(perm: &Permutation) -> u32 {
+    transformation_synthesis(perm).len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthesize, Engine, SynthesisOptions};
+    use qsyn_revlogic::benchmarks::random_permutation;
+    use qsyn_revlogic::{GateLibrary, Spec};
+
+    #[test]
+    fn identity_needs_no_gates() {
+        let c = transformation_synthesis(&Permutation::identity(3));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn realizes_every_2_line_permutation() {
+        // All 24 permutations of {0..3}.
+        let items = [0u32, 1, 2, 3];
+        let mut count = 0;
+        for a in items {
+            for b in items {
+                for c in items {
+                    for d in items {
+                        let map = vec![a, b, c, d];
+                        let mut sorted = map.clone();
+                        sorted.sort_unstable();
+                        if sorted != vec![0, 1, 2, 3] {
+                            continue;
+                        }
+                        let p = Permutation::from_map(2, map);
+                        let circuit = transformation_synthesis(&p);
+                        assert_eq!(circuit.permutation(), p);
+                        count += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(count, 24);
+    }
+
+    #[test]
+    fn realizes_random_permutations_up_to_6_lines() {
+        for lines in 3..=6u32 {
+            for seed in 0..8u64 {
+                let p = random_permutation(lines, seed * 31 + u64::from(lines));
+                let c = transformation_synthesis(&p);
+                assert_eq!(c.permutation(), p, "lines {lines} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn known_benchmarks_realize() {
+        for name in ["3_17", "hwb4", "graycode6", "mod5d1", "mod5d2"] {
+            let b = qsyn_revlogic::benchmarks::by_name(name).unwrap();
+            let p = b.spec.as_permutation().unwrap();
+            let c = transformation_synthesis(&p);
+            assert!(b.spec.is_realized_by(&c), "{name}");
+        }
+    }
+
+    #[test]
+    fn heuristic_is_an_upper_bound_for_exact() {
+        for seed in 0..6u64 {
+            let p = random_permutation(3, seed + 900);
+            let heuristic = gate_count_upper_bound(&p);
+            let exact = synthesize(
+                &Spec::from_permutation(&p),
+                &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd).with_max_depth(12),
+            )
+            .unwrap()
+            .depth();
+            assert!(
+                exact <= heuristic,
+                "seed {seed}: exact {exact} > heuristic {heuristic}"
+            );
+        }
+    }
+
+    #[test]
+    fn heuristic_is_fast_on_large_functions() {
+        // Exact synthesis is hopeless at 8 lines; the heuristic is instant.
+        let p = random_permutation(8, 42);
+        let c = transformation_synthesis(&p);
+        assert_eq!(c.permutation(), p);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn heuristic_gap_exists() {
+        // The heuristic is not minimal: on 3_17 the exact answer is 6.
+        let p = qsyn_revlogic::benchmarks::spec_3_17()
+            .as_permutation()
+            .unwrap();
+        let heuristic = gate_count_upper_bound(&p);
+        assert!(heuristic >= 6);
+    }
+}

@@ -1,0 +1,149 @@
+//! Cross-checks: QDPLL vs expansion vs brute force vs a BDD evaluator, on
+//! random prenex instances.
+
+use crate::expand::ExpansionSolver;
+use crate::formula::{QbfFormula, Quantifier};
+use crate::qdpll::QdpllSolver;
+use proptest::prelude::*;
+use qsyn_sat::Lit;
+
+/// Independent reference: evaluate the QBF with BDDs by building the matrix
+/// and quantifying blocks innermost-first (free variables existentially
+/// last).
+fn bdd_eval(q: &QbfFormula) -> bool {
+    let mut m = qsyn_bdd::Manager::new(q.num_vars());
+    let mut matrix = m.one();
+    for clause in q.matrix().clauses() {
+        let mut cl = m.zero();
+        for l in clause.lits() {
+            let lit = m.literal(l.var().0, l.is_positive());
+            cl = m.or(cl, lit);
+        }
+        matrix = m.and(matrix, cl);
+    }
+    for (quant, vars) in q.prefix().iter().rev() {
+        matrix = match quant {
+            Quantifier::Exists => m.exists(matrix, vars),
+            Quantifier::Forall => m.forall(matrix, vars),
+        };
+    }
+    let free = q.free_vars();
+    matrix = m.exists(matrix, &free);
+    matrix.is_one()
+}
+
+#[derive(Clone, Debug)]
+struct RandomQbf {
+    nvars: u32,
+    block_pattern: Vec<(bool, u8)>, // (is_forall, size)
+    clauses: Vec<Vec<(u32, bool)>>,
+}
+
+fn arb_qbf() -> impl Strategy<Value = RandomQbf> {
+    (2u32..=7).prop_flat_map(|nvars| {
+        let blocks = proptest::collection::vec((any::<bool>(), 1u8..=3), 1..=4);
+        let clause = proptest::collection::vec((0..nvars, any::<bool>()), 1..=4);
+        let clauses = proptest::collection::vec(clause, 1..=12);
+        (blocks, clauses).prop_map(move |(block_pattern, clauses)| RandomQbf {
+            nvars,
+            block_pattern,
+            clauses,
+        })
+    })
+}
+
+fn build(r: &RandomQbf) -> QbfFormula {
+    let mut q = QbfFormula::new(r.nvars);
+    let mut next = 0u32;
+    for &(is_forall, size) in &r.block_pattern {
+        let end = (next + u32::from(size)).min(r.nvars);
+        let vars: Vec<u32> = (next..end).collect();
+        next = end;
+        let quant = if is_forall {
+            Quantifier::Forall
+        } else {
+            Quantifier::Exists
+        };
+        q.add_block(quant, vars);
+        if next == r.nvars {
+            break;
+        }
+    }
+    // Any leftover variables stay free.
+    for c in &r.clauses {
+        q.add_clause(c.iter().map(|&(v, s)| Lit::new(v, s)));
+    }
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn qdpll_agrees_with_brute_force(r in arb_qbf()) {
+        let q = build(&r);
+        prop_assert_eq!(QdpllSolver::new(&q).solve(), q.eval_brute_force());
+    }
+
+    #[test]
+    fn expansion_agrees_with_brute_force(r in arb_qbf()) {
+        let q = build(&r);
+        prop_assert_eq!(ExpansionSolver::new(&q).solve(), q.eval_brute_force());
+    }
+
+    #[test]
+    fn bdd_agrees_with_brute_force(r in arb_qbf()) {
+        let q = build(&r);
+        prop_assert_eq!(bdd_eval(&q), q.eval_brute_force());
+    }
+
+    #[test]
+    fn all_three_solvers_agree(r in arb_qbf()) {
+        let q = build(&r);
+        let qdpll = QdpllSolver::new(&q).solve();
+        let expansion = ExpansionSolver::new(&q).solve();
+        let bdd = bdd_eval(&q);
+        prop_assert_eq!(qdpll, expansion);
+        prop_assert_eq!(qdpll, bdd);
+    }
+
+    #[test]
+    fn expansion_witness_is_valid(r in arb_qbf()) {
+        let q = build(&r);
+        if let Some(w) = ExpansionSolver::new(&q).solve_with_witness() {
+            // Substituting the witness for the outer variables (free + first
+            // block if existential) must leave a true QBF over the rest.
+            let outer: Vec<u32> = {
+                let mut o = q.free_vars();
+                if let Some((Quantifier::Exists, vars)) = q.prefix().first() {
+                    o.extend(vars.iter().copied());
+                }
+                o
+            };
+            let mut fixed = QbfFormula::new(q.num_vars());
+            for (quant, vars) in q.prefix() {
+                let remaining: Vec<u32> =
+                    vars.iter().copied().filter(|v| !outer.contains(v)).collect();
+                fixed.add_block(*quant, remaining);
+            }
+            for c in q.matrix().clauses() {
+                fixed.add_clause(c.lits().iter().copied());
+            }
+            for &v in &outer {
+                fixed.add_clause([Lit::new(v, w[v as usize])]);
+            }
+            prop_assert!(fixed.eval_brute_force(), "witness fails");
+        }
+    }
+
+    #[test]
+    fn qdimacs_roundtrip_preserves_truth(r in arb_qbf()) {
+        let q = build(&r);
+        let text = crate::qdimacs::write_qdimacs(&q);
+        let parsed = crate::qdimacs::parse_qdimacs(&text).unwrap();
+        prop_assert_eq!(
+            QdpllSolver::new(&parsed).solve(),
+            QdpllSolver::new(&q).solve()
+        );
+    }
+}

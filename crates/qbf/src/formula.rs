@@ -1,0 +1,264 @@
+//! Prenex-CNF quantified Boolean formulas.
+
+use qsyn_sat::{CnfFormula, Lit};
+
+/// Quantifier kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Quantifier {
+    /// Existential (`∃`).
+    Exists,
+    /// Universal (`∀`).
+    Forall,
+}
+
+impl Quantifier {
+    /// The dual quantifier.
+    pub fn dual(self) -> Quantifier {
+        match self {
+            Quantifier::Exists => Quantifier::Forall,
+            Quantifier::Forall => Quantifier::Exists,
+        }
+    }
+}
+
+impl std::fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Quantifier::Exists => write!(f, "∃"),
+            Quantifier::Forall => write!(f, "∀"),
+        }
+    }
+}
+
+/// A QBF in prenex normal form: `Q₁V₁ … Q_tV_t . matrix` with the matrix in
+/// CNF (Section 2.2 of the paper).
+///
+/// Variables of the matrix that appear in no block are *free* and treated
+/// as outermost-existential by the solvers (the standard convention).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QbfFormula {
+    prefix: Vec<(Quantifier, Vec<u32>)>,
+    matrix: CnfFormula,
+    bound: Vec<bool>,
+}
+
+impl QbfFormula {
+    /// Creates a formula over `num_vars` variables with an empty prefix and
+    /// matrix.
+    pub fn new(num_vars: u32) -> QbfFormula {
+        QbfFormula {
+            prefix: Vec::new(),
+            matrix: CnfFormula::new(num_vars),
+            bound: vec![false; num_vars as usize],
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> u32 {
+        self.matrix.num_vars()
+    }
+
+    /// Allocates a fresh (free) variable.
+    pub fn new_var(&mut self) -> u32 {
+        self.bound.push(false);
+        self.matrix.new_var()
+    }
+
+    /// Appends a quantifier block (inner of all existing blocks). Adjacent
+    /// blocks with the same quantifier are merged. Empty blocks are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable is out of range or already bound.
+    pub fn add_block<I: IntoIterator<Item = u32>>(&mut self, q: Quantifier, vars: I) {
+        let vars: Vec<u32> = vars.into_iter().collect();
+        if vars.is_empty() {
+            return;
+        }
+        for &v in &vars {
+            assert!(v < self.num_vars(), "variable {v} out of range");
+            assert!(!self.bound[v as usize], "variable {v} already quantified");
+            self.bound[v as usize] = true;
+        }
+        match self.prefix.last_mut() {
+            Some((last_q, last_vars)) if *last_q == q => last_vars.extend(vars),
+            _ => self.prefix.push((q, vars)),
+        }
+    }
+
+    /// Adds a clause to the matrix (normalized; tautologies dropped).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        self.matrix.add_clause(lits);
+    }
+
+    /// The quantifier prefix, outermost block first.
+    pub fn prefix(&self) -> &[(Quantifier, Vec<u32>)] {
+        &self.prefix
+    }
+
+    /// The CNF matrix.
+    pub fn matrix(&self) -> &CnfFormula {
+        &self.matrix
+    }
+
+    /// `true` if `v` appears in some quantifier block.
+    pub fn is_bound(&self, v: u32) -> bool {
+        self.bound.get(v as usize).copied().unwrap_or(false)
+    }
+
+    /// Free variables (unbound), ascending.
+    pub fn free_vars(&self) -> Vec<u32> {
+        (0..self.num_vars()).filter(|&v| !self.is_bound(v)).collect()
+    }
+
+    /// Per-variable `(quantifier, block index)` with free variables mapped
+    /// to an implicit outermost existential block `0`; bound blocks are
+    /// shifted to `1..`. This is the normalized view the solvers work with.
+    pub fn quantifier_map(&self) -> Vec<(Quantifier, u32)> {
+        let mut map = vec![(Quantifier::Exists, 0u32); self.num_vars() as usize];
+        for (i, (q, vars)) in self.prefix.iter().enumerate() {
+            for &v in vars {
+                map[v as usize] = (*q, i as u32 + 1);
+            }
+        }
+        map
+    }
+
+    /// Variables in decision order: free variables first, then block by
+    /// block in prefix order.
+    pub fn decision_order(&self) -> Vec<u32> {
+        let mut order = self.free_vars();
+        for (_, vars) in &self.prefix {
+            order.extend(vars.iter().copied());
+        }
+        order
+    }
+
+    /// Semantic truth of the formula by brute-force expansion — exponential,
+    /// for testing and tiny instances only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula has more than 24 variables.
+    pub fn eval_brute_force(&self) -> bool {
+        assert!(self.num_vars() <= 24, "brute force limited to 24 variables");
+        let order = self.decision_order();
+        let qmap = self.quantifier_map();
+        let mut assignment = vec![false; self.num_vars() as usize];
+        self.brute(&order, &qmap, 0, &mut assignment)
+    }
+
+    fn brute(
+        &self,
+        order: &[u32],
+        qmap: &[(Quantifier, u32)],
+        pos: usize,
+        assignment: &mut Vec<bool>,
+    ) -> bool {
+        if pos == order.len() {
+            return self.matrix.eval(assignment);
+        }
+        let v = order[pos] as usize;
+        let results = [false, true].map(|val| {
+            assignment[v] = val;
+            self.brute(order, qmap, pos + 1, assignment)
+        });
+        match qmap[v].0 {
+            Quantifier::Exists => results[0] || results[1],
+            Quantifier::Forall => results[0] && results[1],
+        }
+    }
+}
+
+impl std::fmt::Display for QbfFormula {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (q, vars) in &self.prefix {
+            write!(f, "{q}{{")?;
+            for (i, v) in vars.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}", v + 1)?;
+            }
+            write!(f, "}} ")?;
+        }
+        write!(f, ". {} clauses", self.matrix.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_merge_when_adjacent_same_quantifier() {
+        let mut q = QbfFormula::new(4);
+        q.add_block(Quantifier::Exists, [0]);
+        q.add_block(Quantifier::Exists, [1]);
+        q.add_block(Quantifier::Forall, [2]);
+        assert_eq!(q.prefix().len(), 2);
+        assert_eq!(q.prefix()[0].1, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_blocks_are_ignored() {
+        let mut q = QbfFormula::new(2);
+        q.add_block(Quantifier::Forall, []);
+        assert!(q.prefix().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already quantified")]
+    fn double_binding_panics() {
+        let mut q = QbfFormula::new(2);
+        q.add_block(Quantifier::Exists, [0]);
+        q.add_block(Quantifier::Forall, [0]);
+    }
+
+    #[test]
+    fn free_vars_and_quantifier_map() {
+        let mut q = QbfFormula::new(3);
+        q.add_block(Quantifier::Forall, [1]);
+        assert_eq!(q.free_vars(), vec![0, 2]);
+        let map = q.quantifier_map();
+        assert_eq!(map[0], (Quantifier::Exists, 0));
+        assert_eq!(map[1], (Quantifier::Forall, 1));
+        assert_eq!(map[2], (Quantifier::Exists, 0));
+        assert_eq!(q.decision_order(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn brute_force_on_simple_formulas() {
+        use qsyn_sat::Lit;
+        // ∀x ∃y (x ⊕ y) — true: y = ¬x.
+        let mut q = QbfFormula::new(2);
+        q.add_block(Quantifier::Forall, [0]);
+        q.add_block(Quantifier::Exists, [1]);
+        q.add_clause([Lit::pos(0), Lit::pos(1)]);
+        q.add_clause([Lit::neg(0), Lit::neg(1)]);
+        assert!(q.eval_brute_force());
+
+        // ∃y ∀x (x ⊕ y) — false.
+        let mut q2 = QbfFormula::new(2);
+        q2.add_block(Quantifier::Exists, [1]);
+        q2.add_block(Quantifier::Forall, [0]);
+        q2.add_clause([Lit::pos(0), Lit::pos(1)]);
+        q2.add_clause([Lit::neg(0), Lit::neg(1)]);
+        assert!(!q2.eval_brute_force());
+    }
+
+    #[test]
+    fn quantifier_dual() {
+        assert_eq!(Quantifier::Exists.dual(), Quantifier::Forall);
+        assert_eq!(Quantifier::Forall.dual(), Quantifier::Exists);
+    }
+
+    #[test]
+    fn display_renders_prefix() {
+        let mut q = QbfFormula::new(2);
+        q.add_block(Quantifier::Exists, [0]);
+        q.add_block(Quantifier::Forall, [1]);
+        let s = q.to_string();
+        assert!(s.contains('∃') && s.contains('∀'));
+    }
+}

@@ -1,0 +1,210 @@
+//! QDIMACS reading and writing (the standard exchange format for
+//! prenex-CNF QBF instances).
+
+use crate::formula::{QbfFormula, Quantifier};
+use qsyn_sat::Lit;
+
+/// Error while parsing QDIMACS input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQdimacsError {
+    /// 1-based line number where the problem was found.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseQdimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "qdimacs parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseQdimacsError {}
+
+/// Serializes a formula in QDIMACS format.
+pub fn write_qdimacs(formula: &QbfFormula) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "p cnf {} {}",
+        formula.num_vars(),
+        formula.matrix().len()
+    )
+    .unwrap();
+    for (q, vars) in formula.prefix() {
+        let tag = match q {
+            Quantifier::Exists => 'e',
+            Quantifier::Forall => 'a',
+        };
+        write!(out, "{tag}").unwrap();
+        for v in vars {
+            write!(out, " {}", v + 1).unwrap();
+        }
+        out.push_str(" 0\n");
+    }
+    for c in formula.matrix().clauses() {
+        for l in c.lits() {
+            write!(out, "{l} ").unwrap();
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// Parses QDIMACS text.
+///
+/// # Errors
+///
+/// Returns [`ParseQdimacsError`] on malformed headers, quantifier lines
+/// after the first clause, out-of-range variables, or unterminated lines.
+pub fn parse_qdimacs(input: &str) -> Result<QbfFormula, ParseQdimacsError> {
+    let mut formula: Option<QbfFormula> = None;
+    let mut current: Vec<Lit> = Vec::new();
+    let mut clauses_started = false;
+    for (lineno, line) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if formula.is_some() {
+                return Err(ParseQdimacsError {
+                    line: lineno,
+                    message: "duplicate problem line".into(),
+                });
+            }
+            let mut it = rest.split_whitespace();
+            if it.next() != Some("cnf") {
+                return Err(ParseQdimacsError {
+                    line: lineno,
+                    message: "expected `p cnf <vars> <clauses>`".into(),
+                });
+            }
+            let nvars: u32 = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseQdimacsError {
+                    line: lineno,
+                    message: "bad variable count".into(),
+                })?;
+            formula = Some(QbfFormula::new(nvars));
+            continue;
+        }
+        let f = formula.as_mut().ok_or_else(|| ParseQdimacsError {
+            line: lineno,
+            message: "content before problem line".into(),
+        })?;
+        let quantifier = match line.chars().next() {
+            Some('e') => Some(Quantifier::Exists),
+            Some('a') => Some(Quantifier::Forall),
+            _ => None,
+        };
+        if let Some(q) = quantifier {
+            if clauses_started {
+                return Err(ParseQdimacsError {
+                    line: lineno,
+                    message: "quantifier line after clauses".into(),
+                });
+            }
+            let mut vars = Vec::new();
+            for tok in line[1..].split_whitespace() {
+                let x: i64 = tok.parse().map_err(|_| ParseQdimacsError {
+                    line: lineno,
+                    message: format!("bad variable `{tok}`"),
+                })?;
+                if x == 0 {
+                    break;
+                }
+                if x < 0 || x as u64 > u64::from(f.num_vars()) {
+                    return Err(ParseQdimacsError {
+                        line: lineno,
+                        message: format!("variable {x} out of range"),
+                    });
+                }
+                vars.push((x - 1) as u32);
+            }
+            f.add_block(q, vars);
+            continue;
+        }
+        clauses_started = true;
+        for tok in line.split_whitespace() {
+            let x: i64 = tok.parse().map_err(|_| ParseQdimacsError {
+                line: lineno,
+                message: format!("bad literal `{tok}`"),
+            })?;
+            if x == 0 {
+                f.add_clause(current.drain(..));
+            } else {
+                let var = x.unsigned_abs() - 1;
+                if var >= u64::from(f.num_vars()) {
+                    return Err(ParseQdimacsError {
+                        line: lineno,
+                        message: format!("variable {} out of range", x.abs()),
+                    });
+                }
+                current.push(Lit::new(var as u32, x > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseQdimacsError {
+            line: input.lines().count(),
+            message: "unterminated clause".into(),
+        });
+    }
+    formula.ok_or(ParseQdimacsError {
+        line: 0,
+        message: "missing problem line".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut q = QbfFormula::new(3);
+        q.add_block(Quantifier::Exists, [0]);
+        q.add_block(Quantifier::Forall, [1, 2]);
+        q.add_clause([Lit::pos(0), Lit::neg(1)]);
+        q.add_clause([Lit::pos(2)]);
+        let text = write_qdimacs(&q);
+        let parsed = parse_qdimacs(&text).unwrap();
+        assert_eq!(parsed, q);
+    }
+
+    #[test]
+    fn parses_reference_instance() {
+        let text = "c example\np cnf 3 2\ne 1 0\na 2 3 0\n1 -2 0\n-1 3 0\n";
+        let q = parse_qdimacs(text).unwrap();
+        assert_eq!(q.prefix().len(), 2);
+        assert_eq!(q.prefix()[0], (Quantifier::Exists, vec![0]));
+        assert_eq!(q.prefix()[1], (Quantifier::Forall, vec![1, 2]));
+        assert_eq!(q.matrix().len(), 2);
+    }
+
+    #[test]
+    fn rejects_quantifier_after_clause() {
+        let text = "p cnf 2 1\n1 0\ne 2 0\n";
+        let err = parse_qdimacs(text).unwrap_err();
+        assert!(err.message.contains("after clauses"));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(parse_qdimacs("p cnf 1 0\ne 2 0\n").is_err());
+        assert!(parse_qdimacs("p cnf 1 1\n-5 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(parse_qdimacs("e 1 0\n").is_err());
+    }
+}

@@ -1,0 +1,597 @@
+//! The paper's benchmark functions (Tables 1–3), re-derived or substituted.
+//!
+//! The original evaluation uses RevLib [23], an online resource. Functions
+//! with a public mathematical definition (`3_17`, `4_49`, `hwb4`,
+//! `graycode6`, `rd32`, `decod24`, `4mod5`) are re-implemented from that
+//! definition. The `mod5d1`/`mod5d2`/`mod5mils` and `alu` families are
+//! **substituted** by deterministic arithmetic functions of matching line
+//! count and comparable synthesis hardness — see `DESIGN.md` §4. Absolute
+//! depths may differ from the paper's; `EXPERIMENTS.md` records measured
+//! values.
+
+use crate::embedding::Embedding;
+use crate::permutation::Permutation;
+use crate::spec::Spec;
+
+/// Whether a benchmark is completely or incompletely specified (the two
+/// halves of the paper's tables).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BenchmarkKind {
+    /// Every output bit specified (a permutation).
+    Complete,
+    /// Don't-care outputs present (embedded irreversible function).
+    Incomplete,
+}
+
+/// A named benchmark with its specification.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// RevLib-style name.
+    pub name: &'static str,
+    /// The function to synthesize.
+    pub spec: Spec,
+    /// Completely vs incompletely specified.
+    pub kind: BenchmarkKind,
+}
+
+/// The full evaluation suite in the paper's table order.
+pub fn suite() -> Vec<Benchmark> {
+    let complete = [
+        ("mod5mils", spec_mod5mils()),
+        ("graycode6", spec_graycode6()),
+        ("3_17", spec_3_17()),
+        ("mod5d1", spec_mod5d1()),
+        ("mod5d2", spec_mod5d2()),
+        ("hwb4", spec_hwb4()),
+        ("4_49", spec_4_49()),
+    ];
+    let incomplete = [
+        ("rd32-v0", spec_rd32_v0()),
+        ("rd32-v1", spec_rd32_v1()),
+        ("mod5-v0", spec_4mod5_v0()),
+        ("mod5-v1", spec_4mod5_v1()),
+        ("decod24-v0", spec_decod24(0)),
+        ("decod24-v1", spec_decod24(1)),
+        ("decod24-v2", spec_decod24(2)),
+        ("decod24-v3", spec_decod24(3)),
+        ("alu-v0", spec_alu(0)),
+        ("alu-v1", spec_alu(1)),
+        ("alu-v2", spec_alu(2)),
+        ("alu-v3", spec_alu(3)),
+    ];
+    complete
+        .into_iter()
+        .map(|(name, spec)| Benchmark {
+            name,
+            spec: spec.with_name(name),
+            kind: BenchmarkKind::Complete,
+        })
+        .chain(incomplete.into_iter().map(|(name, spec)| Benchmark {
+            name,
+            spec: spec.with_name(name),
+            kind: BenchmarkKind::Incomplete,
+        }))
+        .collect()
+}
+
+/// Looks a benchmark up by name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    suite().into_iter().find(|b| b.name == name)
+}
+
+// ---------------------------------------------------------------------
+// Completely specified functions.
+// ---------------------------------------------------------------------
+
+/// The canonical 3-line benchmark `3_17` (the "hardest" 3-variable
+/// permutation of Miller/Maslov/Dueck; minimal MCT depth 6).
+pub fn spec_3_17() -> Spec {
+    Spec::from_permutation(&Permutation::from_map(
+        3,
+        vec![7, 1, 4, 3, 0, 2, 6, 5],
+    ))
+}
+
+/// The 4-line benchmark `4_49` as commonly reproduced in the exact
+/// synthesis literature.
+pub fn spec_4_49() -> Spec {
+    Spec::from_permutation(&Permutation::from_map(
+        4,
+        vec![15, 1, 12, 3, 5, 6, 8, 7, 0, 10, 13, 9, 2, 4, 14, 11],
+    ))
+}
+
+/// Hidden-weighted-bit function on `n` lines: the input vector rotated left
+/// by its Hamming weight. Weight is rotation-invariant, so this is a
+/// bijection.
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or greater than 16.
+pub fn hwb(n: u32) -> Permutation {
+    assert!((1..=16).contains(&n), "line count out of range");
+    Permutation::from_fn(n, |v| {
+        let w = v.count_ones() % n;
+        let mask = (1u32 << n) - 1;
+        ((v << w) | (v >> (n - w))) & mask
+    })
+}
+
+/// `hwb4`, the paper's hardest MCT instance (depth 11 there).
+pub fn spec_hwb4() -> Spec {
+    Spec::from_permutation(&hwb(4))
+}
+
+/// Binary-to-Gray-code converter on `n` lines: `gᵢ = bᵢ ⊕ bᵢ₊₁`, top bit
+/// unchanged. Realizable with `n − 1` CNOTs.
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or greater than 16.
+pub fn graycode(n: u32) -> Permutation {
+    assert!((1..=16).contains(&n), "line count out of range");
+    Permutation::from_fn(n, |v| v ^ (v >> 1))
+}
+
+/// `graycode6` (6 lines, minimal MCT depth 5).
+pub fn spec_graycode6() -> Spec {
+    Spec::from_permutation(&graycode(6))
+}
+
+/// Substitute for RevLib's `mod5mils`: the +1 counter on 5 lines
+/// (minimal MCT depth exactly 5 — one carry gate per line).
+pub fn spec_mod5mils() -> Spec {
+    Spec::from_permutation(&Permutation::from_fn(5, |v| (v + 1) & 0x1f))
+}
+
+/// Substitute for RevLib's `mod5d1`: multiply by 5 modulo 32 (5 is odd, so
+/// this is a bijection; an in-place MCT realization with 7 gates exists).
+pub fn spec_mod5d1() -> Spec {
+    Spec::from_permutation(&Permutation::from_fn(5, |v| (v * 5) & 0x1f))
+}
+
+/// Substitute for RevLib's `mod5d2`: add 5 modulo 32 (an 8-gate MCT
+/// realization exists: +4 on the upper bits, then +1).
+pub fn spec_mod5d2() -> Spec {
+    Spec::from_permutation(&Permutation::from_fn(5, |v| (v + 5) & 0x1f))
+}
+
+// ---------------------------------------------------------------------
+// Incompletely specified functions (embedded irreversible functions).
+// ---------------------------------------------------------------------
+
+/// Weight of the 3 input bits as a 2-bit number `(carry, sum)`.
+fn rd32_function(args: u32) -> u32 {
+    args.count_ones()
+}
+
+/// `rd32-v0`: inputs on lines 1–3, constant 0 on line 4; sum on line 3,
+/// carry on line 4.
+pub fn spec_rd32_v0() -> Spec {
+    Embedding {
+        lines: 4,
+        input_lines: vec![0, 1, 2],
+        constants: vec![(3, false)],
+        output_lines: vec![2, 3],
+    }
+    .embed(rd32_function)
+    .expect("rd32-v0 embedding is realizable")
+}
+
+/// `rd32-v1`: same function, outputs swapped (carry on line 3, sum on
+/// line 4) — a different embedding with different synthesis hardness.
+pub fn spec_rd32_v1() -> Spec {
+    Embedding {
+        lines: 4,
+        input_lines: vec![0, 1, 2],
+        constants: vec![(3, false)],
+        output_lines: vec![3, 2],
+    }
+    .embed(rd32_function)
+    .expect("rd32-v1 embedding is realizable")
+}
+
+/// `f(x) = 1` iff the 4-bit input is divisible by 5 (i.e. `x ∈ {0, 5, 10, 15}`).
+fn mod5_predicate(args: u32) -> u32 {
+    u32::from(args.is_multiple_of(5))
+}
+
+/// `mod5-v0` (RevLib `4mod5-v0`): 4 inputs on lines 1–4, constant 0 on
+/// line 5 carrying the output.
+pub fn spec_4mod5_v0() -> Spec {
+    Embedding {
+        lines: 5,
+        input_lines: vec![0, 1, 2, 3],
+        constants: vec![(4, false)],
+        output_lines: vec![4],
+    }
+    .embed(mod5_predicate)
+    .expect("4mod5-v0 embedding is realizable")
+}
+
+/// `mod5-v1`: same predicate with the ancilla initialized to 1 — the
+/// synthesized circuit must absorb the inverted constant.
+pub fn spec_4mod5_v1() -> Spec {
+    Embedding {
+        lines: 5,
+        input_lines: vec![0, 1, 2, 3],
+        constants: vec![(4, true)],
+        output_lines: vec![4],
+    }
+    .embed(mod5_predicate)
+    .expect("4mod5-v1 embedding is realizable")
+}
+
+/// `decod24-v0..v3`: 2-to-4 one-hot decoder of inputs `a b` (lines 1–2)
+/// onto all four lines; lines 3–4 enter as constants whose values
+/// distinguish the four variants (`v0`: 00, `v1`: 10, `v2`: 01, `v3`: 11).
+///
+/// # Panics
+///
+/// Panics if `variant >= 4`.
+pub fn spec_decod24(variant: u32) -> Spec {
+    assert!(variant < 4, "decod24 has variants 0..=3");
+    Embedding {
+        lines: 4,
+        input_lines: vec![0, 1],
+        constants: vec![(2, variant & 1 == 1), (3, variant & 2 == 2)],
+        output_lines: vec![0, 1, 2, 3],
+    }
+    .embed(|ab| 1 << ab)
+    .expect("decod24 embedding is realizable")
+}
+
+/// `alu-v0..v3`: one-output ALU on 5 lines. Select bits `s₁ s₀` on lines
+/// 1–2 pick one of four two-input operations applied to `a b` (lines 3–4);
+/// the result lands on line 5 (constant 0 in). The four variants use
+/// different operation tables.
+///
+/// # Panics
+///
+/// Panics if `variant >= 4`.
+pub fn spec_alu(variant: u32) -> Spec {
+    assert!(variant < 4, "alu has variants 0..=3");
+    let ops: [fn(bool, bool) -> bool; 4] = match variant {
+        0 => [
+            |a, b| a && b,
+            |a, b| a || b,
+            |a, b| a != b,
+            |a, _| !a,
+        ],
+        1 => [
+            |a, b| a != b,
+            |a, b| a && b,
+            |_, b| !b,
+            |a, b| a || b,
+        ],
+        2 => [
+            |a, b| a || b,
+            |a, _| !a,
+            |a, b| a && b,
+            |a, b| a != b,
+        ],
+        _ => [
+            |a, b| !(a && b),
+            |a, b| a != b,
+            |a, b| a || b,
+            |a, b| a && b,
+        ],
+    };
+    Embedding {
+        lines: 5,
+        input_lines: vec![0, 1, 2, 3],
+        constants: vec![(4, false)],
+        output_lines: vec![4],
+    }
+    .embed(move |args| {
+        let s = args & 0b11;
+        let a = (args >> 2) & 1 == 1;
+        let b = (args >> 3) & 1 == 1;
+        u32::from(ops[s as usize](a, b))
+    })
+    .expect("alu embedding is realizable")
+}
+
+/// The +1 counter on `n` lines (minimal MCT depth exactly `n`: one carry
+/// gate per line). Parameterized generator behind [`spec_mod5mils`].
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or greater than 16.
+pub fn increment(n: u32) -> Permutation {
+    assert!((1..=16).contains(&n), "line count out of range");
+    let mask = (1u32 << n) - 1;
+    Permutation::from_fn(n, |v| (v + 1) & mask)
+}
+
+/// The `n`-line Toffoli benchmark (`tof_n`): one MCT gate with `n − 1`
+/// controls — trivially depth 1 but with the widest single gate.
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or greater than 16.
+pub fn tof(n: u32) -> Permutation {
+    assert!((1..=16).contains(&n), "line count out of range");
+    let controls = (1u32 << (n - 1)) - 1; // lines 0..n-1
+    Permutation::from_fn(n, |v| {
+        if v & controls == controls {
+            v ^ (1 << (n - 1))
+        } else {
+            v
+        }
+    })
+}
+
+/// A deterministic pseudo-random *incompletely specified* function:
+/// starts from [`random_permutation`] (so it is always realizable) and
+/// drops each output-bit constraint with probability
+/// `1 − care_permille/1000`.
+///
+/// # Panics
+///
+/// Panics if `lines` is out of range or `care_permille > 1000`.
+pub fn random_incomplete_spec(lines: u32, seed: u64, care_permille: u32) -> Spec {
+    assert!(care_permille <= 1000, "care density is per-mille");
+    let base = random_permutation(lines, seed);
+    let mut state = seed ^ 0xdead_beef_cafe_f00d;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let rows = (0..1u32 << lines)
+        .map(|i| {
+            let value = base.image(i);
+            let mut care = 0u32;
+            for l in 0..lines {
+                if (next() % 1000) < u64::from(care_permille) {
+                    care |= 1 << l;
+                }
+            }
+            crate::spec::SpecRow {
+                value: value & care,
+                care,
+            }
+        })
+        .collect();
+    Spec::new_incomplete(lines, rows).expect("relaxation of a bijection is realizable")
+}
+
+/// Deterministic pseudo-random reversible function, for workload
+/// generation (Fisher–Yates over a splitmix64 stream).
+///
+/// # Panics
+///
+/// Panics if `lines` is 0 or greater than 16.
+pub fn random_permutation(lines: u32, seed: u64) -> Permutation {
+    assert!((1..=16).contains(&lines), "line count out of range");
+    let mut state = seed;
+    let mut next = move || {
+        // splitmix64
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut map: Vec<u32> = (0..1u32 << lines).collect();
+    for i in (1..map.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        map.swap(i, j);
+    }
+    Permutation::from_map(lines, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Spec;
+
+    #[test]
+    fn suite_has_the_papers_19_benchmarks() {
+        let s = suite();
+        assert_eq!(s.len(), 19);
+        assert_eq!(
+            s.iter().filter(|b| b.kind == BenchmarkKind::Complete).count(),
+            7
+        );
+        for b in &s {
+            assert_eq!(b.spec.name(), b.name);
+        }
+    }
+
+    #[test]
+    fn by_name_finds_benchmarks() {
+        assert!(by_name("hwb4").is_some());
+        assert!(by_name("alu-v2").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn complete_benchmarks_are_bijections() {
+        for b in suite() {
+            if b.kind == BenchmarkKind::Complete {
+                let p = b.spec.as_permutation().unwrap_or_else(|| {
+                    panic!("{} should be a complete bijection", b.name)
+                });
+                assert!(p.is_bijective());
+            } else {
+                assert!(!b.spec.is_complete(), "{} should have don't-cares", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn spec_3_17_is_an_involution_free_permutation() {
+        let p = spec_3_17().as_permutation().unwrap();
+        assert!(!p.is_identity());
+        assert_eq!(p.image(0), 7);
+        assert_eq!(p.image(4), 0);
+    }
+
+    #[test]
+    fn hwb_rotates_by_weight() {
+        let p = hwb(4);
+        // weight(0b0011)=2 → rotate left 2 → 0b1100.
+        assert_eq!(p.image(0b0011), 0b1100);
+        // weight(0b0001)=1 → 0b0010.
+        assert_eq!(p.image(0b0001), 0b0010);
+        // weight 0 and weight n fixpoints.
+        assert_eq!(p.image(0), 0);
+        assert_eq!(p.image(0xf), 0xf);
+        assert!(p.is_bijective());
+        assert!(hwb(5).is_bijective());
+    }
+
+    #[test]
+    fn graycode_matches_closed_form() {
+        let p = graycode(6);
+        for v in 0..64 {
+            assert_eq!(p.image(v), v ^ (v >> 1));
+        }
+    }
+
+    #[test]
+    fn mod5_family_are_bijections_with_expected_action() {
+        assert_eq!(spec_mod5mils().as_permutation().unwrap().image(31), 0);
+        assert_eq!(spec_mod5d1().as_permutation().unwrap().image(7), 3); // 35 mod 32
+        assert_eq!(spec_mod5d2().as_permutation().unwrap().image(30), 3); // 35 mod 32
+    }
+
+    #[test]
+    fn rd32_counts_bits() {
+        let s = spec_rd32_v0();
+        // Row with inputs a=b=c=1 (0b0111), constant ok: weight 3 = 0b11 →
+        // sum (bit 0 of weight) on line 2, carry on line 3.
+        let r = s.row(0b0111);
+        assert_eq!(r.care, 0b1100);
+        assert_eq!(r.value, 0b1100);
+        // v1 swaps the outputs.
+        let r1 = spec_rd32_v1().row(0b0111);
+        assert_eq!(r1.value, 0b1100); // both 1 here; try weight 1:
+        let r0 = spec_rd32_v0().row(0b0001);
+        let r1 = spec_rd32_v1().row(0b0001);
+        assert_eq!(r0.value, 0b0100); // sum=1 on line 2
+        assert_eq!(r1.value, 0b1000); // sum=1 on line 3
+    }
+
+    #[test]
+    fn mod5_predicate_rows() {
+        let s = spec_4mod5_v0();
+        for x in 0u32..16 {
+            let r = s.row(x); // constant line 4 = 0 rows
+            assert_eq!(r.care, 0b1_0000);
+            assert_eq!(r.value >> 4, u32::from(x % 5 == 0));
+        }
+        // Constant-violating rows are free.
+        assert_eq!(s.row(0b1_0000).care, 0);
+        // v1 rows live where line 5 = 1.
+        let v1 = spec_4mod5_v1();
+        assert_eq!(v1.row(0b0_0000).care, 0);
+        assert_eq!(v1.row(0b1_0000).care, 0b1_0000);
+        assert_eq!(v1.row(0b1_0000).value >> 4, 1); // 0 mod 5 == 0
+    }
+
+    #[test]
+    fn decod24_is_one_hot() {
+        for variant in 0..4 {
+            let s = spec_decod24(variant);
+            let c2 = variant & 1;
+            let c3 = (variant >> 1) & 1;
+            for ab in 0u32..4 {
+                let row = ab | (c2 << 2) | (c3 << 3);
+                let r = s.row(row);
+                assert_eq!(r.care, 0b1111, "variant {variant} row {row}");
+                assert_eq!(r.value, 1 << ab, "variant {variant} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn decod24_variants_differ() {
+        let specs: Vec<Spec> = (0..4).map(spec_decod24).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(specs[i], specs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn alu_variant0_op_table() {
+        let s = spec_alu(0);
+        // s=00 → AND, s=01 → OR, s=10 → XOR, s=11 → NOT a.
+        let eval = |s1s0: u32, a: u32, b: u32| {
+            let row = s1s0 | (a << 2) | (b << 3);
+            s.row(row).value >> 4
+        };
+        assert_eq!(eval(0b00, 1, 1), 1);
+        assert_eq!(eval(0b00, 1, 0), 0);
+        assert_eq!(eval(0b01, 1, 0), 1);
+        assert_eq!(eval(0b01, 0, 0), 0);
+        assert_eq!(eval(0b10, 1, 1), 0);
+        assert_eq!(eval(0b10, 0, 1), 1);
+        assert_eq!(eval(0b11, 0, 1), 1);
+        assert_eq!(eval(0b11, 1, 1), 0);
+    }
+
+    #[test]
+    fn alu_variants_differ() {
+        let specs: Vec<Spec> = (0..4).map(spec_alu).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(specs[i], specs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn increment_wraps_around() {
+        let p = increment(4);
+        assert_eq!(p.image(0), 1);
+        assert_eq!(p.image(15), 0);
+        assert!(p.is_bijective());
+        assert_eq!(spec_mod5mils().as_permutation().unwrap(), increment(5));
+    }
+
+    #[test]
+    fn tof_is_one_wide_gate() {
+        use crate::circuit::Circuit;
+        use crate::gate::{Gate, LineSet};
+        for n in 2..=5u32 {
+            let p = tof(n);
+            let controls: LineSet = (0..n - 1).collect();
+            let c = Circuit::from_gates(n, [Gate::toffoli(controls, n - 1)]);
+            assert_eq!(c.permutation(), p);
+        }
+    }
+
+    #[test]
+    fn random_incomplete_spec_is_deterministic_and_realizable() {
+        let a = random_incomplete_spec(3, 5, 500);
+        let b = random_incomplete_spec(3, 5, 500);
+        assert_eq!(a.rows(), b.rows());
+        assert!(!a.is_complete() || a.care_ratio() == 1.0);
+        // The base permutation realizes it by construction — verify via a
+        // circuit? The permutation itself must satisfy every cared bit.
+        let base = random_permutation(3, 5);
+        for i in 0..8u32 {
+            let r = a.row(i);
+            assert_eq!(base.image(i) & r.care, r.value & r.care, "row {i}");
+        }
+        // Extremes.
+        assert!((random_incomplete_spec(3, 1, 1000)).is_complete());
+        assert_eq!(random_incomplete_spec(3, 1, 0).care_ratio(), 0.0);
+    }
+
+    #[test]
+    fn random_permutation_is_deterministic_and_bijective() {
+        let p1 = random_permutation(4, 42);
+        let p2 = random_permutation(4, 42);
+        let p3 = random_permutation(4, 43);
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3);
+        assert!(p1.is_bijective());
+    }
+}

@@ -1,0 +1,245 @@
+//! Cascades of reversible gates.
+
+use crate::gate::Gate;
+use crate::permutation::Permutation;
+
+/// A reversible circuit: a cascade of gates over a fixed number of lines
+/// (fanout and feedback are not allowed in reversible logic, so a cascade
+/// is the general form).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Circuit {
+    lines: u32,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// An empty circuit (the identity) over `lines` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines > 16`.
+    pub fn new(lines: u32) -> Circuit {
+        assert!(lines <= 16, "line count out of range");
+        Circuit {
+            lines,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Builds a circuit from gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate touches a line `>= lines`.
+    pub fn from_gates<I: IntoIterator<Item = Gate>>(lines: u32, gates: I) -> Circuit {
+        let mut c = Circuit::new(lines);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    }
+
+    /// Number of lines.
+    #[inline]
+    pub fn lines(&self) -> u32 {
+        self.lines
+    }
+
+    /// The gate cascade, first gate first.
+    #[inline]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of gates (the `D` column of the paper's tables).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// `true` if the circuit has no gates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate touches a line `>= lines`.
+    pub fn push(&mut self, gate: Gate) {
+        assert!(
+            gate.min_lines() <= self.lines,
+            "gate {gate} exceeds {} lines",
+            self.lines
+        );
+        self.gates.push(gate);
+    }
+
+    /// Appends all gates of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line counts differ.
+    pub fn extend_with(&mut self, other: &Circuit) {
+        assert_eq!(self.lines, other.lines, "line counts differ");
+        self.gates.extend_from_slice(&other.gates);
+    }
+
+    /// Runs the circuit on one input assignment (bit `i` = line `i`).
+    pub fn simulate(&self, input: u32) -> u32 {
+        self.gates.iter().fold(input, |s, g| g.apply(s))
+    }
+
+    /// The permutation realized by the circuit.
+    pub fn permutation(&self) -> Permutation {
+        Permutation::from_fn(self.lines, |v| self.simulate(v))
+    }
+
+    /// The inverse circuit (gates reversed and individually inverted; a
+    /// Peres gate expands into its two-Toffoli inverse).
+    pub fn inverse(&self) -> Circuit {
+        let mut inv = Circuit::new(self.lines);
+        for g in self.gates.iter().rev() {
+            for ig in g.inverse() {
+                inv.push(ig);
+            }
+        }
+        inv
+    }
+
+    /// `true` if both circuits realize the same function.
+    pub fn equivalent(&self, other: &Circuit) -> bool {
+        self.lines == other.lines
+            && (0..1u32 << self.lines).all(|v| self.simulate(v) == other.simulate(v))
+    }
+
+    /// Gate-count histogram `(mct, mcf, peres)`.
+    pub fn gate_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for g in &self.gates {
+            match g {
+                Gate::Toffoli { .. } => counts.0 += 1,
+                Gate::Fredkin { .. } => counts.1 += 1,
+                Gate::Peres { .. } => counts.2 += 1,
+            }
+        }
+        counts
+    }
+}
+
+impl std::fmt::Debug for Circuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Circuit({} lines: ", self.lines)?;
+        for (i, g) in self.gates.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{g}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::fmt::Display for Circuit {
+    /// One gate per line, RevLib-style.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for g in &self.gates {
+            writeln!(f, "{g}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::LineSet;
+
+    fn sample_circuit() -> Circuit {
+        Circuit::from_gates(
+            3,
+            [
+                Gate::cnot(0, 1),
+                Gate::toffoli(LineSet::from_iter([0, 1]), 2),
+                Gate::not(0),
+            ],
+        )
+    }
+
+    #[test]
+    fn empty_circuit_is_identity() {
+        let c = Circuit::new(3);
+        assert!(c.is_empty());
+        assert!(c.permutation().is_identity());
+    }
+
+    #[test]
+    fn simulate_applies_gates_in_order() {
+        let c = sample_circuit();
+        // input 001: CNOT → 011; Toffoli → 111; NOT x1 → 110.
+        assert_eq!(c.simulate(0b001), 0b110);
+    }
+
+    #[test]
+    fn permutation_is_bijective() {
+        assert!(sample_circuit().permutation().is_bijective());
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let c = sample_circuit();
+        let mut both = c.clone();
+        both.extend_with(&c.inverse());
+        assert!(both.permutation().is_identity());
+    }
+
+    #[test]
+    fn inverse_with_peres_expands() {
+        let c = Circuit::from_gates(3, [Gate::peres(0, 1, 2)]);
+        let inv = c.inverse();
+        assert_eq!(inv.len(), 2, "Peres inverse is a two-gate cascade");
+        let mut both = c.clone();
+        both.extend_with(&inv);
+        assert!(both.permutation().is_identity());
+    }
+
+    #[test]
+    fn equivalence_ignores_syntax() {
+        // NOT(0); NOT(0) ≡ empty.
+        let doubled = Circuit::from_gates(2, [Gate::not(0), Gate::not(0)]);
+        assert!(doubled.equivalent(&Circuit::new(2)));
+        let single = Circuit::from_gates(2, [Gate::not(0)]);
+        assert!(!single.equivalent(&Circuit::new(2)));
+    }
+
+    #[test]
+    fn gate_counts_histogram() {
+        let c = Circuit::from_gates(
+            3,
+            [
+                Gate::not(0),
+                Gate::fredkin(LineSet::EMPTY, 1, 2),
+                Gate::peres(0, 1, 2),
+                Gate::cnot(1, 0),
+            ],
+        );
+        assert_eq!(c.gate_counts(), (2, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn push_rejects_out_of_range_gate() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::not(2));
+    }
+
+    #[test]
+    fn display_lists_gates() {
+        let c = sample_circuit();
+        let s = c.to_string();
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.starts_with("t2 x1 x2"));
+    }
+}

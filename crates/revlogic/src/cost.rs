@@ -1,0 +1,228 @@
+//! Quantum costs of reversible gates.
+//!
+//! Every reversible gate decomposes into elementary quantum gates, each of
+//! cost one (Barenco et al. [1]). The table below is the standard one used
+//! by RevLib/RevKit: the cost of a multiple-control Toffoli depends on the
+//! number of controls *and* on how many unused ("free") circuit lines are
+//! available as ancillae for the decomposition.
+//!
+//! Reference points quoted in the paper (Section 2.1): a 2-control Toffoli
+//! costs 5, a 1-control Fredkin costs 7, a Peres gate costs 4 (cheaper than
+//! its two-Toffoli equivalent at 6).
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Quantum cost of a multiple-control Toffoli with `controls` control lines
+/// in a circuit with `lines` lines total (so `lines − controls − 1` free
+/// lines).
+///
+/// # Panics
+///
+/// Panics if the gate does not fit on `lines` lines.
+pub fn mct_cost(controls: u32, lines: u32) -> u64 {
+    assert!(controls < lines, "gate does not fit the circuit");
+    let free = lines - controls - 1;
+    match controls {
+        0 | 1 => 1,
+        2 => 5,
+        3 => 13,
+        4 => {
+            if free >= 2 {
+                26
+            } else {
+                29
+            }
+        }
+        5 => {
+            if free >= 3 {
+                38
+            } else if free >= 1 {
+                52
+            } else {
+                61
+            }
+        }
+        6 => {
+            if free >= 4 {
+                50
+            } else if free >= 1 {
+                80
+            } else {
+                125
+            }
+        }
+        7 => {
+            if free >= 5 {
+                62
+            } else if free >= 1 {
+                100
+            } else {
+                253
+            }
+        }
+        c => {
+            // Beyond the tabulated range: the linear-with-ancilla
+            // decomposition costs 12c − 22 when c − 2 free lines exist;
+            // with at least one ancilla, 24c − 88 is a safe linearization;
+            // otherwise only the exponential decomposition 2^(c+1) − 3
+            // remains [1].
+            let c64 = u64::from(c);
+            if free >= c - 2 {
+                12 * c64 - 22
+            } else if free >= 1 {
+                24 * c64 - 88
+            } else {
+                (1u64 << (c64 + 1)) - 3
+            }
+        }
+    }
+}
+
+/// Quantum cost of a multiple-control Fredkin with `controls` controls on
+/// `lines` lines: a controlled swap is `CNOT · MCT(c+1) · CNOT`, hence the
+/// cost of a Toffoli with one more control plus 2.
+///
+/// # Panics
+///
+/// Panics if the gate does not fit on `lines` lines.
+pub fn mcf_cost(controls: u32, lines: u32) -> u64 {
+    assert!(controls + 2 <= lines, "gate does not fit the circuit");
+    mct_cost(controls + 1, lines) + 2
+}
+
+/// Quantum cost of a Peres gate: always 4 [16].
+pub fn peres_cost() -> u64 {
+    4
+}
+
+/// Quantum cost of an arbitrary gate in a circuit with `lines` lines.
+///
+/// # Panics
+///
+/// Panics if the gate does not fit on `lines` lines.
+pub fn gate_cost(gate: &Gate, lines: u32) -> u64 {
+    assert!(gate.min_lines() <= lines, "gate does not fit the circuit");
+    match gate {
+        // Mixed-polarity controls cost the same as positive ones in the
+        // standard table (the NOT conjugation is absorbed into the
+        // decomposition).
+        Gate::Toffoli {
+            controls,
+            negative_controls,
+            ..
+        } => mct_cost(controls.len() + negative_controls.len(), lines),
+        Gate::Fredkin { controls, .. } => mcf_cost(controls.len(), lines),
+        Gate::Peres { .. } => peres_cost(),
+    }
+}
+
+/// Total quantum cost of a circuit (the `QC` column of the paper's
+/// Tables 2 and 3).
+pub fn circuit_cost(circuit: &Circuit) -> u64 {
+    circuit
+        .gates()
+        .iter()
+        .map(|g| gate_cost(g, circuit.lines()))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::LineSet;
+
+    #[test]
+    fn paper_reference_costs() {
+        // "a Toffoli gate with two controls has a cost of five"
+        assert_eq!(mct_cost(2, 3), 5);
+        // "a Fredkin gate with one control has a cost of seven"
+        assert_eq!(mcf_cost(1, 3), 7);
+        // "a Peres gate has a cost of four"
+        assert_eq!(peres_cost(), 4);
+    }
+
+    #[test]
+    fn not_and_cnot_are_elementary() {
+        assert_eq!(mct_cost(0, 1), 1);
+        assert_eq!(mct_cost(1, 2), 1);
+        assert_eq!(mct_cost(1, 5), 1);
+    }
+
+    #[test]
+    fn swap_costs_three() {
+        assert_eq!(mcf_cost(0, 2), 3);
+    }
+
+    #[test]
+    fn free_lines_reduce_large_mct_cost() {
+        assert_eq!(mct_cost(3, 4), 13);
+        assert_eq!(mct_cost(3, 8), 13);
+        assert_eq!(mct_cost(4, 5), 29); // no free line
+        assert_eq!(mct_cost(4, 7), 26); // two free lines
+        assert_eq!(mct_cost(5, 6), 61);
+        assert_eq!(mct_cost(5, 7), 52);
+        assert_eq!(mct_cost(5, 9), 38);
+        assert_eq!(mct_cost(6, 7), 125);
+        assert_eq!(mct_cost(7, 8), 253);
+        assert_eq!(mct_cost(7, 13), 62);
+    }
+
+    #[test]
+    fn beyond_table_uses_formulas() {
+        // c=8 with plenty of ancillae: 12·8−22 = 74.
+        assert_eq!(mct_cost(8, 16), 74);
+        // c=8 with one ancilla: 24·8−88 = 104.
+        assert_eq!(mct_cost(8, 10), 104);
+        // c=8 with none: 2^9−3 = 509.
+        assert_eq!(mct_cost(8, 9), 509);
+    }
+
+    #[test]
+    fn gate_cost_dispatch() {
+        assert_eq!(gate_cost(&Gate::not(0), 3), 1);
+        assert_eq!(
+            gate_cost(&Gate::toffoli(LineSet::from_iter([0, 1]), 2), 3),
+            5
+        );
+        assert_eq!(
+            gate_cost(&Gate::fredkin(LineSet::from_iter([0]), 1, 2), 3),
+            7
+        );
+        assert_eq!(gate_cost(&Gate::peres(0, 1, 2), 3), 4);
+    }
+
+    #[test]
+    fn peres_cheaper_than_two_toffoli_equivalent() {
+        let peres = Circuit::from_gates(3, [Gate::peres(0, 1, 2)]);
+        let expanded = Circuit::from_gates(
+            3,
+            [
+                Gate::toffoli(LineSet::from_iter([0, 1]), 2),
+                Gate::cnot(0, 1),
+            ],
+        );
+        assert!(peres.equivalent(&expanded));
+        assert_eq!(circuit_cost(&peres), 4);
+        assert_eq!(circuit_cost(&expanded), 6);
+    }
+
+    #[test]
+    fn circuit_cost_sums_gates() {
+        let c = Circuit::from_gates(
+            4,
+            [
+                Gate::not(3),
+                Gate::toffoli(LineSet::from_iter([0, 1, 2]), 3),
+                Gate::fredkin(LineSet::EMPTY, 0, 1),
+            ],
+        );
+        assert_eq!(circuit_cost(&c), 1 + 13 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn cost_rejects_oversized_gate() {
+        let _ = mct_cost(3, 3);
+    }
+}

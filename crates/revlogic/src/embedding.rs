@@ -1,0 +1,182 @@
+//! Embedding irreversible functions into reversible specifications.
+//!
+//! A non-reversible `k`-input, `m`-output function must be embedded into a
+//! reversible `n`-line one by adding constant inputs and garbage outputs
+//! [12]. The resulting truth table is incompletely specified: garbage
+//! outputs are don't-cares everywhere, and rows whose constant inputs carry
+//! the wrong value are don't-cares on *all* outputs.
+
+use crate::spec::{Spec, SpecError, SpecRow};
+
+/// Describes how an irreversible function is placed onto reversible lines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Embedding {
+    /// Total circuit lines `n`.
+    pub lines: u32,
+    /// Line carrying each function input, in function-argument order.
+    pub input_lines: Vec<u32>,
+    /// `(line, value)` pairs for constant inputs.
+    pub constants: Vec<(u32, bool)>,
+    /// Line carrying each function output, in function-result order. Lines
+    /// not listed are garbage.
+    pub output_lines: Vec<u32>,
+}
+
+impl Embedding {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lines repeat within the inputs+constants, or any index is
+    /// out of range — these are programming errors in benchmark
+    /// definitions, not runtime conditions.
+    fn validate(&self) {
+        let mut seen = 0u32;
+        for &l in &self.input_lines {
+            assert!(l < self.lines, "input line out of range");
+            assert_eq!(seen & (1 << l), 0, "line {l} used twice");
+            seen |= 1 << l;
+        }
+        for &(l, _) in &self.constants {
+            assert!(l < self.lines, "constant line out of range");
+            assert_eq!(seen & (1 << l), 0, "line {l} used twice");
+            seen |= 1 << l;
+        }
+        assert_eq!(
+            self.input_lines.len() + self.constants.len(),
+            self.lines as usize,
+            "inputs + constants must cover all lines"
+        );
+        let mut out_seen = 0u32;
+        for &l in &self.output_lines {
+            assert!(l < self.lines, "output line out of range");
+            assert_eq!(out_seen & (1 << l), 0, "output line {l} used twice");
+            out_seen |= 1 << l;
+        }
+    }
+
+    /// Builds the incompletely specified reversible spec for the function
+    /// `f : 2^k → 2^m` given as `f(args) = result` over packed bit vectors
+    /// (`args` bit `i` = `input_lines[i]`; `result` bit `j` drives
+    /// `output_lines[j]`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpecError`] if the resulting table is not reversibly
+    /// realizable (e.g. `f` maps two argument vectors to the same result
+    /// while every line is an output).
+    pub fn embed(&self, f: impl Fn(u32) -> u32) -> Result<Spec, SpecError> {
+        self.validate();
+        let rows = (0..1u32 << self.lines)
+            .map(|row| {
+                // Check constant inputs.
+                let constants_ok = self
+                    .constants
+                    .iter()
+                    .all(|&(l, v)| ((row >> l) & 1 == 1) == v);
+                if !constants_ok {
+                    return SpecRow { value: 0, care: 0 };
+                }
+                // Pack the function arguments from the row.
+                let mut args = 0u32;
+                for (i, &l) in self.input_lines.iter().enumerate() {
+                    args |= ((row >> l) & 1) << i;
+                }
+                let result = f(args);
+                let mut value = 0u32;
+                let mut care = 0u32;
+                for (j, &l) in self.output_lines.iter().enumerate() {
+                    care |= 1 << l;
+                    value |= ((result >> j) & 1) << l;
+                }
+                SpecRow { value, care }
+            })
+            .collect();
+        Spec::new_incomplete(self.lines, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::gate::Gate;
+
+    /// AND embedded on 3 lines: inputs on 0,1; constant 0 on line 2;
+    /// output a∧b on line 2. This is exactly what a Toffoli realizes.
+    fn and_embedding() -> Embedding {
+        Embedding {
+            lines: 3,
+            input_lines: vec![0, 1],
+            constants: vec![(2, false)],
+            output_lines: vec![2],
+        }
+    }
+
+    #[test]
+    fn and_spec_is_realized_by_toffoli() {
+        let spec = and_embedding().embed(|ab| (ab & 1) & ((ab >> 1) & 1)).unwrap();
+        let toffoli = Circuit::from_gates(3, [Gate::toffoli([0, 1].into_iter().collect(), 2)]);
+        assert!(spec.is_realized_by(&toffoli));
+    }
+
+    #[test]
+    fn rows_violating_constants_are_fully_dont_care() {
+        let spec = and_embedding().embed(|ab| ab & 1).unwrap();
+        for row in 0..8u32 {
+            let r = spec.row(row);
+            if row & 0b100 != 0 {
+                assert_eq!(r.care, 0, "row {row} should be unconstrained");
+            } else {
+                assert_eq!(r.care, 0b100, "row {row} constrains only the output");
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_lines_are_unconstrained() {
+        let spec = and_embedding().embed(|_| 0).unwrap();
+        for row in 0..8u32 {
+            assert_eq!(spec.row(row).care & 0b011, 0);
+        }
+    }
+
+    #[test]
+    fn output_can_live_on_an_input_line() {
+        // XOR of two inputs written back onto line 0 — reversible as-is,
+        // two lines, no constants.
+        let e = Embedding {
+            lines: 2,
+            input_lines: vec![0, 1],
+            constants: vec![],
+            output_lines: vec![0],
+        };
+        let spec = e.embed(|ab| (ab & 1) ^ ((ab >> 1) & 1)).unwrap();
+        let cnot = Circuit::from_gates(2, [Gate::cnot(1, 0)]);
+        assert!(spec.is_realized_by(&cnot));
+    }
+
+    #[test]
+    #[should_panic(expected = "used twice")]
+    fn overlapping_input_lines_panic() {
+        let e = Embedding {
+            lines: 2,
+            input_lines: vec![0, 0],
+            constants: vec![],
+            output_lines: vec![1],
+        };
+        let _ = e.embed(|x| x);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all lines")]
+    fn uncovered_lines_panic() {
+        let e = Embedding {
+            lines: 3,
+            input_lines: vec![0, 1],
+            constants: vec![],
+            output_lines: vec![2],
+        };
+        let _ = e.embed(|x| x);
+    }
+}

@@ -1,0 +1,593 @@
+//! Reversible gates: multiple-control Toffoli, multiple-control Fredkin and
+//! Peres (Definition 1 of the paper).
+
+/// A set of circuit lines, stored as a bit mask (line `i` ↔ bit `i`).
+///
+/// Circuits in this workspace have at most 32 lines — far beyond the reach
+/// of exact synthesis, whose state space is `(2^n)!`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LineSet(u32);
+
+impl LineSet {
+    /// The empty set.
+    pub const EMPTY: LineSet = LineSet(0);
+
+    /// Creates a set from a raw bit mask.
+    pub fn from_mask(mask: u32) -> LineSet {
+        LineSet(mask)
+    }
+
+    /// The raw bit mask.
+    #[inline]
+    pub fn mask(self) -> u32 {
+        self.0
+    }
+
+    /// Number of lines in the set.
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// `true` if the set contains no lines.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` if the set contains `line`.
+    #[inline]
+    pub fn contains(self, line: u32) -> bool {
+        line < 32 && self.0 & (1 << line) != 0
+    }
+
+    /// Returns the set with `line` added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= 32`.
+    #[must_use]
+    pub fn with(self, line: u32) -> LineSet {
+        assert!(line < 32, "line index out of range");
+        LineSet(self.0 | (1 << line))
+    }
+
+    /// Returns the set with `line` removed.
+    #[must_use]
+    pub fn without(self, line: u32) -> LineSet {
+        LineSet(self.0 & !(1u32.checked_shl(line).unwrap_or(0)))
+    }
+
+    /// `true` if the two sets share no line.
+    pub fn is_disjoint(self, other: LineSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterates over the lines in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = u32> {
+        (0..32).filter(move |&i| self.contains(i))
+    }
+
+    /// Largest line index in the set, or `None` if empty.
+    pub fn max_line(self) -> Option<u32> {
+        (!self.is_empty()).then(|| 31 - self.0.leading_zeros())
+    }
+}
+
+impl FromIterator<u32> for LineSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> LineSet {
+        let mut s = LineSet::EMPTY;
+        for line in iter {
+            s = s.with(line);
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for LineSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, line) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "x{}", line + 1)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A reversible gate `g(C, T)` with control lines `C` and target lines `T`
+/// (Definition 1 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Gate {
+    /// Multiple-control Toffoli: flips the target iff all positive controls
+    /// are 1 **and** all negative controls are 0. With no controls this is
+    /// NOT; with one positive control, CNOT.
+    ///
+    /// Negative (0-valued) controls are the mixed-polarity extension this
+    /// research group introduced in follow-up work; the DATE 2008 libraries
+    /// use positive controls only (see [`crate::GateLibrary`]).
+    Toffoli {
+        /// Positive control lines (may be empty).
+        controls: LineSet,
+        /// Negative control lines (may be empty; disjoint from `controls`).
+        negative_controls: LineSet,
+        /// Target line.
+        target: u32,
+    },
+    /// Multiple-control Fredkin: swaps the two targets iff all controls
+    /// are 1. With no controls this is SWAP.
+    Fredkin {
+        /// Control lines (may be empty).
+        controls: LineSet,
+        /// The two target lines (stored ordered low, high).
+        targets: (u32, u32),
+    },
+    /// Peres gate with one control `c` and ordered targets `(t₁, t₂)`:
+    /// maps `t₁ ↦ c ⊕ t₁` and `t₂ ↦ c·t₁ ⊕ t₂` (both reading the old `t₁`).
+    Peres {
+        /// Control line.
+        control: u32,
+        /// Ordered target lines.
+        targets: (u32, u32),
+    },
+}
+
+impl Gate {
+    /// Multiple-control Toffoli gate with positive controls only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is a control or out of range.
+    pub fn toffoli(controls: LineSet, target: u32) -> Gate {
+        Gate::toffoli_mixed(controls, LineSet::EMPTY, target)
+    }
+
+    /// Multiple-control Toffoli gate with mixed-polarity controls: the
+    /// target flips iff every line in `controls` is 1 and every line in
+    /// `negative_controls` is 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the control sets overlap, or the target is a control or
+    /// out of range.
+    pub fn toffoli_mixed(controls: LineSet, negative_controls: LineSet, target: u32) -> Gate {
+        assert!(target < 32, "target out of range");
+        assert!(
+            !controls.contains(target) && !negative_controls.contains(target),
+            "target cannot be a control"
+        );
+        assert!(
+            controls.is_disjoint(negative_controls),
+            "a line cannot be both a positive and a negative control"
+        );
+        Gate::Toffoli {
+            controls,
+            negative_controls,
+            target,
+        }
+    }
+
+    /// NOT gate (Toffoli with no controls).
+    pub fn not(target: u32) -> Gate {
+        Gate::toffoli(LineSet::EMPTY, target)
+    }
+
+    /// CNOT gate (Toffoli with one control).
+    pub fn cnot(control: u32, target: u32) -> Gate {
+        Gate::toffoli(LineSet::EMPTY.with(control), target)
+    }
+
+    /// Multiple-control Fredkin gate. Target order is irrelevant (a swap is
+    /// symmetric); targets are stored sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the targets coincide or overlap the controls.
+    pub fn fredkin(controls: LineSet, t1: u32, t2: u32) -> Gate {
+        assert!(t1 < 32 && t2 < 32, "target out of range");
+        assert_ne!(t1, t2, "fredkin targets must differ");
+        assert!(
+            !controls.contains(t1) && !controls.contains(t2),
+            "targets cannot be controls"
+        );
+        Gate::Fredkin {
+            controls,
+            targets: (t1.min(t2), t1.max(t2)),
+        }
+    }
+
+    /// SWAP gate (Fredkin with no controls).
+    pub fn swap(t1: u32, t2: u32) -> Gate {
+        Gate::fredkin(LineSet::EMPTY, t1, t2)
+    }
+
+    /// Peres gate. Target order matters: `t1` receives `c ⊕ t₁`, `t2`
+    /// receives `c·t₁ ⊕ t₂`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any two of the three lines coincide.
+    pub fn peres(control: u32, t1: u32, t2: u32) -> Gate {
+        assert!(control < 32 && t1 < 32 && t2 < 32, "line out of range");
+        assert!(
+            control != t1 && control != t2 && t1 != t2,
+            "peres lines must be distinct"
+        );
+        Gate::Peres {
+            control,
+            targets: (t1, t2),
+        }
+    }
+
+    /// All control lines (positive and negative).
+    pub fn controls(&self) -> LineSet {
+        match *self {
+            Gate::Toffoli {
+                controls,
+                negative_controls,
+                ..
+            } => LineSet(controls.mask() | negative_controls.mask()),
+            Gate::Fredkin { controls, .. } => controls,
+            Gate::Peres { control, .. } => LineSet::EMPTY.with(control),
+        }
+    }
+
+    /// The negative (0-valued) control lines; empty for every gate type
+    /// except mixed-polarity Toffoli gates.
+    pub fn negative_controls(&self) -> LineSet {
+        match *self {
+            Gate::Toffoli {
+                negative_controls, ..
+            } => negative_controls,
+            Gate::Fredkin { .. } | Gate::Peres { .. } => LineSet::EMPTY,
+        }
+    }
+
+    /// Target lines.
+    pub fn targets(&self) -> LineSet {
+        match *self {
+            Gate::Toffoli { target, .. } => LineSet::EMPTY.with(target),
+            Gate::Fredkin { targets, .. } | Gate::Peres { targets, .. } => {
+                LineSet::EMPTY.with(targets.0).with(targets.1)
+            }
+        }
+    }
+
+    /// All lines touched by the gate (controls ∪ targets).
+    pub fn lines(&self) -> LineSet {
+        LineSet(self.controls().mask() | self.targets().mask())
+    }
+
+    /// Smallest line count a circuit containing this gate must have.
+    pub fn min_lines(&self) -> u32 {
+        self.lines().max_line().map_or(0, |m| m + 1)
+    }
+
+    /// Applies the gate to a state (bit `i` of `state` = value of line `i`).
+    #[inline]
+    pub fn apply(&self, state: u32) -> u32 {
+        match *self {
+            Gate::Toffoli {
+                controls,
+                negative_controls,
+                target,
+            } => {
+                if state & controls.mask() == controls.mask()
+                    && state & negative_controls.mask() == 0
+                {
+                    state ^ (1 << target)
+                } else {
+                    state
+                }
+            }
+            Gate::Fredkin { controls, targets } => {
+                if state & controls.mask() == controls.mask() {
+                    let b1 = (state >> targets.0) & 1;
+                    let b2 = (state >> targets.1) & 1;
+                    if b1 != b2 {
+                        state ^ (1 << targets.0) ^ (1 << targets.1)
+                    } else {
+                        state
+                    }
+                } else {
+                    state
+                }
+            }
+            Gate::Peres { control, targets } => {
+                let c = (state >> control) & 1;
+                let t1_old = (state >> targets.0) & 1;
+                let mut out = state;
+                out ^= c << targets.0;
+                out ^= (c & t1_old) << targets.1;
+                out
+            }
+        }
+    }
+
+    /// The inverse of this gate as a (short) cascade.
+    ///
+    /// MCT and MCF are self-inverse. The Peres gate is not; its inverse is
+    /// returned as the equivalent two-Toffoli cascade
+    /// `CNOT(c→t₁); Toffoli({c,t₁}→t₂)`.
+    pub fn inverse(&self) -> Vec<Gate> {
+        match *self {
+            Gate::Toffoli { .. } | Gate::Fredkin { .. } => vec![*self],
+            Gate::Peres { control, targets } => vec![
+                Gate::cnot(control, targets.0),
+                Gate::toffoli(LineSet::from_iter([control, targets.0]), targets.1),
+            ],
+        }
+    }
+}
+
+impl std::fmt::Display for Gate {
+    /// RevLib-style rendering: `t2 x1 x3`, `f3 x1 x2 x4`, `p3 x1 x2 x3`
+    /// (controls first, then targets; 1-based names; negative controls are
+    /// prefixed with `-`, e.g. `t2 -x1 x2`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<String> = Vec::new();
+        let (kind, size) = match self {
+            Gate::Toffoli {
+                controls,
+                negative_controls,
+                target,
+            } => {
+                for l in 0..32 {
+                    if controls.contains(l) {
+                        names.push(format!("x{}", l + 1));
+                    } else if negative_controls.contains(l) {
+                        names.push(format!("-x{}", l + 1));
+                    }
+                }
+                names.push(format!("x{}", target + 1));
+                ('t', controls.len() + negative_controls.len() + 1)
+            }
+            Gate::Fredkin { controls, targets } => {
+                names.extend(controls.iter().map(|l| format!("x{}", l + 1)));
+                names.push(format!("x{}", targets.0 + 1));
+                names.push(format!("x{}", targets.1 + 1));
+                ('f', controls.len() + 2)
+            }
+            Gate::Peres { control, targets } => {
+                names.push(format!("x{}", control + 1));
+                names.push(format!("x{}", targets.0 + 1));
+                names.push(format!("x{}", targets.1 + 1));
+                ('p', 3)
+            }
+        };
+        write!(f, "{kind}{size} {}", names.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineset_basics() {
+        let s = LineSet::from_iter([0, 2, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(2) && !s.contains(1));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2, 5]);
+        assert_eq!(s.max_line(), Some(5));
+        assert_eq!(LineSet::EMPTY.max_line(), None);
+        assert!(s.without(2).is_disjoint(LineSet::from_iter([2])));
+        assert_eq!(s.to_string(), "{x1,x3,x6}");
+    }
+
+    #[test]
+    fn not_flips_unconditionally() {
+        let g = Gate::not(1);
+        assert_eq!(g.apply(0b000), 0b010);
+        assert_eq!(g.apply(0b010), 0b000);
+        assert_eq!(g.apply(0b111), 0b101);
+    }
+
+    #[test]
+    fn cnot_flips_when_control_set() {
+        let g = Gate::cnot(0, 2);
+        assert_eq!(g.apply(0b001), 0b101);
+        assert_eq!(g.apply(0b000), 0b000);
+        assert_eq!(g.apply(0b101), 0b001);
+    }
+
+    #[test]
+    fn toffoli_needs_all_controls() {
+        let g = Gate::toffoli(LineSet::from_iter([0, 1]), 2);
+        assert_eq!(g.apply(0b011), 0b111);
+        assert_eq!(g.apply(0b001), 0b001);
+        assert_eq!(g.apply(0b010), 0b010);
+        assert_eq!(g.apply(0b111), 0b011);
+    }
+
+    #[test]
+    fn fredkin_swaps_targets() {
+        let g = Gate::fredkin(LineSet::from_iter([2]), 0, 1);
+        assert_eq!(g.apply(0b101), 0b110); // control on: swap differing bits
+        assert_eq!(g.apply(0b001), 0b001); // control off
+        assert_eq!(g.apply(0b111), 0b111); // equal targets unchanged
+    }
+
+    #[test]
+    fn swap_is_unconditional() {
+        let g = Gate::swap(0, 2);
+        assert_eq!(g.apply(0b001), 0b100);
+        assert_eq!(g.apply(0b100), 0b001);
+        assert_eq!(g.apply(0b010), 0b010);
+    }
+
+    #[test]
+    fn peres_semantics_match_definition() {
+        // Peres(c=0, t1=1, t2=2): t1 ^= c; t2 ^= c & old_t1.
+        let g = Gate::peres(0, 1, 2);
+        for state in 0u32..8 {
+            let c = state & 1;
+            let t1 = (state >> 1) & 1;
+            let t2 = (state >> 2) & 1;
+            let expected = c | ((t1 ^ c) << 1) | ((t2 ^ (c & t1)) << 2);
+            assert_eq!(g.apply(state), expected, "state {state:03b}");
+        }
+    }
+
+    #[test]
+    fn peres_differs_by_target_order() {
+        let g1 = Gate::peres(0, 1, 2);
+        let g2 = Gate::peres(0, 2, 1);
+        assert_ne!(g1, g2);
+        // And they are functionally different.
+        assert!((0..8).any(|s| g1.apply(s) != g2.apply(s)));
+    }
+
+    #[test]
+    fn all_gates_are_bijective() {
+        let gates = [
+            Gate::not(0),
+            Gate::cnot(1, 0),
+            Gate::toffoli(LineSet::from_iter([0, 2]), 1),
+            Gate::fredkin(LineSet::from_iter([0]), 1, 2),
+            Gate::swap(1, 2),
+            Gate::peres(2, 0, 1),
+        ];
+        for g in gates {
+            let mut seen = std::collections::HashSet::new();
+            for s in 0u32..8 {
+                assert!(seen.insert(g.apply(s)), "{g} not injective");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_undoes_gate() {
+        let gates = [
+            Gate::not(0),
+            Gate::toffoli(LineSet::from_iter([0, 1]), 2),
+            Gate::fredkin(LineSet::from_iter([2]), 0, 1),
+            Gate::peres(0, 1, 2),
+            Gate::peres(2, 1, 0),
+        ];
+        for g in gates {
+            for s in 0u32..8 {
+                let mut v = g.apply(s);
+                for inv in g.inverse() {
+                    v = inv.apply(v);
+                }
+                assert_eq!(v, s, "{g} inverse failed on {s:03b}");
+            }
+        }
+    }
+
+    #[test]
+    fn controls_targets_lines() {
+        let g = Gate::toffoli(LineSet::from_iter([0, 3]), 2);
+        assert_eq!(g.controls(), LineSet::from_iter([0, 3]));
+        assert_eq!(g.targets(), LineSet::from_iter([2]));
+        assert_eq!(g.lines(), LineSet::from_iter([0, 2, 3]));
+        assert_eq!(g.min_lines(), 4);
+        let p = Gate::peres(1, 0, 2);
+        assert_eq!(p.controls(), LineSet::from_iter([1]));
+        assert_eq!(p.targets(), LineSet::from_iter([0, 2]));
+    }
+
+    #[test]
+    fn display_revlib_style() {
+        assert_eq!(Gate::not(0).to_string(), "t1 x1");
+        assert_eq!(Gate::cnot(0, 1).to_string(), "t2 x1 x2");
+        assert_eq!(
+            Gate::toffoli(LineSet::from_iter([0, 1]), 2).to_string(),
+            "t3 x1 x2 x3"
+        );
+        assert_eq!(
+            Gate::fredkin(LineSet::from_iter([0]), 1, 2).to_string(),
+            "f3 x1 x2 x3"
+        );
+        assert_eq!(Gate::peres(0, 1, 2).to_string(), "p3 x1 x2 x3");
+    }
+
+    #[test]
+    #[should_panic(expected = "target cannot be a control")]
+    fn toffoli_rejects_overlap() {
+        let _ = Gate::toffoli(LineSet::from_iter([1]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn fredkin_rejects_equal_targets() {
+        let _ = Gate::fredkin(LineSet::EMPTY, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn peres_rejects_duplicate_lines() {
+        let _ = Gate::peres(1, 1, 2);
+    }
+
+    #[test]
+    fn negative_controls_fire_on_zero() {
+        // t2 -x1 x2: flips line 1 iff line 0 is 0.
+        let g = Gate::toffoli_mixed(LineSet::EMPTY, LineSet::from_iter([0]), 1);
+        assert_eq!(g.apply(0b00), 0b10);
+        assert_eq!(g.apply(0b01), 0b01);
+        assert_eq!(g.apply(0b10), 0b00);
+        assert_eq!(g.apply(0b11), 0b11);
+    }
+
+    #[test]
+    fn mixed_polarity_toffoli_semantics() {
+        // flips line 2 iff line 0 = 1 and line 1 = 0.
+        let g = Gate::toffoli_mixed(
+            LineSet::from_iter([0]),
+            LineSet::from_iter([1]),
+            2,
+        );
+        for state in 0u32..8 {
+            let fire = (state & 1 == 1) && (state & 2 == 0);
+            let expected = if fire { state ^ 4 } else { state };
+            assert_eq!(g.apply(state), expected, "state {state:03b}");
+        }
+        assert_eq!(g.controls(), LineSet::from_iter([0, 1]));
+        assert_eq!(g.negative_controls(), LineSet::from_iter([1]));
+    }
+
+    #[test]
+    fn mixed_polarity_toffoli_is_self_inverse() {
+        let g = Gate::toffoli_mixed(
+            LineSet::from_iter([2]),
+            LineSet::from_iter([0]),
+            1,
+        );
+        for s in 0u32..8 {
+            assert_eq!(g.apply(g.apply(s)), s);
+        }
+        assert_eq!(g.inverse(), vec![g]);
+    }
+
+    #[test]
+    fn mixed_polarity_display_marks_negatives() {
+        let g = Gate::toffoli_mixed(
+            LineSet::from_iter([2]),
+            LineSet::from_iter([0]),
+            1,
+        );
+        assert_eq!(g.to_string(), "t3 -x1 x3 x2");
+    }
+
+    #[test]
+    #[should_panic(expected = "both a positive and a negative")]
+    fn overlapping_polarities_panic() {
+        let _ = Gate::toffoli_mixed(
+            LineSet::from_iter([0]),
+            LineSet::from_iter([0]),
+            1,
+        );
+    }
+
+    #[test]
+    fn fredkin_target_order_is_normalized() {
+        assert_eq!(
+            Gate::fredkin(LineSet::EMPTY, 2, 1),
+            Gate::fredkin(LineSet::EMPTY, 1, 2)
+        );
+    }
+}

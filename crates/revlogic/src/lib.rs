@@ -1,0 +1,58 @@
+//! Reversible logic: gates, circuits, specifications, costs and benchmarks.
+//!
+//! This crate provides the domain model of the `qsyn` workspace — the
+//! RevLib-style infrastructure *"Quantified Synthesis of Reversible Logic"*
+//! (Wille et al., DATE 2008) builds on:
+//!
+//! * [`Gate`] — multiple-control Toffoli (MCT), multiple-control Fredkin
+//!   (MCF) and Peres gates (Definition 1 of the paper),
+//! * [`Circuit`] — cascades of gates with simulation, inversion and
+//!   permutation extraction,
+//! * [`Spec`] — completely and incompletely specified reversible functions
+//!   (truth tables with don't-care outputs, Definition 4),
+//! * [`cost`] — quantum costs after Barenco et al. [1],
+//! * [`GateLibrary`] — gate-set selection and exhaustive gate enumeration
+//!   with the cardinalities of Theorem 1,
+//! * [`real`] — RevLib `.real` circuit file I/O, [`spec_format`] —
+//!   truth-table file I/O,
+//! * [`benchmarks`] — the paper's evaluation functions (re-derived or
+//!   substituted; see `DESIGN.md` §4),
+//! * [`embedding`] — embedding irreversible functions into reversible
+//!   specifications with constant inputs and garbage outputs [12].
+//!
+//! # Example
+//!
+//! ```
+//! use qsyn_revlogic::{Circuit, Gate, LineSet};
+//!
+//! // A 3-line circuit: CNOT(a→b) followed by Toffoli(a,b→c).
+//! let mut c = Circuit::new(3);
+//! c.push(Gate::toffoli(LineSet::from_iter([0]), 1));
+//! c.push(Gate::toffoli(LineSet::from_iter([0, 1]), 2));
+//! assert_eq!(c.simulate(0b001), 0b111); // a=1 ⇒ b flips, then c flips
+//! assert!(c.permutation().is_bijective());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+mod circuit;
+pub mod cost;
+pub mod embedding;
+mod gate;
+mod library;
+pub mod ncv;
+mod permutation;
+pub mod qsim;
+pub mod real;
+mod spec;
+pub mod spec_format;
+
+#[cfg(test)]
+mod prop_tests;
+
+pub use circuit::Circuit;
+pub use gate::{Gate, LineSet};
+pub use library::GateLibrary;
+pub use permutation::Permutation;
+pub use spec::{Spec, SpecError, SpecRow};

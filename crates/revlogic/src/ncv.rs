@@ -1,0 +1,373 @@
+//! Decomposition of reversible gates into *elementary quantum gates*
+//! (Barenco et al. [1]) — the networks behind the quantum-cost table of
+//! [`crate::cost`].
+//!
+//! Elementary gates here are NOT, CNOT and singly-controlled roots of X
+//! (`V = X^½`, `V†`, `X^¼`, …), each of cost 1. Multi-control Toffoli
+//! gates decompose through the classic gray-code network: `2^k − 1`
+//! controlled roots `X^(±1/2^(k−1))` interleaved with `2^k − 2` CNOTs,
+//! totalling `2^(k+1) − 3` elementary gates — exactly the zero-ancilla
+//! column of the cost table (5 for two controls, 13 for three, 29 for
+//! four…). A Peres gate packs into 4 elementary gates and a
+//! single-control Fredkin into 7, the constants quoted in Section 2.1 of
+//! the paper.
+//!
+//! Everything here is *verified*, not asserted: [`verify_gate`] simulates
+//! the emitted network on every computational basis state with the
+//! state-vector simulator of [`crate::qsim`] and compares against the
+//! classical gate semantics.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::qsim::{x_power, StateVector};
+
+/// One elementary quantum gate: `X^power` on `target`, optionally with a
+/// single (positive) control.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ElementaryGate {
+    /// The control line, if any.
+    pub control: Option<u32>,
+    /// The target line.
+    pub target: u32,
+    /// Exponent `t` of `X^t` (1.0 = NOT/CNOT, 0.5 = `V`, −0.5 = `V†`, …).
+    pub power: f64,
+}
+
+impl ElementaryGate {
+    fn x(target: u32) -> ElementaryGate {
+        ElementaryGate {
+            control: None,
+            target,
+            power: 1.0,
+        }
+    }
+
+    fn cx(control: u32, target: u32) -> ElementaryGate {
+        ElementaryGate {
+            control: Some(control),
+            target,
+            power: 1.0,
+        }
+    }
+
+    fn controlled_root(control: u32, target: u32, power: f64) -> ElementaryGate {
+        ElementaryGate {
+            control: Some(control),
+            target,
+            power,
+        }
+    }
+
+    /// Applies this gate to a simulator state.
+    pub fn apply(&self, state: &mut StateVector) {
+        let m = x_power(self.power);
+        let controls = self.control.map_or(0, |c| 1u32 << c);
+        state.apply_controlled(&m, controls, self.target);
+    }
+}
+
+impl std::fmt::Display for ElementaryGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = if (self.power - 1.0).abs() < 1e-12 {
+            "X".to_string()
+        } else if (self.power - 0.5).abs() < 1e-12 {
+            "V".to_string()
+        } else if (self.power + 0.5).abs() < 1e-12 {
+            "V+".to_string()
+        } else if self.power > 0.0 {
+            format!("X^(1/{})", (1.0 / self.power).round() as i64)
+        } else {
+            format!("X^(-1/{})", (-1.0 / self.power).round() as i64)
+        };
+        match self.control {
+            Some(c) => write!(f, "C{name}(x{} -> x{})", c + 1, self.target + 1),
+            None => write!(f, "{name}(x{})", self.target + 1),
+        }
+    }
+}
+
+/// Gray-code network for a multi-controlled X with `k ≥ 2` controls:
+/// `2^k − 1` controlled roots plus `2^k − 2` CNOTs.
+fn gray_code_mcx(controls: &[u32], target: u32, out: &mut Vec<ElementaryGate>) {
+    let k = controls.len();
+    debug_assert!(k >= 2);
+    let root = 1.0 / f64::from(1u32 << (k - 1));
+    // held[j] = set of original controls whose parity wire `controls[j]`
+    // currently carries (as a bit mask over 0..k).
+    let mut held: Vec<u32> = (0..k).map(|j| 1u32 << j).collect();
+    for i in 1u32..(1 << k) {
+        let gray = i ^ (i >> 1);
+        let h = (31 - gray.leading_zeros()) as usize;
+        // Accumulate the desired parity onto wire h. Sources are always
+        // singleton wires: only the current block's highest wire ever
+        // drifts, and each block ends on its singleton, restoring it.
+        while held[h] != gray {
+            let diff = held[h] ^ gray;
+            let b = diff.trailing_zeros() as usize;
+            debug_assert_ne!(b, h);
+            debug_assert_eq!(held[b], 1 << b, "source wire must be a singleton");
+            out.push(ElementaryGate::cx(controls[b], controls[h]));
+            held[h] ^= held[b];
+        }
+        let sign = if gray.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+        out.push(ElementaryGate::controlled_root(
+            controls[h],
+            target,
+            sign * root,
+        ));
+    }
+    debug_assert!(held.iter().enumerate().all(|(j, &m)| m == 1 << j));
+}
+
+/// Emits the elementary network of a multi-controlled X (positive controls
+/// only).
+fn mcx(controls: &[u32], target: u32, out: &mut Vec<ElementaryGate>) {
+    match controls {
+        [] => out.push(ElementaryGate::x(target)),
+        [c] => out.push(ElementaryGate::cx(*c, target)),
+        _ => gray_code_mcx(controls, target, out),
+    }
+}
+
+/// Decomposes one reversible gate into elementary quantum gates.
+///
+/// Negative controls are handled by NOT conjugation (two extra gates per
+/// negative control; the cost table of [`crate::cost`] charges them like
+/// positive ones, following RevLib convention — the decomposition here is
+/// the conservative upper bound).
+pub fn decompose_gate(gate: &Gate) -> Vec<ElementaryGate> {
+    let mut out = Vec::new();
+    match *gate {
+        Gate::Toffoli {
+            controls,
+            negative_controls,
+            target,
+        } => {
+            for c in negative_controls.iter() {
+                out.push(ElementaryGate::x(c));
+            }
+            let all: Vec<u32> = controls
+                .iter()
+                .chain(negative_controls.iter())
+                .collect();
+            let mut sorted = all;
+            sorted.sort_unstable();
+            mcx(&sorted, target, &mut out);
+            for c in negative_controls.iter() {
+                out.push(ElementaryGate::x(c));
+            }
+        }
+        Gate::Fredkin { controls, targets } => {
+            // Fredkin(C; a, b) = CX(b→a) · MCT(C ∪ {a} → b) · CX(b→a).
+            let (a, b) = targets;
+            out.push(ElementaryGate::cx(b, a));
+            let mut ctl: Vec<u32> = controls.iter().collect();
+            ctl.push(a);
+            ctl.sort_unstable();
+            mcx(&ctl, b, &mut out);
+            out.push(ElementaryGate::cx(b, a));
+        }
+        Gate::Peres { control, targets } => {
+            // Peres(c; a, b): X-power on b of (a + c − (a⊕c))/2 = a·c, and
+            // a ← a ⊕ c — four elementary gates [16].
+            let (a, b) = targets;
+            out.push(ElementaryGate::controlled_root(a, b, 0.5));
+            out.push(ElementaryGate::controlled_root(control, b, 0.5));
+            out.push(ElementaryGate::cx(control, a));
+            out.push(ElementaryGate::controlled_root(a, b, -0.5));
+        }
+    }
+    out
+}
+
+/// Decomposes a whole circuit.
+pub fn decompose_circuit(circuit: &Circuit) -> Vec<ElementaryGate> {
+    circuit
+        .gates()
+        .iter()
+        .flat_map(decompose_gate)
+        .collect()
+}
+
+/// Number of elementary gates in the zero-ancilla decomposition of
+/// `circuit`. Agrees with [`crate::cost::circuit_cost`] whenever no gate
+/// has ancilla-discounted cost (i.e. ≤ 3 controls) and no negative
+/// controls are present; otherwise this is the conservative upper bound
+/// the emitted network actually achieves.
+pub fn network_cost(circuit: &Circuit) -> u64 {
+    decompose_circuit(circuit).len() as u64
+}
+
+/// Simulates `network` on `|input⟩` and returns the resulting basis state,
+/// or `None` if the output is not a (phase-free) basis state.
+pub fn simulate_network(network: &[ElementaryGate], lines: u32, input: u32) -> Option<u32> {
+    let mut state = StateVector::basis(lines, input);
+    for g in network {
+        g.apply(&mut state);
+    }
+    state.as_basis(1e-9)
+}
+
+/// Exhaustively verifies that the decomposition of `gate` implements its
+/// classical semantics on `lines` lines.
+pub fn verify_gate(gate: &Gate, lines: u32) -> bool {
+    let network = decompose_gate(gate);
+    (0..1u32 << lines).all(|input| {
+        simulate_network(&network, lines, input) == Some(gate.apply(input))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::LineSet;
+
+    #[test]
+    fn not_and_cnot_are_single_gates() {
+        assert_eq!(decompose_gate(&Gate::not(0)).len(), 1);
+        assert_eq!(decompose_gate(&Gate::cnot(0, 1)).len(), 1);
+        assert!(verify_gate(&Gate::not(0), 2));
+        assert!(verify_gate(&Gate::cnot(1, 0), 2));
+    }
+
+    #[test]
+    fn toffoli_two_controls_is_the_classic_five_gate_network() {
+        let g = Gate::toffoli(LineSet::from_iter([0, 1]), 2);
+        let network = decompose_gate(&g);
+        assert_eq!(network.len(), 5, "paper: 2-control Toffoli costs 5");
+        assert!(verify_gate(&g, 3));
+    }
+
+    #[test]
+    fn toffoli_three_controls_costs_thirteen() {
+        let g = Gate::toffoli(LineSet::from_iter([0, 1, 2]), 3);
+        assert_eq!(decompose_gate(&g).len(), 13);
+        assert!(verify_gate(&g, 4));
+    }
+
+    #[test]
+    fn toffoli_four_controls_costs_twentynine() {
+        let g = Gate::toffoli(LineSet::from_iter([0, 1, 2, 3]), 4);
+        assert_eq!(decompose_gate(&g).len(), 29);
+        assert!(verify_gate(&g, 5));
+    }
+
+    #[test]
+    fn gray_code_matches_zero_ancilla_cost_column() {
+        // 2^(k+1) − 3 = the no-free-line entries of the cost table.
+        for k in 2..=4u32 {
+            let controls: LineSet = (0..k).collect();
+            let g = Gate::toffoli(controls, k);
+            let network = decompose_gate(&g);
+            assert_eq!(network.len() as u64, (1u64 << (k + 1)) - 3);
+            assert_eq!(
+                network.len() as u64,
+                crate::cost::mct_cost(k, k + 1),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn peres_is_four_gates() {
+        let g = Gate::peres(0, 1, 2);
+        let network = decompose_gate(&g);
+        assert_eq!(network.len(), 4, "paper: Peres costs 4");
+        assert!(verify_gate(&g, 3));
+        // Both target orders.
+        assert!(verify_gate(&Gate::peres(2, 1, 0), 3));
+        assert!(verify_gate(&Gate::peres(1, 2, 0), 3));
+    }
+
+    #[test]
+    fn fredkin_single_control_is_seven_gates() {
+        let g = Gate::fredkin(LineSet::from_iter([0]), 1, 2);
+        let network = decompose_gate(&g);
+        assert_eq!(network.len(), 7, "paper: 1-control Fredkin costs 7");
+        assert!(verify_gate(&g, 3));
+    }
+
+    #[test]
+    fn swap_is_three_gates() {
+        let g = Gate::swap(0, 1);
+        assert_eq!(decompose_gate(&g).len(), 3);
+        assert!(verify_gate(&g, 2));
+    }
+
+    #[test]
+    fn negative_controls_verify_with_not_conjugation() {
+        let g = Gate::toffoli_mixed(LineSet::from_iter([0]), LineSet::from_iter([1]), 2);
+        assert!(verify_gate(&g, 3));
+        let g2 =
+            Gate::toffoli_mixed(LineSet::EMPTY, LineSet::from_iter([0, 1]), 2);
+        assert!(verify_gate(&g2, 3));
+    }
+
+    #[test]
+    fn every_3_line_library_gate_verifies() {
+        for g in crate::library::GateLibrary::all()
+            .with_mixed_polarity()
+            .enumerate(3)
+        {
+            assert!(verify_gate(&g, 3), "{g} decomposition is wrong");
+        }
+    }
+
+    #[test]
+    fn whole_circuit_decomposition_simulates_correctly() {
+        let c = Circuit::from_gates(
+            4,
+            [
+                Gate::toffoli(LineSet::from_iter([0, 1, 2]), 3),
+                Gate::peres(3, 0, 1),
+                Gate::fredkin(LineSet::from_iter([1]), 2, 3),
+                Gate::not(0),
+            ],
+        );
+        let network = decompose_circuit(&c);
+        for input in 0..16u32 {
+            assert_eq!(
+                simulate_network(&network, 4, input),
+                Some(c.simulate(input)),
+                "input {input:04b}"
+            );
+        }
+    }
+
+    #[test]
+    fn network_cost_matches_cost_table_for_small_gates() {
+        // All-positive gates with ≤ 3 controls: the emitted network size
+        // IS the table cost.
+        let c = Circuit::from_gates(
+            4,
+            [
+                Gate::not(0),
+                Gate::cnot(1, 2),
+                Gate::toffoli(LineSet::from_iter([0, 1]), 3),
+                Gate::toffoli(LineSet::from_iter([0, 1, 2]), 3),
+                Gate::peres(0, 1, 2),
+                Gate::fredkin(LineSet::from_iter([0]), 2, 3),
+            ],
+        );
+        assert_eq!(network_cost(&c), crate::cost::circuit_cost(&c));
+        assert_eq!(network_cost(&c), 1 + 1 + 5 + 13 + 4 + 7);
+    }
+
+    #[test]
+    fn display_names_roots() {
+        assert_eq!(ElementaryGate::x(0).to_string(), "X(x1)");
+        assert_eq!(ElementaryGate::cx(0, 1).to_string(), "CX(x1 -> x2)");
+        assert_eq!(
+            ElementaryGate::controlled_root(0, 1, 0.5).to_string(),
+            "CV(x1 -> x2)"
+        );
+        assert_eq!(
+            ElementaryGate::controlled_root(0, 1, -0.5).to_string(),
+            "CV+(x1 -> x2)"
+        );
+        assert_eq!(
+            ElementaryGate::controlled_root(0, 1, 0.25).to_string(),
+            "CX^(1/4)(x1 -> x2)"
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Reversible functions as permutations of `{0, …, 2ⁿ−1}`.
+
+/// A completely specified reversible function over `n` lines, stored as the
+/// image vector of the permutation it induces on `{0, …, 2ⁿ−1}`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Permutation {
+    lines: u32,
+    map: Vec<u32>,
+}
+
+impl Permutation {
+    /// The identity on `n` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines > 16` (exact synthesis is far out of reach earlier).
+    pub fn identity(lines: u32) -> Permutation {
+        assert!(lines <= 16, "line count out of range");
+        Permutation {
+            lines,
+            map: (0..1u32 << lines).collect(),
+        }
+    }
+
+    /// Creates a permutation from its image vector (`map[i]` = output for
+    /// input `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` does not describe a bijection on `{0, …, 2ⁿ−1}` with
+    /// `map.len() == 2ⁿ`.
+    pub fn from_map(lines: u32, map: Vec<u32>) -> Permutation {
+        assert!(lines <= 16, "line count out of range");
+        assert_eq!(map.len(), 1 << lines, "image vector has wrong length");
+        let mut seen = vec![false; map.len()];
+        for &v in &map {
+            assert!((v as usize) < map.len(), "image {v} out of range");
+            assert!(!seen[v as usize], "image {v} repeated: not a bijection");
+            seen[v as usize] = true;
+        }
+        Permutation { lines, map }
+    }
+
+    /// Builds the permutation `i ↦ f(i)`, checking bijectivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not injective on `{0, …, 2ⁿ−1}`.
+    pub fn from_fn(lines: u32, f: impl Fn(u32) -> u32) -> Permutation {
+        let map = (0..1u32 << lines).map(f).collect();
+        Permutation::from_map(lines, map)
+    }
+
+    /// Number of lines `n`.
+    #[inline]
+    pub fn lines(&self) -> u32 {
+        self.lines
+    }
+
+    /// `2ⁿ`, the number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Image of input `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= 2ⁿ`.
+    #[inline]
+    pub fn image(&self, row: u32) -> u32 {
+        self.map[row as usize]
+    }
+
+    /// The image vector.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.map
+    }
+
+    /// Always `true` by construction; exposed for self-documenting call
+    /// sites and tests.
+    pub fn is_bijective(&self) -> bool {
+        let mut seen = vec![false; self.map.len()];
+        self.map.iter().all(|&v| {
+            let hit = !seen[v as usize];
+            seen[v as usize] = true;
+            hit
+        })
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0; self.map.len()];
+        for (i, &v) in self.map.iter().enumerate() {
+            inv[v as usize] = i as u32;
+        }
+        Permutation {
+            lines: self.lines,
+            map: inv,
+        }
+    }
+
+    /// Composition `other ∘ self` — first apply `self`, then `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line counts differ.
+    pub fn then(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.lines, other.lines, "line counts differ");
+        Permutation {
+            lines: self.lines,
+            map: self.map.iter().map(|&v| other.map[v as usize]).collect(),
+        }
+    }
+
+    /// `true` if this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, &v)| i as u32 == v)
+    }
+
+    /// Value of output line `l` for input `row`.
+    pub fn output_bit(&self, row: u32, l: u32) -> bool {
+        (self.image(row) >> l) & 1 == 1
+    }
+}
+
+impl std::fmt::Debug for Permutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Permutation({} lines, {:?})", self.lines, self.map)
+    }
+}
+
+impl std::fmt::Display for Permutation {
+    /// Truth-table rendering, one `input -> output` pair per line (binary,
+    /// line 1 = least significant bit, rightmost).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let w = self.lines as usize;
+        for (i, &v) in self.map.iter().enumerate() {
+            writeln!(f, "{i:0w$b} -> {v:0w$b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_every_row_to_itself() {
+        let p = Permutation::identity(3);
+        assert!(p.is_identity());
+        assert!(p.is_bijective());
+        assert_eq!(p.num_rows(), 8);
+        for i in 0..8 {
+            assert_eq!(p.image(i), i);
+        }
+    }
+
+    #[test]
+    fn from_map_accepts_bijections() {
+        let p = Permutation::from_map(2, vec![3, 1, 0, 2]);
+        assert_eq!(p.image(0), 3);
+        assert!(!p.is_identity());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a bijection")]
+    fn from_map_rejects_repeats() {
+        let _ = Permutation::from_map(2, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn from_map_rejects_wrong_length() {
+        let _ = Permutation::from_map(2, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::from_map(2, vec![2, 0, 3, 1]);
+        assert!(p.then(&p.inverse()).is_identity());
+        assert!(p.inverse().then(&p).is_identity());
+    }
+
+    #[test]
+    fn then_applies_left_to_right() {
+        let first = Permutation::from_fn(2, |v| v ^ 1); // flip bit 0
+        let second = Permutation::from_fn(2, |v| v ^ 2); // flip bit 1
+        let both = first.then(&second);
+        assert_eq!(both.image(0), 3);
+    }
+
+    #[test]
+    fn from_fn_builds_xor_permutation() {
+        // y2 = x2 ⊕ x1 (CNOT from line 0 to line 1).
+        let p = Permutation::from_fn(2, |v| {
+            let b0 = v & 1;
+            v ^ (b0 << 1)
+        });
+        assert_eq!(p.as_slice(), &[0, 3, 2, 1]);
+        assert!(p.output_bit(1, 1));
+        assert!(p.output_bit(1, 0));
+    }
+
+    #[test]
+    fn display_shows_binary_rows() {
+        let p = Permutation::identity(2);
+        let s = p.to_string();
+        assert!(s.contains("00 -> 00"));
+        assert!(s.contains("11 -> 11"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests over random circuits and gate libraries.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::library::GateLibrary;
+use crate::real;
+use crate::spec::Spec;
+use crate::spec_format;
+use proptest::prelude::*;
+
+const LINES: u32 = 4;
+
+/// Strategy: a random gate from the full (mixed-polarity) library on
+/// `LINES` lines.
+fn arb_gate() -> impl Strategy<Value = Gate> {
+    let gates = GateLibrary::all().with_mixed_polarity().enumerate(LINES);
+    (0..gates.len()).prop_map(move |i| gates[i])
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_gate(), 0..12)
+        .prop_map(|gates| Circuit::from_gates(LINES, gates))
+}
+
+proptest! {
+    #[test]
+    fn circuits_are_always_reversible(c in arb_circuit()) {
+        let p = c.permutation();
+        prop_assert!(p.is_bijective());
+    }
+
+    #[test]
+    fn inverse_circuit_undoes_circuit(c in arb_circuit()) {
+        let mut both = c.clone();
+        both.extend_with(&c.inverse());
+        prop_assert!(both.permutation().is_identity());
+        // And the other way around.
+        let mut reversed = c.inverse();
+        reversed.extend_with(&c);
+        prop_assert!(reversed.permutation().is_identity());
+    }
+
+    #[test]
+    fn real_format_roundtrip(c in arb_circuit()) {
+        let text = real::write_real(&c);
+        let parsed = real::parse_real(&text).unwrap();
+        prop_assert_eq!(&parsed, &c);
+        prop_assert!(parsed.equivalent(&c));
+    }
+
+    #[test]
+    fn spec_format_roundtrip_of_circuit_functions(c in arb_circuit()) {
+        let spec = Spec::from_permutation(&c.permutation());
+        let text = spec_format::write_spec(&spec);
+        let parsed = spec_format::parse_spec(&text).unwrap();
+        prop_assert_eq!(parsed.rows(), spec.rows());
+        prop_assert!(parsed.is_realized_by(&c));
+    }
+
+    #[test]
+    fn permutation_composition_matches_circuit_concatenation(
+        c1 in arb_circuit(),
+        c2 in arb_circuit(),
+    ) {
+        let mut cat = c1.clone();
+        cat.extend_with(&c2);
+        let composed = c1.permutation().then(&c2.permutation());
+        prop_assert_eq!(cat.permutation(), composed);
+    }
+
+    #[test]
+    fn quantum_cost_is_additive(c1 in arb_circuit(), c2 in arb_circuit()) {
+        let mut cat = c1.clone();
+        cat.extend_with(&c2);
+        prop_assert_eq!(
+            crate::cost::circuit_cost(&cat),
+            crate::cost::circuit_cost(&c1) + crate::cost::circuit_cost(&c2)
+        );
+    }
+
+    #[test]
+    fn every_library_gate_is_an_involution_or_peres(g in arb_gate()) {
+        // MCT and MCF are self-inverse; Peres gates are the only library
+        // members with a longer inverse.
+        let inv = g.inverse();
+        match g {
+            Gate::Peres { .. } => prop_assert_eq!(inv.len(), 2),
+            _ => prop_assert_eq!(inv, vec![g]),
+        }
+    }
+
+    #[test]
+    fn gate_touches_only_its_lines(g in arb_gate(), state in 0u32..16) {
+        let out = g.apply(state);
+        let untouched = !g.lines().mask();
+        prop_assert_eq!(state & untouched, out & untouched);
+        // Controls are never modified.
+        prop_assert_eq!(state & g.controls().mask(), out & g.controls().mask());
+    }
+
+    #[test]
+    fn random_permutations_synthesizable_spec(seed in 0u64..10_000) {
+        let p = crate::benchmarks::random_permutation(3, seed);
+        let spec = Spec::from_permutation(&p);
+        prop_assert!(spec.is_complete());
+        prop_assert_eq!(spec.as_permutation().unwrap(), p);
+    }
+}

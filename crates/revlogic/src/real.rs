@@ -1,0 +1,318 @@
+//! RevLib `.real` circuit file format.
+//!
+//! The `.real` format is RevLib's [23] interchange format for reversible
+//! circuits. Supported gate lines: `t<k>` (multiple-control Toffoli),
+//! `f<k>` (multiple-control Fredkin) and `p3` (Peres), with the target
+//! line(s) last.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, LineSet};
+
+/// Error while parsing a `.real` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRealError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseRealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, ".real parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseRealError {}
+
+/// Serializes a circuit in `.real` format with variables `x1 … xn`.
+pub fn write_real(circuit: &Circuit) -> String {
+    use std::fmt::Write as _;
+    let n = circuit.lines();
+    let vars: Vec<String> = (1..=n).map(|i| format!("x{i}")).collect();
+    let mut out = String::new();
+    writeln!(out, ".version 2.0").unwrap();
+    writeln!(out, ".numvars {n}").unwrap();
+    writeln!(out, ".variables {}", vars.join(" ")).unwrap();
+    writeln!(out, ".inputs {}", vars.join(" ")).unwrap();
+    writeln!(out, ".outputs {}", vars.join(" ")).unwrap();
+    writeln!(out, ".begin").unwrap();
+    for g in circuit.gates() {
+        writeln!(out, "{g}").unwrap();
+    }
+    writeln!(out, ".end").unwrap();
+    out
+}
+
+/// Parses a `.real` file.
+///
+/// # Errors
+///
+/// Returns [`ParseRealError`] on unknown directives or gates, bad variable
+/// references, arity mismatches, or gates outside `.begin`/`.end`.
+pub fn parse_real(input: &str) -> Result<Circuit, ParseRealError> {
+    let mut numvars: Option<u32> = None;
+    let mut var_names: Vec<String> = Vec::new();
+    let mut circuit: Option<Circuit> = None;
+    let mut ended = false;
+
+    let err = |line: usize, message: String| ParseRealError { line, message };
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut toks = rest.split_whitespace();
+            let directive = toks.next().unwrap_or("");
+            match directive {
+                "version" | "inputs" | "outputs" | "constants" | "garbage" => {}
+                "numvars" => {
+                    let n: u32 = toks
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err(lineno, "bad .numvars".into()))?;
+                    if n == 0 || n > 16 {
+                        return Err(err(lineno, format!("unsupported line count {n}")));
+                    }
+                    numvars = Some(n);
+                }
+                "variables" => {
+                    var_names = toks.map(str::to_string).collect();
+                }
+                "begin" => {
+                    let n = numvars.ok_or_else(|| err(lineno, ".begin before .numvars".into()))?;
+                    if var_names.is_empty() {
+                        var_names = (1..=n).map(|i| format!("x{i}")).collect();
+                    }
+                    if var_names.len() != n as usize {
+                        return Err(err(lineno, "variable count mismatch".into()));
+                    }
+                    circuit = Some(Circuit::new(n));
+                }
+                "end" => {
+                    if circuit.is_none() {
+                        return Err(err(lineno, ".end before .begin".into()));
+                    }
+                    ended = true;
+                }
+                other => return Err(err(lineno, format!("unknown directive .{other}"))),
+            }
+            continue;
+        }
+        // Gate line.
+        let c = circuit
+            .as_mut()
+            .ok_or_else(|| err(lineno, "gate before .begin".into()))?;
+        if ended {
+            return Err(err(lineno, "gate after .end".into()));
+        }
+        let mut toks = line.split_whitespace();
+        let head = toks.next().expect("non-empty line");
+        // A `-` prefix marks a negative (0-valued) control.
+        let lines: Vec<(u32, bool)> = toks
+            .map(|token| {
+                let (name, negated) = match token.strip_prefix('-') {
+                    Some(rest) => (rest, true),
+                    None => (token, false),
+                };
+                var_names
+                    .iter()
+                    .position(|v| v == name)
+                    .map(|i| (i as u32, negated))
+                    .ok_or_else(|| err(lineno, format!("unknown variable `{name}`")))
+            })
+            .collect::<Result<_, _>>()?;
+        let kind = head.chars().next().unwrap_or(' ');
+        let size: usize = head[1..]
+            .parse()
+            .map_err(|_| err(lineno, format!("bad gate head `{head}`")))?;
+        if lines.len() != size {
+            return Err(err(
+                lineno,
+                format!("gate `{head}` expects {size} lines, got {}", lines.len()),
+            ));
+        }
+        let gate = match kind {
+            't' => {
+                let (&(target, target_neg), controls) =
+                    lines.split_last().expect("size >= 1");
+                if target_neg {
+                    return Err(err(lineno, "target lines cannot be negated".into()));
+                }
+                let positive: LineSet = controls
+                    .iter()
+                    .filter(|&&(_, neg)| !neg)
+                    .map(|&(l, _)| l)
+                    .collect();
+                let negative: LineSet = controls
+                    .iter()
+                    .filter(|&&(_, neg)| neg)
+                    .map(|&(l, _)| l)
+                    .collect();
+                Gate::toffoli_mixed(positive, negative, target)
+            }
+            'f' | 'p' => {
+                if lines.iter().any(|&(_, neg)| neg) {
+                    return Err(err(
+                        lineno,
+                        "negative controls are only supported on toffoli gates".into(),
+                    ));
+                }
+                let plain: Vec<u32> = lines.iter().map(|&(l, _)| l).collect();
+                if kind == 'f' {
+                    if size < 2 {
+                        return Err(err(lineno, "fredkin needs two targets".into()));
+                    }
+                    let controls: LineSet = plain[..size - 2].iter().copied().collect();
+                    Gate::fredkin(controls, plain[size - 2], plain[size - 1])
+                } else {
+                    if size != 3 {
+                        return Err(err(lineno, "peres gates have exactly 3 lines".into()));
+                    }
+                    Gate::peres(plain[0], plain[1], plain[2])
+                }
+            }
+            other => return Err(err(lineno, format!("unknown gate type `{other}`"))),
+        };
+        c.push(gate);
+    }
+    circuit.ok_or_else(|| err(0, "missing .begin section".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Circuit {
+        Circuit::from_gates(
+            3,
+            [
+                Gate::cnot(0, 1),
+                Gate::toffoli(LineSet::from_iter([0, 1]), 2),
+                Gate::fredkin(LineSet::from_iter([2]), 0, 1),
+                Gate::peres(0, 1, 2),
+                Gate::not(2),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_circuit() {
+        let c = sample();
+        let text = write_real(&c);
+        let parsed = parse_real(&text).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn writes_standard_header() {
+        let text = write_real(&sample());
+        assert!(text.contains(".numvars 3"));
+        assert!(text.contains(".variables x1 x2 x3"));
+        assert!(text.contains(".begin"));
+        assert!(text.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn parses_hand_written_file() {
+        let text = "\
+# a comment
+.version 2.0
+.numvars 3
+.variables a b c
+.inputs a b c
+.outputs a b c
+.begin
+t1 a
+t2 a b
+t3 a b c
+f3 a b c
+p3 a b c
+.end
+";
+        let c = parse_real(text).unwrap();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.gates()[0], Gate::not(0));
+        assert_eq!(c.gates()[1], Gate::cnot(0, 1));
+        assert_eq!(c.gates()[2], Gate::toffoli(LineSet::from_iter([0, 1]), 2));
+        assert_eq!(c.gates()[3], Gate::fredkin(LineSet::from_iter([0]), 1, 2));
+        assert_eq!(c.gates()[4], Gate::peres(0, 1, 2));
+    }
+
+    #[test]
+    fn default_variable_names_apply() {
+        let text = ".numvars 2\n.begin\nt2 x1 x2\n.end\n";
+        let c = parse_real(text).unwrap();
+        assert_eq!(c.gates()[0], Gate::cnot(0, 1));
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let text = ".numvars 2\n.begin\nt2 x1 z9\n.end\n";
+        let e = parse_real(text).unwrap_err();
+        assert!(e.message.contains("unknown variable"));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let text = ".numvars 2\n.begin\nt3 x1 x2\n.end\n";
+        assert!(parse_real(text).is_err());
+    }
+
+    #[test]
+    fn rejects_gate_outside_body() {
+        let text = ".numvars 2\nt2 x1 x2\n.begin\n.end\n";
+        assert!(parse_real(text).is_err());
+        let text2 = ".numvars 2\n.begin\n.end\nt2 x1 x2\n";
+        assert!(parse_real(text2).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_gate_kind() {
+        let text = ".numvars 2\n.begin\nq2 x1 x2\n.end\n";
+        let e = parse_real(text).unwrap_err();
+        assert!(e.message.contains("unknown gate"));
+    }
+
+    #[test]
+    fn negative_controls_roundtrip() {
+        let c = Circuit::from_gates(
+            3,
+            [Gate::toffoli_mixed(
+                LineSet::from_iter([1]),
+                LineSet::from_iter([0]),
+                2,
+            )],
+        );
+        let text = write_real(&c);
+        assert!(text.contains("t3 -x1 x2 x3"));
+        let parsed = parse_real(&text).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn rejects_negated_fredkin_lines() {
+        let text = ".numvars 3\n.begin\nf3 -x1 x2 x3\n.end\n";
+        let e = parse_real(text).unwrap_err();
+        assert!(e.message.contains("only supported on toffoli"));
+    }
+
+    #[test]
+    fn rejects_negated_target() {
+        let text = ".numvars 2\n.begin\nt2 x1 -x2\n.end\n";
+        let e = parse_real(text).unwrap_err();
+        assert!(e.message.contains("target"));
+    }
+
+    #[test]
+    fn parsed_circuit_simulates_like_original() {
+        let c = sample();
+        let parsed = parse_real(&write_real(&c)).unwrap();
+        for v in 0..8 {
+            assert_eq!(parsed.simulate(v), c.simulate(v));
+        }
+    }
+}

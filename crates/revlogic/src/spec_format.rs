@@ -1,0 +1,245 @@
+//! RevLib-style `.spec` truth-table files for (incompletely specified)
+//! reversible functions.
+//!
+//! Format (a small, self-describing subset of RevLib's specification
+//! format):
+//!
+//! ```text
+//! .version 2.0
+//! .numvars 2
+//! .begin
+//! 00 01
+//! 01 --
+//! 10 1-
+//! 11 0-
+//! .end
+//! ```
+//!
+//! Each body row is `input output`; the leftmost character is the highest
+//! line (`xn`), matching the rendering of [`Spec`]'s `Display`. `-` marks a
+//! don't-care output bit.
+
+use crate::spec::{Spec, SpecError, SpecRow};
+
+/// Error while parsing a `.spec` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError {
+    /// 1-based line number (0 for file-level problems).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, ".spec parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+impl From<SpecError> for ParseSpecError {
+    fn from(e: SpecError) -> ParseSpecError {
+        ParseSpecError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Serializes a spec as a `.spec` file.
+pub fn write_spec(spec: &Spec) -> String {
+    use std::fmt::Write as _;
+    let n = spec.lines();
+    let mut out = String::new();
+    writeln!(out, ".version 2.0").unwrap();
+    writeln!(out, ".numvars {n}").unwrap();
+    writeln!(out, ".begin").unwrap();
+    for i in 0..spec.num_rows() as u32 {
+        let r = spec.row(i);
+        for l in (0..n).rev() {
+            write!(out, "{}", (i >> l) & 1).unwrap();
+        }
+        out.push(' ');
+        for l in (0..n).rev() {
+            let bit = 1u32 << l;
+            if r.care & bit == 0 {
+                out.push('-');
+            } else if r.value & bit != 0 {
+                out.push('1');
+            } else {
+                out.push('0');
+            }
+        }
+        out.push('\n');
+    }
+    writeln!(out, ".end").unwrap();
+    out
+}
+
+/// Parses a `.spec` file.
+///
+/// # Errors
+///
+/// Returns [`ParseSpecError`] on malformed rows, duplicate or missing
+/// inputs, or a table that is not reversibly realizable.
+pub fn parse_spec(input: &str) -> Result<Spec, ParseSpecError> {
+    let err = |line: usize, message: String| ParseSpecError { line, message };
+    let mut numvars: Option<u32> = None;
+    let mut rows: Vec<Option<SpecRow>> = Vec::new();
+    let mut in_body = false;
+    for (lineno, raw) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut toks = rest.split_whitespace();
+            match toks.next().unwrap_or("") {
+                "version" => {}
+                "numvars" => {
+                    let n: u32 = toks
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err(lineno, "bad .numvars".into()))?;
+                    if n == 0 || n > 16 {
+                        return Err(err(lineno, format!("unsupported line count {n}")));
+                    }
+                    numvars = Some(n);
+                    rows = vec![None; 1 << n];
+                }
+                "begin" => {
+                    if numvars.is_none() {
+                        return Err(err(lineno, ".begin before .numvars".into()));
+                    }
+                    in_body = true;
+                }
+                "end" => in_body = false,
+                other => return Err(err(lineno, format!("unknown directive .{other}"))),
+            }
+            continue;
+        }
+        if !in_body {
+            return Err(err(lineno, "row outside .begin/.end".into()));
+        }
+        let n = numvars.expect("in_body implies numvars");
+        let mut toks = line.split_whitespace();
+        let (input_s, output_s) = match (toks.next(), toks.next(), toks.next()) {
+            (Some(i), Some(o), None) => (i, o),
+            _ => return Err(err(lineno, "expected `input output`".into())),
+        };
+        if input_s.len() != n as usize || output_s.len() != n as usize {
+            return Err(err(lineno, "row width does not match .numvars".into()));
+        }
+        let mut row_index = 0u32;
+        for ch in input_s.chars() {
+            row_index = (row_index << 1)
+                | match ch {
+                    '0' => 0,
+                    '1' => 1,
+                    _ => return Err(err(lineno, format!("bad input bit `{ch}`"))),
+                };
+        }
+        let mut value = 0u32;
+        let mut care = 0u32;
+        for ch in output_s.chars() {
+            value <<= 1;
+            care <<= 1;
+            match ch {
+                '0' => care |= 1,
+                '1' => {
+                    value |= 1;
+                    care |= 1;
+                }
+                '-' => {}
+                _ => return Err(err(lineno, format!("bad output bit `{ch}`"))),
+            }
+        }
+        let slot = &mut rows[row_index as usize];
+        if slot.is_some() {
+            return Err(err(lineno, format!("duplicate row for input {input_s}")));
+        }
+        *slot = Some(SpecRow { value, care });
+    }
+    let n = numvars.ok_or_else(|| err(0, "missing .numvars".into()))?;
+    // Missing rows default to fully unspecified.
+    let rows: Vec<SpecRow> = rows
+        .into_iter()
+        .map(|r| r.unwrap_or(SpecRow { value: 0, care: 0 }))
+        .collect();
+    Ok(Spec::new_incomplete(n, rows)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+    use crate::permutation::Permutation;
+
+    #[test]
+    fn roundtrip_complete_spec() {
+        let s = Spec::from_permutation(&Permutation::from_map(2, vec![2, 0, 3, 1]));
+        let text = write_spec(&s);
+        let parsed = parse_spec(&text).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn roundtrip_incomplete_spec() {
+        let s = benchmarks::spec_rd32_v0();
+        let parsed = parse_spec(&write_spec(&s)).unwrap();
+        assert_eq!(parsed.rows(), s.rows());
+    }
+
+    #[test]
+    fn parses_dont_cares() {
+        let text = ".numvars 1\n.begin\n0 1\n1 -\n.end\n";
+        let s = parse_spec(text).unwrap();
+        assert_eq!(s.row(0), SpecRow { value: 1, care: 1 });
+        assert_eq!(s.row(1), SpecRow { value: 0, care: 0 });
+    }
+
+    #[test]
+    fn missing_rows_default_to_dont_care() {
+        let text = ".numvars 2\n.begin\n00 11\n.end\n";
+        let s = parse_spec(text).unwrap();
+        assert_eq!(s.row(0).care, 0b11);
+        assert_eq!(s.row(3).care, 0);
+    }
+
+    #[test]
+    fn leftmost_column_is_highest_line() {
+        let text = ".numvars 2\n.begin\n01 10\n.end\n";
+        let s = parse_spec(text).unwrap();
+        // Input `01` = x2=0, x1=1 → row 1; output `10` = x2=1, x1=0.
+        assert_eq!(s.row(1), SpecRow { value: 0b10, care: 0b11 });
+    }
+
+    #[test]
+    fn rejects_duplicate_rows() {
+        let text = ".numvars 1\n.begin\n0 1\n0 0\n.end\n";
+        assert!(parse_spec(text).unwrap_err().message.contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_bad_width() {
+        let text = ".numvars 2\n.begin\n0 1\n.end\n";
+        assert!(parse_spec(text).is_err());
+    }
+
+    #[test]
+    fn rejects_unrealizable_table() {
+        let text = ".numvars 1\n.begin\n0 1\n1 1\n.end\n";
+        let e = parse_spec(text).unwrap_err();
+        assert!(e.message.contains("distinct"));
+    }
+
+    #[test]
+    fn whole_benchmark_suite_roundtrips() {
+        for b in benchmarks::suite() {
+            let parsed = parse_spec(&write_spec(&b.spec)).unwrap();
+            assert_eq!(parsed.rows(), b.spec.rows(), "{}", b.name);
+        }
+    }
+}

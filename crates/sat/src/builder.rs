@@ -1,0 +1,353 @@
+//! Structural circuit-to-CNF translation (Tseitin encoding).
+//!
+//! The QBF formulation of the synthesis problem (Section 5.1 of the paper)
+//! requires the universal-gate cascade `F_d = f` as a CNF; the classic
+//! Tseitin transformation [20] does this in time and space linear in the
+//! circuit. [`CnfBuilder`] tracks which variables are *auxiliary* (the `A`
+//! set that is existentially quantified innermost in the paper's prefix
+//! `∃Y ∀X ∃A`).
+
+use crate::cnf::CnfFormula;
+use crate::types::Lit;
+
+/// Incrementally builds a CNF from circuit structure.
+///
+/// Every gate helper returns a literal representing the gate output; fresh
+/// auxiliary variables are allocated on demand and recorded in
+/// [`aux_vars`](CnfBuilder::aux_vars).
+///
+/// # Example
+///
+/// ```
+/// use qsyn_sat::{CnfBuilder, Solver, SolveResult};
+///
+/// let mut b = CnfBuilder::new(2);
+/// let (x, y) = (b.input(0), b.input(1));
+/// let sum = b.xor(x, y);
+/// b.assert_lit(sum); // constrain x ⊕ y = 1
+/// let mut solver = Solver::from_formula(b.formula());
+/// let SolveResult::Sat(m) = solver.solve() else { unreachable!() };
+/// assert_ne!(m[0], m[1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CnfBuilder {
+    formula: CnfFormula,
+    aux: Vec<u32>,
+    /// Cached constant-true literal, allocated lazily.
+    true_lit: Option<Lit>,
+}
+
+impl CnfBuilder {
+    /// Creates a builder whose first `num_inputs` variables are the circuit
+    /// inputs.
+    pub fn new(num_inputs: u32) -> CnfBuilder {
+        CnfBuilder {
+            formula: CnfFormula::new(num_inputs),
+            aux: Vec::new(),
+            true_lit: None,
+        }
+    }
+
+    /// Positive literal of input variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a declared variable.
+    pub fn input(&self, i: u32) -> Lit {
+        assert!(i < self.formula.num_vars(), "input {i} not declared");
+        Lit::pos(i)
+    }
+
+    /// Allocates a fresh *non-auxiliary* variable (e.g. a gate-select
+    /// variable of the synthesis encoding) and returns its positive literal.
+    pub fn new_var(&mut self) -> Lit {
+        Lit::pos(self.formula.new_var())
+    }
+
+    /// Allocates a fresh auxiliary (Tseitin) variable.
+    pub fn new_aux(&mut self) -> Lit {
+        let v = self.formula.new_var();
+        self.aux.push(v);
+        Lit::pos(v)
+    }
+
+    /// A literal constrained to be true.
+    pub fn constant_true(&mut self) -> Lit {
+        if let Some(l) = self.true_lit {
+            return l;
+        }
+        let l = self.new_aux();
+        self.formula.add_clause([l]);
+        self.true_lit = Some(l);
+        l
+    }
+
+    /// A literal constrained to be false.
+    pub fn constant_false(&mut self) -> Lit {
+        !self.constant_true()
+    }
+
+    /// Output literal of `a ∧ b`.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        let o = self.new_aux();
+        self.formula.add_clause([!a, !b, o]);
+        self.formula.add_clause([a, !o]);
+        self.formula.add_clause([b, !o]);
+        o
+    }
+
+    /// Output literal of an n-ary conjunction (empty ⇒ constant true).
+    pub fn and_all(&mut self, inputs: &[Lit]) -> Lit {
+        match inputs {
+            [] => self.constant_true(),
+            [single] => *single,
+            _ => {
+                let o = self.new_aux();
+                let mut long: Vec<Lit> = inputs.iter().map(|&l| !l).collect();
+                long.push(o);
+                self.formula.add_clause(long);
+                for &l in inputs {
+                    self.formula.add_clause([l, !o]);
+                }
+                o
+            }
+        }
+    }
+
+    /// Output literal of `a ∨ b`.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// Output literal of an n-ary disjunction (empty ⇒ constant false).
+    pub fn or_all(&mut self, inputs: &[Lit]) -> Lit {
+        let negated: Vec<Lit> = inputs.iter().map(|&l| !l).collect();
+        !self.and_all(&negated)
+    }
+
+    /// Output literal of `a ⊕ b`.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let o = self.new_aux();
+        self.formula.add_clause([!a, !b, !o]);
+        self.formula.add_clause([a, b, !o]);
+        self.formula.add_clause([!a, b, o]);
+        self.formula.add_clause([a, !b, o]);
+        o
+    }
+
+    /// Output literal of `a ⊙ b` (XNOR / equality).
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// Output literal of `if s then t else e` (multiplexer).
+    pub fn mux(&mut self, s: Lit, t: Lit, e: Lit) -> Lit {
+        let o = self.new_aux();
+        self.formula.add_clause([!s, !t, o]);
+        self.formula.add_clause([!s, t, !o]);
+        self.formula.add_clause([s, !e, o]);
+        self.formula.add_clause([s, e, !o]);
+        o
+    }
+
+    /// Asserts that `l` is true (adds a unit clause).
+    pub fn assert_lit(&mut self, l: Lit) {
+        self.formula.add_clause([l]);
+    }
+
+    /// Adds an arbitrary clause over existing literals.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        self.formula.add_clause(lits);
+    }
+
+    /// Asserts `a = b`.
+    pub fn assert_equal(&mut self, a: Lit, b: Lit) {
+        self.formula.add_clause([!a, b]);
+        self.formula.add_clause([a, !b]);
+    }
+
+    /// Asserts that at most one of `lits` is true (pairwise encoding).
+    pub fn assert_at_most_one(&mut self, lits: &[Lit]) {
+        for (i, &a) in lits.iter().enumerate() {
+            for &b in &lits[i + 1..] {
+                self.formula.add_clause([!a, !b]);
+            }
+        }
+    }
+
+    /// Asserts that at least one of `lits` is true.
+    pub fn assert_at_least_one(&mut self, lits: &[Lit]) {
+        self.formula.add_clause(lits.iter().copied());
+    }
+
+    /// The auxiliary (Tseitin) variables allocated so far.
+    pub fn aux_vars(&self) -> &[u32] {
+        &self.aux
+    }
+
+    /// The formula built so far.
+    pub fn formula(&self) -> &CnfFormula {
+        &self.formula
+    }
+
+    /// Consumes the builder, returning the formula.
+    pub fn into_formula(self) -> CnfFormula {
+        self.formula
+    }
+
+    /// Total number of variables (inputs + selects + auxiliaries).
+    pub fn num_vars(&self) -> u32 {
+        self.formula.num_vars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SolveResult, Solver};
+
+    /// Checks that constraining `out = expected(x, y)` is satisfiable for
+    /// every input combination and that the model agrees with `expected`.
+    fn check_binary_gate(
+        gate: impl Fn(&mut CnfBuilder, Lit, Lit) -> Lit,
+        expected: impl Fn(bool, bool) -> bool,
+    ) {
+        for &(x, y) in &[(false, false), (false, true), (true, false), (true, true)] {
+            let mut b = CnfBuilder::new(2);
+            let (a, c) = (b.input(0), b.input(1));
+            let o = gate(&mut b, a, c);
+            b.assert_lit(if x { a } else { !a });
+            b.assert_lit(if y { c } else { !c });
+            b.assert_lit(if expected(x, y) { o } else { !o });
+            let mut s = Solver::from_formula(b.formula());
+            assert!(s.solve().is_sat(), "gate wrong for ({x}, {y})");
+            // And the opposite output value must be unsat.
+            let mut b2 = CnfBuilder::new(2);
+            let (a2, c2) = (b2.input(0), b2.input(1));
+            let o2 = gate(&mut b2, a2, c2);
+            b2.assert_lit(if x { a2 } else { !a2 });
+            b2.assert_lit(if y { c2 } else { !c2 });
+            b2.assert_lit(if expected(x, y) { !o2 } else { o2 });
+            let mut s2 = Solver::from_formula(b2.formula());
+            assert_eq!(s2.solve(), SolveResult::Unsat, "gate not functional for ({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn and_gate_functional() {
+        check_binary_gate(|b, x, y| b.and(x, y), |x, y| x && y);
+    }
+
+    #[test]
+    fn or_gate_functional() {
+        check_binary_gate(|b, x, y| b.or(x, y), |x, y| x || y);
+    }
+
+    #[test]
+    fn xor_gate_functional() {
+        check_binary_gate(|b, x, y| b.xor(x, y), |x, y| x ^ y);
+    }
+
+    #[test]
+    fn xnor_gate_functional() {
+        check_binary_gate(|b, x, y| b.xnor(x, y), |x, y| x == y);
+    }
+
+    #[test]
+    fn mux_gate_functional() {
+        // mux with s as first input, data inputs y and constant false.
+        for &(s, t, e) in &[
+            (false, false, false),
+            (false, false, true),
+            (false, true, false),
+            (true, true, false),
+            (true, false, true),
+            (true, true, true),
+        ] {
+            let mut b = CnfBuilder::new(3);
+            let (ls, lt, le) = (b.input(0), b.input(1), b.input(2));
+            let o = b.mux(ls, lt, le);
+            b.assert_lit(if s { ls } else { !ls });
+            b.assert_lit(if t { lt } else { !lt });
+            b.assert_lit(if e { le } else { !le });
+            let expected = if s { t } else { e };
+            b.assert_lit(if expected { o } else { !o });
+            let mut solver = Solver::from_formula(b.formula());
+            assert!(solver.solve().is_sat(), "mux({s},{t},{e})");
+        }
+    }
+
+    #[test]
+    fn and_all_empty_is_true() {
+        let mut b = CnfBuilder::new(0);
+        let t = b.and_all(&[]);
+        b.assert_lit(!t);
+        let mut s = Solver::from_formula(b.formula());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn and_all_wide() {
+        let mut b = CnfBuilder::new(4);
+        let inputs: Vec<Lit> = (0..4).map(|i| b.input(i)).collect();
+        let all = b.and_all(&inputs);
+        b.assert_lit(all);
+        let mut s = Solver::from_formula(b.formula());
+        let SolveResult::Sat(m) = s.solve() else {
+            panic!("sat expected")
+        };
+        assert!(m[..4].iter().all(|&x| x));
+    }
+
+    #[test]
+    fn or_all_empty_is_false() {
+        let mut b = CnfBuilder::new(0);
+        let f = b.or_all(&[]);
+        b.assert_lit(f);
+        let mut s = Solver::from_formula(b.formula());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn at_most_one_blocks_pairs() {
+        let mut b = CnfBuilder::new(3);
+        let lits: Vec<Lit> = (0..3).map(|i| b.input(i)).collect();
+        b.assert_at_most_one(&lits);
+        b.assert_lit(lits[0]);
+        b.assert_lit(lits[2]);
+        let mut s = Solver::from_formula(b.formula());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn at_least_one_forces_some() {
+        let mut b = CnfBuilder::new(2);
+        let lits: Vec<Lit> = (0..2).map(|i| b.input(i)).collect();
+        b.assert_at_least_one(&lits);
+        b.assert_lit(!lits[0]);
+        b.assert_lit(!lits[1]);
+        let mut s = Solver::from_formula(b.formula());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn aux_vars_are_tracked() {
+        let mut b = CnfBuilder::new(2);
+        let (x, y) = (b.input(0), b.input(1));
+        let sel = b.new_var();
+        let _ = b.and(x, y);
+        let _ = b.xor(x, sel);
+        assert_eq!(b.aux_vars().len(), 2);
+        assert!(!b.aux_vars().contains(&sel.var().0));
+        assert_eq!(b.num_vars(), 5);
+    }
+
+    #[test]
+    fn constant_true_is_cached() {
+        let mut b = CnfBuilder::new(0);
+        let t1 = b.constant_true();
+        let t2 = b.constant_true();
+        assert_eq!(t1, t2);
+        assert_eq!(b.constant_false(), !t1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Clauses and CNF formulas.
+
+use crate::types::Lit;
+
+/// A disjunction of literals.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Creates a clause from literals, deduplicating and detecting
+    /// tautologies (`x ∨ ¬x`). Returns `None` for tautological clauses —
+    /// they are always satisfied and can be dropped.
+    pub fn normalized<I: IntoIterator<Item = Lit>>(lits: I) -> Option<Clause> {
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        lits.sort_unstable();
+        lits.dedup();
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                return None; // x and ¬x both present
+            }
+        }
+        Some(Clause { lits })
+    }
+
+    /// Creates a clause without normalization.
+    pub fn raw<I: IntoIterator<Item = Lit>>(lits: I) -> Clause {
+        Clause {
+            lits: lits.into_iter().collect(),
+        }
+    }
+
+    /// The literals of this clause.
+    #[inline]
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// `true` if the clause has no literals (i.e. is unsatisfiable).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Evaluates the clause under a complete assignment.
+    pub fn eval(&self, model: &[bool]) -> bool {
+        self.lits.iter().any(|l| l.apply(model[l.var().index()]))
+    }
+}
+
+impl std::fmt::Debug for Clause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(&self.lits).finish()
+    }
+}
+
+impl FromIterator<Lit> for Clause {
+    fn from_iter<I: IntoIterator<Item = Lit>>(iter: I) -> Clause {
+        Clause::raw(iter)
+    }
+}
+
+/// A formula in conjunctive normal form.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CnfFormula {
+    num_vars: u32,
+    clauses: Vec<Clause>,
+}
+
+impl CnfFormula {
+    /// Creates an empty formula over `num_vars` variables.
+    pub fn new(num_vars: u32) -> CnfFormula {
+        CnfFormula {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Allocates a fresh variable and returns its index.
+    pub fn new_var(&mut self) -> u32 {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        v
+    }
+
+    /// Ensures the variable universe covers `0..n`.
+    pub fn ensure_vars(&mut self, n: u32) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// Adds a clause (normalized; tautologies are silently dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal mentions an undeclared variable.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        if let Some(c) = Clause::normalized(lits) {
+            for l in c.lits() {
+                assert!(l.var().0 < self.num_vars, "literal {l:?} out of range");
+            }
+            self.clauses.push(c);
+        }
+    }
+
+    /// The clauses of this formula.
+    #[inline]
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// `true` if the formula has no clauses (trivially satisfiable).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Evaluates the formula under a complete assignment.
+    pub fn eval(&self, model: &[bool]) -> bool {
+        self.clauses.iter().all(|c| c.eval(model))
+    }
+}
+
+impl Extend<Clause> for CnfFormula {
+    fn extend<I: IntoIterator<Item = Clause>>(&mut self, iter: I) {
+        for c in iter {
+            self.add_clause(c.lits().iter().copied());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Lit;
+
+    #[test]
+    fn normalized_dedups_and_sorts() {
+        let c = Clause::normalized([Lit::pos(2), Lit::pos(0), Lit::pos(2)]).unwrap();
+        assert_eq!(c.lits(), &[Lit::pos(0), Lit::pos(2)]);
+    }
+
+    #[test]
+    fn normalized_detects_tautology() {
+        assert!(Clause::normalized([Lit::pos(1), Lit::neg(1)]).is_none());
+    }
+
+    #[test]
+    fn empty_clause_is_falsum() {
+        let c = Clause::normalized(std::iter::empty()).unwrap();
+        assert!(c.is_empty());
+        assert!(!c.eval(&[]));
+    }
+
+    #[test]
+    fn clause_eval() {
+        let c = Clause::raw([Lit::neg(0), Lit::pos(1)]);
+        assert!(c.eval(&[false, false]));
+        assert!(c.eval(&[true, true]));
+        assert!(!c.eval(&[true, false]));
+    }
+
+    #[test]
+    fn formula_eval_is_conjunction() {
+        let mut f = CnfFormula::new(2);
+        f.add_clause([Lit::pos(0)]);
+        f.add_clause([Lit::neg(1)]);
+        assert!(f.eval(&[true, false]));
+        assert!(!f.eval(&[true, true]));
+        assert!(!f.eval(&[false, false]));
+    }
+
+    #[test]
+    fn tautologies_are_dropped_on_add() {
+        let mut f = CnfFormula::new(1);
+        f.add_clause([Lit::pos(0), Lit::neg(0)]);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_literal_panics() {
+        let mut f = CnfFormula::new(1);
+        f.add_clause([Lit::pos(5)]);
+    }
+
+    #[test]
+    fn new_var_extends_universe() {
+        let mut f = CnfFormula::new(0);
+        assert_eq!(f.new_var(), 0);
+        assert_eq!(f.new_var(), 1);
+        assert_eq!(f.num_vars(), 2);
+        f.ensure_vars(10);
+        assert_eq!(f.num_vars(), 10);
+        f.ensure_vars(5);
+        assert_eq!(f.num_vars(), 10);
+    }
+}

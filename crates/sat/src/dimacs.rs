@@ -1,0 +1,159 @@
+//! DIMACS CNF reading and writing.
+
+use crate::cnf::CnfFormula;
+use crate::types::Lit;
+
+/// Error while parsing DIMACS input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number where the problem was found.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Serializes a formula in DIMACS CNF format.
+pub fn write_dimacs(formula: &CnfFormula) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "p cnf {} {}", formula.num_vars(), formula.len()).unwrap();
+    for c in formula.clauses() {
+        for l in c.lits() {
+            write!(out, "{l} ").unwrap();
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// Parses DIMACS CNF text.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed headers, non-integer tokens,
+/// variables out of the declared range, or clauses not terminated by `0`.
+pub fn parse_dimacs(input: &str) -> Result<CnfFormula, ParseDimacsError> {
+    let mut formula: Option<CnfFormula> = None;
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if formula.is_some() {
+                return Err(ParseDimacsError {
+                    line: lineno,
+                    message: "duplicate problem line".into(),
+                });
+            }
+            let mut it = rest.split_whitespace();
+            if it.next() != Some("cnf") {
+                return Err(ParseDimacsError {
+                    line: lineno,
+                    message: "expected `p cnf <vars> <clauses>`".into(),
+                });
+            }
+            let nvars: u32 = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseDimacsError {
+                    line: lineno,
+                    message: "bad variable count".into(),
+                })?;
+            // Clause count is advisory; accept and ignore.
+            formula = Some(CnfFormula::new(nvars));
+            continue;
+        }
+        let f = formula.as_mut().ok_or_else(|| ParseDimacsError {
+            line: lineno,
+            message: "clause before problem line".into(),
+        })?;
+        for tok in line.split_whitespace() {
+            let x: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                line: lineno,
+                message: format!("bad literal `{tok}`"),
+            })?;
+            if x == 0 {
+                f.add_clause(current.drain(..));
+            } else {
+                let var = x.unsigned_abs() - 1;
+                if var >= u64::from(f.num_vars()) {
+                    return Err(ParseDimacsError {
+                        line: lineno,
+                        message: format!("variable {} out of range", x.abs()),
+                    });
+                }
+                current.push(Lit::new(var as u32, x > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError {
+            line: input.lines().count(),
+            message: "unterminated clause".into(),
+        });
+    }
+    formula.ok_or(ParseDimacsError {
+        line: 0,
+        message: "missing problem line".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut f = CnfFormula::new(3);
+        f.add_clause([Lit::pos(0), Lit::neg(2)]);
+        f.add_clause([Lit::neg(1)]);
+        let text = write_dimacs(&f);
+        let parsed = parse_dimacs(&text).unwrap();
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "c a comment\n\np cnf 2 1\nc another\n1 -2 0\n";
+        let f = parse_dimacs(text).unwrap();
+        assert_eq!(f.num_vars(), 2);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.clauses()[0].lits(), &[Lit::pos(0), Lit::neg(1)]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_variable() {
+        let err = parse_dimacs("p cnf 1 1\n2 0\n").unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_unterminated_clause() {
+        let err = parse_dimacs("p cnf 2 1\n1 -2\n").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(parse_dimacs("1 0\n").is_err());
+        assert!(parse_dimacs("").is_err());
+    }
+
+    #[test]
+    fn clause_may_span_lines() {
+        let f = parse_dimacs("p cnf 3 1\n1\n2\n3 0\n").unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.clauses()[0].len(), 3);
+    }
+}

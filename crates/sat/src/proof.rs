@@ -1,0 +1,228 @@
+//! Clausal proof logging and checking (DRUP-style).
+//!
+//! When proof logging is enabled, the solver records every learnt clause;
+//! if it concludes global unsatisfiability it ends the log with the empty
+//! clause. Each step of such a log is *RUP* (reverse unit propagation):
+//! adding the negation of the step's literals to everything derived so far
+//! and unit-propagating yields a conflict. [`check_rup`] verifies this with
+//! an independent, deliberately simple propagator — no trust in the CDCL
+//! implementation required.
+//!
+//! For the synthesis use case this turns the iterative-deepening UNSAT
+//! answers into **minimality certificates**: a checked refutation of
+//! "depth d is realizable" for every d below the reported minimum.
+
+use crate::cnf::CnfFormula;
+use crate::types::Lit;
+
+/// A clausal proof: learnt clauses in derivation order; a terminating
+/// empty clause certifies unsatisfiability.
+pub type Proof = Vec<Vec<Lit>>;
+
+/// Outcome of [`check_rup`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofCheck {
+    /// Every step is RUP and the log ends with the empty clause: the
+    /// formula is certifiably unsatisfiable.
+    Refutation,
+    /// Every step is RUP but no empty clause was derived (the proof is
+    /// sound but proves nothing final).
+    ValidButIncomplete,
+    /// Step `index` is not RUP — the proof is invalid.
+    Invalid {
+        /// 0-based index of the offending step.
+        index: usize,
+    },
+}
+
+/// Checks a clausal proof against `formula` by reverse unit propagation.
+///
+/// The checker is intentionally independent of the solver: a naive
+/// counter-free propagator over the growing clause list.
+pub fn check_rup(formula: &CnfFormula, proof: &[Vec<Lit>]) -> ProofCheck {
+    let nvars = formula.num_vars() as usize;
+    let mut clauses: Vec<Vec<Lit>> = formula
+        .clauses()
+        .iter()
+        .map(|c| c.lits().to_vec())
+        .collect();
+    let mut complete = false;
+    for (index, step) in proof.iter().enumerate() {
+        if !is_rup(&clauses, nvars, step) {
+            return ProofCheck::Invalid { index };
+        }
+        if step.is_empty() {
+            complete = true;
+        }
+        clauses.push(step.clone());
+    }
+    if complete {
+        ProofCheck::Refutation
+    } else {
+        ProofCheck::ValidButIncomplete
+    }
+}
+
+/// `true` if asserting the negation of `clause` and unit-propagating over
+/// `clauses` produces a conflict.
+fn is_rup(clauses: &[Vec<Lit>], nvars: usize, clause: &[Lit]) -> bool {
+    let mut assign: Vec<Option<bool>> = vec![None; nvars];
+    // Assert the negation of every literal of the candidate clause.
+    for &l in clause {
+        let v = l.var().index();
+        match assign[v] {
+            Some(val) if val == l.is_positive() => return true, // ¬C inconsistent
+            _ => assign[v] = Some(!l.is_positive()),
+        }
+    }
+    // Naive unit propagation to fixpoint.
+    loop {
+        let mut changed = false;
+        for c in clauses {
+            let mut unassigned: Option<Lit> = None;
+            let mut satisfied = false;
+            let mut unit = true;
+            for &l in c {
+                match assign[l.var().index()] {
+                    Some(val) if l.apply(val) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        if unassigned.is_some() {
+                            unit = false;
+                            break;
+                        }
+                        unassigned = Some(l);
+                    }
+                }
+            }
+            if satisfied || !unit {
+                continue;
+            }
+            match unassigned {
+                None => return true, // conflict: clause fully falsified
+                Some(l) => {
+                    assign[l.var().index()] = Some(l.is_positive());
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SolveResult, Solver};
+
+    fn lits(xs: &[i32]) -> Vec<Lit> {
+        xs.iter()
+            .map(|&x| Lit::new(x.unsigned_abs() - 1, x > 0))
+            .collect()
+    }
+
+    fn formula(nvars: u32, clauses: &[&[i32]]) -> CnfFormula {
+        let mut f = CnfFormula::new(nvars);
+        for c in clauses {
+            f.add_clause(lits(c));
+        }
+        f
+    }
+
+    #[test]
+    fn hand_written_refutation_checks() {
+        // (x1 ∨ x2)(¬x1 ∨ x2)(x1 ∨ ¬x2)(¬x1 ∨ ¬x2) — classic unsat square.
+        let f = formula(2, &[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]);
+        // RUP steps: (x2) then ().
+        let proof = vec![lits(&[2]), vec![]];
+        assert_eq!(check_rup(&f, &proof), ProofCheck::Refutation);
+    }
+
+    #[test]
+    fn bogus_step_is_rejected() {
+        let f = formula(2, &[&[1, 2]]);
+        let proof = vec![lits(&[-1])]; // (¬x1) is not implied
+        assert_eq!(check_rup(&f, &proof), ProofCheck::Invalid { index: 0 });
+    }
+
+    #[test]
+    fn valid_but_incomplete_proof() {
+        let f = formula(2, &[&[1], &[-1, 2]]);
+        let proof = vec![lits(&[2])]; // RUP, but no empty clause
+        assert_eq!(check_rup(&f, &proof), ProofCheck::ValidButIncomplete);
+    }
+
+    #[test]
+    fn solver_proofs_check_on_pigeonhole() {
+        // PHP(4→3): unsatisfiable; the solver's logged proof must check.
+        let v = |i: i32, j: i32| 3 * i + j + 1;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..4 {
+            clauses.push((0..3).map(|j| v(i, j)).collect());
+        }
+        for j in 0..3 {
+            for a in 0..4 {
+                for b in (a + 1)..4 {
+                    clauses.push(vec![-v(a, j), -v(b, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let f = formula(12, &refs);
+        let mut s = Solver::from_formula(&f);
+        s.enable_proof_logging();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let proof = s.take_proof().expect("logging was enabled");
+        assert_eq!(proof.last(), Some(&Vec::new()), "ends with empty clause");
+        assert_eq!(check_rup(&f, &proof), ProofCheck::Refutation);
+    }
+
+    #[test]
+    fn solver_proofs_check_on_random_unsat_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut checked = 0;
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let nvars = 8u32;
+            let mut f = CnfFormula::new(nvars);
+            for _ in 0..45 {
+                let mut vars = Vec::new();
+                while vars.len() < 3 {
+                    let v = rng.gen_range(0..nvars);
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+                f.add_clause(vars.iter().map(|&v| Lit::new(v, rng.gen())));
+            }
+            let mut s = Solver::from_formula(&f);
+            s.enable_proof_logging();
+            if s.solve() == SolveResult::Unsat {
+                let proof = s.take_proof().unwrap();
+                assert_eq!(
+                    check_rup(&f, &proof),
+                    ProofCheck::Refutation,
+                    "seed {seed}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no unsat instance in the sample");
+    }
+
+    #[test]
+    fn sat_runs_leave_incomplete_proofs() {
+        let f = formula(2, &[&[1, 2]]);
+        let mut s = Solver::from_formula(&f);
+        s.enable_proof_logging();
+        assert!(s.solve().is_sat());
+        let proof = s.take_proof().unwrap();
+        assert_ne!(check_rup(&f, &proof), ProofCheck::Refutation);
+    }
+}

@@ -1,0 +1,122 @@
+//! Randomized cross-checks of the CDCL solver against brute force.
+
+use crate::cnf::CnfFormula;
+use crate::solver::{SolveResult, Solver};
+use crate::types::Lit;
+use proptest::prelude::*;
+
+/// Brute-force satisfiability over `n ≤ 16` variables.
+fn brute_force_sat(f: &CnfFormula) -> bool {
+    let n = f.num_vars();
+    assert!(n <= 16);
+    (0u32..1 << n).any(|bits| {
+        let model: Vec<bool> = (0..n).map(|v| (bits >> v) & 1 == 1).collect();
+        f.eval(&model)
+    })
+}
+
+fn arb_formula(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = CnfFormula> {
+    (1..=max_vars).prop_flat_map(move |nvars| {
+        let clause = proptest::collection::vec((0..nvars, any::<bool>()), 1..=4);
+        proptest::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| {
+            let mut f = CnfFormula::new(nvars);
+            for c in clauses {
+                f.add_clause(c.into_iter().map(|(v, s)| Lit::new(v, s)));
+            }
+            f
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cdcl_agrees_with_brute_force(f in arb_formula(8, 40)) {
+        let mut solver = Solver::from_formula(&f);
+        match solver.solve() {
+            SolveResult::Sat(model) => {
+                prop_assert!(f.eval(&model), "reported model does not satisfy formula");
+            }
+            SolveResult::Unsat => {
+                prop_assert!(!brute_force_sat(&f), "solver claims unsat but formula is sat");
+            }
+        }
+    }
+
+    #[test]
+    fn cdcl_handles_denser_instances(f in arb_formula(12, 80)) {
+        let mut solver = Solver::from_formula(&f);
+        match solver.solve() {
+            SolveResult::Sat(model) => prop_assert!(f.eval(&model)),
+            SolveResult::Unsat => prop_assert!(!brute_force_sat(&f)),
+        }
+    }
+
+    #[test]
+    fn assumptions_equal_added_units(f in arb_formula(7, 30), a0 in any::<bool>(), a1 in any::<bool>()) {
+        // Solving under assumptions must agree with solving the formula
+        // with those units added. Only assume variables that exist.
+        let assumptions: Vec<Lit> = [(0u32, a0), (1u32, a1)]
+            .into_iter()
+            .filter(|&(v, _)| v < f.num_vars())
+            .map(|(v, s)| Lit::new(v, s))
+            .collect();
+        let mut incremental = Solver::from_formula(&f);
+        let under_assumptions = incremental.solve_assuming(&assumptions);
+        let mut hard = f.clone();
+        for &l in &assumptions {
+            hard.add_clause([l]);
+        }
+        let mut direct = Solver::from_formula(&hard);
+        prop_assert_eq!(under_assumptions.is_sat(), direct.solve().is_sat());
+        if let SolveResult::Sat(m) = under_assumptions {
+            prop_assert!(hard.eval(&m), "assumption model violates assumed units");
+        }
+        // The incremental solver stays consistent for a plain solve.
+        let mut brute_ok = false;
+        if let SolveResult::Sat(m) = incremental.solve() {
+            prop_assert!(f.eval(&m));
+            brute_ok = true;
+        }
+        prop_assert_eq!(brute_ok, brute_force_sat(&f));
+    }
+
+    #[test]
+    fn solver_is_deterministic(f in arb_formula(8, 40)) {
+        let mut s1 = Solver::from_formula(&f);
+        let mut s2 = Solver::from_formula(&f);
+        prop_assert_eq!(s1.solve(), s2.solve());
+    }
+}
+
+#[test]
+fn random_3sat_near_phase_transition() {
+    // 3-SAT at clause/variable ratio ≈ 4.26 (hardest region); cross-check a
+    // fixed set of seeds against brute force.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nvars = 14u32;
+        let nclauses = 60;
+        let mut f = CnfFormula::new(nvars);
+        for _ in 0..nclauses {
+            let mut vars = Vec::new();
+            while vars.len() < 3 {
+                let v = rng.gen_range(0..nvars);
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+            f.add_clause(vars.iter().map(|&v| Lit::new(v, rng.gen())));
+        }
+        let mut solver = Solver::from_formula(&f);
+        let result = solver.solve();
+        let expected = brute_force_sat(&f);
+        assert_eq!(result.is_sat(), expected, "seed {seed}");
+        if let SolveResult::Sat(m) = result {
+            assert!(f.eval(&m), "seed {seed}: bad model");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! The three decision engines side by side (the paper's Table 1 contrast):
+//! row-wise SAT baseline [9], QBF-solver formulation (Section 5.1) and the
+//! BDD implementation of the quantified formulation (Section 5.2).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example engines
+//! ```
+
+use qsyn::revlogic::{benchmarks, GateLibrary};
+use qsyn::synth::{synthesize, Engine, SynthesisOptions};
+use std::time::Instant;
+
+fn main() {
+    let benches = ["3_17", "rd32-v0", "decod24-v0"];
+    println!(
+        "{:<12} {:<6} {:>3} {:>8} {:>12}",
+        "BENCH", "ENGINE", "D", "#SOL", "TIME"
+    );
+    for name in benches {
+        let bench = benchmarks::by_name(name).expect("known benchmark");
+        for engine in [Engine::Sat, Engine::Qbf, Engine::Bdd] {
+            let options = SynthesisOptions::new(GateLibrary::mct(), engine);
+            let t = Instant::now();
+            match synthesize(&bench.spec, &options) {
+                Ok(r) => {
+                    println!(
+                        "{:<12} {:<6} {:>3} {:>8} {:>12?}",
+                        name,
+                        engine.to_string(),
+                        r.depth(),
+                        r.solutions().count(),
+                        t.elapsed()
+                    );
+                    assert!(bench.spec.is_realized_by(&r.solutions().circuits()[0]));
+                }
+                Err(e) => println!("{name:<12} {engine:<6} failed: {e}"),
+            }
+        }
+        println!();
+    }
+    println!("The engines agree on the minimal gate count D. Only the BDD");
+    println!("engine reports more than one solution: it finds all minimal");
+    println!("networks in a single quantified sweep.");
+}

@@ -1,0 +1,53 @@
+//! Extended gate libraries (the paper's Table 3 workflow): synthesizing the
+//! same function with MCT, MCT+MCF, MCT+P and MCT+MCF+P and comparing gate
+//! counts and quantum costs.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example gate_libraries
+//! ```
+
+use qsyn::revlogic::{benchmarks, GateLibrary};
+use qsyn::synth::{synthesize, Engine, SynthesisOptions};
+
+fn main() {
+    let benches = ["3_17", "rd32-v1", "decod24-v1"];
+    let libraries = [
+        GateLibrary::mct(),
+        GateLibrary::mct_mcf(),
+        GateLibrary::mct_peres(),
+        GateLibrary::all(),
+    ];
+
+    println!(
+        "{:<12} {:<12} {:>3} {:>8} {:>10}",
+        "BENCH", "LIBRARY", "D", "#SOL", "QC(min..max)"
+    );
+    for name in benches {
+        let bench = benchmarks::by_name(name).expect("known benchmark");
+        for lib in libraries {
+            let options =
+                SynthesisOptions::new(lib, Engine::Bdd).with_max_solutions(50_000);
+            match synthesize(&bench.spec, &options) {
+                Ok(r) => {
+                    let (lo, hi) = r.solutions().quantum_cost_range();
+                    println!(
+                        "{:<12} {:<12} {:>3} {:>8} {:>6}..{}",
+                        name,
+                        lib.label(),
+                        r.depth(),
+                        r.solutions().count(),
+                        lo,
+                        hi
+                    );
+                }
+                Err(e) => println!("{name:<12} {:<12} failed: {e}", lib.label()),
+            }
+        }
+        println!();
+    }
+    println!("Richer libraries never increase the minimal gate count, and the");
+    println!("Peres gate often lowers the achievable quantum cost (it packs a");
+    println!("Toffoli+CNOT pair into cost 4 instead of 6).");
+}

@@ -1,0 +1,672 @@
+//! Command-line interface for the `qsyn` tool.
+//!
+//! Subcommands:
+//!
+//! * `synth <file.spec>` — exact synthesis of a truth-table specification,
+//!   emitting a RevLib `.real` circuit,
+//! * `bench <name>` — synthesize a built-in benchmark,
+//! * `simulate <file.real> <bits>` — run a circuit on one input,
+//! * `cost <file.real>` — gate count and quantum cost,
+//! * `check <a.real> <b.real>` — equivalence check with counterexample,
+//! * `spec <file.real>` — extract the truth table of a circuit,
+//! * `list` — list the built-in benchmarks.
+//!
+//! The argument grammar is deliberately tiny and fully testable; see
+//! [`Command::parse`].
+
+use crate::revlogic::{benchmarks, cost, real, spec_format, GateLibrary, Spec};
+use crate::synth::{
+    equivalence, permuted, synthesize, Engine, SynthesisOptions,
+};
+use std::time::Duration;
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `synth` / `bench`: run exact synthesis.
+    Synth {
+        /// Path to a `.spec` file, or a benchmark name for `bench`.
+        source: Source,
+        /// Synthesis configuration.
+        config: SynthConfig,
+    },
+    /// `simulate <file.real> <bits>`.
+    Simulate {
+        /// Circuit file.
+        path: String,
+        /// Input assignment, e.g. `1011` (line 1 is the rightmost bit).
+        input: String,
+    },
+    /// `cost <file.real>`.
+    Cost {
+        /// Circuit file.
+        path: String,
+    },
+    /// `check <a.real> <b.real>`.
+    Check {
+        /// First circuit.
+        a: String,
+        /// Second circuit.
+        b: String,
+    },
+    /// `spec <file.real>`.
+    SpecOf {
+        /// Circuit file.
+        path: String,
+    },
+    /// `list`.
+    List,
+    /// `help` (also `-h`, `--help`).
+    Help,
+}
+
+/// Where the specification comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Source {
+    /// A `.spec` file path.
+    File(String),
+    /// A built-in benchmark name.
+    Benchmark(String),
+}
+
+/// Options accepted by `synth` / `bench`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// Decision engine (`--engine bdd|qbf|sat`).
+    pub engine: Engine,
+    /// Gate library (`--library mct|mct+mcf|mct+p|all`).
+    pub library: String,
+    /// `--mixed-polarity`.
+    pub mixed_polarity: bool,
+    /// `--output-permutation`.
+    pub output_permutation: bool,
+    /// `--heuristic` — transformation-based synthesis (fast, non-minimal;
+    /// completely specified functions only).
+    pub heuristic: bool,
+    /// `--max-depth N`.
+    pub max_depth: u32,
+    /// `--timeout SECS`.
+    pub timeout: Option<u64>,
+    /// `--all` — print every minimal circuit, not just the cheapest.
+    pub all: bool,
+    /// `-o FILE` — write the best circuit to FILE instead of stdout.
+    pub output: Option<String>,
+}
+
+impl Default for SynthConfig {
+    fn default() -> SynthConfig {
+        SynthConfig {
+            engine: Engine::Bdd,
+            library: "mct".to_string(),
+            mixed_polarity: false,
+            output_permutation: false,
+            heuristic: false,
+            max_depth: 32,
+            timeout: None,
+            all: false,
+            output: None,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// Resolves the library flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown library names.
+    pub fn gate_library(&self) -> Result<GateLibrary, String> {
+        let base = match self.library.as_str() {
+            "mct" => GateLibrary::mct(),
+            "mct+mcf" => GateLibrary::mct_mcf(),
+            "mct+p" => GateLibrary::mct_peres(),
+            "all" | "mct+mcf+p" => GateLibrary::all(),
+            other => return Err(format!("unknown library `{other}`")),
+        };
+        Ok(if self.mixed_polarity {
+            base.with_mixed_polarity()
+        } else {
+            base
+        })
+    }
+
+    /// Builds the engine options.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown library names.
+    pub fn options(&self) -> Result<SynthesisOptions, String> {
+        let mut o = SynthesisOptions::new(self.gate_library()?, self.engine)
+            .with_max_depth(self.max_depth);
+        if let Some(secs) = self.timeout {
+            o = o.with_time_budget(Duration::from_secs(secs));
+        }
+        Ok(o)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+qsyn — exact synthesis of reversible logic (Wille et al., DATE 2008)
+
+USAGE:
+  qsyn synth <file.spec> [OPTIONS]     synthesize a truth-table specification
+  qsyn bench <name> [OPTIONS]          synthesize a built-in benchmark
+  qsyn simulate <file.real> <bits>     run a circuit on one input
+  qsyn cost <file.real>                gate count and quantum cost
+  qsyn check <a.real> <b.real>         equivalence check (with counterexample)
+  qsyn spec <file.real>                truth table of a circuit
+  qsyn list                            list built-in benchmarks
+
+OPTIONS (synth/bench):
+  --engine bdd|qbf|sat       decision engine           [default: bdd]
+  --library mct|mct+mcf|mct+p|all                      [default: mct]
+  --mixed-polarity           allow negative-control Toffoli gates
+  --output-permutation       allow free output-line relabeling
+  --heuristic                transformation-based synthesis (fast, non-minimal)
+  --max-depth N              depth cap                 [default: 32]
+  --timeout SECS             soft wall-clock budget
+  --all                      print every minimal circuit
+  -o FILE                    write the cheapest circuit to FILE
+";
+
+impl Command {
+    /// Parses a command line (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown subcommands, unknown
+    /// flags or missing arguments.
+    pub fn parse<I, S>(args: I) -> Result<Command, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = args.into_iter().map(Into::into);
+        let sub = match args.next() {
+            None => return Ok(Command::Help),
+            Some(s) => s,
+        };
+        match sub.as_str() {
+            "help" | "-h" | "--help" => Ok(Command::Help),
+            "list" => Ok(Command::List),
+            "simulate" => {
+                let path = args.next().ok_or("simulate: missing circuit file")?;
+                let input = args.next().ok_or("simulate: missing input bits")?;
+                reject_extra(args)?;
+                Ok(Command::Simulate { path, input })
+            }
+            "cost" => {
+                let path = args.next().ok_or("cost: missing circuit file")?;
+                reject_extra(args)?;
+                Ok(Command::Cost { path })
+            }
+            "check" => {
+                let a = args.next().ok_or("check: missing first circuit")?;
+                let b = args.next().ok_or("check: missing second circuit")?;
+                reject_extra(args)?;
+                Ok(Command::Check { a, b })
+            }
+            "spec" => {
+                let path = args.next().ok_or("spec: missing circuit file")?;
+                reject_extra(args)?;
+                Ok(Command::SpecOf { path })
+            }
+            "synth" | "bench" => {
+                let target = args
+                    .next()
+                    .ok_or_else(|| format!("{sub}: missing specification"))?;
+                let source = if sub == "synth" {
+                    Source::File(target)
+                } else {
+                    Source::Benchmark(target)
+                };
+                let mut config = SynthConfig::default();
+                let mut args = args.peekable();
+                while let Some(flag) = args.next() {
+                    match flag.as_str() {
+                        "--engine" => {
+                            let v = args.next().ok_or("--engine needs a value")?;
+                            config.engine = match v.as_str() {
+                                "bdd" => Engine::Bdd,
+                                "qbf" => Engine::Qbf,
+                                "sat" => Engine::Sat,
+                                other => return Err(format!("unknown engine `{other}`")),
+                            };
+                        }
+                        "--library" => {
+                            config.library = args.next().ok_or("--library needs a value")?;
+                        }
+                        "--mixed-polarity" => config.mixed_polarity = true,
+                        "--output-permutation" => config.output_permutation = true,
+                        "--heuristic" => config.heuristic = true,
+                        "--max-depth" => {
+                            let v = args.next().ok_or("--max-depth needs a value")?;
+                            config.max_depth =
+                                v.parse().map_err(|_| format!("bad depth `{v}`"))?;
+                        }
+                        "--timeout" => {
+                            let v = args.next().ok_or("--timeout needs a value")?;
+                            config.timeout =
+                                Some(v.parse().map_err(|_| format!("bad timeout `{v}`"))?);
+                        }
+                        "--all" => config.all = true,
+                        "-o" | "--output" => {
+                            config.output = Some(args.next().ok_or("-o needs a file")?);
+                        }
+                        other => return Err(format!("unknown option `{other}`")),
+                    }
+                }
+                Ok(Command::Synth { source, config })
+            }
+            other => Err(format!("unknown command `{other}` (try `qsyn help`)")),
+        }
+    }
+}
+
+fn reject_extra<I: Iterator<Item = String>>(mut args: I) -> Result<(), String> {
+    match args.next() {
+        Some(extra) => Err(format!("unexpected argument `{extra}`")),
+        None => Ok(()),
+    }
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+/// Returns the process exit code.
+///
+/// # Errors
+///
+/// I/O failures on `out` are surfaced as `Err`.
+pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> {
+    match cmd {
+        Command::Help => {
+            write!(out, "{USAGE}")?;
+            Ok(0)
+        }
+        Command::List => {
+            for b in benchmarks::suite() {
+                writeln!(
+                    out,
+                    "{:<12} {} lines, {}",
+                    b.name,
+                    b.spec.lines(),
+                    match b.kind {
+                        benchmarks::BenchmarkKind::Complete => "completely specified",
+                        benchmarks::BenchmarkKind::Incomplete => "incompletely specified",
+                    }
+                )?;
+            }
+            Ok(0)
+        }
+        Command::Simulate { path, input } => {
+            let circuit = match load_circuit(path) {
+                Ok(c) => c,
+                Err(e) => return fail(out, &e),
+            };
+            let n = circuit.lines();
+            if input.len() != n as usize || !input.chars().all(|c| c == '0' || c == '1') {
+                return fail(out, &format!("input must be {n} binary digits"));
+            }
+            // Leftmost digit = highest line, consistent with .spec files.
+            let mut bits = 0u32;
+            for (i, ch) in input.chars().enumerate() {
+                if ch == '1' {
+                    bits |= 1 << (n as usize - 1 - i);
+                }
+            }
+            let result = circuit.simulate(bits);
+            let rendered: String = (0..n)
+                .rev()
+                .map(|l| if (result >> l) & 1 == 1 { '1' } else { '0' })
+                .collect();
+            writeln!(out, "{input} -> {rendered}")?;
+            Ok(0)
+        }
+        Command::Cost { path } => {
+            let circuit = match load_circuit(path) {
+                Ok(c) => c,
+                Err(e) => return fail(out, &e),
+            };
+            let (mct, mcf, peres) = circuit.gate_counts();
+            writeln!(out, "lines:        {}", circuit.lines())?;
+            writeln!(out, "gates:        {} (MCT {mct}, MCF {mcf}, Peres {peres})", circuit.len())?;
+            writeln!(out, "quantum cost: {}", cost::circuit_cost(&circuit))?;
+            writeln!(
+                out,
+                "NCV network:  {} elementary gates (zero-ancilla decomposition)",
+                qsyn_revlogic::ncv::network_cost(&circuit)
+            )?;
+            Ok(0)
+        }
+        Command::Check { a, b } => {
+            let (ca, cb) = match (load_circuit(a), load_circuit(b)) {
+                (Ok(x), Ok(y)) => (x, y),
+                (Err(e), _) | (_, Err(e)) => return fail(out, &e),
+            };
+            if ca.lines() != cb.lines() {
+                return fail(out, "circuits have different line counts");
+            }
+            match equivalence::counterexample_sat(&ca, &cb) {
+                None => {
+                    debug_assert!(equivalence::equivalent_bdd(&ca, &cb));
+                    writeln!(out, "EQUIVALENT")?;
+                    Ok(0)
+                }
+                Some(cex) => {
+                    let n = ca.lines();
+                    let render = |v: u32| -> String {
+                        (0..n)
+                            .rev()
+                            .map(|l| if (v >> l) & 1 == 1 { '1' } else { '0' })
+                            .collect()
+                    };
+                    writeln!(out, "NOT EQUIVALENT")?;
+                    writeln!(
+                        out,
+                        "counterexample: input {} -> {} vs {}",
+                        render(cex),
+                        render(ca.simulate(cex)),
+                        render(cb.simulate(cex))
+                    )?;
+                    Ok(1)
+                }
+            }
+        }
+        Command::SpecOf { path } => {
+            let circuit = match load_circuit(path) {
+                Ok(c) => c,
+                Err(e) => return fail(out, &e),
+            };
+            let spec = Spec::from_permutation(&circuit.permutation());
+            write!(out, "{}", spec_format::write_spec(&spec))?;
+            Ok(0)
+        }
+        Command::Synth { source, config } => run_synth(source, config, out),
+    }
+}
+
+fn run_synth(
+    source: &Source,
+    config: &SynthConfig,
+    out: &mut dyn std::io::Write,
+) -> std::io::Result<i32> {
+    let spec = match source {
+        Source::File(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match spec_format::parse_spec(&text) {
+                Ok(s) => s,
+                Err(e) => return fail(out, &e.to_string()),
+            },
+            Err(e) => return fail(out, &format!("{path}: {e}")),
+        },
+        Source::Benchmark(name) => match benchmarks::by_name(name) {
+            Some(b) => b.spec,
+            None => return fail(out, &format!("unknown benchmark `{name}` (see `qsyn list`)")),
+        },
+    };
+    let options = match config.options() {
+        Ok(o) => o,
+        Err(e) => return fail(out, &e),
+    };
+    if config.heuristic {
+        let Some(perm) = spec.as_permutation() else {
+            return fail(
+                out,
+                "--heuristic requires a completely specified (bijective) function",
+            );
+        };
+        let circuit = crate::synth::transform::transformation_synthesis(&perm);
+        writeln!(
+            out,
+            "heuristic realization: {} gates, quantum cost {} (no minimality guarantee)",
+            circuit.len(),
+            cost::circuit_cost(&circuit)
+        )?;
+        if let Some(path) = &config.output {
+            std::fs::write(path, real::write_real(&circuit))?;
+            writeln!(out, "wrote {path}")?;
+        } else {
+            write!(out, "{}", real::write_real(&circuit))?;
+        }
+        return Ok(0);
+    }
+    if config.output_permutation {
+        match permuted::synthesize_with_output_permutation(&spec, &options) {
+            Err(e) => fail(out, &e.to_string()),
+            Ok(p) => {
+                writeln!(
+                    out,
+                    "minimal gates: {} (output permutation {:?}), {} solutions, {:?}",
+                    p.result.depth(),
+                    p.permutation,
+                    p.result.solutions().count(),
+                    p.result.total_time()
+                )?;
+                emit_circuits(&p.result, config, out)
+            }
+        }
+    } else {
+        match synthesize(&spec, &options) {
+            Err(e) => fail(out, &e.to_string()),
+            Ok(r) => {
+                let (lo, hi) = r.solutions().quantum_cost_range();
+                writeln!(
+                    out,
+                    "minimal gates: {}, {} solutions, quantum cost {lo}..{hi}, {:?} ({} engine)",
+                    r.depth(),
+                    r.solutions().count(),
+                    r.total_time(),
+                    r.engine()
+                )?;
+                emit_circuits(&r, config, out)
+            }
+        }
+    }
+}
+
+fn emit_circuits(
+    result: &crate::synth::SynthesisResult,
+    config: &SynthConfig,
+    out: &mut dyn std::io::Write,
+) -> std::io::Result<i32> {
+    let best = result.solutions().best_by_quantum_cost();
+    if let Some(path) = &config.output {
+        std::fs::write(path, real::write_real(best))?;
+        writeln!(out, "wrote {path}")?;
+    } else if config.all {
+        for (i, c) in result.solutions().circuits().iter().enumerate() {
+            writeln!(out, "# solution {} (quantum cost {})", i + 1, cost::circuit_cost(c))?;
+            write!(out, "{c}")?;
+        }
+    } else {
+        write!(out, "{}", real::write_real(best))?;
+    }
+    Ok(0)
+}
+
+fn load_circuit(path: &str) -> Result<crate::revlogic::Circuit, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    real::parse_real(&text).map_err(|e| e.to_string())
+}
+
+fn fail(out: &mut dyn std::io::Write, message: &str) -> std::io::Result<i32> {
+    writeln!(out, "error: {message}")?;
+    Ok(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, String> {
+        Command::parse(args.iter().copied())
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        assert_eq!(parse(&[]), Ok(Command::Help));
+        assert_eq!(parse(&["--help"]), Ok(Command::Help));
+    }
+
+    #[test]
+    fn parses_bench_with_options() {
+        let cmd = parse(&[
+            "bench",
+            "3_17",
+            "--engine",
+            "sat",
+            "--library",
+            "mct+p",
+            "--mixed-polarity",
+            "--max-depth",
+            "9",
+            "--timeout",
+            "5",
+            "--all",
+        ])
+        .unwrap();
+        let Command::Synth { source, config } = cmd else {
+            panic!("expected synth");
+        };
+        assert_eq!(source, Source::Benchmark("3_17".into()));
+        assert_eq!(config.engine, Engine::Sat);
+        assert_eq!(config.library, "mct+p");
+        assert!(config.mixed_polarity);
+        assert_eq!(config.max_depth, 9);
+        assert_eq!(config.timeout, Some(5));
+        assert!(config.all);
+        assert!(config.gate_library().unwrap().has_mixed_polarity());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_commands() {
+        assert!(parse(&["bench", "3_17", "--wat"]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["bench", "3_17", "--engine", "magic"]).is_err());
+        assert!(parse(&["simulate", "a.real"]).is_err());
+        assert!(parse(&["cost", "a.real", "extra"]).is_err());
+    }
+
+    #[test]
+    fn library_resolution() {
+        let mut c = SynthConfig::default();
+        assert_eq!(c.gate_library().unwrap().label(), "MCT");
+        c.library = "all".into();
+        assert_eq!(c.gate_library().unwrap().label(), "MCT+MCF+P");
+        c.library = "bogus".into();
+        assert!(c.gate_library().is_err());
+    }
+
+    #[test]
+    fn list_prints_benchmarks() {
+        let mut buf = Vec::new();
+        assert_eq!(run(&Command::List, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("hwb4"));
+        assert!(text.contains("alu-v3"));
+    }
+
+    #[test]
+    fn bench_synthesis_end_to_end() {
+        let cmd = parse(&["bench", "3_17"]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("minimal gates: 6"), "{text}");
+        assert!(text.contains(".begin"));
+    }
+
+    #[test]
+    fn unknown_benchmark_fails_cleanly() {
+        let cmd = parse(&["bench", "nope"]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 2);
+        assert!(String::from_utf8(buf).unwrap().contains("unknown benchmark"));
+    }
+
+    #[test]
+    fn synth_from_spec_file_and_check_roundtrip() {
+        let dir = std::env::temp_dir().join("qsyn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("xor.spec");
+        // 2-line spec: x2 ^= x1 (a CNOT).
+        std::fs::write(&spec_path, ".numvars 2\n.begin\n00 00\n01 11\n10 10\n11 01\n.end\n")
+            .unwrap();
+        let out_path = dir.join("xor.real");
+        let cmd = parse(&[
+            "synth",
+            spec_path.to_str().unwrap(),
+            "-o",
+            out_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        // simulate 01 (x1 = 1) → 11.
+        let sim = parse(&["simulate", out_path.to_str().unwrap(), "01"]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&sim, &mut buf).unwrap(), 0);
+        assert!(String::from_utf8(buf).unwrap().contains("01 -> 11"));
+        // cost works.
+        let cost_cmd = parse(&["cost", out_path.to_str().unwrap()]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cost_cmd, &mut buf).unwrap(), 0);
+        // self-equivalence.
+        let check = parse(&[
+            "check",
+            out_path.to_str().unwrap(),
+            out_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&check, &mut buf).unwrap(), 0);
+        assert!(String::from_utf8(buf).unwrap().contains("EQUIVALENT"));
+        // spec extraction contains the truth table.
+        let spec_cmd = parse(&["spec", out_path.to_str().unwrap()]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&spec_cmd, &mut buf).unwrap(), 0);
+        assert!(String::from_utf8(buf).unwrap().contains("01 11"));
+    }
+
+    #[test]
+    fn heuristic_flag_synthesizes_fast() {
+        let cmd = parse(&["bench", "hwb4", "--heuristic"]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("heuristic realization"), "{text}");
+        assert!(text.contains(".begin"));
+    }
+
+    #[test]
+    fn heuristic_rejects_incomplete_specs() {
+        let cmd = parse(&["bench", "rd32-v0", "--heuristic"]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 2);
+        assert!(String::from_utf8(buf)
+            .unwrap()
+            .contains("completely specified"));
+    }
+
+    #[test]
+    fn output_permutation_flag_works() {
+        // SWAP: free with output permutation.
+        let dir = std::env::temp_dir().join("qsyn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("swap.spec");
+        std::fs::write(
+            &spec_path,
+            ".numvars 2\n.begin\n00 00\n01 10\n10 01\n11 11\n.end\n",
+        )
+        .unwrap();
+        let cmd = parse(&[
+            "synth",
+            spec_path.to_str().unwrap(),
+            "--output-permutation",
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("minimal gates: 0"), "{text}");
+    }
+}

@@ -1,0 +1,43 @@
+//! # qsyn — Quantified Synthesis of Reversible Logic
+//!
+//! Facade crate of the `qsyn` workspace, a from-scratch reproduction of
+//! *"Quantified Synthesis of Reversible Logic"* (R. Wille, H. M. Le,
+//! G. W. Dueck, D. Große — DATE 2008).
+//!
+//! The workspace crates are re-exported here under short names:
+//!
+//! * [`bdd`] — ROBDD package with quantification (the CUDD stand-in),
+//! * [`sat`] — CDCL SAT solver + Tseitin CNF construction (MiniSat stand-in),
+//! * [`qbf`] — QBF solvers: search-based QDPLL and ∀-expansion (skizzo
+//!   stand-in),
+//! * [`revlogic`] — reversible gates, circuits, quantum costs, benchmark
+//!   functions,
+//! * [`synth`] — the paper's contribution: exact synthesis engines.
+//!
+//! See `README.md` for a tour and `examples/` for runnable entry points.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qsyn::revlogic::{benchmarks, GateLibrary};
+//! use qsyn::synth::{synthesize, Engine, SynthesisOptions};
+//!
+//! // Minimal Toffoli network for the 3-line "3_17" benchmark.
+//! let spec = benchmarks::spec_3_17();
+//! let result = synthesize(
+//!     &spec,
+//!     &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd),
+//! )
+//! .expect("synthesis succeeds");
+//! assert_eq!(result.depth(), 6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use qsyn_bdd as bdd;
+pub use qsyn_core as synth;
+pub use qsyn_qbf as qbf;
+pub use qsyn_revlogic as revlogic;
+pub use qsyn_sat as sat;
+
+pub mod cli;

@@ -1,0 +1,135 @@
+//! Integration tests for the extensions beyond the DATE 2008 paper:
+//! mixed-polarity libraries, output-permutation synthesis, equivalence
+//! checking, and incremental SAT under assumptions.
+
+use qsyn::revlogic::{benchmarks, Circuit, Gate, GateLibrary, LineSet, Permutation, Spec};
+use qsyn::sat::{Lit, Solver};
+use qsyn::synth::equivalence::{counterexample_sat, equivalent_bdd};
+use qsyn::synth::permuted::synthesize_with_output_permutation;
+use qsyn::synth::{synthesize, Engine, SynthesisOptions};
+
+#[test]
+fn mixed_polarity_depth_is_a_lower_bound_refinement() {
+    // MPMCT ⊇ MCT, so its minimal depth is never larger.
+    for seed in 0..5u64 {
+        let spec =
+            Spec::from_permutation(&benchmarks::random_permutation(3, seed + 400));
+        let plain = synthesize(
+            &spec,
+            &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd).with_max_depth(10),
+        )
+        .unwrap();
+        let mixed = synthesize(
+            &spec,
+            &SynthesisOptions::new(
+                GateLibrary::mct().with_mixed_polarity(),
+                Engine::Bdd,
+            )
+            .with_max_depth(10),
+        )
+        .unwrap();
+        assert!(mixed.depth() <= plain.depth(), "seed {seed}");
+        for c in mixed.solutions().circuits().iter().take(10) {
+            assert!(spec.is_realized_by(c));
+        }
+    }
+}
+
+#[test]
+fn mixed_polarity_circuits_roundtrip_through_real() {
+    let spec = Spec::from_permutation(&benchmarks::random_permutation(3, 77));
+    let r = synthesize(
+        &spec,
+        &SynthesisOptions::new(GateLibrary::mct().with_mixed_polarity(), Engine::Bdd)
+            .with_max_depth(10),
+    )
+    .unwrap();
+    for c in r.solutions().circuits().iter().take(5) {
+        let text = qsyn::revlogic::real::write_real(c);
+        let parsed = qsyn::revlogic::real::parse_real(&text).unwrap();
+        assert!(parsed.equivalent(c));
+    }
+}
+
+#[test]
+fn output_permutation_on_benchmark_functions() {
+    // rd32-v0 vs rd32-v1 differ exactly by output placement; with free
+    // output permutation both must cost the same.
+    let opts = SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd).with_max_depth(8);
+    let v0 = synthesize_with_output_permutation(&benchmarks::spec_rd32_v0(), &opts).unwrap();
+    let v1 = synthesize_with_output_permutation(&benchmarks::spec_rd32_v1(), &opts).unwrap();
+    assert_eq!(v0.result.depth(), v1.result.depth());
+    // And neither exceeds its fixed-output depth.
+    let fixed0 = synthesize(&benchmarks::spec_rd32_v0(), &opts).unwrap();
+    assert!(v0.result.depth() <= fixed0.depth());
+}
+
+#[test]
+fn equivalence_checkers_validate_synthesis_results() {
+    let bench = benchmarks::by_name("decod24-v1").unwrap();
+    let r = synthesize(
+        &bench.spec,
+        &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd),
+    )
+    .unwrap();
+    let circuits = r.solutions().circuits();
+    // decod24 is incompletely specified, so two minimal networks need NOT
+    // be equivalent as total functions — but each must realize the spec,
+    // and inequivalent pairs must disagree only on don't-care rows.
+    for c in circuits.iter().take(6) {
+        assert!(bench.spec.is_realized_by(c));
+        if let Some(cex) = counterexample_sat(&circuits[0], c) {
+            let row = bench.spec.row(cex);
+            let diff = circuits[0].simulate(cex) ^ c.simulate(cex);
+            assert_eq!(diff & row.care, 0, "circuits differ on a cared bit");
+        }
+    }
+}
+
+#[test]
+fn equivalence_after_gate_commutation() {
+    // Gates on disjoint lines commute.
+    let a = Gate::toffoli(LineSet::from_iter([0]), 1);
+    let b = Gate::not(2);
+    let c1 = Circuit::from_gates(3, [a, b]);
+    let c2 = Circuit::from_gates(3, [b, a]);
+    assert!(equivalent_bdd(&c1, &c2));
+    assert_eq!(counterexample_sat(&c1, &c2), None);
+}
+
+#[test]
+fn incremental_sat_usable_for_repeated_queries() {
+    // One solver, several assumption sets — the pattern an incremental
+    // synthesis frontend would use.
+    let mut solver = Solver::new(4);
+    // x1 ⊕ x2, encoded directly.
+    solver.add_clause([Lit::pos(0), Lit::pos(1)]);
+    solver.add_clause([Lit::neg(0), Lit::neg(1)]);
+    assert!(solver.solve_assuming(&[Lit::pos(0)]).is_sat());
+    assert!(solver.solve_assuming(&[Lit::pos(1)]).is_sat());
+    assert!(!solver
+        .solve_assuming(&[Lit::pos(0), Lit::pos(1)])
+        .is_sat());
+    assert!(!solver
+        .solve_assuming(&[Lit::neg(0), Lit::neg(1)])
+        .is_sat());
+    assert!(solver.solve().is_sat());
+}
+
+#[test]
+fn permutation_of_spec_lines_preserves_minimal_depth_for_complete_funcs() {
+    // Conjugating a complete function by a line swap cannot change its
+    // minimal depth under a line-symmetric library.
+    let base = benchmarks::random_permutation(3, 123);
+    let spec = Spec::from_permutation(&base);
+    // Swap lines 0 and 2 on inputs and outputs.
+    let swap = |v: u32| (v & 0b010) | ((v & 1) << 2) | ((v >> 2) & 1);
+    let conjugated = Spec::from_permutation(&Permutation::from_fn(3, |v| {
+        swap(base.image(swap(v)))
+    }));
+    let opts = SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd).with_max_depth(10);
+    let d1 = synthesize(&spec, &opts).unwrap();
+    let d2 = synthesize(&conjugated, &opts).unwrap();
+    assert_eq!(d1.depth(), d2.depth());
+    assert_eq!(d1.solutions().count(), d2.solutions().count());
+}

@@ -1,0 +1,93 @@
+//! End-to-end validation of the quantum-cost story: synthesized minimal
+//! circuits decompose into elementary-gate networks whose simulated
+//! behaviour matches the specification, and whose size matches the cost
+//! table used for the paper's Tables 2 and 3.
+
+use qsyn::revlogic::{benchmarks, cost, ncv, GateLibrary};
+use qsyn::synth::{synthesize, Engine, SynthesisOptions};
+
+#[test]
+fn synthesized_networks_simulate_to_the_spec() {
+    let bench = benchmarks::by_name("3_17").unwrap();
+    let r = synthesize(
+        &bench.spec,
+        &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd),
+    )
+    .unwrap();
+    let perm = bench.spec.as_permutation().unwrap();
+    for circuit in r.solutions().circuits() {
+        let network = ncv::decompose_circuit(circuit);
+        for input in 0..8u32 {
+            assert_eq!(
+                ncv::simulate_network(&network, 3, input),
+                Some(perm.image(input)),
+                "input {input:03b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table2_quantum_costs_match_ncv_network_sizes() {
+    // On ≤ 4 lines every MCT gate has ≤ 3 controls, so the table cost and
+    // the emitted zero-ancilla network size must agree exactly — the QC
+    // column of Table 2 is backed by constructible networks.
+    for name in ["3_17", "rd32-v0", "rd32-v1", "decod24-v0"] {
+        let bench = benchmarks::by_name(name).unwrap();
+        let r = synthesize(
+            &bench.spec,
+            &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd),
+        )
+        .unwrap();
+        for circuit in r.solutions().circuits().iter().take(20) {
+            assert_eq!(
+                cost::circuit_cost(circuit),
+                ncv::network_cost(circuit),
+                "{name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn peres_quantum_cost_advantage_is_constructive() {
+    // Table 3's Peres savings are real elementary-gate savings: the
+    // 4-gate Peres network vs the 6-gate Toffoli+CNOT pair.
+    let bench = benchmarks::by_name("rd32-v0").unwrap();
+    let mct = synthesize(
+        &bench.spec,
+        &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd),
+    )
+    .unwrap();
+    let peres = synthesize(
+        &bench.spec,
+        &SynthesisOptions::new(GateLibrary::mct_peres(), Engine::Bdd),
+    )
+    .unwrap();
+    let mct_best = mct.solutions().quantum_cost_range().0;
+    let peres_best = peres.solutions().quantum_cost_range().0;
+    assert!(peres_best < mct_best, "{peres_best} !< {mct_best}");
+    // And the advantage survives decomposition to elementary gates.
+    let best = peres.solutions().best_by_quantum_cost();
+    assert_eq!(ncv::network_cost(best), peres_best);
+    for input in 0..16u32 {
+        let network = ncv::decompose_circuit(best);
+        let out = ncv::simulate_network(&network, 4, input).unwrap();
+        assert_eq!(out, best.simulate(input));
+    }
+}
+
+#[test]
+fn best_solution_minimizes_elementary_gates_too() {
+    let bench = benchmarks::by_name("decod24-v0").unwrap();
+    let r = synthesize(
+        &bench.spec,
+        &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd),
+    )
+    .unwrap();
+    let best = r.solutions().best_by_quantum_cost();
+    let best_ncv = ncv::network_cost(best);
+    for c in r.solutions().circuits() {
+        assert!(ncv::network_cost(c) >= best_ncv);
+    }
+}

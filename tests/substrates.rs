@@ -1,0 +1,142 @@
+//! Cross-substrate integration: the BDD package, the SAT solver and the
+//! QBF solvers checking each other through the workspace facade.
+
+use qsyn::bdd::Manager;
+use qsyn::qbf::{ExpansionSolver, QbfFormula, QdpllSolver, Quantifier};
+use qsyn::sat::{dimacs, CnfBuilder, CnfFormula, Lit, SolveResult, Solver};
+
+/// A small pseudo-random CNF family.
+fn random_cnf(seed: u64, nvars: u32, nclauses: usize) -> CnfFormula {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut f = CnfFormula::new(nvars);
+    for _ in 0..nclauses {
+        let len = 1 + (next() % 3) as usize;
+        let lits: Vec<Lit> = (0..len)
+            .map(|_| Lit::new((next() % u64::from(nvars)) as u32, next() & 1 == 0))
+            .collect();
+        f.add_clause(lits);
+    }
+    f
+}
+
+/// Builds the BDD of a CNF formula.
+fn cnf_to_bdd(m: &mut Manager, f: &CnfFormula) -> qsyn::bdd::Bdd {
+    let mut acc = m.one();
+    for c in f.clauses() {
+        let mut clause = m.zero();
+        for l in c.lits() {
+            let lit = m.literal(l.var().0, l.is_positive());
+            clause = m.or(clause, lit);
+        }
+        acc = m.and(acc, clause);
+    }
+    acc
+}
+
+#[test]
+fn cdcl_agrees_with_bdd_on_random_cnf() {
+    for seed in 0..40u64 {
+        let f = random_cnf(seed, 10, 35);
+        let mut m = Manager::new(10);
+        let bdd = cnf_to_bdd(&mut m, &f);
+        let bdd_sat = !bdd.is_zero();
+        let mut solver = Solver::from_formula(&f);
+        match solver.solve() {
+            SolveResult::Sat(model) => {
+                assert!(bdd_sat, "seed {seed}: CDCL sat, BDD unsat");
+                assert!(f.eval(&model), "seed {seed}: bad model");
+                assert!(m.eval(bdd, &model), "seed {seed}: model not in BDD");
+            }
+            SolveResult::Unsat => assert!(!bdd_sat, "seed {seed}: CDCL unsat, BDD sat"),
+        }
+    }
+}
+
+#[test]
+fn sat_model_count_matches_bdd() {
+    for seed in 0..20u64 {
+        let f = random_cnf(seed + 1000, 8, 18);
+        let mut m = Manager::new(8);
+        let bdd = cnf_to_bdd(&mut m, &f);
+        // Exhaustive check against direct evaluation.
+        let brute: u128 = (0u32..1 << 8)
+            .filter(|&bits| {
+                let env: Vec<bool> = (0..8).map(|v| (bits >> v) & 1 == 1).collect();
+                f.eval(&env)
+            })
+            .count() as u128;
+        assert_eq!(m.sat_count(bdd, 8), brute, "seed {seed}");
+    }
+}
+
+#[test]
+fn qbf_solvers_agree_with_bdd_quantification() {
+    for seed in 0..30u64 {
+        let matrix = random_cnf(seed + 500, 6, 14);
+        let mut qbf = QbfFormula::new(6);
+        // Prefix ∃{0,1} ∀{2,3} ∃{4,5}.
+        qbf.add_block(Quantifier::Exists, [0, 1]);
+        qbf.add_block(Quantifier::Forall, [2, 3]);
+        qbf.add_block(Quantifier::Exists, [4, 5]);
+        for c in matrix.clauses() {
+            qbf.add_clause(c.lits().iter().copied());
+        }
+        // BDD reference: quantify innermost-first.
+        let mut m = Manager::new(6);
+        let mut g = cnf_to_bdd(&mut m, &matrix);
+        g = m.exists(g, &[4, 5]);
+        g = m.forall(g, &[2, 3]);
+        g = m.exists(g, &[0, 1]);
+        let expected = g.is_one();
+        assert_eq!(
+            QdpllSolver::new(&qbf).solve(),
+            expected,
+            "seed {seed}: QDPLL disagrees with BDD"
+        );
+        assert_eq!(
+            ExpansionSolver::new(&qbf).solve(),
+            expected,
+            "seed {seed}: expansion disagrees with BDD"
+        );
+    }
+}
+
+#[test]
+fn tseitin_preserves_satisfiability_semantics() {
+    // (a ⊕ b) ∧ (a ∨ c) built via the builder must be satisfied exactly by
+    // assignments satisfying the original formula (projected to inputs).
+    let mut b = CnfBuilder::new(3);
+    let (a, x, c) = (b.input(0), b.input(1), b.input(2));
+    let xor = b.xor(a, x);
+    let or = b.or(a, c);
+    let both = b.and(xor, or);
+    b.assert_lit(both);
+    for bits in 0u32..8 {
+        let (va, vb, vc) = (bits & 1 == 1, bits & 2 != 0, bits & 4 != 0);
+        let expected = (va ^ vb) && (va || vc);
+        let mut f = b.formula().clone();
+        f.add_clause([if va { a } else { !a }]);
+        f.add_clause([if vb { x } else { !x }]);
+        f.add_clause([if vc { c } else { !c }]);
+        let mut solver = Solver::from_formula(&f);
+        assert_eq!(solver.solve().is_sat(), expected, "bits {bits:03b}");
+    }
+}
+
+#[test]
+fn dimacs_roundtrip_preserves_solver_verdicts() {
+    for seed in 0..10u64 {
+        let f = random_cnf(seed + 77, 9, 30);
+        let text = dimacs::write_dimacs(&f);
+        let parsed = dimacs::parse_dimacs(&text).unwrap();
+        let a = Solver::from_formula(&f).solve().is_sat();
+        let b = Solver::from_formula(&parsed).solve().is_sat();
+        assert_eq!(a, b, "seed {seed}");
+    }
+}

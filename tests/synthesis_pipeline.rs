@@ -1,0 +1,133 @@
+//! End-to-end integration: benchmark suite → synthesis → verification →
+//! file formats, across the public API of the whole workspace.
+
+use qsyn::revlogic::{benchmarks, cost, real, spec_format, GateLibrary};
+use qsyn::synth::{synthesize, Engine, SynthesisOptions};
+
+/// The benchmarks small enough to synthesize in unit-test time.
+const FAST_BENCHES: &[&str] = &["3_17", "rd32-v0", "rd32-v1", "decod24-v0", "decod24-v2"];
+
+#[test]
+fn bdd_engine_solves_the_fast_suite() {
+    for name in FAST_BENCHES {
+        let b = benchmarks::by_name(name).expect("known benchmark");
+        let r = synthesize(
+            &b.spec,
+            &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd),
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(r.depth() > 0, "{name} is not the identity");
+        assert!(r.solutions().is_exhaustive(), "{name} should enumerate fully");
+        for c in r.solutions().circuits() {
+            assert!(b.spec.is_realized_by(c), "{name}: circuit fails spec");
+            assert_eq!(c.len(), r.depth() as usize);
+        }
+    }
+}
+
+#[test]
+fn synthesized_circuits_roundtrip_through_real_format() {
+    let b = benchmarks::by_name("3_17").unwrap();
+    let r = synthesize(
+        &b.spec,
+        &SynthesisOptions::new(GateLibrary::all(), Engine::Bdd),
+    )
+    .unwrap();
+    for c in r.solutions().circuits().iter().take(10) {
+        let text = real::write_real(c);
+        let parsed = real::parse_real(&text).expect("own output parses");
+        assert!(parsed.equivalent(c));
+        assert_eq!(cost::circuit_cost(&parsed), cost::circuit_cost(c));
+    }
+}
+
+#[test]
+fn specs_roundtrip_through_spec_format_and_resynthesis() {
+    let b = benchmarks::by_name("rd32-v0").unwrap();
+    let text = spec_format::write_spec(&b.spec);
+    let reparsed = spec_format::parse_spec(&text).unwrap();
+    let r1 = synthesize(
+        &b.spec,
+        &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd),
+    )
+    .unwrap();
+    let r2 = synthesize(
+        &reparsed,
+        &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd),
+    )
+    .unwrap();
+    assert_eq!(r1.depth(), r2.depth());
+    assert_eq!(r1.solutions().count(), r2.solutions().count());
+}
+
+#[test]
+fn minimal_depth_of_inverse_equals_original_for_mct() {
+    // MCT gates are self-inverse, so reversing any realization of f gives
+    // a realization of f⁻¹ of the same size — minimal depths must match.
+    let b = benchmarks::by_name("3_17").unwrap();
+    let perm = b.spec.as_permutation().unwrap();
+    let inverse = qsyn::revlogic::Spec::from_permutation(&perm.inverse());
+    let opts = SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd);
+    let fwd = synthesize(&b.spec, &opts).unwrap();
+    let bwd = synthesize(&inverse, &opts).unwrap();
+    assert_eq!(fwd.depth(), bwd.depth());
+    assert_eq!(fwd.solutions().count(), bwd.solutions().count());
+}
+
+#[test]
+fn quantum_cost_selection_is_consistent() {
+    let b = benchmarks::by_name("decod24-v0").unwrap();
+    let r = synthesize(
+        &b.spec,
+        &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd),
+    )
+    .unwrap();
+    let best = r.solutions().best_by_quantum_cost();
+    let (min_qc, max_qc) = r.solutions().quantum_cost_range();
+    assert_eq!(cost::circuit_cost(best), min_qc);
+    assert!(min_qc <= max_qc);
+    for c in r.solutions().circuits() {
+        let qc = cost::circuit_cost(c);
+        assert!((min_qc..=max_qc).contains(&qc));
+    }
+}
+
+#[test]
+fn peres_library_lowers_quantum_cost_when_it_helps() {
+    // A spec that IS a Peres gate: MCT needs two gates (QC 6), MCT+P one
+    // (QC 4).
+    let peres_perm = qsyn::revlogic::Circuit::from_gates(
+        3,
+        [qsyn::revlogic::Gate::peres(0, 1, 2)],
+    )
+    .permutation();
+    let spec = qsyn::revlogic::Spec::from_permutation(&peres_perm);
+    let mct = synthesize(
+        &spec,
+        &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd),
+    )
+    .unwrap();
+    let with_peres = synthesize(
+        &spec,
+        &SynthesisOptions::new(GateLibrary::mct_peres(), Engine::Bdd),
+    )
+    .unwrap();
+    assert_eq!(mct.depth(), 2);
+    assert_eq!(with_peres.depth(), 1);
+    assert_eq!(mct.solutions().quantum_cost_range().0, 6);
+    assert_eq!(with_peres.solutions().quantum_cost_range().0, 4);
+}
+
+#[test]
+fn suite_metadata_is_consistent() {
+    let suite = benchmarks::suite();
+    assert_eq!(suite.len(), 19);
+    for b in &suite {
+        assert!(b.spec.lines() >= 3);
+        assert!(b.spec.lines() <= 6);
+        match b.kind {
+            benchmarks::BenchmarkKind::Complete => assert!(b.spec.is_complete()),
+            benchmarks::BenchmarkKind::Incomplete => assert!(!b.spec.is_complete()),
+        }
+    }
+}
