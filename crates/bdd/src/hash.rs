@@ -72,8 +72,6 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for a in 0u32..64 {
             for b in 0u32..64 {
-                
-                
                 seen.insert(build.hash_one((a, b)));
             }
         }
@@ -86,10 +84,10 @@ mod tests {
     fn hash_is_deterministic() {
         use std::hash::BuildHasher;
         let build = BuildFibHasher::default();
-        
-        
-        
-        
-        assert_eq!(build.hash_one((1u32, 2u32, 3u32)), build.hash_one((1u32, 2u32, 3u32)));
+
+        assert_eq!(
+            build.hash_one((1u32, 2u32, 3u32)),
+            build.hash_one((1u32, 2u32, 3u32))
+        );
     }
 }

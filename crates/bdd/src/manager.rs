@@ -265,7 +265,10 @@ impl Manager {
         if lo == hi {
             return lo;
         }
-        debug_assert!(var < self.level(lo) && var < self.level(hi), "order violation");
+        debug_assert!(
+            var < self.level(lo) && var < self.level(hi),
+            "order violation"
+        );
         if let Some(&id) = self.unique.get(&(var, lo, hi)) {
             return id;
         }
@@ -318,7 +321,10 @@ impl Manager {
     /// Interns a **sorted, deduplicated** variable list for quantification
     /// caching and returns its id.
     pub(crate) fn intern_varset(&mut self, vars: &[u32]) -> u32 {
-        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "varset must be sorted");
+        debug_assert!(
+            vars.windows(2).all(|w| w[0] < w[1]),
+            "varset must be sorted"
+        );
         if let Some(&id) = self.varset_ids.get(vars) {
             return id;
         }

@@ -2,9 +2,7 @@
 //! variable order, incremental construction and SAT select encoding.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qsyn_core::{
-    synthesize, Engine, GateLibrary, SatSelectEncoding, SynthesisOptions, VarOrder,
-};
+use qsyn_core::{synthesize, Engine, GateLibrary, SatSelectEncoding, SynthesisOptions, VarOrder};
 use qsyn_revlogic::benchmarks;
 
 fn bench_var_order(c: &mut Criterion) {
@@ -12,7 +10,10 @@ fn bench_var_order(c: &mut Criterion) {
     group.sample_size(10);
     for name in ["3_17", "rd32-v0"] {
         let bench = benchmarks::by_name(name).expect("known benchmark");
-        for (label, order) in [("x_then_y", VarOrder::XThenY), ("y_then_x", VarOrder::YThenX)] {
+        for (label, order) in [
+            ("x_then_y", VarOrder::XThenY),
+            ("y_then_x", VarOrder::YThenX),
+        ] {
             group.bench_with_input(BenchmarkId::new(label, name), &order, |b, &order| {
                 b.iter(|| {
                     synthesize(
@@ -80,5 +81,10 @@ fn bench_sat_encoding(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_var_order, bench_incremental, bench_sat_encoding);
+criterion_group!(
+    benches,
+    bench_var_order,
+    bench_incremental,
+    bench_sat_encoding
+);
 criterion_main!(benches);

@@ -12,9 +12,7 @@
 //! ```
 
 use qsyn_bench::{format_secs, run_budgeted, timeout_from_env, RunOutcome};
-use qsyn_core::{
-    BddEngine, Engine, GateLibrary, SatSelectEncoding, SynthesisOptions, VarOrder,
-};
+use qsyn_core::{BddEngine, Engine, GateLibrary, SatSelectEncoding, SynthesisOptions, VarOrder};
 use qsyn_revlogic::benchmarks;
 use std::time::Duration;
 
@@ -65,7 +63,11 @@ fn main() {
                     cells.push(format!("{:>10} {:>12}", format_secs(time), nodes));
                 }
                 None => {
-                    cells.push(format!("{:>10} {:>12}", format!(">{}s", budget.as_secs()), nodes));
+                    cells.push(format!(
+                        "{:>10} {:>12}",
+                        format!(">{}s", budget.as_secs()),
+                        nodes
+                    ));
                 }
             }
         }

@@ -15,9 +15,7 @@
 //! ```
 
 use qsyn_bench::format_secs;
-use qsyn_core::{
-    synthesize, Engine, GateLibrary, QbfEngine, SatEngine, SynthesisOptions,
-};
+use qsyn_core::{synthesize, Engine, GateLibrary, QbfEngine, SatEngine, SynthesisOptions};
 use qsyn_revlogic::{benchmarks::random_permutation, Spec};
 
 fn main() {
@@ -34,8 +32,8 @@ fn main() {
         let instance = qbf_engine.instance(d);
         let (qv, qc) = (instance.num_vars(), instance.matrix().len());
 
-        let sat_options = SynthesisOptions::new(GateLibrary::mct(), Engine::Sat)
-            .with_conflict_limit(0); // encode only; bail immediately
+        let sat_options =
+            SynthesisOptions::new(GateLibrary::mct(), Engine::Sat).with_conflict_limit(0); // encode only; bail immediately
         let mut sat_engine = SatEngine::new(&spec, &sat_options);
         let _ = sat_engine.solve_depth(d); // runs out of budget after encoding
         let (sv, sc) = sat_engine.last_instance_size();

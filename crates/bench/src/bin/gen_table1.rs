@@ -8,13 +8,18 @@
 //! QSYN_FULL=1 QSYN_TIMEOUT=2000 cargo run --release -p qsyn-bench --bin gen_table1
 //! ```
 
-use qsyn_bench::{bench_names, improvement_cell, is_complete_bench, run_budgeted, timeout_from_env};
+use qsyn_bench::{
+    bench_names, improvement_cell, is_complete_bench, run_budgeted, timeout_from_env,
+};
 use qsyn_core::{Engine, GateLibrary, SatSelectEncoding, SynthesisOptions};
 use qsyn_revlogic::benchmarks;
 
 fn main() {
     let budget = timeout_from_env();
-    println!("Table 1: Comparison to Previous Work (timeout {}s)", budget.as_secs());
+    println!(
+        "Table 1: Comparison to Previous Work (timeout {}s)",
+        budget.as_secs()
+    );
     println!("SAT SOLVER = row-wise one-hot encoding [9]; SWORD* = row-wise binary");
     println!("encoding standing in for the specialised SWORD prover [22] (see DESIGN.md).");
     println!();

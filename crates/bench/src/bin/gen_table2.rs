@@ -37,8 +37,7 @@ fn main() {
         let bench = benchmarks::by_name(name).expect("known benchmark");
         let out = run_budgeted(
             &bench.spec,
-            &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd)
-                .with_max_solutions(200_000),
+            &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd).with_max_solutions(200_000),
             budget,
         );
         match out.result() {

@@ -46,6 +46,10 @@ fn main() {
             r.solutions().quantum_cost_range(),
             t.elapsed()
         ),
-        Err(e) => println!("{name} [{}/{engine:?}]: error {e} after {:?}", library.label(), t.elapsed()),
+        Err(e) => println!(
+            "{name} [{}/{engine:?}]: error {e} after {:?}",
+            library.label(),
+            t.elapsed()
+        ),
     }
 }

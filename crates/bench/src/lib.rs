@@ -34,7 +34,10 @@ pub fn timeout_from_env() -> Duration {
     std::env::var("QSYN_TIMEOUT")
         .ok()
         .and_then(|s| s.parse::<u64>().ok())
-        .map_or(Duration::from_secs(DEFAULT_TIMEOUT_SECS), Duration::from_secs)
+        .map_or(
+            Duration::from_secs(DEFAULT_TIMEOUT_SECS),
+            Duration::from_secs,
+        )
 }
 
 /// Outcome of one timed synthesis run.

@@ -1,0 +1,209 @@
+//! Cooperative cancellation for synthesis runs.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle shared between a synthesis
+//! run and whoever supervises it (the portfolio racer, the batch scheduler,
+//! a signal handler). It carries two independent stop conditions:
+//!
+//! * an explicit **cancel flag**, raised with [`CancelToken::cancel`] —
+//!   surfaces as [`SynthesisError::Cancelled`];
+//! * an optional **deadline**, armed by the driver from
+//!   [`SynthesisOptions::time_budget`](crate::SynthesisOptions) — surfaces
+//!   as [`SynthesisError::TimeBudgetExceeded`].
+//!
+//! Engines poll the token inside their per-depth inner loops (between BDD
+//! levels and quantification steps, between solver conflict chunks), so a
+//! single runaway depth no longer ignores the budget and a losing portfolio
+//! racer stops promptly instead of running to completion.
+
+use crate::error::SynthesisError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Shared cancellation handle; see the module docs.
+///
+/// Clones share state: cancelling any clone cancels them all. The default
+/// token is never cancelled and has no deadline, so polling it is free of
+/// side effects and cheap (one relaxed atomic load on the fast path).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Armed lazily (the budget is relative to the run's start, which is
+    /// only known once the driver begins). `Mutex` rather than an atomic:
+    /// `Instant` is opaque, and the poll rate is bounded by chunk sizes.
+    deadline: Mutex<Option<Instant>>,
+    has_deadline: AtomicBool,
+    /// Upstream tokens (see [`CancelToken::merged`]): this token also
+    /// reports cancelled/expired when any of them does.
+    parents: Vec<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token with no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A fresh token that expires `budget` from now.
+    pub fn with_timeout(budget: Duration) -> CancelToken {
+        let t = CancelToken::new();
+        t.set_deadline(Instant::now() + budget);
+        t
+    }
+
+    /// A token that additionally trips whenever any of `sources` trips
+    /// (cancel flag or deadline), while cancelling *it* leaves the sources
+    /// untouched. This is how a portfolio racer obeys both its private
+    /// "you lost" token and a caller's run-wide token with a single poll.
+    pub fn merged<'a>(sources: impl IntoIterator<Item = &'a CancelToken>) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                parents: sources.into_iter().map(|t| Arc::clone(&t.inner)).collect(),
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// Raises the cancel flag on every clone of this token (parents of a
+    /// merged token are unaffected).
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`cancel`](Self::cancel) has been called on this token
+    /// or any of its merge sources (deadline expiry is *not* reported
+    /// here; use [`check`](Self::check)).
+    pub fn is_cancelled(&self) -> bool {
+        fn walk(inner: &Inner) -> bool {
+            inner.cancelled.load(Ordering::Acquire) || inner.parents.iter().any(|p| walk(p))
+        }
+        walk(&self.inner)
+    }
+
+    /// Arms (or re-arms) the wall-clock deadline.
+    pub fn set_deadline(&self, at: Instant) {
+        *self.inner.deadline.lock().expect("deadline lock") = Some(at);
+        self.inner.has_deadline.store(true, Ordering::Release);
+    }
+
+    /// `true` if a deadline is armed and has passed, on this token or any
+    /// of its merge sources.
+    pub fn deadline_expired(&self) -> bool {
+        fn walk(inner: &Inner, now: Instant) -> bool {
+            let own = inner.has_deadline.load(Ordering::Acquire)
+                && inner
+                    .deadline
+                    .lock()
+                    .expect("deadline lock")
+                    .is_some_and(|at| now >= at);
+            own || inner.parents.iter().any(|p| walk(p, now))
+        }
+        walk(&self.inner, Instant::now())
+    }
+
+    /// Polls both stop conditions, attributing a failure to `depth`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SynthesisError::Cancelled`] when the flag is raised,
+    /// * [`SynthesisError::TimeBudgetExceeded`] when the deadline passed.
+    pub fn check(&self, depth: u32) -> Result<(), SynthesisError> {
+        if self.is_cancelled() {
+            return Err(SynthesisError::Cancelled { depth });
+        }
+        if self.deadline_expired() {
+            return Err(SynthesisError::TimeBudgetExceeded { depth });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_token_never_trips() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.deadline_expired());
+        assert_eq!(t.check(3), Ok(()));
+    }
+
+    #[test]
+    fn cancel_propagates_to_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        t.cancel();
+        assert!(clone.is_cancelled());
+        assert_eq!(clone.check(5), Err(SynthesisError::Cancelled { depth: 5 }));
+    }
+
+    #[test]
+    fn expired_deadline_reports_time_budget() {
+        let t = CancelToken::with_timeout(Duration::ZERO);
+        assert!(t.deadline_expired());
+        assert_eq!(
+            t.check(2),
+            Err(SynthesisError::TimeBudgetExceeded { depth: 2 })
+        );
+    }
+
+    #[test]
+    fn future_deadline_does_not_trip() {
+        let t = CancelToken::new();
+        t.set_deadline(Instant::now() + Duration::from_secs(3600));
+        assert_eq!(t.check(0), Ok(()));
+    }
+
+    #[test]
+    fn cancel_takes_precedence_over_deadline() {
+        let t = CancelToken::with_timeout(Duration::ZERO);
+        t.cancel();
+        assert_eq!(t.check(1), Err(SynthesisError::Cancelled { depth: 1 }));
+    }
+
+    #[test]
+    fn merged_token_observes_every_source() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        let m = CancelToken::merged([&a, &b]);
+        assert!(!m.is_cancelled());
+        b.cancel();
+        assert!(m.is_cancelled());
+        assert!(!a.is_cancelled(), "sources stay independent");
+    }
+
+    #[test]
+    fn cancelling_a_merged_token_spares_the_sources() {
+        let a = CancelToken::new();
+        let m = CancelToken::merged([&a]);
+        m.cancel();
+        assert!(m.is_cancelled());
+        assert!(!a.is_cancelled());
+    }
+
+    #[test]
+    fn merged_token_inherits_source_deadlines() {
+        let a = CancelToken::with_timeout(Duration::ZERO);
+        let m = CancelToken::merged([&a]);
+        assert!(m.deadline_expired());
+        assert_eq!(
+            m.check(3),
+            Err(SynthesisError::TimeBudgetExceeded { depth: 3 })
+        );
+    }
+
+    #[test]
+    fn rearming_moves_the_deadline() {
+        let t = CancelToken::with_timeout(Duration::ZERO);
+        assert!(t.deadline_expired());
+        t.set_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!t.deadline_expired());
+    }
+}

@@ -145,6 +145,8 @@ pub fn depth_lower_bound(spec: &Spec, options: &SynthesisOptions) -> u32 {
 ///   exhausted — every depth up to the cap is then *proven* unrealizable.
 /// * [`SynthesisError::TimeBudgetExceeded`] / [`SynthesisError::ResourceLimit`]
 ///   when budgets run out.
+/// * [`SynthesisError::Cancelled`] when the options'
+///   [`CancelToken`](crate::CancelToken) is cancelled by a supervisor.
 pub fn synthesize(
     spec: &Spec,
     options: &SynthesisOptions,
@@ -181,6 +183,12 @@ pub fn drive<S: DepthSolver>(
         });
     }
     let start = Instant::now();
+    // Arm the shared token's deadline so the budget is enforced *inside*
+    // the engines' per-depth loops, not just here between depths. Engines
+    // hold clones of `options`, and clones share the token.
+    if let Some(budget) = options.time_budget {
+        options.cancel.set_deadline(start + budget);
+    }
     let mut depth_times = Vec::new();
     let first_depth = if options.start_at_lower_bound {
         depth_lower_bound(spec, options).min(options.max_depth)
@@ -188,11 +196,7 @@ pub fn drive<S: DepthSolver>(
         0
     };
     for d in first_depth..=options.max_depth {
-        if let Some(budget) = options.time_budget {
-            if start.elapsed() > budget {
-                return Err(SynthesisError::TimeBudgetExceeded { depth: d });
-            }
-        }
+        options.cancel.check(d)?;
         let depth_start = Instant::now();
         let outcome = engine.solve_depth(d)?;
         depth_times.push(depth_start.elapsed());
@@ -221,9 +225,7 @@ mod tests {
     fn driver_finds_minimal_depth() {
         // SWAP needs exactly 3 MCT gates. Both output lines differ from
         // their inputs, so the lower bound lets the driver start at d = 2.
-        let spec = Spec::from_permutation(&Permutation::from_fn(2, |v| {
-            ((v & 1) << 1) | (v >> 1)
-        }));
+        let spec = Spec::from_permutation(&Permutation::from_fn(2, |v| ((v & 1) << 1) | (v >> 1)));
         let options = SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd);
         assert_eq!(depth_lower_bound(&spec, &options), 2);
         let r = synthesize(&spec, &options).unwrap();
@@ -255,9 +257,7 @@ mod tests {
 
     #[test]
     fn depth_limit_is_an_error() {
-        let spec = Spec::from_permutation(&Permutation::from_fn(2, |v| {
-            ((v & 1) << 1) | (v >> 1)
-        }));
+        let spec = Spec::from_permutation(&Permutation::from_fn(2, |v| ((v & 1) << 1) | (v >> 1)));
         let err = synthesize(
             &spec,
             &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd).with_max_depth(2),
@@ -349,11 +349,7 @@ mod tests {
         let spec = Spec::from_permutation(&Permutation::from_map(2, vec![3, 0, 1, 2]));
         let mut depths = Vec::new();
         for engine in [Engine::Bdd, Engine::Qbf, Engine::Sat] {
-            let r = synthesize(
-                &spec,
-                &SynthesisOptions::new(GateLibrary::mct(), engine),
-            )
-            .unwrap();
+            let r = synthesize(&spec, &SynthesisOptions::new(GateLibrary::mct(), engine)).unwrap();
             assert!(spec.is_realized_by(&r.solutions().circuits()[0]));
             depths.push(r.depth());
         }

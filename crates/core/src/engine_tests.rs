@@ -200,11 +200,8 @@ fn mixed_polarity_library_shortens_negative_control_functions() {
     let plain = synthesize(&spec, &mct_opts(Engine::Bdd)).unwrap();
     let mixed = synthesize(
         &spec,
-        &SynthesisOptions::new(
-            GateLibrary::mct().with_mixed_polarity(),
-            Engine::Bdd,
-        )
-        .with_max_depth(8),
+        &SynthesisOptions::new(GateLibrary::mct().with_mixed_polarity(), Engine::Bdd)
+            .with_max_depth(8),
     )
     .unwrap();
     assert_eq!(plain.depth(), 2);
@@ -220,11 +217,7 @@ fn mixed_polarity_agrees_across_engines() {
     let lib = GateLibrary::mct().with_mixed_polarity();
     let mut depths = Vec::new();
     for engine in [Engine::Bdd, Engine::Qbf, Engine::Sat] {
-        let r = synthesize(
-            &spec,
-            &SynthesisOptions::new(lib, engine).with_max_depth(8),
-        )
-        .unwrap();
+        let r = synthesize(&spec, &SynthesisOptions::new(lib, engine).with_max_depth(8)).unwrap();
         assert!(spec.is_realized_by(&r.solutions().circuits()[0]));
         depths.push(r.depth());
     }

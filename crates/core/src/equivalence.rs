@@ -28,8 +28,7 @@ fn run_circuit_bdd(m: &mut Manager, circuit: &Circuit, inputs: &[Bdd]) -> Vec<Bd
                 target,
             } => {
                 let mut cond = {
-                    let parts: Vec<Bdd> =
-                        controls.iter().map(|c| state[c as usize]).collect();
+                    let parts: Vec<Bdd> = controls.iter().map(|c| state[c as usize]).collect();
                     m.and_all(parts)
                 };
                 for c in negative_controls.iter() {
@@ -130,11 +129,7 @@ pub fn counterexample_sat(c1: &Circuit, c2: &Circuit) -> Option<u32> {
     let inputs: Vec<Lit> = (0..n).map(|l| b.input(l)).collect();
     let out1 = run_circuit_netlist(&mut b, c1, &inputs);
     let out2 = run_circuit_netlist(&mut b, c2, &inputs);
-    let diffs: Vec<Lit> = out1
-        .iter()
-        .zip(&out2)
-        .map(|(&a, &c)| b.xor(a, c))
-        .collect();
+    let diffs: Vec<Lit> = out1.iter().zip(&out2).map(|(&a, &c)| b.xor(a, c)).collect();
     let any_diff = b.or_all(&diffs);
     b.assert_lit(any_diff);
     let mut solver = Solver::from_formula(b.formula());

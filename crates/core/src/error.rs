@@ -16,9 +16,17 @@ pub enum SynthesisError {
         /// Which budget was exhausted.
         what: &'static str,
     },
-    /// The wall-clock budget ran out between depths.
+    /// The wall-clock budget ran out.
     TimeBudgetExceeded {
         /// First depth that was *not* fully solved.
+        depth: u32,
+    },
+    /// The run was cancelled through its
+    /// [`CancelToken`](crate::CancelToken) — e.g. a portfolio racer lost to
+    /// a faster engine, or the batch scheduler is shutting down.
+    Cancelled {
+        /// First depth that was *not* fully solved when the cancellation
+        /// was observed.
         depth: u32,
     },
     /// The specification's line count exceeds what exact synthesis
@@ -35,7 +43,8 @@ impl SynthesisError {
         match *self {
             SynthesisError::DepthLimitReached { max_depth } => Some(max_depth),
             SynthesisError::ResourceLimit { depth, .. }
-            | SynthesisError::TimeBudgetExceeded { depth } => Some(depth),
+            | SynthesisError::TimeBudgetExceeded { depth }
+            | SynthesisError::Cancelled { depth } => Some(depth),
             SynthesisError::SpecTooLarge { .. } => None,
         }
     }
@@ -53,8 +62,14 @@ impl std::fmt::Display for SynthesisError {
             SynthesisError::TimeBudgetExceeded { depth } => {
                 write!(f, "time budget exceeded before finishing depth {depth}")
             }
+            SynthesisError::Cancelled { depth } => {
+                write!(f, "synthesis cancelled before finishing depth {depth}")
+            }
             SynthesisError::SpecTooLarge { lines } => {
-                write!(f, "specification with {lines} lines is too large for exact synthesis")
+                write!(
+                    f,
+                    "specification with {lines} lines is too large for exact synthesis"
+                )
             }
         }
     }
@@ -80,6 +95,9 @@ mod tests {
         assert!(SynthesisError::TimeBudgetExceeded { depth: 2 }
             .to_string()
             .contains("time budget"));
+        assert!(SynthesisError::Cancelled { depth: 5 }
+            .to_string()
+            .contains("cancelled"));
         assert!(SynthesisError::SpecTooLarge { lines: 20 }
             .to_string()
             .contains("20 lines"));
@@ -91,6 +109,14 @@ mod tests {
             SynthesisError::DepthLimitReached { max_depth: 7 }.depth(),
             Some(7)
         );
+        assert_eq!(SynthesisError::Cancelled { depth: 4 }.depth(), Some(4));
         assert_eq!(SynthesisError::SpecTooLarge { lines: 20 }.depth(), None);
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(SynthesisError::Cancelled { depth: 0 });
+        assert!(e.source().is_none());
+        assert!(!e.to_string().is_empty());
     }
 }

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod bdd_engine;
+mod cancel;
 mod driver;
 mod encode;
 pub mod equivalence;
@@ -60,6 +61,7 @@ mod solutions;
 pub mod transform;
 
 pub use bdd_engine::BddEngine;
+pub use cancel::CancelToken;
 pub use driver::{depth_lower_bound, synthesize, DepthOutcome, DepthSolver, SynthesisResult};
 pub use error::SynthesisError;
 pub use options::{Engine, QbfBackend, SatSelectEncoding, SynthesisOptions, VarOrder};

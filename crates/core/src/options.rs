@@ -1,5 +1,6 @@
 //! Synthesis configuration.
 
+use crate::cancel::CancelToken;
 use qsyn_revlogic::GateLibrary;
 use std::time::Duration;
 
@@ -106,8 +107,16 @@ pub struct SynthesisOptions {
     /// SAT/QBF conflict budget per depth; exceeding it aborts with
     /// [`SynthesisError::ResourceLimit`](crate::SynthesisError).
     pub conflict_limit: u64,
-    /// Wall-clock budget for the whole run, checked between depths.
+    /// Wall-clock budget for the whole run. The driver arms the
+    /// [`cancel`](Self::cancel) token's deadline from this, so the budget
+    /// is enforced both between depths and inside each engine's per-depth
+    /// inner loops.
     pub time_budget: Option<Duration>,
+    /// Cooperative cancellation handle, polled by the engines mid-depth.
+    /// Defaults to a token that never trips. Clones of these options share
+    /// the token, so a supervisor holding a clone can stop a run that is
+    /// already executing on another thread.
+    pub cancel: CancelToken,
     /// Start iterative deepening at the sound lower bound
     /// [`depth_lower_bound`](crate::depth_lower_bound) instead of 0
     /// (minimality is unaffected; the skipped depths are provably
@@ -131,8 +140,17 @@ impl SynthesisOptions {
             bdd_node_limit: 20_000_000,
             conflict_limit: 20_000_000,
             time_budget: None,
+            cancel: CancelToken::new(),
             start_at_lower_bound: true,
         }
+    }
+
+    /// Selects the decision engine (the portfolio racer spawns one clone
+    /// per engine this way).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> SynthesisOptions {
+        self.engine = engine;
+        self
     }
 
     /// Enables or disables starting at the depth lower bound (ablation).
@@ -160,6 +178,13 @@ impl SynthesisOptions {
     #[must_use]
     pub fn with_time_budget(mut self, budget: Duration) -> SynthesisOptions {
         self.time_budget = Some(budget);
+        self
+    }
+
+    /// Installs a cancellation token (see [`CancelToken`]).
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancelToken) -> SynthesisOptions {
+        self.cancel = token;
         self
     }
 
@@ -241,6 +266,16 @@ mod tests {
         assert_eq!(o.bdd_node_limit, 1000);
         assert_eq!(o.conflict_limit, 99);
         assert_eq!(o.time_budget, Some(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn cloned_options_share_the_cancel_token() {
+        let token = CancelToken::new();
+        let o =
+            SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd).with_cancel_token(token.clone());
+        let clone = o.clone();
+        token.cancel();
+        assert!(clone.cancel.is_cancelled());
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub struct PermutedSynthesisResult {
 impl PermutedSynthesisResult {
     /// `true` if the identity permutation was used.
     pub fn is_identity_permutation(&self) -> bool {
-        self.permutation.iter().enumerate().all(|(i, &p)| i as u32 == p)
+        self.permutation
+            .iter()
+            .enumerate()
+            .all(|(i, &p)| i as u32 == p)
     }
 }
 
@@ -131,12 +134,13 @@ pub fn synthesize_with_output_permutation(
         })
         .collect();
     let start = std::time::Instant::now();
+    // Arm the shared token's deadline (see `drive`): the engines created
+    // above hold clones of `options` and poll the same token mid-depth.
+    if let Some(budget) = options.time_budget {
+        options.cancel.set_deadline(start + budget);
+    }
     for d in 0..=options.max_depth {
-        if let Some(budget) = options.time_budget {
-            if start.elapsed() > budget {
-                return Err(SynthesisError::TimeBudgetExceeded { depth: d });
-            }
-        }
+        options.cancel.check(d)?;
         for (idx, engine) in engines.iter_mut().enumerate() {
             if let Some(solutions) = engine.solve_depth(d)? {
                 let (permutation, permuted_spec) = candidates.swap_remove(idx);
@@ -205,9 +209,7 @@ mod tests {
     #[test]
     fn swap_becomes_free_with_output_permutation() {
         // SWAP needs 3 CNOTs normally, 0 gates with output relabeling.
-        let spec = Spec::from_permutation(&Permutation::from_fn(2, |v| {
-            ((v & 1) << 1) | (v >> 1)
-        }));
+        let spec = Spec::from_permutation(&Permutation::from_fn(2, |v| ((v & 1) << 1) | (v >> 1)));
         let plain = crate::synthesize(&spec, &opts()).unwrap();
         assert_eq!(plain.depth(), 3);
         let permuted = synthesize_with_output_permutation(&spec, &opts()).unwrap();
@@ -219,9 +221,7 @@ mod tests {
     #[test]
     fn identity_permutation_preferred_when_depths_tie() {
         // CNOT: already minimal at depth 1 with identity labeling.
-        let spec = Spec::from_permutation(&Permutation::from_fn(2, |v| {
-            v ^ ((v & 1) << 1)
-        }));
+        let spec = Spec::from_permutation(&Permutation::from_fn(2, |v| v ^ ((v & 1) << 1)));
         let permuted = synthesize_with_output_permutation(&spec, &opts()).unwrap();
         assert_eq!(permuted.result.depth(), 1);
         assert!(permuted.is_identity_permutation());
@@ -258,11 +258,7 @@ mod tests {
                 for (j, &p) in permuted.permutation.iter().enumerate() {
                     let bit = 1u32 << j;
                     if r.care & bit != 0 {
-                        assert_eq!(
-                            (out >> p) & 1,
-                            (r.value >> j) & 1,
-                            "row {row} line {j}"
-                        );
+                        assert_eq!((out >> p) & 1, (r.value >> j) & 1, "row {row} line {j}");
                     }
                 }
             }

@@ -7,13 +7,15 @@
 //! constraints appear **once**; the specification is enforced by the
 //! universal quantification of the inputs.
 
+use crate::cancel::CancelToken;
 use crate::encode::{decode_circuit, select_bits};
 use crate::error::SynthesisError;
 use crate::options::{QbfBackend, SynthesisOptions};
+use crate::sat_engine::{solve_chunked, FIRST_CONFLICT_CHUNK};
 use crate::solutions::SolutionSet;
 use qsyn_qbf::{ExpansionSolver, QbfFormula, QdpllSolver, Quantifier};
-use qsyn_sat::{CnfBuilder, Lit};
 use qsyn_revlogic::{Circuit, Gate, Spec};
+use qsyn_sat::{CnfBuilder, Lit, SolveResult, Solver};
 
 /// QBF-based depth oracle; see the module docs.
 pub struct QbfEngine {
@@ -147,37 +149,36 @@ impl QbfEngine {
     ///
     /// # Errors
     ///
-    /// [`SynthesisError::ResourceLimit`] when the conflict budget runs out.
+    /// [`SynthesisError::ResourceLimit`] when the conflict budget runs out;
+    /// cancellation errors from the options' token, polled between budget
+    /// chunks of both backends.
     pub fn solve_depth(&mut self, d: u32) -> Result<Option<SolutionSet>, SynthesisError> {
+        self.options.cancel.check(d)?;
         let qbf = self.instance(d);
         self.last_instance_size = (qbf.num_vars(), qbf.matrix().len());
         // The QDPLL backend decides truth first (the measured solver); the
         // witness for circuit extraction always comes from expansion.
-        if self.options.qbf_backend == QbfBackend::Qdpll {
-            let mut solver = QdpllSolver::new(&qbf);
-            solver.set_decision_budget(self.options.conflict_limit);
-            match solver.solve_limited() {
-                None => {
-                    return Err(SynthesisError::ResourceLimit {
-                        depth: d,
-                        what: "QDPLL decision",
-                    })
-                }
-                Some(false) => return Ok(None),
-                Some(true) => {}
-            }
+        if self.options.qbf_backend == QbfBackend::Qdpll
+            && !qdpll_chunked(&qbf, self.options.conflict_limit, &self.options.cancel, d)?
+        {
+            return Ok(None);
         }
-        let mut solver = ExpansionSolver::new(&qbf);
-        solver.set_conflict_budget(self.options.conflict_limit);
-        let witness = match solver.solve_limited() {
-            None => {
-                return Err(SynthesisError::ResourceLimit {
-                    depth: d,
-                    what: "SAT conflict",
-                })
-            }
-            Some(None) => return Ok(None),
-            Some(Some(w)) => w,
+        // Drive the backend SAT solve of the expansion ourselves so the
+        // token is polled between conflict chunks.
+        let mut expansion = ExpansionSolver::new(&qbf);
+        let cnf = expansion.expanded_cnf();
+        let mut solver = Solver::from_formula(&cnf);
+        let witness = match solve_chunked(
+            &mut solver,
+            self.options.conflict_limit,
+            &self.options.cancel,
+            d,
+        )? {
+            SolveResult::Unsat => return Ok(None),
+            // Original variables keep their indices in the expanded CNF, so
+            // the model's prefix is the ∃Y witness (see
+            // `ExpansionSolver::expanded_cnf`).
+            SolveResult::Sat(model) => model[..qbf.num_vars() as usize].to_vec(),
         };
         let n = self.spec.lines();
         let circuit = if self.sbits == 0 {
@@ -192,6 +193,39 @@ impl QbfEngine {
             "QBF witness decodes to a circuit violating the spec"
         );
         Ok(Some(SolutionSet::single(circuit)))
+    }
+}
+
+/// Decides `qbf` with QDPLL under `limit` total decisions, polling `cancel`
+/// between doubling budget chunks. The solver's decision counter is
+/// cumulative while its search restarts per call, so doubling amortizes the
+/// restarted work to a constant factor.
+///
+/// # Errors
+///
+/// [`SynthesisError::ResourceLimit`] once `limit` decisions are spent;
+/// cancellation errors from `cancel`.
+fn qdpll_chunked(
+    qbf: &QbfFormula,
+    limit: u64,
+    cancel: &CancelToken,
+    d: u32,
+) -> Result<bool, SynthesisError> {
+    let mut solver = QdpllSolver::new(qbf);
+    let mut budget = FIRST_CONFLICT_CHUNK.min(limit);
+    loop {
+        cancel.check(d)?;
+        solver.set_decision_budget(budget);
+        if let Some(verdict) = solver.solve_limited() {
+            return Ok(verdict);
+        }
+        if budget >= limit {
+            return Err(SynthesisError::ResourceLimit {
+                depth: d,
+                what: "QDPLL decision",
+            });
+        }
+        budget = budget.saturating_mul(2).min(limit);
     }
 }
 
@@ -267,10 +301,7 @@ mod tests {
     fn qdpll_backend_agrees_on_tiny_instances() {
         let spec = Spec::from_permutation(&Permutation::from_map(1, vec![1, 0]));
         let mut exp = QbfEngine::new(&spec, &opts());
-        let mut qd = QbfEngine::new(
-            &spec,
-            &opts().with_qbf_backend(QbfBackend::Qdpll),
-        );
+        let mut qd = QbfEngine::new(&spec, &opts().with_qbf_backend(QbfBackend::Qdpll));
         for d in 0..2 {
             assert_eq!(
                 exp.solve_depth(d).unwrap().is_some(),
@@ -278,6 +309,19 @@ mod tests {
                 "depth {d}"
             );
         }
+    }
+
+    #[test]
+    fn cancelled_token_stops_solve_depth() {
+        let spec = Spec::from_permutation(&Permutation::from_map(2, vec![3, 0, 1, 2]));
+        let token = crate::CancelToken::new();
+        let mut e = QbfEngine::new(&spec, &opts().with_cancel_token(token.clone()));
+        assert!(e.solve_depth(0).unwrap().is_none());
+        token.cancel();
+        assert_eq!(
+            e.solve_depth(1).unwrap_err(),
+            SynthesisError::Cancelled { depth: 1 }
+        );
     }
 
     #[test]

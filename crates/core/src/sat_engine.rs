@@ -10,12 +10,13 @@
 //! Two gate-select encodings are provided: one-hot (as in the original
 //! exact SAT synthesis [9]) and binary (the improvement direction of [22]).
 
+use crate::cancel::CancelToken;
 use crate::encode::{decode_circuit, select_bits};
 use crate::error::SynthesisError;
 use crate::options::{SatSelectEncoding, SynthesisOptions};
 use crate::solutions::SolutionSet;
-use qsyn_sat::{CnfBuilder, Lit, SolveResult, Solver};
 use qsyn_revlogic::{Circuit, Gate, Spec};
+use qsyn_sat::{CnfBuilder, Lit, SolveResult, Solver};
 
 /// SAT-baseline depth oracle; see the module docs.
 pub struct SatEngine {
@@ -133,19 +134,22 @@ impl SatEngine {
     ///
     /// # Errors
     ///
-    /// [`SynthesisError::ResourceLimit`] when the conflict budget runs out.
+    /// [`SynthesisError::ResourceLimit`] when the conflict budget runs out;
+    /// cancellation errors from the options' token, which is polled between
+    /// conflict chunks so a long depth is interruptible mid-solve.
     pub fn solve_depth(&mut self, d: u32) -> Result<Option<SolutionSet>, SynthesisError> {
+        self.options.cancel.check(d)?;
         let formula = self.encode(d);
         self.last_instance_size = (formula.num_vars(), formula.len());
         let mut solver = Solver::from_formula(&formula);
-        solver.set_conflict_budget(self.options.conflict_limit);
-        match solver.solve_limited() {
-            None => Err(SynthesisError::ResourceLimit {
-                depth: d,
-                what: "SAT conflict",
-            }),
-            Some(SolveResult::Unsat) => Ok(None),
-            Some(SolveResult::Sat(model)) => {
+        match solve_chunked(
+            &mut solver,
+            self.options.conflict_limit,
+            &self.options.cancel,
+            d,
+        )? {
+            SolveResult::Unsat => Ok(None),
+            SolveResult::Sat(model) => {
                 let circuit = self.decode(d, self.select_width(), &model);
                 debug_assert!(
                     self.spec.is_realized_by(&circuit),
@@ -172,15 +176,15 @@ impl SatEngine {
     ) -> Result<Option<(qsyn_sat::CnfFormula, qsyn_sat::proof::Proof)>, SynthesisError> {
         let formula = self.encode(d);
         let mut solver = Solver::from_formula(&formula);
-        solver.set_conflict_budget(self.options.conflict_limit);
         solver.enable_proof_logging();
-        match solver.solve_limited() {
-            None => Err(SynthesisError::ResourceLimit {
-                depth: d,
-                what: "SAT conflict",
-            }),
-            Some(SolveResult::Sat(_)) => Ok(None),
-            Some(SolveResult::Unsat) => {
+        match solve_chunked(
+            &mut solver,
+            self.options.conflict_limit,
+            &self.options.cancel,
+            d,
+        )? {
+            SolveResult::Sat(_) => Ok(None),
+            SolveResult::Unsat => {
                 let proof = solver.take_proof().expect("logging enabled");
                 Ok(Some((formula, proof)))
             }
@@ -265,6 +269,43 @@ impl SatEngine {
     }
 }
 
+/// First cumulative conflict budget handed to the solver before the token
+/// is re-polled; subsequent chunks double.
+pub(crate) const FIRST_CONFLICT_CHUNK: u64 = 2_000;
+
+/// Runs the solver to completion under `limit` total conflicts, polling
+/// `cancel` between doubling budget chunks. The solver keeps its learnt
+/// clauses and heuristic state across chunks (its budget is cumulative), so
+/// chunking costs nothing beyond the poll itself. Shared with the QBF
+/// engine's expansion path.
+///
+/// # Errors
+///
+/// [`SynthesisError::ResourceLimit`] once `limit` conflicts are spent
+/// without an answer; cancellation errors from `cancel`.
+pub(crate) fn solve_chunked(
+    solver: &mut Solver,
+    limit: u64,
+    cancel: &CancelToken,
+    d: u32,
+) -> Result<SolveResult, SynthesisError> {
+    let mut budget = FIRST_CONFLICT_CHUNK.min(limit);
+    loop {
+        cancel.check(d)?;
+        solver.set_conflict_budget(budget);
+        if let Some(result) = solver.solve_limited() {
+            return Ok(result);
+        }
+        if budget >= limit {
+            return Err(SynthesisError::ResourceLimit {
+                depth: d,
+                what: "SAT conflict",
+            });
+        }
+        budget = budget.saturating_mul(2).min(limit);
+    }
+}
+
 /// Blocks the binary select codes `q ≤ k < 2^s`.
 fn forbid_padding(b: &mut CnfBuilder, bits: &[Lit], q: usize) {
     let slot_count = 1usize << bits.len();
@@ -330,7 +371,10 @@ mod tests {
         let id = Spec::from_permutation(&Permutation::identity(2));
         let other = Spec::from_permutation(&Permutation::from_map(2, vec![1, 0, 2, 3]));
         for enc in [SatSelectEncoding::OneHot, SatSelectEncoding::Binary] {
-            assert!(SatEngine::new(&id, &opts(enc)).solve_depth(0).unwrap().is_some());
+            assert!(SatEngine::new(&id, &opts(enc))
+                .solve_depth(0)
+                .unwrap()
+                .is_some());
             assert!(SatEngine::new(&other, &opts(enc))
                 .solve_depth(0)
                 .unwrap()
@@ -400,22 +444,31 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_token_stops_solve_depth() {
+        let spec = Spec::from_permutation(&Permutation::from_map(2, vec![3, 0, 1, 2]));
+        let token = crate::CancelToken::new();
+        let mut e = SatEngine::new(
+            &spec,
+            &opts(SatSelectEncoding::OneHot).with_cancel_token(token.clone()),
+        );
+        assert!(e.solve_depth(0).unwrap().is_none());
+        token.cancel();
+        assert_eq!(
+            e.solve_depth(1).unwrap_err(),
+            SynthesisError::Cancelled { depth: 1 }
+        );
+    }
+
+    #[test]
     fn conflict_budget_trips_on_tiny_limit() {
-        let spec = Spec::from_permutation(&Permutation::from_map(
-            3,
-            vec![7, 1, 4, 3, 0, 2, 6, 5],
-        ));
+        let spec = Spec::from_permutation(&Permutation::from_map(3, vec![7, 1, 4, 3, 0, 2, 6, 5]));
         let mut e = SatEngine::new(
             &spec,
             &opts(SatSelectEncoding::OneHot).with_conflict_limit(1),
         );
         // Some depth in 1..4 must exceed one conflict.
-        let tripped = (1..5).any(|d| {
-            matches!(
-                e.solve_depth(d),
-                Err(SynthesisError::ResourceLimit { .. })
-            )
-        });
+        let tripped =
+            (1..5).any(|d| matches!(e.solve_depth(d), Err(SynthesisError::ResourceLimit { .. })));
         assert!(tripped);
     }
 }

@@ -22,7 +22,10 @@ impl SolutionSet {
     ///
     /// Panics if `circuits` is empty, or `total < circuits.len()`.
     pub fn new(circuits: Vec<Circuit>, total: u128, exhaustive: bool) -> SolutionSet {
-        assert!(!circuits.is_empty(), "a solution set holds at least one circuit");
+        assert!(
+            !circuits.is_empty(),
+            "a solution set holds at least one circuit"
+        );
         assert!(
             total >= circuits.len() as u128,
             "total count below materialized circuits"
@@ -94,10 +97,7 @@ mod tests {
     }
 
     fn peres_like() -> Circuit {
-        Circuit::from_gates(
-            3,
-            [Gate::toffoli(LineSet::from_iter([0, 1]), 2)],
-        )
+        Circuit::from_gates(3, [Gate::toffoli(LineSet::from_iter([0, 1]), 2)])
     }
 
     #[test]

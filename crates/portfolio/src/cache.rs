@@ -1,0 +1,288 @@
+//! Canonical-spec result cache.
+//!
+//! Two specifications that are output permutations of each other have the
+//! same output-permutation synthesis answer up to relabeling, so a batch
+//! run only needs to synthesize one representative per equivalence class.
+//! The cache keys every request by its **canonical form**: the
+//! lexicographically minimal row table over all `n!` output permutations.
+//! A hit replays the stored [`PermutedSynthesisResult`] with the
+//! permutations composed, so the returned circuits realize the *requested*
+//! specification exactly as a fresh run would (same minimal depth — both
+//! answers are minimal over the same equivalence class).
+//!
+//! The canonicalization itself is `O(n! · 2ⁿ)` row comparisons — trivial
+//! next to one synthesis run at the `n ≤ 8` sizes exact synthesis handles.
+
+use qsyn_core::permuted::{
+    permute_spec, synthesize_with_output_permutation, PermutedSynthesisResult,
+};
+use qsyn_core::{SynthesisError, SynthesisOptions};
+use qsyn_revlogic::Spec;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A specification reduced to its output-permutation equivalence class.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CanonicalSpec {
+    /// The canonical representative: `permute_spec(spec, witness)`.
+    pub spec: Spec,
+    /// The permutation taking the original spec to the representative.
+    pub witness: Vec<u32>,
+}
+
+/// All permutations of `0..n` in lexicographic order (identity first).
+fn permutations(n: u32) -> Vec<Vec<u32>> {
+    let mut all: Vec<Vec<u32>> = vec![Vec::new()];
+    for _ in 0..n {
+        all = all
+            .into_iter()
+            .flat_map(|prefix| {
+                (0..n).filter_map(move |v| {
+                    if prefix.contains(&v) {
+                        None
+                    } else {
+                        let mut next = prefix.clone();
+                        next.push(v);
+                        Some(next)
+                    }
+                })
+            })
+            .collect();
+    }
+    all
+}
+
+/// Canonicalizes `spec` under output permutation: among all `n!` permuted
+/// row tables, the lexicographically minimal one (comparing `(value, care)`
+/// row-wise) is the class representative. Equivalent specs — and only
+/// those — map to the same representative.
+pub fn canonicalize(spec: &Spec) -> CanonicalSpec {
+    let mut best: Option<CanonicalSpec> = None;
+    for p in permutations(spec.lines()) {
+        let Ok(permuted) = permute_spec(spec, &p) else {
+            continue;
+        };
+        let key =
+            |s: &Spec| -> Vec<(u32, u32)> { s.rows().iter().map(|r| (r.value, r.care)).collect() };
+        let better = match &best {
+            None => true,
+            Some(b) => key(&permuted) < key(&b.spec),
+        };
+        if better {
+            best = Some(CanonicalSpec {
+                spec: permuted,
+                witness: p,
+            });
+        }
+    }
+    best.expect("identity permutation always yields a candidate")
+}
+
+/// In-process memo table over canonical specs; see the module docs.
+///
+/// One cache instance assumes one fixed synthesis configuration (library,
+/// engine, budgets): entries are keyed by the canonical spec only. Use
+/// separate caches for separate configurations.
+///
+/// Concurrent misses on the same class may both compute (the map lock is
+/// *not* held during synthesis); one result wins, which is harmless since
+/// both are minimal.
+#[derive(Debug, Default)]
+pub struct SpecCache {
+    entries: Mutex<HashMap<Vec<(u32, u32)>, PermutedSynthesisResult>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SpecCache {
+    /// An empty cache.
+    pub fn new() -> SpecCache {
+        SpecCache::default()
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct equivalence classes stored.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Output-permutation synthesis of `spec` through the cache, computing
+    /// with `compute` (called on the **canonical representative**) on a
+    /// miss. Errors are not cached — a budget or cancellation failure on
+    /// one job must not poison the class for later, better-budgeted
+    /// requests.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compute` returns on a miss.
+    pub fn get_or_compute<F>(
+        &self,
+        spec: &Spec,
+        compute: F,
+    ) -> Result<PermutedSynthesisResult, SynthesisError>
+    where
+        F: FnOnce(&Spec) -> Result<PermutedSynthesisResult, SynthesisError>,
+    {
+        let canonical = canonicalize(spec);
+        let key: Vec<(u32, u32)> = canonical
+            .spec
+            .rows()
+            .iter()
+            .map(|r| (r.value, r.care))
+            .collect();
+        let cached = self.entries.lock().expect("cache lock").get(&key).cloned();
+        let stored = match cached {
+            Some(stored) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                stored
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let fresh = compute(&canonical.spec)?;
+                self.entries
+                    .lock()
+                    .expect("cache lock")
+                    .insert(key, fresh.clone());
+                fresh
+            }
+        };
+        // The stored circuits satisfy permute_spec(canonical, q); canonical
+        // line i carries spec line j's function for i = witness[j]. So the
+        // circuit output driving spec line j is r[j] = q[witness[j]].
+        let q = &stored.permutation;
+        let permutation: Vec<u32> = canonical.witness.iter().map(|&i| q[i as usize]).collect();
+        Ok(PermutedSynthesisResult {
+            result: stored.result,
+            permutation,
+        })
+    }
+
+    /// [`get_or_compute`](Self::get_or_compute) with the stock
+    /// [`synthesize_with_output_permutation`] as the compute function.
+    ///
+    /// # Errors
+    ///
+    /// As for [`synthesize_with_output_permutation`].
+    pub fn synthesize(
+        &self,
+        spec: &Spec,
+        options: &SynthesisOptions,
+    ) -> Result<PermutedSynthesisResult, SynthesisError> {
+        self.get_or_compute(spec, |canonical| {
+            synthesize_with_output_permutation(canonical, options)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsyn_core::Engine;
+    use qsyn_revlogic::{benchmarks, GateLibrary, Permutation};
+
+    fn opts() -> SynthesisOptions {
+        SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd).with_max_depth(8)
+    }
+
+    /// Simulating the returned circuit through the returned permutation
+    /// must reproduce the requested spec on every cared bit.
+    fn assert_realizes_via_permutation(spec: &Spec, r: &PermutedSynthesisResult) {
+        let c = &r.result.solutions().circuits()[0];
+        for row in 0..spec.num_rows() as u32 {
+            let out = c.simulate(row);
+            let sr = spec.row(row);
+            for (j, &p) in r.permutation.iter().enumerate() {
+                let bit = 1u32 << j;
+                if sr.care & bit != 0 {
+                    assert_eq!((out >> p) & 1, (sr.value >> j) & 1, "row {row} line {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_permutation_invariant() {
+        let spec = Spec::from_permutation(&Permutation::from_map(3, vec![1, 0, 3, 2, 5, 4, 7, 6]));
+        let base = canonicalize(&spec);
+        for p in permutations(3) {
+            let moved = permute_spec(&spec, &p).unwrap();
+            let c = canonicalize(&moved);
+            assert_eq!(c.spec.rows(), base.spec.rows(), "permutation {p:?}");
+        }
+    }
+
+    #[test]
+    fn canonicalize_never_conflates_inequivalent_specs() {
+        // Every 2-line reversible function: 4! = 24 permutation specs. Two
+        // specs share a canonical form iff one is an output permutation of
+        // the other.
+        let all: Vec<Spec> = permutations(4)
+            .into_iter()
+            .map(|m| Spec::from_permutation(&Permutation::from_map(2, m)))
+            .collect();
+        for a in &all {
+            for b in &all {
+                let equivalent = permutations(2)
+                    .iter()
+                    .any(|p| permute_spec(a, p).unwrap().rows() == b.rows());
+                let same_canon = canonicalize(a).spec.rows() == canonicalize(b).spec.rows();
+                assert_eq!(equivalent, same_canon);
+            }
+        }
+    }
+
+    #[test]
+    fn hit_replays_to_the_requested_spec() {
+        let cache = SpecCache::new();
+        let spec = Spec::from_permutation(&Permutation::from_map(2, vec![2, 0, 3, 1]));
+        let first = cache.synthesize(&spec, &opts()).unwrap();
+        assert_realizes_via_permutation(&spec, &first);
+        assert_eq!(cache.stats(), (0, 1));
+        // Ask again with a permuted variant of the same class: must hit and
+        // still satisfy the *new* request.
+        let moved = permute_spec(&spec, &[1, 0]).unwrap();
+        let second = cache.synthesize(&moved, &opts()).unwrap();
+        assert_realizes_via_permutation(&moved, &second);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(first.result.depth(), second.result.depth());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn depth_matches_uncached_synthesis() {
+        let cache = SpecCache::new();
+        for seed in 0..4u64 {
+            let spec = Spec::from_permutation(&benchmarks::random_permutation(3, seed));
+            let cached = cache.synthesize(&spec, &opts()).unwrap();
+            let direct = synthesize_with_output_permutation(&spec, &opts()).unwrap();
+            assert_eq!(cached.result.depth(), direct.result.depth(), "seed {seed}");
+            assert_realizes_via_permutation(&spec, &cached);
+        }
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = SpecCache::new();
+        let spec = Spec::from_permutation(&Permutation::from_map(2, vec![3, 0, 1, 2]));
+        let tiny = opts().with_max_depth(0);
+        assert!(cache.synthesize(&spec, &tiny).is_err());
+        assert_eq!(cache.len(), 0);
+        // The same class then succeeds with a sane budget.
+        let ok = cache.synthesize(&spec, &opts()).unwrap();
+        assert_realizes_via_permutation(&spec, &ok);
+        assert_eq!(cache.len(), 1);
+    }
+}

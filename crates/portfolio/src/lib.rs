@@ -1,0 +1,30 @@
+//! Engine portfolio on top of `qsyn-core`: race the BDD/SAT/QBF engines on
+//! one specification, schedule whole benchmark batches across a worker
+//! pool, and memoize results by canonical spec.
+//!
+//! Three independent pieces, composable but not entangled:
+//!
+//! * [`race`] — spawn one thread per engine with per-racer
+//!   [`CancelToken`](qsyn_core::CancelToken)s; the first engine to *prove*
+//!   a minimal circuit wins and the losers are cancelled mid-depth.
+//! * [`scheduler`] — a bounded work queue plus a fixed `--jobs N` worker
+//!   pool with per-job deadlines, graceful shutdown, panic isolation, and
+//!   input-ordered reports.
+//! * [`cache`] — a memo table keyed by the spec's canonical form under
+//!   output permutation; an equivalent request is answered by permuting the
+//!   stored result instead of re-synthesizing.
+//!
+//! Everything is built on `std::thread`/`std::sync` only.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod race;
+pub mod scheduler;
+
+pub use cache::{canonicalize, CanonicalSpec, SpecCache};
+pub use race::{
+    race, race_engines, race_engines_permuted, RaceError, RaceResult, Racer, RacerOutcome,
+    RacerReport, RACE_ENGINES,
+};
+pub use scheduler::{run_batch, BatchConfig, JobReport, JobStatus, WorkQueue};

@@ -1,0 +1,397 @@
+//! Engine racing: run several synthesis attempts on worker threads, keep
+//! the first one that *proves* a minimal result, cancel the rest.
+//!
+//! Iterative deepening makes every engine's first SAT answer minimal, so
+//! whichever engine answers first is as good as any other — the only thing
+//! racing changes is the wall clock. Each racer gets its own
+//! [`CancelToken`]; the moment a winner is in, the supervisor cancels the
+//! losers, and the tokens are polled inside the engines' per-depth inner
+//! loops (between BDD levels, between solver conflict chunks), so losers
+//! stop promptly instead of running their depth to completion.
+//!
+//! [`race`] is generic over what the racers actually run — the engine
+//! portfolio ([`race_engines`], [`race_engines_permuted`]) is just the
+//! common instantiation, and tests can inject scripted racers to observe
+//! cancellation deterministically.
+
+use qsyn_core::permuted::{synthesize_with_output_permutation, PermutedSynthesisResult};
+use qsyn_core::{
+    synthesize, CancelToken, Engine, SynthesisError, SynthesisOptions, SynthesisResult,
+};
+use qsyn_revlogic::Spec;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// One competitor in a [`race`]: a label and the closure to run. The
+/// closure receives the racer's private [`CancelToken`] and must poll it
+/// (directly, or by threading it into [`SynthesisOptions`]) to honour
+/// cancellation.
+pub struct Racer<T> {
+    label: String,
+    run: Box<dyn FnOnce(CancelToken) -> Result<T, SynthesisError> + Send>,
+}
+
+impl<T> Racer<T> {
+    /// A racer running `run` under the given display label.
+    pub fn new<F>(label: impl Into<String>, run: F) -> Racer<T>
+    where
+        F: FnOnce(CancelToken) -> Result<T, SynthesisError> + Send + 'static,
+    {
+        Racer {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// How one racer ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RacerOutcome {
+    /// Produced the first successful result.
+    Won,
+    /// Observed its cancellation token and stopped
+    /// ([`SynthesisError::Cancelled`]).
+    Cancelled,
+    /// Succeeded, but after the winner (its result is discarded).
+    FinishedLate,
+    /// Failed with a real error (budget, depth limit, …).
+    Failed(SynthesisError),
+    /// Panicked; the panic was contained and did not take down the race.
+    Panicked,
+}
+
+/// Per-racer report, in the order the racers were supplied.
+#[derive(Clone, Debug)]
+pub struct RacerReport {
+    /// The racer's label.
+    pub label: String,
+    /// How it ended.
+    pub outcome: RacerOutcome,
+    /// Wall-clock time until it ended.
+    pub elapsed: Duration,
+}
+
+/// A decided race: the winning result plus what happened to everyone.
+#[derive(Clone, Debug)]
+pub struct RaceResult<T> {
+    /// The first successful result.
+    pub winner: T,
+    /// Label of the racer that produced it.
+    pub winner_label: String,
+    /// One report per racer, in input order.
+    pub reports: Vec<RacerReport>,
+}
+
+/// A race nobody won.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RaceError {
+    /// Called with an empty racer list.
+    NoRacers,
+    /// Every racer failed; the per-racer errors (a panic is reported as
+    /// `None`), in input order.
+    AllFailed(Vec<(String, Option<SynthesisError>)>),
+}
+
+impl std::fmt::Display for RaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RaceError::NoRacers => write!(f, "race started with no racers"),
+            RaceError::AllFailed(fails) => {
+                write!(f, "every racer failed:")?;
+                for (label, err) in fails {
+                    match err {
+                        Some(e) => write!(f, " [{label}: {e}]")?,
+                        None => write!(f, " [{label}: panicked]")?,
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RaceError {}
+
+impl RaceError {
+    /// Collapses a lost race into the most informative single engine error:
+    /// the first non-[`Cancelled`](SynthesisError::Cancelled) racer error,
+    /// falling back to any racer error, then to a generic resource-limit
+    /// report when every racer panicked (or there were none). Lets callers
+    /// that treat the race as "just another engine" (the batch scheduler,
+    /// the cache compute hook) keep a single error type.
+    #[must_use]
+    pub fn into_synthesis_error(self) -> SynthesisError {
+        let fallback = SynthesisError::ResourceLimit {
+            depth: 0,
+            what: "portfolio racer",
+        };
+        match self {
+            RaceError::NoRacers => fallback,
+            RaceError::AllFailed(fails) => {
+                let mut errors = fails.into_iter().filter_map(|(_, e)| e);
+                match errors.next() {
+                    None => fallback,
+                    Some(first) => {
+                        if matches!(first, SynthesisError::Cancelled { .. }) {
+                            errors
+                                .find(|e| !matches!(e, SynthesisError::Cancelled { .. }))
+                                .unwrap_or(first)
+                        } else {
+                            first
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs all racers concurrently and returns the first success; the
+/// remaining racers are cancelled through their tokens and joined before
+/// returning, so no racer outlives the call.
+///
+/// A racer that panics is contained ([`RacerOutcome::Panicked`]) and simply
+/// cannot win.
+///
+/// # Errors
+///
+/// [`RaceError::NoRacers`] for an empty field; [`RaceError::AllFailed`]
+/// when every racer errored or panicked.
+pub fn race<T: Send + 'static>(racers: Vec<Racer<T>>) -> Result<RaceResult<T>, RaceError> {
+    if racers.is_empty() {
+        return Err(RaceError::NoRacers);
+    }
+    let labels: Vec<String> = racers.iter().map(|r| r.label.clone()).collect();
+    let tokens: Vec<CancelToken> = racers.iter().map(|_| CancelToken::new()).collect();
+    let (tx, rx) = mpsc::channel();
+    let start = Instant::now();
+    let handles: Vec<_> = racers
+        .into_iter()
+        .zip(&tokens)
+        .enumerate()
+        .map(|(idx, (racer, token))| {
+            let tx = tx.clone();
+            let token = token.clone();
+            std::thread::spawn(move || {
+                let run = racer.run;
+                let verdict = catch_unwind(AssertUnwindSafe(move || run(token)));
+                // The receiver hangs up once all messages are in; a failed
+                // send can only mean the supervisor itself panicked.
+                let _ = tx.send((idx, verdict, start.elapsed()));
+            })
+        })
+        .collect();
+    drop(tx);
+
+    let mut winner: Option<(usize, T)> = None;
+    let mut outcomes: Vec<Option<(RacerOutcome, Duration)>> = labels.iter().map(|_| None).collect();
+    for (idx, verdict, elapsed) in rx {
+        let outcome = match verdict {
+            Ok(Ok(result)) => {
+                if winner.is_none() {
+                    winner = Some((idx, result));
+                    // The race is decided: stop everyone else promptly.
+                    for (i, t) in tokens.iter().enumerate() {
+                        if i != idx {
+                            t.cancel();
+                        }
+                    }
+                    RacerOutcome::Won
+                } else {
+                    RacerOutcome::FinishedLate
+                }
+            }
+            Ok(Err(SynthesisError::Cancelled { .. })) => RacerOutcome::Cancelled,
+            Ok(Err(e)) => RacerOutcome::Failed(e),
+            Err(_panic) => RacerOutcome::Panicked,
+        };
+        outcomes[idx] = Some((outcome, elapsed));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let reports: Vec<RacerReport> = labels
+        .into_iter()
+        .zip(outcomes)
+        .map(|(label, o)| {
+            let (outcome, elapsed) = o.expect("every racer reports exactly once");
+            RacerReport {
+                label,
+                outcome,
+                elapsed,
+            }
+        })
+        .collect();
+    match winner {
+        Some((idx, result)) => Ok(RaceResult {
+            winner: result,
+            winner_label: reports[idx].label.clone(),
+            reports,
+        }),
+        None => Err(RaceError::AllFailed(
+            reports
+                .into_iter()
+                .map(|r| {
+                    let err = match r.outcome {
+                        RacerOutcome::Failed(e) => Some(e),
+                        _ => None,
+                    };
+                    (r.label, err)
+                })
+                .collect(),
+        )),
+    }
+}
+
+/// The engines entered into a portfolio race, in report order.
+pub const RACE_ENGINES: [Engine; 3] = [Engine::Bdd, Engine::Sat, Engine::Qbf];
+
+/// Races the three engines on one specification with plain (identity
+/// output) synthesis. `options.engine` is ignored — each racer runs its own
+/// engine; everything else (library, budgets, `time_budget`) applies to
+/// every racer. An already-supplied cancel token in `options` still works:
+/// cancelling it stops the whole race.
+///
+/// # Errors
+///
+/// See [`race`].
+pub fn race_engines(
+    spec: &Spec,
+    options: &SynthesisOptions,
+) -> Result<RaceResult<SynthesisResult>, RaceError> {
+    race(entrants(spec, options, |spec, options| {
+        synthesize(&spec, &options)
+    }))
+}
+
+/// Races the three engines on output-permutation synthesis
+/// ([`synthesize_with_output_permutation`]); otherwise as [`race_engines`].
+///
+/// # Errors
+///
+/// See [`race`].
+pub fn race_engines_permuted(
+    spec: &Spec,
+    options: &SynthesisOptions,
+) -> Result<RaceResult<PermutedSynthesisResult>, RaceError> {
+    race(entrants(spec, options, |spec, options| {
+        synthesize_with_output_permutation(&spec, &options)
+    }))
+}
+
+/// Builds one racer per engine in [`RACE_ENGINES`], each running `f` on a
+/// clone of the options with that engine selected and the racer's token
+/// chained onto any caller-supplied one.
+fn entrants<T, F>(spec: &Spec, options: &SynthesisOptions, f: F) -> Vec<Racer<T>>
+where
+    T: Send + 'static,
+    F: Fn(Spec, SynthesisOptions) -> Result<T, SynthesisError> + Clone + Send + 'static,
+{
+    RACE_ENGINES
+        .iter()
+        .map(|&engine| {
+            let spec = spec.clone();
+            let options = options.clone();
+            let f = f.clone();
+            Racer::new(engine.to_string(), move |token: CancelToken| {
+                // The engine polls one token that trips when either the
+                // race decides against this racer or the caller cancels
+                // the whole run.
+                let merged = CancelToken::merged([&token, &options.cancel]);
+                let opts = options.with_engine(engine).with_cancel_token(merged);
+                f(spec, opts)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsyn_revlogic::{benchmarks, GateLibrary, Permutation};
+
+    fn opts() -> SynthesisOptions {
+        SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd)
+    }
+
+    /// A racer that only ever exits through its cancellation token — the
+    /// deterministic way to observe loser cancellation.
+    fn blocked_racer(label: &str) -> Racer<u32> {
+        Racer::new(label, |token: CancelToken| loop {
+            token.check(7)?;
+            std::thread::sleep(Duration::from_millis(1));
+        })
+    }
+
+    #[test]
+    fn first_success_wins_and_losers_are_cancelled() {
+        let fast = Racer::new("fast", |_token| Ok(42u32));
+        let r = race(vec![blocked_racer("stuck"), fast]).unwrap();
+        assert_eq!(r.winner, 42);
+        assert_eq!(r.winner_label, "fast");
+        assert_eq!(r.reports.len(), 2);
+        assert_eq!(r.reports[0].outcome, RacerOutcome::Cancelled);
+        assert_eq!(r.reports[1].outcome, RacerOutcome::Won);
+    }
+
+    #[test]
+    fn panicking_racer_cannot_win_and_is_contained() {
+        let bomb: Racer<u32> = Racer::new("bomb", |_token| panic!("boom"));
+        let slow = Racer::new("slow", |token: CancelToken| {
+            std::thread::sleep(Duration::from_millis(5));
+            token.check(0)?;
+            Ok(7u32)
+        });
+        let r = race(vec![bomb, slow]).unwrap();
+        assert_eq!(r.winner, 7);
+        assert_eq!(r.reports[0].outcome, RacerOutcome::Panicked);
+    }
+
+    #[test]
+    fn all_failures_are_collected() {
+        let a: Racer<u32> = Racer::new("a", |_| {
+            Err(SynthesisError::DepthLimitReached { max_depth: 1 })
+        });
+        let b: Racer<u32> = Racer::new("b", |_| panic!("dead"));
+        let err = race(vec![a, b]).unwrap_err();
+        match err {
+            RaceError::AllFailed(fails) => {
+                assert_eq!(fails.len(), 2);
+                assert_eq!(
+                    fails[0],
+                    (
+                        "a".to_string(),
+                        Some(SynthesisError::DepthLimitReached { max_depth: 1 })
+                    )
+                );
+                assert_eq!(fails[1], ("b".to_string(), None));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_race_is_an_error() {
+        assert_eq!(race::<u32>(vec![]).unwrap_err(), RaceError::NoRacers);
+    }
+
+    #[test]
+    fn engine_race_agrees_with_single_engine() {
+        let spec = benchmarks::spec_3_17();
+        let raced = race_engines(&spec, &opts()).unwrap();
+        assert_eq!(raced.winner.depth(), 6, "3_17's known minimal MCT depth");
+        assert!(spec.is_realized_by(&raced.winner.solutions().circuits()[0]));
+        assert_eq!(raced.reports.len(), 3);
+        assert!(raced.reports.iter().any(|r| r.outcome == RacerOutcome::Won));
+    }
+
+    #[test]
+    fn permuted_engine_race_finds_free_swap() {
+        let spec = Spec::from_permutation(&Permutation::from_fn(2, |v| ((v & 1) << 1) | (v >> 1)));
+        let raced = race_engines_permuted(&spec, &opts()).unwrap();
+        assert_eq!(raced.winner.result.depth(), 0);
+        assert!(!raced.winner.is_identity_permutation());
+    }
+}

@@ -1,0 +1,383 @@
+//! Batch synthesis: a bounded work queue feeding a fixed worker pool.
+//!
+//! The scheduler owns the concurrency story so the synthesis code doesn't
+//! have to: jobs are pushed into a bounded [`WorkQueue`], `--jobs N` worker
+//! threads drain it, each job runs under its own [`CancelToken`] (armed
+//! with the per-job deadline when one is configured), and a panicking job
+//! marks *that job* failed without poisoning the queue or taking down its
+//! worker. Results come back in input order regardless of completion
+//! order, so a parallel batch is byte-for-byte comparable to a sequential
+//! one.
+
+use qsyn_core::{CancelToken, SynthesisError};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A bounded multi-producer multi-consumer queue with explicit shutdown.
+///
+/// `push` blocks while the queue is at capacity; `pop` blocks while it is
+/// empty and not closed. After [`close`](Self::close), pushes are rejected
+/// and pops drain the remainder, then return `None`.
+#[derive(Debug)]
+pub struct WorkQueue<T> {
+    state: Mutex<QueueState<T>>,
+    /// Signals consumers (items available / closed).
+    can_pop: Condvar,
+    /// Signals producers (capacity available / closed).
+    can_push: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> WorkQueue<T> {
+    /// A queue holding at most `capacity` items (at least 1).
+    pub fn bounded(capacity: usize) -> WorkQueue<T> {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            can_pop: Condvar::new(),
+            can_push: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Blocks until there is room, then enqueues `item`. Returns the item
+    /// back when the queue has been closed in the meantime.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                self.can_pop.notify_one();
+                return Ok(());
+            }
+            state = self.can_push.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Blocks until an item is available (returning it) or the queue is
+    /// closed *and* drained (returning `None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.can_push.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.can_pop.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: pending items still drain, further pushes fail,
+    /// and blocked consumers wake up once the queue empties.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.can_pop.notify_all();
+        self.can_push.notify_all();
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Clone, Debug)]
+pub struct BatchConfig {
+    /// Worker threads (at least 1).
+    pub workers: usize,
+    /// Wall-clock deadline per job, enforced through the job's token.
+    pub per_job_timeout: Option<Duration>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            workers: 1,
+            per_job_timeout: None,
+        }
+    }
+}
+
+/// How one job ended.
+#[derive(Clone, Debug)]
+pub enum JobStatus<R> {
+    /// The job function returned a value.
+    Done(R),
+    /// The job function returned an error (including
+    /// [`SynthesisError::Cancelled`] after a shutdown and
+    /// [`SynthesisError::TimeBudgetExceeded`] after its deadline).
+    Failed(SynthesisError),
+    /// The job function panicked; the payload's message when it was a
+    /// string. Other jobs are unaffected.
+    Panicked(String),
+}
+
+impl<R> JobStatus<R> {
+    /// The result, if the job succeeded.
+    pub fn result(&self) -> Option<&R> {
+        match self {
+            JobStatus::Done(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Per-job report, in input order.
+#[derive(Clone, Debug)]
+pub struct JobReport<R> {
+    /// The job's name, as supplied.
+    pub name: String,
+    /// How it ended.
+    pub status: JobStatus<R>,
+    /// Wall-clock time the job spent in its worker.
+    pub elapsed: Duration,
+}
+
+/// Runs `run` over all `jobs` on `config.workers` threads and returns one
+/// report per job **in input order**. `run` receives the job's payload and
+/// its cancellation token; honour the token to make deadlines and shutdown
+/// effective mid-job. `shutdown`, when supplied, aborts the batch
+/// gracefully once it is cancelled: queued jobs are dropped (reported as
+/// [`SynthesisError::Cancelled`]) and running jobs see their tokens trip.
+pub fn run_batch<J, R, F>(
+    jobs: Vec<(String, J)>,
+    config: &BatchConfig,
+    shutdown: Option<&CancelToken>,
+    run: F,
+) -> Vec<JobReport<R>>
+where
+    J: Send,
+    R: Send,
+    F: Fn(&J, &CancelToken) -> Result<R, SynthesisError> + Sync,
+{
+    let total = jobs.len();
+    let workers = config.workers.max(1).min(total.max(1));
+    // Bounded at the worker count: the feeder stays a few jobs ahead of
+    // the pool without materializing the whole batch in the queue.
+    let queue: WorkQueue<(usize, String, J)> = WorkQueue::bounded(workers);
+    let reports: Mutex<Vec<Option<JobReport<R>>>> = Mutex::new((0..total).map(|_| None).collect());
+    let default_token = CancelToken::new();
+    let shutdown = shutdown.unwrap_or(&default_token);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Some((idx, name, job)) = queue.pop() {
+                    let start = Instant::now();
+                    let token = CancelToken::merged([shutdown]);
+                    if let Some(deadline) = config.per_job_timeout {
+                        token.set_deadline(start + deadline);
+                    }
+                    let status = if token.is_cancelled() {
+                        JobStatus::Failed(SynthesisError::Cancelled { depth: 0 })
+                    } else {
+                        match catch_unwind(AssertUnwindSafe(|| run(&job, &token))) {
+                            Ok(Ok(result)) => JobStatus::Done(result),
+                            Ok(Err(e)) => JobStatus::Failed(e),
+                            Err(payload) => JobStatus::Panicked(panic_message(payload.as_ref())),
+                        }
+                    };
+                    reports.lock().expect("reports lock")[idx] = Some(JobReport {
+                        name,
+                        status,
+                        elapsed: start.elapsed(),
+                    });
+                }
+            });
+        }
+        // Feed from this thread; with the bounded queue this blocks until
+        // workers free up, which is exactly the backpressure we want.
+        for (idx, (name, job)) in jobs.into_iter().enumerate() {
+            if shutdown.is_cancelled() {
+                reports.lock().expect("reports lock")[idx] = Some(JobReport {
+                    name,
+                    status: JobStatus::Failed(SynthesisError::Cancelled { depth: 0 }),
+                    elapsed: Duration::ZERO,
+                });
+                continue;
+            }
+            if let Err((_, name, _)) = queue.push((idx, name, job)) {
+                reports.lock().expect("reports lock")[idx] = Some(JobReport {
+                    name,
+                    status: JobStatus::Failed(SynthesisError::Cancelled { depth: 0 }),
+                    elapsed: Duration::ZERO,
+                });
+            }
+        }
+        queue.close();
+    });
+
+    reports
+        .into_inner()
+        .expect("reports lock")
+        .into_iter()
+        .map(|r| r.expect("every job reported"))
+        .collect()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn config(workers: usize) -> BatchConfig {
+        BatchConfig {
+            workers,
+            per_job_timeout: None,
+        }
+    }
+
+    #[test]
+    fn results_keep_input_order_across_workers() {
+        // Reverse-sorted sleep times force out-of-order completion.
+        let jobs: Vec<(String, u64)> = (0..8u64)
+            .map(|i| (format!("job{i}"), (8 - i) * 2))
+            .collect();
+        let reports = run_batch(jobs, &config(4), None, |&ms, _| {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(ms)
+        });
+        assert_eq!(reports.len(), 8);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.name, format!("job{i}"));
+            assert_eq!(r.status.result(), Some(&((8 - i as u64) * 2)));
+        }
+    }
+
+    #[test]
+    fn worker_pool_is_actually_bounded() {
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let jobs: Vec<(String, ())> = (0..12).map(|i| (format!("j{i}"), ())).collect();
+        run_batch(jobs, &config(3), None, |(), _| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(3));
+            live.fetch_sub(1, Ordering::SeqCst);
+            Ok(())
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+    }
+
+    #[test]
+    fn a_panicking_job_fails_alone() {
+        let jobs: Vec<(String, u32)> = (0..6).map(|i| (format!("j{i}"), i)).collect();
+        let reports = run_batch(jobs, &config(2), None, |&i, _| {
+            if i == 2 {
+                panic!("job {i} exploded");
+            }
+            Ok(i * 10)
+        });
+        for (i, r) in reports.iter().enumerate() {
+            if i == 2 {
+                match &r.status {
+                    JobStatus::Panicked(msg) => assert!(msg.contains("exploded")),
+                    other => panic!("expected panic report, got {other:?}"),
+                }
+            } else {
+                assert_eq!(r.status.result(), Some(&(i as u32 * 10)));
+            }
+        }
+    }
+
+    #[test]
+    fn per_job_deadline_arms_the_token() {
+        let cfg = BatchConfig {
+            workers: 2,
+            per_job_timeout: Some(Duration::ZERO),
+        };
+        let reports = run_batch(
+            vec![("t".to_string(), ())],
+            &cfg,
+            None,
+            |(), token: &CancelToken| {
+                token.check(3)?;
+                Ok(())
+            },
+        );
+        assert!(matches!(
+            reports[0].status,
+            JobStatus::Failed(SynthesisError::TimeBudgetExceeded { depth: 3 })
+        ));
+    }
+
+    #[test]
+    fn shutdown_cancels_running_and_queued_jobs() {
+        let shutdown = CancelToken::new();
+        let started = AtomicUsize::new(0);
+        // 1 worker, several jobs: the first job triggers shutdown itself,
+        // so later jobs never run.
+        let trigger = shutdown.clone();
+        let jobs: Vec<(String, usize)> = (0..5).map(|i| (format!("j{i}"), i)).collect();
+        let reports = run_batch(jobs, &config(1), Some(&shutdown), move |&i, token| {
+            started.fetch_add(1, Ordering::SeqCst);
+            if i == 0 {
+                trigger.cancel();
+            }
+            token.check(0)?;
+            Ok(i)
+        });
+        assert!(matches!(
+            reports[0].status,
+            JobStatus::Failed(SynthesisError::Cancelled { .. })
+        ));
+        let cancelled = reports
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.status,
+                    JobStatus::Failed(SynthesisError::Cancelled { .. })
+                )
+            })
+            .count();
+        assert_eq!(cancelled, 5, "every job observed the shutdown");
+    }
+
+    #[test]
+    fn queue_drains_after_close_and_rejects_new_pushes() {
+        let q: WorkQueue<u32> = WorkQueue::bounded(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn bounded_push_blocks_until_a_pop() {
+        let q: WorkQueue<u32> = WorkQueue::bounded(1);
+        q.push(1).unwrap();
+        std::thread::scope(|s| {
+            let pusher = s.spawn(|| q.push(2).unwrap());
+            std::thread::sleep(Duration::from_millis(5));
+            assert!(!pusher.is_finished(), "push must block at capacity");
+            assert_eq!(q.pop(), Some(1));
+            pusher.join().unwrap();
+        });
+        assert_eq!(q.pop(), Some(2));
+    }
+}

@@ -61,12 +61,24 @@ impl ExpansionSolver {
         self.solve_with_witness().is_some()
     }
 
-    /// Budgeted variant; `None` when the conflict budget is exhausted.
-    /// `Some(result)` mirrors [`solve_with_witness`](Self::solve_with_witness).
-    pub fn solve_limited(&mut self) -> Option<Option<Vec<bool>>> {
+    /// Fully expands the universal blocks and hands back the propositional
+    /// CNF, for callers that want to drive the backend SAT solve themselves
+    /// (e.g. in budget chunks with cancellation polls in between). The
+    /// first `num_vars()` variables of the original formula keep their
+    /// indices, so the prefix `model[..num_vars()]` of any model is the
+    /// same witness [`solve_with_witness`](Self::solve_with_witness)
+    /// returns. Also records [`expanded_size`](Self::expanded_size).
+    pub fn expanded_cnf(&mut self) -> CnfFormula {
         let cnf = self.expand();
         self.expanded_vars = cnf.num_vars();
         self.expanded_clauses = cnf.len();
+        cnf
+    }
+
+    /// Budgeted variant; `None` when the conflict budget is exhausted.
+    /// `Some(result)` mirrors [`solve_with_witness`](Self::solve_with_witness).
+    pub fn solve_limited(&mut self) -> Option<Option<Vec<bool>>> {
+        let cnf = self.expanded_cnf();
         let mut solver = Solver::from_formula(&cnf);
         if let Some(b) = self.budget {
             solver.set_conflict_budget(b);
@@ -90,7 +102,8 @@ impl ExpansionSolver {
     /// meaning.
     pub fn solve_with_witness(&mut self) -> Option<Vec<bool>> {
         self.budget = None;
-        self.solve_limited().expect("unlimited solve cannot bail out")
+        self.solve_limited()
+            .expect("unlimited solve cannot bail out")
     }
 
     fn project_witness(&self, model: &[bool]) -> Vec<bool> {
@@ -273,6 +286,23 @@ mod tests {
         q.add_clause([Lit::pos(0)]);
         q.add_clause([Lit::neg(0)]);
         assert!(!ExpansionSolver::new(&q).solve());
+    }
+
+    #[test]
+    fn expanded_cnf_prefix_is_the_witness() {
+        // ∃y ∀x (y ∨ x)(y ∨ ¬x): any model of the expansion sets y=1.
+        let mut q = QbfFormula::new(2);
+        q.add_block(Quantifier::Exists, [0]);
+        q.add_block(Quantifier::Forall, [1]);
+        q.add_clause([Lit::pos(0), Lit::pos(1)]);
+        q.add_clause([Lit::pos(0), Lit::neg(1)]);
+        let mut s = ExpansionSolver::new(&q);
+        let cnf = s.expanded_cnf();
+        assert_eq!(s.expanded_size(), (cnf.num_vars(), cnf.len()));
+        match Solver::from_formula(&cnf).solve() {
+            SolveResult::Sat(model) => assert!(model[0]),
+            SolveResult::Unsat => panic!("formula is true"),
+        }
     }
 
     #[test]

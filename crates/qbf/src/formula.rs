@@ -108,7 +108,9 @@ impl QbfFormula {
 
     /// Free variables (unbound), ascending.
     pub fn free_vars(&self) -> Vec<u32> {
-        (0..self.num_vars()).filter(|&v| !self.is_bound(v)).collect()
+        (0..self.num_vars())
+            .filter(|&v| !self.is_bound(v))
+            .collect()
     }
 
     /// Per-variable `(quantifier, block index)` with free variables mapped

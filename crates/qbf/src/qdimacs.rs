@@ -86,13 +86,13 @@ pub fn parse_qdimacs(input: &str) -> Result<QbfFormula, ParseQdimacsError> {
                     message: "expected `p cnf <vars> <clauses>`".into(),
                 });
             }
-            let nvars: u32 = it
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| ParseQdimacsError {
-                    line: lineno,
-                    message: "bad variable count".into(),
-                })?;
+            let nvars: u32 =
+                it.next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseQdimacsError {
+                        line: lineno,
+                        message: "bad variable count".into(),
+                    })?;
             formula = Some(QbfFormula::new(nvars));
             continue;
         }

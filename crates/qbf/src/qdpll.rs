@@ -208,10 +208,7 @@ impl QdpllSolver {
                 return Status::Conflict;
             }
             if effective.len() == 1 {
-                debug_assert_eq!(
-                    self.qmap[effective[0].var().index()].0,
-                    Quantifier::Exists
-                );
+                debug_assert_eq!(self.qmap[effective[0].var().index()].0, Quantifier::Exists);
                 return Status::Forced(effective[0]);
             }
             for &l in &unassigned {

@@ -86,10 +86,7 @@ pub fn by_name(name: &str) -> Option<Benchmark> {
 /// The canonical 3-line benchmark `3_17` (the "hardest" 3-variable
 /// permutation of Miller/Maslov/Dueck; minimal MCT depth 6).
 pub fn spec_3_17() -> Spec {
-    Spec::from_permutation(&Permutation::from_map(
-        3,
-        vec![7, 1, 4, 3, 0, 2, 6, 5],
-    ))
+    Spec::from_permutation(&Permutation::from_map(3, vec![7, 1, 4, 3, 0, 2, 6, 5]))
 }
 
 /// The 4-line benchmark `4_49` as commonly reproduced in the exact
@@ -252,24 +249,9 @@ pub fn spec_decod24(variant: u32) -> Spec {
 pub fn spec_alu(variant: u32) -> Spec {
     assert!(variant < 4, "alu has variants 0..=3");
     let ops: [fn(bool, bool) -> bool; 4] = match variant {
-        0 => [
-            |a, b| a && b,
-            |a, b| a || b,
-            |a, b| a != b,
-            |a, _| !a,
-        ],
-        1 => [
-            |a, b| a != b,
-            |a, b| a && b,
-            |_, b| !b,
-            |a, b| a || b,
-        ],
-        2 => [
-            |a, b| a || b,
-            |a, _| !a,
-            |a, b| a && b,
-            |a, b| a != b,
-        ],
+        0 => [|a, b| a && b, |a, b| a || b, |a, b| a != b, |a, _| !a],
+        1 => [|a, b| a != b, |a, b| a && b, |_, b| !b, |a, b| a || b],
+        2 => [|a, b| a || b, |a, _| !a, |a, b| a && b, |a, b| a != b],
         _ => [
             |a, b| !(a && b),
             |a, b| a != b,
@@ -393,7 +375,9 @@ mod tests {
         let s = suite();
         assert_eq!(s.len(), 19);
         assert_eq!(
-            s.iter().filter(|b| b.kind == BenchmarkKind::Complete).count(),
+            s.iter()
+                .filter(|b| b.kind == BenchmarkKind::Complete)
+                .count(),
             7
         );
         for b in &s {
@@ -412,9 +396,10 @@ mod tests {
     fn complete_benchmarks_are_bijections() {
         for b in suite() {
             if b.kind == BenchmarkKind::Complete {
-                let p = b.spec.as_permutation().unwrap_or_else(|| {
-                    panic!("{} should be a complete bijection", b.name)
-                });
+                let p = b
+                    .spec
+                    .as_permutation()
+                    .unwrap_or_else(|| panic!("{} should be a complete bijection", b.name));
                 assert!(p.is_bijective());
             } else {
                 assert!(!b.spec.is_complete(), "{} should have don't-cares", b.name);

@@ -115,7 +115,9 @@ mod tests {
 
     #[test]
     fn and_spec_is_realized_by_toffoli() {
-        let spec = and_embedding().embed(|ab| (ab & 1) & ((ab >> 1) & 1)).unwrap();
+        let spec = and_embedding()
+            .embed(|ab| (ab & 1) & ((ab >> 1) & 1))
+            .unwrap();
         let toffoli = Circuit::from_gates(3, [Gate::toffoli([0, 1].into_iter().collect(), 2)]);
         assert!(spec.is_realized_by(&toffoli));
     }

@@ -536,11 +536,7 @@ mod tests {
     #[test]
     fn mixed_polarity_toffoli_semantics() {
         // flips line 2 iff line 0 = 1 and line 1 = 0.
-        let g = Gate::toffoli_mixed(
-            LineSet::from_iter([0]),
-            LineSet::from_iter([1]),
-            2,
-        );
+        let g = Gate::toffoli_mixed(LineSet::from_iter([0]), LineSet::from_iter([1]), 2);
         for state in 0u32..8 {
             let fire = (state & 1 == 1) && (state & 2 == 0);
             let expected = if fire { state ^ 4 } else { state };
@@ -552,11 +548,7 @@ mod tests {
 
     #[test]
     fn mixed_polarity_toffoli_is_self_inverse() {
-        let g = Gate::toffoli_mixed(
-            LineSet::from_iter([2]),
-            LineSet::from_iter([0]),
-            1,
-        );
+        let g = Gate::toffoli_mixed(LineSet::from_iter([2]), LineSet::from_iter([0]), 1);
         for s in 0u32..8 {
             assert_eq!(g.apply(g.apply(s)), s);
         }
@@ -565,22 +557,14 @@ mod tests {
 
     #[test]
     fn mixed_polarity_display_marks_negatives() {
-        let g = Gate::toffoli_mixed(
-            LineSet::from_iter([2]),
-            LineSet::from_iter([0]),
-            1,
-        );
+        let g = Gate::toffoli_mixed(LineSet::from_iter([2]), LineSet::from_iter([0]), 1);
         assert_eq!(g.to_string(), "t3 -x1 x3 x2");
     }
 
     #[test]
     #[should_panic(expected = "both a positive and a negative")]
     fn overlapping_polarities_panic() {
-        let _ = Gate::toffoli_mixed(
-            LineSet::from_iter([0]),
-            LineSet::from_iter([0]),
-            1,
-        );
+        let _ = Gate::toffoli_mixed(LineSet::from_iter([0]), LineSet::from_iter([0]), 1);
     }
 
     #[test]

@@ -286,10 +286,7 @@ mod tests {
             (ordered.gate_count(4) - mct) / 2,
             unordered.gate_count(4) - mct
         );
-        assert_eq!(
-            unordered.enumerate(4).len() as u64,
-            unordered.gate_count(4)
-        );
+        assert_eq!(unordered.enumerate(4).len() as u64, unordered.gate_count(4));
     }
 
     #[test]

@@ -109,7 +109,11 @@ fn gray_code_mcx(controls: &[u32], target: u32, out: &mut Vec<ElementaryGate>) {
             out.push(ElementaryGate::cx(controls[b], controls[h]));
             held[h] ^= held[b];
         }
-        let sign = if gray.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+        let sign = if gray.count_ones() % 2 == 1 {
+            1.0
+        } else {
+            -1.0
+        };
         out.push(ElementaryGate::controlled_root(
             controls[h],
             target,
@@ -146,10 +150,7 @@ pub fn decompose_gate(gate: &Gate) -> Vec<ElementaryGate> {
             for c in negative_controls.iter() {
                 out.push(ElementaryGate::x(c));
             }
-            let all: Vec<u32> = controls
-                .iter()
-                .chain(negative_controls.iter())
-                .collect();
+            let all: Vec<u32> = controls.iter().chain(negative_controls.iter()).collect();
             let mut sorted = all;
             sorted.sort_unstable();
             mcx(&sorted, target, &mut out);
@@ -182,11 +183,7 @@ pub fn decompose_gate(gate: &Gate) -> Vec<ElementaryGate> {
 
 /// Decomposes a whole circuit.
 pub fn decompose_circuit(circuit: &Circuit) -> Vec<ElementaryGate> {
-    circuit
-        .gates()
-        .iter()
-        .flat_map(decompose_gate)
-        .collect()
+    circuit.gates().iter().flat_map(decompose_gate).collect()
 }
 
 /// Number of elementary gates in the zero-ancilla decomposition of
@@ -212,9 +209,8 @@ pub fn simulate_network(network: &[ElementaryGate], lines: u32, input: u32) -> O
 /// classical semantics on `lines` lines.
 pub fn verify_gate(gate: &Gate, lines: u32) -> bool {
     let network = decompose_gate(gate);
-    (0..1u32 << lines).all(|input| {
-        simulate_network(&network, lines, input) == Some(gate.apply(input))
-    })
+    (0..1u32 << lines)
+        .all(|input| simulate_network(&network, lines, input) == Some(gate.apply(input)))
 }
 
 #[cfg(test)]
@@ -298,8 +294,7 @@ mod tests {
     fn negative_controls_verify_with_not_conjugation() {
         let g = Gate::toffoli_mixed(LineSet::from_iter([0]), LineSet::from_iter([1]), 2);
         assert!(verify_gate(&g, 3));
-        let g2 =
-            Gate::toffoli_mixed(LineSet::EMPTY, LineSet::from_iter([0, 1]), 2);
+        let g2 = Gate::toffoli_mixed(LineSet::EMPTY, LineSet::from_iter([0, 1]), 2);
         assert!(verify_gate(&g2, 3));
     }
 

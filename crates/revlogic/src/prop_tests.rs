@@ -18,8 +18,7 @@ fn arb_gate() -> impl Strategy<Value = Gate> {
 }
 
 fn arb_circuit() -> impl Strategy<Value = Circuit> {
-    proptest::collection::vec(arb_gate(), 0..12)
-        .prop_map(|gates| Circuit::from_gates(LINES, gates))
+    proptest::collection::vec(arb_gate(), 0..12).prop_map(|gates| Circuit::from_gates(LINES, gates))
 }
 
 proptest! {

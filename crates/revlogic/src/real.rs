@@ -19,7 +19,11 @@ pub struct ParseRealError {
 
 impl std::fmt::Display for ParseRealError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, ".real parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            ".real parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -137,8 +141,7 @@ pub fn parse_real(input: &str) -> Result<Circuit, ParseRealError> {
         }
         let gate = match kind {
             't' => {
-                let (&(target, target_neg), controls) =
-                    lines.split_last().expect("size >= 1");
+                let (&(target, target_neg), controls) = lines.split_last().expect("size >= 1");
                 if target_neg {
                     return Err(err(lineno, "target lines cannot be negated".into()));
                 }

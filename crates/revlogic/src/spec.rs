@@ -42,10 +42,9 @@ impl std::fmt::Display for SpecError {
             SpecError::BitsOutOfRange { row } => {
                 write!(f, "row {row} uses bits beyond the line count")
             }
-            SpecError::NotReversiblyRealizable { row_a, row_b } => write!(
-                f,
-                "rows {row_a} and {row_b} cannot map to distinct outputs"
-            ),
+            SpecError::NotReversiblyRealizable { row_a, row_b } => {
+                write!(f, "rows {row_a} and {row_b} cannot map to distinct outputs")
+            }
         }
     }
 }
@@ -121,10 +120,7 @@ impl Spec {
             for b in (a + 1)..rows.len() {
                 let (ra, rb) = (rows[a], rows[b]);
                 let common = ra.care & rb.care;
-                if ra.care == mask
-                    && rb.care == mask
-                    && (ra.value ^ rb.value) & common == 0
-                {
+                if ra.care == mask && rb.care == mask && (ra.value ^ rb.value) & common == 0 {
                     return Err(SpecError::NotReversiblyRealizable { row_a: a, row_b: b });
                 }
             }
@@ -180,7 +176,11 @@ impl Spec {
     /// Fraction of specified output bits (1.0 for complete functions).
     pub fn care_ratio(&self) -> f64 {
         let total = (self.rows.len() as u64) * u64::from(self.lines);
-        let cared: u64 = self.rows.iter().map(|r| u64::from(r.care.count_ones())).sum();
+        let cared: u64 = self
+            .rows
+            .iter()
+            .map(|r| u64::from(r.care.count_ones()))
+            .sum();
         cared as f64 / total as f64
     }
 
@@ -303,10 +303,7 @@ mod tests {
         // 1 line, output unspecified everywhere except row 0 → 1.
         let s = Spec::new_incomplete(
             1,
-            vec![
-                SpecRow { value: 1, care: 1 },
-                SpecRow { value: 0, care: 0 },
-            ],
+            vec![SpecRow { value: 1, care: 1 }, SpecRow { value: 0, care: 0 }],
         )
         .unwrap();
         assert!(!s.is_complete());
@@ -343,17 +340,20 @@ mod tests {
     #[test]
     fn wrong_row_count_is_rejected() {
         let err = Spec::new_incomplete(2, vec![SpecRow { value: 0, care: 0 }; 3]).unwrap_err();
-        assert!(matches!(err, SpecError::WrongRowCount { expected: 4, got: 3 }));
+        assert!(matches!(
+            err,
+            SpecError::WrongRowCount {
+                expected: 4,
+                got: 3
+            }
+        ));
     }
 
     #[test]
     fn out_of_range_bits_rejected() {
         let err = Spec::new_incomplete(
             1,
-            vec![
-                SpecRow { value: 2, care: 2 },
-                SpecRow { value: 0, care: 0 },
-            ],
+            vec![SpecRow { value: 2, care: 2 }, SpecRow { value: 0, care: 0 }],
         )
         .unwrap_err();
         assert!(matches!(err, SpecError::BitsOutOfRange { row: 0 }));
@@ -363,10 +363,7 @@ mod tests {
     fn duplicate_full_rows_rejected() {
         let err = Spec::new_incomplete(
             1,
-            vec![
-                SpecRow { value: 1, care: 1 },
-                SpecRow { value: 1, care: 1 },
-            ],
+            vec![SpecRow { value: 1, care: 1 }, SpecRow { value: 1, care: 1 }],
         )
         .unwrap_err();
         assert!(matches!(err, SpecError::NotReversiblyRealizable { .. }));
@@ -380,10 +377,7 @@ mod tests {
         // complete + duplicate is rejected. So check a valid bijection.
         let s = Spec::new_incomplete(
             1,
-            vec![
-                SpecRow { value: 1, care: 1 },
-                SpecRow { value: 0, care: 1 },
-            ],
+            vec![SpecRow { value: 1, care: 1 }, SpecRow { value: 0, care: 1 }],
         )
         .unwrap();
         assert!(s.as_permutation().is_some());
@@ -394,10 +388,19 @@ mod tests {
         let s = Spec::new_incomplete(
             2,
             vec![
-                SpecRow { value: 0b01, care: 0b01 },
+                SpecRow {
+                    value: 0b01,
+                    care: 0b01,
+                },
                 SpecRow { value: 0, care: 0 },
-                SpecRow { value: 0b10, care: 0b11 },
-                SpecRow { value: 0, care: 0b10 },
+                SpecRow {
+                    value: 0b10,
+                    care: 0b11,
+                },
+                SpecRow {
+                    value: 0,
+                    care: 0b10,
+                },
             ],
         )
         .unwrap();

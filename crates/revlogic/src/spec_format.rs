@@ -32,7 +32,11 @@ pub struct ParseSpecError {
 
 impl std::fmt::Display for ParseSpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, ".spec parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            ".spec parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -213,7 +217,13 @@ mod tests {
         let text = ".numvars 2\n.begin\n01 10\n.end\n";
         let s = parse_spec(text).unwrap();
         // Input `01` = x2=0, x1=1 → row 1; output `10` = x2=1, x1=0.
-        assert_eq!(s.row(1), SpecRow { value: 0b10, care: 0b11 });
+        assert_eq!(
+            s.row(1),
+            SpecRow {
+                value: 0b10,
+                care: 0b11
+            }
+        );
     }
 
     #[test]

@@ -229,7 +229,11 @@ mod tests {
             b2.assert_lit(if y { c2 } else { !c2 });
             b2.assert_lit(if expected(x, y) { !o2 } else { o2 });
             let mut s2 = Solver::from_formula(b2.formula());
-            assert_eq!(s2.solve(), SolveResult::Unsat, "gate not functional for ({x}, {y})");
+            assert_eq!(
+                s2.solve(),
+                SolveResult::Unsat,
+                "gate not functional for ({x}, {y})"
+            );
         }
     }
 

@@ -14,7 +14,11 @@ pub struct ParseDimacsError {
 
 impl std::fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -63,13 +67,13 @@ pub fn parse_dimacs(input: &str) -> Result<CnfFormula, ParseDimacsError> {
                     message: "expected `p cnf <vars> <clauses>`".into(),
                 });
             }
-            let nvars: u32 = it
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| ParseDimacsError {
-                    line: lineno,
-                    message: "bad variable count".into(),
-                })?;
+            let nvars: u32 =
+                it.next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseDimacsError {
+                        line: lineno,
+                        message: "bad variable count".into(),
+                    })?;
             // Clause count is advisory; accept and ignore.
             formula = Some(CnfFormula::new(nvars));
             continue;

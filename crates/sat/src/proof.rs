@@ -205,11 +205,7 @@ mod tests {
             s.enable_proof_logging();
             if s.solve() == SolveResult::Unsat {
                 let proof = s.take_proof().unwrap();
-                assert_eq!(
-                    check_rup(&f, &proof),
-                    ProofCheck::Refutation,
-                    "seed {seed}"
-                );
+                assert_eq!(check_rup(&f, &proof), ProofCheck::Refutation, "seed {seed}");
                 checked += 1;
             }
         }

@@ -566,7 +566,10 @@ impl Solver {
             return Some(SolveResult::Unsat);
         }
         for l in assumptions {
-            assert!(l.var().index() < self.assign.len(), "assumption out of range");
+            assert!(
+                l.var().index() < self.assign.len(),
+                "assumption out of range"
+            );
         }
         let mut luby_index = 0u64;
         let mut restart_limit = 100 * luby(luby_index);
@@ -860,13 +863,7 @@ mod tests {
 
     #[test]
     fn model_satisfies_all_clauses() {
-        let clauses: &[&[i32]] = &[
-            &[1, 2, -3],
-            &[-1, 3],
-            &[2, 3],
-            &[-2, -3, 4],
-            &[1, -4],
-        ];
+        let clauses: &[&[i32]] = &[&[1, 2, -3], &[-1, 3], &[2, 3], &[-2, -3, 4], &[1, -4]];
         let mut s = solver_with(4, clauses);
         let SolveResult::Sat(m) = s.solve() else {
             panic!("should be sat")

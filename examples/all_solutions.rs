@@ -36,7 +36,10 @@ fn main() {
     }
     println!("\nquantum-cost distribution over the minimal networks:");
     for (qc, count) in &histogram {
-        println!("  QC {qc:>3}: {count:>6} circuits  {}", "#".repeat((*count).min(60)));
+        println!(
+            "  QC {qc:>3}: {count:>6} circuits  {}",
+            "#".repeat((*count).min(60))
+        );
     }
 
     let (best_qc, worst_qc) = result.solutions().quantum_cost_range();

@@ -15,24 +15,28 @@ fn main() {
     // --- Mixed-polarity (negative-control) Toffoli gates -----------------
     // f flips x2 exactly when x1 = 0: one negative-control CNOT, but two
     // positive-control gates.
-    let f = Spec::from_permutation(&Permutation::from_fn(2, |v| {
-        if v & 1 == 0 {
-            v ^ 2
-        } else {
-            v
-        }
-    }));
-    let plain = synthesize(
-        &f,
-        &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd),
-    )
-    .expect("synthesizes");
+    let f = Spec::from_permutation(&Permutation::from_fn(
+        2,
+        |v| {
+            if v & 1 == 0 {
+                v ^ 2
+            } else {
+                v
+            }
+        },
+    ));
+    let plain = synthesize(&f, &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd))
+        .expect("synthesizes");
     let mixed = synthesize(
         &f,
         &SynthesisOptions::new(GateLibrary::mct().with_mixed_polarity(), Engine::Bdd),
     )
     .expect("synthesizes");
-    println!("mixed polarity: {} gates (MCT) vs {} gates (MPMCT)", plain.depth(), mixed.depth());
+    println!(
+        "mixed polarity: {} gates (MCT) vs {} gates (MPMCT)",
+        plain.depth(),
+        mixed.depth()
+    );
     println!("MPMCT realization:\n{}", mixed.solutions().circuits()[0]);
 
     // The library sizes show the cost: n·2^(n-1) vs n·3^(n-1) gates.
@@ -47,9 +51,7 @@ fn main() {
     // --- Output permutation ----------------------------------------------
     // A SWAP costs three CNOTs — or zero gates if the synthesizer may
     // relabel the output lines.
-    let swap = Spec::from_permutation(&Permutation::from_fn(2, |v| {
-        ((v & 1) << 1) | (v >> 1)
-    }));
+    let swap = Spec::from_permutation(&Permutation::from_fn(2, |v| ((v & 1) << 1) | (v >> 1)));
     let fixed = synthesize(
         &swap,
         &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd),

@@ -27,8 +27,7 @@ fn main() {
     for name in benches {
         let bench = benchmarks::by_name(name).expect("known benchmark");
         for lib in libraries {
-            let options =
-                SynthesisOptions::new(lib, Engine::Bdd).with_max_solutions(50_000);
+            let options = SynthesisOptions::new(lib, Engine::Bdd).with_max_solutions(50_000);
             match synthesize(&bench.spec, &options) {
                 Ok(r) => {
                     let (lo, hi) = r.solutions().quantum_cost_range();

@@ -13,7 +13,10 @@ fn main() {
     // The classic 3_17 benchmark: the "hardest" 3-variable reversible
     // function, known to need exactly six Toffoli gates.
     let spec = benchmarks::spec_3_17();
-    println!("specification (truth table):\n{}", spec.as_permutation().unwrap());
+    println!(
+        "specification (truth table):\n{}",
+        spec.as_permutation().unwrap()
+    );
 
     let options = SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd);
     let result = synthesize(&spec, &options).expect("3_17 is synthesizable");
@@ -33,7 +36,10 @@ fn main() {
     let best = result.solutions().best_by_quantum_cost();
     let (min_qc, max_qc) = result.solutions().quantum_cost_range();
     println!("quantum costs across solutions: {min_qc}..{max_qc}");
-    println!("\ncheapest realization (quantum cost {}):", cost::circuit_cost(best));
+    println!(
+        "\ncheapest realization (quantum cost {}):",
+        cost::circuit_cost(best)
+    );
     print!("{}", real::write_real(best));
 
     // Sanity: the circuit really computes the spec.

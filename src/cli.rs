@@ -5,6 +5,8 @@
 //! * `synth <file.spec>` — exact synthesis of a truth-table specification,
 //!   emitting a RevLib `.real` circuit,
 //! * `bench <name>` — synthesize a built-in benchmark,
+//! * `batch <suite|dir|list>` — synthesize many specifications on a worker
+//!   pool (the engine portfolio's batch scheduler),
 //! * `simulate <file.real> <bits>` — run a circuit on one input,
 //! * `cost <file.real>` — gate count and quantum cost,
 //! * `check <a.real> <b.real>` — equivalence check with counterexample,
@@ -14,9 +16,13 @@
 //! The argument grammar is deliberately tiny and fully testable; see
 //! [`Command::parse`].
 
+use crate::portfolio::cache::SpecCache;
+use crate::portfolio::race::{race_engines, race_engines_permuted};
+use crate::portfolio::scheduler::{run_batch, BatchConfig, JobStatus};
 use crate::revlogic::{benchmarks, cost, real, spec_format, GateLibrary, Spec};
+use crate::synth::permuted::PermutedSynthesisResult;
 use crate::synth::{
-    equivalence, permuted, synthesize, Engine, SynthesisOptions,
+    equivalence, permuted, synthesize, CancelToken, Engine, SynthesisError, SynthesisOptions,
 };
 use std::time::Duration;
 
@@ -28,6 +34,20 @@ pub enum Command {
         /// Path to a `.spec` file, or a benchmark name for `bench`.
         source: Source,
         /// Synthesis configuration.
+        config: SynthConfig,
+    },
+    /// `batch <suite|dir|list-file>`: synthesize many specifications on a
+    /// worker pool.
+    Batch {
+        /// `suite` (the built-in benchmarks), a directory of `.spec` files,
+        /// or a text file listing benchmark names / spec paths.
+        target: String,
+        /// Worker threads (`--jobs N`).
+        jobs: usize,
+        /// Disable the canonical-spec result cache (`--no-cache`).
+        no_cache: bool,
+        /// Synthesis configuration shared by every job (`--timeout` is
+        /// enforced per job).
         config: SynthConfig,
     },
     /// `simulate <file.real> <bits>`.
@@ -69,11 +89,29 @@ pub enum Source {
     Benchmark(String),
 }
 
-/// Options accepted by `synth` / `bench`.
+/// Decision-engine selection (`--engine bdd|qbf|sat|race`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// One fixed engine.
+    Single(Engine),
+    /// Portfolio race: all engines in parallel, first proof wins.
+    Race,
+}
+
+impl std::fmt::Display for EngineChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineChoice::Single(e) => write!(f, "{e}"),
+            EngineChoice::Race => write!(f, "race"),
+        }
+    }
+}
+
+/// Options accepted by `synth` / `bench` / `batch`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SynthConfig {
-    /// Decision engine (`--engine bdd|qbf|sat`).
-    pub engine: Engine,
+    /// Decision engine (`--engine bdd|qbf|sat|race`).
+    pub engine: EngineChoice,
     /// Gate library (`--library mct|mct+mcf|mct+p|all`).
     pub library: String,
     /// `--mixed-polarity`.
@@ -96,7 +134,7 @@ pub struct SynthConfig {
 impl Default for SynthConfig {
     fn default() -> SynthConfig {
         SynthConfig {
-            engine: Engine::Bdd,
+            engine: EngineChoice::Single(Engine::Bdd),
             library: "mct".to_string(),
             mixed_polarity: false,
             output_permutation: false,
@@ -136,8 +174,14 @@ impl SynthConfig {
     ///
     /// Returns a message for unknown library names.
     pub fn options(&self) -> Result<SynthesisOptions, String> {
-        let mut o = SynthesisOptions::new(self.gate_library()?, self.engine)
-            .with_max_depth(self.max_depth);
+        let engine = match self.engine {
+            EngineChoice::Single(e) => e,
+            // Placeholder: the race spawns one clone per engine and
+            // overrides this field on each.
+            EngineChoice::Race => Engine::Bdd,
+        };
+        let mut o =
+            SynthesisOptions::new(self.gate_library()?, engine).with_max_depth(self.max_depth);
         if let Some(secs) = self.timeout {
             o = o.with_time_budget(Duration::from_secs(secs));
         }
@@ -152,22 +196,34 @@ qsyn — exact synthesis of reversible logic (Wille et al., DATE 2008)
 USAGE:
   qsyn synth <file.spec> [OPTIONS]     synthesize a truth-table specification
   qsyn bench <name> [OPTIONS]          synthesize a built-in benchmark
+  qsyn batch <suite|dir|list> [OPTIONS]
+                                       synthesize many specs on a worker pool
   qsyn simulate <file.real> <bits>     run a circuit on one input
   qsyn cost <file.real>                gate count and quantum cost
   qsyn check <a.real> <b.real>         equivalence check (with counterexample)
   qsyn spec <file.real>                truth table of a circuit
   qsyn list                            list built-in benchmarks
 
-OPTIONS (synth/bench):
-  --engine bdd|qbf|sat       decision engine           [default: bdd]
-  --library mct|mct+mcf|mct+p|all                      [default: mct]
+OPTIONS (synth/bench/batch):
+  --engine bdd|qbf|sat|race  decision engine; `race` runs all three in
+                             parallel, first proof wins  [default: bdd]
+  --library mct|mct+mcf|mct+p|all                        [default: mct]
   --mixed-polarity           allow negative-control Toffoli gates
   --output-permutation       allow free output-line relabeling
   --heuristic                transformation-based synthesis (fast, non-minimal)
-  --max-depth N              depth cap                 [default: 32]
-  --timeout SECS             soft wall-clock budget
+  --max-depth N              depth cap                   [default: 32]
+  --timeout SECS             wall-clock budget (per job under `batch`)
   --all                      print every minimal circuit
   -o FILE                    write the cheapest circuit to FILE
+
+OPTIONS (batch only):
+  --jobs N                   worker threads              [default: 1]
+  --no-cache                 disable the canonical-spec result cache
+
+  `batch` targets: the literal `suite` (built-in benchmarks), a directory
+  of `.spec` files, or a text file with one benchmark name or spec path
+  per line. Batch jobs always synthesize with free output permutation, so
+  equivalent specs share one cache entry.
 ";
 
 impl Command {
@@ -222,46 +278,86 @@ impl Command {
                     Source::Benchmark(target)
                 };
                 let mut config = SynthConfig::default();
-                let mut args = args.peekable();
                 while let Some(flag) = args.next() {
-                    match flag.as_str() {
-                        "--engine" => {
-                            let v = args.next().ok_or("--engine needs a value")?;
-                            config.engine = match v.as_str() {
-                                "bdd" => Engine::Bdd,
-                                "qbf" => Engine::Qbf,
-                                "sat" => Engine::Sat,
-                                other => return Err(format!("unknown engine `{other}`")),
-                            };
-                        }
-                        "--library" => {
-                            config.library = args.next().ok_or("--library needs a value")?;
-                        }
-                        "--mixed-polarity" => config.mixed_polarity = true,
-                        "--output-permutation" => config.output_permutation = true,
-                        "--heuristic" => config.heuristic = true,
-                        "--max-depth" => {
-                            let v = args.next().ok_or("--max-depth needs a value")?;
-                            config.max_depth =
-                                v.parse().map_err(|_| format!("bad depth `{v}`"))?;
-                        }
-                        "--timeout" => {
-                            let v = args.next().ok_or("--timeout needs a value")?;
-                            config.timeout =
-                                Some(v.parse().map_err(|_| format!("bad timeout `{v}`"))?);
-                        }
-                        "--all" => config.all = true,
-                        "-o" | "--output" => {
-                            config.output = Some(args.next().ok_or("-o needs a file")?);
-                        }
-                        other => return Err(format!("unknown option `{other}`")),
+                    if !parse_synth_flag(&flag, &mut args, &mut config)? {
+                        return Err(format!("unknown option `{flag}`"));
                     }
                 }
                 Ok(Command::Synth { source, config })
             }
+            "batch" => {
+                let target = args.next().ok_or("batch: missing target")?;
+                let mut config = SynthConfig::default();
+                let mut jobs = 1usize;
+                let mut no_cache = false;
+                while let Some(flag) = args.next() {
+                    match flag.as_str() {
+                        "--jobs" => {
+                            let v = args.next().ok_or("--jobs needs a value")?;
+                            jobs = v.parse().map_err(|_| format!("bad job count `{v}`"))?;
+                            if jobs == 0 {
+                                return Err("--jobs must be at least 1".to_string());
+                            }
+                        }
+                        "--no-cache" => no_cache = true,
+                        _ => {
+                            if !parse_synth_flag(&flag, &mut args, &mut config)? {
+                                return Err(format!("unknown option `{flag}`"));
+                            }
+                        }
+                    }
+                }
+                Ok(Command::Batch {
+                    target,
+                    jobs,
+                    no_cache,
+                    config,
+                })
+            }
             other => Err(format!("unknown command `{other}` (try `qsyn help`)")),
         }
     }
+}
+
+/// Applies one `synth`/`bench`/`batch` option to `config`. Returns
+/// `Ok(false)` when the flag is not a synthesis option (so callers can
+/// layer their own flags on top), `Err` on a malformed value.
+fn parse_synth_flag<I>(flag: &str, args: &mut I, config: &mut SynthConfig) -> Result<bool, String>
+where
+    I: Iterator<Item = String>,
+{
+    match flag {
+        "--engine" => {
+            let v = args.next().ok_or("--engine needs a value")?;
+            config.engine = match v.as_str() {
+                "bdd" => EngineChoice::Single(Engine::Bdd),
+                "qbf" => EngineChoice::Single(Engine::Qbf),
+                "sat" => EngineChoice::Single(Engine::Sat),
+                "race" => EngineChoice::Race,
+                other => return Err(format!("unknown engine `{other}`")),
+            };
+        }
+        "--library" => {
+            config.library = args.next().ok_or("--library needs a value")?;
+        }
+        "--mixed-polarity" => config.mixed_polarity = true,
+        "--output-permutation" => config.output_permutation = true,
+        "--heuristic" => config.heuristic = true,
+        "--max-depth" => {
+            let v = args.next().ok_or("--max-depth needs a value")?;
+            config.max_depth = v.parse().map_err(|_| format!("bad depth `{v}`"))?;
+        }
+        "--timeout" => {
+            let v = args.next().ok_or("--timeout needs a value")?;
+            config.timeout = Some(v.parse().map_err(|_| format!("bad timeout `{v}`"))?);
+        }
+        "--all" => config.all = true,
+        "-o" | "--output" => {
+            config.output = Some(args.next().ok_or("-o needs a file")?);
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
 }
 
 fn reject_extra<I: Iterator<Item = String>>(mut args: I) -> Result<(), String> {
@@ -329,7 +425,11 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             };
             let (mct, mcf, peres) = circuit.gate_counts();
             writeln!(out, "lines:        {}", circuit.lines())?;
-            writeln!(out, "gates:        {} (MCT {mct}, MCF {mcf}, Peres {peres})", circuit.len())?;
+            writeln!(
+                out,
+                "gates:        {} (MCT {mct}, MCF {mcf}, Peres {peres})",
+                circuit.len()
+            )?;
             writeln!(out, "quantum cost: {}", cost::circuit_cost(&circuit))?;
             writeln!(
                 out,
@@ -382,6 +482,12 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             Ok(0)
         }
         Command::Synth { source, config } => run_synth(source, config, out),
+        Command::Batch {
+            target,
+            jobs,
+            no_cache,
+            config,
+        } => run_batch_command(target, *jobs, *no_cache, config, out),
     }
 }
 
@@ -400,7 +506,12 @@ fn run_synth(
         },
         Source::Benchmark(name) => match benchmarks::by_name(name) {
             Some(b) => b.spec,
-            None => return fail(out, &format!("unknown benchmark `{name}` (see `qsyn list`)")),
+            None => {
+                return fail(
+                    out,
+                    &format!("unknown benchmark `{name}` (see `qsyn list`)"),
+                )
+            }
         },
     };
     let options = match config.options() {
@@ -429,38 +540,226 @@ fn run_synth(
         }
         return Ok(0);
     }
+    let race = config.engine == EngineChoice::Race;
     if config.output_permutation {
-        match permuted::synthesize_with_output_permutation(&spec, &options) {
+        let outcome = if race {
+            race_engines_permuted(&spec, &options)
+                .map(|r| (r.winner, Some(r.winner_label)))
+                .map_err(|e| e.into_synthesis_error())
+        } else {
+            permuted::synthesize_with_output_permutation(&spec, &options).map(|p| (p, None))
+        };
+        match outcome {
             Err(e) => fail(out, &e.to_string()),
-            Ok(p) => {
+            Ok((p, winner)) => {
                 writeln!(
                     out,
-                    "minimal gates: {} (output permutation {:?}), {} solutions, {:?}",
+                    "minimal gates: {} (output permutation {:?}), {} solutions, {:?}{}",
                     p.result.depth(),
                     p.permutation,
                     p.result.solutions().count(),
-                    p.result.total_time()
+                    p.result.total_time(),
+                    race_note(winner.as_deref())
                 )?;
                 emit_circuits(&p.result, config, out)
             }
         }
     } else {
-        match synthesize(&spec, &options) {
+        let outcome = if race {
+            race_engines(&spec, &options)
+                .map(|r| (r.winner, Some(r.winner_label)))
+                .map_err(|e| e.into_synthesis_error())
+        } else {
+            synthesize(&spec, &options).map(|r| (r, None))
+        };
+        match outcome {
             Err(e) => fail(out, &e.to_string()),
-            Ok(r) => {
+            Ok((r, winner)) => {
                 let (lo, hi) = r.solutions().quantum_cost_range();
                 writeln!(
                     out,
-                    "minimal gates: {}, {} solutions, quantum cost {lo}..{hi}, {:?} ({} engine)",
+                    "minimal gates: {}, {} solutions, quantum cost {lo}..{hi}, {:?} ({} engine){}",
                     r.depth(),
                     r.solutions().count(),
                     r.total_time(),
-                    r.engine()
+                    r.engine(),
+                    race_note(winner.as_deref())
                 )?;
                 emit_circuits(&r, config, out)
             }
         }
     }
+}
+
+fn race_note(winner: Option<&str>) -> String {
+    match winner {
+        Some(label) => format!(" [race winner: {label}]"),
+        None => String::new(),
+    }
+}
+
+/// Resolves a `batch` target into named specifications, in a stable order.
+fn batch_jobs(target: &str) -> Result<Vec<(String, Spec)>, String> {
+    if target == "suite" {
+        return Ok(benchmarks::suite()
+            .into_iter()
+            .map(|b| (b.name.to_string(), b.spec))
+            .collect());
+    }
+    let path = std::path::Path::new(target);
+    if path.is_dir() {
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("{target}: {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "spec"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("{target}: no .spec files found"));
+        }
+        return files
+            .into_iter()
+            .map(|p| {
+                let name = p.file_stem().map_or_else(
+                    || p.display().to_string(),
+                    |s| s.to_string_lossy().into_owned(),
+                );
+                let text =
+                    std::fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+                let spec =
+                    spec_format::parse_spec(&text).map_err(|e| format!("{}: {e}", p.display()))?;
+                Ok((name, spec))
+            })
+            .collect();
+    }
+    // A list file: one benchmark name or .spec path per line.
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{target}: {e}"))?;
+    let mut jobs = Vec::new();
+    for line in text.lines() {
+        let entry = line.trim();
+        if entry.is_empty() || entry.starts_with('#') {
+            continue;
+        }
+        if let Some(b) = benchmarks::by_name(entry) {
+            jobs.push((entry.to_string(), b.spec));
+        } else {
+            let text = std::fs::read_to_string(entry).map_err(|_| {
+                format!("`{entry}` is neither a benchmark name nor a readable spec file")
+            })?;
+            let spec = spec_format::parse_spec(&text).map_err(|e| format!("{entry}: {e}"))?;
+            let name = std::path::Path::new(entry)
+                .file_stem()
+                .map_or_else(|| entry.to_string(), |s| s.to_string_lossy().into_owned());
+            jobs.push((name, spec));
+        }
+    }
+    if jobs.is_empty() {
+        return Err(format!("{target}: no jobs"));
+    }
+    Ok(jobs)
+}
+
+fn run_batch_command(
+    target: &str,
+    jobs: usize,
+    no_cache: bool,
+    config: &SynthConfig,
+    out: &mut dyn std::io::Write,
+) -> std::io::Result<i32> {
+    let work = match batch_jobs(target) {
+        Ok(w) => w,
+        Err(e) => return fail(out, &e),
+    };
+    let options = match config.options() {
+        Ok(o) => o,
+        Err(e) => return fail(out, &e),
+    };
+    let engine = config.engine;
+    let cache = if no_cache {
+        None
+    } else {
+        Some(SpecCache::new())
+    };
+    let batch_config = BatchConfig {
+        workers: jobs,
+        per_job_timeout: config.timeout.map(Duration::from_secs),
+    };
+    // Every batch job synthesizes with free output permutation: the answer
+    // is minimal over the whole output-permutation class, so a cache hit
+    // (which reuses the class representative's result) reports the same
+    // depth a cache miss would.
+    let run_one =
+        |spec: &Spec, token: &CancelToken| -> Result<PermutedSynthesisResult, SynthesisError> {
+            let opts = options.clone().with_cancel_token(token.clone());
+            let compute = |s: &Spec| match engine {
+                EngineChoice::Race => race_engines_permuted(s, &opts)
+                    .map(|r| r.winner)
+                    .map_err(|e| e.into_synthesis_error()),
+                EngineChoice::Single(_) => permuted::synthesize_with_output_permutation(s, &opts),
+            };
+            match &cache {
+                Some(c) => c.get_or_compute(spec, compute),
+                None => compute(spec),
+            }
+        };
+    let started = std::time::Instant::now();
+    let reports = run_batch(work, &batch_config, None, run_one);
+    let total = started.elapsed();
+
+    writeln!(
+        out,
+        "{:<12} {:>5} {:>9} {:<14} {:>9}  status",
+        "name", "gates", "solutions", "permutation", "time"
+    )?;
+    let mut failed = 0usize;
+    for r in &reports {
+        match &r.status {
+            JobStatus::Done(p) => writeln!(
+                out,
+                "{:<12} {:>5} {:>9} {:<14} {:>8.1?}  ok",
+                r.name,
+                p.result.depth(),
+                p.result.solutions().count(),
+                format!("{:?}", p.permutation),
+                r.elapsed
+            )?,
+            JobStatus::Failed(e) => {
+                failed += 1;
+                writeln!(
+                    out,
+                    "{:<12} {:>5} {:>9} {:<14} {:>8.1?}  error: {e}",
+                    r.name, "-", "-", "-", r.elapsed
+                )?;
+            }
+            JobStatus::Panicked(msg) => {
+                failed += 1;
+                writeln!(
+                    out,
+                    "{:<12} {:>5} {:>9} {:<14} {:>8.1?}  panicked: {msg}",
+                    r.name, "-", "-", "-", r.elapsed
+                )?;
+            }
+        }
+    }
+    let cache_note = match &cache {
+        Some(c) => {
+            let (hits, misses) = c.stats();
+            format!(", cache {hits} hits / {misses} misses")
+        }
+        None => String::new(),
+    };
+    writeln!(
+        out,
+        "{} jobs, {} ok, {} failed in {:.1?} ({} engine, {} worker{}{cache_note})",
+        reports.len(),
+        reports.len() - failed,
+        failed,
+        total,
+        engine,
+        jobs,
+        if jobs == 1 { "" } else { "s" },
+    )?;
+    Ok(i32::from(failed > 0))
 }
 
 fn emit_circuits(
@@ -474,7 +773,12 @@ fn emit_circuits(
         writeln!(out, "wrote {path}")?;
     } else if config.all {
         for (i, c) in result.solutions().circuits().iter().enumerate() {
-            writeln!(out, "# solution {} (quantum cost {})", i + 1, cost::circuit_cost(c))?;
+            writeln!(
+                out,
+                "# solution {} (quantum cost {})",
+                i + 1,
+                cost::circuit_cost(c)
+            )?;
             write!(out, "{c}")?;
         }
     } else {
@@ -528,7 +832,7 @@ mod tests {
             panic!("expected synth");
         };
         assert_eq!(source, Source::Benchmark("3_17".into()));
-        assert_eq!(config.engine, Engine::Sat);
+        assert_eq!(config.engine, EngineChoice::Single(Engine::Sat));
         assert_eq!(config.library, "mct+p");
         assert!(config.mixed_polarity);
         assert_eq!(config.max_depth, 9);
@@ -544,6 +848,93 @@ mod tests {
         assert!(parse(&["bench", "3_17", "--engine", "magic"]).is_err());
         assert!(parse(&["simulate", "a.real"]).is_err());
         assert!(parse(&["cost", "a.real", "extra"]).is_err());
+        assert!(parse(&["batch"]).is_err());
+        assert!(parse(&["batch", "suite", "--jobs"]).is_err());
+        assert!(parse(&["batch", "suite", "--jobs", "0"]).is_err());
+        assert!(parse(&["batch", "suite", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn parses_batch_with_options() {
+        let cmd = parse(&[
+            "batch",
+            "suite",
+            "--jobs",
+            "4",
+            "--engine",
+            "race",
+            "--no-cache",
+            "--timeout",
+            "30",
+        ])
+        .unwrap();
+        let Command::Batch {
+            target,
+            jobs,
+            no_cache,
+            config,
+        } = cmd
+        else {
+            panic!("expected batch");
+        };
+        assert_eq!(target, "suite");
+        assert_eq!(jobs, 4);
+        assert!(no_cache);
+        assert_eq!(config.engine, EngineChoice::Race);
+        assert_eq!(config.timeout, Some(30));
+    }
+
+    #[test]
+    fn batch_of_mixed_jobs_prints_one_row_per_job() {
+        let dir = std::env::temp_dir().join("qsyn-cli-batch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // cnot-twin is cnot with the output lines relabeled (rows mapped
+        // through the swap), so the cache must answer it with a hit.
+        let cnot = dir.join("cnot.spec");
+        std::fs::write(
+            &cnot,
+            ".numvars 2\n.begin\n00 00\n01 11\n10 10\n11 01\n.end\n",
+        )
+        .unwrap();
+        let twin = dir.join("cnot-twin.spec");
+        std::fs::write(
+            &twin,
+            ".numvars 2\n.begin\n00 00\n01 11\n10 01\n11 10\n.end\n",
+        )
+        .unwrap();
+        let list = dir.join("jobs.txt");
+        let entries = format!(
+            "# one benchmark, two spec files\n3_17\n{}\n{}\n",
+            cnot.display(),
+            twin.display()
+        );
+        std::fs::write(&list, entries).unwrap();
+        let cmd = parse(&["batch", list.to_str().unwrap(), "--jobs", "2"]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("3_17"), "{text}");
+        assert!(text.contains("cnot"), "{text}");
+        assert!(text.contains("cnot-twin"), "{text}");
+        assert!(text.contains("3 jobs, 3 ok, 0 failed"), "{text}");
+        assert!(text.contains("cache 1 hits / 2 misses"), "{text}");
+    }
+
+    #[test]
+    fn batch_rejects_bad_targets() {
+        let cmd = parse(&["batch", "/nonexistent/nowhere"]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 2);
+    }
+
+    #[test]
+    fn race_engine_synthesizes_a_benchmark() {
+        let cmd = parse(&["bench", "3_17", "--engine", "race"]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("minimal gates: 6"), "{text}");
+        assert!(text.contains("race winner:"), "{text}");
     }
 
     #[test]
@@ -580,7 +971,9 @@ mod tests {
         let cmd = parse(&["bench", "nope"]).unwrap();
         let mut buf = Vec::new();
         assert_eq!(run(&cmd, &mut buf).unwrap(), 2);
-        assert!(String::from_utf8(buf).unwrap().contains("unknown benchmark"));
+        assert!(String::from_utf8(buf)
+            .unwrap()
+            .contains("unknown benchmark"));
     }
 
     #[test]
@@ -589,8 +982,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let spec_path = dir.join("xor.spec");
         // 2-line spec: x2 ^= x1 (a CNOT).
-        std::fs::write(&spec_path, ".numvars 2\n.begin\n00 00\n01 11\n10 10\n11 01\n.end\n")
-            .unwrap();
+        std::fs::write(
+            &spec_path,
+            ".numvars 2\n.begin\n00 00\n01 11\n10 10\n11 01\n.end\n",
+        )
+        .unwrap();
         let out_path = dir.join("xor.real");
         let cmd = parse(&[
             "synth",
@@ -658,12 +1054,7 @@ mod tests {
             ".numvars 2\n.begin\n00 00\n01 10\n10 01\n11 11\n.end\n",
         )
         .unwrap();
-        let cmd = parse(&[
-            "synth",
-            spec_path.to_str().unwrap(),
-            "--output-permutation",
-        ])
-        .unwrap();
+        let cmd = parse(&["synth", spec_path.to_str().unwrap(), "--output-permutation"]).unwrap();
         let mut buf = Vec::new();
         assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
         let text = String::from_utf8(buf).unwrap();

@@ -12,7 +12,9 @@
 //!   stand-in),
 //! * [`revlogic`] — reversible gates, circuits, quantum costs, benchmark
 //!   functions,
-//! * [`synth`] — the paper's contribution: exact synthesis engines.
+//! * [`synth`] — the paper's contribution: exact synthesis engines,
+//! * [`portfolio`] — engine racing, batch scheduling across a worker pool,
+//!   and the canonical-spec result cache.
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 //!
@@ -36,6 +38,7 @@
 
 pub use qsyn_bdd as bdd;
 pub use qsyn_core as synth;
+pub use qsyn_portfolio as portfolio;
 pub use qsyn_qbf as qbf;
 pub use qsyn_revlogic as revlogic;
 pub use qsyn_sat as sat;

@@ -1,9 +1,8 @@
 //! Cross-engine and cross-substrate agreement at the workspace level.
 
+use qsyn::portfolio::race::{race_engines, RacerOutcome};
 use qsyn::revlogic::{benchmarks::random_permutation, GateLibrary, Spec};
-use qsyn::synth::{
-    synthesize, Engine, QbfBackend, SatSelectEncoding, SynthesisOptions, VarOrder,
-};
+use qsyn::synth::{synthesize, Engine, QbfBackend, SatSelectEncoding, SynthesisOptions, VarOrder};
 
 #[test]
 fn all_engines_agree_on_random_3_line_functions() {
@@ -24,6 +23,37 @@ fn all_engines_agree_on_random_3_line_functions() {
         assert!(
             depths.windows(2).all(|w| w[0] == w[1]),
             "seed {seed}: engines disagree: {depths:?}"
+        );
+    }
+}
+
+#[test]
+fn engine_race_agrees_with_every_single_engine() {
+    // The race's winner is whichever engine proves minimality first; the
+    // result must nevertheless be exactly what any fixed engine reports.
+    for seed in 0..4u64 {
+        let spec = Spec::from_permutation(&random_permutation(3, seed * 23 + 5));
+        let options = SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd).with_max_depth(10);
+        let raced = race_engines(&spec, &options).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let single = synthesize(&spec, &options).unwrap();
+        assert_eq!(raced.winner.depth(), single.depth(), "seed {seed}");
+        for c in raced.winner.solutions().circuits() {
+            assert!(spec.is_realized_by(c), "seed {seed}");
+        }
+        assert_eq!(raced.reports.len(), 3, "seed {seed}");
+        let wins = raced
+            .reports
+            .iter()
+            .filter(|r| r.outcome == RacerOutcome::Won)
+            .count();
+        assert_eq!(wins, 1, "seed {seed}: exactly one winner");
+        assert!(
+            raced.reports.iter().all(|r| matches!(
+                r.outcome,
+                RacerOutcome::Won | RacerOutcome::Cancelled | RacerOutcome::FinishedLate
+            )),
+            "seed {seed}: no racer may fail on a realizable spec: {:?}",
+            raced.reports
         );
     }
 }
@@ -132,10 +162,7 @@ fn dedup_fredkin_preserves_depth_and_halves_fredkin_solutions() {
     .unwrap();
     let dedup = synthesize(
         &swap,
-        &SynthesisOptions::new(
-            GateLibrary::mct_mcf().with_dedup_fredkin(),
-            Engine::Bdd,
-        ),
+        &SynthesisOptions::new(GateLibrary::mct_mcf().with_dedup_fredkin(), Engine::Bdd),
     )
     .unwrap();
     assert_eq!(ordered.depth(), 1);

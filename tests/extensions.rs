@@ -12,8 +12,7 @@ use qsyn::synth::{synthesize, Engine, SynthesisOptions};
 fn mixed_polarity_depth_is_a_lower_bound_refinement() {
     // MPMCT ⊇ MCT, so its minimal depth is never larger.
     for seed in 0..5u64 {
-        let spec =
-            Spec::from_permutation(&benchmarks::random_permutation(3, seed + 400));
+        let spec = Spec::from_permutation(&benchmarks::random_permutation(3, seed + 400));
         let plain = synthesize(
             &spec,
             &SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd).with_max_depth(10),
@@ -21,11 +20,8 @@ fn mixed_polarity_depth_is_a_lower_bound_refinement() {
         .unwrap();
         let mixed = synthesize(
             &spec,
-            &SynthesisOptions::new(
-                GateLibrary::mct().with_mixed_polarity(),
-                Engine::Bdd,
-            )
-            .with_max_depth(10),
+            &SynthesisOptions::new(GateLibrary::mct().with_mixed_polarity(), Engine::Bdd)
+                .with_max_depth(10),
         )
         .unwrap();
         assert!(mixed.depth() <= plain.depth(), "seed {seed}");
@@ -107,12 +103,8 @@ fn incremental_sat_usable_for_repeated_queries() {
     solver.add_clause([Lit::neg(0), Lit::neg(1)]);
     assert!(solver.solve_assuming(&[Lit::pos(0)]).is_sat());
     assert!(solver.solve_assuming(&[Lit::pos(1)]).is_sat());
-    assert!(!solver
-        .solve_assuming(&[Lit::pos(0), Lit::pos(1)])
-        .is_sat());
-    assert!(!solver
-        .solve_assuming(&[Lit::neg(0), Lit::neg(1)])
-        .is_sat());
+    assert!(!solver.solve_assuming(&[Lit::pos(0), Lit::pos(1)]).is_sat());
+    assert!(!solver.solve_assuming(&[Lit::neg(0), Lit::neg(1)]).is_sat());
     assert!(solver.solve().is_sat());
 }
 
@@ -124,9 +116,8 @@ fn permutation_of_spec_lines_preserves_minimal_depth_for_complete_funcs() {
     let spec = Spec::from_permutation(&base);
     // Swap lines 0 and 2 on inputs and outputs.
     let swap = |v: u32| (v & 0b010) | ((v & 1) << 2) | ((v >> 2) & 1);
-    let conjugated = Spec::from_permutation(&Permutation::from_fn(3, |v| {
-        swap(base.image(swap(v)))
-    }));
+    let conjugated =
+        Spec::from_permutation(&Permutation::from_fn(3, |v| swap(base.image(swap(v)))));
     let opts = SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd).with_max_depth(10);
     let d1 = synthesize(&spec, &opts).unwrap();
     let d2 = synthesize(&conjugated, &opts).unwrap();

@@ -17,7 +17,10 @@ fn bdd_engine_solves_the_fast_suite() {
         )
         .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(r.depth() > 0, "{name} is not the identity");
-        assert!(r.solutions().is_exhaustive(), "{name} should enumerate fully");
+        assert!(
+            r.solutions().is_exhaustive(),
+            "{name} should enumerate fully"
+        );
         for c in r.solutions().circuits() {
             assert!(b.spec.is_realized_by(c), "{name}: circuit fails spec");
             assert_eq!(c.len(), r.depth() as usize);
@@ -96,11 +99,8 @@ fn quantum_cost_selection_is_consistent() {
 fn peres_library_lowers_quantum_cost_when_it_helps() {
     // A spec that IS a Peres gate: MCT needs two gates (QC 6), MCT+P one
     // (QC 4).
-    let peres_perm = qsyn::revlogic::Circuit::from_gates(
-        3,
-        [qsyn::revlogic::Gate::peres(0, 1, 2)],
-    )
-    .permutation();
+    let peres_perm = qsyn::revlogic::Circuit::from_gates(3, [qsyn::revlogic::Gate::peres(0, 1, 2)])
+        .permutation();
     let spec = qsyn::revlogic::Spec::from_permutation(&peres_perm);
     let mct = synthesize(
         &spec,

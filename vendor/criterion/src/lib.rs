@@ -1,0 +1,246 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! subset of the criterion API the `qsyn-bench` harnesses use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size`, `bench_with_input`, `finish`), [`Bencher::iter`],
+//! [`BenchmarkId::new`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Statistics are simplified: each benchmark runs a short warm-up, then
+//! `sample_size` timed iterations, and reports min / mean / max wall-clock
+//! time per iteration. There is no outlier analysis, HTML report, or
+//! baseline comparison — the point is that `cargo bench` compiles, runs and
+//! prints comparable numbers offline.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Bencher {
+        Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        }
+    }
+
+    /// Runs `routine` for a warm-up pass, then `sample_size` timed passes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<48} (no samples — routine never called iter)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = *self.samples.iter().min().expect("non-empty");
+        let max = *self.samples.iter().max().expect("non-empty");
+        println!(
+            "{id:<48} time: [{} {} {}]  ({} samples)",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+            self.samples.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A two-part benchmark identifier, e.g. function label + input name.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new<F: fmt::Display, P: fmt::Display>(function: F, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark named `id`.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        mut routine: R,
+    ) -> &mut Criterion {
+        let mut b = Bencher::new(self.sample_size);
+        routine(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        routine(&mut b);
+        b.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        routine(&mut b, input);
+        b.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Ends the group (prints a separator; required by the upstream API).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, upstream-style:
+/// `criterion_group!(benches, bench_a, bench_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher::new(5);
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(calls, 6, "one warm-up plus five timed passes");
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("id", 7), &7u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(4)), "4.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}
