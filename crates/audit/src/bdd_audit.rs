@@ -1,0 +1,352 @@
+//! BDD manager audit: structural canonicity plus semantic spot-checks of
+//! the operation cache.
+//!
+//! The manager's correctness argument rests on three structural invariants
+//! (Bryant's reduction rules) and one behavioural one:
+//!
+//! 1. **Ordering** — every edge goes strictly downward in the variable
+//!    order; terminals sit below everything.
+//! 2. **No redundancy** — no node has `lo == hi` (such a node would be a
+//!    no-op test and breaks canonicity).
+//! 3. **Unique table agreement** — the `(var, lo, hi) → node` table and
+//!    the node arena describe the same set of nodes, with no duplicate
+//!    triples (hash consing is what makes equality checks O(1)).
+//! 4. **Cache soundness** — every memoized operation result actually
+//!    equals the operation recomputed from scratch.
+//!
+//! Checks 1–3 are exact and cheap (one pass over the arena). Check 4 is
+//! semantic: this module carries its *own* BDD evaluator (a plain
+//! node-table walk, sharing no code with `qsyn-bdd`'s apply algorithm) and
+//! compares a sample of cache entries against brute-force recomputation —
+//! exhaustively over all `2^n` assignments when the manager is small,
+//! otherwise over a deterministic pseudo-random sample.
+
+use std::collections::HashMap;
+
+use qsyn_bdd::{Bdd, CacheSample, CachedOp, Manager, NodeEntry};
+
+use crate::report::{AuditError, AuditFamily, Violation};
+
+/// How many operation-cache entries [`audit_manager`] re-validates.
+pub const CACHE_SAMPLE_LIMIT: usize = 32;
+
+/// Managers with at most this many variables are checked over *all*
+/// assignments; larger ones over [`SAMPLED_ENVS`] pseudo-random ones.
+pub const EXHAUSTIVE_VAR_LIMIT: u32 = 8;
+
+/// Number of sampled assignments used beyond [`EXHAUSTIVE_VAR_LIMIT`].
+pub const SAMPLED_ENVS: usize = 256;
+
+/// Quantifier cache entries over more than this many variables are skipped:
+/// verifying `∃/∀ vars . f` requires enumerating all `2^|vars|` assignments
+/// to the quantified block, and *sampling* that block is unsound (missing a
+/// witness is not a mismatch).
+const QUANT_BLOCK_LIMIT: usize = 8;
+
+/// Audits `m` against invariants 1–4 above.
+///
+/// # Errors
+///
+/// Returns every violation found; see [`AuditError`].
+pub fn audit_manager(m: &Manager) -> Result<(), AuditError> {
+    let mut violations = Vec::new();
+    let entries: Vec<NodeEntry> = m.node_entries().collect();
+    let node_count = m.node_count();
+    let in_range = |f: Bdd| f.index() < node_count;
+
+    let mut triples: HashMap<(u32, Bdd, Bdd), Bdd> = HashMap::new();
+    for e in &entries {
+        if e.var >= m.num_vars() {
+            violations.push(Violation::new(
+                "bdd.var-range",
+                format!(
+                    "node {:?} tests variable {} of {}",
+                    e.id,
+                    e.var,
+                    m.num_vars()
+                ),
+            ));
+            continue;
+        }
+        if !in_range(e.lo) || !in_range(e.hi) {
+            violations.push(Violation::new(
+                "bdd.child-range",
+                format!(
+                    "node {:?} has dangling child ({:?}, {:?})",
+                    e.id, e.lo, e.hi
+                ),
+            ));
+            continue;
+        }
+        if e.lo == e.hi {
+            violations.push(Violation::new(
+                "bdd.redundant",
+                format!("node {:?} has identical children {:?}", e.id, e.lo),
+            ));
+        }
+        for child in [e.lo, e.hi] {
+            if m.raw_level(child) <= e.var {
+                violations.push(Violation::new(
+                    "bdd.ordering",
+                    format!(
+                        "node {:?} at level {} has child {:?} at level {}",
+                        e.id,
+                        e.var,
+                        child,
+                        m.raw_level(child)
+                    ),
+                ));
+            }
+        }
+        if let Some(prev) = triples.insert((e.var, e.lo, e.hi), e.id) {
+            violations.push(Violation::new(
+                "bdd.duplicate",
+                format!(
+                    "nodes {prev:?} and {:?} share triple ({}, {:?}, {:?})",
+                    e.id, e.var, e.lo, e.hi
+                ),
+            ));
+        }
+        match m.unique_entry(e.var, e.lo, e.hi) {
+            Some(id) if id == e.id => {}
+            Some(other) => violations.push(Violation::new(
+                "bdd.unique-table",
+                format!("unique table maps node {:?}'s triple to {other:?}", e.id),
+            )),
+            None => violations.push(Violation::new(
+                "bdd.unique-table",
+                format!("node {:?} missing from the unique table", e.id),
+            )),
+        }
+    }
+
+    // Only spot-check the cache on a structurally sound arena — the
+    // evaluator below assumes well-formed nodes.
+    if violations.is_empty() {
+        let eval = Evaluator::new(&entries);
+        for sample in m.cache_samples(CACHE_SAMPLE_LIMIT) {
+            check_sample(m, &eval, &sample, &mut violations);
+        }
+    }
+
+    AuditError::from_violations(AuditFamily::Bdd, violations)
+}
+
+/// Independent evaluator over a snapshot of the node table.
+struct Evaluator {
+    nodes: HashMap<Bdd, (u32, Bdd, Bdd)>,
+}
+
+impl Evaluator {
+    fn new(entries: &[NodeEntry]) -> Evaluator {
+        Evaluator {
+            nodes: entries
+                .iter()
+                .map(|e| (e.id, (e.var, e.lo, e.hi)))
+                .collect(),
+        }
+    }
+
+    /// Evaluates `f` under `env` by walking the table; `None` if the walk
+    /// hits a handle outside the snapshot.
+    fn eval(&self, mut f: Bdd, env: &[bool]) -> Option<bool> {
+        loop {
+            if f == Bdd::ZERO {
+                return Some(false);
+            }
+            if f == Bdd::ONE {
+                return Some(true);
+            }
+            let &(var, lo, hi) = self.nodes.get(&f)?;
+            f = if *env.get(var as usize)? { hi } else { lo };
+        }
+    }
+}
+
+fn check_sample(m: &Manager, eval: &Evaluator, sample: &CacheSample, out: &mut Vec<Violation>) {
+    if let CachedOp::Exists { vars, .. } | CachedOp::Forall { vars, .. } = &sample.op {
+        if vars.len() > QUANT_BLOCK_LIMIT {
+            return; // see QUANT_BLOCK_LIMIT: sampling the block is unsound
+        }
+    }
+    for env in envs(m.num_vars()) {
+        let expected = match &sample.op {
+            CachedOp::Ite { f, g, h } => {
+                let (f, g, h) = (
+                    eval.eval(*f, &env),
+                    eval.eval(*g, &env),
+                    eval.eval(*h, &env),
+                );
+                match (f, g, h) {
+                    (Some(f), Some(g), Some(h)) => Some(if f { g } else { h }),
+                    _ => None,
+                }
+            }
+            CachedOp::Not { f } => eval.eval(*f, &env).map(|v| !v),
+            CachedOp::Exists { f, vars } => quantify(eval, *f, vars, &env, false),
+            CachedOp::Forall { f, vars } => quantify(eval, *f, vars, &env, true),
+            CachedOp::Compose { f, var, g } => eval.eval(*g, &env).and_then(|gv| {
+                let mut env2 = env.clone();
+                env2[*var as usize] = gv;
+                eval.eval(*f, &env2)
+            }),
+            CachedOp::Restrict { f, var, value } => {
+                let mut env2 = env.clone();
+                env2[*var as usize] = *value;
+                eval.eval(*f, &env2)
+            }
+        };
+        let actual = eval.eval(sample.result, &env);
+        let (Some(expected), Some(actual)) = (expected, actual) else {
+            out.push(Violation::new(
+                "bdd.cache-dangling",
+                format!("cache entry {:?} references unknown nodes", sample.op),
+            ));
+            return;
+        };
+        if expected != actual {
+            out.push(Violation::new(
+                "bdd.cache-stale",
+                format!(
+                    "cache entry {:?} claims {:?} but recomputation disagrees under {env:?}",
+                    sample.op, sample.result
+                ),
+            ));
+            return; // one witness per entry is enough
+        }
+    }
+}
+
+/// `∃/∀ vars . f` under `env`, by enumerating the quantified block.
+fn quantify(eval: &Evaluator, f: Bdd, vars: &[u32], env: &[bool], forall: bool) -> Option<bool> {
+    let mut env2 = env.to_vec();
+    for combo in 0u32..(1 << vars.len()) {
+        for (i, &v) in vars.iter().enumerate() {
+            env2[v as usize] = combo >> i & 1 == 1;
+        }
+        let value = eval.eval(f, &env2)?;
+        if value != forall {
+            // ∃ found a witness / ∀ found a counterexample.
+            return Some(!forall);
+        }
+    }
+    Some(forall)
+}
+
+/// The assignments to check: exhaustive for small managers, a fixed
+/// deterministic pseudo-random sample (splitmix-style LCG) otherwise.
+fn envs(num_vars: u32) -> Vec<Vec<bool>> {
+    if num_vars <= EXHAUSTIVE_VAR_LIMIT {
+        (0u32..(1 << num_vars))
+            .map(|bits| (0..num_vars).map(|v| bits >> v & 1 == 1).collect())
+            .collect()
+    } else {
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            state >> 33
+        };
+        (0..SAMPLED_ENVS)
+            .map(|_| (0..num_vars).map(|v| next() >> (v % 31) & 1 == 1).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_manager() -> Manager {
+        let mut m = Manager::new(5);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let d = m.var(3);
+        let ab = m.and(a, b);
+        let cd = m.xor(c, d);
+        let f = m.or(ab, cd);
+        let _ = m.exists(f, &[1, 2]);
+        let _ = m.forall(f, &[0]);
+        let _ = m.compose(f, 3, ab);
+        let g = m.not(f);
+        let _ = m.restrict(g, 2, true);
+        m
+    }
+
+    #[test]
+    fn clean_manager_passes() {
+        audit_manager(&busy_manager()).expect("clean manager must audit green");
+    }
+
+    #[test]
+    fn swapped_children_are_caught() {
+        let mut m = busy_manager();
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        let (lo, hi) = m.children(ab);
+        m.corrupt_node_for_audit(ab, m.raw_level(ab), hi, lo);
+        let err = audit_manager(&m).expect_err("corruption must be rejected");
+        assert_eq!(err.family, AuditFamily::Bdd);
+    }
+
+    #[test]
+    fn redundant_node_is_caught() {
+        let mut m = Manager::new(3);
+        let v = m.var(2);
+        m.corrupt_node_for_audit(v, 2, Bdd::ONE, Bdd::ONE);
+        let err = audit_manager(&m).expect_err("redundant node must be rejected");
+        assert!(err.violations.iter().any(|v| v.check == "bdd.redundant"));
+    }
+
+    #[test]
+    fn ordering_violation_is_caught() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b); // root at level 0 with a level-1 child
+        let (lo, hi) = m.children(ab);
+        // Claim the root tests variable 2: its children now sit above it.
+        m.corrupt_node_for_audit(ab, 2, lo, hi);
+        let err = audit_manager(&m).expect_err("ordering violation must be rejected");
+        assert!(err.violations.iter().any(|v| v.check == "bdd.ordering"));
+    }
+
+    #[test]
+    fn var_out_of_range_is_caught() {
+        let mut m = Manager::new(2);
+        let v = m.var(0);
+        let (lo, hi) = m.children(v);
+        m.corrupt_node_for_audit(v, 7, lo, hi);
+        let err = audit_manager(&m).expect_err("out-of-range var must be rejected");
+        assert!(err.violations.iter().any(|v| v.check == "bdd.var-range"));
+    }
+
+    #[test]
+    fn quantifier_cache_entries_are_revalidated() {
+        // exists/forall entries over small blocks must be recomputed, and a
+        // clean manager's entries must all check out.
+        let mut m = Manager::new(6);
+        let vars: Vec<Bdd> = (0..6).map(|v| m.var(v)).collect();
+        let mut f = vars[0];
+        for &v in &vars[1..] {
+            f = m.xor(f, v);
+        }
+        let _ = m.exists(f, &[0, 2, 4]);
+        let _ = m.forall(f, &[1, 3]);
+        audit_manager(&m).expect("quantifier cache must revalidate");
+    }
+
+    #[test]
+    fn envs_are_exhaustive_when_small() {
+        assert_eq!(envs(3).len(), 8);
+        assert_eq!(envs(0).len(), 1);
+        let big = envs(20);
+        assert_eq!(big.len(), SAMPLED_ENVS);
+        assert!(big.iter().all(|e| e.len() == 20));
+        // Determinism: two calls agree.
+        assert_eq!(big, envs(20));
+    }
+}

@@ -1,0 +1,356 @@
+//! Circuit lint: gate well-formedness, library membership, reversibility
+//! and cost-model consistency.
+//!
+//! A synthesized network is only a *solution* if it is (a) built from the
+//! gates the chosen library actually offers, (b) structurally legal (no
+//! gate reads and writes the same line, every line exists), and (c) a
+//! bijection — reversibility is the whole point. The engines guarantee all
+//! three by construction; this module re-derives them from the gate list
+//! alone so a bug anywhere in the pipeline (decoding a SAT model into
+//! gates, circuit post-processing, file I/O) is caught at the boundary.
+
+use qsyn_revlogic::{cost, Circuit, Gate, GateLibrary};
+
+use crate::report::{AuditError, AuditFamily, Violation};
+
+/// Circuits with at most this many lines get the exhaustive bijectivity
+/// check (`2^n` simulations); larger ones are only structurally linted.
+pub const EXHAUSTIVE_LINE_LIMIT: u32 = 8;
+
+/// Audits a raw gate list over an explicit line count.
+///
+/// This is the form the engines use on decoder output before a [`Circuit`]
+/// exists; [`audit_circuit`] adds the whole-circuit bijectivity check.
+///
+/// # Errors
+///
+/// Returns every violation found; see [`AuditError`].
+pub fn audit_gates(
+    lines: u32,
+    gates: &[Gate],
+    library: Option<&GateLibrary>,
+) -> Result<(), AuditError> {
+    let mut violations = Vec::new();
+    collect_gate_violations(lines, gates, library, &mut violations);
+    AuditError::from_violations(AuditFamily::Circuit, violations)
+}
+
+fn collect_gate_violations(
+    lines: u32,
+    gates: &[Gate],
+    library: Option<&GateLibrary>,
+    out: &mut Vec<Violation>,
+) {
+    for (i, g) in gates.iter().enumerate() {
+        if g.min_lines() > lines {
+            out.push(Violation::new(
+                "circuit.bounds",
+                format!(
+                    "gate {i} ({g}) needs {} lines, circuit has {lines}",
+                    g.min_lines()
+                ),
+            ));
+        }
+        if !g.controls().is_disjoint(g.targets()) {
+            out.push(Violation::new(
+                "circuit.overlap",
+                format!("gate {i} ({g}) uses a line as both control and target"),
+            ));
+        }
+        match g {
+            Gate::Toffoli {
+                controls,
+                negative_controls,
+                ..
+            } => {
+                if !controls.is_disjoint(*negative_controls) {
+                    out.push(Violation::new(
+                        "circuit.polarity-overlap",
+                        format!("gate {i} ({g}) has a line with both polarities"),
+                    ));
+                }
+            }
+            Gate::Fredkin { targets, .. } | Gate::Peres { targets, .. } => {
+                if targets.0 == targets.1 {
+                    out.push(Violation::new(
+                        "circuit.degenerate-targets",
+                        format!("gate {i} ({g}) has coinciding targets"),
+                    ));
+                }
+            }
+        }
+        if let Some(lib) = library {
+            if !lib.permits(g) {
+                out.push(Violation::new(
+                    "circuit.library",
+                    format!("gate {i} ({g}) is outside the {lib} library"),
+                ));
+            }
+        }
+    }
+}
+
+/// Audits a circuit: the per-gate lint of [`audit_gates`] plus, for
+/// circuits of at most [`EXHAUSTIVE_LINE_LIMIT`] lines, reversibility by
+/// exhaustive simulation.
+///
+/// # Errors
+///
+/// Returns every violation found; see [`AuditError`].
+pub fn audit_circuit(circuit: &Circuit, library: Option<&GateLibrary>) -> Result<(), AuditError> {
+    let mut violations = Vec::new();
+    let lines = circuit.lines();
+    collect_gate_violations(lines, circuit.gates(), library, &mut violations);
+
+    if violations.iter().all(|v| v.check != "circuit.bounds") && lines <= EXHAUSTIVE_LINE_LIMIT {
+        let size = 1u32 << lines;
+        let mut preimage = vec![None; size as usize];
+        for input in 0..size {
+            let output = circuit.simulate(input);
+            if output >= size {
+                violations.push(Violation::new(
+                    "circuit.state-escape",
+                    format!(
+                        "input {input:0w$b} maps outside the state space",
+                        w = lines as usize
+                    ),
+                ));
+                continue;
+            }
+            if let Some(prev) = preimage[output as usize] {
+                violations.push(Violation::new(
+                    "circuit.bijective",
+                    format!(
+                        "inputs {prev:0w$b} and {input:0w$b} collide on output {output:0w$b}",
+                        w = lines as usize
+                    ),
+                ));
+            } else {
+                preimage[output as usize] = Some(input);
+            }
+        }
+    }
+
+    AuditError::from_violations(AuditFamily::Circuit, violations)
+}
+
+/// Audits the quantum-cost model itself for internal consistency on
+/// circuits of up to `max_lines` lines:
+///
+/// * the paper's anchor values (Section 2.1): `MCT(2 controls) = 5`,
+///   `MCF(1 control) = 7`, `Peres = 4` — cheaper than its two-Toffoli
+///   expansion at 6,
+/// * `MCF(c) = MCT(c+1) + 2` (a controlled swap is `CNOT · MCT · CNOT`),
+/// * monotonicity: cost never decreases with more controls and never
+///   increases with more ancilla lines,
+/// * [`cost::circuit_cost`] is the sum of its per-gate costs.
+///
+/// # Errors
+///
+/// Returns every violation found; see [`AuditError`].
+pub fn audit_cost_model(max_lines: u32) -> Result<(), AuditError> {
+    let mut violations = Vec::new();
+    let max_lines = max_lines.clamp(3, 16);
+
+    for (name, actual, expected) in [
+        ("mct(2 controls)", cost::mct_cost(2, 3), 5),
+        ("mcf(1 control)", cost::mcf_cost(1, 3), 7),
+        ("peres", cost::peres_cost(), 4),
+        ("not", cost::mct_cost(0, 1), 1),
+        ("cnot", cost::mct_cost(1, 2), 1),
+    ] {
+        if actual != expected {
+            violations.push(Violation::new(
+                "cost.anchor",
+                format!("{name} costs {actual}, paper says {expected}"),
+            ));
+        }
+    }
+    if cost::peres_cost() >= 6 {
+        violations.push(Violation::new(
+            "cost.peres-advantage",
+            "Peres is not cheaper than its two-Toffoli expansion".to_string(),
+        ));
+    }
+
+    for lines in 3..=max_lines {
+        for controls in 0..lines {
+            if controls + 2 <= lines {
+                let fredkin = cost::mcf_cost(controls, lines);
+                let toffoli = cost::mct_cost(controls + 1, lines);
+                if fredkin != toffoli + 2 {
+                    violations.push(Violation::new(
+                        "cost.mcf-identity",
+                        format!(
+                            "mcf({controls}, {lines}) = {fredkin} ≠ mct+2 = {}",
+                            toffoli + 2
+                        ),
+                    ));
+                }
+            }
+            if controls + 1 < lines
+                && cost::mct_cost(controls + 1, lines) < cost::mct_cost(controls, lines)
+            {
+                violations.push(Violation::new(
+                    "cost.control-monotone",
+                    format!(
+                        "mct cost drops from {controls} to {} controls on {lines} lines",
+                        controls + 1
+                    ),
+                ));
+            }
+            if lines < max_lines
+                && cost::mct_cost(controls, lines + 1) > cost::mct_cost(controls, lines)
+            {
+                violations.push(Violation::new(
+                    "cost.ancilla-monotone",
+                    format!("an extra free line raises mct({controls}) cost at {lines} lines"),
+                ));
+            }
+        }
+    }
+
+    // Summation: a known mixed circuit must cost exactly the sum of parts.
+    use qsyn_revlogic::LineSet;
+    let c = Circuit::from_gates(
+        4,
+        [
+            Gate::not(3),
+            Gate::toffoli(LineSet::from_iter([0, 1, 2]), 3),
+            Gate::fredkin(LineSet::EMPTY, 0, 1),
+            Gate::peres(0, 1, 2),
+        ],
+    );
+    let parts: u64 = c.gates().iter().map(|g| cost::gate_cost(g, 4)).sum();
+    if cost::circuit_cost(&c) != parts {
+        violations.push(Violation::new(
+            "cost.summation",
+            format!(
+                "circuit cost {} ≠ sum of gate costs {parts}",
+                cost::circuit_cost(&c)
+            ),
+        ));
+    }
+
+    AuditError::from_violations(AuditFamily::Circuit, violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsyn_revlogic::LineSet;
+
+    #[test]
+    fn clean_circuits_pass_all_libraries() {
+        let c = Circuit::from_gates(
+            3,
+            [
+                Gate::cnot(0, 1),
+                Gate::toffoli(LineSet::from_iter([0, 1]), 2),
+                Gate::not(2),
+            ],
+        );
+        audit_circuit(&c, None).expect("no library");
+        audit_circuit(&c, Some(&GateLibrary::mct())).expect("mct");
+        audit_circuit(&c, Some(&GateLibrary::all())).expect("all");
+    }
+
+    #[test]
+    fn library_violation_is_caught() {
+        let c = Circuit::from_gates(3, [Gate::fredkin(LineSet::EMPTY, 0, 1)]);
+        let err = audit_circuit(&c, Some(&GateLibrary::mct())).expect_err("off-library");
+        assert!(err.violations.iter().any(|v| v.check == "circuit.library"));
+        audit_circuit(&c, Some(&GateLibrary::mct_mcf())).expect("mcf allowed");
+    }
+
+    #[test]
+    fn mixed_polarity_membership_follows_library() {
+        let g = Gate::toffoli_mixed(LineSet::from_iter([0]), LineSet::from_iter([1]), 2);
+        let c = Circuit::from_gates(3, [g]);
+        assert!(audit_circuit(&c, Some(&GateLibrary::mct())).is_err());
+        audit_circuit(&c, Some(&GateLibrary::mct().with_mixed_polarity())).expect("mixed ok");
+    }
+
+    #[test]
+    fn overlapping_control_and_target_is_caught() {
+        // Constructors refuse this shape; build the variant directly, as a
+        // decoder bug would.
+        let g = Gate::Toffoli {
+            controls: LineSet::from_iter([0, 1]),
+            negative_controls: LineSet::EMPTY,
+            target: 0,
+        };
+        let err = audit_gates(2, &[g], None).expect_err("overlap");
+        assert!(err.violations.iter().any(|v| v.check == "circuit.overlap"));
+    }
+
+    #[test]
+    fn polarity_overlap_is_caught() {
+        let g = Gate::Toffoli {
+            controls: LineSet::from_iter([0]),
+            negative_controls: LineSet::from_iter([0]),
+            target: 1,
+        };
+        let err = audit_gates(2, &[g], None).expect_err("polarity");
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| v.check == "circuit.polarity-overlap"));
+    }
+
+    #[test]
+    fn out_of_bounds_gate_is_caught() {
+        let err = audit_gates(2, &[Gate::not(5)], None).expect_err("bounds");
+        assert!(err.violations.iter().any(|v| v.check == "circuit.bounds"));
+    }
+
+    #[test]
+    fn non_bijective_cascade_is_caught() {
+        // Target-in-controls makes the gate a non-injective map.
+        let g = Gate::Toffoli {
+            controls: LineSet::from_iter([1]),
+            negative_controls: LineSet::EMPTY,
+            target: 1,
+        };
+        let c = Circuit::from_gates(2, [g]);
+        let err = audit_circuit(&c, None).expect_err("not a bijection");
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| v.check == "circuit.bijective"));
+    }
+
+    #[test]
+    fn degenerate_fredkin_targets_are_caught() {
+        let g = Gate::Fredkin {
+            controls: LineSet::EMPTY,
+            targets: (1, 1),
+        };
+        let err = audit_gates(2, &[g], None).expect_err("degenerate");
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| v.check == "circuit.degenerate-targets"));
+    }
+
+    #[test]
+    fn cost_model_is_consistent() {
+        audit_cost_model(10).expect("cost model");
+    }
+
+    #[test]
+    fn large_circuits_skip_simulation_but_still_lint() {
+        let c = Circuit::from_gates(12, [Gate::cnot(0, 11)]);
+        audit_circuit(&c, None).expect("structural lint only");
+        let bad = Gate::Toffoli {
+            controls: LineSet::from_iter([11]),
+            negative_controls: LineSet::EMPTY,
+            target: 11,
+        };
+        let c2 = Circuit::from_gates(12, [bad]);
+        assert!(
+            audit_circuit(&c2, None).is_err(),
+            "overlap caught without sim"
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Formula audit: CNF and prenex-QBF well-formedness.
+//!
+//! The synthesis encodings (Section 3.2 of the paper) produce large machine
+//! generated formulas; a single out-of-range literal or accidentally
+//! tautological clause silently changes what is being solved. This module
+//! re-checks:
+//!
+//! * **CNF** — every literal mentions a declared variable; no clause
+//!   contains a duplicate literal or both polarities of a variable.
+//! * **QBF** — the prefix is well-formed (variables in range, none
+//!   quantified twice, adjacent blocks alternate, the per-variable bound
+//!   flags agree with the prefix) and, for encodings that must be closed,
+//!   every variable occurring in the matrix is quantified.
+//!
+//! `CnfFormula::add_clause` and `QbfFormula::add_block` enforce most of
+//! this at construction time; the audit exists for clause lists produced
+//! by other paths (parsers, incremental solvers, [`qsyn_sat::Clause::raw`])
+//! and as an independent witness that the constructors did their job.
+
+use qsyn_qbf::QbfFormula;
+use qsyn_sat::{Clause, CnfFormula};
+
+use crate::report::{AuditError, AuditFamily, Violation};
+
+/// Audits a raw clause list against a declared variable universe.
+///
+/// This is the workhorse shared by [`audit_cnf`] and [`audit_qbf`]; it is
+/// public so clause lists that never passed through `CnfFormula` (DIMACS
+/// parsing, proof logs) can be checked too.
+///
+/// # Errors
+///
+/// Returns every violation found; see [`AuditError`].
+pub fn audit_clauses(num_vars: u32, clauses: &[Clause]) -> Result<(), AuditError> {
+    let mut violations = Vec::new();
+    collect_clause_violations(num_vars, clauses, &mut violations);
+    AuditError::from_violations(AuditFamily::Formula, violations)
+}
+
+fn collect_clause_violations(num_vars: u32, clauses: &[Clause], out: &mut Vec<Violation>) {
+    for (i, clause) in clauses.iter().enumerate() {
+        let lits = clause.lits();
+        for l in lits {
+            if l.var().0 >= num_vars {
+                out.push(Violation::new(
+                    "formula.lit-range",
+                    format!("clause {i} literal {l} exceeds {num_vars} variables"),
+                ));
+            }
+        }
+        for (a, la) in lits.iter().enumerate() {
+            for lb in &lits[a + 1..] {
+                if la == lb {
+                    out.push(Violation::new(
+                        "formula.duplicate-lit",
+                        format!("clause {i} repeats literal {la}"),
+                    ));
+                } else if la.var() == lb.var() {
+                    out.push(Violation::new(
+                        "formula.tautology",
+                        format!("clause {i} contains both polarities of {}", la.var()),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Audits a CNF formula: clause well-formedness over its declared universe.
+///
+/// # Errors
+///
+/// Returns every violation found; see [`AuditError`].
+pub fn audit_cnf(f: &CnfFormula) -> Result<(), AuditError> {
+    audit_clauses(f.num_vars(), f.clauses())
+}
+
+/// Audits a prenex QBF. With `require_closed`, every variable that occurs
+/// in the matrix must be bound by the prefix (the paper's synthesis
+/// formulas are closed: free variables would mean the instance is
+/// under-specified).
+///
+/// # Errors
+///
+/// Returns every violation found; see [`AuditError`].
+pub fn audit_qbf(f: &QbfFormula, require_closed: bool) -> Result<(), AuditError> {
+    let mut violations = Vec::new();
+    let num_vars = f.num_vars();
+
+    let mut quantified = vec![false; num_vars as usize];
+    let mut last_q = None;
+    for (bi, (q, vars)) in f.prefix().iter().enumerate() {
+        if vars.is_empty() {
+            violations.push(Violation::new(
+                "formula.empty-block",
+                format!("prefix block {bi} is empty"),
+            ));
+        }
+        if last_q == Some(*q) {
+            violations.push(Violation::new(
+                "formula.unmerged-blocks",
+                format!("prefix blocks {} and {bi} share quantifier {q}", bi - 1),
+            ));
+        }
+        last_q = Some(*q);
+        for &v in vars {
+            if v >= num_vars {
+                violations.push(Violation::new(
+                    "formula.prefix-range",
+                    format!("prefix block {bi} quantifies out-of-range variable {v}"),
+                ));
+                continue;
+            }
+            if quantified[v as usize] {
+                violations.push(Violation::new(
+                    "formula.double-bind",
+                    format!("variable {v} is quantified twice"),
+                ));
+            }
+            quantified[v as usize] = true;
+        }
+    }
+
+    // The formula's own bound flags must agree with the prefix we just
+    // walked — a mismatch means the two views of the prefix diverged.
+    for v in 0..num_vars {
+        if f.is_bound(v) != quantified[v as usize] {
+            violations.push(Violation::new(
+                "formula.bound-flag",
+                format!(
+                    "variable {v}: bound flag says {}, prefix says {}",
+                    f.is_bound(v),
+                    quantified[v as usize]
+                ),
+            ));
+        }
+    }
+
+    collect_clause_violations(num_vars, f.matrix().clauses(), &mut violations);
+
+    if require_closed {
+        for (i, clause) in f.matrix().clauses().iter().enumerate() {
+            for l in clause.lits() {
+                let v = l.var().0;
+                if v < num_vars && !quantified[v as usize] {
+                    violations.push(Violation::new(
+                        "formula.free-var",
+                        format!("clause {i} mentions free variable {v}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    AuditError::from_violations(AuditFamily::Formula, violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsyn_qbf::Quantifier;
+    use qsyn_sat::Lit;
+
+    #[test]
+    fn clean_cnf_passes() {
+        let mut f = CnfFormula::new(4);
+        f.add_clause([Lit::pos(0), Lit::neg(3)]);
+        f.add_clause([Lit::neg(1), Lit::pos(2), Lit::pos(3)]);
+        audit_cnf(&f).expect("clean CNF");
+    }
+
+    #[test]
+    fn empty_clause_is_well_formed() {
+        // Falsum is a legitimate (unsatisfiable) clause, not a corruption.
+        audit_clauses(1, &[Clause::raw([])]).expect("empty clause allowed");
+    }
+
+    #[test]
+    fn out_of_range_literal_is_caught() {
+        let err = audit_clauses(2, &[Clause::raw([Lit::pos(5)])]).expect_err("range");
+        assert!(err
+            .violations
+            .iter()
+            .any(|v| v.check == "formula.lit-range"));
+    }
+
+    #[test]
+    fn tautology_and_duplicate_are_caught() {
+        let clauses = [
+            Clause::raw([Lit::pos(0), Lit::neg(0)]),
+            Clause::raw([Lit::pos(1), Lit::pos(1)]),
+        ];
+        let err = audit_clauses(2, &clauses).expect_err("tautology + duplicate");
+        let checks: Vec<&str> = err.violations.iter().map(|v| v.check).collect();
+        assert!(checks.contains(&"formula.tautology"));
+        assert!(checks.contains(&"formula.duplicate-lit"));
+    }
+
+    #[test]
+    fn clean_closed_qbf_passes() {
+        let mut q = QbfFormula::new(3);
+        q.add_block(Quantifier::Exists, [0, 2]);
+        q.add_block(Quantifier::Forall, [1]);
+        q.add_clause([Lit::pos(0), Lit::neg(1)]);
+        q.add_clause([Lit::pos(2)]);
+        audit_qbf(&q, true).expect("clean closed QBF");
+    }
+
+    #[test]
+    fn free_matrix_variable_fails_closure() {
+        let mut q = QbfFormula::new(2);
+        q.add_block(Quantifier::Exists, [0]);
+        q.add_clause([Lit::pos(0), Lit::pos(1)]);
+        let err = audit_qbf(&q, true).expect_err("free var");
+        assert!(err.violations.iter().any(|v| v.check == "formula.free-var"));
+        // The same formula is fine when closure is not required.
+        audit_qbf(&q, false).expect("open QBF allowed without closure");
+    }
+
+    #[test]
+    fn unused_declared_variable_does_not_break_closure() {
+        // Variable 1 is declared and unbound but never occurs in the
+        // matrix — closure only cares about variables the matrix uses.
+        let mut q = QbfFormula::new(2);
+        q.add_block(Quantifier::Forall, [0]);
+        q.add_clause([Lit::pos(0)]);
+        audit_qbf(&q, true).expect("unused free var is harmless");
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests: random well-formed artifacts must always audit green,
+//! and random seeded corruptions must always audit red.
+
+use proptest::prelude::*;
+
+use qsyn_bdd::{Bdd, Manager};
+use qsyn_qbf::{QbfFormula, Quantifier};
+use qsyn_revlogic::{Circuit, Gate, GateLibrary, LineSet};
+use qsyn_sat::{Clause, CnfFormula, Lit};
+
+use crate::{bdd_audit, circuit_audit, formula_audit};
+
+const BDD_VARS: u32 = 5;
+
+/// A random expression over `BDD_VARS` variables, as (op, operand) codes
+/// consumed by [`build_bdd`].
+fn arb_bdd_program() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    proptest::collection::vec((0u8..6, 0u8..8), 1..20)
+}
+
+/// Interprets a code list as a stack program over the manager.
+fn build_bdd(m: &mut Manager, program: &[(u8, u8)]) -> Bdd {
+    let mut stack: Vec<Bdd> = vec![m.var(0)];
+    for &(op, arg) in program {
+        let top = *stack.last().expect("stack never empties");
+        let next = match op {
+            0 => m.var(u32::from(arg) % BDD_VARS),
+            1 => m.not(top),
+            2..=4 => {
+                let other = stack[usize::from(arg) % stack.len()];
+                match op {
+                    2 => m.and(top, other),
+                    3 => m.or(top, other),
+                    _ => m.xor(top, other),
+                }
+            }
+            _ => {
+                let v = u32::from(arg) % BDD_VARS;
+                if arg & 1 == 0 {
+                    m.exists(top, &[v])
+                } else {
+                    m.forall(top, &[v])
+                }
+            }
+        };
+        stack.push(next);
+    }
+    *stack.last().expect("non-empty")
+}
+
+fn arb_gate() -> impl Strategy<Value = Gate> {
+    let gates = GateLibrary::all().with_mixed_polarity().enumerate(4);
+    (0..gates.len()).prop_map(move |i| gates[i])
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_gate(), 0..10).prop_map(|gates| Circuit::from_gates(4, gates))
+}
+
+fn arb_clause() -> impl Strategy<Value = Vec<Lit>> {
+    proptest::collection::vec((0u32..6, any::<bool>()), 1..5)
+        .prop_map(|lits| lits.into_iter().map(|(v, pos)| Lit::new(v, pos)).collect())
+}
+
+proptest! {
+    #[test]
+    fn random_managers_pass_the_audit(program in arb_bdd_program()) {
+        let mut m = Manager::new(BDD_VARS);
+        let _ = build_bdd(&mut m, &program);
+        prop_assert!(bdd_audit::audit_manager(&m).is_ok());
+    }
+
+    #[test]
+    fn corrupted_managers_fail_the_audit(
+        program in arb_bdd_program(),
+        pick in any::<usize>(),
+    ) {
+        let mut m = Manager::new(BDD_VARS);
+        let _ = build_bdd(&mut m, &program);
+        // Corrupt an arbitrary non-terminal: make it redundant (lo == hi).
+        // The seed program always allocates var(0), so the arena is never
+        // terminals-only.
+        let targets: Vec<Bdd> = m.node_entries().map(|e| e.id).collect();
+        prop_assert!(!targets.is_empty());
+        let victim = targets[pick % targets.len()];
+        let (lo, _) = m.children(victim);
+        m.corrupt_node_for_audit(victim, m.raw_level(victim), lo, lo);
+        prop_assert!(bdd_audit::audit_manager(&m).is_err());
+    }
+
+    #[test]
+    fn random_circuits_pass_the_lint(c in arb_circuit()) {
+        prop_assert!(circuit_audit::audit_circuit(
+            &c,
+            Some(&GateLibrary::all().with_mixed_polarity())
+        ).is_ok());
+    }
+
+    #[test]
+    fn target_in_controls_always_fails(c in arb_circuit(), target in 0u32..4, offset in 1u32..4) {
+        let other = (target + offset) % 4;
+        let mut gates = c.gates().to_vec();
+        gates.push(Gate::Toffoli {
+            controls: LineSet::from_iter([target, other]),
+            negative_controls: LineSet::EMPTY,
+            target,
+        });
+        prop_assert!(circuit_audit::audit_gates(4, &gates, None).is_err());
+    }
+
+    #[test]
+    fn normalized_cnf_always_passes(clauses in proptest::collection::vec(arb_clause(), 0..12)) {
+        let mut f = CnfFormula::new(6);
+        for c in clauses {
+            f.add_clause(c);
+        }
+        prop_assert!(formula_audit::audit_cnf(&f).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_literal_always_fails(
+        clauses in proptest::collection::vec(arb_clause(), 0..6),
+        bad_var in 6u32..40,
+    ) {
+        let mut raw: Vec<Clause> = clauses.into_iter().map(Clause::raw).collect();
+        raw.push(Clause::raw([Lit::pos(bad_var)]));
+        prop_assert!(formula_audit::audit_clauses(6, &raw).is_err());
+    }
+
+    #[test]
+    fn closed_random_qbfs_pass(
+        clauses in proptest::collection::vec(arb_clause(), 1..8),
+        split in 1u32..5,
+    ) {
+        let mut q = QbfFormula::new(6);
+        q.add_block(Quantifier::Exists, 0..split);
+        q.add_block(Quantifier::Forall, split..6);
+        for c in clauses {
+            q.add_clause(c);
+        }
+        prop_assert!(formula_audit::audit_qbf(&q, true).is_ok());
+    }
+
+    #[test]
+    fn dropping_a_block_breaks_closure(
+        clauses in proptest::collection::vec(arb_clause(), 1..8),
+        split in 1u32..5,
+    ) {
+        // Bind only the first `split` variables; variable 5 is never bound
+        // (split < 5), so a clause mentioning it is always free.
+        let mut q = QbfFormula::new(6);
+        q.add_block(Quantifier::Exists, 0..split);
+        for c in clauses {
+            q.add_clause(c);
+        }
+        q.add_clause([Lit::pos(5)]);
+        prop_assert!(formula_audit::audit_qbf(&q, true).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Audit outcome types shared by every auditor family.
+
+/// Which auditor family produced a violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AuditFamily {
+    /// BDD manager consistency ([`crate::bdd_audit`]).
+    Bdd,
+    /// CNF / QBF well-formedness ([`crate::formula_audit`]).
+    Formula,
+    /// Reversible-circuit linting ([`crate::circuit_audit`]).
+    Circuit,
+}
+
+impl std::fmt::Display for AuditFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditFamily::Bdd => write!(f, "bdd"),
+            AuditFamily::Formula => write!(f, "formula"),
+            AuditFamily::Circuit => write!(f, "circuit"),
+        }
+    }
+}
+
+/// One broken invariant, named and located.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable identifier of the check that fired (e.g. `"bdd.ordering"`).
+    pub check: &'static str,
+    /// Human-readable description pinpointing the offending object.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Creates a violation for `check` with the given detail text.
+    pub fn new(check: &'static str, detail: impl Into<String>) -> Violation {
+        Violation {
+            check,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.check, self.detail)
+    }
+}
+
+/// A failed audit: every violation found in one pass over the artifact.
+///
+/// Auditors collect *all* violations rather than stopping at the first —
+/// when a corruption cascades (a bad node falsifies several cached
+/// results), the full list is what makes the root cause findable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditError {
+    /// The family whose invariants were violated.
+    pub family: AuditFamily,
+    /// All violations found, in discovery order. Never empty.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditError {
+    /// Wraps a non-empty violation list; returns `Ok(())` for an empty one.
+    pub fn from_violations(
+        family: AuditFamily,
+        violations: Vec<Violation>,
+    ) -> Result<(), AuditError> {
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(AuditError { family, violations })
+        }
+    }
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} audit failed with {} violation(s):",
+            self.family,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_violation_list_is_ok() {
+        assert!(AuditError::from_violations(AuditFamily::Bdd, Vec::new()).is_ok());
+    }
+
+    #[test]
+    fn display_lists_every_violation() {
+        let err = AuditError {
+            family: AuditFamily::Circuit,
+            violations: vec![
+                Violation::new("circuit.bounds", "gate 0 exceeds 3 lines"),
+                Violation::new("circuit.bijective", "states 2 and 3 collide"),
+            ],
+        };
+        let s = err.to_string();
+        assert!(s.contains("2 violation(s)"));
+        assert!(s.contains("[circuit.bounds]"));
+        assert!(s.contains("[circuit.bijective]"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Read-only introspection of the manager's internals for external
+//! invariant auditing.
+//!
+//! The `qsyn-audit` crate re-validates the manager's structural invariants
+//! (canonicity, variable ordering, unique-table consistency) and a sample
+//! of the operation cache *independently* of this crate's own code. The
+//! methods here expose just enough raw structure to make that possible
+//! without giving callers a way to violate the invariants themselves —
+//! with one deliberate exception, [`Manager::corrupt_node_for_audit`],
+//! which exists so the auditors' own rejection paths can be tested.
+
+use crate::manager::{Bdd, Manager, OpTag, TERMINAL_LEVEL};
+
+/// One non-terminal node of the manager's node table, as raw indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeEntry {
+    /// Handle of the node itself.
+    pub id: Bdd,
+    /// Variable (= level) the node branches on.
+    pub var: u32,
+    /// The `var = 0` child.
+    pub lo: Bdd,
+    /// The `var = 1` child.
+    pub hi: Bdd,
+}
+
+/// One memoized operation, re-expressed in public terms so an external
+/// checker can recompute it from semantics alone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CachedOp {
+    /// `ite(f, g, h)`.
+    Ite {
+        /// Condition.
+        f: Bdd,
+        /// Then-branch.
+        g: Bdd,
+        /// Else-branch.
+        h: Bdd,
+    },
+    /// `¬f`.
+    Not {
+        /// Operand.
+        f: Bdd,
+    },
+    /// `∃ vars . f`.
+    Exists {
+        /// Operand.
+        f: Bdd,
+        /// Quantified variables (ascending).
+        vars: Vec<u32>,
+    },
+    /// `∀ vars . f`.
+    Forall {
+        /// Operand.
+        f: Bdd,
+        /// Quantified variables (ascending).
+        vars: Vec<u32>,
+    },
+    /// `f[var := g]`.
+    Compose {
+        /// Host function.
+        f: Bdd,
+        /// Substituted variable.
+        var: u32,
+        /// Replacement function.
+        g: Bdd,
+    },
+    /// `f|_{var = value}`.
+    Restrict {
+        /// Operand.
+        f: Bdd,
+        /// Restricted variable.
+        var: u32,
+        /// Value the variable is pinned to.
+        value: bool,
+    },
+}
+
+/// A cache entry: the operation and the memoized result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheSample {
+    /// The memoized operation.
+    pub op: CachedOp,
+    /// The result the cache claims for it.
+    pub result: Bdd,
+}
+
+impl Manager {
+    /// Iterates over every non-terminal node in allocation order.
+    pub fn node_entries(&self) -> impl Iterator<Item = NodeEntry> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .skip(2) // the two terminals
+            .map(|(i, n)| NodeEntry {
+                id: Bdd(i as u32),
+                var: n.var,
+                lo: n.lo,
+                hi: n.hi,
+            })
+    }
+
+    /// Level of the root of `f` as a raw index, with terminals reported as
+    /// `u32::MAX` (which compares greater than every real level).
+    pub fn raw_level(&self, f: Bdd) -> u32 {
+        self.level(f)
+    }
+
+    /// Looks up `(var, lo, hi)` in the unique table.
+    ///
+    /// For a consistent manager this returns `Some(id)` exactly when a node
+    /// `id` with those fields exists; the auditors cross-check this against
+    /// the node table itself.
+    pub fn unique_entry(&self, var: u32, lo: Bdd, hi: Bdd) -> Option<Bdd> {
+        self.unique_lookup(var, lo, hi)
+    }
+
+    pub(crate) fn unique_lookup(&self, var: u32, lo: Bdd, hi: Bdd) -> Option<Bdd> {
+        self.unique_get(&(var, lo, hi))
+    }
+
+    /// Up to `limit` operation-cache entries, in unspecified order,
+    /// re-expressed as [`CacheSample`]s an external checker can recompute.
+    pub fn cache_samples(&self, limit: usize) -> Vec<CacheSample> {
+        self.op_cache_iter()
+            .take(limit)
+            .map(|(&(tag, a, b, c), &result)| {
+                let op = match tag {
+                    OpTag::Ite => CachedOp::Ite { f: a, g: b, h: c },
+                    OpTag::Not => CachedOp::Not { f: a },
+                    OpTag::Exists(id) => CachedOp::Exists {
+                        f: a,
+                        vars: self.varset(id)[b.0 as usize..].to_vec(),
+                    },
+                    OpTag::Forall(id) => CachedOp::Forall {
+                        f: a,
+                        vars: self.varset(id)[b.0 as usize..].to_vec(),
+                    },
+                    OpTag::Compose(var) => CachedOp::Compose { f: a, var, g: b },
+                    OpTag::Restrict => CachedOp::Restrict {
+                        f: a,
+                        var: b.0,
+                        value: c.is_one(),
+                    },
+                };
+                CacheSample { op, result }
+            })
+            .collect()
+    }
+
+    /// **Test-only corruption hook**: overwrites node `id` in place,
+    /// bypassing every invariant the ordinary constructors enforce.
+    ///
+    /// This exists solely so the audit layer can prove its rejection paths
+    /// fire; a manager mutated this way is broken by construction and must
+    /// be discarded. Panics if `id` is a terminal or out of range.
+    #[doc(hidden)]
+    pub fn corrupt_node_for_audit(&mut self, id: Bdd, var: u32, lo: Bdd, hi: Bdd) {
+        assert!(!id.is_terminal(), "cannot corrupt a terminal");
+        let slot = &mut self.nodes[id.0 as usize];
+        assert!(slot.var != TERMINAL_LEVEL, "node out of range");
+        slot.var = var;
+        slot.lo = lo;
+        slot.hi = hi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_entries_cover_all_nonterminals() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let _ = m.and(a, b);
+        let entries: Vec<NodeEntry> = m.node_entries().collect();
+        assert_eq!(entries.len(), m.node_count() - 2);
+        for e in &entries {
+            assert!(!e.id.is_terminal());
+            assert_eq!(m.unique_entry(e.var, e.lo, e.hi), Some(e.id));
+        }
+    }
+
+    #[test]
+    fn cache_samples_report_real_operations() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        let _ = m.forall(ab, &[0]);
+        let samples = m.cache_samples(usize::MAX);
+        assert!(!samples.is_empty());
+        assert!(samples
+            .iter()
+            .any(|s| matches!(s.op, CachedOp::Ite { .. } | CachedOp::Forall { .. })));
+    }
+
+    #[test]
+    fn corruption_hook_overwrites_in_place() {
+        let mut m = Manager::new(2);
+        let v = m.var(1);
+        m.corrupt_node_for_audit(v, 1, Bdd::ONE, Bdd::ONE);
+        let e = m.node_entries().find(|e| e.id == v).unwrap();
+        assert_eq!((e.lo, e.hi), (Bdd::ONE, Bdd::ONE));
+    }
+}

@@ -2,7 +2,6 @@
 
 use crate::manager::{Bdd, Manager};
 use std::collections::HashSet;
-use std::fmt::Write as _;
 
 impl Manager {
     /// Renders the diagram rooted at `f` in Graphviz `dot` syntax.
@@ -16,8 +15,8 @@ impl Manager {
                 .get(v as usize)
                 .map_or_else(|| format!("x{v}"), |s| (*s).to_string())
         };
-        writeln!(out, "  n0 [label=\"0\", shape=box];").unwrap();
-        writeln!(out, "  n1 [label=\"1\", shape=box];").unwrap();
+        out.push_str("  n0 [label=\"0\", shape=box];\n");
+        out.push_str("  n1 [label=\"1\", shape=box];\n");
         let mut seen = HashSet::new();
         let mut stack = vec![f];
         while let Some(n) = stack.pop() {
@@ -26,9 +25,13 @@ impl Manager {
             }
             let (lo, hi) = self.children(n);
             let var = self.root_var(n).expect("non-terminal");
-            writeln!(out, "  n{} [label=\"{}\", shape=circle];", n.0, name(var)).unwrap();
-            writeln!(out, "  n{} -> n{} [style=dashed];", n.0, lo.0).unwrap();
-            writeln!(out, "  n{} -> n{};", n.0, hi.0).unwrap();
+            out.push_str(&format!(
+                "  n{} [label=\"{}\", shape=circle];\n",
+                n.0,
+                name(var)
+            ));
+            out.push_str(&format!("  n{} -> n{} [style=dashed];\n", n.0, lo.0));
+            out.push_str(&format!("  n{} -> n{};\n", n.0, hi.0));
             stack.push(lo);
             stack.push(hi);
         }

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod analysis;
+pub mod audit;
 mod dot;
 mod hash;
 mod manager;
@@ -51,6 +52,7 @@ mod ops;
 mod quant;
 
 pub use analysis::ModelIter;
+pub use audit::{CacheSample, CachedOp, NodeEntry};
 pub use manager::{Bdd, Manager, ManagerStats};
 
 #[cfg(test)]

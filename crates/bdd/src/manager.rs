@@ -33,6 +33,14 @@ impl Bdd {
     pub fn is_terminal(self) -> bool {
         self.0 <= 1
     }
+
+    /// Raw arena index of the handle (terminals are `0` and `1`). Only
+    /// meaningful relative to the owning manager; exposed for the audit
+    /// layer's range checks.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
 }
 
 impl std::fmt::Debug for Bdd {
@@ -336,6 +344,18 @@ impl Manager {
 
     pub(crate) fn varset(&self, id: u32) -> &[u32] {
         &self.varsets[id as usize]
+    }
+
+    /// Unique-table lookup for the audit layer (see `audit.rs`).
+    pub(crate) fn unique_get(&self, key: &(u32, Bdd, Bdd)) -> Option<Bdd> {
+        self.unique.get(key).copied()
+    }
+
+    /// Operation-cache iteration for the audit layer (see `audit.rs`).
+    pub(crate) fn op_cache_iter(
+        &self,
+    ) -> impl Iterator<Item = (&(OpTag, Bdd, Bdd, Bdd), &Bdd)> + '_ {
+        self.op_cache.iter()
     }
 
     /// Total number of allocated nodes (including both terminals).

@@ -4,8 +4,8 @@
 //!   (predicted to blow the BDD up, Section 5.2),
 //! * **B — incremental `F_d`**: carrying the cascade BDD across depth
 //!   iterations vs rebuilding it from scratch each depth,
-//! * **C — gate-select encoding** in the SAT baseline: one-hot [9] vs
-//!   binary [22]-style.
+//! * **C — gate-select encoding** in the SAT baseline: one-hot \[9\] vs
+//!   binary \[22\]-style.
 //!
 //! ```text
 //! cargo run --release -p qsyn-bench --bin gen_ablations

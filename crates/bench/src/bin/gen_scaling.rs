@@ -1,7 +1,7 @@
 //! Encoding-size scaling — the paper's central claim made measurable:
 //! the QBF formulation encodes the cascade **once** (polynomial in `d` and
 //! `|G|`, plus the unavoidable `2ⁿ·n` specification minterms), while the
-//! row-wise SAT encoding of [9]/[22] duplicates the cascade for each of
+//! row-wise SAT encoding of \[9\]/\[22\] duplicates the cascade for each of
 //! the `2ⁿ` truth-table rows.
 //!
 //! Two series are printed:

@@ -1,6 +1,6 @@
 //! Regenerates **Table 1** of the paper: runtime comparison of the
-//! SAT-based approaches ([9] and the improved encoding standing in for
-//! SWORD [22]) against the two quantified approaches (QBF solver and BDD),
+//! SAT-based approaches (\[9\] and the improved encoding standing in for
+//! SWORD \[22\]) against the two quantified approaches (QBF solver and BDD),
 //! all with the multiple-control Toffoli library.
 //!
 //! ```text

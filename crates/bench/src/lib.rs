@@ -4,7 +4,7 @@
 //! The table-generator binaries mirror the paper's Tables 1–3:
 //!
 //! * `gen_table1` — runtime comparison of the SAT baseline, the improved
-//!   SAT baseline (standing in for SWORD [22]), the QBF-solver approach and
+//!   SAT baseline (standing in for SWORD \[22\]), the QBF-solver approach and
 //!   the BDD approach (all with the MCT library),
 //! * `gen_table2` — `#SOL` and quantum-cost spread of the BDD engine's
 //!   all-solutions output,

@@ -123,6 +123,22 @@ impl BddEngine {
         if solutions_bdd.is_zero() {
             return Ok(None);
         }
+        // Debug builds re-check the manager's structural invariants (unique
+        // table, ordering, cache coherence; see `qsyn_audit`) once per
+        // successful synthesis — on the SAT depth, where the whole cascade
+        // construction is live in the arena. Auditing every UNSAT probe, or
+        // arenas past the size cap below, would multiply the debug-test
+        // wall clock without adding coverage: corruption in a big arena is
+        // overwhelmingly also visible in a small one.
+        #[cfg(debug_assertions)]
+        {
+            const AUDIT_NODE_CAP: usize = 100_000;
+            if self.built.m.node_count() <= AUDIT_NODE_CAP {
+                if let Err(e) = qsyn_audit::bdd_audit::audit_manager(&self.built.m) {
+                    panic!("BDD manager failed its audit after depth {d}: {e}");
+                }
+            }
+        }
         Ok(Some(self.materialize(solutions_bdd, d)))
     }
 

@@ -201,6 +201,16 @@ pub fn drive<S: DepthSolver>(
         let outcome = engine.solve_depth(d)?;
         depth_times.push(depth_start.elapsed());
         if let Some(solutions) = outcome {
+            // Debug builds lint every materialized circuit: line bounds,
+            // control/target disjointness, library membership and (for
+            // small line counts) reversibility — see `qsyn_audit`.
+            #[cfg(debug_assertions)]
+            for c in solutions.circuits() {
+                if let Err(e) = qsyn_audit::circuit_audit::audit_circuit(c, Some(&options.library))
+                {
+                    panic!("synthesized circuit at depth {d} failed its audit: {e}");
+                }
+            }
             return Ok(SynthesisResult {
                 solutions,
                 depth: d,

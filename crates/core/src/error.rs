@@ -35,6 +35,13 @@ pub enum SynthesisError {
         /// Offending line count.
         lines: u32,
     },
+    /// An internal invariant did not hold — e.g. a solver reported SAT but
+    /// produced no usable witness. Always a bug in this crate, never a
+    /// property of the input.
+    Internal {
+        /// The violated invariant.
+        what: &'static str,
+    },
 }
 
 impl SynthesisError {
@@ -45,7 +52,7 @@ impl SynthesisError {
             SynthesisError::ResourceLimit { depth, .. }
             | SynthesisError::TimeBudgetExceeded { depth }
             | SynthesisError::Cancelled { depth } => Some(depth),
-            SynthesisError::SpecTooLarge { .. } => None,
+            SynthesisError::SpecTooLarge { .. } | SynthesisError::Internal { .. } => None,
         }
     }
 }
@@ -70,6 +77,9 @@ impl std::fmt::Display for SynthesisError {
                     f,
                     "specification with {lines} lines is too large for exact synthesis"
                 )
+            }
+            SynthesisError::Internal { what } => {
+                write!(f, "internal invariant violated: {what}")
             }
         }
     }
@@ -101,6 +111,9 @@ mod tests {
         assert!(SynthesisError::SpecTooLarge { lines: 20 }
             .to_string()
             .contains("20 lines"));
+        assert!(SynthesisError::Internal { what: "no witness" }
+            .to_string()
+            .contains("no witness"));
     }
 
     #[test]
@@ -111,6 +124,7 @@ mod tests {
         );
         assert_eq!(SynthesisError::Cancelled { depth: 4 }.depth(), Some(4));
         assert_eq!(SynthesisError::SpecTooLarge { lines: 20 }.depth(), None);
+        assert_eq!(SynthesisError::Internal { what: "x" }.depth(), None);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //!   variables (enabling quantum-cost selection, Tables 2/3).
 //! * [`Engine::Qbf`] — Section 5.1: Tseitin-transform the cascade and hand
 //!   the prenex `∃Y ∀X ∃A` instance to a QBF solver.
-//! * [`Engine::Sat`] — the baseline of [9]/[22]: instantiate the cascade
+//! * [`Engine::Sat`] — the baseline of \[9\]/\[22\]: instantiate the cascade
 //!   constraints once per truth-table row and solve with CDCL (exponential
 //!   encoding; the approach the paper improves on).
 //!

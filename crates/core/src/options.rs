@@ -12,7 +12,7 @@ pub enum Engine {
     Bdd,
     /// Prenex-CNF QBF instance handed to a QBF solver (Section 5.1).
     Qbf,
-    /// Row-wise SAT encoding, the baseline of [9]/[22] (Section 3).
+    /// Row-wise SAT encoding, the baseline of \[9\]/\[22\] (Section 3).
     Sat,
 }
 
@@ -42,11 +42,11 @@ pub enum QbfBackend {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum SatSelectEncoding {
     /// One variable per gate and level with an at-most-one constraint, as
-    /// in the original exact SAT synthesis [9]. Default.
+    /// in the original exact SAT synthesis \[9\]. Default.
     #[default]
     OneHot,
     /// Binary-encoded select inputs (the universal-gate style), an ablation
-    /// matching the improvements of [22].
+    /// matching the improvements of \[22\].
     Binary,
 }
 

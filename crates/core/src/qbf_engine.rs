@@ -1,7 +1,7 @@
 //! The QBF-solver synthesis engine (Section 5.1 of the paper).
 //!
 //! The cascade `F_d = f` is built as a gate netlist and translated to CNF
-//! with the Tseitin transformation [20] — linear in the circuit size. The
+//! with the Tseitin transformation \[20\] — linear in the circuit size. The
 //! full instance is the prenex formula `∃Y ∀X ∃A . CNF(F_d = f)` with `A`
 //! the Tseitin auxiliaries. Unlike the row-wise SAT encoding, the network
 //! constraints appear **once**; the specification is enforced by the
@@ -155,6 +155,13 @@ impl QbfEngine {
     pub fn solve_depth(&mut self, d: u32) -> Result<Option<SolutionSet>, SynthesisError> {
         self.options.cancel.check(d)?;
         let qbf = self.instance(d);
+        // Debug builds re-check the instance's prefix and matrix invariants,
+        // including closure — every matrix variable must be quantified (see
+        // `qsyn_audit`).
+        #[cfg(debug_assertions)]
+        if let Err(e) = qsyn_audit::formula_audit::audit_qbf(&qbf, true) {
+            panic!("QBF instance for depth {d} failed the formula audit: {e}");
+        }
         self.last_instance_size = (qbf.num_vars(), qbf.matrix().len());
         // The QDPLL backend decides truth first (the measured solver); the
         // witness for circuit extraction always comes from expansion.

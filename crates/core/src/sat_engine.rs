@@ -1,5 +1,5 @@
 //! The row-wise SAT baseline (Section 3 of the paper; the approach of
-//! [9]/[22] that quantified synthesis improves on).
+//! \[9\]/\[22\] that quantified synthesis improves on).
 //!
 //! The cascade constraints are instantiated **once per truth-table row**:
 //! for each of the `2ⁿ` input rows, a separate copy of the `d`-level
@@ -8,7 +8,7 @@
 //! the number of lines — exactly the weakness the QBF formulation removes.
 //!
 //! Two gate-select encodings are provided: one-hot (as in the original
-//! exact SAT synthesis [9]) and binary (the improvement direction of [22]).
+//! exact SAT synthesis \[9\]) and binary (the improvement direction of \[22\]).
 
 use crate::cancel::CancelToken;
 use crate::encode::{decode_circuit, select_bits};
@@ -140,6 +140,12 @@ impl SatEngine {
     pub fn solve_depth(&mut self, d: u32) -> Result<Option<SolutionSet>, SynthesisError> {
         self.options.cancel.check(d)?;
         let formula = self.encode(d);
+        // Debug builds re-check the generated instance against the CNF
+        // well-formedness invariants (see `qsyn_audit`).
+        #[cfg(debug_assertions)]
+        if let Err(e) = qsyn_audit::formula_audit::audit_cnf(&formula) {
+            panic!("row-wise SAT instance for depth {d} failed the formula audit: {e}");
+        }
         self.last_instance_size = (formula.num_vars(), formula.len());
         let mut solver = Solver::from_formula(&formula);
         match solve_chunked(
@@ -150,7 +156,7 @@ impl SatEngine {
         )? {
             SolveResult::Unsat => Ok(None),
             SolveResult::Sat(model) => {
-                let circuit = self.decode(d, self.select_width(), &model);
+                let circuit = self.decode(d, self.select_width(), &model)?;
                 debug_assert!(
                     self.spec.is_realized_by(&circuit),
                     "SAT model decodes to a circuit violating the spec"
@@ -185,7 +191,9 @@ impl SatEngine {
         )? {
             SolveResult::Sat(_) => Ok(None),
             SolveResult::Unsat => {
-                let proof = solver.take_proof().expect("logging enabled");
+                let proof = solver.take_proof().ok_or(SynthesisError::Internal {
+                    what: "proof logging was enabled but the solver produced no proof",
+                })?;
                 Ok(Some((formula, proof)))
             }
         }
@@ -243,16 +251,18 @@ impl SatEngine {
         }
     }
 
-    fn decode(&self, d: u32, select_width: u32, model: &[bool]) -> Circuit {
+    fn decode(&self, d: u32, select_width: u32, model: &[bool]) -> Result<Circuit, SynthesisError> {
         let n = self.spec.lines();
         let mut c = Circuit::new(n);
         for level in 0..d as usize {
             let base = level * select_width as usize;
             match self.options.sat_encoding {
                 SatSelectEncoding::OneHot => {
-                    let k = (0..self.gates.len())
-                        .find(|&k| model[base + k])
-                        .expect("at-least-one guarantees a selected gate");
+                    let k = (0..self.gates.len()).find(|&k| model[base + k]).ok_or(
+                        SynthesisError::Internal {
+                            what: "SAT model selects no gate despite the at-least-one clause",
+                        },
+                    )?;
                     c.push(self.gates[k]);
                 }
                 SatSelectEncoding::Binary => {
@@ -265,7 +275,7 @@ impl SatEngine {
                 }
             }
         }
-        c
+        Ok(c)
     }
 }
 

@@ -1,5 +1,5 @@
 //! Transformation-based heuristic synthesis (the unidirectional algorithm
-//! of Miller, Maslov and Dueck — reference [13] of the paper).
+//! of Miller, Maslov and Dueck — reference \[13\] of the paper).
 //!
 //! The paper's exact approach is contrasted against heuristics like this
 //! one: fast, no minimality guarantee. The algorithm walks the truth table

@@ -4,7 +4,7 @@
 //!
 //! Three independent pieces, composable but not entangled:
 //!
-//! * [`race`] — spawn one thread per engine with per-racer
+//! * [`mod@race`] — spawn one thread per engine with per-racer
 //!   [`CancelToken`](qsyn_core::CancelToken)s; the first engine to *prove*
 //!   a minimal circuit wins and the losers are cancelled mid-depth.
 //! * [`scheduler`] — a bounded work queue plus a fixed `--jobs N` worker

@@ -10,7 +10,7 @@
 //! For the synthesis prefix `∃Y ∀X ∃A` this expands the `n` input variables
 //! (duplicating only the Tseitin auxiliaries `A`), yielding `2^n` copies of
 //! the cascade constraints — structurally the same growth as the row-wise
-//! SAT encoding of [9], which is why the paper's BDD route wins.
+//! SAT encoding of \[9\], which is why the paper's BDD route wins.
 
 use crate::formula::{QbfFormula, Quantifier};
 use qsyn_sat::{CnfFormula, Lit, SolveResult, Solver};

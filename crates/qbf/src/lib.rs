@@ -1,6 +1,6 @@
 //! Quantified Boolean formula (QBF) satisfiability.
 //!
-//! This crate plays the role of skizzo [2] in *"Quantified Synthesis of
+//! This crate plays the role of skizzo \[2\] in *"Quantified Synthesis of
 //! Reversible Logic"* (Wille et al., DATE 2008): it decides prenex-CNF QBF
 //! instances of the form the paper's Section 5.1 produces,
 //! `∃Y ∀X ∃A . CNF(F_d = f)`.

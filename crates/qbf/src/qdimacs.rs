@@ -27,29 +27,26 @@ impl std::error::Error for ParseQdimacsError {}
 
 /// Serializes a formula in QDIMACS format.
 pub fn write_qdimacs(formula: &QbfFormula) -> String {
-    use std::fmt::Write as _;
     let mut out = String::new();
-    writeln!(
-        out,
-        "p cnf {} {}",
+    out.push_str(&format!(
+        "p cnf {} {}\n",
         formula.num_vars(),
         formula.matrix().len()
-    )
-    .unwrap();
+    ));
     for (q, vars) in formula.prefix() {
         let tag = match q {
             Quantifier::Exists => 'e',
             Quantifier::Forall => 'a',
         };
-        write!(out, "{tag}").unwrap();
+        out.push(tag);
         for v in vars {
-            write!(out, " {}", v + 1).unwrap();
+            out.push_str(&format!(" {}", v + 1));
         }
         out.push_str(" 0\n");
     }
     for c in formula.matrix().clauses() {
         for l in c.lits() {
-            write!(out, "{l} ").unwrap();
+            out.push_str(&format!("{l} "));
         }
         out.push_str("0\n");
     }

@@ -1,6 +1,6 @@
 //! The paper's benchmark functions (Tables 1–3), re-derived or substituted.
 //!
-//! The original evaluation uses RevLib [23], an online resource. Functions
+//! The original evaluation uses RevLib \[23\], an online resource. Functions
 //! with a public mathematical definition (`3_17`, `4_49`, `hwb4`,
 //! `graycode6`, `rd32`, `decod24`, `4mod5`) are re-implemented from that
 //! definition. The `mod5d1`/`mod5d2`/`mod5mils` and `alu` families are

@@ -1,7 +1,7 @@
 //! Quantum costs of reversible gates.
 //!
 //! Every reversible gate decomposes into elementary quantum gates, each of
-//! cost one (Barenco et al. [1]). The table below is the standard one used
+//! cost one (Barenco et al. \[1\]). The table below is the standard one used
 //! by RevLib/RevKit: the cost of a multiple-control Toffoli depends on the
 //! number of controls *and* on how many unused ("free") circuit lines are
 //! available as ancillae for the decomposition.
@@ -91,7 +91,7 @@ pub fn mcf_cost(controls: u32, lines: u32) -> u64 {
     mct_cost(controls + 1, lines) + 2
 }
 
-/// Quantum cost of a Peres gate: always 4 [16].
+/// Quantum cost of a Peres gate: always 4 \[16\].
 pub fn peres_cost() -> u64 {
     4
 }

@@ -2,7 +2,7 @@
 //!
 //! A non-reversible `k`-input, `m`-output function must be embedded into a
 //! reversible `n`-line one by adding constant inputs and garbage outputs
-//! [12]. The resulting truth table is incompletely specified: garbage
+//! \[12\]. The resulting truth table is incompletely specified: garbage
 //! outputs are don't-cares everywhere, and rows whose constant inputs carry
 //! the wrong value are don't-cares on *all* outputs.
 

@@ -10,7 +10,7 @@
 //!   permutation extraction,
 //! * [`Spec`] — completely and incompletely specified reversible functions
 //!   (truth tables with don't-care outputs, Definition 4),
-//! * [`cost`] — quantum costs after Barenco et al. [1],
+//! * [`cost`] — quantum costs after Barenco et al. \[1\],
 //! * [`GateLibrary`] — gate-set selection and exhaustive gate enumeration
 //!   with the cardinalities of Theorem 1,
 //! * [`real`] — RevLib `.real` circuit file I/O, [`spec_format`] —
@@ -18,7 +18,7 @@
 //! * [`benchmarks`] — the paper's evaluation functions (re-derived or
 //!   substituted; see `DESIGN.md` §4),
 //! * [`embedding`] — embedding irreversible functions into reversible
-//!   specifications with constant inputs and garbage outputs [12].
+//!   specifications with constant inputs and garbage outputs \[12\].
 //!
 //! # Example
 //!

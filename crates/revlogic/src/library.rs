@@ -121,6 +121,20 @@ impl GateLibrary {
         parts.join("+")
     }
 
+    /// `true` if `gate` is one of the gates this library enumerates —
+    /// membership by gate *type* and control polarity, without building the
+    /// enumeration. Agrees with [`GateLibrary::enumerate`]: for every gate
+    /// `g` over `n` lines, `permits(&g)` iff `enumerate(n).contains(&g)`.
+    pub fn permits(self, gate: &Gate) -> bool {
+        match gate {
+            Gate::Toffoli {
+                negative_controls, ..
+            } => self.mct && (self.mixed_polarity || negative_controls.is_empty()),
+            Gate::Fredkin { .. } => self.mcf,
+            Gate::Peres { .. } => self.peres,
+        }
+    }
+
     /// The number of gates `|G|` this library yields on `n` lines, per
     /// Theorem 1 (without enumerating).
     ///
@@ -350,6 +364,25 @@ mod tests {
             .into_iter()
             .collect();
         assert!(plain.is_subset(&mixed));
+    }
+
+    #[test]
+    fn permits_agrees_with_enumerate() {
+        let libs = [
+            GateLibrary::mct(),
+            GateLibrary::mct_mcf(),
+            GateLibrary::mct_peres(),
+            GateLibrary::all(),
+            GateLibrary::mct().with_mixed_polarity(),
+            GateLibrary::all().with_mixed_polarity(),
+        ];
+        let universe = GateLibrary::all().with_mixed_polarity().enumerate(3);
+        for lib in libs {
+            let member: std::collections::HashSet<_> = lib.enumerate(3).into_iter().collect();
+            for g in &universe {
+                assert_eq!(lib.permits(g), member.contains(g), "{lib} vs {g}");
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Decomposition of reversible gates into *elementary quantum gates*
-//! (Barenco et al. [1]) — the networks behind the quantum-cost table of
+//! (Barenco et al. \[1\]) — the networks behind the quantum-cost table of
 //! [`crate::cost`].
 //!
 //! Elementary gates here are NOT, CNOT and singly-controlled roots of X

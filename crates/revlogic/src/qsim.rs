@@ -1,7 +1,7 @@
 //! A small state-vector quantum simulator.
 //!
 //! Quantum costs (Section 2.1 of the paper) count *elementary* gates in
-//! the sense of Barenco et al. [1]: NOT, CNOT and controlled roots of X
+//! the sense of Barenco et al. \[1\]: NOT, CNOT and controlled roots of X
 //! (`V = X^½`, `V† `, and deeper roots). The [`crate::ncv`] module builds
 //! those decompositions; this simulator verifies them against the
 //! classical gate semantics by exact state-vector simulation — the only

@@ -1,6 +1,6 @@
 //! RevLib `.real` circuit file format.
 //!
-//! The `.real` format is RevLib's [23] interchange format for reversible
+//! The `.real` format is RevLib's \[23\] interchange format for reversible
 //! circuits. Supported gate lines: `t<k>` (multiple-control Toffoli),
 //! `f<k>` (multiple-control Fredkin) and `p3` (Peres), with the target
 //! line(s) last.
@@ -31,20 +31,22 @@ impl std::error::Error for ParseRealError {}
 
 /// Serializes a circuit in `.real` format with variables `x1 … xn`.
 pub fn write_real(circuit: &Circuit) -> String {
-    use std::fmt::Write as _;
     let n = circuit.lines();
-    let vars: Vec<String> = (1..=n).map(|i| format!("x{i}")).collect();
+    let vars = (1..=n)
+        .map(|i| format!("x{i}"))
+        .collect::<Vec<String>>()
+        .join(" ");
     let mut out = String::new();
-    writeln!(out, ".version 2.0").unwrap();
-    writeln!(out, ".numvars {n}").unwrap();
-    writeln!(out, ".variables {}", vars.join(" ")).unwrap();
-    writeln!(out, ".inputs {}", vars.join(" ")).unwrap();
-    writeln!(out, ".outputs {}", vars.join(" ")).unwrap();
-    writeln!(out, ".begin").unwrap();
+    out.push_str(".version 2.0\n");
+    out.push_str(&format!(".numvars {n}\n"));
+    out.push_str(&format!(".variables {vars}\n"));
+    out.push_str(&format!(".inputs {vars}\n"));
+    out.push_str(&format!(".outputs {vars}\n"));
+    out.push_str(".begin\n");
     for g in circuit.gates() {
-        writeln!(out, "{g}").unwrap();
+        out.push_str(&format!("{g}\n"));
     }
-    writeln!(out, ".end").unwrap();
+    out.push_str(".end\n");
     out
 }
 

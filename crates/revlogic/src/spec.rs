@@ -3,7 +3,7 @@
 //! An incompletely specified function `f : Bⁿ → {0, 1, −}ⁿ` (Definition 4
 //! of the paper) arises when a non-reversible function is embedded into a
 //! reversible one: garbage outputs are don't-cares, and rows that violate
-//! constant-input assumptions are entirely unconstrained [12].
+//! constant-input assumptions are entirely unconstrained \[12\].
 
 use crate::circuit::Circuit;
 use crate::permutation::Permutation;

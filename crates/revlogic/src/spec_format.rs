@@ -53,16 +53,15 @@ impl From<SpecError> for ParseSpecError {
 
 /// Serializes a spec as a `.spec` file.
 pub fn write_spec(spec: &Spec) -> String {
-    use std::fmt::Write as _;
     let n = spec.lines();
     let mut out = String::new();
-    writeln!(out, ".version 2.0").unwrap();
-    writeln!(out, ".numvars {n}").unwrap();
-    writeln!(out, ".begin").unwrap();
+    out.push_str(".version 2.0\n");
+    out.push_str(&format!(".numvars {n}\n"));
+    out.push_str(".begin\n");
     for i in 0..spec.num_rows() as u32 {
         let r = spec.row(i);
         for l in (0..n).rev() {
-            write!(out, "{}", (i >> l) & 1).unwrap();
+            out.push(if (i >> l) & 1 == 1 { '1' } else { '0' });
         }
         out.push(' ');
         for l in (0..n).rev() {
@@ -77,7 +76,7 @@ pub fn write_spec(spec: &Spec) -> String {
         }
         out.push('\n');
     }
-    writeln!(out, ".end").unwrap();
+    out.push_str(".end\n");
     out
 }
 

@@ -2,7 +2,7 @@
 //!
 //! The QBF formulation of the synthesis problem (Section 5.1 of the paper)
 //! requires the universal-gate cascade `F_d = f` as a CNF; the classic
-//! Tseitin transformation [20] does this in time and space linear in the
+//! Tseitin transformation \[20\] does this in time and space linear in the
 //! circuit. [`CnfBuilder`] tracks which variables are *auxiliary* (the `A`
 //! set that is existentially quantified innermost in the paper's prefix
 //! `∃Y ∀X ∃A`).

@@ -26,12 +26,11 @@ impl std::error::Error for ParseDimacsError {}
 
 /// Serializes a formula in DIMACS CNF format.
 pub fn write_dimacs(formula: &CnfFormula) -> String {
-    use std::fmt::Write as _;
     let mut out = String::new();
-    writeln!(out, "p cnf {} {}", formula.num_vars(), formula.len()).unwrap();
+    out.push_str(&format!("p cnf {} {}\n", formula.num_vars(), formula.len()));
     for c in formula.clauses() {
         for l in c.lits() {
-            write!(out, "{l} ").unwrap();
+            out.push_str(&format!("{l} "));
         }
         out.push_str("0\n");
     }

@@ -1,13 +1,13 @@
 //! Conflict-driven clause-learning (CDCL) SAT solving and CNF construction.
 //!
-//! This crate fills the role MiniSat [7] plays in *"Quantified Synthesis of
+//! This crate fills the role MiniSat \[7\] plays in *"Quantified Synthesis of
 //! Reversible Logic"* (Wille et al., DATE 2008): it solves the row-wise SAT
-//! encoding of the exact-synthesis problem (the baseline of [9]/[22] that
+//! encoding of the exact-synthesis problem (the baseline of \[9\]/\[22\] that
 //! the paper improves on) and provides the CNF/Tseitin machinery the QBF
 //! engine needs to produce prenex-CNF instances.
 //!
 //! * [`Lit`], [`Var`], [`Clause`], [`CnfFormula`] — core CNF types,
-//! * [`CnfBuilder`] — structural-to-CNF translation (Tseitin encoding [20])
+//! * [`CnfBuilder`] — structural-to-CNF translation (Tseitin encoding \[20\])
 //!   with gate helpers (`and`, `or`, `xor`, `mux`, `equal`, …),
 //! * [`Solver`] — CDCL with two-watched literals, VSIDS decision heuristic,
 //!   first-UIP clause learning, phase saving and Luby restarts,

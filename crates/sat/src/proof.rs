@@ -158,6 +158,39 @@ mod tests {
     }
 
     #[test]
+    fn dropping_a_step_invalidates_a_solver_proof() {
+        // Remove an essential intermediate step from a genuine refutation:
+        // every later step that leaned on it must stop being RUP.
+        let f = formula(2, &[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]);
+        let proof = vec![lits(&[2]), vec![]];
+        assert_eq!(check_rup(&f, &proof), ProofCheck::Refutation);
+        let truncated = vec![proof[1].clone()]; // empty clause alone
+        assert_eq!(check_rup(&f, &truncated), ProofCheck::Invalid { index: 0 });
+    }
+
+    #[test]
+    fn flipping_a_literal_invalidates_a_step() {
+        // x1 ∧ (x1 → x2): the step (x2) is RUP, its polarity flip (¬x2)
+        // asserts x2 = ⊤ under which both clauses propagate no conflict.
+        let f = formula(2, &[&[1], &[-1, 2]]);
+        assert_eq!(check_rup(&f, &[lits(&[2])]), ProofCheck::ValidButIncomplete);
+        assert_eq!(
+            check_rup(&f, &[lits(&[-2])]),
+            ProofCheck::Invalid { index: 0 }
+        );
+    }
+
+    #[test]
+    fn premature_empty_clause_is_rejected_even_on_unsat_formulas() {
+        // The formula IS unsatisfiable, but the empty clause is not RUP
+        // until (x2) has been derived — a checker that trusts the verdict
+        // instead of the derivation would wave this through.
+        let f = formula(2, &[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]]);
+        let premature = vec![vec![], lits(&[2])];
+        assert_eq!(check_rup(&f, &premature), ProofCheck::Invalid { index: 0 });
+    }
+
+    #[test]
     fn solver_proofs_check_on_pigeonhole() {
         // PHP(4→3): unsatisfiable; the solver's logged proof must check.
         let v = |i: i32, j: i32| 3 * i + j + 1;

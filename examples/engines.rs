@@ -1,5 +1,5 @@
 //! The three decision engines side by side (the paper's Table 1 contrast):
-//! row-wise SAT baseline [9], QBF-solver formulation (Section 5.1) and the
+//! row-wise SAT baseline \[9\], QBF-solver formulation (Section 5.1) and the
 //! BDD implementation of the quantified formulation (Section 5.2).
 //!
 //! Run with:

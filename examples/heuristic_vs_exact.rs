@@ -1,7 +1,7 @@
 //! Heuristic vs exact synthesis — the trade-off that motivates the paper.
 //!
 //! The transformation-based heuristic (Miller/Maslov/Dueck, the paper's
-//! reference [13]) is instant at any size but has no minimality guarantee;
+//! reference \[13\]) is instant at any size but has no minimality guarantee;
 //! the exact quantified synthesis proves minimality but is exponential.
 //!
 //! Run with:

@@ -11,6 +11,9 @@
 //! * `cost <file.real>` — gate count and quantum cost,
 //! * `check <a.real> <b.real>` — equivalence check with counterexample,
 //! * `spec <file.real>` — extract the truth table of a circuit,
+//! * `audit [files…] [--self-test]` — run the invariant auditors over
+//!   `.real` / `.cnf` / `.qdimacs` files, or over seeded self-test
+//!   corruptions,
 //! * `list` — list the built-in benchmarks.
 //!
 //! The argument grammar is deliberately tiny and fully testable; see
@@ -73,6 +76,15 @@ pub enum Command {
     SpecOf {
         /// Circuit file.
         path: String,
+    },
+    /// `audit [files…] [--self-test]`.
+    Audit {
+        /// Files to audit, dispatched on extension: `.real` circuits,
+        /// `.cnf`/`.dimacs` CNF formulas, `.qdimacs` QBF formulas.
+        paths: Vec<String>,
+        /// Also run the built-in self-test: every auditor family must
+        /// accept a clean artifact and reject a seeded corruption.
+        self_test: bool,
     },
     /// `list`.
     List,
@@ -202,6 +214,10 @@ USAGE:
   qsyn cost <file.real>                gate count and quantum cost
   qsyn check <a.real> <b.real>         equivalence check (with counterexample)
   qsyn spec <file.real>                truth table of a circuit
+  qsyn audit [files...] [--self-test]  run the invariant auditors over
+                                       .real/.cnf/.qdimacs files; --self-test
+                                       seeds corruptions and checks every
+                                       auditor family rejects them
   qsyn list                            list built-in benchmarks
 
 OPTIONS (synth/bench/batch):
@@ -267,6 +283,23 @@ impl Command {
                 let path = args.next().ok_or("spec: missing circuit file")?;
                 reject_extra(args)?;
                 Ok(Command::SpecOf { path })
+            }
+            "audit" => {
+                let mut paths = Vec::new();
+                let mut self_test = false;
+                for arg in args {
+                    match arg.as_str() {
+                        "--self-test" => self_test = true,
+                        flag if flag.starts_with('-') => {
+                            return Err(format!("unknown option `{flag}`"))
+                        }
+                        _ => paths.push(arg),
+                    }
+                }
+                if paths.is_empty() && !self_test {
+                    return Err("audit: nothing to do (give files or --self-test)".to_string());
+                }
+                Ok(Command::Audit { paths, self_test })
             }
             "synth" | "bench" => {
                 let target = args
@@ -481,6 +514,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             write!(out, "{}", spec_format::write_spec(&spec))?;
             Ok(0)
         }
+        Command::Audit { paths, self_test } => run_audit(paths, *self_test, out),
         Command::Synth { source, config } => run_synth(source, config, out),
         Command::Batch {
             target,
@@ -489,6 +523,93 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             config,
         } => run_batch_command(target, *jobs, *no_cache, config, out),
     }
+}
+
+/// Runs a parse-and-audit closure, converting both parse errors and
+/// parser panics into a message. The gate and quantifier-prefix
+/// constructors assert their invariants (`target cannot be a control`,
+/// `variable already quantified`), so a corrupt file must not unwind out
+/// of the CLI with exit 101 — it is an input problem, exit 2.
+fn parse_guarded<F>(f: F) -> Result<Result<(), crate::audit::AuditError>, String>
+where
+    F: FnOnce() -> Result<Result<(), crate::audit::AuditError>, String> + std::panic::UnwindSafe,
+{
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = std::panic::catch_unwind(f);
+    std::panic::set_hook(prev);
+    match result {
+        Ok(r) => r,
+        Err(payload) => Err(payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "malformed input".to_string())),
+    }
+}
+
+/// Executes `qsyn audit`: optional self-test, then one auditor run per
+/// file (dispatched on extension). Exit code 0 = everything clean,
+/// 1 = at least one violation, 2 = unreadable/unparsable input.
+fn run_audit(
+    paths: &[String],
+    self_test: bool,
+    out: &mut dyn std::io::Write,
+) -> std::io::Result<i32> {
+    let mut code = 0;
+    if self_test {
+        match crate::audit::self_test() {
+            Ok(report) => writeln!(out, "self-test: {report}")?,
+            Err(msg) => return fail(out, &format!("self-test failed: {msg}")),
+        }
+    }
+    for path in paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return fail(out, &format!("{path}: {e}")),
+        };
+        let ext = std::path::Path::new(path)
+            .extension()
+            .map(|e| e.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let outcome = match ext.as_str() {
+            "real" => parse_guarded(|| {
+                real::parse_real(&text)
+                    .map_err(|e| e.to_string())
+                    .map(|c| crate::audit::circuit_audit::audit_circuit(&c, None))
+            }),
+            "cnf" | "dimacs" => parse_guarded(|| {
+                crate::sat::dimacs::parse_dimacs(&text)
+                    .map_err(|e| e.to_string())
+                    .map(|f| crate::audit::formula_audit::audit_cnf(&f))
+            }),
+            // QDIMACS treats unbound variables as outermost-existential,
+            // so closure is not required of files.
+            "qdimacs" => parse_guarded(|| {
+                crate::qbf::qdimacs::parse_qdimacs(&text)
+                    .map_err(|e| e.to_string())
+                    .map(|q| crate::audit::formula_audit::audit_qbf(&q, false))
+            }),
+            other => {
+                return fail(
+                    out,
+                    &format!("{path}: unsupported extension `{other}` (want .real/.cnf/.qdimacs)"),
+                )
+            }
+        };
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(msg) => return fail(out, &format!("{path}: {msg}")),
+        };
+        match outcome {
+            Ok(()) => writeln!(out, "{path}: ok")?,
+            Err(e) => {
+                code = 1;
+                writeln!(out, "{path}: {e}")?;
+            }
+        }
+    }
+    Ok(code)
 }
 
 fn run_synth(
@@ -935,6 +1056,79 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("minimal gates: 6"), "{text}");
         assert!(text.contains("race winner:"), "{text}");
+    }
+
+    #[test]
+    fn parses_audit_command() {
+        assert_eq!(
+            parse(&["audit", "--self-test"]),
+            Ok(Command::Audit {
+                paths: vec![],
+                self_test: true,
+            })
+        );
+        assert_eq!(
+            parse(&["audit", "a.real", "b.cnf"]),
+            Ok(Command::Audit {
+                paths: vec!["a.real".into(), "b.cnf".into()],
+                self_test: false,
+            })
+        );
+        // No files and no --self-test is an error, as is an unknown flag.
+        assert!(parse(&["audit"]).is_err());
+        assert!(parse(&["audit", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn audit_self_test_reports_accepts_and_rejections() {
+        let cmd = parse(&["audit", "--self-test"]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("self-test"), "{text}");
+        assert!(text.contains("rejected"), "{text}");
+    }
+
+    #[test]
+    fn audit_accepts_clean_files_and_rejects_garbage() {
+        let dir = std::env::temp_dir().join("qsyn-cli-audit-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let circ = dir.join("ok.real");
+        std::fs::write(&circ, ".numvars 2\n.begin\nt2 x1 x2\n.end\n").unwrap();
+        let qbf = dir.join("ok.qdimacs");
+        std::fs::write(&qbf, "p cnf 2 1\ne 1 0\n1 -2 0\n").unwrap();
+        let cmd = parse(&["audit", circ.to_str().unwrap(), qbf.to_str().unwrap()]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.matches(": ok").count(), 2, "{text}");
+        // Unknown extensions and unreadable files exit 2.
+        let cmd = parse(&["audit", "nope.xyz"]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 2);
+    }
+
+    #[test]
+    fn audit_reports_parser_asserts_as_input_errors() {
+        // The gate and prefix constructors assert their invariants; a
+        // corrupt file must exit 2 with a message, not unwind (exit 101).
+        let dir = std::env::temp_dir().join("qsyn-cli-audit-panic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let overlap = dir.join("overlap.real");
+        std::fs::write(&overlap, ".numvars 2\n.begin\nt2 x1 x1\n.end\n").unwrap();
+        let cmd = parse(&["audit", overlap.to_str().unwrap()]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 2);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("target cannot be a control"), "{text}");
+
+        let dup = dir.join("dup.qdimacs");
+        std::fs::write(&dup, "p cnf 2 1\ne 1 0\ne 1 0\n1 -2 0\n").unwrap();
+        let cmd = parse(&["audit", dup.to_str().unwrap()]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 2);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("already quantified"), "{text}");
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   functions,
 //! * [`synth`] — the paper's contribution: exact synthesis engines,
 //! * [`portfolio`] — engine racing, batch scheduling across a worker pool,
-//!   and the canonical-spec result cache.
+//!   and the canonical-spec result cache,
+//! * [`audit`] — invariant auditors for BDD managers, CNF/QBF formulas and
+//!   circuits (run automatically in debug builds and via `qsyn audit`).
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 //!
@@ -36,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub use qsyn_audit as audit;
 pub use qsyn_bdd as bdd;
 pub use qsyn_core as synth;
 pub use qsyn_portfolio as portfolio;

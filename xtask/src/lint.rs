@@ -1,0 +1,584 @@
+//! Repo-specific lint pass.
+//!
+//! Clippy covers general Rust hygiene; these rules encode *workspace
+//! policy* that no off-the-shelf lint expresses:
+//!
+//! * **no-unwrap** — bare `.unwrap()` is banned in non-test library code.
+//!   Synthesis runs for minutes; an `unwrap` turns a recoverable condition
+//!   into a lost run. Use `?`, a typed error, or `.expect("reason")` where
+//!   the invariant is real (and then the expect budget below applies).
+//! * **no-expect** — `.expect(` is rationed by a per-file *ratchet
+//!   baseline* (`xtask/lint-baseline.txt`): existing uses are grandfathered,
+//!   new ones fail the build. Regenerate with `--update-baseline` after
+//!   removing uses to ratchet the budget down.
+//! * **relaxed-ordering** — `Ordering::Relaxed` is allowed only in the
+//!   allowlisted statistics counters of `crates/portfolio/src/cache.rs`;
+//!   everywhere else Acquire/Release/SeqCst must be chosen deliberately.
+//! * **no-process-exit** — `process::exit` skips destructors (worker-pool
+//!   joins, cache flushes) and is allowed only in `bin/` targets and
+//!   xtask itself.
+//!
+//! A finding on a line ending with `// lint: allow(<rule>)` is waived.
+//! Test code is exempt: `#[cfg(test)]` regions (tracked by brace
+//! matching), `*_tests.rs` / `tests.rs` files (included only under
+//! `#[cfg(test)]` by convention here), and anything under `tests/`.
+//! The scanner masks comments and string literals before matching, so
+//! prose mentioning `.unwrap()` does not count.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const BASELINE_FILE: &str = "xtask/lint-baseline.txt";
+
+/// Files in which `Ordering::Relaxed` is permitted (pure statistics
+/// counters where staleness is harmless).
+const RELAXED_ALLOWLIST: &[&str] = &["crates/portfolio/src/cache.rs"];
+
+/// Directories scanned for library code, relative to the workspace root.
+const SCAN_ROOTS: &[&str] = &["crates", "src"];
+
+/// Runs the lint pass over `root`; with `update_baseline`, rewrites the
+/// expect baseline to the current counts instead of checking against it.
+pub fn run(root: &Path, update_baseline: bool) -> ExitCode {
+    let mut files = Vec::new();
+    for scan in SCAN_ROOTS {
+        collect_rs_files(&root.join(scan), &mut files);
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut expect_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("lint: cannot read {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let expects = scan_file(&rel, &source, &mut findings);
+        if expects > 0 {
+            expect_counts.insert(rel, expects);
+        }
+    }
+
+    if update_baseline {
+        let mut out = String::from(
+            "# Per-file budget of `.expect(` calls in non-test library code.\n\
+             # Regenerate with: cargo xtask lint --update-baseline\n",
+        );
+        for (file, count) in &expect_counts {
+            let _ = writeln!(out, "{count} {file}");
+        }
+        if let Err(e) = std::fs::write(root.join(BASELINE_FILE), out) {
+            eprintln!("lint: cannot write {BASELINE_FILE}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "lint: baseline updated ({} files, {} expects)",
+            expect_counts.len(),
+            expect_counts.values().sum::<usize>()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match load_baseline(&root.join(BASELINE_FILE)) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("lint: cannot read {BASELINE_FILE}: {e} (run with --update-baseline)");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failed = false;
+    for (file, &count) in &expect_counts {
+        let budget = baseline.get(file).copied().unwrap_or(0);
+        if count > budget {
+            eprintln!(
+                "lint[no-expect]: {file} has {count} .expect() calls, budget is {budget} — \
+                 use typed errors, or ratchet with --update-baseline if each is justified"
+            );
+            failed = true;
+        } else if count < budget {
+            println!(
+                "lint: {file} is under its expect budget ({count} < {budget}); \
+                 run --update-baseline to ratchet down"
+            );
+        }
+    }
+    for stale in baseline.keys().filter(|f| !expect_counts.contains_key(*f)) {
+        println!("lint: baseline entry for {stale} is stale; run --update-baseline");
+    }
+
+    for f in &findings {
+        eprintln!("{f}");
+        failed = true;
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "lint: {} files clean ({} grandfathered expects)",
+            files.len(),
+            expect_counts.values().sum::<usize>()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn load_baseline(path: &Path) -> Result<BTreeMap<String, usize>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (count, file) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("malformed baseline line: {line}"))?;
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("malformed baseline count: {line}"))?;
+        map.insert(file.to_string(), count);
+    }
+    Ok(map)
+}
+
+/// One rule violation, formatted `lint[rule]: file:line: message`.
+struct Finding {
+    rule: &'static str,
+    file: String,
+    line: usize,
+    message: &'static str,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lint[{}]: {}:{}: {}",
+            self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+/// `true` for files that hold test code by repo convention: `tests.rs`,
+/// `*_tests.rs` (included under `#[cfg(test)] mod`), and `tests/` trees.
+fn is_test_file(rel: &str) -> bool {
+    let name = rel.rsplit('/').next().unwrap_or(rel);
+    name == "tests.rs" || name.ends_with("_tests.rs") || rel.contains("/tests/")
+}
+
+/// `true` for binary-target files (`src/bin/...`), where process exits and
+/// terminal unwraps on startup errors are accepted.
+fn is_bin_file(rel: &str) -> bool {
+    rel.contains("/bin/")
+}
+
+/// Scans one file, pushing findings; returns the number of counted
+/// (non-test, non-waived) `.expect(` uses for the ratchet baseline.
+fn scan_file(rel: &str, source: &str, out: &mut Vec<Finding>) -> usize {
+    if is_test_file(rel) || is_bin_file(rel) {
+        return 0;
+    }
+    let masked = mask_comments_and_strings(source);
+    let test_lines = cfg_test_lines(&masked);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut expects = 0;
+
+    for (i, line) in masked.lines().enumerate() {
+        if test_lines.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let raw = raw_lines.get(i).copied().unwrap_or("");
+        let waived = |rule: &str| raw.contains(&format!("lint: allow({rule})"));
+        let lineno = i + 1;
+
+        if line.contains(".unwrap()") && !waived("no-unwrap") {
+            out.push(Finding {
+                rule: "no-unwrap",
+                file: rel.to_string(),
+                line: lineno,
+                message: "bare .unwrap() in library code — use ?, a typed error, or .expect()",
+            });
+        }
+        if !waived("no-expect") {
+            expects += line.matches(".expect(").count();
+        }
+        if line.contains("Ordering::Relaxed")
+            && !RELAXED_ALLOWLIST.contains(&rel)
+            && !waived("relaxed-ordering")
+        {
+            out.push(Finding {
+                rule: "relaxed-ordering",
+                file: rel.to_string(),
+                line: lineno,
+                message: "Ordering::Relaxed outside the allowlist — justify Acquire/Release/SeqCst",
+            });
+        }
+        if line.contains("process::exit") && !waived("no-process-exit") {
+            out.push(Finding {
+                rule: "no-process-exit",
+                file: rel.to_string(),
+                line: lineno,
+                message: "process::exit skips destructors — return ExitCode from main instead",
+            });
+        }
+    }
+    expects
+}
+
+/// Replaces the contents of comments, string literals and char literals
+/// with spaces, preserving line structure so line numbers survive.
+fn mask_comments_and_strings(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+
+    // Emits `b` or a space for non-newline bytes inside masked regions.
+    fn push_masked(out: &mut Vec<u8>, b: u8) {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    push_masked(&mut out, bytes[i]);
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        push_masked(&mut out, bytes[i]);
+                        push_masked(&mut out, bytes[i + 1]);
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        push_masked(&mut out, bytes[i]);
+                        push_masked(&mut out, bytes[i + 1]);
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        push_masked(&mut out, bytes[i]);
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if matches!(bytes.get(i + 1), Some(b'"' | b'#')) => {
+                // Raw string r"..." / r#"..."#.
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    out.push(b'r');
+                    out.extend(std::iter::repeat_n(b'#', hashes));
+                    out.push(b'"');
+                    i = j + 1;
+                    'raw: while i < bytes.len() {
+                        if bytes[i] == b'"' {
+                            let close = (1..=hashes).all(|k| bytes.get(i + k) == Some(&b'#'));
+                            if close {
+                                out.push(b'"');
+                                out.extend(std::iter::repeat_n(b'#', hashes));
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        push_masked(&mut out, bytes[i]);
+                        i += 1;
+                    }
+                } else {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            b'"' => {
+                out.push(b'"');
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                        push_masked(&mut out, bytes[i]);
+                        push_masked(&mut out, bytes[i + 1]);
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        out.push(b'"');
+                        i += 1;
+                        break;
+                    } else {
+                        push_masked(&mut out, bytes[i]);
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. A char literal closes with a
+                // quote one or two (escaped) positions later; a lifetime
+                // has no closing quote.
+                let close = if bytes.get(i + 1) == Some(&b'\\') {
+                    // '\n', '\'', '\\', '\x7f', '\u{...}'
+                    (i + 2..bytes.len().min(i + 12)).find(|&k| bytes[k] == b'\'')
+                } else if bytes.get(i + 2) == Some(&b'\'') {
+                    Some(i + 2)
+                } else {
+                    None
+                };
+                if let Some(end) = close {
+                    out.push(b'\'');
+                    for &c in &bytes[i + 1..end] {
+                        push_masked(&mut out, c);
+                    }
+                    out.push(b'\'');
+                    i = end + 1;
+                } else {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Per-line flags marking `#[cfg(test)]` items (attribute through matching
+/// closing brace), computed on masked source.
+fn cfg_test_lines(masked: &str) -> Vec<bool> {
+    let lines: Vec<&str> = masked.lines().collect();
+    let mut flags = vec![false; lines.len()];
+    let bytes = masked.as_bytes();
+
+    // Byte offset -> line index.
+    let mut line_of = Vec::with_capacity(bytes.len() + 1);
+    let mut ln = 0usize;
+    for &b in bytes {
+        line_of.push(ln);
+        if b == b'\n' {
+            ln += 1;
+        }
+    }
+    line_of.push(ln);
+
+    let needle = b"#[cfg(test)]";
+    let mut i = 0;
+    while i + needle.len() <= bytes.len() {
+        if &bytes[i..i + needle.len()] != needle {
+            i += 1;
+            continue;
+        }
+        let start_line = line_of[i];
+        // Find the item's opening brace, then its match. A `;` before any
+        // `{` means the item is brace-less (e.g. `mod prop_tests;`): the
+        // attribute applies to an out-of-line module whose *file* is
+        // handled by `is_test_file`.
+        let mut j = i + needle.len();
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                _ => j += 1,
+            }
+        }
+        let end = match open {
+            Some(open_at) => {
+                let mut depth = 0usize;
+                let mut k = open_at;
+                loop {
+                    if k >= bytes.len() {
+                        break k;
+                    }
+                    match bytes[k] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break k;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            None => j,
+        };
+        let end_line = line_of[end.min(line_of.len() - 1)];
+        for f in flags.iter_mut().take(end_line + 1).skip(start_line) {
+            *f = true;
+        }
+        i = end + 1;
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_blanks_comments_and_strings() {
+        let src = "let a = \"x.unwrap()\"; // call .unwrap() here\nlet b = 1;\n";
+        let masked = mask_comments_and_strings(src);
+        assert!(!masked.contains(".unwrap()"));
+        assert!(masked.contains("let a = \""));
+        assert!(masked.contains("let b = 1;"));
+        assert_eq!(masked.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn masking_handles_raw_strings_and_chars() {
+        let src = "let s = r#\"a \" .unwrap() \"#; let c = '\\''; let l: &'static str = \"\";";
+        let masked = mask_comments_and_strings(src);
+        assert!(!masked.contains(".unwrap()"));
+        assert!(masked.contains("let l: &'static str"));
+    }
+
+    #[test]
+    fn masking_handles_nested_block_comments() {
+        let src = "/* outer /* inner .unwrap() */ still comment */ let x = 1;";
+        let masked = mask_comments_and_strings(src);
+        assert!(!masked.contains(".unwrap()"));
+        assert!(masked.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_tracked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let masked = mask_comments_and_strings(src);
+        let flags = cfg_test_lines(&masked);
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn unwrap_in_test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let mut findings = Vec::new();
+        scan_file("crates/foo/src/lib.rs", src, &mut findings);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_library_code_is_flagged() {
+        let src = "fn f() { x.unwrap(); }\n";
+        let mut findings = Vec::new();
+        scan_file("crates/foo/src/lib.rs", src, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "no-unwrap");
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn expect_is_counted_not_flagged() {
+        let src = "fn f() { x.expect(\"reason\"); y.expect(\"other\"); }\n";
+        let mut findings = Vec::new();
+        let expects = scan_file("crates/foo/src/lib.rs", src, &mut findings);
+        assert!(findings.is_empty());
+        assert_eq!(expects, 2);
+    }
+
+    #[test]
+    fn relaxed_ordering_respects_allowlist() {
+        let src = "fn f() { c.load(Ordering::Relaxed); }\n";
+        let mut findings = Vec::new();
+        scan_file("crates/portfolio/src/cache.rs", src, &mut findings);
+        assert!(findings.is_empty(), "allowlisted file");
+        scan_file("crates/bdd/src/manager.rs", src, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "relaxed-ordering");
+    }
+
+    #[test]
+    fn process_exit_allowed_in_bin_only() {
+        let src = "fn f() { std::process::exit(1); }\n";
+        let mut findings = Vec::new();
+        scan_file("crates/bench/src/bin/probe.rs", src, &mut findings);
+        assert!(findings.is_empty(), "bin target");
+        scan_file("crates/bench/src/lib.rs", src, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "no-process-exit");
+    }
+
+    #[test]
+    fn inline_waiver_suppresses_a_finding() {
+        let src = "fn f() { x.unwrap(); } // lint: allow(no-unwrap)\n";
+        let mut findings = Vec::new();
+        scan_file("crates/foo/src/lib.rs", src, &mut findings);
+        assert!(findings.is_empty());
+        // The waiver is rule-specific.
+        let src2 = "fn f() { x.unwrap(); } // lint: allow(no-expect)\n";
+        scan_file("crates/foo/src/lib.rs", src2, &mut findings);
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn test_files_are_exempt_wholesale() {
+        let src = "fn helper() { x.unwrap(); }\n";
+        let mut findings = Vec::new();
+        assert_eq!(
+            scan_file("crates/bdd/src/oracle_tests.rs", src, &mut findings),
+            0
+        );
+        assert_eq!(scan_file("crates/foo/src/tests.rs", src, &mut findings), 0);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn doc_comment_mentions_do_not_count() {
+        let src = "/// Call `.unwrap()` and `process::exit` with care.\nfn f() {}\n";
+        let mut findings = Vec::new();
+        scan_file("crates/foo/src/lib.rs", src, &mut findings);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let dir = std::env::temp_dir().join("qsyn-lint-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("baseline.txt");
+        std::fs::write(&path, "# comment\n3 crates/a/src/lib.rs\n1 src/cli.rs\n")
+            .expect("write baseline");
+        let map = load_baseline(&path).expect("parse");
+        assert_eq!(map.get("crates/a/src/lib.rs"), Some(&3));
+        assert_eq!(map.get("src/cli.rs"), Some(&1));
+        assert_eq!(map.len(), 2);
+    }
+}

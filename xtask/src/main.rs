@@ -1,0 +1,46 @@
+//! Workspace automation (`cargo xtask <task>`).
+//!
+//! The only task so far is `lint`: a dependency-free source scanner that
+//! enforces repo-specific rules `clippy` has no lints for (see
+//! `DESIGN.md` §8). Run as:
+//!
+//! ```text
+//! cargo xtask lint                    # check
+//! cargo xtask lint --update-baseline  # regenerate the expect baseline
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+mod lint;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let update = args.iter().any(|a| a == "--update-baseline");
+            if let Some(bad) = args[1..].iter().find(|a| *a != "--update-baseline") {
+                eprintln!("unknown lint option: {bad}");
+                return ExitCode::from(2);
+            }
+            lint::run(&workspace_root(), update)
+        }
+        Some(other) => {
+            eprintln!("unknown task: {other}\n\nusage: cargo xtask lint [--update-baseline]");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint [--update-baseline]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: xtask lives directly under it.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .expect("xtask sits inside the workspace")
+        .to_path_buf()
+}
