@@ -11,17 +11,21 @@
 //! 3. **Unique table agreement** — the `(var, lo, hi) → node` table and
 //!    the node arena describe the same set of nodes, with no duplicate
 //!    triples (hash consing is what makes equality checks O(1)).
-//! 4. **Cache soundness** — every memoized operation result actually
+//! 4. **Free-list integrity** — slots on the free list are genuinely dead:
+//!    none is a terminal, none is listed twice, none still holds a live
+//!    node, and no live node points into a freed slot. A violation here
+//!    means a future allocation would overwrite a reachable function.
+//! 5. **Cache soundness** — every memoized operation result actually
 //!    equals the operation recomputed from scratch.
 //!
-//! Checks 1–3 are exact and cheap (one pass over the arena). Check 4 is
+//! Checks 1–4 are exact and cheap (one pass over the arena). Check 5 is
 //! semantic: this module carries its *own* BDD evaluator (a plain
 //! node-table walk, sharing no code with `qsyn-bdd`'s apply algorithm) and
 //! compares a sample of cache entries against brute-force recomputation —
 //! exhaustively over all `2^n` assignments when the manager is small,
 //! otherwise over a deterministic pseudo-random sample.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use qsyn_bdd::{Bdd, CacheSample, CachedOp, Manager, NodeEntry};
 
@@ -43,7 +47,7 @@ pub const SAMPLED_ENVS: usize = 256;
 /// witness is not a mismatch).
 const QUANT_BLOCK_LIMIT: usize = 8;
 
-/// Audits `m` against invariants 1–4 above.
+/// Audits `m` against invariants 1–5 above.
 ///
 /// # Errors
 ///
@@ -51,8 +55,55 @@ const QUANT_BLOCK_LIMIT: usize = 8;
 pub fn audit_manager(m: &Manager) -> Result<(), AuditError> {
     let mut violations = Vec::new();
     let entries: Vec<NodeEntry> = m.node_entries().collect();
-    let node_count = m.node_count();
-    let in_range = |f: Bdd| f.index() < node_count;
+    // With the free list, live handles can index past the *live* count, so
+    // range checks go against the allocated arena extent instead.
+    let allocated = m.stats().allocated;
+    let in_range = |f: Bdd| f.index() < allocated;
+
+    let free = m.free_slot_ids();
+    let live_ids: HashSet<Bdd> = entries.iter().map(|e| e.id).collect();
+    let mut seen_free: HashSet<Bdd> = HashSet::new();
+    for &slot in &free {
+        if slot.is_terminal() {
+            violations.push(Violation::new(
+                "bdd.free-terminal",
+                format!("terminal {slot:?} is on the free list"),
+            ));
+            continue;
+        }
+        if !in_range(slot) {
+            violations.push(Violation::new(
+                "bdd.free-range",
+                format!("free slot {slot:?} lies outside the {allocated}-slot arena"),
+            ));
+            continue;
+        }
+        if !seen_free.insert(slot) {
+            violations.push(Violation::new(
+                "bdd.free-duplicate",
+                format!("slot {slot:?} appears twice on the free list"),
+            ));
+            continue;
+        }
+        if live_ids.contains(&slot) || !m.slot_is_free(slot) {
+            violations.push(Violation::new(
+                "bdd.free-live",
+                format!("slot {slot:?} is on the free list but still holds a live node"),
+            ));
+        }
+    }
+    // Conservation: every allocated slot is a terminal, a live node, or a
+    // free slot — nothing is double-counted and nothing leaks.
+    if allocated != entries.len() + 2 + free.len() {
+        violations.push(Violation::new(
+            "bdd.free-count",
+            format!(
+                "{allocated} allocated slots but {} live + 2 terminals + {} free",
+                entries.len(),
+                free.len()
+            ),
+        ));
+    }
 
     let mut triples: HashMap<(u32, Bdd, Bdd), Bdd> = HashMap::new();
     for e in &entries {
@@ -85,6 +136,13 @@ pub fn audit_manager(m: &Manager) -> Result<(), AuditError> {
             ));
         }
         for child in [e.lo, e.hi] {
+            if m.slot_is_free(child) {
+                violations.push(Violation::new(
+                    "bdd.child-free",
+                    format!("live node {:?} points at freed slot {child:?}", e.id),
+                ));
+                continue;
+            }
             if m.raw_level(child) <= e.var {
                 violations.push(Violation::new(
                     "bdd.ordering",
@@ -164,7 +222,11 @@ impl Evaluator {
 }
 
 fn check_sample(m: &Manager, eval: &Evaluator, sample: &CacheSample, out: &mut Vec<Violation>) {
-    if let CachedOp::Exists { vars, .. } | CachedOp::Forall { vars, .. } = &sample.op {
+    if let CachedOp::Exists { vars, .. }
+    | CachedOp::Forall { vars, .. }
+    | CachedOp::AndExists { vars, .. }
+    | CachedOp::AndForall { vars, .. } = &sample.op
+    {
         if vars.len() > QUANT_BLOCK_LIMIT {
             return; // see QUANT_BLOCK_LIMIT: sampling the block is unsound
         }
@@ -195,6 +257,8 @@ fn check_sample(m: &Manager, eval: &Evaluator, sample: &CacheSample, out: &mut V
                 env2[*var as usize] = *value;
                 eval.eval(*f, &env2)
             }
+            CachedOp::AndExists { f, g, vars } => and_quantify(eval, *f, *g, vars, &env, false),
+            CachedOp::AndForall { f, g, vars } => and_quantify(eval, *f, *g, vars, &env, true),
         };
         let actual = eval.eval(sample.result, &env);
         let (Some(expected), Some(actual)) = (expected, actual) else {
@@ -226,6 +290,33 @@ fn quantify(eval: &Evaluator, f: Bdd, vars: &[u32], env: &[bool], forall: bool) 
         }
         let value = eval.eval(f, &env2)?;
         if value != forall {
+            // ∃ found a witness / ∀ found a counterexample.
+            return Some(!forall);
+        }
+    }
+    Some(forall)
+}
+
+/// Fused `∃/∀ vars . (f ∧ g)` under `env`, by enumerating the quantified
+/// block — the oracle for the manager's `and_exists`/`and_forall` entries.
+fn and_quantify(
+    eval: &Evaluator,
+    f: Bdd,
+    g: Bdd,
+    vars: &[u32],
+    env: &[bool],
+    forall: bool,
+) -> Option<bool> {
+    let mut env2 = env.to_vec();
+    for combo in 0u32..(1 << vars.len()) {
+        for (i, &v) in vars.iter().enumerate() {
+            env2[v as usize] = combo >> i & 1 == 1;
+        }
+        // Evaluate both conjuncts (no short-circuit) so a dangling handle
+        // in either operand is reported rather than masked.
+        let fv = eval.eval(f, &env2)?;
+        let gv = eval.eval(g, &env2)?;
+        if (fv && gv) != forall {
             // ∃ found a witness / ∀ found a counterexample.
             return Some(!forall);
         }
@@ -322,6 +413,44 @@ mod tests {
         m.corrupt_node_for_audit(v, 7, lo, hi);
         let err = audit_manager(&m).expect_err("out-of-range var must be rejected");
         assert!(err.violations.iter().any(|v| v.check == "bdd.var-range"));
+    }
+
+    #[test]
+    fn collected_manager_audits_green() {
+        let mut m = busy_manager();
+        let a = m.var(0);
+        let b = m.var(1);
+        let keep = m.xor(a, b);
+        let freed = m.collect_garbage(&[keep]);
+        assert!(freed > 0, "the busy manager has garbage to free");
+        audit_manager(&m).expect("a swept manager must still audit green");
+        // Slot reuse after the sweep must not disturb the invariants either.
+        let c = m.var(2);
+        let _ = m.and(keep, c);
+        audit_manager(&m).expect("reused slots must audit green");
+    }
+
+    #[test]
+    fn free_list_aliasing_a_live_node_is_caught() {
+        let mut m = busy_manager();
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        m.corrupt_free_list_for_audit(ab);
+        let err = audit_manager(&m).expect_err("aliased free slot must be rejected");
+        assert!(err.violations.iter().any(|v| v.check == "bdd.free-live"));
+        assert!(err.violations.iter().any(|v| v.check == "bdd.free-count"));
+    }
+
+    #[test]
+    fn fused_cache_entries_are_revalidated() {
+        let mut m = Manager::new(6);
+        let vars: Vec<Bdd> = (0..6).map(|v| m.var(v)).collect();
+        let f = m.or(vars[0], vars[2]);
+        let g = m.or(vars[1], vars[2]);
+        let _ = m.and_forall(f, g, &[2, 4]);
+        let _ = m.and_exists(f, g, &[2]);
+        audit_manager(&m).expect("fused cache entries must revalidate");
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //! from the outside:
 //!
 //! * [`bdd_audit`] — ROBDD manager consistency: unique-table agreement,
-//!   strict variable ordering, no redundant or duplicate nodes, and
-//!   semantic re-validation of a sample of memoized operation results.
+//!   strict variable ordering, no redundant or duplicate nodes, free-list
+//!   integrity after garbage collection, and semantic re-validation of a
+//!   sample of memoized operation results (including the fused
+//!   quantified-AND kernels).
 //! * [`formula_audit`] — CNF and prenex-QBF well-formedness: literal
 //!   bounds, duplicate/tautological clauses, quantifier-prefix integrity
 //!   and (optionally) closure.
@@ -94,6 +96,31 @@ pub fn self_test() -> Result<SelfTestReport, String> {
         return Err("redundant BDD node accepted".to_string());
     }
     report.rejected += 1;
+
+    // A garbage-collected manager (with a populated free list and fused
+    // cache entries) must still audit green...
+    let mut m3 = qsyn_bdd::Manager::new(4);
+    let a = m3.var(0);
+    let b = m3.var(1);
+    let c = m3.var(2);
+    let junk = m3.and(a, c);
+    let keep = m3.or(a, b);
+    let _ = (junk, m3.and_forall(keep, c, &[2]));
+    let freed = m3.collect_garbage(&[keep]);
+    if freed == 0 {
+        return Err("GC self-test produced no garbage to free".to_string());
+    }
+    bdd_audit::audit_manager(&m3).map_err(|e| format!("swept BDD manager rejected: {e}"))?;
+    report.accepted += 1;
+
+    // ...but a free list aliasing a live slot (the node would be silently
+    // overwritten by the next allocation) must be rejected.
+    m3.corrupt_free_list_for_audit(keep);
+    match bdd_audit::audit_manager(&m3) {
+        Err(e) if e.family == AuditFamily::Bdd => report.rejected += 1,
+        Err(e) => return Err(format!("free-list corruption misattributed: {e}")),
+        Ok(_) => return Err("aliased free-list slot accepted".to_string()),
+    }
 
     // ---- Formula family -----------------------------------------------
     let mut cnf = qsyn_sat::CnfFormula::new(3);

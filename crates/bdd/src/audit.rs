@@ -2,16 +2,20 @@
 //! invariant auditing.
 //!
 //! The `qsyn-audit` crate re-validates the manager's structural invariants
-//! (canonicity, variable ordering, unique-table consistency) and a sample
-//! of the operation cache *independently* of this crate's own code. The
-//! methods here expose just enough raw structure to make that possible
-//! without giving callers a way to violate the invariants themselves —
-//! with one deliberate exception, [`Manager::corrupt_node_for_audit`],
-//! which exists so the auditors' own rejection paths can be tested.
+//! (canonicity, variable ordering, unique-table consistency, free-list
+//! integrity) and a sample of the computed table *independently* of this
+//! crate's own code. The methods here expose just enough raw structure to
+//! make that possible without giving callers a way to violate the
+//! invariants themselves — with two deliberate exceptions,
+//! [`Manager::corrupt_node_for_audit`] and
+//! [`Manager::corrupt_free_list_for_audit`], which exist so the auditors'
+//! own rejection paths can be tested.
 
-use crate::manager::{Bdd, Manager, OpTag, TERMINAL_LEVEL};
+use crate::manager::{Bdd, Manager, OpTag, FREE_LEVEL, TERMINAL_LEVEL};
 
-/// One non-terminal node of the manager's node table, as raw indices.
+/// One non-terminal **live** node of the manager's node table, as raw
+/// indices. Slots on the free list are not reported here; they appear in
+/// [`Manager::free_slot_ids`] instead.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NodeEntry {
     /// Handle of the node itself.
@@ -74,6 +78,24 @@ pub enum CachedOp {
         /// Value the variable is pinned to.
         value: bool,
     },
+    /// Fused `∃ vars (f ∧ g)`.
+    AndExists {
+        /// Left conjunct.
+        f: Bdd,
+        /// Right conjunct.
+        g: Bdd,
+        /// Quantified variables (ascending).
+        vars: Vec<u32>,
+    },
+    /// Fused `∀ vars (f ∧ g)`.
+    AndForall {
+        /// Left conjunct.
+        f: Bdd,
+        /// Right conjunct.
+        g: Bdd,
+        /// Quantified variables (ascending).
+        vars: Vec<u32>,
+    },
 }
 
 /// A cache entry: the operation and the memoized result.
@@ -86,18 +108,35 @@ pub struct CacheSample {
 }
 
 impl Manager {
-    /// Iterates over every non-terminal node in allocation order.
+    /// Iterates over every live non-terminal node in slot order. Free-list
+    /// slots are skipped — they hold no function.
     pub fn node_entries(&self) -> impl Iterator<Item = NodeEntry> + '_ {
         self.nodes
             .iter()
             .enumerate()
             .skip(2) // the two terminals
+            .filter(|(_, n)| n.var != FREE_LEVEL)
             .map(|(i, n)| NodeEntry {
                 id: Bdd(i as u32),
                 var: n.var,
                 lo: n.lo,
                 hi: n.hi,
             })
+    }
+
+    /// The raw free list: slots available for reuse, in pop order. For a
+    /// consistent manager these are exactly the swept slots — the auditors
+    /// check them for duplicates, range violations, terminals, and overlap
+    /// with the live nodes of [`Manager::node_entries`].
+    pub fn free_slot_ids(&self) -> Vec<Bdd> {
+        self.free.iter().map(|&s| Bdd(s)).collect()
+    }
+
+    /// `true` if the slot behind `f` carries the free-list sentinel.
+    /// Paired with [`Manager::free_slot_ids`]: a consistent manager has
+    /// `slot_is_free(s)` for exactly the listed slots.
+    pub fn slot_is_free(&self, f: Bdd) -> bool {
+        f.index() < self.nodes.len() && self.is_free(f)
     }
 
     /// Level of the root of `f` as a raw index, with terminals reported as
@@ -108,9 +147,9 @@ impl Manager {
 
     /// Looks up `(var, lo, hi)` in the unique table.
     ///
-    /// For a consistent manager this returns `Some(id)` exactly when a node
-    /// `id` with those fields exists; the auditors cross-check this against
-    /// the node table itself.
+    /// For a consistent manager this returns `Some(id)` exactly when a live
+    /// node `id` with those fields exists; the auditors cross-check this
+    /// against the node table itself.
     pub fn unique_entry(&self, var: u32, lo: Bdd, hi: Bdd) -> Option<Bdd> {
         self.unique_lookup(var, lo, hi)
     }
@@ -119,12 +158,13 @@ impl Manager {
         self.unique_get(&(var, lo, hi))
     }
 
-    /// Up to `limit` operation-cache entries, in unspecified order,
+    /// Up to `limit` computed-table entries, in unspecified order,
     /// re-expressed as [`CacheSample`]s an external checker can recompute.
     pub fn cache_samples(&self, limit: usize) -> Vec<CacheSample> {
-        self.op_cache_iter()
+        self.computed
+            .iter()
             .take(limit)
-            .map(|(&(tag, a, b, c), &result)| {
+            .map(|((tag, a, b, c), result)| {
                 let op = match tag {
                     OpTag::Ite => CachedOp::Ite { f: a, g: b, h: c },
                     OpTag::Not => CachedOp::Not { f: a },
@@ -141,6 +181,16 @@ impl Manager {
                         f: a,
                         var: b.0,
                         value: c.is_one(),
+                    },
+                    OpTag::AndExists(id) => CachedOp::AndExists {
+                        f: a,
+                        g: b,
+                        vars: self.varset(id)[c.0 as usize..].to_vec(),
+                    },
+                    OpTag::AndForall(id) => CachedOp::AndForall {
+                        f: a,
+                        g: b,
+                        vars: self.varset(id)[c.0 as usize..].to_vec(),
                     },
                 };
                 CacheSample { op, result }
@@ -163,6 +213,17 @@ impl Manager {
         slot.lo = lo;
         slot.hi = hi;
     }
+
+    /// **Test-only corruption hook**: pushes the slot of a *live* node onto
+    /// the free list without sweeping it, so the slot appears both live and
+    /// free — exactly the inconsistency the free-list auditor must reject
+    /// (a later construction would overwrite a node that is still
+    /// reachable). Panics if `id` is a terminal.
+    #[doc(hidden)]
+    pub fn corrupt_free_list_for_audit(&mut self, id: Bdd) {
+        assert!(!id.is_terminal(), "cannot free a terminal");
+        self.free.push(id.0);
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +245,25 @@ mod tests {
     }
 
     #[test]
+    fn node_entries_skip_free_slots() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let junk = m.and(a, b);
+        let _ = junk;
+        let freed = m.collect_garbage(&[a, b]);
+        assert!(freed > 0);
+        let entries: Vec<NodeEntry> = m.node_entries().collect();
+        assert_eq!(entries.len(), m.node_count() - 2);
+        let free = m.free_slot_ids();
+        assert_eq!(free.len(), freed);
+        for f in &free {
+            assert!(m.slot_is_free(*f));
+            assert!(entries.iter().all(|e| e.id != *f));
+        }
+    }
+
+    #[test]
     fn cache_samples_report_real_operations() {
         let mut m = Manager::new(3);
         let a = m.var(0);
@@ -198,11 +278,42 @@ mod tests {
     }
 
     #[test]
+    fn cache_samples_cover_fused_ops() {
+        let mut m = Manager::new(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let f = m.or(a, c);
+        let g = m.or(b, c);
+        let _ = m.and_forall(f, g, &[2]);
+        let _ = m.and_exists(f, g, &[2]);
+        let samples = m.cache_samples(usize::MAX);
+        assert!(samples
+            .iter()
+            .any(|s| matches!(&s.op, CachedOp::AndForall { vars, .. } if vars == &[2])));
+        assert!(samples
+            .iter()
+            .any(|s| matches!(&s.op, CachedOp::AndExists { vars, .. } if vars == &[2])));
+    }
+
+    #[test]
     fn corruption_hook_overwrites_in_place() {
         let mut m = Manager::new(2);
         let v = m.var(1);
         m.corrupt_node_for_audit(v, 1, Bdd::ONE, Bdd::ONE);
         let e = m.node_entries().find(|e| e.id == v).unwrap();
         assert_eq!((e.lo, e.hi), (Bdd::ONE, Bdd::ONE));
+    }
+
+    #[test]
+    fn free_list_corruption_hook_aliases_live_slot() {
+        let mut m = Manager::new(2);
+        let v = m.var(1);
+        m.corrupt_free_list_for_audit(v);
+        // The slot now shows up both live and free — the inconsistency the
+        // external auditor looks for.
+        assert!(m.free_slot_ids().contains(&v));
+        assert!(m.node_entries().any(|e| e.id == v));
+        assert!(!m.slot_is_free(v));
     }
 }

@@ -34,18 +34,24 @@
 //! assert!(!m.eval(g, &[false, true, true]));
 //! ```
 //!
-//! The manager is an *arena*: nodes are never freed individually. This is a
-//! deliberate simplification over CUDD's reference-counting garbage
-//! collection — in the synthesis workload a run's peak live size is close to
-//! its total size, and dropping the whole manager between runs reclaims
-//! everything at once. [`Manager::clear_caches`] can be used to bound the
-//! memoization tables on long runs.
+//! The manager is an *arena* with **mark-and-sweep garbage collection**:
+//! nodes live until a [`Manager::collect_garbage`] call proves them
+//! unreachable from an explicit root set, after which their slots are
+//! reused via a free list (see `gc.rs` for the root protocol). Operation
+//! results are memoized in a fixed-size, direct-mapped **lossy computed
+//! table** (CUDD's design): colliding entries overwrite each other, so the
+//! cache is bounded by construction and never needs trimming. The fused
+//! [`Manager::and_forall`] / [`Manager::and_exists`] kernels (the duals of
+//! CUDD's `bddAndAbstract`) quantify a conjunction without ever
+//! materializing it — the synthesis hot path.
 
 #![warn(missing_docs)]
 
 mod analysis;
 pub mod audit;
+mod cache;
 mod dot;
+mod gc;
 mod hash;
 mod manager;
 mod ops;

@@ -1,5 +1,6 @@
 //! The BDD manager: hash-consed node storage with a fixed variable order.
 
+use crate::cache::ComputedTable;
 use crate::hash::FibHashMap;
 
 /// Handle to a BDD node inside a [`Manager`].
@@ -7,6 +8,12 @@ use crate::hash::FibHashMap;
 /// Handles are plain indices; they are only meaningful together with the
 /// manager that created them. Mixing handles across managers is a logic
 /// error (it is memory-safe but yields nonsense results or panics).
+///
+/// A handle is only valid while its node is **live**: after a
+/// [`Manager::collect_garbage`] call, handles that were not reachable from
+/// the supplied roots dangle (their slots may be reused by later
+/// constructions). Keep every handle you intend to use past a collection in
+/// the root set.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Bdd(pub(crate) u32);
 
@@ -56,17 +63,23 @@ impl std::fmt::Debug for Bdd {
 /// Variable level used for terminals: compares greater than any real level.
 pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
 
+/// Variable level marking a slot on the free list. Distinct from
+/// [`TERMINAL_LEVEL`] so the audit layer can tell "freed" from "terminal",
+/// and still above every declared variable (`Manager::new` caps
+/// `num_vars` well below both sentinels).
+pub(crate) const FREE_LEVEL: u32 = u32::MAX - 1;
+
 #[derive(Clone, Copy)]
 pub(crate) struct Node {
     /// Variable index (== level in the fixed order). `TERMINAL_LEVEL` for
-    /// the two terminals.
+    /// the two terminals, `FREE_LEVEL` for slots on the free list.
     pub var: u32,
     pub lo: Bdd,
     pub hi: Bdd,
 }
 
-/// Operation tags for the shared operation cache.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+/// Operation tags for the shared computed table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub(crate) enum OpTag {
     Ite,
     Not,
@@ -74,54 +87,104 @@ pub(crate) enum OpTag {
     Forall(u32),
     Compose(u32),
     Restrict,
+    /// Fused `∃ varset (f ∧ g)` — see `Manager::and_exists`.
+    AndExists(u32),
+    /// Fused `∀ varset (f ∧ g)` — see `Manager::and_forall`.
+    AndForall(u32),
 }
 
 /// Snapshot of manager size counters, useful for resource budgeting.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ManagerStats {
-    /// Total nodes allocated (including the two terminals).
+    /// Live nodes (including the two terminals): allocated minus freed.
     pub nodes: usize,
-    /// Entries currently in the operation cache.
+    /// High-water mark of live nodes over the manager's lifetime.
+    pub peak_live: usize,
+    /// Slots of the node arena ever allocated (including freed ones).
+    pub allocated: usize,
+    /// Slots currently on the free list.
+    pub free_slots: usize,
+    /// Completed garbage collections.
+    pub gc_runs: u64,
+    /// Nodes reclaimed by garbage collection, cumulative.
+    pub gc_freed: u64,
+    /// Entries currently in the computed table.
     pub cache_entries: usize,
+    /// Slot capacity of the computed table.
+    pub cache_capacity: usize,
+    /// Computed-table lookups that found a memoized result.
+    pub cache_hits: u64,
+    /// Computed-table lookups that missed.
+    pub cache_misses: u64,
+    /// Computed-table inserts that overwrote a different live entry.
+    pub cache_evictions: u64,
     /// Number of declared variables.
     pub vars: usize,
+}
+
+impl ManagerStats {
+    /// Cache hit rate in `[0, 1]`; `0` before any lookup.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 impl std::fmt::Display for ManagerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} nodes, {} cache entries, {} vars",
-            self.nodes, self.cache_entries, self.vars
+            "{} live nodes (peak {}), {} gc runs freeing {}, \
+             cache {}/{} slots ({:.1}% hit rate, {} evictions), {} vars",
+            self.nodes,
+            self.peak_live,
+            self.gc_runs,
+            self.gc_freed,
+            self.cache_entries,
+            self.cache_capacity,
+            self.cache_hit_rate() * 100.0,
+            self.cache_evictions,
+            self.vars
         )
     }
 }
 
 /// Arena-style BDD manager with a fixed variable order.
 ///
-/// Variable `0` is the topmost level. The manager owns all nodes it ever
-/// creates; nodes are reclaimed only when the manager is dropped (see the
-/// crate-level docs for why this fits the synthesis workload).
+/// Variable `0` is the topmost level. Dead nodes are reclaimed by
+/// [`Manager::collect_garbage`] (mark-and-sweep from an explicit root set;
+/// see `gc.rs`); their slots are reused by later constructions via a free
+/// list. All remaining storage is released when the manager is dropped.
 pub struct Manager {
     pub(crate) nodes: Vec<Node>,
     unique: FibHashMap<(u32, Bdd, Bdd), Bdd>,
-    pub(crate) op_cache: FibHashMap<(OpTag, Bdd, Bdd, Bdd), Bdd>,
+    /// Direct-mapped lossy memoization table for all recursive operations.
+    pub(crate) computed: ComputedTable,
+    /// Slots of `nodes` available for reuse (their `var` is `FREE_LEVEL`).
+    pub(crate) free: Vec<u32>,
     /// Interned variable sets for quantification, keyed by sorted contents.
     varsets: Vec<Vec<u32>>,
     varset_ids: FibHashMap<Vec<u32>, u32>,
     num_vars: u32,
-    /// Hard allocation cap; see [`Manager::set_node_cap`].
+    /// Hard cap on **live** nodes; see [`Manager::set_node_cap`].
     node_cap: usize,
-    /// Memoization cap; see [`Manager::set_cache_cap`].
-    cache_cap: usize,
     overflowed: bool,
+    peak_live: usize,
+    gc_runs: u64,
+    gc_freed: u64,
+    /// Scratch mark bitmap reused across collections (see `gc.rs`).
+    pub(crate) gc_marks: Vec<bool>,
 }
 
 impl std::fmt::Debug for Manager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Manager")
             .field("vars", &self.num_vars)
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.node_count())
             .finish_non_exhaustive()
     }
 }
@@ -149,39 +212,52 @@ impl Manager {
         Manager {
             nodes,
             unique: FibHashMap::default(),
-            op_cache: FibHashMap::default(),
+            computed: ComputedTable::default(),
+            free: Vec::new(),
             varsets: Vec::new(),
             varset_ids: FibHashMap::default(),
             num_vars,
             node_cap: usize::MAX,
-            cache_cap: usize::MAX,
             overflowed: false,
+            peak_live: 2,
+            gc_runs: 0,
+            gc_freed: 0,
+            gc_marks: Vec::new(),
         }
     }
 
-    /// Caps the number of memoized operation results. Beyond the cap,
-    /// results are still computed correctly but no longer cached (time may
-    /// degrade; memory stays bounded). Pair with
-    /// [`Manager::set_node_cap`] to fully bound a manager's footprint.
+    /// Caps the slot count of the computed table (rounded to a power of
+    /// two). The table is **lossy** — beyond its capacity colliding results
+    /// overwrite older ones — so any cap trades recomputation time for
+    /// memory, never correctness.
     pub fn set_cache_cap(&mut self, cap: usize) {
-        self.cache_cap = cap;
+        self.computed.set_max_slots(cap);
     }
 
-    /// Inserts into the operation cache unless the cache cap is reached.
+    /// Looks up a memoized operation result.
+    #[inline]
+    pub(crate) fn cache_get(&mut self, key: (OpTag, Bdd, Bdd, Bdd)) -> Option<Bdd> {
+        self.computed.get(key)
+    }
+
+    /// Memoizes an operation result (may overwrite a colliding entry).
     #[inline]
     pub(crate) fn cache_insert(&mut self, key: (OpTag, Bdd, Bdd, Bdd), value: Bdd) {
-        if self.op_cache.len() < self.cache_cap {
-            self.op_cache.insert(key, value);
-        }
+        self.computed.insert(key, value);
     }
 
-    /// Installs a hard cap on the number of allocated nodes. Once the cap
+    /// Installs a hard cap on the number of **live** nodes. Once the cap
     /// is hit, the manager enters an **overflowed** state: every further
     /// construction returns `⊥` and [`Manager::is_overflowed`] reports
     /// `true`. Results produced after overflow are meaningless — callers
     /// must check the flag and discard the manager. This is the
     /// out-of-memory containment strategy (CUDD's `NULL` returns, in Rust
     /// clothing) used by the synthesis engine's node budget.
+    ///
+    /// Because the cap counts live nodes, garbage collection creates
+    /// headroom: callers that free dead roots via
+    /// [`Manager::collect_garbage`] before the cap is hit can keep running
+    /// where an allocation-counting cap would have overflowed on garbage.
     pub fn set_node_cap(&mut self, cap: usize) {
         self.node_cap = cap;
     }
@@ -210,6 +286,7 @@ impl Manager {
             .num_vars
             .checked_add(count)
             .expect("variable count overflow");
+        assert!(self.num_vars < FREE_LEVEL, "variable count out of range");
         first
     }
 
@@ -280,13 +357,20 @@ impl Manager {
         if let Some(&id) = self.unique.get(&(var, lo, hi)) {
             return id;
         }
-        if self.nodes.len() >= self.node_cap {
+        if self.node_count() >= self.node_cap {
             self.overflowed = true;
             return Bdd::ZERO;
         }
-        let id = Bdd(u32::try_from(self.nodes.len()).expect("node table overflow"));
-        self.nodes.push(Node { var, lo, hi });
+        let id = if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = Node { var, lo, hi };
+            Bdd(slot)
+        } else {
+            let id = Bdd(u32::try_from(self.nodes.len()).expect("node table overflow"));
+            self.nodes.push(Node { var, lo, hi });
+            id
+        };
         self.unique.insert((var, lo, hi), id);
+        self.peak_live = self.peak_live.max(self.node_count());
         id
     }
 
@@ -351,41 +435,79 @@ impl Manager {
         self.unique.get(key).copied()
     }
 
-    /// Operation-cache iteration for the audit layer (see `audit.rs`).
-    pub(crate) fn op_cache_iter(
-        &self,
-    ) -> impl Iterator<Item = (&(OpTag, Bdd, Bdd, Bdd), &Bdd)> + '_ {
-        self.op_cache.iter()
+    /// Removes dead entries from the unique table after a sweep (`gc.rs`).
+    pub(crate) fn unique_retain_marked(&mut self) {
+        let marks = &self.gc_marks;
+        self.unique
+            .retain(|_, id| marks.get(id.0 as usize).copied().unwrap_or(false));
     }
 
-    /// Total number of allocated nodes (including both terminals).
+    /// Number of **live** nodes (allocated minus freed, including both
+    /// terminals). This is what [`Manager::set_node_cap`] bounds.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.nodes.len() - self.free.len()
+    }
+
+    /// High-water mark of [`Manager::node_count`] over the manager's life.
+    #[inline]
+    pub fn peak_live_nodes(&self) -> usize {
+        self.peak_live
+    }
+
+    /// `true` if the slot behind `f` is on the free list (i.e. `f` dangles).
+    #[inline]
+    pub(crate) fn is_free(&self, f: Bdd) -> bool {
+        self.nodes[f.0 as usize].var == FREE_LEVEL
+    }
+
+    /// GC bookkeeping used by `gc.rs` when a sweep frees `n` nodes: slots
+    /// are pushed onto the free list by the sweep itself.
+    pub(crate) fn note_collection(&mut self, freed: u64) {
+        self.gc_runs += 1;
+        self.gc_freed += freed;
+    }
+
+    /// Replaces the free list wholesale after a sweep (`gc.rs` only). Every
+    /// slot on the list must carry the `FREE_LEVEL` sentinel.
+    pub(crate) fn replace_free_list(&mut self, free: Vec<u32>) {
+        debug_assert!(free
+            .iter()
+            .all(|&s| self.nodes[s as usize].var == FREE_LEVEL));
+        self.free = free;
     }
 
     /// Drops all memoization tables, keeping the node store intact.
     ///
-    /// Subsequent operations recompute results but remain correct. Call this
-    /// to bound memory on long-running synthesis loops.
+    /// Subsequent operations recompute results but remain correct.
     pub fn clear_caches(&mut self) {
-        self.op_cache.clear();
+        self.computed.clear();
     }
 
-    /// Clears the operation cache only when it holds more than
-    /// `max_entries` results — a cheap way to bound cache memory without
-    /// giving up memoization on small workloads.
-    pub fn trim_cache(&mut self, max_entries: usize) {
-        if self.op_cache.len() > max_entries {
-            self.op_cache = crate::hash::FibHashMap::default();
-        }
-    }
+    /// Deprecated no-op shim. The computed table is now fixed-capacity and
+    /// lossy (overwrite-on-collision), so it never needs trimming; the old
+    /// behavior of dropping every memoized result at once is gone.
+    #[deprecated(
+        since = "0.3.0",
+        note = "the computed table is bounded by construction; use set_cache_cap to size it"
+    )]
+    pub fn trim_cache(&mut self, _max_entries: usize) {}
 
     /// Current size counters.
     pub fn stats(&self) -> ManagerStats {
+        let c = self.computed.counters();
         ManagerStats {
-            nodes: self.nodes.len(),
-            cache_entries: self.op_cache.len(),
+            nodes: self.node_count(),
+            peak_live: self.peak_live,
+            allocated: self.nodes.len(),
+            free_slots: self.free.len(),
+            gc_runs: self.gc_runs,
+            gc_freed: self.gc_freed,
+            cache_entries: c.entries,
+            cache_capacity: c.capacity,
+            cache_hits: c.hits,
+            cache_misses: c.misses,
+            cache_evictions: c.evictions,
             vars: self.num_vars as usize,
         }
     }
@@ -518,5 +640,50 @@ mod tests {
         // Operations still work after clearing.
         let c = m.and(a, b);
         assert!(!c.is_terminal());
+    }
+
+    #[test]
+    fn stats_track_cache_traffic_and_peak() {
+        let mut m = Manager::new(6);
+        let mut f = m.zero();
+        for v in 0..6 {
+            let x = m.var(v);
+            f = m.xor(f, x);
+        }
+        let s = m.stats();
+        assert!(s.cache_misses > 0, "building xor chain misses the cache");
+        assert_eq!(s.nodes, s.allocated - s.free_slots);
+        assert!(s.peak_live >= s.nodes);
+        assert!(s.cache_hit_rate() >= 0.0 && s.cache_hit_rate() <= 1.0);
+        // Re-doing the same op hits the cache.
+        let hits_before = m.stats().cache_hits;
+        let x0 = m.var(0);
+        let x1 = m.var(1);
+        let _ = m.xor(x0, x1);
+        assert!(m.stats().cache_hits > hits_before);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn trim_cache_is_a_no_op() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let _ = m.and(a, b);
+        let entries = m.stats().cache_entries;
+        assert!(entries > 0);
+        m.trim_cache(0);
+        assert_eq!(m.stats().cache_entries, entries);
+    }
+
+    #[test]
+    fn display_stats_mentions_live_and_hit_rate() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let _ = m.and(a, b);
+        let text = m.stats().to_string();
+        assert!(text.contains("live nodes"));
+        assert!(text.contains("hit rate"));
     }
 }

@@ -28,7 +28,7 @@ impl Manager {
             return self.not(f);
         }
         let key = (OpTag::Ite, f, g, h);
-        if let Some(&r) = self.op_cache.get(&key) {
+        if let Some(r) = self.cache_get(key) {
             return r;
         }
         let top = self.level(f).min(self.level(g)).min(self.level(h));
@@ -54,7 +54,7 @@ impl Manager {
             return Bdd::ZERO;
         }
         let key = (OpTag::Not, f, Bdd::ZERO, Bdd::ZERO);
-        if let Some(&r) = self.op_cache.get(&key) {
+        if let Some(r) = self.cache_get(key) {
             return r;
         }
         let top = self.level(f);
@@ -103,27 +103,50 @@ impl Manager {
     }
 
     /// Conjunction of an iterator of BDDs (empty ⇒ `⊤`).
+    ///
+    /// Reduces as a balanced tree rather than a linear left fold: pairing
+    /// operands of similar size keeps the intermediate BDDs small for wide
+    /// conjunctions (the engine's control products conjoin dozens of
+    /// similarly-shaped constraints, where a left fold accretes one large
+    /// accumulator that every further operand is multiplied into).
     pub fn and_all<I: IntoIterator<Item = Bdd>>(&mut self, items: I) -> Bdd {
-        let mut acc = Bdd::ONE;
-        for f in items {
-            acc = self.and(acc, f);
-            if acc.is_zero() {
-                break;
-            }
-        }
-        acc
+        self.reduce_balanced(items, true)
     }
 
-    /// Disjunction of an iterator of BDDs (empty ⇒ `⊥`).
+    /// Disjunction of an iterator of BDDs (empty ⇒ `⊥`). Balanced-tree
+    /// reduction; see [`Manager::and_all`].
     pub fn or_all<I: IntoIterator<Item = Bdd>>(&mut self, items: I) -> Bdd {
-        let mut acc = Bdd::ZERO;
-        for f in items {
-            acc = self.or(acc, f);
-            if acc.is_one() {
-                break;
-            }
+        self.reduce_balanced(items, false)
+    }
+
+    /// Balanced pairwise reduction under ∧ (`conjoin = true`) or ∨, with
+    /// early exit on the absorbing element.
+    fn reduce_balanced<I: IntoIterator<Item = Bdd>>(&mut self, items: I, conjoin: bool) -> Bdd {
+        let absorbing = if conjoin { Bdd::ZERO } else { Bdd::ONE };
+        let neutral = if conjoin { Bdd::ONE } else { Bdd::ZERO };
+        let mut layer: Vec<Bdd> = items.into_iter().collect();
+        if layer.contains(&absorbing) {
+            return absorbing;
         }
-        acc
+        layer.retain(|&f| f != neutral);
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            let mut chunks = layer.chunks_exact(2);
+            for pair in chunks.by_ref() {
+                let r = if conjoin {
+                    self.and(pair[0], pair[1])
+                } else {
+                    self.or(pair[0], pair[1])
+                };
+                if r == absorbing {
+                    return absorbing;
+                }
+                next.push(r);
+            }
+            next.extend_from_slice(chunks.remainder());
+            layer = next;
+        }
+        layer.pop().unwrap_or(neutral)
     }
 }
 

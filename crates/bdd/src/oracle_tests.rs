@@ -241,6 +241,61 @@ proptest! {
     }
 
     #[test]
+    fn and_forall_matches_unfused(e1 in arb_expr(), e2 in arb_expr(),
+                                  mask in 0u32..(1 << NVARS)) {
+        let mut m = Manager::new(NVARS);
+        let f = expr_bdd(&mut m, &e1);
+        let g = expr_bdd(&mut m, &e2);
+        let vars: Vec<u32> = (0..NVARS).filter(|v| (mask >> v) & 1 == 1).collect();
+        let fused = m.and_forall(f, g, &vars);
+        let conj = m.and(f, g);
+        let unfused = m.forall(conj, &vars);
+        prop_assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn and_exists_matches_unfused(e1 in arb_expr(), e2 in arb_expr(),
+                                  mask in 0u32..(1 << NVARS)) {
+        let mut m = Manager::new(NVARS);
+        let f = expr_bdd(&mut m, &e1);
+        let g = expr_bdd(&mut m, &e2);
+        let vars: Vec<u32> = (0..NVARS).filter(|v| (mask >> v) & 1 == 1).collect();
+        let fused = m.and_exists(f, g, &vars);
+        let conj = m.and(f, g);
+        let unfused = m.exists(conj, &vars);
+        prop_assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn forall_and_all_matches_unfused(es in proptest::collection::vec(arb_expr(), 0..5),
+                                      mask in 0u32..(1 << NVARS)) {
+        let mut m = Manager::new(NVARS);
+        let operands: Vec<Bdd> = es.iter().map(|e| expr_bdd(&mut m, e)).collect();
+        let vars: Vec<u32> = (0..NVARS).filter(|v| (mask >> v) & 1 == 1).collect();
+        let fused = m.forall_and_all(&operands, &vars);
+        let conj = m.and_all(operands.iter().copied());
+        let unfused = m.forall(conj, &vars);
+        prop_assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn gc_preserves_rooted_functions(e1 in arb_expr(), e2 in arb_expr()) {
+        let mut m = Manager::new(NVARS);
+        let keep = expr_bdd(&mut m, &e1);
+        let junk = expr_bdd(&mut m, &e2);
+        let table_before = bdd_table(&m, keep);
+        let _ = junk; // handle dies; its nodes become garbage unless shared
+        let _ = m.collect_garbage(&[keep]);
+        // The rooted function evaluates identically after collection...
+        prop_assert_eq!(bdd_table(&m, keep), table_before);
+        // ...and rebuilding the collected function from scratch is correct
+        // (reused slots, repopulated unique table).
+        let rebuilt = expr_bdd(&mut m, &e2);
+        prop_assert_eq!(bdd_table(&m, rebuilt), expr_table(&e2));
+        prop_assert_eq!(bdd_table(&m, keep), table_before);
+    }
+
+    #[test]
     fn support_is_exact(e in arb_expr()) {
         let mut m = Manager::new(NVARS);
         let f = expr_bdd(&mut m, &e);

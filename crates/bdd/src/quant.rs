@@ -29,7 +29,7 @@ impl Manager {
             return f;
         }
         let key = (OpTag::Restrict, f, Bdd(var), selector);
-        if let Some(&r) = self.op_cache.get(&key) {
+        if let Some(r) = self.cache_get(key) {
             return r;
         }
         let (lo, hi) = self.children(f);
@@ -127,7 +127,7 @@ impl Manager {
             OpTag::Exists(id)
         };
         let key = (tag, f, Bdd(pos), Bdd::ZERO);
-        if let Some(&r) = self.op_cache.get(&key) {
+        if let Some(r) = self.cache_get(key) {
             return r;
         }
         let next_var = self.varset(id)[pos as usize];
@@ -156,6 +156,206 @@ impl Manager {
         r
     }
 
+    /// Fused **∀-AND** (the universal dual of CUDD's `bddAndAbstract`):
+    /// computes `∀ vars (f ∧ g)` in one recursion, never materializing the
+    /// conjunction `f ∧ g`.
+    ///
+    /// The fusion matters for peak memory: the paper's `check()` step
+    /// quantifies the inputs `X` out of a wide equivalence conjunction, and
+    /// the unquantified product is by far the largest BDD of the whole run.
+    /// It also terminates early — under ∀, any `⊥` cofactor kills the whole
+    /// subtree before the sibling branch is even visited.
+    ///
+    /// `vars` may be unsorted and contain duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable is undeclared.
+    pub fn and_forall(&mut self, f: Bdd, g: Bdd, vars: &[u32]) -> Bdd {
+        let set = self.normalize_varset(vars);
+        if set.is_empty() {
+            return self.and(f, g);
+        }
+        let id = self.intern_varset(&set);
+        self.and_quant_rec(f, g, id, 0, true)
+    }
+
+    /// Fused **∃-AND** (CUDD's `bddAndAbstract`, the relational product):
+    /// computes `∃ vars (f ∧ g)` in one recursion without building `f ∧ g`.
+    ///
+    /// `vars` may be unsorted and contain duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable is undeclared.
+    pub fn and_exists(&mut self, f: Bdd, g: Bdd, vars: &[u32]) -> Bdd {
+        let set = self.normalize_varset(vars);
+        if set.is_empty() {
+            return self.and(f, g);
+        }
+        let id = self.intern_varset(&set);
+        self.and_quant_rec(f, g, id, 0, false)
+    }
+
+    /// Multi-operand fused quantified conjunction: `∀ vars (⋀ operands)`.
+    ///
+    /// The conjunction is quantified **as it is built**: the recursion
+    /// descends the quantified block across *all* operands at once,
+    /// cofactoring each operand by edge-following, so no intermediate ever
+    /// contains the unquantified product. Below the block each branch
+    /// reduces to a plain balanced conjunction of the (now `vars`-free)
+    /// cofactors, and the per-variable combination `∀v F = F|₀ ∧ F|₁`
+    /// terminates early — the first `⊥` cofactor kills the whole call
+    /// without visiting any sibling branch.
+    ///
+    /// This is exactly the shape of the synthesis engine's `check()` step:
+    /// the inputs `X` sit on top of the order, each branch of the descent
+    /// is one input row, and on unrealizable depths (most of iterative
+    /// deepening) the first failing row aborts the check before the
+    /// equivalence conjunction for the remaining rows is ever computed.
+    ///
+    /// When an unquantified variable sits *above* a quantified one (the
+    /// `Y`-then-`X` ablation order) the descent stops paying off; the
+    /// remainder falls back to conjoin-then-quantify.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable is undeclared.
+    pub fn forall_and_all(&mut self, operands: &[Bdd], vars: &[u32]) -> Bdd {
+        let set = self.normalize_varset(vars);
+        if set.is_empty() {
+            return self.and_all(operands.iter().copied());
+        }
+        self.forall_and_rec(operands.to_vec(), &set, 0)
+    }
+
+    /// Recursive core of [`Manager::forall_and_all`]: computes
+    /// `∀ set[pos..] (⋀ ops)` by n-ary descent over the quantified block.
+    /// Not memoized — the operand vector is a poor cache key and the
+    /// descent has at most `2^|set|` branches, each of whose pairwise
+    /// conjunctions below is cached as usual.
+    fn forall_and_rec(&mut self, mut ops: Vec<Bdd>, set: &[u32], mut pos: usize) -> Bdd {
+        loop {
+            if self.is_overflowed() || ops.iter().any(|f| f.is_zero()) {
+                return Bdd::ZERO;
+            }
+            ops.retain(|f| !f.is_one());
+            ops.sort_unstable_by_key(|f| f.0);
+            ops.dedup();
+            if ops.is_empty() {
+                return Bdd::ONE;
+            }
+            if pos == set.len() {
+                return self.and_all(ops.iter().copied());
+            }
+            let top = ops
+                .iter()
+                .map(|&f| self.level(f))
+                .min()
+                .expect("operand list is nonempty");
+            if set[pos] < top {
+                // The quantified variable occurs in no operand.
+                pos += 1;
+                continue;
+            }
+            if top < set[pos] {
+                // An unquantified variable above the rest of the block:
+                // the n-ary descent stops paying off here.
+                let eq = self.and_all(ops.iter().copied());
+                return self.forall(eq, &set[pos..]);
+            }
+            // top == set[pos]: cofactor every operand on the shared var.
+            let mut lo_ops = Vec::with_capacity(ops.len());
+            let mut hi_ops = Vec::with_capacity(ops.len());
+            for &f in &ops {
+                if self.level(f) == top {
+                    let (lo, hi) = self.children(f);
+                    lo_ops.push(lo);
+                    hi_ops.push(hi);
+                } else {
+                    lo_ops.push(f);
+                    hi_ops.push(f);
+                }
+            }
+            let r0 = self.forall_and_rec(lo_ops, set, pos + 1);
+            if r0.is_zero() {
+                return Bdd::ZERO;
+            }
+            let r1 = self.forall_and_rec(hi_ops, set, pos + 1);
+            return self.and(r0, r1);
+        }
+    }
+
+    /// Recursive core of [`Manager::and_forall`] / [`Manager::and_exists`]:
+    /// computes `Q varset(id)[pos..] (f ∧ g)` where `Q` is ∀ (`universal`)
+    /// or ∃.
+    fn and_quant_rec(&mut self, f: Bdd, g: Bdd, id: u32, pos: u32, universal: bool) -> Bdd {
+        if self.is_overflowed() {
+            return Bdd::ZERO;
+        }
+        // Terminal and collapse cases reduce to plain quantification.
+        if f.is_zero() || g.is_zero() {
+            return Bdd::ZERO;
+        }
+        if f.is_one() && g.is_one() {
+            return Bdd::ONE;
+        }
+        if f == g || g.is_one() {
+            return self.quant_rec(f, id, pos, universal);
+        }
+        if f.is_one() {
+            return self.quant_rec(g, id, pos, universal);
+        }
+        // Skip set variables above both roots: they occur in neither operand.
+        let top = self.level(f).min(self.level(g));
+        let set = self.varset(id);
+        let mut pos = pos as usize;
+        while pos < set.len() && set[pos] < top {
+            pos += 1;
+        }
+        if pos == set.len() {
+            return self.and(f, g);
+        }
+        let pos = u32::try_from(pos).expect("varset index fits u32");
+        // ∧ is commutative: canonicalize the operand order for cache hits.
+        let (f, g) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        let tag = if universal {
+            OpTag::AndForall(id)
+        } else {
+            OpTag::AndExists(id)
+        };
+        let key = (tag, f, g, Bdd(pos));
+        if let Some(r) = self.cache_get(key) {
+            return r;
+        }
+        let next_var = self.varset(id)[pos as usize];
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let r = if top == next_var {
+            let r0 = self.and_quant_rec(f0, g0, id, pos + 1, universal);
+            // Early termination: ⊥ ∧ x = ⊥ and ⊤ ∨ x = ⊤ — the sibling
+            // cofactor is never visited.
+            if universal && r0.is_zero() {
+                Bdd::ZERO
+            } else if !universal && r0.is_one() {
+                Bdd::ONE
+            } else {
+                let r1 = self.and_quant_rec(f1, g1, id, pos + 1, universal);
+                if universal {
+                    self.and(r0, r1)
+                } else {
+                    self.or(r0, r1)
+                }
+            }
+        } else {
+            let r0 = self.and_quant_rec(f0, g0, id, pos, universal);
+            let r1 = self.and_quant_rec(f1, g1, id, pos, universal);
+            self.mk(top, r0, r1)
+        };
+        self.cache_insert(key, r);
+        r
+    }
+
     /// Functional composition `f[var := g]`: substitutes the function `g`
     /// for the variable `var` in `f`.
     ///
@@ -176,7 +376,7 @@ impl Manager {
             return f;
         }
         let key = (OpTag::Compose(var), f, g, Bdd::ZERO);
-        if let Some(&r) = self.op_cache.get(&key) {
+        if let Some(r) = self.cache_get(key) {
             return r;
         }
         let (lo, hi) = self.children(f);
@@ -330,5 +530,88 @@ mod tests {
     fn quantifying_undeclared_var_panics() {
         let (mut m, a, _, _) = setup();
         let _ = m.exists(a, &[7]);
+    }
+
+    #[test]
+    fn and_forall_agrees_with_build_then_quantify() {
+        let (mut m, a, b, c) = setup();
+        let f = m.or(a, b);
+        let g = m.or(b, c);
+        let fused = m.and_forall(f, g, &[1]);
+        let conj = m.and(f, g);
+        let unfused = m.forall(conj, &[1]);
+        assert_eq!(fused, unfused);
+        // ∀b ((a∨b) ∧ (b∨c)) = a ∧ c
+        let ac = m.and(a, c);
+        assert_eq!(fused, ac);
+    }
+
+    #[test]
+    fn and_exists_is_the_relational_product() {
+        let (mut m, a, b, c) = setup();
+        let f = m.xnor(a, b); // a = b
+        let g = m.xnor(b, c); // b = c
+                              // ∃b (a=b ∧ b=c) = (a=c): composing two identity relations.
+        let fused = m.and_exists(f, g, &[1]);
+        let expected = m.xnor(a, c);
+        assert_eq!(fused, expected);
+    }
+
+    #[test]
+    fn fused_empty_varset_is_plain_and() {
+        let (mut m, a, b, _) = setup();
+        let expected = m.and(a, b);
+        assert_eq!(m.and_forall(a, b, &[]), expected);
+        assert_eq!(m.and_exists(a, b, &[]), expected);
+    }
+
+    #[test]
+    fn fused_terminal_cases() {
+        let (mut m, a, _, _) = setup();
+        assert_eq!(m.and_forall(Bdd::ZERO, a, &[0]), Bdd::ZERO);
+        assert_eq!(m.and_exists(a, Bdd::ZERO, &[0]), Bdd::ZERO);
+        assert_eq!(m.and_forall(Bdd::ONE, Bdd::ONE, &[0]), Bdd::ONE);
+        // ⊤ as one operand degrades to plain quantification.
+        let fa = m.forall_var(a, 0);
+        assert_eq!(m.and_forall(Bdd::ONE, a, &[0]), fa);
+        let ea = m.exists_var(a, 0);
+        assert_eq!(m.and_exists(a, Bdd::ONE, &[0]), ea);
+        // f == g degrades to quantifying f itself (f ∧ f = f).
+        assert_eq!(m.and_forall(a, a, &[0]), fa);
+    }
+
+    #[test]
+    fn fused_operand_order_is_immaterial() {
+        let (mut m, a, b, c) = setup();
+        let f = m.or(a, b);
+        let g = m.xor(b, c);
+        let fg = m.and_forall(f, g, &[1, 2]);
+        let gf = m.and_forall(g, f, &[1, 2]);
+        assert_eq!(fg, gf);
+    }
+
+    #[test]
+    fn forall_and_all_multi_operand() {
+        let (mut m, a, b, c) = setup();
+        let l1 = m.or(a, b);
+        let l2 = m.or(b, c);
+        let l3 = m.implies(a, c);
+        for ops in [vec![], vec![l1], vec![l1, l2], vec![l1, l2, l3]] {
+            let fused = m.forall_and_all(&ops, &[1]);
+            let conj = m.and_all(ops.iter().copied());
+            let unfused = m.forall(conj, &[1]);
+            assert_eq!(fused, unfused, "operand count {}", ops.len());
+        }
+        // Empty varset degrades to and_all.
+        let plain = m.and_all([l1, l2]);
+        assert_eq!(m.forall_and_all(&[l1, l2], &[]), plain);
+    }
+
+    #[test]
+    fn forall_and_all_short_circuits_to_zero() {
+        let (mut m, a, b, _) = setup();
+        let na = m.not(a);
+        // ∀∅-free vars: a ∧ ¬a ∧ b = ⊥ regardless of quantification.
+        assert_eq!(m.forall_and_all(&[a, na, b], &[0, 1]), Bdd::ZERO);
     }
 }

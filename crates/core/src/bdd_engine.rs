@@ -38,7 +38,22 @@ struct Built {
     spec_on: Vec<Bdd>,
     spec_dc: Vec<Bdd>,
     depth: u32,
+    /// Per-line gate-slot scratch for `extend_one_level`, reused across
+    /// depths to avoid reallocating `n · 2^sbits` slot tables every level.
+    slot_scratch: Vec<Vec<Bdd>>,
+    /// Live-node count right after the last garbage collection (or after
+    /// construction); the opportunistic trigger compares against it.
+    last_gc_live: usize,
 }
+
+/// Below this arena size an opportunistic collection is never worth its
+/// mandatory computed-table flush.
+const GC_MIN_NODES: usize = 8_192;
+/// Opportunistic-GC trigger: collect once the arena has grown past this
+/// multiple of its size right after the previous collection (CUDD's
+/// growth-based heuristic — it bounds both sweep frequency and the
+/// fraction of time spent re-deriving flushed cache entries).
+const GC_GROWTH_FACTOR: usize = 2;
 
 impl std::fmt::Debug for BddEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -65,10 +80,16 @@ impl BddEngine {
         }
     }
 
-    /// Nodes currently allocated in the BDD manager (for the benchmark
+    /// Nodes currently live in the BDD manager (for the benchmark
     /// harness and the variable-order ablation).
     pub fn bdd_nodes(&self) -> usize {
         self.built.m.node_count()
+    }
+
+    /// Full manager counters — live/peak nodes, GC activity, computed-table
+    /// hit rate — for the CLI's `--stats` report and the benchmark emitter.
+    pub fn manager_stats(&self) -> qsyn_bdd::ManagerStats {
+        self.built.m.stats()
     }
 
     /// Decides whether a `d`-gate realization exists and, if so, returns
@@ -92,7 +113,7 @@ impl BddEngine {
             // unusable.
             return Err(SynthesisError::ResourceLimit {
                 depth: d,
-                what: "BDD node",
+                what: "live BDD node",
             });
         }
         if !self.options.incremental {
@@ -107,19 +128,21 @@ impl BddEngine {
             self.options.cancel.check(d)?;
             self.built
                 .extend_one_level(&self.gates, self.sbits, &self.options)?;
-            if self.built.m.node_count() > self.options.bdd_node_limit {
-                return Err(SynthesisError::ResourceLimit {
-                    depth: d,
-                    what: "BDD node",
-                });
-            }
-            // Bound the operation-cache footprint on long runs; memoized
-            // results are recomputed on demand.
-            self.built.m.trim_cache(self.options.bdd_node_limit);
-        }
-        let solutions_bdd =
+            // The budget counts *live* nodes: garbage from earlier depths
+            // and checks is collected before concluding it is exhausted.
             self.built
-                .check(self.options.bdd_node_limit, &self.options.cancel, d)?;
+                .enforce_budget(self.options.bdd_node_limit, &[], d)?;
+        }
+        // Depth boundary is a GC safe point: every handle the engine still
+        // needs is in the root set (state, spec). Collect opportunistically
+        // so dead intermediates from previous checks never pile up.
+        self.built.maybe_collect();
+        let solutions_bdd = self.built.check(
+            self.options.bdd_node_limit,
+            &self.options.cancel,
+            d,
+            self.options.fused_quantification,
+        )?;
         if solutions_bdd.is_zero() {
             return Ok(None);
         }
@@ -219,6 +242,7 @@ impl Built {
                 m.or_all(rows.iter().map(|&r| minterms[r as usize]))
             })
             .collect();
+        let last_gc_live = m.node_count();
         Built {
             m,
             x_vars,
@@ -227,7 +251,69 @@ impl Built {
             spec_on,
             spec_dc,
             depth: 0,
+            slot_scratch: Vec::new(),
+            last_gc_live,
         }
+    }
+
+    /// The engine's GC root set: every handle that must survive a
+    /// collection at a safe point — the cascade state `F_d` and the
+    /// per-line spec ON/DC sets. (Projection BDDs of bare variables are
+    /// deliberately not rooted: `Manager::var` re-creates them on demand.)
+    fn gc_roots(&self) -> Vec<Bdd> {
+        let mut roots = Vec::with_capacity(self.state.len() * 3);
+        roots.extend_from_slice(&self.state);
+        roots.extend_from_slice(&self.spec_on);
+        roots.extend_from_slice(&self.spec_dc);
+        roots
+    }
+
+    /// Mark-and-sweep with the engine roots plus `extra` (handles a caller
+    /// mid-computation still needs, e.g. the check() accumulator).
+    fn collect(&mut self, extra: &[Bdd]) -> usize {
+        let mut roots = self.gc_roots();
+        roots.extend_from_slice(extra);
+        let freed = self.m.collect_garbage(&roots);
+        self.last_gc_live = self.m.node_count();
+        freed
+    }
+
+    /// Opportunistic collection at a depth boundary: only once the arena
+    /// has outgrown `GC_GROWTH_FACTOR` times its post-GC size (and is big
+    /// enough for the sweep to beat its computed-table flush).
+    fn maybe_collect(&mut self) {
+        let live = self.m.node_count();
+        if live >= GC_MIN_NODES && live >= self.last_gc_live.saturating_mul(GC_GROWTH_FACTOR) {
+            self.collect(&[]);
+        }
+    }
+
+    /// Budget enforcement at a GC safe point: when the live-node count
+    /// overshoots, collect (rooting `extra` besides the engine state) and
+    /// only report [`SynthesisError::ResourceLimit`] if the overshoot
+    /// survives the collection — garbage must never exhaust the budget.
+    fn enforce_budget(
+        &mut self,
+        node_limit: usize,
+        extra: &[Bdd],
+        d: u32,
+    ) -> Result<(), SynthesisError> {
+        let out_of_nodes = SynthesisError::ResourceLimit {
+            depth: d,
+            what: "live BDD node",
+        };
+        // Overflow must be ruled out before trusting any ⊥ result; GC
+        // cannot repair an overflowed manager.
+        if self.m.is_overflowed() {
+            return Err(out_of_nodes);
+        }
+        if self.m.node_count() > node_limit {
+            self.collect(extra);
+            if self.m.node_count() > node_limit {
+                return Err(out_of_nodes);
+            }
+        }
+        Ok(())
     }
 
     /// Applies one universal gate: `F_{d+1} = U_G(F_d, Y_{d+1})`.
@@ -255,28 +341,36 @@ impl Built {
             }
         };
         // Slot table: per line, the output of each of the 2^s gate slots
-        // (identity for the padding slots beyond q).
+        // (identity for the padding slots beyond q). The per-line buffers
+        // live on the engine and are reused across depths.
         let slot_count = 1usize << sbits;
-        let mut slots: Vec<Vec<Bdd>> = (0..n).map(|j| vec![self.state[j]; slot_count]).collect();
+        self.slot_scratch.resize(n, Vec::new());
+        for j in 0..n {
+            let identity = self.state[j];
+            let buf = &mut self.slot_scratch[j];
+            buf.clear();
+            buf.resize(slot_count, identity);
+        }
         for (k, g) in gates.iter().enumerate() {
             for (line, out) in self.apply_gate(g) {
-                slots[line as usize][k] = out;
+                self.slot_scratch[line as usize][k] = out;
             }
         }
-        // Multiplexer reduction over the select bits, LSB first.
-        #[allow(clippy::needless_range_loop)] // j indexes both slots and state
+        // Multiplexer reduction over the select bits, LSB first, halving
+        // the slot table in place.
         for j in 0..n {
-            let mut layer = std::mem::take(&mut slots[j]);
+            let mut len = slot_count;
             for &yv in &level_vars {
                 let y = self.m.var(yv);
-                let mut next = Vec::with_capacity(layer.len() / 2);
-                for pair in layer.chunks(2) {
-                    next.push(self.m.ite(y, pair[1], pair[0]));
+                len /= 2;
+                for i in 0..len {
+                    let lo = self.slot_scratch[j][2 * i];
+                    let hi = self.slot_scratch[j][2 * i + 1];
+                    self.slot_scratch[j][i] = self.m.ite(y, hi, lo);
                 }
-                layer = next;
             }
-            debug_assert_eq!(layer.len(), 1);
-            self.state[j] = layer[0];
+            debug_assert_eq!(len.max(1), 1);
+            self.state[j] = self.slot_scratch[j][0];
         }
         self.y_vars.extend(level_vars);
         self.depth += 1;
@@ -331,13 +425,19 @@ impl Built {
         self.m.and_all(parts)
     }
 
-    /// Builds `∀X ⋀_l (f_l^dc ∨ (F_{d,l} ⊙ f_l^on))` — the quantified
+    /// Computes `∀X ⋀_l (f_l^dc ∨ (F_{d,l} ⊙ f_l^on))` — the quantified
     /// formula of Section 4 — and returns the BDD over `Y`.
     ///
-    /// The conjunction is built before quantifying (quantifying each line
-    /// separately yields weakly-constrained diagrams over `Y` that blow
-    /// up); `∀` is then applied one input variable at a time so the node
-    /// budget and the cancellation token can be enforced between steps.
+    /// With `fused` (the default), the conjunction is **quantified as it is
+    /// built**: the accumulator is folded through the fused ∀-AND kernel
+    /// one line at a time, so it is always free of `X` and the full
+    /// unquantified product `⋀_l` — the peak-live-node bottleneck of the
+    /// whole synthesis — is never materialized. This is sound because ∀
+    /// distributes over ∧ (it would *not* be for ∃). The node budget and
+    /// the cancellation token are still enforced between lines.
+    ///
+    /// Without `fused` (legacy ablation path), the conjunction is built
+    /// first and `∀` applied one input variable at a time afterwards.
     ///
     /// # Errors
     ///
@@ -348,39 +448,49 @@ impl Built {
         node_limit: usize,
         cancel: &CancelToken,
         d: u32,
+        fused: bool,
     ) -> Result<Bdd, SynthesisError> {
-        let out_of_nodes = SynthesisError::ResourceLimit {
-            depth: d,
-            what: "BDD node",
-        };
         let n = self.state.len();
+        if fused {
+            let mut oks = Vec::with_capacity(n);
+            for l in 0..n {
+                cancel.check(d)?;
+                let agree = self.m.xnor(self.state[l], self.spec_on[l]);
+                let ok = self.m.or(self.spec_dc[l], agree);
+                oks.push(ok);
+                // Between lines is a safe point: root the agreement
+                // functions built so far.
+                self.enforce_budget(node_limit, &oks, d)?;
+            }
+            // Quantify the conjunction as it is built: the fused descent
+            // walks the X block across all lines at once, so the
+            // conjunction over X is never materialized and the first
+            // failing input row aborts the whole check.
+            let acc = self.m.forall_and_all(&oks, &self.x_vars);
+            self.enforce_budget(node_limit, &[acc], d)?;
+            return Ok(acc);
+        }
         let mut eq = self.m.one();
         for l in 0..n {
             cancel.check(d)?;
             let agree = self.m.xnor(self.state[l], self.spec_on[l]);
             let ok = self.m.or(self.spec_dc[l], agree);
             eq = self.m.and(eq, ok);
-            // Overflow must be ruled out before trusting any ⊥ result.
-            if self.m.is_overflowed() || self.m.node_count() > node_limit {
-                return Err(out_of_nodes.clone());
-            }
+            self.enforce_budget(node_limit, &[eq], d)?;
             if eq.is_zero() {
                 return Ok(eq);
             }
         }
         // X sits on top of the order, so quantifying from the innermost
         // (largest) X variable upward strips one top level at a time.
-        let x = self.x_vars.clone();
-        for &v in x.iter().rev() {
+        for i in (0..self.x_vars.len()).rev() {
             cancel.check(d)?;
+            let v = self.x_vars[i];
             eq = self.m.forall_var(eq, v);
-            if self.m.is_overflowed() || self.m.node_count() > node_limit {
-                return Err(out_of_nodes.clone());
-            }
+            self.enforce_budget(node_limit, &[eq], d)?;
             if eq.is_zero() {
                 return Ok(eq);
             }
-            self.m.trim_cache(node_limit.saturating_mul(2));
         }
         Ok(eq)
     }
@@ -520,6 +630,47 @@ mod tests {
             }
         }
         panic!("no realization found up to depth 3");
+    }
+
+    #[test]
+    fn legacy_quantification_gives_same_answers() {
+        // The fused ∀-AND check() (default) and the legacy build-then-
+        // quantify path must agree bit for bit: same minimal depth, same
+        // exact solution count.
+        let spec = Spec::from_permutation(&Permutation::from_map(2, vec![1, 2, 3, 0]));
+        let mut fused = BddEngine::new(&spec, &opts(GateLibrary::mct()));
+        let mut legacy = BddEngine::new(
+            &spec,
+            &opts(GateLibrary::mct()).with_fused_quantification(false),
+        );
+        for d in 0..4 {
+            let a = fused.solve_depth(d).unwrap().map(|s| s.count());
+            let b = legacy.solve_depth(d).unwrap().map(|s| s.count());
+            assert_eq!(a, b, "depth {d}");
+            if a.is_some() {
+                return;
+            }
+        }
+        panic!("no realization found up to depth 3");
+    }
+
+    #[test]
+    fn gc_stats_are_reported_and_peak_tracks_live() {
+        let spec = Spec::from_permutation(&Permutation::from_map(3, {
+            let mut ident: Vec<u32> = (0..8).collect();
+            ident.swap(6, 7); // a Toffoli away from identity
+            ident
+        }));
+        let mut e = BddEngine::new(&spec, &opts(GateLibrary::mct()));
+        for d in 0..3 {
+            if e.solve_depth(d).unwrap().is_some() {
+                break;
+            }
+        }
+        let stats = e.manager_stats();
+        assert!(stats.nodes > 0);
+        assert!(stats.peak_live >= stats.nodes);
+        assert!(stats.cache_hits + stats.cache_misses > 0);
     }
 
     #[test]

@@ -37,6 +37,11 @@ pub trait DepthSolver {
     ///
     /// [`SynthesisError`] when a resource budget is exhausted.
     fn solve_depth(&mut self, d: u32) -> Result<Option<SolutionSet>, SynthesisError>;
+
+    /// BDD manager counters, for engines backed by one (`None` otherwise).
+    fn manager_stats(&self) -> Option<qsyn_bdd::ManagerStats> {
+        None
+    }
 }
 
 impl DepthSolver for BddEngine {
@@ -46,6 +51,10 @@ impl DepthSolver for BddEngine {
 
     fn solve_depth(&mut self, d: u32) -> Result<Option<SolutionSet>, SynthesisError> {
         BddEngine::solve_depth(self, d)
+    }
+
+    fn manager_stats(&self) -> Option<qsyn_bdd::ManagerStats> {
+        Some(BddEngine::manager_stats(self))
     }
 }
 
@@ -77,6 +86,7 @@ pub struct SynthesisResult {
     engine: &'static str,
     depth_times: Vec<Duration>,
     total_time: Duration,
+    bdd_stats: Option<qsyn_bdd::ManagerStats>,
 }
 
 impl SynthesisResult {
@@ -104,6 +114,13 @@ impl SynthesisResult {
     /// Total wall-clock time (the `TIME` column of the paper's tables).
     pub fn total_time(&self) -> Duration {
         self.total_time
+    }
+
+    /// BDD manager counters at the end of the run — live/peak nodes, GC
+    /// activity, computed-table hit rate. `None` for engines not backed by
+    /// a BDD manager (SAT, QBF, mocks).
+    pub fn bdd_stats(&self) -> Option<qsyn_bdd::ManagerStats> {
+        self.bdd_stats
     }
 }
 
@@ -217,6 +234,7 @@ pub fn drive<S: DepthSolver>(
                 engine: engine.name(),
                 depth_times,
                 total_time: start.elapsed(),
+                bdd_stats: engine.manager_stats(),
             });
         }
     }

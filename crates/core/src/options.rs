@@ -101,9 +101,16 @@ pub struct SynthesisOptions {
     /// at this many (quantum-cost statistics then cover the enumerated
     /// prefix only).
     pub max_solutions: usize,
-    /// BDD node budget; exceeding it aborts with
-    /// [`SynthesisError::ResourceLimit`](crate::SynthesisError).
+    /// BDD node budget (counting **live** nodes — the engine garbage
+    /// collects before concluding the budget is exhausted); exceeding it
+    /// aborts with [`SynthesisError::ResourceLimit`](crate::SynthesisError).
     pub bdd_node_limit: usize,
+    /// Use the fused `∀X`-AND quantification kernel in the BDD engine's
+    /// `check()` step, quantifying the equivalence conjunction as it is
+    /// built instead of materializing `⋀_l` first (default). Disabling it
+    /// restores the legacy build-then-quantify path — an A/B ablation and
+    /// the oracle for agreement tests.
+    pub fused_quantification: bool,
     /// SAT/QBF conflict budget per depth; exceeding it aborts with
     /// [`SynthesisError::ResourceLimit`](crate::SynthesisError).
     pub conflict_limit: u64,
@@ -138,6 +145,7 @@ impl SynthesisOptions {
             max_depth: 32,
             max_solutions: 200_000,
             bdd_node_limit: 20_000_000,
+            fused_quantification: true,
             conflict_limit: 20_000_000,
             time_budget: None,
             cancel: CancelToken::new(),
@@ -229,6 +237,14 @@ impl SynthesisOptions {
         self.conflict_limit = conflicts;
         self
     }
+
+    /// Enables or disables the fused `∀`-AND quantification kernel in the
+    /// BDD engine (ablation; default enabled).
+    #[must_use]
+    pub fn with_fused_quantification(mut self, fused: bool) -> SynthesisOptions {
+        self.fused_quantification = fused;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +259,7 @@ mod tests {
         assert_eq!(o.var_order, VarOrder::XThenY);
         assert!(o.max_depth >= 16);
         assert!(o.time_budget.is_none());
+        assert!(o.fused_quantification, "fused check() is the default");
     }
 
     #[test]
@@ -256,6 +273,7 @@ mod tests {
             .with_sat_encoding(SatSelectEncoding::Binary)
             .with_bdd_node_limit(1000)
             .with_conflict_limit(99)
+            .with_fused_quantification(false)
             .with_time_budget(Duration::from_secs(1));
         assert_eq!(o.max_depth, 5);
         assert_eq!(o.max_solutions, 10);
@@ -265,6 +283,7 @@ mod tests {
         assert_eq!(o.sat_encoding, SatSelectEncoding::Binary);
         assert_eq!(o.bdd_node_limit, 1000);
         assert_eq!(o.conflict_limit, 99);
+        assert!(!o.fused_quantification);
         assert_eq!(o.time_budget, Some(Duration::from_secs(1)));
     }
 

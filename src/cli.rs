@@ -139,6 +139,9 @@ pub struct SynthConfig {
     pub timeout: Option<u64>,
     /// `--all` — print every minimal circuit, not just the cheapest.
     pub all: bool,
+    /// `--stats` — print BDD manager counters (live/peak nodes, GC runs,
+    /// computed-table hit rate) after the run.
+    pub stats: bool,
     /// `-o FILE` — write the best circuit to FILE instead of stdout.
     pub output: Option<String>,
 }
@@ -154,6 +157,7 @@ impl Default for SynthConfig {
             max_depth: 32,
             timeout: None,
             all: false,
+            stats: false,
             output: None,
         }
     }
@@ -230,6 +234,7 @@ OPTIONS (synth/bench/batch):
   --max-depth N              depth cap                   [default: 32]
   --timeout SECS             wall-clock budget (per job under `batch`)
   --all                      print every minimal circuit
+  --stats                    print BDD manager counters (nodes, GC, cache)
   -o FILE                    write the cheapest circuit to FILE
 
 OPTIONS (batch only):
@@ -385,6 +390,7 @@ where
             config.timeout = Some(v.parse().map_err(|_| format!("bad timeout `{v}`"))?);
         }
         "--all" => config.all = true,
+        "--stats" => config.stats = true,
         "-o" | "--output" => {
             config.output = Some(args.next().ok_or("-o needs a file")?);
         }
@@ -682,6 +688,7 @@ fn run_synth(
                     p.result.total_time(),
                     race_note(winner.as_deref())
                 )?;
+                emit_stats(&p.result, config, out)?;
                 emit_circuits(&p.result, config, out)
             }
         }
@@ -706,10 +713,29 @@ fn run_synth(
                     r.engine(),
                     race_note(winner.as_deref())
                 )?;
+                emit_stats(&r, config, out)?;
                 emit_circuits(&r, config, out)
             }
         }
     }
+}
+
+fn emit_stats(
+    result: &crate::synth::SynthesisResult,
+    config: &SynthConfig,
+    out: &mut dyn std::io::Write,
+) -> std::io::Result<()> {
+    if config.stats {
+        match result.bdd_stats() {
+            Some(s) => writeln!(out, "bdd: {s}")?,
+            None => writeln!(
+                out,
+                "bdd: n/a ({} engine has no BDD manager)",
+                result.engine()
+            )?,
+        }
+    }
+    Ok(())
 }
 
 fn race_note(winner: Option<&str>) -> String {
@@ -947,6 +973,7 @@ mod tests {
             "--timeout",
             "5",
             "--all",
+            "--stats",
         ])
         .unwrap();
         let Command::Synth { source, config } = cmd else {
@@ -959,7 +986,18 @@ mod tests {
         assert_eq!(config.max_depth, 9);
         assert_eq!(config.timeout, Some(5));
         assert!(config.all);
+        assert!(config.stats);
         assert!(config.gate_library().unwrap().has_mixed_polarity());
+    }
+
+    #[test]
+    fn stats_flag_prints_manager_counters() {
+        let cmd = parse(&["bench", "3_17", "--stats"]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("bdd: "), "{text}");
+        assert!(text.contains("hit rate"), "{text}");
     }
 
     #[test]
