@@ -443,6 +443,25 @@ mod tests {
     }
 
     #[test]
+    fn reset_manager_audits_green() {
+        // `Manager::reset` (the session-recycling path) must leave a
+        // structurally pristine manager: empty caches, coherent unique
+        // table and free list — both straight after the reset and after
+        // building fresh functions over a *different* variable count.
+        let mut m = busy_manager();
+        m.reset(3);
+        audit_manager(&m).expect("freshly reset manager must audit green");
+        let a = m.var(0);
+        let b = m.var(2);
+        let f = m.and(a, b);
+        let _ = m.exists(f, &[0]);
+        audit_manager(&m).expect("reset manager must stay green under reuse");
+        // A second recycle round keeps the invariants too.
+        m.reset(5);
+        audit_manager(&m).expect("second reset must audit green");
+    }
+
+    #[test]
     fn fused_cache_entries_are_revalidated() {
         let mut m = Manager::new(6);
         let vars: Vec<Bdd> = (0..6).map(|v| m.var(v)).collect();

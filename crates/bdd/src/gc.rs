@@ -48,6 +48,10 @@ impl Manager {
     /// after an overflow remain unreliable and the manager should be
     /// discarded.
     pub fn collect_garbage(&mut self, roots: &[Bdd]) -> usize {
+        // A collection is a natural coarse-grained point to notice an
+        // external interrupt (deadline, cancellation) before committing to
+        // a full mark-and-sweep pass.
+        self.poll_interrupt();
         // -- Mark --------------------------------------------------------
         let mut marks = std::mem::take(&mut self.gc_marks);
         marks.clear();

@@ -120,6 +120,8 @@ pub struct ManagerStats {
     pub cache_evictions: u64,
     /// Number of declared variables.
     pub vars: usize,
+    /// Times this manager was recycled via [`Manager::reset`].
+    pub resets: u64,
 }
 
 impl ManagerStats {
@@ -139,7 +141,7 @@ impl std::fmt::Display for ManagerStats {
         write!(
             f,
             "{} live nodes (peak {}), {} gc runs freeing {}, \
-             cache {}/{} slots ({:.1}% hit rate, {} evictions), {} vars",
+             cache {}/{} slots ({:.1}% hit rate, {} evictions), {} vars, {} resets",
             self.nodes,
             self.peak_live,
             self.gc_runs,
@@ -148,7 +150,8 @@ impl std::fmt::Display for ManagerStats {
             self.cache_capacity,
             self.cache_hit_rate() * 100.0,
             self.cache_evictions,
-            self.vars
+            self.vars,
+            self.resets
         )
     }
 }
@@ -176,9 +179,24 @@ pub struct Manager {
     peak_live: usize,
     gc_runs: u64,
     gc_freed: u64,
+    /// Times this manager was recycled via [`Manager::reset`].
+    resets: u64,
+    /// External interrupt probe polled from `mk` (see
+    /// [`Manager::set_interrupt_poll`]); `None` disables polling.
+    interrupt_poll: Option<Box<dyn Fn() -> bool + Send>>,
+    /// Constructions remaining until the next interrupt poll.
+    interrupt_countdown: u32,
+    /// Latched once the interrupt probe fired; see
+    /// [`Manager::is_interrupted`].
+    interrupted: bool,
     /// Scratch mark bitmap reused across collections (see `gc.rs`).
     pub(crate) gc_marks: Vec<bool>,
 }
+
+/// `mk` calls between two polls of the interrupt probe — cheap enough to
+/// be invisible, frequent enough that a cancelled operation stops within
+/// microseconds.
+const INTERRUPT_POLL_STRIDE: u32 = 4096;
 
 impl std::fmt::Debug for Manager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -222,7 +240,87 @@ impl Manager {
             peak_live: 2,
             gc_runs: 0,
             gc_freed: 0,
+            resets: 0,
+            interrupt_poll: None,
+            interrupt_countdown: INTERRUPT_POLL_STRIDE,
+            interrupted: false,
             gc_marks: Vec::new(),
+        }
+    }
+
+    /// Recycles the manager for a new problem over `num_vars` variables:
+    /// the arena is truncated back to the two terminals and the unique
+    /// table, free list, variable sets and computed table are emptied —
+    /// but every container **keeps its allocated capacity**, so a manager
+    /// that grew large tables on one job starts the next job warm instead
+    /// of re-growing them from scratch. The node cap, overflow flag and
+    /// interrupt probe are cleared back to their `new` defaults.
+    ///
+    /// Cumulative lifetime counters (peak live nodes, GC runs/freed,
+    /// cache hits/misses/evictions) survive the reset, and
+    /// [`ManagerStats::resets`] counts how often the manager was recycled.
+    ///
+    /// Every outstanding [`Bdd`] handle dangles after a reset; using one
+    /// is a logic error, exactly as with handles across managers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars >= u32::MAX / 2`, as in [`Manager::new`].
+    pub fn reset(&mut self, num_vars: u32) {
+        assert!(num_vars < u32::MAX / 2, "variable count out of range");
+        self.nodes.truncate(2);
+        self.unique.clear();
+        self.computed.clear();
+        self.free.clear();
+        self.varsets.clear();
+        self.varset_ids.clear();
+        self.num_vars = num_vars;
+        self.node_cap = usize::MAX;
+        self.overflowed = false;
+        self.interrupt_poll = None;
+        self.interrupt_countdown = INTERRUPT_POLL_STRIDE;
+        self.interrupted = false;
+        self.resets += 1;
+    }
+
+    /// Installs (or removes) the interrupt probe: a callback polled every
+    /// few thousand node constructions. Once it returns `true` the manager
+    /// latches into an **interrupted** state that behaves like overflow —
+    /// every further construction returns `⊥` promptly, so a caller's
+    /// deadline or cancellation takes effect *inside* a long-running BDD
+    /// operation instead of only between operations. Check
+    /// [`Manager::is_interrupted`] and discard the results.
+    ///
+    /// The probe must be cheap (an atomic load or a clock read); it runs on
+    /// the construction hot path, if only once per
+    /// [stride](`Manager::reset`) of `mk` calls.
+    pub fn set_interrupt_poll(&mut self, poll: Option<Box<dyn Fn() -> bool + Send>>) {
+        self.interrupt_poll = poll;
+        self.interrupt_countdown = INTERRUPT_POLL_STRIDE;
+        self.interrupted = false;
+    }
+
+    /// `true` once the interrupt probe has fired; all results produced
+    /// since then are unreliable (they collapse to `⊥`).
+    #[inline]
+    pub fn is_interrupted(&self) -> bool {
+        self.interrupted
+    }
+
+    /// Overflow-or-interrupt guard shared by the recursive operations.
+    #[inline]
+    pub(crate) fn aborted(&self) -> bool {
+        self.overflowed || self.interrupted
+    }
+
+    /// Polls the interrupt probe now, regardless of the stride. Used at
+    /// coarse boundaries (garbage collection) where a poll is cheap
+    /// relative to the work it guards.
+    pub(crate) fn poll_interrupt(&mut self) {
+        if let Some(poll) = &self.interrupt_poll {
+            if poll() {
+                self.interrupted = true;
+            }
         }
     }
 
@@ -344,8 +442,18 @@ impl Manager {
     /// Hash-consing constructor enforcing the two ROBDD reduction rules.
     #[inline]
     pub(crate) fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
-        if self.overflowed {
+        if self.overflowed || self.interrupted {
             return Bdd::ZERO;
+        }
+        if self.interrupt_poll.is_some() {
+            self.interrupt_countdown -= 1;
+            if self.interrupt_countdown == 0 {
+                self.interrupt_countdown = INTERRUPT_POLL_STRIDE;
+                self.poll_interrupt();
+                if self.interrupted {
+                    return Bdd::ZERO;
+                }
+            }
         }
         if lo == hi {
             return lo;
@@ -484,15 +592,6 @@ impl Manager {
         self.computed.clear();
     }
 
-    /// Deprecated no-op shim. The computed table is now fixed-capacity and
-    /// lossy (overwrite-on-collision), so it never needs trimming; the old
-    /// behavior of dropping every memoized result at once is gone.
-    #[deprecated(
-        since = "0.3.0",
-        note = "the computed table is bounded by construction; use set_cache_cap to size it"
-    )]
-    pub fn trim_cache(&mut self, _max_entries: usize) {}
-
     /// Current size counters.
     pub fn stats(&self) -> ManagerStats {
         let c = self.computed.counters();
@@ -509,6 +608,7 @@ impl Manager {
             cache_misses: c.misses,
             cache_evictions: c.evictions,
             vars: self.num_vars as usize,
+            resets: self.resets,
         }
     }
 }
@@ -664,16 +764,87 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn trim_cache_is_a_no_op() {
-        let mut m = Manager::new(3);
+    fn reset_empties_tables_but_keeps_capacity_and_counters() {
+        let mut m = Manager::new(6);
+        let mut f = m.zero();
+        for v in 0..6 {
+            let x = m.var(v);
+            f = m.xor(f, x);
+        }
+        m.set_node_cap(1_000_000);
+        let before = m.stats();
+        assert!(before.cache_misses > 0 && before.nodes > 2);
+        m.reset(4);
+        let after = m.stats();
+        assert_eq!(after.nodes, 2, "only the terminals survive");
+        assert_eq!(after.allocated, 2);
+        assert_eq!(after.free_slots, 0);
+        assert_eq!(after.cache_entries, 0);
+        assert_eq!(after.vars, 4);
+        assert_eq!(after.resets, 1);
+        assert!(!m.is_overflowed() && !m.is_interrupted());
+        // Cumulative counters survive; capacity stays warm.
+        assert_eq!(after.cache_misses, before.cache_misses);
+        assert_eq!(after.cache_hits, before.cache_hits);
+        assert!(after.peak_live >= before.peak_live);
+        assert_eq!(after.cache_capacity, before.cache_capacity);
+        // The manager is fully usable after a reset.
+        let a = m.var(0);
+        let b = m.var(3);
+        let c = m.and(a, b);
+        assert!(!c.is_terminal());
+        assert!(m.eval(c, &[true, false, false, true]));
+    }
+
+    #[test]
+    fn reset_clears_overflow_and_node_cap() {
+        let mut m = Manager::new(8);
+        m.set_node_cap(4);
         let a = m.var(0);
         let b = m.var(1);
-        let _ = m.and(a, b);
-        let entries = m.stats().cache_entries;
-        assert!(entries > 0);
-        m.trim_cache(0);
-        assert_eq!(m.stats().cache_entries, entries);
+        let _ = m.xor(a, b);
+        assert!(m.is_overflowed());
+        m.reset(8);
+        assert!(!m.is_overflowed());
+        let a = m.var(0);
+        let b = m.var(1);
+        let x = m.xor(a, b);
+        assert!(!m.is_overflowed());
+        assert!(m.eval(x, &[true, false, false, false, false, false, false, false]));
+    }
+
+    #[test]
+    fn interrupt_poll_latches_and_collapses_results() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let flag = Arc::new(AtomicBool::new(false));
+        let probe = Arc::clone(&flag);
+        let mut m = Manager::new(16);
+        m.set_interrupt_poll(Some(Box::new(move || probe.load(Ordering::SeqCst))));
+        // Build something real first: the probe is false, nothing trips.
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        assert!(!m.is_interrupted() && !ab.is_terminal());
+        flag.store(true, Ordering::SeqCst);
+        // Drive enough constructions through `mk` to cross the poll stride.
+        let mut f = m.zero();
+        for round in 0..10_000 {
+            let x = m.var(round % 16);
+            f = m.xor(f, x);
+            if m.is_interrupted() {
+                break;
+            }
+        }
+        assert!(m.is_interrupted(), "stride-polled probe must latch");
+        // Post-interrupt constructions collapse to ⊥ without panicking.
+        assert!(m.and(a, b).is_zero());
+        // Reset clears the latch and drops the probe.
+        m.reset(16);
+        assert!(!m.is_interrupted());
+        let a = m.var(0);
+        let b = m.var(1);
+        assert!(!m.and(a, b).is_terminal());
     }
 
     #[test]

@@ -8,7 +8,7 @@ impl Manager {
     /// This is the universal binary/ternary operator; all other connectives
     /// are thin wrappers around it.
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
-        if self.is_overflowed() {
+        if self.aborted() {
             return Bdd::ZERO;
         }
         // Terminal and absorption cases.
@@ -44,7 +44,7 @@ impl Manager {
 
     /// Negation `¬f`.
     pub fn not(&mut self, f: Bdd) -> Bdd {
-        if self.is_overflowed() {
+        if self.aborted() {
             return Bdd::ZERO;
         }
         if f.is_zero() {

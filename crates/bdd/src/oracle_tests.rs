@@ -296,6 +296,27 @@ proptest! {
     }
 
     #[test]
+    fn reset_replay_matches_fresh_manager(warmup in arb_expr(), e in arb_expr()) {
+        // Dirty a manager with one random workload, reset it, then replay a
+        // second workload on it and on a brand-new manager: the recycled
+        // manager must be semantically indistinguishable from the fresh one
+        // (same truth tables), and — because a reset leaves exactly the
+        // fresh-manager starting state behind — structurally identical too
+        // (same handles, same node count).
+        let mut recycled = Manager::new(NVARS);
+        let junk = expr_bdd(&mut recycled, &warmup);
+        let _ = recycled.collect_garbage(&[junk]);
+        recycled.reset(NVARS);
+        let mut fresh = Manager::new(NVARS);
+        let fr = expr_bdd(&mut fresh, &e);
+        let rr = expr_bdd(&mut recycled, &e);
+        prop_assert_eq!(bdd_table(&recycled, rr), expr_table(&e));
+        prop_assert_eq!(bdd_table(&recycled, rr), bdd_table(&fresh, fr));
+        prop_assert_eq!(rr, fr, "replay must produce identical handles");
+        prop_assert_eq!(recycled.node_count(), fresh.node_count());
+    }
+
+    #[test]
     fn support_is_exact(e in arb_expr()) {
         let mut m = Manager::new(NVARS);
         let f = expr_bdd(&mut m, &e);

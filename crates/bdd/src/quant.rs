@@ -20,7 +20,7 @@ impl Manager {
     }
 
     fn restrict_rec(&mut self, f: Bdd, var: u32, selector: Bdd) -> Bdd {
-        if self.is_overflowed() {
+        if self.aborted() {
             return Bdd::ZERO;
         }
         let level = self.level(f);
@@ -104,7 +104,7 @@ impl Manager {
     /// Quantifies the variables `varset(id)[pos..]` out of `f`.
     /// `universal` selects ∀ (AND) vs ∃ (OR) combination.
     fn quant_rec(&mut self, f: Bdd, id: u32, pos: u32, universal: bool) -> Bdd {
-        if self.is_overflowed() {
+        if self.aborted() {
             return Bdd::ZERO;
         }
         if f.is_terminal() {
@@ -236,7 +236,7 @@ impl Manager {
     /// conjunctions below is cached as usual.
     fn forall_and_rec(&mut self, mut ops: Vec<Bdd>, set: &[u32], mut pos: usize) -> Bdd {
         loop {
-            if self.is_overflowed() || ops.iter().any(|f| f.is_zero()) {
+            if self.aborted() || ops.iter().any(|f| f.is_zero()) {
                 return Bdd::ZERO;
             }
             ops.retain(|f| !f.is_one());
@@ -290,7 +290,7 @@ impl Manager {
     /// computes `Q varset(id)[pos..] (f ∧ g)` where `Q` is ∀ (`universal`)
     /// or ∃.
     fn and_quant_rec(&mut self, f: Bdd, g: Bdd, id: u32, pos: u32, universal: bool) -> Bdd {
-        if self.is_overflowed() {
+        if self.aborted() {
             return Bdd::ZERO;
         }
         // Terminal and collapse cases reduce to plain quantification.
@@ -368,7 +368,7 @@ impl Manager {
     }
 
     fn compose_rec(&mut self, f: Bdd, var: u32, g: Bdd) -> Bdd {
-        if self.is_overflowed() {
+        if self.aborted() {
             return Bdd::ZERO;
         }
         let level = self.level(f);

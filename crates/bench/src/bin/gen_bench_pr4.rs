@@ -1,0 +1,353 @@
+//! Emits `BENCH_pr4.json` — the tracked benchmark trajectory of the PR 4
+//! session refactor (recyclable BDD managers behind `SynthesisSession`,
+//! unified `ResourceGovernor` budgets).
+//!
+//! The workload is a batch of Table 1 functions, [`ROUNDS`] jobs per
+//! function (grouped by function, the order a batch scheduler with a
+//! canonical-spec cache produces), run twice —
+//!
+//! * **recycled** — one [`SynthesisSession`] for the whole batch, so every
+//!   job after the first checks a reset manager (with warmed unique/
+//!   computed-table capacity) out of the pool instead of allocating one,
+//! * **fresh** — the pre-refactor behaviour: a brand-new manager per job
+//!   ([`synthesize`] builds a throwaway session internally).
+//!
+//! Both modes must agree bit for bit on every job's minimal depth and
+//! solution count; the headline metric is the batch throughput ratio
+//! (jobs/sec recycled over fresh), with the recycled session's manager
+//! and reset counters recorded as exactly reproducible evidence that the
+//! pool actually recycled.
+//!
+//! ```text
+//! cargo run --release -p qsyn-bench --bin gen_bench_pr4            # write BENCH_pr4.json
+//! cargo run --release -p qsyn-bench --bin gen_bench_pr4 -- \
+//!     --check BENCH_pr4.json                                       # CI regression gate
+//! ```
+//!
+//! With `--check BASELINE` the binary still writes a fresh report (to
+//! `BENCH_pr4.new.json`) but exits non-zero when any benchmark's depth or
+//! solution count, or the session's manager/reset counters, differ from
+//! the committed baseline. Wall-clock throughput is recorded for the
+//! trajectory but never gated on (CI runners swing by 2×); the ≥1.15×
+//! speedup bar is asserted only when *generating* a baseline.
+
+use qsyn_core::{synthesize, synthesize_in, Engine, GateLibrary, SynthesisOptions};
+use qsyn_core::{SessionStats, SynthesisSession};
+use qsyn_revlogic::benchmarks;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Benchmarks in the batch: 4-line Table 1 functions whose unique/
+/// computed tables grow enough per job that warmed capacity matters. A
+/// uniform line count means the one pooled manager's warmed tables fit
+/// every job exactly.
+const TRAJECTORY: &[&str] = &["rd32-v0", "decod24-v0"];
+
+/// How many times the trajectory repeats in one batch. More rounds means
+/// more recycled checkouts per allocated manager, which is the effect
+/// under measurement.
+const ROUNDS: usize = 10;
+
+/// Timing repetitions. Each job is timed individually and the per-job
+/// minimum over all runs is summed into the recorded batch time, which
+/// filters scheduler noise spikes per job (depths, solution counts and
+/// session counters are identical across runs).
+const RUNS: usize = 7;
+
+/// Throughput bar asserted at baseline-generation time: the recycled
+/// session must push at least this many times the fresh-manager jobs/sec.
+const SPEEDUP_BAR: f64 = 1.15;
+
+fn options() -> SynthesisOptions {
+    SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd)
+}
+
+/// `(depth, solutions)` per job, in job order.
+type JobResults = Vec<(u32, u128)>;
+
+/// Per-job wall time in milliseconds, in job order.
+type JobTimes = Vec<f64>;
+
+/// Runs the whole batch through one long-lived session.
+fn run_recycled() -> (JobTimes, JobResults, SessionStats) {
+    let opts = options();
+    let mut session = SynthesisSession::new();
+    let mut times = Vec::new();
+    let mut results = Vec::new();
+    for &name in TRAJECTORY {
+        let bench = benchmarks::by_name(name).expect("known benchmark");
+        for _ in 0..ROUNDS {
+            let start = Instant::now();
+            let r = synthesize_in(&bench.spec, &opts, &mut session)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            times.push(start.elapsed().as_secs_f64() * 1e3);
+            results.push((r.depth(), r.solutions().count()));
+        }
+    }
+    (times, results, session.stats())
+}
+
+/// Runs the same batch with a throwaway manager per job.
+fn run_fresh() -> (JobTimes, JobResults) {
+    let opts = options();
+    let mut times = Vec::new();
+    let mut results = Vec::new();
+    for &name in TRAJECTORY {
+        let bench = benchmarks::by_name(name).expect("known benchmark");
+        for _ in 0..ROUNDS {
+            let start = Instant::now();
+            let r = synthesize(&bench.spec, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+            times.push(start.elapsed().as_secs_f64() * 1e3);
+            results.push((r.depth(), r.solutions().count()));
+        }
+    }
+    (times, results)
+}
+
+/// Element-wise minimum, accumulating into `acc`.
+fn min_into(acc: &mut JobTimes, run: &[f64]) {
+    if acc.is_empty() {
+        acc.extend_from_slice(run);
+    } else {
+        for (a, &t) in acc.iter_mut().zip(run) {
+            *a = a.min(t);
+        }
+    }
+}
+
+struct Report {
+    /// Per unique benchmark: `(depth, solutions)`.
+    per_bench: Vec<(&'static str, u32, u128)>,
+    recycled_ms: f64,
+    fresh_ms: f64,
+    stats: SessionStats,
+}
+
+impl Report {
+    fn total_jobs(&self) -> usize {
+        TRAJECTORY.len() * ROUNDS
+    }
+
+    fn recycled_jobs_per_sec(&self) -> f64 {
+        self.total_jobs() as f64 / (self.recycled_ms / 1e3).max(1e-9)
+    }
+
+    fn fresh_jobs_per_sec(&self) -> f64 {
+        self.total_jobs() as f64 / (self.fresh_ms / 1e3).max(1e-9)
+    }
+
+    fn speedup(&self) -> f64 {
+        self.fresh_ms / self.recycled_ms.max(1e-9)
+    }
+}
+
+fn report_json(r: &Report) -> String {
+    let mut out = String::from("{\n  \"generated_by\": \"gen_bench_pr4\",\n");
+    out.push_str("  \"library\": \"mct\",\n  \"engine\": \"bdd\",\n");
+    out.push_str(&format!(
+        "  \"rounds\": {ROUNDS},\n  \"total_jobs\": {},\n  \"benchmarks\": [\n",
+        r.total_jobs()
+    ));
+    for (i, (name, depth, solutions)) in r.per_bench.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"depth\": {depth}, \"solutions\": {solutions} }}{}\n",
+            if i + 1 == r.per_bench.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"recycled\": {{ \"time_ms\": {:.3}, \"jobs_per_sec\": {:.2}, \"managers\": {}, \"resets\": {} }},\n",
+        r.recycled_ms,
+        r.recycled_jobs_per_sec(),
+        r.stats.managers,
+        r.stats.resets
+    ));
+    out.push_str(&format!(
+        "  \"fresh\": {{ \"time_ms\": {:.3}, \"jobs_per_sec\": {:.2} }},\n",
+        r.fresh_ms,
+        r.fresh_jobs_per_sec()
+    ));
+    out.push_str(&format!("  \"speedup\": {:.3}\n}}\n", r.speedup()));
+    out
+}
+
+/// Deterministic metrics scraped back out of a committed report: per-name
+/// `(depth, solutions)` plus the session's `(managers, resets)`.
+struct Baseline {
+    rows: HashMap<String, (u32, u128)>,
+    managers: Option<u64>,
+    resets: Option<u64>,
+}
+
+fn parse_baseline(text: &str) -> Baseline {
+    let mut rows = HashMap::new();
+    let mut managers = None;
+    let mut resets = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("{ \"name\": \"") {
+            let mut name = None;
+            let mut depth = None;
+            let mut solutions = None;
+            for (i, field) in rest
+                .trim_end_matches(&[' ', '}', ','][..])
+                .split(", ")
+                .enumerate()
+            {
+                match (i, field.split_once(": ")) {
+                    (0, _) => name = rest.split('"').next().map(str::to_string),
+                    (_, Some(("\"depth\"", v))) => depth = v.parse().ok(),
+                    (_, Some(("\"solutions\"", v))) => solutions = v.parse().ok(),
+                    _ => {}
+                }
+            }
+            if let (Some(n), Some(d), Some(s)) = (name, depth, solutions) {
+                rows.insert(n, (d, s));
+            }
+        } else if let Some(rest) = line.strip_prefix("\"recycled\": {") {
+            for field in rest.trim_end_matches(&['}', ','][..]).split(", ") {
+                match field.split_once(": ") {
+                    Some(("\"managers\"", v)) => {
+                        managers = v.trim_end_matches('}').trim().parse().ok()
+                    }
+                    Some(("\"resets\"", v)) => resets = v.trim_end_matches('}').trim().parse().ok(),
+                    _ => {}
+                }
+            }
+        }
+    }
+    Baseline {
+        rows,
+        managers,
+        resets,
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut baseline_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => baseline_path = Some(args.next().expect("--check needs a file")),
+            "-o" | "--output" => out_path = Some(args.next().expect("-o needs a file")),
+            other => panic!("unknown option `{other}`"),
+        }
+    }
+
+    let mut recycled_min = JobTimes::new();
+    let mut fresh_min = JobTimes::new();
+    let mut report: Option<Report> = None;
+    for _ in 0..RUNS {
+        let (recycled_times, recycled_results, stats) = run_recycled();
+        let (fresh_times, fresh_results) = run_fresh();
+        assert_eq!(
+            recycled_results, fresh_results,
+            "recycled and fresh batches must agree bit for bit"
+        );
+        min_into(&mut recycled_min, &recycled_times);
+        min_into(&mut fresh_min, &fresh_times);
+        let per_bench: Vec<(&'static str, u32, u128)> = TRAJECTORY
+            .iter()
+            .enumerate()
+            .map(|(i, &name)| {
+                let (d, s) = recycled_results[i * ROUNDS];
+                // Every round reproduces the first round exactly.
+                for round in 1..ROUNDS {
+                    assert_eq!(
+                        recycled_results[i * ROUNDS + round],
+                        (d, s),
+                        "{name}: round {round} diverged"
+                    );
+                }
+                (name, d, s)
+            })
+            .collect();
+        match &mut report {
+            Some(r) => assert_eq!(r.stats, stats, "session counters must be reproducible"),
+            None => {
+                report = Some(Report {
+                    per_bench,
+                    recycled_ms: 0.0,
+                    fresh_ms: 0.0,
+                    stats,
+                })
+            }
+        }
+    }
+    let mut report = report.expect("RUNS > 0");
+    report.recycled_ms = recycled_min.iter().sum();
+    report.fresh_ms = fresh_min.iter().sum();
+
+    println!(
+        "PR 4 batch session-recycling trajectory ({} jobs)",
+        report.total_jobs()
+    );
+    println!(
+        "recycled: {:>8.1}ms ({:>6.1} jobs/s, {} managers, {} resets)",
+        report.recycled_ms,
+        report.recycled_jobs_per_sec(),
+        report.stats.managers,
+        report.stats.resets
+    );
+    println!(
+        "fresh:    {:>8.1}ms ({:>6.1} jobs/s)",
+        report.fresh_ms,
+        report.fresh_jobs_per_sec()
+    );
+    println!("speedup:  {:>8.3}x", report.speedup());
+    assert!(
+        report.stats.resets > 0,
+        "the recycled batch must actually recycle managers"
+    );
+
+    let json = report_json(&report);
+    match baseline_path {
+        None => {
+            assert!(
+                report.speedup() >= SPEEDUP_BAR,
+                "batch with session recycling must be >= {SPEEDUP_BAR}x fresh-manager throughput \
+                 (got {:.3}x)",
+                report.speedup()
+            );
+            let path = out_path.unwrap_or_else(|| "BENCH_pr4.json".to_string());
+            std::fs::write(&path, &json).expect("write report");
+            println!("\nwrote {path}");
+        }
+        Some(path) => {
+            let new_path = out_path.unwrap_or_else(|| "BENCH_pr4.new.json".to_string());
+            std::fs::write(&new_path, &json).expect("write report");
+            let text = std::fs::read_to_string(&path).expect("read baseline");
+            let baseline = parse_baseline(&text);
+            let mut failed = false;
+            for (name, depth, solutions) in &report.per_bench {
+                let Some(&(bd, bs)) = baseline.rows.get(*name) else {
+                    println!("{name}: not in baseline, skipping");
+                    continue;
+                };
+                if (*depth, *solutions) != (bd, bs) {
+                    println!(
+                        "REGRESSION {name}: depth/solutions ({depth}, {solutions}) \
+                         vs baseline ({bd}, {bs})"
+                    );
+                    failed = true;
+                }
+            }
+            if let (Some(bm), Some(br)) = (baseline.managers, baseline.resets) {
+                if (report.stats.managers, report.stats.resets) != (bm, br) {
+                    println!(
+                        "REGRESSION session counters: ({}, {}) managers/resets \
+                         vs baseline ({bm}, {br})",
+                        report.stats.managers, report.stats.resets
+                    );
+                    failed = true;
+                }
+            }
+            if failed {
+                println!("\nbench-smoke: FAILED against {path}");
+                std::process::exit(1);
+            }
+            println!("\nbench-smoke: ok against {path} (fresh report in {new_path})");
+        }
+    }
+}

@@ -93,13 +93,14 @@ pub fn run_budgeted(spec: &Spec, options: &SynthesisOptions, budget: Duration) -
     let options = options.clone().with_time_budget(budget);
     match synthesize(spec, &options) {
         Ok(r) => RunOutcome::Solved(Box::new(r)),
-        Err(SynthesisError::TimeBudgetExceeded { depth }) => RunOutcome::Out {
+        Err(SynthesisError::BudgetExceeded {
+            depth, resource, ..
+        }) => RunOutcome::Out {
             depth,
-            what: "time".into(),
-        },
-        Err(SynthesisError::ResourceLimit { depth, what }) => RunOutcome::Out {
-            depth,
-            what: what.into(),
+            what: match resource {
+                qsyn_core::Resource::WallClock => "time".to_string(),
+                other => other.to_string(),
+            },
         },
         Err(e) => RunOutcome::Out {
             depth: e.depth().unwrap_or(0),

@@ -8,12 +8,12 @@
 //! BDD over `Y` encodes **every** minimal network at once: each model is
 //! one realization.
 
-use crate::cancel::CancelToken;
 use crate::encode::{decode_circuit, select_bits};
 use crate::error::SynthesisError;
 use crate::options::{SynthesisOptions, VarOrder};
+use crate::session::{ManagerPool, PooledManager, ResourceGovernor, SynthesisSession};
 use crate::solutions::SolutionSet;
-use qsyn_bdd::{Bdd, Manager};
+use qsyn_bdd::Bdd;
 use qsyn_revlogic::{Circuit, Gate, Spec};
 
 /// BDD-based depth oracle; see the module docs.
@@ -22,12 +22,14 @@ pub struct BddEngine {
     options: SynthesisOptions,
     gates: Vec<Gate>,
     sbits: u32,
+    governor: ResourceGovernor,
+    pool: ManagerPool,
     built: Built,
 }
 
 /// The mutable BDD state of a (possibly partial) cascade construction.
 struct Built {
-    m: Manager,
+    m: PooledManager,
     /// Variable index of each input line.
     x_vars: Vec<u32>,
     /// Select variables so far, level-major, LSB first.
@@ -66,16 +68,35 @@ impl std::fmt::Debug for BddEngine {
 }
 
 impl BddEngine {
-    /// Prepares an engine for `spec` under `options`.
+    /// Prepares an engine for `spec` under `options` with a throwaway
+    /// session (see [`new_in`](Self::new_in) for the recycling entry
+    /// point).
     pub fn new(spec: &Spec, options: &SynthesisOptions) -> BddEngine {
+        BddEngine::new_in(spec, options, &mut SynthesisSession::new())
+    }
+
+    /// Prepares an engine inside `session`: its manager is checked out of
+    /// the session's [`ManagerPool`] (recycled with warm table capacity
+    /// when a retired one is available) and all budgets are enforced
+    /// through a [`ResourceGovernor`] built from `options`.
+    pub fn new_in(
+        spec: &Spec,
+        options: &SynthesisOptions,
+        session: &mut SynthesisSession,
+    ) -> BddEngine {
         let gates = options.library.enumerate(spec.lines());
         let sbits = select_bits(gates.len());
-        let built = Built::fresh(spec, options, sbits);
+        let governor = ResourceGovernor::from_options(options);
+        governor.arm();
+        let pool = session.pool();
+        let built = Built::fresh(spec, options, sbits, &pool, &governor);
         BddEngine {
             spec: spec.clone(),
             options: options.clone(),
             gates,
             sbits,
+            governor,
+            pool,
             built,
         }
     }
@@ -100,24 +121,27 @@ impl BddEngine {
     ///
     /// # Errors
     ///
-    /// * [`SynthesisError::ResourceLimit`] when the BDD node budget runs
-    ///   out.
-    /// * [`SynthesisError::Cancelled`] / [`SynthesisError::TimeBudgetExceeded`]
-    ///   when the options' cancellation token trips; it is polled between
-    ///   cascade levels and between quantification steps, so cancellation
-    ///   is observed even inside a long depth.
+    /// * [`SynthesisError::BudgetExceeded`] when the BDD node budget runs
+    ///   out (and, via the governor, when the wall clock does).
+    /// * [`SynthesisError::Cancelled`] when the governed token trips; it is
+    ///   polled between cascade levels, between quantification steps, and
+    ///   (through the manager's interrupt probe) inside long node
+    ///   constructions, so cancellation is observed even mid-operation.
     pub fn solve_depth(&mut self, d: u32) -> Result<Option<SolutionSet>, SynthesisError> {
-        self.options.cancel.check(d)?;
+        self.governor.check(d)?;
         if self.built.m.is_overflowed() {
             // A previous depth ran out of nodes; the incremental state is
             // unusable.
-            return Err(SynthesisError::ResourceLimit {
-                depth: d,
-                what: "live BDD node",
-            });
+            return Err(self.governor.nodes_exceeded(d, self.built.m.node_count()));
         }
         if !self.options.incremental {
-            self.built = Built::fresh(&self.spec, &self.options, self.sbits);
+            self.built = Built::fresh(
+                &self.spec,
+                &self.options,
+                self.sbits,
+                &self.pool,
+                &self.governor,
+            );
         }
         assert!(
             self.built.depth <= d,
@@ -125,24 +149,20 @@ impl BddEngine {
             self.built.depth
         );
         while self.built.depth < d {
-            self.options.cancel.check(d)?;
+            self.governor.check(d)?;
             self.built
                 .extend_one_level(&self.gates, self.sbits, &self.options)?;
             // The budget counts *live* nodes: garbage from earlier depths
             // and checks is collected before concluding it is exhausted.
-            self.built
-                .enforce_budget(self.options.bdd_node_limit, &[], d)?;
+            self.built.enforce_budget(&self.governor, &[], d)?;
         }
         // Depth boundary is a GC safe point: every handle the engine still
         // needs is in the root set (state, spec). Collect opportunistically
         // so dead intermediates from previous checks never pile up.
         self.built.maybe_collect();
-        let solutions_bdd = self.built.check(
-            self.options.bdd_node_limit,
-            &self.options.cancel,
-            d,
-            self.options.fused_quantification,
-        )?;
+        let solutions_bdd =
+            self.built
+                .check(&self.governor, d, self.options.fused_quantification)?;
         if solutions_bdd.is_zero() {
             return Ok(None);
         }
@@ -199,19 +219,27 @@ impl BddEngine {
 }
 
 impl Built {
-    /// Fresh depth-0 state: `F_0 = (x_1, …, x_n)`.
-    fn fresh(spec: &Spec, options: &SynthesisOptions, sbits: u32) -> Built {
+    /// Fresh depth-0 state: `F_0 = (x_1, …, x_n)`, over a manager checked
+    /// out of `pool` (recycled when one is available) and wired to the
+    /// governor's interrupt probe.
+    fn fresh(
+        spec: &Spec,
+        options: &SynthesisOptions,
+        sbits: u32,
+        pool: &ManagerPool,
+        governor: &ResourceGovernor,
+    ) -> Built {
         let n = spec.lines();
-        let (mut m, x_vars): (Manager, Vec<u32>) = match options.var_order {
+        let (mut m, x_vars): (PooledManager, Vec<u32>) = match options.var_order {
             VarOrder::XThenY => {
-                let m = Manager::new(n);
+                let m = pool.checkout(n);
                 (m, (0..n).collect())
             }
             VarOrder::YThenX => {
                 // Pre-allocate the select block for the worst-case depth so
                 // that every Y variable sits above every X variable.
                 let y_total = options.max_depth * sbits;
-                let m = Manager::new(y_total + n);
+                let m = pool.checkout(y_total + n);
                 (m, (y_total..y_total + n).collect())
             }
         };
@@ -220,6 +248,11 @@ impl Built {
         // containment; see Manager::set_node_cap / set_cache_cap).
         m.set_node_cap(options.bdd_node_limit.saturating_add(1_000));
         m.set_cache_cap(options.bdd_node_limit.saturating_mul(2));
+        // Long node constructions poll this probe and collapse to ⊥ when
+        // the run is cancelled or out of time; `enforce_budget` turns the
+        // latched interrupt into the structured error before any ⊥ can be
+        // misread as UNSAT.
+        m.set_interrupt_poll(Some(governor.interrupt_probe()));
         let state: Vec<Bdd> = x_vars.iter().map(|&v| m.var(v)).collect();
         // Row minterms over X, shared by the per-line ON/DC set BDDs.
         let minterms: Vec<Bdd> = (0..spec.num_rows() as u32)
@@ -290,27 +323,33 @@ impl Built {
 
     /// Budget enforcement at a GC safe point: when the live-node count
     /// overshoots, collect (rooting `extra` besides the engine state) and
-    /// only report [`SynthesisError::ResourceLimit`] if the overshoot
+    /// only report [`SynthesisError::BudgetExceeded`] if the overshoot
     /// survives the collection — garbage must never exhaust the budget.
     fn enforce_budget(
         &mut self,
-        node_limit: usize,
+        governor: &ResourceGovernor,
         extra: &[Bdd],
         d: u32,
     ) -> Result<(), SynthesisError> {
-        let out_of_nodes = SynthesisError::ResourceLimit {
-            depth: d,
-            what: "live BDD node",
-        };
+        // An interrupted manager has been collapsing results to ⊥ since
+        // its probe fired: surface the structured stop reason before any
+        // ⊥ can be mistaken for UNSAT. Cancellation and deadlines are
+        // sticky, so the governor check cannot miss.
+        if self.m.is_interrupted() {
+            governor.check(d)?;
+            return Err(SynthesisError::Internal {
+                what: "BDD manager interrupted without a tripped token",
+            });
+        }
         // Overflow must be ruled out before trusting any ⊥ result; GC
         // cannot repair an overflowed manager.
         if self.m.is_overflowed() {
-            return Err(out_of_nodes);
+            return Err(governor.nodes_exceeded(d, self.m.node_count()));
         }
-        if self.m.node_count() > node_limit {
+        if self.m.node_count() > governor.node_limit() {
             self.collect(extra);
-            if self.m.node_count() > node_limit {
-                return Err(out_of_nodes);
+            if self.m.node_count() > governor.node_limit() {
+                return Err(governor.nodes_exceeded(d, self.m.node_count()));
             }
         }
         Ok(())
@@ -331,9 +370,11 @@ impl Built {
             }
             VarOrder::YThenX => {
                 if self.depth >= options.max_depth {
-                    return Err(SynthesisError::ResourceLimit {
+                    return Err(SynthesisError::BudgetExceeded {
                         depth: self.depth + 1,
-                        what: "pre-allocated Y-block",
+                        resource: crate::Resource::SelectVarBlock,
+                        spent: u64::from(self.depth + 1),
+                        limit: u64::from(options.max_depth),
                     });
                 }
                 let base = self.depth * sbits;
@@ -441,12 +482,11 @@ impl Built {
     ///
     /// # Errors
     ///
-    /// [`SynthesisError::ResourceLimit`] when the node budget runs out
-    /// mid-construction; cancellation errors from `cancel`.
+    /// [`SynthesisError::BudgetExceeded`] when the node budget runs out
+    /// mid-construction; cancellation errors from the governor.
     fn check(
         &mut self,
-        node_limit: usize,
-        cancel: &CancelToken,
+        governor: &ResourceGovernor,
         d: u32,
         fused: bool,
     ) -> Result<Bdd, SynthesisError> {
@@ -454,29 +494,29 @@ impl Built {
         if fused {
             let mut oks = Vec::with_capacity(n);
             for l in 0..n {
-                cancel.check(d)?;
+                governor.check(d)?;
                 let agree = self.m.xnor(self.state[l], self.spec_on[l]);
                 let ok = self.m.or(self.spec_dc[l], agree);
                 oks.push(ok);
                 // Between lines is a safe point: root the agreement
                 // functions built so far.
-                self.enforce_budget(node_limit, &oks, d)?;
+                self.enforce_budget(governor, &oks, d)?;
             }
             // Quantify the conjunction as it is built: the fused descent
             // walks the X block across all lines at once, so the
             // conjunction over X is never materialized and the first
             // failing input row aborts the whole check.
             let acc = self.m.forall_and_all(&oks, &self.x_vars);
-            self.enforce_budget(node_limit, &[acc], d)?;
+            self.enforce_budget(governor, &[acc], d)?;
             return Ok(acc);
         }
         let mut eq = self.m.one();
         for l in 0..n {
-            cancel.check(d)?;
+            governor.check(d)?;
             let agree = self.m.xnor(self.state[l], self.spec_on[l]);
             let ok = self.m.or(self.spec_dc[l], agree);
             eq = self.m.and(eq, ok);
-            self.enforce_budget(node_limit, &[eq], d)?;
+            self.enforce_budget(governor, &[eq], d)?;
             if eq.is_zero() {
                 return Ok(eq);
             }
@@ -484,10 +524,10 @@ impl Built {
         // X sits on top of the order, so quantifying from the innermost
         // (largest) X variable upward strips one top level at a time.
         for i in (0..self.x_vars.len()).rev() {
-            cancel.check(d)?;
+            governor.check(d)?;
             let v = self.x_vars[i];
             eq = self.m.forall_var(eq, v);
-            self.enforce_budget(node_limit, &[eq], d)?;
+            self.enforce_budget(governor, &[eq], d)?;
             if eq.is_zero() {
                 return Ok(eq);
             }
@@ -696,7 +736,13 @@ mod tests {
         let err = (0..8)
             .find_map(|d| e.solve_depth(d).err())
             .expect("tiny node budget must trip");
-        assert!(matches!(err, SynthesisError::ResourceLimit { .. }));
+        assert!(matches!(
+            err,
+            SynthesisError::BudgetExceeded {
+                resource: crate::Resource::BddNodes,
+                ..
+            }
+        ));
     }
 
     #[test]

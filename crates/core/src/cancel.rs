@@ -6,16 +6,18 @@
 //!
 //! * an explicit **cancel flag**, raised with [`CancelToken::cancel`] —
 //!   surfaces as [`SynthesisError::Cancelled`];
-//! * an optional **deadline**, armed by the driver from
+//! * an optional **deadline**, armed by the
+//!   [`ResourceGovernor`](crate::ResourceGovernor) from
 //!   [`SynthesisOptions::time_budget`](crate::SynthesisOptions) — surfaces
-//!   as [`SynthesisError::TimeBudgetExceeded`].
+//!   as [`SynthesisError::BudgetExceeded`] with
+//!   [`Resource::WallClock`](crate::Resource).
 //!
 //! Engines poll the token inside their per-depth inner loops (between BDD
 //! levels and quantification steps, between solver conflict chunks), so a
 //! single runaway depth no longer ignores the budget and a losing portfolio
 //! racer stops promptly instead of running to completion.
 
-use crate::error::SynthesisError;
+use crate::error::{Resource, SynthesisError};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -34,9 +36,10 @@ pub struct CancelToken {
 struct Inner {
     cancelled: AtomicBool,
     /// Armed lazily (the budget is relative to the run's start, which is
-    /// only known once the driver begins). `Mutex` rather than an atomic:
+    /// only known once the driver begins). Stores `(armed_at, deadline)` so
+    /// expiry can report elapsed-vs-budget. `Mutex` rather than an atomic:
     /// `Instant` is opaque, and the poll rate is bounded by chunk sizes.
-    deadline: Mutex<Option<Instant>>,
+    deadline: Mutex<Option<(Instant, Instant)>>,
     has_deadline: AtomicBool,
     /// Upstream tokens (see [`CancelToken::merged`]): this token also
     /// reports cancelled/expired when any of them does.
@@ -85,23 +88,43 @@ impl CancelToken {
         walk(&self.inner)
     }
 
-    /// Arms (or re-arms) the wall-clock deadline.
+    /// Arms (or re-arms) the wall-clock deadline, measuring the budget
+    /// from now.
     pub fn set_deadline(&self, at: Instant) {
-        *self.inner.deadline.lock().expect("deadline lock") = Some(at);
+        *self.inner.deadline.lock().expect("deadline lock") = Some((Instant::now(), at));
         self.inner.has_deadline.store(true, Ordering::Release);
+    }
+
+    /// `true` if a deadline is armed on this token itself (merge sources
+    /// are not consulted). The [`ResourceGovernor`](crate::ResourceGovernor)
+    /// uses this to arm a run's budget exactly once, so re-entering the
+    /// driver (e.g. the permuted search re-running its winner) never
+    /// extends the budget.
+    pub fn has_deadline(&self) -> bool {
+        self.inner.has_deadline.load(Ordering::Acquire)
     }
 
     /// `true` if a deadline is armed and has passed, on this token or any
     /// of its merge sources.
     pub fn deadline_expired(&self) -> bool {
-        fn walk(inner: &Inner, now: Instant) -> bool {
-            let own = inner.has_deadline.load(Ordering::Acquire)
-                && inner
-                    .deadline
-                    .lock()
-                    .expect("deadline lock")
-                    .is_some_and(|at| now >= at);
-            own || inner.parents.iter().any(|p| walk(p, now))
+        self.expired_budget().is_some()
+    }
+
+    /// If an armed deadline (on this token or a merge source) has passed,
+    /// the elapsed and budgeted wall-clock milliseconds of the first such
+    /// deadline found.
+    fn expired_budget(&self) -> Option<(u64, u64)> {
+        fn walk(inner: &Inner, now: Instant) -> Option<(u64, u64)> {
+            if inner.has_deadline.load(Ordering::Acquire) {
+                if let Some((armed_at, at)) = *inner.deadline.lock().expect("deadline lock") {
+                    if now >= at {
+                        let spent = now.duration_since(armed_at).as_millis() as u64;
+                        let limit = at.duration_since(armed_at).as_millis() as u64;
+                        return Some((spent, limit));
+                    }
+                }
+            }
+            inner.parents.iter().find_map(|p| walk(p, now))
         }
         walk(&self.inner, Instant::now())
     }
@@ -111,13 +134,19 @@ impl CancelToken {
     /// # Errors
     ///
     /// * [`SynthesisError::Cancelled`] when the flag is raised,
-    /// * [`SynthesisError::TimeBudgetExceeded`] when the deadline passed.
+    /// * [`SynthesisError::BudgetExceeded`] with [`Resource::WallClock`]
+    ///   when the deadline passed.
     pub fn check(&self, depth: u32) -> Result<(), SynthesisError> {
         if self.is_cancelled() {
             return Err(SynthesisError::Cancelled { depth });
         }
-        if self.deadline_expired() {
-            return Err(SynthesisError::TimeBudgetExceeded { depth });
+        if let Some((spent, limit)) = self.expired_budget() {
+            return Err(SynthesisError::BudgetExceeded {
+                depth,
+                resource: Resource::WallClock,
+                spent,
+                limit,
+            });
         }
         Ok(())
     }
@@ -145,13 +174,19 @@ mod tests {
     }
 
     #[test]
-    fn expired_deadline_reports_time_budget() {
+    fn expired_deadline_reports_wall_clock_budget() {
         let t = CancelToken::with_timeout(Duration::ZERO);
         assert!(t.deadline_expired());
-        assert_eq!(
-            t.check(2),
-            Err(SynthesisError::TimeBudgetExceeded { depth: 2 })
-        );
+        assert!(t.has_deadline());
+        match t.check(2) {
+            Err(SynthesisError::BudgetExceeded {
+                depth: 2,
+                resource: Resource::WallClock,
+                limit: 0,
+                ..
+            }) => {}
+            other => panic!("expected wall-clock budget error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -193,10 +228,15 @@ mod tests {
         let a = CancelToken::with_timeout(Duration::ZERO);
         let m = CancelToken::merged([&a]);
         assert!(m.deadline_expired());
-        assert_eq!(
+        assert!(!m.has_deadline(), "has_deadline reports the token itself");
+        assert!(matches!(
             m.check(3),
-            Err(SynthesisError::TimeBudgetExceeded { depth: 3 })
-        );
+            Err(SynthesisError::BudgetExceeded {
+                depth: 3,
+                resource: Resource::WallClock,
+                ..
+            })
+        ));
     }
 
     #[test]

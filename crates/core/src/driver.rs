@@ -10,6 +10,7 @@ use crate::error::SynthesisError;
 use crate::options::{Engine, SynthesisOptions};
 use crate::qbf_engine::QbfEngine;
 use crate::sat_engine::SatEngine;
+use crate::session::SynthesisSession;
 use crate::solutions::SolutionSet;
 use qsyn_revlogic::Spec;
 use std::time::{Duration, Instant};
@@ -160,25 +161,42 @@ pub fn depth_lower_bound(spec: &Spec, options: &SynthesisOptions) -> u32 {
 ///   (the universal-gate table alone would be astronomically large).
 /// * [`SynthesisError::DepthLimitReached`] when `options.max_depth` is
 ///   exhausted — every depth up to the cap is then *proven* unrealizable.
-/// * [`SynthesisError::TimeBudgetExceeded`] / [`SynthesisError::ResourceLimit`]
-///   when budgets run out.
+/// * [`SynthesisError::BudgetExceeded`] when any resource budget (wall
+///   clock, BDD nodes, SAT conflicts, QBF decisions) runs out.
 /// * [`SynthesisError::Cancelled`] when the options'
 ///   [`CancelToken`](crate::CancelToken) is cancelled by a supervisor.
 pub fn synthesize(
     spec: &Spec,
     options: &SynthesisOptions,
 ) -> Result<SynthesisResult, SynthesisError> {
+    synthesize_in(spec, options, &mut SynthesisSession::new())
+}
+
+/// [`synthesize`], but borrowing a caller-owned [`SynthesisSession`] so the
+/// BDD manager pool (and its warmed unique/computed tables) survives across
+/// jobs. Batch drivers and portfolio workers call this once per job on a
+/// long-lived session; `synthesize` itself is the one-shot special case.
+///
+/// # Errors
+///
+/// See [`synthesize`].
+pub fn synthesize_in(
+    spec: &Spec,
+    options: &SynthesisOptions,
+    session: &mut SynthesisSession,
+) -> Result<SynthesisResult, SynthesisError> {
+    session.begin_job();
     match options.engine {
         Engine::Bdd => {
-            let mut engine = BddEngine::new(spec, options);
+            let mut engine = BddEngine::new_in(spec, options, session);
             drive(spec, options, &mut engine)
         }
         Engine::Qbf => {
-            let mut engine = QbfEngine::new(spec, options);
+            let mut engine = QbfEngine::new_in(spec, options, session);
             drive(spec, options, &mut engine)
         }
         Engine::Sat => {
-            let mut engine = SatEngine::new(spec, options);
+            let mut engine = SatEngine::new_in(spec, options, session);
             drive(spec, options, &mut engine)
         }
     }
@@ -200,12 +218,12 @@ pub fn drive<S: DepthSolver>(
         });
     }
     let start = Instant::now();
-    // Arm the shared token's deadline so the budget is enforced *inside*
-    // the engines' per-depth loops, not just here between depths. Engines
-    // hold clones of `options`, and clones share the token.
-    if let Some(budget) = options.time_budget {
-        options.cancel.set_deadline(start + budget);
-    }
+    // The wall-clock deadline is armed by the engine's `ResourceGovernor`
+    // at construction (`ResourceGovernor::arm`), so it is enforced inside
+    // the per-depth loops. Callers driving a bare `DepthSolver` that never
+    // built a governor arm one here so `drive` honours the budget too.
+    let governor = crate::session::ResourceGovernor::from_options(options);
+    governor.arm();
     let mut depth_times = Vec::new();
     let first_depth = if options.start_at_lower_bound {
         depth_lower_bound(spec, options).min(options.max_depth)
@@ -213,7 +231,7 @@ pub fn drive<S: DepthSolver>(
         0
     };
     for d in first_depth..=options.max_depth {
-        options.cancel.check(d)?;
+        governor.check(d)?;
         let depth_start = Instant::now();
         let outcome = engine.solve_depth(d)?;
         depth_times.push(depth_start.elapsed());
@@ -303,7 +321,13 @@ mod tests {
                 .with_time_budget(Duration::ZERO),
         )
         .unwrap_err();
-        assert!(matches!(err, SynthesisError::TimeBudgetExceeded { .. }));
+        assert!(matches!(
+            err,
+            SynthesisError::BudgetExceeded {
+                resource: crate::Resource::WallClock,
+                ..
+            }
+        ));
     }
 
     #[test]

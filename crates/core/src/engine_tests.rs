@@ -243,6 +243,70 @@ fn benchmark_3_17_minimal_depth_and_all_solutions() {
 }
 
 #[test]
+fn wall_clock_budget_surfaces_identically_through_all_engines() {
+    // A zero wall-clock budget must trip as `BudgetExceeded { WallClock }`
+    // regardless of which engine is doing the work — the governor is the
+    // single enforcement point.
+    let spec = Spec::from_permutation(&Permutation::from_map(2, vec![3, 0, 1, 2]));
+    for engine in [Engine::Bdd, Engine::Qbf, Engine::Sat] {
+        let err = synthesize(
+            &spec,
+            &mct_opts(engine).with_time_budget(std::time::Duration::ZERO),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::SynthesisError::BudgetExceeded {
+                    resource: crate::Resource::WallClock,
+                    ..
+                }
+            ),
+            "{engine:?}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn per_engine_budgets_surface_as_budget_exceeded() {
+    // Each engine's own bottleneck resource reports through the same
+    // variant, tagged with the engine-specific resource kind.
+    let spec = Spec::from_permutation(&Permutation::from_map(3, vec![7, 1, 4, 3, 0, 2, 6, 5]));
+    let cases: [(Engine, crate::Resource, SynthesisOptions); 3] = [
+        (
+            Engine::Bdd,
+            crate::Resource::BddNodes,
+            mct_opts(Engine::Bdd).with_bdd_node_limit(50),
+        ),
+        (
+            Engine::Sat,
+            crate::Resource::SatConflicts,
+            mct_opts(Engine::Sat).with_conflict_limit(1),
+        ),
+        (
+            Engine::Qbf,
+            crate::Resource::SatConflicts,
+            mct_opts(Engine::Qbf).with_conflict_limit(1),
+        ),
+    ];
+    for (engine, resource, opts) in cases {
+        let err = synthesize(&spec, &opts).unwrap_err();
+        match err {
+            crate::SynthesisError::BudgetExceeded {
+                resource: got,
+                spent,
+                limit,
+                ..
+            } => {
+                assert_eq!(got, resource, "{engine:?}");
+                assert!(spent >= limit, "{engine:?}: spent {spent} < limit {limit}");
+            }
+            other => panic!("{engine:?}: expected BudgetExceeded, got {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn incomplete_rd32_synthesizes_with_dont_cares() {
     let spec = qsyn_revlogic::benchmarks::spec_rd32_v0();
     let r = synthesize(

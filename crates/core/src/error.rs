@@ -1,5 +1,40 @@
 //! Synthesis errors.
 
+/// The resource kinds a [`ResourceGovernor`](crate::ResourceGovernor)
+/// budgets. Each maps to one limit knob on
+/// [`SynthesisOptions`](crate::SynthesisOptions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Wall-clock time, measured in milliseconds
+    /// ([`SynthesisOptions::time_budget`](crate::SynthesisOptions)).
+    WallClock,
+    /// Live BDD nodes
+    /// ([`SynthesisOptions::bdd_node_limit`](crate::SynthesisOptions)).
+    BddNodes,
+    /// CDCL solver conflicts per depth
+    /// ([`SynthesisOptions::conflict_limit`](crate::SynthesisOptions)).
+    SatConflicts,
+    /// QDPLL decisions per depth (shares
+    /// [`SynthesisOptions::conflict_limit`](crate::SynthesisOptions)).
+    QbfDecisions,
+    /// Pre-allocated select-variable levels (only exhaustible under
+    /// [`VarOrder::YThenX`](crate::VarOrder), whose select block is sized
+    /// up front from `max_depth`).
+    SelectVarBlock,
+}
+
+impl std::fmt::Display for Resource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Resource::WallClock => write!(f, "wall-clock (ms)"),
+            Resource::BddNodes => write!(f, "live BDD node"),
+            Resource::SatConflicts => write!(f, "SAT conflict"),
+            Resource::QbfDecisions => write!(f, "QDPLL decision"),
+            Resource::SelectVarBlock => write!(f, "pre-allocated select-level"),
+        }
+    }
+}
+
 /// Reasons a synthesis run can fail.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SynthesisError {
@@ -9,17 +44,20 @@ pub enum SynthesisError {
         /// unrealizable).
         max_depth: u32,
     },
-    /// A per-depth resource budget (BDD nodes, solver conflicts) ran out.
-    ResourceLimit {
+    /// A resource budget ran out (wall clock, BDD nodes, solver
+    /// conflicts/decisions). Raised exclusively by the
+    /// [`ResourceGovernor`](crate::ResourceGovernor), so every engine
+    /// reports exhaustion identically.
+    BudgetExceeded {
         /// Depth being solved when the budget ran out.
         depth: u32,
         /// Which budget was exhausted.
-        what: &'static str,
-    },
-    /// The wall-clock budget ran out.
-    TimeBudgetExceeded {
-        /// First depth that was *not* fully solved.
-        depth: u32,
+        resource: Resource,
+        /// How much had been spent when the governor tripped (same unit
+        /// as `limit`).
+        spent: u64,
+        /// The configured limit.
+        limit: u64,
     },
     /// The run was cancelled through its
     /// [`CancelToken`](crate::CancelToken) — e.g. a portfolio racer lost to
@@ -49,9 +87,9 @@ impl SynthesisError {
     pub fn depth(&self) -> Option<u32> {
         match *self {
             SynthesisError::DepthLimitReached { max_depth } => Some(max_depth),
-            SynthesisError::ResourceLimit { depth, .. }
-            | SynthesisError::TimeBudgetExceeded { depth }
-            | SynthesisError::Cancelled { depth } => Some(depth),
+            SynthesisError::BudgetExceeded { depth, .. } | SynthesisError::Cancelled { depth } => {
+                Some(depth)
+            }
             SynthesisError::SpecTooLarge { .. } | SynthesisError::Internal { .. } => None,
         }
     }
@@ -63,11 +101,17 @@ impl std::fmt::Display for SynthesisError {
             SynthesisError::DepthLimitReached { max_depth } => {
                 write!(f, "no realization with at most {max_depth} gates")
             }
-            SynthesisError::ResourceLimit { depth, what } => {
-                write!(f, "{what} budget exhausted while solving depth {depth}")
-            }
-            SynthesisError::TimeBudgetExceeded { depth } => {
-                write!(f, "time budget exceeded before finishing depth {depth}")
+            SynthesisError::BudgetExceeded {
+                depth,
+                resource,
+                spent,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "{resource} budget exhausted while solving depth {depth} \
+                     ({spent} spent of {limit})"
+                )
             }
             SynthesisError::Cancelled { depth } => {
                 write!(f, "synthesis cancelled before finishing depth {depth}")
@@ -96,15 +140,22 @@ mod tests {
         assert!(SynthesisError::DepthLimitReached { max_depth: 4 }
             .to_string()
             .contains("4 gates"));
-        assert!(SynthesisError::ResourceLimit {
+        let budget = SynthesisError::BudgetExceeded {
             depth: 3,
-            what: "BDD node"
+            resource: Resource::BddNodes,
+            spent: 1_234,
+            limit: 1_000,
+        };
+        assert!(budget.to_string().contains("depth 3"));
+        assert!(budget.to_string().contains("1234 spent of 1000"));
+        assert!(SynthesisError::BudgetExceeded {
+            depth: 2,
+            resource: Resource::WallClock,
+            spent: 10,
+            limit: 5,
         }
         .to_string()
-        .contains("depth 3"));
-        assert!(SynthesisError::TimeBudgetExceeded { depth: 2 }
-            .to_string()
-            .contains("time budget"));
+        .contains("wall-clock"));
         assert!(SynthesisError::Cancelled { depth: 5 }
             .to_string()
             .contains("cancelled"));

@@ -57,16 +57,20 @@ mod options;
 pub mod permuted;
 mod qbf_engine;
 mod sat_engine;
+mod session;
 mod solutions;
 pub mod transform;
 
 pub use bdd_engine::BddEngine;
 pub use cancel::CancelToken;
-pub use driver::{depth_lower_bound, synthesize, DepthOutcome, DepthSolver, SynthesisResult};
-pub use error::SynthesisError;
+pub use driver::{
+    depth_lower_bound, synthesize, synthesize_in, DepthOutcome, DepthSolver, SynthesisResult,
+};
+pub use error::{Resource, SynthesisError};
 pub use options::{Engine, QbfBackend, SatSelectEncoding, SynthesisOptions, VarOrder};
 pub use qbf_engine::QbfEngine;
 pub use sat_engine::SatEngine;
+pub use session::{ManagerPool, PooledManager, ResourceGovernor, SessionStats, SynthesisSession};
 pub use solutions::SolutionSet;
 
 // Re-export the domain types users need to drive the API.

@@ -103,7 +103,8 @@ pub struct SynthesisOptions {
     pub max_solutions: usize,
     /// BDD node budget (counting **live** nodes — the engine garbage
     /// collects before concluding the budget is exhausted); exceeding it
-    /// aborts with [`SynthesisError::ResourceLimit`](crate::SynthesisError).
+    /// aborts with
+    /// [`SynthesisError::BudgetExceeded`](crate::SynthesisError).
     pub bdd_node_limit: usize,
     /// Use the fused `∀X`-AND quantification kernel in the BDD engine's
     /// `check()` step, quantifying the equivalence conjunction as it is
@@ -112,12 +113,15 @@ pub struct SynthesisOptions {
     /// the oracle for agreement tests.
     pub fused_quantification: bool,
     /// SAT/QBF conflict budget per depth; exceeding it aborts with
-    /// [`SynthesisError::ResourceLimit`](crate::SynthesisError).
+    /// [`SynthesisError::BudgetExceeded`](crate::SynthesisError).
     pub conflict_limit: u64,
-    /// Wall-clock budget for the whole run. The driver arms the
-    /// [`cancel`](Self::cancel) token's deadline from this, so the budget
-    /// is enforced both between depths and inside each engine's per-depth
-    /// inner loops.
+    /// Wall-clock budget for the whole run. The engine's
+    /// [`ResourceGovernor`](crate::ResourceGovernor) arms the
+    /// [`cancel`](Self::cancel) token's deadline from this at
+    /// construction, so the budget is enforced both between depths and
+    /// inside each engine's per-depth inner loops. The first arming wins:
+    /// re-entering the driver with the same token never extends the
+    /// deadline.
     pub time_budget: Option<Duration>,
     /// Cooperative cancellation handle, polled by the engines mid-depth.
     /// Defaults to a token that never trips. Clones of these options share

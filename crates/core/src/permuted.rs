@@ -11,9 +11,10 @@
 //! specification (the search is minimal in the gate count, and among the
 //! depth-minimal options the identity permutation is preferred).
 
-use crate::driver::{drive, SynthesisResult};
+use crate::driver::{synthesize_in, SynthesisResult};
 use crate::error::SynthesisError;
 use crate::options::{Engine, SynthesisOptions};
+use crate::session::{ResourceGovernor, SynthesisSession};
 use crate::{BddEngine, DepthSolver, QbfEngine, SatEngine};
 use qsyn_revlogic::{Spec, SpecError};
 
@@ -109,11 +110,28 @@ pub fn synthesize_with_output_permutation(
     spec: &Spec,
     options: &SynthesisOptions,
 ) -> Result<PermutedSynthesisResult, SynthesisError> {
+    synthesize_with_output_permutation_in(spec, options, &mut SynthesisSession::new())
+}
+
+/// [`synthesize_with_output_permutation`], but borrowing a caller-owned
+/// [`SynthesisSession`]. All `n!` per-permutation engines draw their BDD
+/// managers from the session's pool, which grows to the lock-step
+/// high-water mark once and recycles managers thereafter.
+///
+/// # Errors
+///
+/// See [`synthesize_with_output_permutation`].
+pub fn synthesize_with_output_permutation_in(
+    spec: &Spec,
+    options: &SynthesisOptions,
+    session: &mut SynthesisSession,
+) -> Result<PermutedSynthesisResult, SynthesisError> {
     if spec.lines() > 8 {
         return Err(SynthesisError::SpecTooLarge {
             lines: spec.lines(),
         });
     }
+    session.begin_job();
     let perms = permutations(spec.lines());
     // One engine per permutation so the incremental BDD state is reused
     // across depths within each permutation.
@@ -122,69 +140,54 @@ pub fn synthesize_with_output_permutation(
         .filter_map(|p| permute_spec(spec, &p).ok().map(|s| (p, s)))
         .collect();
     // Per-permutation single-depth probing, all permutations advancing in
-    // lock-step so the first hit is depth-minimal.
+    // lock-step so the first hit is depth-minimal. Each engine builds its
+    // own governor from `options` (arming the shared deadline once — see
+    // `ResourceGovernor::arm`) and checks a manager out of the session
+    // pool.
     let mut engines: Vec<Box<dyn DepthSolver>> = candidates
         .iter()
         .map(|(_, s)| -> Box<dyn DepthSolver> {
             match options.engine {
-                Engine::Bdd => Box::new(BddEngine::new(s, options)),
-                Engine::Qbf => Box::new(QbfEngine::new(s, options)),
-                Engine::Sat => Box::new(SatEngine::new(s, options)),
+                Engine::Bdd => Box::new(BddEngine::new_in(s, options, session)),
+                Engine::Qbf => Box::new(QbfEngine::new_in(s, options, session)),
+                Engine::Sat => Box::new(SatEngine::new_in(s, options, session)),
             }
         })
         .collect();
-    let start = std::time::Instant::now();
-    // Arm the shared token's deadline (see `drive`): the engines created
-    // above hold clones of `options` and poll the same token mid-depth.
-    if let Some(budget) = options.time_budget {
-        options.cancel.set_deadline(start + budget);
-    }
-    for d in 0..=options.max_depth {
-        options.cancel.check(d)?;
+    let governor = ResourceGovernor::from_options(options);
+    governor.arm();
+    let mut winner: Option<(usize, u32)> = None;
+    'deepen: for d in 0..=options.max_depth {
+        governor.check(d)?;
         for (idx, engine) in engines.iter_mut().enumerate() {
-            if let Some(solutions) = engine.solve_depth(d)? {
-                let (permutation, permuted_spec) = candidates.swap_remove(idx);
-                // Re-run the stock driver on the winning spec to get a
-                // fully-populated result (timings, engine label); its
-                // minimal depth is d by construction.
-                let result = {
-                    let mut capped = options.clone();
-                    capped.max_depth = d;
-                    drive_one(&permuted_spec, &capped, options.engine)?
-                };
-                debug_assert_eq!(result.depth(), d);
-                let _ = solutions;
-                return Ok(PermutedSynthesisResult {
-                    result,
-                    permutation,
-                });
+            if engine.solve_depth(d)?.is_some() {
+                winner = Some((idx, d));
+                break 'deepen;
             }
         }
     }
-    Err(SynthesisError::DepthLimitReached {
-        max_depth: options.max_depth,
+    let Some((idx, d)) = winner else {
+        return Err(SynthesisError::DepthLimitReached {
+            max_depth: options.max_depth,
+        });
+    };
+    let (permutation, permuted_spec) = candidates.swap_remove(idx);
+    // Drop the probe engines first so their pooled managers return to the
+    // session before the winner re-runs.
+    drop(engines);
+    // Re-run the stock driver on the winning spec to get a fully-populated
+    // result (timings, engine label); its minimal depth is d by
+    // construction.
+    let result = {
+        let mut capped = options.clone();
+        capped.max_depth = d;
+        synthesize_in(&permuted_spec, &capped, session)?
+    };
+    debug_assert_eq!(result.depth(), d);
+    Ok(PermutedSynthesisResult {
+        result,
+        permutation,
     })
-}
-
-fn drive_one(
-    spec: &Spec,
-    options: &SynthesisOptions,
-    engine: Engine,
-) -> Result<SynthesisResult, SynthesisError> {
-    match engine {
-        Engine::Bdd => {
-            let mut e = BddEngine::new(spec, options);
-            drive(spec, options, &mut e)
-        }
-        Engine::Qbf => {
-            let mut e = QbfEngine::new(spec, options);
-            drive(spec, options, &mut e)
-        }
-        Engine::Sat => {
-            let mut e = SatEngine::new(spec, options);
-            drive(spec, options, &mut e)
-        }
-    }
 }
 
 #[cfg(test)]

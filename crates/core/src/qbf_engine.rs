@@ -7,11 +7,11 @@
 //! constraints appear **once**; the specification is enforced by the
 //! universal quantification of the inputs.
 
-use crate::cancel::CancelToken;
 use crate::encode::{decode_circuit, select_bits};
 use crate::error::SynthesisError;
 use crate::options::{QbfBackend, SynthesisOptions};
 use crate::sat_engine::{solve_chunked, FIRST_CONFLICT_CHUNK};
+use crate::session::{ResourceGovernor, SynthesisSession};
 use crate::solutions::SolutionSet;
 use qsyn_qbf::{ExpansionSolver, QbfFormula, QdpllSolver, Quantifier};
 use qsyn_revlogic::{Circuit, Gate, Spec};
@@ -23,6 +23,7 @@ pub struct QbfEngine {
     options: SynthesisOptions,
     gates: Vec<Gate>,
     sbits: u32,
+    governor: ResourceGovernor,
     /// Size (vars, clauses) of the last generated instance.
     last_instance_size: (u32, usize),
 }
@@ -37,15 +38,31 @@ impl std::fmt::Debug for QbfEngine {
 }
 
 impl QbfEngine {
-    /// Prepares an engine for `spec` under `options`.
+    /// Prepares an engine for `spec` under `options` with a throwaway
+    /// session (see [`new_in`](Self::new_in)).
     pub fn new(spec: &Spec, options: &SynthesisOptions) -> QbfEngine {
+        QbfEngine::new_in(spec, options, &mut SynthesisSession::new())
+    }
+
+    /// Prepares an engine inside `session`. Like the SAT baseline, the
+    /// QBF engine keeps no BDD state; the session contributes the
+    /// [`ResourceGovernor`] wiring and keeps construction uniform across
+    /// engines.
+    pub fn new_in(
+        spec: &Spec,
+        options: &SynthesisOptions,
+        _session: &mut SynthesisSession,
+    ) -> QbfEngine {
         let gates = options.library.enumerate(spec.lines());
         let sbits = select_bits(gates.len());
+        let governor = ResourceGovernor::from_options(options);
+        governor.arm();
         QbfEngine {
             spec: spec.clone(),
             options: options.clone(),
             gates,
             sbits,
+            governor,
             last_instance_size: (0, 0),
         }
     }
@@ -149,11 +166,11 @@ impl QbfEngine {
     ///
     /// # Errors
     ///
-    /// [`SynthesisError::ResourceLimit`] when the conflict budget runs out;
-    /// cancellation errors from the options' token, polled between budget
-    /// chunks of both backends.
+    /// [`SynthesisError::BudgetExceeded`] when the decision/conflict budget
+    /// runs out; cancellation errors from the governor, polled between
+    /// budget chunks of both backends.
     pub fn solve_depth(&mut self, d: u32) -> Result<Option<SolutionSet>, SynthesisError> {
-        self.options.cancel.check(d)?;
+        self.governor.check(d)?;
         let qbf = self.instance(d);
         // Debug builds re-check the instance's prefix and matrix invariants,
         // including closure — every matrix variable must be quantified (see
@@ -165,22 +182,16 @@ impl QbfEngine {
         self.last_instance_size = (qbf.num_vars(), qbf.matrix().len());
         // The QDPLL backend decides truth first (the measured solver); the
         // witness for circuit extraction always comes from expansion.
-        if self.options.qbf_backend == QbfBackend::Qdpll
-            && !qdpll_chunked(&qbf, self.options.conflict_limit, &self.options.cancel, d)?
+        if self.options.qbf_backend == QbfBackend::Qdpll && !qdpll_chunked(&qbf, &self.governor, d)?
         {
             return Ok(None);
         }
         // Drive the backend SAT solve of the expansion ourselves so the
-        // token is polled between conflict chunks.
+        // governor is polled between conflict chunks.
         let mut expansion = ExpansionSolver::new(&qbf);
         let cnf = expansion.expanded_cnf();
         let mut solver = Solver::from_formula(&cnf);
-        let witness = match solve_chunked(
-            &mut solver,
-            self.options.conflict_limit,
-            &self.options.cancel,
-            d,
-        )? {
+        let witness = match solve_chunked(&mut solver, &self.governor, d)? {
             SolveResult::Unsat => return Ok(None),
             // Original variables keep their indices in the expanded CNF, so
             // the model's prefix is the ∃Y witness (see
@@ -203,34 +214,31 @@ impl QbfEngine {
     }
 }
 
-/// Decides `qbf` with QDPLL under `limit` total decisions, polling `cancel`
-/// between doubling budget chunks. The solver's decision counter is
-/// cumulative while its search restarts per call, so doubling amortizes the
-/// restarted work to a constant factor.
+/// Decides `qbf` with QDPLL under the governor's decision limit, polling
+/// the governor between doubling budget chunks. The solver's decision
+/// counter is cumulative while its search restarts per call, so doubling
+/// amortizes the restarted work to a constant factor.
 ///
 /// # Errors
 ///
-/// [`SynthesisError::ResourceLimit`] once `limit` decisions are spent;
-/// cancellation errors from `cancel`.
+/// [`SynthesisError::BudgetExceeded`] once the limit's decisions are
+/// spent; cancellation/deadline errors from the governor.
 fn qdpll_chunked(
     qbf: &QbfFormula,
-    limit: u64,
-    cancel: &CancelToken,
+    governor: &ResourceGovernor,
     d: u32,
 ) -> Result<bool, SynthesisError> {
+    let limit = governor.conflict_limit();
     let mut solver = QdpllSolver::new(qbf);
     let mut budget = FIRST_CONFLICT_CHUNK.min(limit);
     loop {
-        cancel.check(d)?;
+        governor.check(d)?;
         solver.set_decision_budget(budget);
         if let Some(verdict) = solver.solve_limited() {
             return Ok(verdict);
         }
         if budget >= limit {
-            return Err(SynthesisError::ResourceLimit {
-                depth: d,
-                what: "QDPLL decision",
-            });
+            return Err(governor.decisions_exceeded(d, budget));
         }
         budget = budget.saturating_mul(2).min(limit);
     }

@@ -10,10 +10,10 @@
 //! Two gate-select encodings are provided: one-hot (as in the original
 //! exact SAT synthesis \[9\]) and binary (the improvement direction of \[22\]).
 
-use crate::cancel::CancelToken;
 use crate::encode::{decode_circuit, select_bits};
 use crate::error::SynthesisError;
 use crate::options::{SatSelectEncoding, SynthesisOptions};
+use crate::session::{ResourceGovernor, SynthesisSession};
 use crate::solutions::SolutionSet;
 use qsyn_revlogic::{Circuit, Gate, Spec};
 use qsyn_sat::{CnfBuilder, Lit, SolveResult, Solver};
@@ -24,6 +24,7 @@ pub struct SatEngine {
     options: SynthesisOptions,
     gates: Vec<Gate>,
     sbits: u32,
+    governor: ResourceGovernor,
     /// Size (vars, clauses) of the last generated instance.
     last_instance_size: (u32, usize),
 }
@@ -46,15 +47,32 @@ enum Selects {
 }
 
 impl SatEngine {
-    /// Prepares an engine for `spec` under `options`.
+    /// Prepares an engine for `spec` under `options` with a throwaway
+    /// session (see [`new_in`](Self::new_in) for the recycling entry
+    /// point).
     pub fn new(spec: &Spec, options: &SynthesisOptions) -> SatEngine {
+        SatEngine::new_in(spec, options, &mut SynthesisSession::new())
+    }
+
+    /// Prepares an engine inside `session`. The SAT baseline keeps no BDD
+    /// state, so the session only contributes its [`ResourceGovernor`]
+    /// wiring; the parameter keeps the three engines' construction
+    /// uniform.
+    pub fn new_in(
+        spec: &Spec,
+        options: &SynthesisOptions,
+        _session: &mut SynthesisSession,
+    ) -> SatEngine {
         let gates = options.library.enumerate(spec.lines());
         let sbits = select_bits(gates.len());
+        let governor = ResourceGovernor::from_options(options);
+        governor.arm();
         SatEngine {
             spec: spec.clone(),
             options: options.clone(),
             gates,
             sbits,
+            governor,
             last_instance_size: (0, 0),
         }
     }
@@ -134,11 +152,12 @@ impl SatEngine {
     ///
     /// # Errors
     ///
-    /// [`SynthesisError::ResourceLimit`] when the conflict budget runs out;
-    /// cancellation errors from the options' token, which is polled between
-    /// conflict chunks so a long depth is interruptible mid-solve.
+    /// [`SynthesisError::BudgetExceeded`] when the conflict budget runs
+    /// out; cancellation errors from the governor, which is polled between
+    /// conflict chunks *and* inside the solver's propagation loop, so a
+    /// long depth is interruptible mid-solve.
     pub fn solve_depth(&mut self, d: u32) -> Result<Option<SolutionSet>, SynthesisError> {
-        self.options.cancel.check(d)?;
+        self.governor.check(d)?;
         let formula = self.encode(d);
         // Debug builds re-check the generated instance against the CNF
         // well-formedness invariants (see `qsyn_audit`).
@@ -148,12 +167,7 @@ impl SatEngine {
         }
         self.last_instance_size = (formula.num_vars(), formula.len());
         let mut solver = Solver::from_formula(&formula);
-        match solve_chunked(
-            &mut solver,
-            self.options.conflict_limit,
-            &self.options.cancel,
-            d,
-        )? {
+        match solve_chunked(&mut solver, &self.governor, d)? {
             SolveResult::Unsat => Ok(None),
             SolveResult::Sat(model) => {
                 let circuit = self.decode(d, self.select_width(), &model)?;
@@ -175,7 +189,7 @@ impl SatEngine {
     ///
     /// # Errors
     ///
-    /// [`SynthesisError::ResourceLimit`] when the conflict budget runs out.
+    /// [`SynthesisError::BudgetExceeded`] when the conflict budget runs out.
     pub fn refutation_for_depth(
         &mut self,
         d: u32,
@@ -183,12 +197,7 @@ impl SatEngine {
         let formula = self.encode(d);
         let mut solver = Solver::from_formula(&formula);
         solver.enable_proof_logging();
-        match solve_chunked(
-            &mut solver,
-            self.options.conflict_limit,
-            &self.options.cancel,
-            d,
-        )? {
+        match solve_chunked(&mut solver, &self.governor, d)? {
             SolveResult::Sat(_) => Ok(None),
             SolveResult::Unsat => {
                 let proof = solver.take_proof().ok_or(SynthesisError::Internal {
@@ -283,34 +292,36 @@ impl SatEngine {
 /// is re-polled; subsequent chunks double.
 pub(crate) const FIRST_CONFLICT_CHUNK: u64 = 2_000;
 
-/// Runs the solver to completion under `limit` total conflicts, polling
-/// `cancel` between doubling budget chunks. The solver keeps its learnt
+/// Runs the solver to completion under the governor's conflict limit,
+/// polling the governor between doubling budget chunks and installing its
+/// abort probe inside the solver's propagation loop (so even a single
+/// conflict-free chunk is interruptible). The solver keeps its learnt
 /// clauses and heuristic state across chunks (its budget is cumulative), so
 /// chunking costs nothing beyond the poll itself. Shared with the QBF
 /// engine's expansion path.
 ///
 /// # Errors
 ///
-/// [`SynthesisError::ResourceLimit`] once `limit` conflicts are spent
-/// without an answer; cancellation errors from `cancel`.
+/// [`SynthesisError::BudgetExceeded`] once the limit's conflicts are spent
+/// without an answer; cancellation/deadline errors from the governor.
 pub(crate) fn solve_chunked(
     solver: &mut Solver,
-    limit: u64,
-    cancel: &CancelToken,
+    governor: &ResourceGovernor,
     d: u32,
 ) -> Result<SolveResult, SynthesisError> {
+    let limit = governor.conflict_limit();
+    solver.set_budget_callback(Some(governor.sat_abort_probe()));
     let mut budget = FIRST_CONFLICT_CHUNK.min(limit);
     loop {
-        cancel.check(d)?;
+        governor.check(d)?;
         solver.set_conflict_budget(budget);
         if let Some(result) = solver.solve_limited() {
             return Ok(result);
         }
-        if budget >= limit {
-            return Err(SynthesisError::ResourceLimit {
-                depth: d,
-                what: "SAT conflict",
-            });
+        // `None` is either the probe firing (the governor check above
+        // reports it next iteration) or the chunk budget running dry.
+        if !solver.was_interrupted() && budget >= limit {
+            return Err(governor.conflicts_exceeded(d, solver.stats().conflicts));
         }
         budget = budget.saturating_mul(2).min(limit);
     }
@@ -477,8 +488,16 @@ mod tests {
             &opts(SatSelectEncoding::OneHot).with_conflict_limit(1),
         );
         // Some depth in 1..4 must exceed one conflict.
-        let tripped =
-            (1..5).any(|d| matches!(e.solve_depth(d), Err(SynthesisError::ResourceLimit { .. })));
+        let tripped = (1..5).any(|d| {
+            matches!(
+                e.solve_depth(d),
+                Err(SynthesisError::BudgetExceeded {
+                    resource: crate::Resource::SatConflicts,
+                    limit: 1,
+                    ..
+                })
+            )
+        });
         assert!(tripped);
     }
 }

@@ -1,0 +1,488 @@
+//! Per-worker synthesis sessions: recyclable BDD managers and a unified
+//! resource governor.
+//!
+//! # Why sessions
+//!
+//! A `qsyn batch` run multiplies the paper's per-depth oracle calls into
+//! thousands of engine constructions, and until this module existed every
+//! one of them built its state — BDD [`Manager`], solver, scratch — from
+//! scratch, then threw the grown hash tables away. A [`SynthesisSession`]
+//! is the per-worker context that survives across jobs: it owns a
+//! [`ManagerPool`] of recyclable managers ([`Manager::reset`] clears
+//! contents but keeps allocated capacity, so the unique table, computed
+//! table and arena stay warm), and a job counter for reporting.
+//!
+//! # Why a pool and not a single manager
+//!
+//! The permuted search drives up to `n!` engines in lock step, each
+//! needing its own manager at the same time. The pool starts empty, grows
+//! to the high-water mark of simultaneously live managers on the first
+//! job, and recycles them all afterwards — steady-state batch work
+//! allocates no new arenas at all.
+//!
+//! # Resource governance
+//!
+//! A [`ResourceGovernor`] is the *only* component that raises
+//! [`SynthesisError::BudgetExceeded`]: it folds the wall-clock deadline,
+//! the live-BDD-node budget, the SAT-conflict/QBF-decision budget and the
+//! [`CancelToken`] behind one [`check`](ResourceGovernor::check) surface.
+//! Engines never hand-roll a deadline, node-limit or cancellation test —
+//! they ask their governor, so every engine reports exhaustion
+//! identically and a future budget kind needs exactly one new method
+//! here.
+
+use crate::cancel::CancelToken;
+use crate::error::{Resource, SynthesisError};
+use crate::options::SynthesisOptions;
+use qsyn_bdd::Manager;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Unified budget enforcement for one synthesis run; see the module docs.
+///
+/// Cheap to clone: clones share the underlying [`CancelToken`], so a
+/// governor handed to an engine observes the same stop conditions as the
+/// driver's.
+#[derive(Clone, Debug)]
+pub struct ResourceGovernor {
+    cancel: CancelToken,
+    time_budget: Option<Duration>,
+    node_limit: usize,
+    conflict_limit: u64,
+}
+
+impl ResourceGovernor {
+    /// A governor enforcing the budgets configured in `options`, polling
+    /// the options' [`CancelToken`].
+    pub fn from_options(options: &SynthesisOptions) -> ResourceGovernor {
+        ResourceGovernor {
+            cancel: options.cancel.clone(),
+            time_budget: options.time_budget,
+            node_limit: options.bdd_node_limit,
+            conflict_limit: options.conflict_limit,
+        }
+    }
+
+    /// Starts the wall-clock budget, once: if the token already carries a
+    /// deadline (an outer driver armed it, or the batch scheduler set a
+    /// per-job deadline), the earlier arming stands — re-entering the
+    /// driver must never extend a run's budget.
+    pub fn arm(&self) {
+        if let Some(budget) = self.time_budget {
+            if !self.cancel.has_deadline() {
+                self.cancel.set_deadline(Instant::now() + budget);
+            }
+        }
+    }
+
+    /// Polls the cancel flag and the deadline, attributing a failure to
+    /// `depth`.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::Cancelled`], or [`SynthesisError::BudgetExceeded`]
+    /// with [`Resource::WallClock`].
+    pub fn check(&self, depth: u32) -> Result<(), SynthesisError> {
+        self.cancel.check(depth)
+    }
+
+    /// The live-BDD-node budget.
+    pub fn node_limit(&self) -> usize {
+        self.node_limit
+    }
+
+    /// The per-depth SAT-conflict / QBF-decision budget.
+    pub fn conflict_limit(&self) -> u64 {
+        self.conflict_limit
+    }
+
+    /// The governed token (for merging into sub-tokens).
+    pub fn token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// The node budget ran out at `depth` with `spent` live nodes.
+    pub fn nodes_exceeded(&self, depth: u32, spent: usize) -> SynthesisError {
+        SynthesisError::BudgetExceeded {
+            depth,
+            resource: Resource::BddNodes,
+            spent: spent as u64,
+            limit: self.node_limit as u64,
+        }
+    }
+
+    /// The conflict budget ran out at `depth` after `spent` conflicts.
+    pub fn conflicts_exceeded(&self, depth: u32, spent: u64) -> SynthesisError {
+        SynthesisError::BudgetExceeded {
+            depth,
+            resource: Resource::SatConflicts,
+            spent,
+            limit: self.conflict_limit,
+        }
+    }
+
+    /// The QDPLL decision budget ran out at `depth` after `spent`
+    /// decisions.
+    pub fn decisions_exceeded(&self, depth: u32, spent: u64) -> SynthesisError {
+        SynthesisError::BudgetExceeded {
+            depth,
+            resource: Resource::QbfDecisions,
+            spent,
+            limit: self.conflict_limit,
+        }
+    }
+
+    /// An abort probe for [`Manager::set_interrupt_poll`]: fires when the
+    /// governed token is cancelled or its deadline has passed, so a single
+    /// giant BDD operation stops mid-recursion instead of running to
+    /// completion. The manager latches the interrupt and collapses results
+    /// to ⊥; the engine's next [`check`](Self::check) turns that into the
+    /// structured error.
+    pub fn interrupt_probe(&self) -> Box<dyn Fn() -> bool + Send> {
+        let token = self.cancel.clone();
+        Box::new(move || token.is_cancelled() || token.deadline_expired())
+    }
+
+    /// The same probe shaped for
+    /// [`Solver::set_budget_callback`](qsyn_sat::Solver::set_budget_callback):
+    /// aborts CDCL propagation when the run is cancelled or out of time.
+    pub fn sat_abort_probe(&self) -> Box<dyn FnMut() -> bool + Send> {
+        let token = self.cancel.clone();
+        Box::new(move || token.is_cancelled() || token.deadline_expired())
+    }
+}
+
+/// A shared pool of recyclable BDD managers; see the module docs.
+///
+/// Clones share the pool. [`checkout`](ManagerPool::checkout) pops a
+/// retired manager (resetting it to the requested variable count, keeping
+/// its allocated capacity) or allocates a fresh one; dropping the returned
+/// [`PooledManager`] checks the manager back in.
+#[derive(Clone, Debug, Default)]
+pub struct ManagerPool {
+    inner: Arc<Mutex<Vec<Manager>>>,
+}
+
+impl ManagerPool {
+    /// An empty pool.
+    pub fn new() -> ManagerPool {
+        ManagerPool::default()
+    }
+
+    /// A manager over `num_vars` variables: recycled if one is available,
+    /// freshly allocated otherwise.
+    pub fn checkout(&self, num_vars: u32) -> PooledManager {
+        let recycled = self.inner.lock().expect("manager pool lock").pop();
+        let m = match recycled {
+            Some(mut m) => {
+                m.reset(num_vars);
+                m
+            }
+            None => Manager::new(num_vars),
+        };
+        PooledManager {
+            m: Some(m),
+            pool: self.clone(),
+        }
+    }
+
+    /// Number of managers currently checked in.
+    pub fn idle(&self) -> usize {
+        self.inner.lock().expect("manager pool lock").len()
+    }
+
+    /// Sums the cumulative counters of every checked-in manager.
+    fn stats(&self) -> SessionStats {
+        let pool = self.inner.lock().expect("manager pool lock");
+        let mut agg = SessionStats {
+            managers: pool.len() as u64,
+            ..SessionStats::default()
+        };
+        for m in pool.iter() {
+            let s = m.stats();
+            agg.resets += s.resets;
+            agg.peak_live = agg.peak_live.max(s.peak_live);
+            agg.cache_hits += s.cache_hits;
+            agg.cache_misses += s.cache_misses;
+            agg.cache_evictions += s.cache_evictions;
+            agg.gc_runs += s.gc_runs;
+            agg.gc_freed += s.gc_freed;
+        }
+        agg
+    }
+
+    fn check_in(&self, mut m: Manager) {
+        // Never retain a caller's abort probe across jobs: the closure
+        // captures a token whose lifetime ends with the job.
+        m.set_interrupt_poll(None);
+        self.inner.lock().expect("manager pool lock").push(m);
+    }
+}
+
+/// A [`Manager`] on loan from a [`ManagerPool`]; derefs to the manager
+/// and checks itself back in on drop.
+#[derive(Debug)]
+pub struct PooledManager {
+    m: Option<Manager>,
+    pool: ManagerPool,
+}
+
+impl std::ops::Deref for PooledManager {
+    type Target = Manager;
+    fn deref(&self) -> &Manager {
+        self.m.as_ref().expect("manager present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledManager {
+    fn deref_mut(&mut self) -> &mut Manager {
+        self.m.as_mut().expect("manager present until drop")
+    }
+}
+
+impl Drop for PooledManager {
+    fn drop(&mut self) {
+        if let Some(m) = self.m.take() {
+            self.pool.check_in(m);
+        }
+    }
+}
+
+/// Aggregated per-session counters, for `qsyn batch --stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Jobs run through the session.
+    pub jobs: u64,
+    /// Managers the pool owns (its high-water mark of simultaneous use).
+    pub managers: u64,
+    /// Total manager recycles ([`Manager::reset`] calls).
+    pub resets: u64,
+    /// Highest live-node count any manager reached.
+    pub peak_live: usize,
+    /// Computed-table hits, summed.
+    pub cache_hits: u64,
+    /// Computed-table misses, summed.
+    pub cache_misses: u64,
+    /// Computed-table evictions, summed.
+    pub cache_evictions: u64,
+    /// Garbage collections, summed.
+    pub gc_runs: u64,
+    /// Nodes reclaimed by collections, summed.
+    pub gc_freed: u64,
+}
+
+impl SessionStats {
+    /// Merges another session's counters into this one (for aggregating
+    /// across batch workers).
+    pub fn merge(&mut self, other: &SessionStats) {
+        self.jobs += other.jobs;
+        self.managers += other.managers;
+        self.resets += other.resets;
+        self.peak_live = self.peak_live.max(other.peak_live);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.gc_runs += other.gc_runs;
+        self.gc_freed += other.gc_freed;
+    }
+
+    /// Computed-table hit rate in percent (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            100.0 * self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SessionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} jobs, {} managers, {} resets, peak {} live nodes, \
+             cache {} hits / {} misses ({:.1}% hit rate, {} evictions), \
+             {} GCs freeing {} nodes",
+            self.jobs,
+            self.managers,
+            self.resets,
+            self.peak_live,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate(),
+            self.cache_evictions,
+            self.gc_runs,
+            self.gc_freed,
+        )
+    }
+}
+
+/// Per-worker synthesis context; see the module docs.
+///
+/// Create one per worker thread, pass it to the `*_in` entry points
+/// ([`synthesize_in`](crate::synthesize_in),
+/// [`synthesize_with_output_permutation_in`](crate::permuted::synthesize_with_output_permutation_in))
+/// for every job the worker runs, and read [`stats`](Self::stats) at the
+/// end. A session is deliberately cheap when unused: the pool starts
+/// empty.
+#[derive(Debug, Default)]
+pub struct SynthesisSession {
+    pool: ManagerPool,
+    jobs: u64,
+}
+
+impl SynthesisSession {
+    /// A fresh session with an empty manager pool.
+    pub fn new() -> SynthesisSession {
+        SynthesisSession::default()
+    }
+
+    /// The session's manager pool (a shared handle).
+    pub fn pool(&self) -> ManagerPool {
+        self.pool.clone()
+    }
+
+    /// Records the start of a job (for [`stats`](Self::stats)).
+    pub fn begin_job(&mut self) {
+        self.jobs += 1;
+    }
+
+    /// Aggregated counters over everything this session has run. Call
+    /// between jobs: managers still checked out are not counted.
+    pub fn stats(&self) -> SessionStats {
+        let mut s = self.pool.stats();
+        s.jobs = self.jobs;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::Engine;
+    use qsyn_revlogic::GateLibrary;
+
+    fn opts() -> SynthesisOptions {
+        SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd)
+    }
+
+    #[test]
+    fn pool_recycles_managers() {
+        let pool = ManagerPool::new();
+        let stamp;
+        {
+            let mut m = pool.checkout(4);
+            let a = m.var(0);
+            let b = m.var(1);
+            let _ = m.and(a, b);
+            stamp = m.stats().allocated;
+            assert!(stamp > 0);
+        }
+        assert_eq!(pool.idle(), 1);
+        let m2 = pool.checkout(6);
+        assert_eq!(pool.idle(), 0);
+        assert_eq!(m2.stats().resets, 1, "checkout reuses the retired manager");
+        assert_eq!(m2.node_count(), 2, "reset manager starts empty");
+    }
+
+    #[test]
+    fn pool_grows_under_simultaneous_checkout() {
+        let pool = ManagerPool::new();
+        let a = pool.checkout(2);
+        let b = pool.checkout(2);
+        drop(a);
+        drop(b);
+        assert_eq!(pool.idle(), 2);
+        let c = pool.checkout(2);
+        let d = pool.checkout(2);
+        assert_eq!(pool.idle(), 0);
+        drop(c);
+        drop(d);
+        assert_eq!(pool.idle(), 2, "steady state allocates no new managers");
+    }
+
+    #[test]
+    fn session_stats_aggregate_cumulative_counters() {
+        let mut session = SynthesisSession::new();
+        let pool = session.pool();
+        for _ in 0..3 {
+            session.begin_job();
+            let mut m = pool.checkout(3);
+            let x = m.var(0);
+            let y = m.var(1);
+            let _ = m.xor(x, y);
+        }
+        let s = session.stats();
+        assert_eq!(s.jobs, 3);
+        assert_eq!(s.managers, 1, "one worker at a time needs one manager");
+        assert_eq!(s.resets, 2, "first job allocates, later jobs recycle");
+        assert!(s.cache_misses > 0, "counters survive recycling");
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn governor_reports_each_resource_kind() {
+        let g = ResourceGovernor::from_options(&opts());
+        assert_eq!(
+            g.nodes_exceeded(2, 42),
+            SynthesisError::BudgetExceeded {
+                depth: 2,
+                resource: Resource::BddNodes,
+                spent: 42,
+                limit: opts().bdd_node_limit as u64,
+            }
+        );
+        assert!(matches!(
+            g.conflicts_exceeded(1, 7),
+            SynthesisError::BudgetExceeded {
+                resource: Resource::SatConflicts,
+                ..
+            }
+        ));
+        assert!(matches!(
+            g.decisions_exceeded(1, 7),
+            SynthesisError::BudgetExceeded {
+                resource: Resource::QbfDecisions,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn governor_arm_is_idempotent() {
+        let options = opts().with_time_budget(Duration::from_secs(3600));
+        let g = ResourceGovernor::from_options(&options);
+        g.arm();
+        assert!(options.cancel.has_deadline());
+        assert!(g.check(0).is_ok());
+        // A second arming (the permuted winner re-run) must not move the
+        // deadline: expire it manually and re-arm.
+        options
+            .cancel
+            .set_deadline(Instant::now() - Duration::from_millis(1));
+        g.arm();
+        assert!(g.check(0).is_err(), "re-arming must not extend the budget");
+    }
+
+    #[test]
+    fn interrupt_probe_tracks_token() {
+        let options = opts();
+        let g = ResourceGovernor::from_options(&options);
+        let probe = g.interrupt_probe();
+        assert!(!probe());
+        options.cancel.cancel();
+        assert!(probe());
+    }
+
+    #[test]
+    fn checked_in_manager_loses_its_interrupt_probe() {
+        let pool = ManagerPool::new();
+        {
+            let mut m = pool.checkout(2);
+            m.set_interrupt_poll(Some(Box::new(|| true)));
+        }
+        let m = pool.checkout(2);
+        assert!(!m.is_interrupted());
+    }
+}

@@ -13,10 +13,12 @@ pub struct SolutionSet {
     circuits: Vec<Circuit>,
     total: u128,
     exhaustive: bool,
+    exact_count: bool,
 }
 
 impl SolutionSet {
-    /// Builds a solution set.
+    /// Builds a solution set with an **exact** model count (the BDD engine
+    /// counts the select-variable BDD even when it truncates enumeration).
     ///
     /// # Panics
     ///
@@ -34,12 +36,22 @@ impl SolutionSet {
             circuits,
             total,
             exhaustive,
+            exact_count: true,
         }
     }
 
-    /// A set holding exactly one known solution of an unknown-size space.
+    /// A set holding one known solution of an unknown-size space (the
+    /// QBF/SAT engines stop at the first model). Its [`count`](Self::count)
+    /// of 1 is a **lower bound**, not the minimal-network count —
+    /// [`count_is_exact`](Self::count_is_exact) reports `false` and
+    /// [`count_display`](Self::count_display) renders it as `≥1`.
     pub fn single(circuit: Circuit) -> SolutionSet {
-        SolutionSet::new(vec![circuit], 1, false)
+        SolutionSet {
+            circuits: vec![circuit],
+            total: 1,
+            exhaustive: false,
+            exact_count: false,
+        }
     }
 
     /// The materialized circuits.
@@ -47,11 +59,29 @@ impl SolutionSet {
         &self.circuits
     }
 
-    /// Exact number of minimal networks (`#SOL`). May exceed
-    /// `circuits().len()` when enumeration was truncated, and is a lower
-    /// bound (1) for single-solution engines.
+    /// Number of minimal networks (`#SOL`). May exceed `circuits().len()`
+    /// when enumeration was truncated. Exact only when
+    /// [`count_is_exact`](Self::count_is_exact) holds; single-solution
+    /// engines report the lower bound 1.
     pub fn count(&self) -> u128 {
         self.total
+    }
+
+    /// `true` when [`count`](Self::count) is the exact number of minimal
+    /// networks (BDD model counting); `false` when it is merely a lower
+    /// bound (an engine that stops at the first model).
+    pub fn count_is_exact(&self) -> bool {
+        self.exact_count
+    }
+
+    /// [`count`](Self::count) rendered for reports: `"N"` when exact,
+    /// `"≥N"` when only a lower bound is known.
+    pub fn count_display(&self) -> String {
+        if self.exact_count {
+            self.total.to_string()
+        } else {
+            format!("≥{}", self.total)
+        }
     }
 
     /// `true` if `circuits()` contains every minimal network.
@@ -107,6 +137,20 @@ mod tests {
         assert!(!s.is_exhaustive());
         assert_eq!(s.depth(), 1);
         assert_eq!(s.quantum_cost_range(), (5, 5));
+    }
+
+    #[test]
+    fn single_counts_are_lower_bounds_exact_counts_are_not() {
+        let single = SolutionSet::single(toffoli_circuit());
+        assert!(!single.count_is_exact());
+        assert_eq!(single.count_display(), "≥1");
+        // A truncated BDD set still carries an exact model count.
+        let truncated = SolutionSet::new(vec![toffoli_circuit()], 42, false);
+        assert!(truncated.count_is_exact());
+        assert_eq!(truncated.count_display(), "42");
+        let full = SolutionSet::new(vec![toffoli_circuit()], 1, true);
+        assert!(full.count_is_exact());
+        assert_eq!(full.count_display(), "1");
     }
 
     #[test]

@@ -27,4 +27,4 @@ pub use race::{
     race, race_engines, race_engines_permuted, RaceError, RaceResult, Racer, RacerOutcome,
     RacerReport, RACE_ENGINES,
 };
-pub use scheduler::{run_batch, BatchConfig, JobReport, JobStatus, WorkQueue};
+pub use scheduler::{run_batch, BatchConfig, BatchOutcome, JobReport, JobStatus, WorkQueue};

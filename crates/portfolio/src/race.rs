@@ -14,9 +14,10 @@
 //! common instantiation, and tests can inject scripted racers to observe
 //! cancellation deterministically.
 
-use qsyn_core::permuted::{synthesize_with_output_permutation, PermutedSynthesisResult};
+use qsyn_core::permuted::{synthesize_with_output_permutation_in, PermutedSynthesisResult};
 use qsyn_core::{
-    synthesize, CancelToken, Engine, SynthesisError, SynthesisOptions, SynthesisResult,
+    synthesize_in, CancelToken, Engine, SynthesisError, SynthesisOptions, SynthesisResult,
+    SynthesisSession,
 };
 use qsyn_revlogic::Spec;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -116,15 +117,14 @@ impl std::error::Error for RaceError {}
 impl RaceError {
     /// Collapses a lost race into the most informative single engine error:
     /// the first non-[`Cancelled`](SynthesisError::Cancelled) racer error,
-    /// falling back to any racer error, then to a generic resource-limit
+    /// falling back to any racer error, then to an internal-invariant
     /// report when every racer panicked (or there were none). Lets callers
     /// that treat the race as "just another engine" (the batch scheduler,
     /// the cache compute hook) keep a single error type.
     #[must_use]
     pub fn into_synthesis_error(self) -> SynthesisError {
-        let fallback = SynthesisError::ResourceLimit {
-            depth: 0,
-            what: "portfolio racer",
+        let fallback = SynthesisError::Internal {
+            what: "portfolio race ended with no reportable error",
         };
         match self {
             RaceError::NoRacers => fallback,
@@ -261,8 +261,8 @@ pub fn race_engines(
     spec: &Spec,
     options: &SynthesisOptions,
 ) -> Result<RaceResult<SynthesisResult>, RaceError> {
-    race(entrants(spec, options, |spec, options| {
-        synthesize(&spec, &options)
+    race(entrants(spec, options, |spec, options, session| {
+        synthesize_in(&spec, &options, session)
     }))
 }
 
@@ -276,18 +276,24 @@ pub fn race_engines_permuted(
     spec: &Spec,
     options: &SynthesisOptions,
 ) -> Result<RaceResult<PermutedSynthesisResult>, RaceError> {
-    race(entrants(spec, options, |spec, options| {
-        synthesize_with_output_permutation(&spec, &options)
+    race(entrants(spec, options, |spec, options, session| {
+        synthesize_with_output_permutation_in(&spec, &options, session)
     }))
 }
 
 /// Builds one racer per engine in [`RACE_ENGINES`], each running `f` on a
 /// clone of the options with that engine selected and the racer's token
-/// chained onto any caller-supplied one.
+/// chained onto any caller-supplied one. Every racer owns a private
+/// [`SynthesisSession`] for the attempt — sessions are thread-local by
+/// design, and the loser's pooled managers are freed with it when the
+/// racer is cancelled.
 fn entrants<T, F>(spec: &Spec, options: &SynthesisOptions, f: F) -> Vec<Racer<T>>
 where
     T: Send + 'static,
-    F: Fn(Spec, SynthesisOptions) -> Result<T, SynthesisError> + Clone + Send + 'static,
+    F: Fn(Spec, SynthesisOptions, &mut SynthesisSession) -> Result<T, SynthesisError>
+        + Clone
+        + Send
+        + 'static,
 {
     RACE_ENGINES
         .iter()
@@ -301,7 +307,7 @@ where
                 // the whole run.
                 let merged = CancelToken::merged([&token, &options.cancel]);
                 let opts = options.with_engine(engine).with_cancel_token(merged);
-                f(spec, opts)
+                f(spec, opts, &mut SynthesisSession::new())
             })
         })
         .collect()

@@ -9,7 +9,7 @@
 //! order, so a parallel batch is byte-for-byte comparable to a sequential
 //! one.
 
-use qsyn_core::{CancelToken, SynthesisError};
+use qsyn_core::{CancelToken, SessionStats, SynthesisError, SynthesisSession};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
@@ -117,7 +117,7 @@ pub enum JobStatus<R> {
     Done(R),
     /// The job function returned an error (including
     /// [`SynthesisError::Cancelled`] after a shutdown and
-    /// [`SynthesisError::TimeBudgetExceeded`] after its deadline).
+    /// [`SynthesisError::BudgetExceeded`] after its deadline).
     Failed(SynthesisError),
     /// The job function panicked; the payload's message when it was a
     /// string. Other jobs are unaffected.
@@ -145,22 +145,38 @@ pub struct JobReport<R> {
     pub elapsed: Duration,
 }
 
+/// A finished batch: one report per job **in input order**, plus the
+/// session counters summed over every worker.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome<R> {
+    /// Per-job reports, in input order.
+    pub reports: Vec<JobReport<R>>,
+    /// BDD manager pool counters aggregated across all worker sessions
+    /// (jobs, managers, resets, peak live nodes, cache traffic, GC work).
+    pub session_stats: SessionStats,
+}
+
 /// Runs `run` over all `jobs` on `config.workers` threads and returns one
-/// report per job **in input order**. `run` receives the job's payload and
-/// its cancellation token; honour the token to make deadlines and shutdown
-/// effective mid-job. `shutdown`, when supplied, aborts the batch
-/// gracefully once it is cancelled: queued jobs are dropped (reported as
-/// [`SynthesisError::Cancelled`]) and running jobs see their tokens trip.
+/// report per job **in input order**. `run` receives the job's payload,
+/// its cancellation token and the worker's [`SynthesisSession`]; honour
+/// the token to make deadlines and shutdown effective mid-job. Each worker
+/// owns one session for its whole lifetime, so BDD managers (and their
+/// warmed unique/computed tables) are recycled from job to job instead of
+/// rebuilt; the aggregated counters come back in
+/// [`BatchOutcome::session_stats`]. `shutdown`, when supplied, aborts the
+/// batch gracefully once it is cancelled: queued jobs are dropped
+/// (reported as [`SynthesisError::Cancelled`]) and running jobs see their
+/// tokens trip.
 pub fn run_batch<J, R, F>(
     jobs: Vec<(String, J)>,
     config: &BatchConfig,
     shutdown: Option<&CancelToken>,
     run: F,
-) -> Vec<JobReport<R>>
+) -> BatchOutcome<R>
 where
     J: Send,
     R: Send,
-    F: Fn(&J, &CancelToken) -> Result<R, SynthesisError> + Sync,
+    F: Fn(&J, &CancelToken, &mut SynthesisSession) -> Result<R, SynthesisError> + Sync,
 {
     let total = jobs.len();
     let workers = config.workers.max(1).min(total.max(1));
@@ -168,12 +184,14 @@ where
     // the pool without materializing the whole batch in the queue.
     let queue: WorkQueue<(usize, String, J)> = WorkQueue::bounded(workers);
     let reports: Mutex<Vec<Option<JobReport<R>>>> = Mutex::new((0..total).map(|_| None).collect());
+    let session_totals: Mutex<SessionStats> = Mutex::new(SessionStats::default());
     let default_token = CancelToken::new();
     let shutdown = shutdown.unwrap_or(&default_token);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
+                let mut session = SynthesisSession::new();
                 while let Some((idx, name, job)) = queue.pop() {
                     let start = Instant::now();
                     let token = CancelToken::merged([shutdown]);
@@ -183,7 +201,7 @@ where
                     let status = if token.is_cancelled() {
                         JobStatus::Failed(SynthesisError::Cancelled { depth: 0 })
                     } else {
-                        match catch_unwind(AssertUnwindSafe(|| run(&job, &token))) {
+                        match catch_unwind(AssertUnwindSafe(|| run(&job, &token, &mut session))) {
                             Ok(Ok(result)) => JobStatus::Done(result),
                             Ok(Err(e)) => JobStatus::Failed(e),
                             Err(payload) => JobStatus::Panicked(panic_message(payload.as_ref())),
@@ -195,6 +213,10 @@ where
                         elapsed: start.elapsed(),
                     });
                 }
+                session_totals
+                    .lock()
+                    .expect("session stats lock")
+                    .merge(&session.stats());
             });
         }
         // Feed from this thread; with the bounded queue this blocks until
@@ -219,12 +241,15 @@ where
         queue.close();
     });
 
-    reports
-        .into_inner()
-        .expect("reports lock")
-        .into_iter()
-        .map(|r| r.expect("every job reported"))
-        .collect()
+    BatchOutcome {
+        reports: reports
+            .into_inner()
+            .expect("reports lock")
+            .into_iter()
+            .map(|r| r.expect("every job reported"))
+            .collect(),
+        session_stats: session_totals.into_inner().expect("session stats lock"),
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -255,10 +280,11 @@ mod tests {
         let jobs: Vec<(String, u64)> = (0..8u64)
             .map(|i| (format!("job{i}"), (8 - i) * 2))
             .collect();
-        let reports = run_batch(jobs, &config(4), None, |&ms, _| {
+        let outcome = run_batch(jobs, &config(4), None, |&ms, _, _| {
             std::thread::sleep(Duration::from_millis(ms));
             Ok(ms)
         });
+        let reports = outcome.reports;
         assert_eq!(reports.len(), 8);
         for (i, r) in reports.iter().enumerate() {
             assert_eq!(r.name, format!("job{i}"));
@@ -271,7 +297,7 @@ mod tests {
         let live = AtomicUsize::new(0);
         let peak = AtomicUsize::new(0);
         let jobs: Vec<(String, ())> = (0..12).map(|i| (format!("j{i}"), ())).collect();
-        run_batch(jobs, &config(3), None, |(), _| {
+        run_batch(jobs, &config(3), None, |(), _, _| {
             let now = live.fetch_add(1, Ordering::SeqCst) + 1;
             peak.fetch_max(now, Ordering::SeqCst);
             std::thread::sleep(Duration::from_millis(3));
@@ -284,13 +310,13 @@ mod tests {
     #[test]
     fn a_panicking_job_fails_alone() {
         let jobs: Vec<(String, u32)> = (0..6).map(|i| (format!("j{i}"), i)).collect();
-        let reports = run_batch(jobs, &config(2), None, |&i, _| {
+        let outcome = run_batch(jobs, &config(2), None, |&i, _, _| {
             if i == 2 {
                 panic!("job {i} exploded");
             }
             Ok(i * 10)
         });
-        for (i, r) in reports.iter().enumerate() {
+        for (i, r) in outcome.reports.iter().enumerate() {
             if i == 2 {
                 match &r.status {
                     JobStatus::Panicked(msg) => assert!(msg.contains("exploded")),
@@ -308,18 +334,22 @@ mod tests {
             workers: 2,
             per_job_timeout: Some(Duration::ZERO),
         };
-        let reports = run_batch(
+        let outcome = run_batch(
             vec![("t".to_string(), ())],
             &cfg,
             None,
-            |(), token: &CancelToken| {
+            |(), token: &CancelToken, _session: &mut SynthesisSession| {
                 token.check(3)?;
                 Ok(())
             },
         );
         assert!(matches!(
-            reports[0].status,
-            JobStatus::Failed(SynthesisError::TimeBudgetExceeded { depth: 3 })
+            outcome.reports[0].status,
+            JobStatus::Failed(SynthesisError::BudgetExceeded {
+                depth: 3,
+                resource: qsyn_core::Resource::WallClock,
+                ..
+            })
         ));
     }
 
@@ -331,7 +361,7 @@ mod tests {
         // so later jobs never run.
         let trigger = shutdown.clone();
         let jobs: Vec<(String, usize)> = (0..5).map(|i| (format!("j{i}"), i)).collect();
-        let reports = run_batch(jobs, &config(1), Some(&shutdown), move |&i, token| {
+        let outcome = run_batch(jobs, &config(1), Some(&shutdown), move |&i, token, _| {
             started.fetch_add(1, Ordering::SeqCst);
             if i == 0 {
                 trigger.cancel();
@@ -339,6 +369,7 @@ mod tests {
             token.check(0)?;
             Ok(i)
         });
+        let reports = outcome.reports;
         assert!(matches!(
             reports[0].status,
             JobStatus::Failed(SynthesisError::Cancelled { .. })

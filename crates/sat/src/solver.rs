@@ -102,9 +102,21 @@ pub struct Solver {
     /// Optional conflict budget; `solve` returns `None` via `solve_limited`
     /// when exhausted.
     conflict_budget: Option<u64>,
+    /// External abort probe (deadline / cancellation), polled roughly every
+    /// [`BUDGET_POLL_STRIDE`] propagated literals. Returning `true` makes the
+    /// in-flight `solve_*_limited` call stop and return `None`.
+    budget_callback: Option<Box<dyn FnMut() -> bool + Send>>,
+    /// Latched when `budget_callback` fires; cleared at the start of the
+    /// next solve call.
+    externally_aborted: bool,
     /// Clausal proof log (learnt clauses in order), when enabled.
     proof: Option<Vec<Vec<Lit>>>,
 }
+
+/// How many propagated literals pass between polls of the budget callback.
+/// Coarse enough to keep the probe off the propagation fast path, fine
+/// enough that a deadline is noticed within a fraction of a millisecond.
+const BUDGET_POLL_STRIDE: u64 = 4096;
 
 impl std::fmt::Debug for Solver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -140,6 +152,8 @@ impl Solver {
             num_learnts: 0,
             max_learnts: 4000,
             conflict_budget: None,
+            budget_callback: None,
+            externally_aborted: false,
             proof: None,
         }
     }
@@ -168,6 +182,29 @@ impl Solver {
     /// Limits the number of conflicts `solve_limited` may spend.
     pub fn set_conflict_budget(&mut self, budget: u64) {
         self.conflict_budget = Some(budget);
+    }
+
+    /// Installs (or removes) an external abort probe. The probe is polled
+    /// from inside unit propagation roughly every few thousand propagated
+    /// literals; the first time it returns `true`, the in-flight
+    /// [`solve_limited`](Solver::solve_limited) /
+    /// [`solve_assuming_limited`](Solver::solve_assuming_limited) call
+    /// backtracks to level 0 and returns `None`, exactly like an exhausted
+    /// conflict budget. The solver remains usable afterwards.
+    ///
+    /// Callers using the panicking [`solve`](Solver::solve) /
+    /// [`solve_assuming`](Solver::solve_assuming) wrappers must not install
+    /// a probe: an abort would be indistinguishable from budget exhaustion
+    /// and trip their `expect`.
+    pub fn set_budget_callback(&mut self, callback: Option<Box<dyn FnMut() -> bool + Send>>) {
+        self.budget_callback = callback;
+        self.externally_aborted = false;
+    }
+
+    /// `true` if the most recent solve call stopped because the budget
+    /// callback fired (as opposed to exhausting the conflict budget).
+    pub fn was_interrupted(&self) -> bool {
+        self.externally_aborted
     }
 
     /// Starts recording a clausal proof (see [`crate::proof`]): every learnt
@@ -283,8 +320,19 @@ impl Solver {
     }
 
     /// Unit propagation. Returns the conflicting clause reference, if any.
+    ///
+    /// May also stop early with `None` when the budget callback fires; the
+    /// queue head is left untouched in that case, so a later call resumes
+    /// exactly where this one stopped.
     fn propagate(&mut self) -> Option<u32> {
         while self.qhead < self.trail.len() {
+            if self.budget_callback.is_some()
+                && self.stats.propagations.is_multiple_of(BUDGET_POLL_STRIDE)
+                && self.poll_budget_callback()
+            {
+                self.externally_aborted = true;
+                return None;
+            }
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
@@ -352,6 +400,10 @@ impl Solver {
             }
         }
         None
+    }
+
+    fn poll_budget_callback(&mut self) -> bool {
+        self.budget_callback.as_mut().is_some_and(|cb| cb())
     }
 
     fn bump_var(&mut self, v: usize) {
@@ -571,11 +623,20 @@ impl Solver {
                 "assumption out of range"
             );
         }
+        self.externally_aborted = false;
         let mut luby_index = 0u64;
         let mut restart_limit = 100 * luby(luby_index);
         let mut conflicts_since_restart = 0u64;
         loop {
-            if let Some(confl) = self.propagate() {
+            let propagated = self.propagate();
+            if self.externally_aborted {
+                // The external probe fired mid-propagation. Unwind to the
+                // root; the preserved queue head means a later call resumes
+                // propagation without missing implications.
+                self.cancel_until(0);
+                return None;
+            }
+            if let Some(confl) = propagated {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
                 if let Some(budget) = self.conflict_budget {
@@ -986,5 +1047,44 @@ mod tests {
         let r1 = s.solve();
         let r2 = s.solve();
         assert_eq!(r1.is_sat(), r2.is_sat());
+    }
+
+    /// PHP(5,4), unsat, no unit clauses — propagation happens only inside
+    /// solve, so the budget callback is polled there.
+    fn php_5_4() -> Solver {
+        let v = |i: i32, j: i32| 4 * i + j + 1;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..5 {
+            clauses.push((0..4).map(|j| v(i, j)).collect());
+        }
+        for j in 0..4 {
+            for a in 0..5 {
+                for b in (a + 1)..5 {
+                    clauses.push(vec![-v(a, j), -v(b, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        solver_with(20, &refs)
+    }
+
+    #[test]
+    fn budget_callback_aborts_and_solver_stays_usable() {
+        let mut s = php_5_4();
+        s.set_budget_callback(Some(Box::new(|| true)));
+        assert_eq!(s.solve_limited(), None, "probe must abort the search");
+        assert!(s.was_interrupted());
+        // Removing the probe lets the same solver finish the proof.
+        s.set_budget_callback(None);
+        assert!(!s.was_interrupted());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn quiet_budget_callback_does_not_change_results() {
+        let mut s = php_5_4();
+        s.set_budget_callback(Some(Box::new(|| false)));
+        assert_eq!(s.solve_limited(), Some(SolveResult::Unsat));
+        assert!(!s.was_interrupted());
     }
 }

@@ -26,6 +26,7 @@ use crate::revlogic::{benchmarks, cost, real, spec_format, GateLibrary, Spec};
 use crate::synth::permuted::PermutedSynthesisResult;
 use crate::synth::{
     equivalence, permuted, synthesize, CancelToken, Engine, SynthesisError, SynthesisOptions,
+    SynthesisSession,
 };
 use std::time::Duration;
 
@@ -684,7 +685,7 @@ fn run_synth(
                     "minimal gates: {} (output permutation {:?}), {} solutions, {:?}{}",
                     p.result.depth(),
                     p.permutation,
-                    p.result.solutions().count(),
+                    p.result.solutions().count_display(),
                     p.result.total_time(),
                     race_note(winner.as_deref())
                 )?;
@@ -708,7 +709,7 @@ fn run_synth(
                     out,
                     "minimal gates: {}, {} solutions, quantum cost {lo}..{hi}, {:?} ({} engine){}",
                     r.depth(),
-                    r.solutions().count(),
+                    r.solutions().count_display(),
                     r.total_time(),
                     r.engine(),
                     race_note(winner.as_deref())
@@ -835,23 +836,28 @@ fn run_batch_command(
     // is minimal over the whole output-permutation class, so a cache hit
     // (which reuses the class representative's result) reports the same
     // depth a cache miss would.
-    let run_one =
-        |spec: &Spec, token: &CancelToken| -> Result<PermutedSynthesisResult, SynthesisError> {
-            let opts = options.clone().with_cancel_token(token.clone());
-            let compute = |s: &Spec| match engine {
-                EngineChoice::Race => race_engines_permuted(s, &opts)
-                    .map(|r| r.winner)
-                    .map_err(|e| e.into_synthesis_error()),
-                EngineChoice::Single(_) => permuted::synthesize_with_output_permutation(s, &opts),
-            };
-            match &cache {
-                Some(c) => c.get_or_compute(spec, compute),
-                None => compute(spec),
+    let run_one = |spec: &Spec,
+                   token: &CancelToken,
+                   session: &mut SynthesisSession|
+     -> Result<PermutedSynthesisResult, SynthesisError> {
+        let opts = options.clone().with_cancel_token(token.clone());
+        let mut compute = |s: &Spec| match engine {
+            EngineChoice::Race => race_engines_permuted(s, &opts)
+                .map(|r| r.winner)
+                .map_err(|e| e.into_synthesis_error()),
+            EngineChoice::Single(_) => {
+                permuted::synthesize_with_output_permutation_in(s, &opts, session)
             }
         };
+        match &cache {
+            Some(c) => c.get_or_compute(spec, compute),
+            None => compute(spec),
+        }
+    };
     let started = std::time::Instant::now();
-    let reports = run_batch(work, &batch_config, None, run_one);
+    let outcome = run_batch(work, &batch_config, None, run_one);
     let total = started.elapsed();
+    let reports = &outcome.reports;
 
     writeln!(
         out,
@@ -859,14 +865,14 @@ fn run_batch_command(
         "name", "gates", "solutions", "permutation", "time"
     )?;
     let mut failed = 0usize;
-    for r in &reports {
+    for r in reports {
         match &r.status {
             JobStatus::Done(p) => writeln!(
                 out,
                 "{:<12} {:>5} {:>9} {:<14} {:>8.1?}  ok",
                 r.name,
                 p.result.depth(),
-                p.result.solutions().count(),
+                p.result.solutions().count_display(),
                 format!("{:?}", p.permutation),
                 r.elapsed
             )?,
@@ -906,6 +912,9 @@ fn run_batch_command(
         jobs,
         if jobs == 1 { "" } else { "s" },
     )?;
+    if config.stats {
+        writeln!(out, "sessions: {}", outcome.session_stats)?;
+    }
     Ok(i32::from(failed > 0))
 }
 

@@ -8,7 +8,7 @@ use qsyn::portfolio::scheduler::{run_batch, BatchConfig, JobStatus};
 use qsyn::revlogic::benchmarks::{random_incomplete_spec, random_permutation};
 use qsyn::revlogic::{GateLibrary, Spec};
 use qsyn::synth::permuted::{permute_spec, synthesize_with_output_permutation};
-use qsyn::synth::{CancelToken, Engine, SynthesisOptions};
+use qsyn::synth::{CancelToken, Engine, SynthesisOptions, SynthesisSession};
 
 fn opts() -> SynthesisOptions {
     SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd).with_max_depth(10)
@@ -96,9 +96,9 @@ fn batch_with_four_workers_matches_sequential() {
             .collect()
     };
     let options = opts();
-    let run_one = |spec: &Spec, token: &CancelToken| {
+    let run_one = |spec: &Spec, token: &CancelToken, session: &mut SynthesisSession| {
         let o = options.clone().with_cancel_token(token.clone());
-        synthesize_with_output_permutation(spec, &o)
+        qsyn::synth::permuted::synthesize_with_output_permutation_in(spec, &o, session)
     };
     let digest = |workers: usize| -> Vec<(String, u32, u128, Vec<u32>)> {
         let config = BatchConfig {
@@ -106,6 +106,7 @@ fn batch_with_four_workers_matches_sequential() {
             per_job_timeout: None,
         };
         run_batch(jobs(), &config, None, run_one)
+            .reports
             .into_iter()
             .map(|r| match r.status {
                 JobStatus::Done(p) => (
