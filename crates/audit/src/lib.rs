@@ -23,7 +23,7 @@
 //!
 //! The auditors are wired into the synthesis engines under
 //! `debug_assertions`, into the CLI as `qsyn audit`, and into CI (see
-//! `DESIGN.md` §8). [`self_test`] exercises every family against both a
+//! `DESIGN.md` §9). [`self_test`] exercises every family against both a
 //! known-good artifact and a seeded corruption, so a passing self-test
 //! means the rejection paths demonstrably fire.
 

@@ -50,7 +50,10 @@ impl Manager {
     pub fn collect_garbage(&mut self, roots: &[Bdd]) -> usize {
         // A collection is a natural coarse-grained point to notice an
         // external interrupt (deadline, cancellation) before committing to
-        // a full mark-and-sweep pass.
+        // a full mark-and-sweep pass. The `bdd.gc-sweep` fault site rides
+        // the installed probe (see `ResourceGovernor::interrupt_probe` in
+        // `qsyn-core`), so an injected deadline trips the governed token
+        // and recovers exactly as a real one.
         self.poll_interrupt();
         // -- Mark --------------------------------------------------------
         let mut marks = std::mem::take(&mut self.gc_marks);

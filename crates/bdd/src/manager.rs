@@ -316,7 +316,17 @@ impl Manager {
     /// Polls the interrupt probe now, regardless of the stride. Used at
     /// coarse boundaries (garbage collection) where a poll is cheap
     /// relative to the work it guards.
+    ///
+    /// Also carries the fault-plane site `bdd.alloc`: polling it here —
+    /// once per interrupt stride or collection, inside an already
+    /// out-of-line method — keeps the disarmed plane's atomics (and their
+    /// code size) out of `mk`'s inlined hot body, where even a strided
+    /// check costs double-digit percent. A simulated OOM latches the
+    /// overflow flag exactly as a real node-cap trip would.
     pub(crate) fn poll_interrupt(&mut self) {
+        if qsyn_faults::hit(qsyn_faults::Site::BddAlloc).is_some() {
+            self.overflowed = true;
+        }
         if let Some(poll) = &self.interrupt_poll {
             if poll() {
                 self.interrupted = true;
@@ -449,8 +459,11 @@ impl Manager {
             self.interrupt_countdown -= 1;
             if self.interrupt_countdown == 0 {
                 self.interrupt_countdown = INTERRUPT_POLL_STRIDE;
+                // The stride poll carries the `bdd.alloc` fault site too
+                // (see `poll_interrupt`), so both abort flags need
+                // re-checking here.
                 self.poll_interrupt();
-                if self.interrupted {
+                if self.aborted() {
                     return Bdd::ZERO;
                 }
             }

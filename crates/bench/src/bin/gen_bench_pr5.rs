@@ -1,0 +1,537 @@
+//! Emits `BENCH_pr5.json` — the tracked benchmark trajectory of the PR 5
+//! robustness work (deterministic fault-injection plane, supervised
+//! retry, crash-safe batch resume).
+//!
+//! The headline guard: compiling the fault plane in (`--features faults`)
+//! but leaving it *disarmed* must cost the hot paths less than
+//! [`OVERHEAD_BAR_PCT`] percent. Every injection site is one relaxed
+//! atomic load on the disarmed path, so the bar is generous; the guard
+//! exists to catch a future site landing inside a tight inner loop.
+//!
+//! Because the plane is a compile-time feature, the comparison spans two
+//! builds of this same binary. Both builds land on the same artifact
+//! path, so the plain binary is copied aside and handed to the faults
+//! build via `--ab`, which then *interleaves* samples of itself and the
+//! plain binary — a 2% bar is below the drift between two measurement
+//! windows minutes apart, and only paired sampling makes it meaningful:
+//!
+//! ```text
+//! # 1. plane compiled out: write the reference timing, keep the binary
+//! cargo run --release -p qsyn-bench --bin gen_bench_pr5
+//! cp target/release/gen_bench_pr5 /tmp/gen_bench_pr5.plain
+//! # 2. plane compiled in (disarmed): A/B-measure overhead, write BENCH_pr5.json
+//! cargo run --release -p qsyn-bench --features faults --bin gen_bench_pr5 -- \
+//!     --ab /tmp/gen_bench_pr5.plain
+//! # CI regression gate (either build; deterministic metrics only)
+//! cargo run --release -p qsyn-bench --bin gen_bench_pr5 -- --check BENCH_pr5.json
+//! ```
+//!
+//! Without `--ab` the faults build falls back to the plain reference's
+//! recorded wall clock and re-measures itself a few times before failing
+//! the bar — usable, but exposed to cross-window drift.
+//!
+//! The faults build also records a deterministic *recovery* trajectory:
+//! for each seed in `FAULT_SEEDS` it arms the plane, pushes a job
+//! through the supervised batch scheduler, and records how many attempts
+//! the retry policy needed and which faults fired. Those are exactly
+//! reproducible (equal seeds give equal schedules) and are gated by
+//! `--check` whenever the checking build has the plane compiled in.
+//! Wall-clock numbers are recorded for the trajectory but never gated
+//! (CI runners swing by 2×); the overhead bar is asserted only when
+//! *generating* the baseline.
+
+use qsyn_core::{synthesize_in, Engine, GateLibrary, SynthesisOptions, SynthesisSession};
+use qsyn_revlogic::benchmarks;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The workload: Table 1 functions spread over all three engines so every
+/// injection site's disarmed check sits on a measured hot path (BDD
+/// alloc + GC sweep, SAT propagation, QBF decision loop).
+const TRAJECTORY: &[(&str, Engine)] = &[
+    ("rd32-v0", Engine::Bdd),
+    ("decod24-v0", Engine::Bdd),
+    ("3_17", Engine::Bdd),
+    ("rd32-v0", Engine::Sat),
+    ("3_17", Engine::Qbf),
+];
+
+/// Rounds per trajectory entry in one timed batch.
+const ROUNDS: usize = 6;
+
+/// Timing repetitions; per-job minima over all runs are summed, which
+/// filters scheduler noise spikes (results are identical across runs).
+const RUNS: usize = 7;
+
+/// Disabled-cost bar, in percent, asserted when generating the combined
+/// baseline from the faults build.
+const OVERHEAD_BAR_PCT: f64 = 2.0;
+
+fn options(engine: Engine) -> SynthesisOptions {
+    SynthesisOptions::new(GateLibrary::mct(), engine)
+}
+
+fn engine_name(e: Engine) -> &'static str {
+    match e {
+        Engine::Bdd => "bdd",
+        Engine::Sat => "sat",
+        Engine::Qbf => "qbf",
+    }
+}
+
+/// `(depth, solutions)` per job, in job order.
+type JobResults = Vec<(u32, u128)>;
+
+/// Runs the timed batch once, one long-lived session, plane disarmed.
+fn run_timed() -> (Vec<f64>, JobResults) {
+    let mut session = SynthesisSession::new();
+    let mut times = Vec::new();
+    let mut results = Vec::new();
+    for &(name, engine) in TRAJECTORY {
+        let bench = benchmarks::by_name(name).expect("known benchmark");
+        let opts = options(engine);
+        for _ in 0..ROUNDS {
+            let start = Instant::now();
+            let r = synthesize_in(&bench.spec, &opts, &mut session)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            times.push(start.elapsed().as_secs_f64() * 1e3);
+            results.push((r.depth(), r.solutions().count()));
+        }
+    }
+    (times, results)
+}
+
+/// One deterministic recovery measurement: seed, attempts the supervisor
+/// needed, the final status label, and the fired `site kind` list.
+struct Recovery {
+    seed: u64,
+    attempts: u32,
+    outcome: &'static str,
+    fired: String,
+}
+
+/// Arms the plane per seed and pushes one job through the supervised
+/// scheduler. Single worker, so visit counts — and therefore the whole
+/// schedule — are exactly reproducible.
+#[cfg(feature = "faults")]
+fn run_recovery() -> Vec<Recovery> {
+    use qsyn_core::RetryPolicy;
+    use qsyn_faults::FaultPlane;
+    use qsyn_portfolio::{run_batch, BatchConfig, JobStatus};
+
+    /// Seeds for the deterministic recovery trajectory.
+    const FAULT_SEEDS: &[u64] = &[1, 2, 3, 4];
+    /// Retry head-room: at most one one-shot fault per site can fire, so
+    /// the supervisor needs at most `sites + 1` attempts.
+    const MAX_ATTEMPTS: u32 = 8;
+
+    let bench = benchmarks::by_name("rd32-v0").expect("known benchmark");
+    let mut out = Vec::new();
+    for &seed in FAULT_SEEDS {
+        FaultPlane::arm(seed);
+        let outcome = run_batch(
+            vec![("rd32-v0".to_string(), bench.spec.clone())],
+            &BatchConfig {
+                workers: 1,
+                per_job_timeout: None,
+                retry: RetryPolicy::escalating(MAX_ATTEMPTS, Vec::new()),
+            },
+            None,
+            |spec, _token, session, _attempt| synthesize_in(spec, &options(Engine::Bdd), session),
+        );
+        let fired: Vec<String> = FaultPlane::fired()
+            .into_iter()
+            .map(|(site, kind)| format!("{} {kind}", site.name()))
+            .collect();
+        FaultPlane::disarm();
+        let report = &outcome.reports[0];
+        let label = match &report.status {
+            JobStatus::Done(_) => "done",
+            JobStatus::Degraded { .. } => "recovered",
+            JobStatus::Failed(_) => "failed",
+            JobStatus::Panicked { .. } => "panicked",
+        };
+        assert!(
+            matches!(
+                report.status,
+                JobStatus::Done(_) | JobStatus::Degraded { .. }
+            ),
+            "seed {seed}: supervisor must recover the job, got {label}"
+        );
+        out.push(Recovery {
+            seed,
+            attempts: report.attempts,
+            outcome: label,
+            fired: fired.join(", "),
+        });
+    }
+    out
+}
+
+#[cfg(not(feature = "faults"))]
+fn run_recovery() -> Vec<Recovery> {
+    Vec::new()
+}
+
+fn min_into(acc: &mut Vec<f64>, run: &[f64]) {
+    if acc.is_empty() {
+        acc.extend_from_slice(run);
+    } else {
+        for (a, &t) in acc.iter_mut().zip(run) {
+            *a = a.min(t);
+        }
+    }
+}
+
+struct Report {
+    /// Per trajectory entry: `(name, engine, depth, solutions)`.
+    per_bench: Vec<(&'static str, &'static str, u32, u128)>,
+    time_ms: f64,
+    /// Per-job minima, in job order (diagnostic printout only).
+    per_entry_ms: Vec<f64>,
+    recovery: Vec<Recovery>,
+}
+
+fn total_jobs() -> usize {
+    TRAJECTORY.len() * ROUNDS
+}
+
+fn jobs_per_sec(time_ms: f64) -> f64 {
+    total_jobs() as f64 / (time_ms / 1e3).max(1e-9)
+}
+
+fn faults_compiled() -> bool {
+    cfg!(feature = "faults")
+}
+
+/// Measures the workload (min-of-RUNS) and pins down the deterministic
+/// per-benchmark results.
+fn measure() -> Report {
+    let mut min_times = Vec::new();
+    let mut pinned: Option<JobResults> = None;
+    for _ in 0..RUNS {
+        let (times, results) = run_timed();
+        match &pinned {
+            Some(p) => assert_eq!(*p, results, "timed runs must agree bit for bit"),
+            None => pinned = Some(results),
+        }
+        min_into(&mut min_times, &times);
+    }
+    let results = pinned.expect("RUNS > 0");
+    let per_bench = TRAJECTORY
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, engine))| {
+            let (d, s) = results[i * ROUNDS];
+            for round in 1..ROUNDS {
+                assert_eq!(
+                    results[i * ROUNDS + round],
+                    (d, s),
+                    "{name}: round diverged"
+                );
+            }
+            (name, engine_name(engine), d, s)
+        })
+        .collect();
+    Report {
+        per_bench,
+        time_ms: min_times.iter().sum(),
+        per_entry_ms: min_times,
+        recovery: run_recovery(),
+    }
+}
+
+fn report_json(r: &Report, plain_ms: Option<f64>) -> String {
+    let mut out = String::from("{\n  \"generated_by\": \"gen_bench_pr5\",\n");
+    let _ = writeln!(out, "  \"faults_compiled\": {},", faults_compiled());
+    let _ = writeln!(
+        out,
+        "  \"rounds\": {ROUNDS},\n  \"total_jobs\": {},\n  \"benchmarks\": [",
+        total_jobs()
+    );
+    for (i, (name, engine, depth, solutions)) in r.per_bench.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{ \"name\": \"{name}\", \"engine\": \"{engine}\", \"depth\": {depth}, \"solutions\": {solutions} }}{}",
+            if i + 1 == r.per_bench.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ],\n");
+    match plain_ms {
+        Some(plain) => {
+            let overhead = (r.time_ms / plain.max(1e-9) - 1.0) * 100.0;
+            let _ = writeln!(
+                out,
+                "  \"plain\": {{ \"time_ms\": {plain:.3}, \"jobs_per_sec\": {:.2} }},",
+                jobs_per_sec(plain)
+            );
+            let _ = writeln!(
+                out,
+                "  \"disarmed\": {{ \"time_ms\": {:.3}, \"jobs_per_sec\": {:.2} }},",
+                r.time_ms,
+                jobs_per_sec(r.time_ms)
+            );
+            let _ = writeln!(out, "  \"overhead_pct\": {overhead:.3},");
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "  \"plain\": {{ \"time_ms\": {:.3}, \"jobs_per_sec\": {:.2} }},",
+                r.time_ms,
+                jobs_per_sec(r.time_ms)
+            );
+        }
+    }
+    out.push_str("  \"recovery\": [\n");
+    for (i, rec) in r.recovery.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{ \"seed\": {}, \"attempts\": {}, \"outcome\": \"{}\", \"fired\": \"{}\" }}{}",
+            rec.seed,
+            rec.attempts,
+            rec.outcome,
+            rec.fired,
+            if i + 1 == r.recovery.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Deterministic metrics scraped back out of a committed report.
+struct Baseline {
+    /// `name/engine` → `(depth, solutions)`.
+    rows: HashMap<String, (u32, u128)>,
+    /// `seed` → `(attempts, outcome, fired)`.
+    recovery: HashMap<u64, (u32, String, String)>,
+    plain_ms: Option<f64>,
+}
+
+fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let marker = format!("\"{name}\": ");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', ' ', '}']).next()
+    }
+}
+
+fn parse_baseline(text: &str) -> Baseline {
+    let mut rows = HashMap::new();
+    let mut recovery = HashMap::new();
+    let mut plain_ms = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with("{ \"name\":") {
+            if let (Some(name), Some(engine), Some(d), Some(s)) = (
+                field(line, "name"),
+                field(line, "engine"),
+                field(line, "depth").and_then(|v| v.parse().ok()),
+                field(line, "solutions").and_then(|v| v.parse().ok()),
+            ) {
+                rows.insert(format!("{name}/{engine}"), (d, s));
+            }
+        } else if line.starts_with("{ \"seed\":") {
+            if let (Some(seed), Some(attempts), Some(outcome), Some(fired)) = (
+                field(line, "seed").and_then(|v| v.parse().ok()),
+                field(line, "attempts").and_then(|v| v.parse().ok()),
+                field(line, "outcome"),
+                field(line, "fired"),
+            ) {
+                recovery.insert(seed, (attempts, outcome.to_string(), fired.to_string()));
+            }
+        } else if line.starts_with("\"plain\":") {
+            plain_ms = field(line, "time_ms").and_then(|v| v.parse().ok());
+        }
+    }
+    Baseline {
+        rows,
+        recovery,
+        plain_ms,
+    }
+}
+
+fn check(report: &Report, baseline: &Baseline) -> bool {
+    let mut failed = false;
+    for (name, engine, depth, solutions) in &report.per_bench {
+        let key = format!("{name}/{engine}");
+        let Some(&(bd, bs)) = baseline.rows.get(&key) else {
+            println!("{key}: not in baseline, skipping");
+            continue;
+        };
+        if (*depth, *solutions) != (bd, bs) {
+            println!("REGRESSION {key}: ({depth}, {solutions}) vs baseline ({bd}, {bs})");
+            failed = true;
+        }
+    }
+    if faults_compiled() {
+        for rec in &report.recovery {
+            let Some((ba, bo, bf)) = baseline.recovery.get(&rec.seed) else {
+                println!("seed {}: not in baseline, skipping", rec.seed);
+                continue;
+            };
+            if (rec.attempts, rec.outcome, rec.fired.as_str()) != (*ba, bo.as_str(), bf.as_str()) {
+                println!(
+                    "REGRESSION seed {}: {} attempts / {} / [{}] vs baseline {} / {} / [{}]",
+                    rec.seed, rec.attempts, rec.outcome, rec.fired, ba, bo, bf
+                );
+                failed = true;
+            }
+        }
+    } else {
+        println!("fault plane compiled out: recovery trajectory not re-checked");
+    }
+    !failed
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut baseline_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut plain_path = "BENCH_pr5.plain.json".to_string();
+    let mut ab_bin: Option<String> = None;
+    let mut time_only = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => baseline_path = Some(args.next().expect("--check needs a file")),
+            "-o" | "--output" => out_path = Some(args.next().expect("-o needs a file")),
+            "--plain" => plain_path = args.next().expect("--plain needs a file"),
+            "--ab" => ab_bin = Some(args.next().expect("--ab needs a binary path")),
+            "--time-only" => time_only = true,
+            other => panic!("unknown option `{other}`"),
+        }
+    }
+
+    let mut report = measure();
+    if time_only {
+        // A/B probe mode: one machine-parsable line for the peer build.
+        println!("time_ms: {:.3}", report.time_ms);
+        return;
+    }
+    println!(
+        "PR 5 fault-plane trajectory ({} jobs, plane {})",
+        total_jobs(),
+        if faults_compiled() {
+            "compiled in, disarmed"
+        } else {
+            "compiled out"
+        }
+    );
+    println!(
+        "workload: {:>8.1}ms ({:>6.1} jobs/s)",
+        report.time_ms,
+        jobs_per_sec(report.time_ms)
+    );
+    for (i, (name, engine, _, _)) in report.per_bench.iter().enumerate() {
+        println!(
+            "  {name}/{engine}: {:>8.1}ms",
+            report.per_entry_ms[i * ROUNDS..(i + 1) * ROUNDS]
+                .iter()
+                .sum::<f64>()
+        );
+    }
+    for rec in &report.recovery {
+        println!(
+            "seed {}: {} ({} attempts) [{}]",
+            rec.seed, rec.outcome, rec.attempts, rec.fired
+        );
+    }
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).expect("read baseline");
+        if !check(&report, &parse_baseline(&text)) {
+            println!("\nbench-smoke: FAILED against {path}");
+            std::process::exit(1);
+        }
+        println!("\nbench-smoke: ok against {path}");
+    } else if faults_compiled() {
+        // Combined baseline: needs the plain build's reference timing.
+        let text = std::fs::read_to_string(&plain_path).unwrap_or_else(|e| {
+            panic!(
+                "{plain_path}: {e}\nrun the plain build first: \
+                 cargo run --release -p qsyn-bench --bin gen_bench_pr5"
+            )
+        });
+        let plain = parse_baseline(&text);
+        let mut plain_ms = plain.plain_ms.expect("plain reference has a time");
+        for (name, engine, depth, solutions) in &report.per_bench {
+            let key = format!("{name}/{engine}");
+            if let Some(&(bd, bs)) = plain.rows.get(&key) {
+                assert_eq!(
+                    (*depth, *solutions),
+                    (bd, bs),
+                    "{key}: faults build result differs from plain build"
+                );
+            }
+        }
+        // The two timings come from separate processes (the plane is a
+        // compile-time feature), and two measurement windows minutes apart
+        // drift by more than the 2% bar. With `--ab` the plain binary was
+        // preserved, so alternate samples of both builds inside one window
+        // and compare min against min — paired weather, honest bar.
+        if let Some(ab) = &ab_bin {
+            const AB_PAIRS: usize = 3;
+            let mut plain_best = f64::INFINITY;
+            for pair in 1..=AB_PAIRS {
+                let own = measure();
+                if own.time_ms < report.time_ms {
+                    report = own;
+                }
+                let out = std::process::Command::new(ab)
+                    .arg("--time-only")
+                    .output()
+                    .unwrap_or_else(|e| panic!("--ab {ab}: {e}"));
+                assert!(out.status.success(), "--ab {ab} exited with {}", out.status);
+                let text = String::from_utf8_lossy(&out.stdout);
+                let t: f64 = text
+                    .lines()
+                    .find_map(|l| l.strip_prefix("time_ms: "))
+                    .expect("--ab binary must print `time_ms: `")
+                    .trim()
+                    .parse()
+                    .expect("--ab time parses");
+                plain_best = plain_best.min(t);
+                println!(
+                    "ab pair {pair}/{AB_PAIRS}: plain {t:.1}ms, disarmed {:.1}ms",
+                    report.time_ms
+                );
+            }
+            plain_ms = plain_best;
+        }
+        // Fallback without `--ab`: the recorded reference plus a few
+        // self re-measures — a genuine regression shows in every sample,
+        // a noisy window does not.
+        let mut overhead = (report.time_ms / plain_ms.max(1e-9) - 1.0) * 100.0;
+        if ab_bin.is_none() {
+            const REMEASURES: usize = 2;
+            for attempt in 1..=REMEASURES {
+                if overhead < OVERHEAD_BAR_PCT {
+                    break;
+                }
+                println!(
+                    "overhead {overhead:.3}% over bar — re-measuring ({attempt}/{REMEASURES})"
+                );
+                let again = measure();
+                if again.time_ms < report.time_ms {
+                    report = again;
+                }
+                overhead = (report.time_ms / plain_ms.max(1e-9) - 1.0) * 100.0;
+            }
+        }
+        println!("overhead: {overhead:>7.3}% (bar {OVERHEAD_BAR_PCT}%)");
+        assert!(
+            overhead < OVERHEAD_BAR_PCT,
+            "disarmed fault plane costs {overhead:.3}%, bar is {OVERHEAD_BAR_PCT}%"
+        );
+        let path = out_path.unwrap_or_else(|| "BENCH_pr5.json".to_string());
+        std::fs::write(&path, report_json(&report, Some(plain_ms))).expect("write report");
+        println!("wrote {path}");
+    } else {
+        let path = out_path.unwrap_or_else(|| plain_path.clone());
+        std::fs::write(&path, report_json(&report, None)).expect("write report");
+        println!("wrote {path} (now rerun with --features faults to gate overhead)");
+    }
+}

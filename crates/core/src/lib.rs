@@ -56,6 +56,7 @@ mod error;
 mod options;
 pub mod permuted;
 mod qbf_engine;
+pub mod retry;
 mod sat_engine;
 mod session;
 mod solutions;
@@ -69,6 +70,7 @@ pub use driver::{
 pub use error::{Resource, SynthesisError};
 pub use options::{Engine, QbfBackend, SatSelectEncoding, SynthesisOptions, VarOrder};
 pub use qbf_engine::QbfEngine;
+pub use retry::{run_with_retry, Attempt, FailureKind, RetryOutcome, RetryPolicy};
 pub use sat_engine::SatEngine;
 pub use session::{ManagerPool, PooledManager, ResourceGovernor, SessionStats, SynthesisSession};
 pub use solutions::SolutionSet;

@@ -233,6 +233,7 @@ fn qdpll_chunked(
     let mut budget = FIRST_CONFLICT_CHUNK.min(limit);
     loop {
         governor.check(d)?;
+        governor.qbf_fault_probe(d, budget)?;
         solver.set_decision_budget(budget);
         if let Some(verdict) = solver.solve_limited() {
             return Ok(verdict);

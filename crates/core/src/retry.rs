@@ -1,0 +1,359 @@
+//! Supervised retry and graceful degradation.
+//!
+//! Exact synthesis is an iterative-deepening search whose cost is hard to
+//! predict, so budget trips are a normal outcome, not an anomaly. A
+//! [`RetryPolicy`] turns them into a recovery plan instead of a dead job:
+//! a budget-tripped attempt is retried with an **escalated budget**
+//! (node / conflict / decision / wall-clock limits scaled by the policy's
+//! factor, compounding per attempt) and, when an engine ladder is
+//! configured, **degraded down the ladder** — the paper's BDD engine
+//! falling back to the SAT baseline, say — before giving up with the last
+//! structured error. Exponential backoff between attempts keeps a sick
+//! machine (the usual cause of repeated panics) from being hammered.
+//!
+//! What is retryable is deliberately narrow (see [`FailureKind`]):
+//! resource exhaustion and worker panics are; an explicit cancellation is
+//! the caller's intent and a deterministic failure (unsatisfiable depth
+//! bound, oversized spec) would only fail identically again.
+//!
+//! The policy itself is pure bookkeeping — [`RetryPolicy::next`] maps an
+//! attempt and a failure class to the follow-up attempt, if any — so the
+//! single-job driver path ([`run_with_retry`]) and the batch scheduler
+//! (which adds panic capture and manager quarantine on top) share one
+//! definition of the ladder semantics.
+
+use crate::error::SynthesisError;
+use crate::options::Engine;
+use std::time::Duration;
+
+/// Recovery plan for budget-tripped or panicked synthesis attempts; see
+/// the module docs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Budget multiplier applied on each budget-trip retry, compounding:
+    /// attempt `k` runs at `budget_escalation^(k-1)` times the configured
+    /// budgets.
+    pub budget_escalation: f64,
+    /// Engines to degrade through on budget-trip retries, in order. The
+    /// first attempt always uses the job's own engine; rung `i` of the
+    /// ladder serves the `i+1`-th budget-tripped attempt. Empty means
+    /// retry on the same engine.
+    pub engine_ladder: Vec<Engine>,
+    /// Base backoff slept before the second attempt; doubles per further
+    /// attempt.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// One attempt, no recovery — the behaviour before this module
+    /// existed.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            budget_escalation: 1.0,
+            engine_ladder: Vec::new(),
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// `max_attempts` tries with doubled budgets per retry, degrading
+    /// down `ladder` on budget trips.
+    pub fn escalating(max_attempts: u32, ladder: Vec<Engine>) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            budget_escalation: 2.0,
+            engine_ladder: ladder,
+            backoff: Duration::from_millis(25),
+        }
+    }
+
+    /// The first attempt: the job's own engine at its configured budgets.
+    pub fn first(&self) -> Attempt {
+        Attempt {
+            number: 1,
+            budget_scale: 1.0,
+            engine: None,
+            rung: 0,
+        }
+    }
+
+    /// The follow-up to `prev` ending in `failure`, or `None` when the
+    /// failure is not retryable or the attempts are exhausted.
+    ///
+    /// Budget trips escalate the budget scale and advance one ladder rung
+    /// when rungs remain; panics retry the same configuration (the crash
+    /// was environmental, not a budget misfit).
+    pub fn next(&self, prev: &Attempt, failure: FailureKind) -> Option<Attempt> {
+        if prev.number >= self.max_attempts {
+            return None;
+        }
+        match failure {
+            FailureKind::Fatal => None,
+            FailureKind::Panic => Some(Attempt {
+                number: prev.number + 1,
+                ..prev.clone()
+            }),
+            FailureKind::Budget => {
+                let (engine, rung) = match self.engine_ladder.get(prev.rung) {
+                    Some(&next_engine) => (Some(next_engine), prev.rung + 1),
+                    None => (prev.engine, prev.rung),
+                };
+                Some(Attempt {
+                    number: prev.number + 1,
+                    budget_scale: prev.budget_scale * self.budget_escalation,
+                    engine,
+                    rung,
+                })
+            }
+        }
+    }
+
+    /// Exponential backoff to sleep before `attempt` runs: zero for the
+    /// first attempt, `backoff * 2^(n-2)` for attempt `n ≥ 2`.
+    pub fn backoff_before(&self, attempt: &Attempt) -> Duration {
+        if attempt.number < 2 || self.backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        self.backoff
+            .saturating_mul(1u32 << (attempt.number - 2).min(16))
+    }
+}
+
+/// One scheduled try of a job: attempt number, compound budget scale, and
+/// the ladder's engine override (when the job has been degraded).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Attempt {
+    /// 1-based attempt number.
+    pub number: u32,
+    /// Compound budget multiplier for this attempt.
+    pub budget_scale: f64,
+    /// Engine override from the degradation ladder; `None` runs the job's
+    /// own engine.
+    pub engine: Option<Engine>,
+    /// Next ladder rung to consume on a further budget trip.
+    rung: usize,
+}
+
+impl Attempt {
+    /// Scales an integral budget by this attempt's compound factor,
+    /// saturating.
+    pub fn scale_budget(&self, budget: u64) -> u64 {
+        if self.budget_scale <= 1.0 {
+            return budget;
+        }
+        let scaled = (budget as f64) * self.budget_scale;
+        if scaled >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            scaled as u64
+        }
+    }
+
+    /// Scales a wall-clock budget by this attempt's compound factor.
+    pub fn scale_duration(&self, budget: Duration) -> Duration {
+        if self.budget_scale <= 1.0 {
+            return budget;
+        }
+        budget.mul_f64(self.budget_scale)
+    }
+}
+
+/// How a failed attempt is classified for retry purposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A resource budget tripped — retry with escalation / degradation.
+    Budget,
+    /// The attempt panicked — retry unchanged.
+    Panic,
+    /// Deterministic or intentional failure — never retried.
+    Fatal,
+}
+
+/// Classifies a synthesis error: only [`SynthesisError::BudgetExceeded`]
+/// is retryable. Cancellation is caller intent; everything else would
+/// fail identically on a second run.
+pub fn classify(error: &SynthesisError) -> FailureKind {
+    match error {
+        SynthesisError::BudgetExceeded { .. } => FailureKind::Budget,
+        _ => FailureKind::Fatal,
+    }
+}
+
+/// Outcome of a supervised run: the final result plus the recovery
+/// trail — how many attempts ran and which ladder engines they used.
+#[derive(Clone, Debug)]
+pub struct RetryOutcome<R> {
+    /// The last attempt's result.
+    pub result: Result<R, SynthesisError>,
+    /// Attempts actually run (1 when the first try settled it).
+    pub attempts: u32,
+    /// Engines the degradation ladder routed retries through, in order;
+    /// empty when no attempt was degraded.
+    pub ladder_path: Vec<Engine>,
+}
+
+impl<R> RetryOutcome<R> {
+    /// `true` when the job needed more than one attempt to produce its
+    /// result — i.e. it recovered rather than ran clean.
+    pub fn degraded(&self) -> bool {
+        self.attempts > 1
+    }
+}
+
+/// Runs `attempt_fn` under `policy`: retries budget trips with escalated
+/// budgets down the engine ladder, sleeping the policy's backoff between
+/// attempts, until an attempt settles (success or fatal error) or the
+/// policy is exhausted. Panics are **not** caught here — that is the
+/// batch scheduler's job (`catch_unwind` is confined there by the repo
+/// lint); this is the single-job driver path.
+pub fn run_with_retry<R>(
+    policy: &RetryPolicy,
+    mut attempt_fn: impl FnMut(&Attempt) -> Result<R, SynthesisError>,
+) -> RetryOutcome<R> {
+    let mut attempt = policy.first();
+    let mut ladder_path = Vec::new();
+    loop {
+        let backoff = policy.backoff_before(&attempt);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        if let Some(engine) = attempt.engine {
+            if ladder_path.last() != Some(&engine) {
+                ladder_path.push(engine);
+            }
+        }
+        let result = attempt_fn(&attempt);
+        let failure = match &result {
+            Ok(_) => None,
+            Err(e) => Some(classify(e)),
+        };
+        match failure.and_then(|f| policy.next(&attempt, f)) {
+            Some(next) => attempt = next,
+            None => {
+                return RetryOutcome {
+                    result,
+                    attempts: attempt.number,
+                    ladder_path,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Resource;
+
+    fn budget_error() -> SynthesisError {
+        SynthesisError::BudgetExceeded {
+            depth: 3,
+            resource: Resource::BddNodes,
+            spent: 10,
+            limit: 10,
+        }
+    }
+
+    #[test]
+    fn none_policy_never_retries() {
+        let p = RetryPolicy::none();
+        let first = p.first();
+        assert_eq!(p.next(&first, FailureKind::Budget), None);
+        assert_eq!(p.next(&first, FailureKind::Panic), None);
+    }
+
+    #[test]
+    fn budget_trips_escalate_and_degrade() {
+        let p = RetryPolicy::escalating(3, vec![Engine::Sat]);
+        let a1 = p.first();
+        assert_eq!(a1.engine, None);
+        let a2 = p.next(&a1, FailureKind::Budget).expect("second attempt");
+        assert_eq!(a2.number, 2);
+        assert_eq!(a2.engine, Some(Engine::Sat), "first rung degrades");
+        assert_eq!(a2.scale_budget(1_000), 2_000);
+        let a3 = p.next(&a2, FailureKind::Budget).expect("third attempt");
+        assert_eq!(a3.engine, Some(Engine::Sat), "ladder exhausted, stay put");
+        assert_eq!(a3.scale_budget(1_000), 4_000, "escalation compounds");
+        assert_eq!(p.next(&a3, FailureKind::Budget), None, "attempts spent");
+    }
+
+    #[test]
+    fn panics_retry_without_escalation() {
+        let p = RetryPolicy::escalating(3, vec![Engine::Sat]);
+        let a2 = p.next(&p.first(), FailureKind::Panic).expect("retry");
+        assert_eq!(a2.engine, None, "panic retry keeps the engine");
+        assert_eq!(a2.scale_budget(1_000), 1_000, "and the budget");
+    }
+
+    #[test]
+    fn fatal_failures_never_retry() {
+        let p = RetryPolicy::escalating(5, vec![]);
+        assert_eq!(p.next(&p.first(), FailureKind::Fatal), None);
+        assert_eq!(
+            classify(&SynthesisError::Cancelled { depth: 0 }),
+            FailureKind::Fatal
+        );
+        assert_eq!(classify(&budget_error()), FailureKind::Budget);
+    }
+
+    #[test]
+    fn backoff_is_exponential_from_the_second_attempt() {
+        let p = RetryPolicy {
+            backoff: Duration::from_millis(10),
+            ..RetryPolicy::escalating(4, vec![])
+        };
+        let a1 = p.first();
+        assert_eq!(p.backoff_before(&a1), Duration::ZERO);
+        let a2 = p.next(&a1, FailureKind::Budget).expect("a2");
+        assert_eq!(p.backoff_before(&a2), Duration::from_millis(10));
+        let a3 = p.next(&a2, FailureKind::Budget).expect("a3");
+        assert_eq!(p.backoff_before(&a3), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn run_with_retry_recovers_from_budget_trips() {
+        let p = RetryPolicy {
+            backoff: Duration::ZERO,
+            ..RetryPolicy::escalating(3, vec![Engine::Sat])
+        };
+        let mut seen = Vec::new();
+        let outcome = run_with_retry(&p, |attempt| {
+            seen.push((attempt.number, attempt.engine));
+            if attempt.number < 3 {
+                Err(budget_error())
+            } else {
+                Ok(attempt.scale_budget(100))
+            }
+        });
+        assert_eq!(outcome.attempts, 3);
+        assert_eq!(outcome.result.as_ref().copied(), Ok(400));
+        assert!(outcome.degraded());
+        assert_eq!(outcome.ladder_path, vec![Engine::Sat]);
+        assert_eq!(
+            seen,
+            vec![(1, None), (2, Some(Engine::Sat)), (3, Some(Engine::Sat))]
+        );
+    }
+
+    #[test]
+    fn run_with_retry_gives_up_with_the_last_error() {
+        let p = RetryPolicy {
+            backoff: Duration::ZERO,
+            ..RetryPolicy::escalating(2, vec![])
+        };
+        let outcome: RetryOutcome<()> = run_with_retry(&p, |_| Err(budget_error()));
+        assert_eq!(outcome.attempts, 2);
+        assert!(matches!(
+            outcome.result,
+            Err(SynthesisError::BudgetExceeded { .. })
+        ));
+    }
+}

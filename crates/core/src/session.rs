@@ -138,17 +138,54 @@ impl ResourceGovernor {
     /// completion. The manager latches the interrupt and collapses results
     /// to ⊥; the engine's next [`check`](Self::check) turns that into the
     /// structured error.
+    ///
+    /// Carries the fault-plane site `bdd.gc-sweep`, polled at the BDD
+    /// safe points (garbage-collection entry and the construction-stride
+    /// poll): an injected fault expires the governed token's deadline, so
+    /// the interrupt latches and the engine reports a wall-clock budget
+    /// trip exactly as a real deadline would — never the fatal
+    /// "interrupted without a tripped token" invariant error.
     pub fn interrupt_probe(&self) -> Box<dyn Fn() -> bool + Send> {
         let token = self.cancel.clone();
-        Box::new(move || token.is_cancelled() || token.deadline_expired())
+        Box::new(move || {
+            if qsyn_faults::hit(qsyn_faults::Site::BddGcSweep).is_some() {
+                token.set_deadline(Instant::now());
+            }
+            token.is_cancelled() || token.deadline_expired()
+        })
     }
 
     /// The same probe shaped for
     /// [`Solver::set_budget_callback`](qsyn_sat::Solver::set_budget_callback):
     /// aborts CDCL propagation when the run is cancelled or out of time.
+    ///
+    /// Carries the fault-plane site `sat.propagate`: an injected fault
+    /// expires the governed token's deadline, so the abort latches and the
+    /// engine's next check reports a wall-clock budget trip exactly as a
+    /// real deadline would.
     pub fn sat_abort_probe(&self) -> Box<dyn FnMut() -> bool + Send> {
         let token = self.cancel.clone();
-        Box::new(move || token.is_cancelled() || token.deadline_expired())
+        Box::new(move || {
+            if qsyn_faults::hit(qsyn_faults::Site::SatPropagate).is_some() {
+                token.set_deadline(Instant::now());
+            }
+            token.is_cancelled() || token.deadline_expired()
+        })
+    }
+
+    /// Polls the fault-plane site `qbf.decision` between QDPLL
+    /// decision-budget chunks; an injected fault reports the decision
+    /// budget as exhausted at `spent` decisions.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::BudgetExceeded`] with [`Resource::QbfDecisions`]
+    /// when the armed plan fires here.
+    pub fn qbf_fault_probe(&self, depth: u32, spent: u64) -> Result<(), SynthesisError> {
+        if qsyn_faults::hit(qsyn_faults::Site::QbfDecision).is_some() {
+            return Err(self.decisions_exceeded(depth, spent));
+        }
+        Ok(())
     }
 }
 
@@ -158,10 +195,31 @@ impl ResourceGovernor {
 /// retired manager (resetting it to the requested variable count, keeping
 /// its allocated capacity) or allocates a fresh one; dropping the returned
 /// [`PooledManager`] checks the manager back in.
+///
+/// # Quarantine
+///
+/// A manager is **quarantined** — dropped on the floor instead of checked
+/// back in — when its loan ends during a panic unwind (the job that held
+/// it crashed mid-build, so its arena state is suspect), when the holder
+/// calls [`PooledManager::quarantine`] explicitly, or when the post-job
+/// structural audit fails at check-in. Quarantined managers are counted in
+/// [`SessionStats::quarantined`] and are never re-issued: the next
+/// checkout allocates fresh.
 #[derive(Clone, Debug, Default)]
 pub struct ManagerPool {
-    inner: Arc<Mutex<Vec<Manager>>>,
+    inner: Arc<Mutex<PoolState>>,
 }
+
+#[derive(Debug, Default)]
+struct PoolState {
+    idle: Vec<Manager>,
+    quarantined: u64,
+    retries: u64,
+}
+
+/// Largest manager the check-in audit will walk; beyond this the audit is
+/// skipped rather than stalling the worker between jobs.
+const CHECK_IN_AUDIT_NODE_CAP: usize = 100_000;
 
 impl ManagerPool {
     /// An empty pool.
@@ -171,8 +229,17 @@ impl ManagerPool {
 
     /// A manager over `num_vars` variables: recycled if one is available,
     /// freshly allocated otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Only under fault injection: the fault-plane site
+    /// `session.checkout` models a poisoned manager surfacing while a
+    /// worker prepares a job.
     pub fn checkout(&self, num_vars: u32) -> PooledManager {
-        let recycled = self.inner.lock().expect("manager pool lock").pop();
+        if qsyn_faults::hit(qsyn_faults::Site::SessionCheckout).is_some() {
+            panic!("fault-plane: injected panic at session.checkout");
+        }
+        let recycled = self.inner.lock().expect("manager pool lock").idle.pop();
         let m = match recycled {
             Some(mut m) => {
                 m.reset(num_vars);
@@ -188,17 +255,30 @@ impl ManagerPool {
 
     /// Number of managers currently checked in.
     pub fn idle(&self) -> usize {
-        self.inner.lock().expect("manager pool lock").len()
+        self.inner.lock().expect("manager pool lock").idle.len()
+    }
+
+    /// Managers quarantined so far (never re-issued).
+    pub fn quarantined(&self) -> u64 {
+        self.inner.lock().expect("manager pool lock").quarantined
+    }
+
+    /// Records one supervised retry attempt (see
+    /// [`SessionStats::retries`]); called by the batch scheduler.
+    pub fn note_retry(&self) {
+        self.inner.lock().expect("manager pool lock").retries += 1;
     }
 
     /// Sums the cumulative counters of every checked-in manager.
     fn stats(&self) -> SessionStats {
         let pool = self.inner.lock().expect("manager pool lock");
         let mut agg = SessionStats {
-            managers: pool.len() as u64,
+            managers: pool.idle.len() as u64,
+            quarantined: pool.quarantined,
+            retries: pool.retries,
             ..SessionStats::default()
         };
-        for m in pool.iter() {
+        for m in pool.idle.iter() {
             let s = m.stats();
             agg.resets += s.resets;
             agg.peak_live = agg.peak_live.max(s.peak_live);
@@ -212,19 +292,51 @@ impl ManagerPool {
     }
 
     fn check_in(&self, mut m: Manager) {
+        // A returning manager must pass the structural audit before it can
+        // serve another job; a corrupted arena is quarantined, not
+        // recycled. Walking the arena costs O(nodes) — enough to dominate
+        // small jobs — so release builds only pay it while the fault plane
+        // is *armed* (injected faults are what can leave an arena torn,
+        // and the chaos harness depends on the quarantine); debug builds
+        // always audit.
+        let audit = (cfg!(debug_assertions) || qsyn_faults::FaultPlane::armed())
+            && m.node_count() <= CHECK_IN_AUDIT_NODE_CAP;
+        if audit && qsyn_audit::bdd_audit::audit_manager(&m).is_err() {
+            self.note_quarantine();
+            return;
+        }
         // Never retain a caller's abort probe across jobs: the closure
         // captures a token whose lifetime ends with the job.
         m.set_interrupt_poll(None);
-        self.inner.lock().expect("manager pool lock").push(m);
+        self.inner.lock().expect("manager pool lock").idle.push(m);
+    }
+
+    fn note_quarantine(&self) {
+        // The manager itself is dropped by the caller going out of scope.
+        self.inner.lock().expect("manager pool lock").quarantined += 1;
     }
 }
 
 /// A [`Manager`] on loan from a [`ManagerPool`]; derefs to the manager
-/// and checks itself back in on drop.
+/// and checks itself back in on drop — unless the drop happens during a
+/// panic unwind, in which case the manager is quarantined (see
+/// [`ManagerPool`]).
 #[derive(Debug)]
 pub struct PooledManager {
     m: Option<Manager>,
     pool: ManagerPool,
+}
+
+impl PooledManager {
+    /// Quarantines the manager explicitly: it is dropped, counted in
+    /// [`SessionStats::quarantined`], and never returns to the pool. Use
+    /// when the holder knows the manager's state is suspect (a failed
+    /// audit, an inconsistent result) without a panic in flight.
+    pub fn quarantine(mut self) {
+        if self.m.take().is_some() {
+            self.pool.note_quarantine();
+        }
+    }
 }
 
 impl std::ops::Deref for PooledManager {
@@ -243,7 +355,15 @@ impl std::ops::DerefMut for PooledManager {
 impl Drop for PooledManager {
     fn drop(&mut self) {
         if let Some(m) = self.m.take() {
-            self.pool.check_in(m);
+            // A loan ending mid-unwind means the owning job panicked with
+            // the manager possibly half-updated; poison it out of the pool
+            // instead of handing the wreckage to the next job.
+            if std::thread::panicking() {
+                drop(m);
+                self.pool.note_quarantine();
+            } else {
+                self.pool.check_in(m);
+            }
         }
     }
 }
@@ -269,6 +389,11 @@ pub struct SessionStats {
     pub gc_runs: u64,
     /// Nodes reclaimed by collections, summed.
     pub gc_freed: u64,
+    /// Managers quarantined (dropped after a panic, an explicit
+    /// quarantine, or a failed check-in audit) — never re-issued.
+    pub quarantined: u64,
+    /// Supervised retry attempts recorded by the batch scheduler.
+    pub retries: u64,
 }
 
 impl SessionStats {
@@ -284,6 +409,8 @@ impl SessionStats {
         self.cache_evictions += other.cache_evictions;
         self.gc_runs += other.gc_runs;
         self.gc_freed += other.gc_freed;
+        self.quarantined += other.quarantined;
+        self.retries += other.retries;
     }
 
     /// Computed-table hit rate in percent (0 when no lookups happened).
@@ -303,7 +430,7 @@ impl std::fmt::Display for SessionStats {
             f,
             "{} jobs, {} managers, {} resets, peak {} live nodes, \
              cache {} hits / {} misses ({:.1}% hit rate, {} evictions), \
-             {} GCs freeing {} nodes",
+             {} GCs freeing {} nodes, {} retries, {} quarantined",
             self.jobs,
             self.managers,
             self.resets,
@@ -314,6 +441,8 @@ impl std::fmt::Display for SessionStats {
             self.cache_evictions,
             self.gc_runs,
             self.gc_freed,
+            self.retries,
+            self.quarantined,
         )
     }
 }
@@ -473,6 +602,59 @@ mod tests {
         assert!(!probe());
         options.cancel.cancel();
         assert!(probe());
+    }
+
+    #[test]
+    fn panicking_job_quarantines_its_manager() {
+        let pool = ManagerPool::new();
+        let p = pool.clone();
+        let worker = std::thread::spawn(move || {
+            let mut m = p.checkout(3);
+            let a = m.var(0);
+            let b = m.var(1);
+            let _ = m.and(a, b);
+            panic!("job crashed mid-build");
+        });
+        assert!(worker.join().is_err());
+        assert_eq!(
+            pool.idle(),
+            0,
+            "a panicking job's manager must never reach the next job"
+        );
+        assert_eq!(pool.quarantined(), 1);
+        // The next checkout allocates fresh rather than recycling wreckage.
+        let m = pool.checkout(3);
+        assert_eq!(m.stats().resets, 0);
+    }
+
+    #[test]
+    fn explicit_quarantine_never_reissues() {
+        let pool = ManagerPool::new();
+        let m = pool.checkout(2);
+        m.quarantine();
+        assert_eq!(pool.idle(), 0);
+        assert_eq!(pool.quarantined(), 1);
+        let m2 = pool.checkout(2);
+        assert_eq!(m2.stats().resets, 0, "quarantined manager is not recycled");
+    }
+
+    #[test]
+    fn stats_carry_quarantine_and_retry_counters() {
+        let session = SynthesisSession::new();
+        let pool = session.pool();
+        pool.checkout(2).quarantine();
+        pool.note_retry();
+        pool.note_retry();
+        let s = session.stats();
+        assert_eq!(s.quarantined, 1);
+        assert_eq!(s.retries, 2);
+        let mut merged = SessionStats::default();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.quarantined, 2);
+        assert_eq!(merged.retries, 4);
+        let text = s.to_string();
+        assert!(text.contains("2 retries") && text.contains("1 quarantined"));
     }
 
     #[test]

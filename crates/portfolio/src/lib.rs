@@ -13,16 +13,20 @@
 //! * [`cache`] — a memo table keyed by the spec's canonical form under
 //!   output permutation; an equivalent request is answered by permuting the
 //!   stored result instead of re-synthesizing.
+//! * [`journal`] — crash-safe batch resume: fsync'd JSONL records of
+//!   completed jobs, replayed by `qsyn batch --resume`.
 //!
 //! Everything is built on `std::thread`/`std::sync` only.
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod journal;
 pub mod race;
 pub mod scheduler;
 
 pub use cache::{canonicalize, CanonicalSpec, SpecCache};
+pub use journal::{job_key, read_journal, Fnv1a, JournalRecord, JournalWriter};
 pub use race::{
     race, race_engines, race_engines_permuted, RaceError, RaceResult, Racer, RacerOutcome,
     RacerReport, RACE_ENGINES,

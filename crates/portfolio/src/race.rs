@@ -267,7 +267,8 @@ pub fn race_engines(
 }
 
 /// Races the three engines on output-permutation synthesis
-/// ([`synthesize_with_output_permutation`]); otherwise as [`race_engines`].
+/// (`qsyn_core::synthesize_with_output_permutation`); otherwise as
+/// [`race_engines`].
 ///
 /// # Errors
 ///

@@ -8,11 +8,26 @@
 //! worker. Results come back in input order regardless of completion
 //! order, so a parallel batch is byte-for-byte comparable to a sequential
 //! one.
+//!
+//! # Supervision
+//!
+//! With a [`RetryPolicy`] in the [`BatchConfig`], the scheduler is also
+//! the supervisor: a budget-tripped attempt is re-run with escalated
+//! budgets and degraded down the policy's engine ladder, a panicked
+//! attempt is re-run unchanged, and the job's report says how it
+//! recovered ([`JobStatus::Degraded`]). A panicking attempt's BDD manager
+//! is quarantined by the session pool (drop-during-unwind, see
+//! `qsyn_core::ManagerPool`), so recovery never recycles wreckage into
+//! the next attempt.
 
-use qsyn_core::{CancelToken, SessionStats, SynthesisError, SynthesisSession};
+use qsyn_core::retry::{classify, FailureKind};
+use qsyn_core::{
+    Attempt, CancelToken, Engine, RetryPolicy, SessionStats, SynthesisError, SynthesisSession,
+};
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, Once};
 use std::time::{Duration, Instant};
 
 /// A bounded multi-producer multi-consumer queue with explicit shutdown.
@@ -97,8 +112,14 @@ impl<T> WorkQueue<T> {
 pub struct BatchConfig {
     /// Worker threads (at least 1).
     pub workers: usize,
-    /// Wall-clock deadline per job, enforced through the job's token.
+    /// Wall-clock deadline per job attempt, enforced through the job's
+    /// token (retried attempts get a fresh deadline, scaled by the retry
+    /// policy's escalation).
     pub per_job_timeout: Option<Duration>,
+    /// Recovery plan for budget-tripped and panicked jobs;
+    /// [`RetryPolicy::none`] (the default) preserves the old
+    /// fail-on-first-error behaviour.
+    pub retry: RetryPolicy,
 }
 
 impl Default for BatchConfig {
@@ -106,6 +127,7 @@ impl Default for BatchConfig {
         BatchConfig {
             workers: 1,
             per_job_timeout: None,
+            retry: RetryPolicy::none(),
         }
     }
 }
@@ -113,22 +135,44 @@ impl Default for BatchConfig {
 /// How one job ended.
 #[derive(Clone, Debug)]
 pub enum JobStatus<R> {
-    /// The job function returned a value.
+    /// The job function returned a value on its first attempt.
     Done(R),
+    /// The job recovered: it returned a value, but only after retries
+    /// and/or degradation down the engine ladder.
+    Degraded {
+        /// The recovered result.
+        result: R,
+        /// Attempts run, including the successful one.
+        attempts: u32,
+        /// Engines the degradation ladder routed retries through, in
+        /// order; empty when the retries kept the job's own engine.
+        ladder_path: Vec<Engine>,
+    },
     /// The job function returned an error (including
     /// [`SynthesisError::Cancelled`] after a shutdown and
-    /// [`SynthesisError::BudgetExceeded`] after its deadline).
+    /// [`SynthesisError::BudgetExceeded`] after its deadline), and the
+    /// retry policy — if any — was exhausted or did not apply.
     Failed(SynthesisError),
-    /// The job function panicked; the payload's message when it was a
-    /// string. Other jobs are unaffected.
-    Panicked(String),
+    /// The job function panicked on its last attempt. Other jobs are
+    /// unaffected.
+    Panicked {
+        /// The panic payload's message, when it was a string.
+        message: String,
+        /// `file:line:column` of the panic site, captured by the worker
+        /// panic hook.
+        location: Option<String>,
+        /// A captured backtrace, when `RUST_BACKTRACE` is set (and not
+        /// `0`) in the environment.
+        backtrace: Option<String>,
+    },
 }
 
 impl<R> JobStatus<R> {
-    /// The result, if the job succeeded.
+    /// The result, if the job produced one (cleanly or after recovery).
     pub fn result(&self) -> Option<&R> {
         match self {
             JobStatus::Done(r) => Some(r),
+            JobStatus::Degraded { result, .. } => Some(result),
             _ => None,
         }
     }
@@ -141,8 +185,11 @@ pub struct JobReport<R> {
     pub name: String,
     /// How it ended.
     pub status: JobStatus<R>,
-    /// Wall-clock time the job spent in its worker.
+    /// Wall-clock time the job spent in its worker, summed over all
+    /// attempts (including retry backoff).
     pub elapsed: Duration,
+    /// Attempts run (1 for a job that settled on its first try).
+    pub attempts: u32,
 }
 
 /// A finished batch: one report per job **in input order**, plus the
@@ -158,15 +205,17 @@ pub struct BatchOutcome<R> {
 
 /// Runs `run` over all `jobs` on `config.workers` threads and returns one
 /// report per job **in input order**. `run` receives the job's payload,
-/// its cancellation token and the worker's [`SynthesisSession`]; honour
-/// the token to make deadlines and shutdown effective mid-job. Each worker
-/// owns one session for its whole lifetime, so BDD managers (and their
-/// warmed unique/computed tables) are recycled from job to job instead of
+/// its cancellation token, the worker's [`SynthesisSession`] and the
+/// current [`Attempt`] (number, budget scale, engine override — apply it
+/// to the job's options so retries actually escalate); honour the token
+/// to make deadlines and shutdown effective mid-job. Each worker owns one
+/// session for its whole lifetime, so BDD managers (and their warmed
+/// unique/computed tables) are recycled from job to job instead of
 /// rebuilt; the aggregated counters come back in
 /// [`BatchOutcome::session_stats`]. `shutdown`, when supplied, aborts the
 /// batch gracefully once it is cancelled: queued jobs are dropped
-/// (reported as [`SynthesisError::Cancelled`]) and running jobs see their
-/// tokens trip.
+/// (reported as [`SynthesisError::Cancelled`]), running jobs see their
+/// tokens trip, and no retries are scheduled.
 pub fn run_batch<J, R, F>(
     jobs: Vec<(String, J)>,
     config: &BatchConfig,
@@ -176,7 +225,7 @@ pub fn run_batch<J, R, F>(
 where
     J: Send,
     R: Send,
-    F: Fn(&J, &CancelToken, &mut SynthesisSession) -> Result<R, SynthesisError> + Sync,
+    F: Fn(&J, &CancelToken, &mut SynthesisSession, &Attempt) -> Result<R, SynthesisError> + Sync,
 {
     let total = jobs.len();
     let workers = config.workers.max(1).min(total.max(1));
@@ -191,26 +240,17 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
+                install_worker_panic_hook();
                 let mut session = SynthesisSession::new();
                 while let Some((idx, name, job)) = queue.pop() {
                     let start = Instant::now();
-                    let token = CancelToken::merged([shutdown]);
-                    if let Some(deadline) = config.per_job_timeout {
-                        token.set_deadline(start + deadline);
-                    }
-                    let status = if token.is_cancelled() {
-                        JobStatus::Failed(SynthesisError::Cancelled { depth: 0 })
-                    } else {
-                        match catch_unwind(AssertUnwindSafe(|| run(&job, &token, &mut session))) {
-                            Ok(Ok(result)) => JobStatus::Done(result),
-                            Ok(Err(e)) => JobStatus::Failed(e),
-                            Err(payload) => JobStatus::Panicked(panic_message(payload.as_ref())),
-                        }
-                    };
+                    let (status, attempts) =
+                        supervise_job(&job, config, shutdown, &mut session, &run);
                     reports.lock().expect("reports lock")[idx] = Some(JobReport {
                         name,
                         status,
                         elapsed: start.elapsed(),
+                        attempts,
                     });
                 }
                 session_totals
@@ -227,6 +267,7 @@ where
                     name,
                     status: JobStatus::Failed(SynthesisError::Cancelled { depth: 0 }),
                     elapsed: Duration::ZERO,
+                    attempts: 0,
                 });
                 continue;
             }
@@ -235,6 +276,7 @@ where
                     name,
                     status: JobStatus::Failed(SynthesisError::Cancelled { depth: 0 }),
                     elapsed: Duration::ZERO,
+                    attempts: 0,
                 });
             }
         }
@@ -252,6 +294,140 @@ where
     }
 }
 
+/// One job under supervision: runs attempts per the config's retry
+/// policy until one settles, returning the final status and the attempt
+/// count. A panicking attempt's manager is quarantined by the session
+/// pool's drop-during-unwind path before the panic reaches the
+/// `catch_unwind` here.
+fn supervise_job<J, R, F>(
+    job: &J,
+    config: &BatchConfig,
+    shutdown: &CancelToken,
+    session: &mut SynthesisSession,
+    run: &F,
+) -> (JobStatus<R>, u32)
+where
+    F: Fn(&J, &CancelToken, &mut SynthesisSession, &Attempt) -> Result<R, SynthesisError> + Sync,
+{
+    let policy = &config.retry;
+    let mut attempt = policy.first();
+    let mut ladder_path: Vec<Engine> = Vec::new();
+    loop {
+        if shutdown.is_cancelled() {
+            return (
+                JobStatus::Failed(SynthesisError::Cancelled { depth: 0 }),
+                attempt.number,
+            );
+        }
+        let backoff = policy.backoff_before(&attempt);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        if let Some(engine) = attempt.engine {
+            if ladder_path.last() != Some(&engine) {
+                ladder_path.push(engine);
+            }
+        }
+        // Every attempt gets a fresh token: the previous attempt's
+        // deadline (possibly already expired) must not leak forward.
+        let token = CancelToken::merged([shutdown]);
+        if let Some(deadline) = config.per_job_timeout {
+            token.set_deadline(Instant::now() + attempt.scale_duration(deadline));
+        }
+        let end = run_one_attempt(job, &token, session, &attempt, run);
+        let failure = match &end {
+            AttemptEnd::Ok(_) => None,
+            AttemptEnd::Err(e) => Some(classify(e)),
+            AttemptEnd::Panic { .. } => Some(FailureKind::Panic),
+        };
+        match failure.and_then(|f| policy.next(&attempt, f)) {
+            Some(next) => {
+                session.pool().note_retry();
+                attempt = next;
+            }
+            None => {
+                let attempts = attempt.number;
+                let status = match end {
+                    AttemptEnd::Ok(result) if attempts > 1 => JobStatus::Degraded {
+                        result,
+                        attempts,
+                        ladder_path,
+                    },
+                    AttemptEnd::Ok(result) => JobStatus::Done(result),
+                    AttemptEnd::Err(e) => JobStatus::Failed(e),
+                    AttemptEnd::Panic {
+                        message,
+                        location,
+                        backtrace,
+                    } => JobStatus::Panicked {
+                        message,
+                        location,
+                        backtrace,
+                    },
+                };
+                return (status, attempts);
+            }
+        }
+    }
+}
+
+/// How a single attempt ended (panics caught and contextualized).
+enum AttemptEnd<R> {
+    Ok(R),
+    Err(SynthesisError),
+    Panic {
+        message: String,
+        location: Option<String>,
+        backtrace: Option<String>,
+    },
+}
+
+fn run_one_attempt<J, R, F>(
+    job: &J,
+    token: &CancelToken,
+    session: &mut SynthesisSession,
+    attempt: &Attempt,
+    run: &F,
+) -> AttemptEnd<R>
+where
+    F: Fn(&J, &CancelToken, &mut SynthesisSession, &Attempt) -> Result<R, SynthesisError> + Sync,
+{
+    if token.is_cancelled() {
+        return AttemptEnd::Err(SynthesisError::Cancelled { depth: 0 });
+    }
+    WORKER_PANIC_CONTEXT.with(|flag| flag.set(true));
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        // Fault-plane site `scheduler.worker`, polled once per attempt: a
+        // panic fault crashes the attempt (inside the catch so the worker
+        // survives), a cancel fault expires the attempt's deadline so the
+        // job trips its wall-clock budget at the next governor check.
+        if let Some(kind) = qsyn_faults::hit(qsyn_faults::Site::SchedulerWorker) {
+            match kind {
+                qsyn_faults::FaultKind::Panic => {
+                    panic!("fault-plane: injected panic at scheduler.worker")
+                }
+                _ => token.set_deadline(Instant::now()),
+            }
+        }
+        run(job, token, session, attempt)
+    }));
+    WORKER_PANIC_CONTEXT.with(|flag| flag.set(false));
+    match caught {
+        Ok(Ok(result)) => AttemptEnd::Ok(result),
+        Ok(Err(e)) => AttemptEnd::Err(e),
+        Err(payload) => {
+            let context = LAST_PANIC
+                .with(|slot| slot.borrow_mut().take())
+                .unwrap_or_default();
+            AttemptEnd::Panic {
+                message: panic_message(payload.as_ref()),
+                location: context.location,
+                backtrace: context.backtrace,
+            }
+        }
+    }
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -260,6 +436,53 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "non-string panic payload".to_string()
     }
+}
+
+/// Context the worker panic hook captures at panic time — `catch_unwind`
+/// only sees the payload, by which point the location and stack are gone.
+#[derive(Debug, Default)]
+struct PanicContext {
+    location: Option<String>,
+    backtrace: Option<String>,
+}
+
+thread_local! {
+    /// `true` while this thread is inside a supervised attempt, so the
+    /// global hook knows to capture context (and suppress the default
+    /// stderr print — the panic is reported through the job's status).
+    static WORKER_PANIC_CONTEXT: Cell<bool> = const { Cell::new(false) };
+    /// Context of the most recent supervised panic on this thread.
+    static LAST_PANIC: RefCell<Option<PanicContext>> = const { RefCell::new(None) };
+}
+
+static INSTALL_HOOK: Once = Once::new();
+
+/// Installs (once, process-wide) a panic hook that records the panic
+/// location — and a backtrace when `RUST_BACKTRACE` is set and not `0` —
+/// for panics inside supervised attempts, delegating every other panic
+/// to the previously installed hook.
+fn install_worker_panic_hook() {
+    INSTALL_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if WORKER_PANIC_CONTEXT.with(|flag| flag.get()) {
+                let location = info
+                    .location()
+                    .map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()));
+                let backtrace = std::env::var_os("RUST_BACKTRACE")
+                    .filter(|v| v != "0")
+                    .map(|_| std::backtrace::Backtrace::force_capture().to_string());
+                LAST_PANIC.with(|slot| {
+                    *slot.borrow_mut() = Some(PanicContext {
+                        location,
+                        backtrace,
+                    })
+                });
+            } else {
+                previous(info);
+            }
+        }));
+    });
 }
 
 #[cfg(test)]
@@ -271,6 +494,7 @@ mod tests {
         BatchConfig {
             workers,
             per_job_timeout: None,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -280,7 +504,7 @@ mod tests {
         let jobs: Vec<(String, u64)> = (0..8u64)
             .map(|i| (format!("job{i}"), (8 - i) * 2))
             .collect();
-        let outcome = run_batch(jobs, &config(4), None, |&ms, _, _| {
+        let outcome = run_batch(jobs, &config(4), None, |&ms, _, _, _| {
             std::thread::sleep(Duration::from_millis(ms));
             Ok(ms)
         });
@@ -297,7 +521,7 @@ mod tests {
         let live = AtomicUsize::new(0);
         let peak = AtomicUsize::new(0);
         let jobs: Vec<(String, ())> = (0..12).map(|i| (format!("j{i}"), ())).collect();
-        run_batch(jobs, &config(3), None, |(), _, _| {
+        run_batch(jobs, &config(3), None, |(), _, _, _| {
             let now = live.fetch_add(1, Ordering::SeqCst) + 1;
             peak.fetch_max(now, Ordering::SeqCst);
             std::thread::sleep(Duration::from_millis(3));
@@ -310,7 +534,7 @@ mod tests {
     #[test]
     fn a_panicking_job_fails_alone() {
         let jobs: Vec<(String, u32)> = (0..6).map(|i| (format!("j{i}"), i)).collect();
-        let outcome = run_batch(jobs, &config(2), None, |&i, _, _| {
+        let outcome = run_batch(jobs, &config(2), None, |&i, _, _, _| {
             if i == 2 {
                 panic!("job {i} exploded");
             }
@@ -319,7 +543,13 @@ mod tests {
         for (i, r) in outcome.reports.iter().enumerate() {
             if i == 2 {
                 match &r.status {
-                    JobStatus::Panicked(msg) => assert!(msg.contains("exploded")),
+                    JobStatus::Panicked {
+                        message, location, ..
+                    } => {
+                        assert!(message.contains("exploded"));
+                        let loc = location.as_deref().expect("hook captured the site");
+                        assert!(loc.contains("scheduler.rs"), "got location {loc}");
+                    }
                     other => panic!("expected panic report, got {other:?}"),
                 }
             } else {
@@ -329,16 +559,136 @@ mod tests {
     }
 
     #[test]
+    fn budget_tripped_jobs_recover_down_the_ladder() {
+        let cfg = BatchConfig {
+            workers: 2,
+            per_job_timeout: None,
+            retry: RetryPolicy {
+                backoff: Duration::ZERO,
+                ..RetryPolicy::escalating(3, vec![Engine::Sat])
+            },
+        };
+        let jobs: Vec<(String, u32)> = (0..4).map(|i| (format!("j{i}"), i)).collect();
+        let outcome = run_batch(jobs, &cfg, None, |&i, _, _, attempt: &Attempt| {
+            // Odd jobs trip their budget until the ladder degrades them.
+            if i % 2 == 1 && attempt.engine != Some(Engine::Sat) {
+                return Err(SynthesisError::BudgetExceeded {
+                    depth: 1,
+                    resource: qsyn_core::Resource::BddNodes,
+                    spent: 9,
+                    limit: 9,
+                });
+            }
+            Ok(i)
+        });
+        for (i, r) in outcome.reports.iter().enumerate() {
+            assert_eq!(r.status.result(), Some(&(i as u32)), "job {i} recovered");
+            if i % 2 == 1 {
+                match &r.status {
+                    JobStatus::Degraded {
+                        attempts,
+                        ladder_path,
+                        ..
+                    } => {
+                        assert_eq!(*attempts, 2);
+                        assert_eq!(ladder_path, &vec![Engine::Sat]);
+                    }
+                    other => panic!("expected degraded report, got {other:?}"),
+                }
+                assert_eq!(r.attempts, 2);
+            } else {
+                assert!(matches!(r.status, JobStatus::Done(_)));
+                assert_eq!(r.attempts, 1);
+            }
+        }
+        assert_eq!(outcome.session_stats.retries, 2, "one retry per odd job");
+    }
+
+    #[test]
+    fn panicked_attempts_are_retried_and_quarantined() {
+        let cfg = BatchConfig {
+            workers: 1,
+            per_job_timeout: None,
+            retry: RetryPolicy {
+                backoff: Duration::ZERO,
+                ..RetryPolicy::escalating(2, vec![])
+            },
+        };
+        let outcome = run_batch(
+            vec![("flaky".to_string(), ())],
+            &cfg,
+            None,
+            |(), _, session: &mut SynthesisSession, attempt: &Attempt| {
+                // Hold a pooled manager across the panic: the unwind must
+                // quarantine it, not recycle it into the retry.
+                let pool = session.pool();
+                let mut m = pool.checkout(3);
+                let a = m.var(0);
+                let _ = m.var(1);
+                let _ = m.and(a, a);
+                if attempt.number == 1 {
+                    panic!("first attempt crashes");
+                }
+                Ok(m.stats().resets)
+            },
+        );
+        let r = &outcome.reports[0];
+        match &r.status {
+            JobStatus::Degraded {
+                result, attempts, ..
+            } => {
+                assert_eq!(*attempts, 2);
+                assert_eq!(
+                    *result, 0,
+                    "retry got a fresh manager, not the quarantined one"
+                );
+            }
+            other => panic!("expected recovery, got {other:?}"),
+        }
+        assert_eq!(outcome.session_stats.quarantined, 1);
+        assert_eq!(outcome.session_stats.retries, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_report_the_last_error() {
+        let cfg = BatchConfig {
+            workers: 1,
+            per_job_timeout: None,
+            retry: RetryPolicy {
+                backoff: Duration::ZERO,
+                ..RetryPolicy::escalating(2, vec![])
+            },
+        };
+        let outcome = run_batch(
+            vec![("doomed".to_string(), ())],
+            &cfg,
+            None,
+            |(), _, _, _| -> Result<(), SynthesisError> {
+                Err(SynthesisError::BudgetExceeded {
+                    depth: 0,
+                    resource: qsyn_core::Resource::SatConflicts,
+                    spent: 1,
+                    limit: 1,
+                })
+            },
+        );
+        let r = &outcome.reports[0];
+        assert!(matches!(r.status, JobStatus::Failed(_)));
+        assert_eq!(r.attempts, 2, "both attempts were spent");
+    }
+
+    #[test]
     fn per_job_deadline_arms_the_token() {
         let cfg = BatchConfig {
             workers: 2,
             per_job_timeout: Some(Duration::ZERO),
+            retry: RetryPolicy::none(),
         };
         let outcome = run_batch(
             vec![("t".to_string(), ())],
             &cfg,
             None,
-            |(), token: &CancelToken, _session: &mut SynthesisSession| {
+            |(), token: &CancelToken, _session: &mut SynthesisSession, _: &Attempt| {
                 token.check(3)?;
                 Ok(())
             },
@@ -361,7 +711,7 @@ mod tests {
         // so later jobs never run.
         let trigger = shutdown.clone();
         let jobs: Vec<(String, usize)> = (0..5).map(|i| (format!("j{i}"), i)).collect();
-        let outcome = run_batch(jobs, &config(1), Some(&shutdown), move |&i, token, _| {
+        let outcome = run_batch(jobs, &config(1), Some(&shutdown), move |&i, token, _, _| {
             started.fetch_add(1, Ordering::SeqCst);
             if i == 0 {
                 trigger.cancel();

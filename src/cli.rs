@@ -20,15 +20,18 @@
 //! [`Command::parse`].
 
 use crate::portfolio::cache::SpecCache;
+use crate::portfolio::journal::{job_key, read_journal, Fnv1a, JournalRecord, JournalWriter};
 use crate::portfolio::race::{race_engines, race_engines_permuted};
 use crate::portfolio::scheduler::{run_batch, BatchConfig, JobStatus};
 use crate::revlogic::{benchmarks, cost, real, spec_format, GateLibrary, Spec};
 use crate::synth::permuted::PermutedSynthesisResult;
 use crate::synth::{
-    equivalence, permuted, synthesize, CancelToken, Engine, SynthesisError, SynthesisOptions,
-    SynthesisSession,
+    equivalence, permuted, run_with_retry, synthesize, Attempt, CancelToken, Engine, RetryPolicy,
+    SynthesisError, SynthesisOptions, SynthesisSession,
 };
-use std::time::Duration;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,6 +53,12 @@ pub enum Command {
         jobs: usize,
         /// Disable the canonical-spec result cache (`--no-cache`).
         no_cache: bool,
+        /// Append each completed job to this fsync'd JSONL journal
+        /// (`--journal FILE`), enabling crash-safe resume.
+        journal: Option<String>,
+        /// Skip jobs already completed in the journal (`--resume`),
+        /// replaying their recorded rows instead of re-running them.
+        resume: bool,
         /// Synthesis configuration shared by every job (`--timeout` is
         /// enforced per job).
         config: SynthConfig,
@@ -145,6 +154,16 @@ pub struct SynthConfig {
     pub stats: bool,
     /// `-o FILE` — write the best circuit to FILE instead of stdout.
     pub output: Option<String>,
+    /// `--retries N` — extra attempts for budget-tripped jobs, with
+    /// budgets doubling per retry.
+    pub retries: u32,
+    /// `--ladder e1,e2,…` — engines to degrade through on budget-trip
+    /// retries (implies at least one retry per rung when `--retries` is
+    /// not given).
+    pub ladder: Vec<Engine>,
+    /// `--fault-seed N` — arm the deterministic fault-injection plane
+    /// (rejected unless the binary was built with `--features faults`).
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for SynthConfig {
@@ -160,6 +179,9 @@ impl Default for SynthConfig {
             all: false,
             stats: false,
             output: None,
+            retries: 0,
+            ladder: Vec::new(),
+            fault_seed: None,
         }
     }
 }
@@ -204,6 +226,22 @@ impl SynthConfig {
         }
         Ok(o)
     }
+
+    /// The recovery plan implied by `--retries` / `--ladder`: budget
+    /// trips escalate (budgets double per retry) and degrade down the
+    /// ladder. `--ladder` without `--retries` grants one retry per rung.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        let extra = if self.retries == 0 {
+            u32::try_from(self.ladder.len()).unwrap_or(u32::MAX)
+        } else {
+            self.retries
+        };
+        if extra == 0 {
+            RetryPolicy::none()
+        } else {
+            RetryPolicy::escalating(extra + 1, self.ladder.clone())
+        }
+    }
 }
 
 /// Usage text.
@@ -237,10 +275,21 @@ OPTIONS (synth/bench/batch):
   --all                      print every minimal circuit
   --stats                    print BDD manager counters (nodes, GC, cache)
   -o FILE                    write the cheapest circuit to FILE
+  --retries N                extra attempts for budget-tripped jobs;
+                             budgets double per retry     [default: 0]
+  --ladder e1[,e2...]        engines to degrade through on budget-trip
+                             retries, e.g. `--ladder sat` (grants one
+                             retry per rung if --retries is not given)
+  --fault-seed N             arm the deterministic fault-injection plane
+                             (builds with `--features faults` only)
 
 OPTIONS (batch only):
   --jobs N                   worker threads              [default: 1]
   --no-cache                 disable the canonical-spec result cache
+  --journal FILE             append each completed job to FILE (fsync'd
+                             JSONL), enabling crash-safe resume
+  --resume                   skip jobs already recorded in --journal,
+                             replaying their rows from the journal
 
   `batch` targets: the literal `suite` (built-in benchmarks), a directory
   of `.spec` files, or a text file with one benchmark name or spec path
@@ -329,6 +378,8 @@ impl Command {
                 let mut config = SynthConfig::default();
                 let mut jobs = 1usize;
                 let mut no_cache = false;
+                let mut journal = None;
+                let mut resume = false;
                 while let Some(flag) = args.next() {
                     match flag.as_str() {
                         "--jobs" => {
@@ -339,6 +390,10 @@ impl Command {
                             }
                         }
                         "--no-cache" => no_cache = true,
+                        "--journal" => {
+                            journal = Some(args.next().ok_or("--journal needs a file")?);
+                        }
+                        "--resume" => resume = true,
                         _ => {
                             if !parse_synth_flag(&flag, &mut args, &mut config)? {
                                 return Err(format!("unknown option `{flag}`"));
@@ -346,10 +401,15 @@ impl Command {
                         }
                     }
                 }
+                if resume && journal.is_none() {
+                    return Err("--resume requires --journal".to_string());
+                }
                 Ok(Command::Batch {
                     target,
                     jobs,
                     no_cache,
+                    journal,
+                    resume,
                     config,
                 })
             }
@@ -369,11 +429,8 @@ where
         "--engine" => {
             let v = args.next().ok_or("--engine needs a value")?;
             config.engine = match v.as_str() {
-                "bdd" => EngineChoice::Single(Engine::Bdd),
-                "qbf" => EngineChoice::Single(Engine::Qbf),
-                "sat" => EngineChoice::Single(Engine::Sat),
                 "race" => EngineChoice::Race,
-                other => return Err(format!("unknown engine `{other}`")),
+                name => EngineChoice::Single(parse_engine_name(name)?),
             };
         }
         "--library" => {
@@ -395,9 +452,37 @@ where
         "-o" | "--output" => {
             config.output = Some(args.next().ok_or("-o needs a file")?);
         }
+        "--retries" => {
+            let v = args.next().ok_or("--retries needs a value")?;
+            config.retries = v.parse().map_err(|_| format!("bad retry count `{v}`"))?;
+        }
+        "--ladder" => {
+            let v = args.next().ok_or("--ladder needs engine names")?;
+            config.ladder = v
+                .split(',')
+                .map(|name| parse_engine_name(name.trim()))
+                .collect::<Result<Vec<_>, _>>()?;
+            if config.ladder.is_empty() {
+                return Err("--ladder needs at least one engine".to_string());
+            }
+        }
+        "--fault-seed" => {
+            let v = args.next().ok_or("--fault-seed needs a value")?;
+            config.fault_seed = Some(v.parse().map_err(|_| format!("bad fault seed `{v}`"))?);
+        }
         _ => return Ok(false),
     }
     Ok(true)
+}
+
+/// Parses a single (non-race) engine name.
+fn parse_engine_name(name: &str) -> Result<Engine, String> {
+    match name {
+        "bdd" => Ok(Engine::Bdd),
+        "qbf" => Ok(Engine::Qbf),
+        "sat" => Ok(Engine::Sat),
+        other => Err(format!("unknown engine `{other}`")),
+    }
 }
 
 fn reject_extra<I: Iterator<Item = String>>(mut args: I) -> Result<(), String> {
@@ -527,8 +612,18 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             target,
             jobs,
             no_cache,
+            journal,
+            resume,
             config,
-        } => run_batch_command(target, *jobs, *no_cache, config, out),
+        } => run_batch_command(
+            target,
+            *jobs,
+            *no_cache,
+            journal.as_deref(),
+            *resume,
+            config,
+            out,
+        ),
     }
 }
 
@@ -668,16 +763,27 @@ fn run_synth(
         }
         return Ok(0);
     }
+    let _faults = match FaultArming::from_config(config) {
+        Ok(g) => g,
+        Err(msg) => return fail(out, &msg),
+    };
     let race = config.engine == EngineChoice::Race;
+    let policy = config.retry_policy();
     if config.output_permutation {
-        let outcome = if race {
-            race_engines_permuted(&spec, &options)
-                .map(|r| (r.winner, Some(r.winner_label)))
-                .map_err(|e| e.into_synthesis_error())
-        } else {
-            permuted::synthesize_with_output_permutation(&spec, &options).map(|p| (p, None))
-        };
-        match outcome {
+        // The ladder's engine override turns a raced attempt into a
+        // single-engine one: degradation narrows the portfolio.
+        let outcome = run_with_retry(&policy, |attempt| {
+            let opts = apply_attempt(&options, attempt);
+            if race && attempt.engine.is_none() {
+                race_engines_permuted(&spec, &opts)
+                    .map(|r| (r.winner, Some(r.winner_label)))
+                    .map_err(|e| e.into_synthesis_error())
+            } else {
+                permuted::synthesize_with_output_permutation(&spec, &opts).map(|p| (p, None))
+            }
+        });
+        let recovery = recovery_note(&outcome);
+        match outcome.result {
             Err(e) => fail(out, &e.to_string()),
             Ok((p, winner)) => {
                 writeln!(
@@ -689,19 +795,26 @@ fn run_synth(
                     p.result.total_time(),
                     race_note(winner.as_deref())
                 )?;
+                if let Some(note) = recovery {
+                    writeln!(out, "{note}")?;
+                }
                 emit_stats(&p.result, config, out)?;
                 emit_circuits(&p.result, config, out)
             }
         }
     } else {
-        let outcome = if race {
-            race_engines(&spec, &options)
-                .map(|r| (r.winner, Some(r.winner_label)))
-                .map_err(|e| e.into_synthesis_error())
-        } else {
-            synthesize(&spec, &options).map(|r| (r, None))
-        };
-        match outcome {
+        let outcome = run_with_retry(&policy, |attempt| {
+            let opts = apply_attempt(&options, attempt);
+            if race && attempt.engine.is_none() {
+                race_engines(&spec, &opts)
+                    .map(|r| (r.winner, Some(r.winner_label)))
+                    .map_err(|e| e.into_synthesis_error())
+            } else {
+                synthesize(&spec, &opts).map(|r| (r, None))
+            }
+        });
+        let recovery = recovery_note(&outcome);
+        match outcome.result {
             Err(e) => fail(out, &e.to_string()),
             Ok((r, winner)) => {
                 let (lo, hi) = r.solutions().quantum_cost_range();
@@ -714,9 +827,90 @@ fn run_synth(
                     r.engine(),
                     race_note(winner.as_deref())
                 )?;
+                if let Some(note) = recovery {
+                    writeln!(out, "{note}")?;
+                }
                 emit_stats(&r, config, out)?;
                 emit_circuits(&r, config, out)
             }
+        }
+    }
+}
+
+/// Applies a retry [`Attempt`] to the configured options: the ladder's
+/// engine override plus the compound budget escalation over the node,
+/// conflict and wall-clock limits.
+fn apply_attempt(options: &SynthesisOptions, attempt: &Attempt) -> SynthesisOptions {
+    let mut o = options.clone();
+    if let Some(engine) = attempt.engine {
+        o = o.with_engine(engine);
+    }
+    if attempt.budget_scale > 1.0 {
+        let nodes = attempt.scale_budget(o.bdd_node_limit as u64);
+        let conflicts = attempt.scale_budget(o.conflict_limit);
+        o = o
+            .with_bdd_node_limit(usize::try_from(nodes).unwrap_or(usize::MAX))
+            .with_conflict_limit(conflicts);
+        if let Some(budget) = o.time_budget {
+            o = o.with_time_budget(attempt.scale_duration(budget));
+        }
+    }
+    o
+}
+
+/// One line describing a recovered (multi-attempt) run, `None` for a
+/// clean first-attempt success or failure.
+fn recovery_note<R>(outcome: &crate::synth::RetryOutcome<R>) -> Option<String> {
+    if !outcome.degraded() {
+        return None;
+    }
+    Some(format!(
+        "recovered after {} attempts{}",
+        outcome.attempts,
+        ladder_note(&outcome.ladder_path)
+    ))
+}
+
+/// `", via sat"` — the engines a degraded job was routed through.
+fn ladder_note(path: &[Engine]) -> String {
+    if path.is_empty() {
+        return String::new();
+    }
+    let names: Vec<String> = path.iter().map(ToString::to_string).collect();
+    format!(", via {}", names.join(" -> "))
+}
+
+/// RAII arming of the fault-injection plane from `--fault-seed`:
+/// rejected on builds without the plane compiled in, disarmed when the
+/// command finishes (so in-process callers — tests — are not poisoned).
+struct FaultArming(bool);
+
+impl FaultArming {
+    /// Whether this guard actually armed the fault plane.
+    fn armed(&self) -> bool {
+        self.0
+    }
+
+    fn from_config(config: &SynthConfig) -> Result<FaultArming, String> {
+        match config.fault_seed {
+            None => Ok(FaultArming(false)),
+            Some(seed) => {
+                if !qsyn_faults::FaultPlane::compiled_in() {
+                    return Err(
+                        "--fault-seed requires a binary built with `--features faults`".to_string(),
+                    );
+                }
+                qsyn_faults::FaultPlane::arm(seed);
+                Ok(FaultArming(true))
+            }
+        }
+    }
+}
+
+impl Drop for FaultArming {
+    fn drop(&mut self) {
+        if self.0 {
+            qsyn_faults::FaultPlane::disarm();
         }
     }
 }
@@ -807,10 +1001,46 @@ fn batch_jobs(target: &str) -> Result<Vec<(String, Spec)>, String> {
     Ok(jobs)
 }
 
+/// One scheduled batch job: its input position, name and specification,
+/// plus the precomputed journal key.
+struct BatchJob {
+    name: String,
+    spec: Spec,
+    key: String,
+}
+
+/// Builds the journal record for a completed job.
+fn journal_record(job: &BatchJob, p: &PermutedSynthesisResult, elapsed: Duration) -> JournalRecord {
+    JournalRecord {
+        key: job.key.clone(),
+        name: job.name.clone(),
+        depth: p.result.depth(),
+        solutions: p.result.solutions().count_display(),
+        permutation: format!("{:?}", p.permutation),
+        elapsed_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+        digest: result_digest(p),
+    }
+}
+
+/// FNV-1a digest over a result's semantic content — depth, solution
+/// count, output permutation and the cheapest circuit. The chaos harness
+/// compares these across fault schedules; wall-clock time is excluded.
+fn result_digest(p: &PermutedSynthesisResult) -> String {
+    let mut h = Fnv1a::new();
+    h.write_u32(p.result.depth());
+    h.write(p.result.solutions().count_display().as_bytes());
+    h.write(format!("{:?}", p.permutation).as_bytes());
+    h.write(real::write_real(p.result.solutions().best_by_quantum_cost()).as_bytes());
+    format!("{:016x}", h.finish())
+}
+
+#[allow(clippy::too_many_lines)]
 fn run_batch_command(
     target: &str,
     jobs: usize,
     no_cache: bool,
+    journal: Option<&str>,
+    resume: bool,
     config: &SynthConfig,
     out: &mut dyn std::io::Write,
 ) -> std::io::Result<i32> {
@@ -822,6 +1052,10 @@ fn run_batch_command(
         Ok(o) => o,
         Err(e) => return fail(out, &e),
     };
+    let _faults = match FaultArming::from_config(config) {
+        Ok(g) => g,
+        Err(e) => return fail(out, &e),
+    };
     let engine = config.engine;
     let cache = if no_cache {
         None
@@ -831,33 +1065,91 @@ fn run_batch_command(
     let batch_config = BatchConfig {
         workers: jobs,
         per_job_timeout: config.timeout.map(Duration::from_secs),
+        retry: config.retry_policy(),
     };
+
+    // Journal bookkeeping: with --resume, jobs whose key is already
+    // recorded are replayed from the journal instead of re-run; with
+    // --journal, every completion is appended (fsync'd) as it lands.
+    let journal_path = journal.map(std::path::PathBuf::from);
+    let mut completed: HashMap<String, JournalRecord> = HashMap::new();
+    if resume {
+        let path = journal_path.as_ref().expect("--resume requires --journal");
+        match read_journal(path) {
+            Ok(records) => {
+                for r in records {
+                    completed.insert(r.key.clone(), r);
+                }
+            }
+            Err(e) => return fail(out, &format!("{}: {e}", path.display())),
+        }
+    }
+    let writer = match &journal_path {
+        Some(path) => match JournalWriter::open(path) {
+            Ok(w) => Some(Mutex::new(w)),
+            Err(e) => return fail(out, &format!("{}: {e}", path.display())),
+        },
+        None => None,
+    };
+    let journal_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+
+    // Split the batch: `None` rows are filled from this run's reports,
+    // in order; `Some` rows replay a journaled completion.
+    let mut rows: Vec<Option<JournalRecord>> = Vec::with_capacity(work.len());
+    let mut to_run: Vec<(String, BatchJob)> = Vec::new();
+    for (index, (name, spec)) in work.into_iter().enumerate() {
+        let key = job_key(index, &name, &spec);
+        if let Some(rec) = completed.get(&key) {
+            rows.push(Some(rec.clone()));
+        } else {
+            rows.push(None);
+            to_run.push((name.clone(), BatchJob { name, spec, key }));
+        }
+    }
+    let total_jobs = rows.len();
+
     // Every batch job synthesizes with free output permutation: the answer
     // is minimal over the whole output-permutation class, so a cache hit
     // (which reuses the class representative's result) reports the same
     // depth a cache miss would.
-    let run_one = |spec: &Spec,
+    let run_one = |job: &BatchJob,
                    token: &CancelToken,
-                   session: &mut SynthesisSession|
+                   session: &mut SynthesisSession,
+                   attempt: &Attempt|
      -> Result<PermutedSynthesisResult, SynthesisError> {
-        let opts = options.clone().with_cancel_token(token.clone());
-        let mut compute = |s: &Spec| match engine {
-            EngineChoice::Race => race_engines_permuted(s, &opts)
-                .map(|r| r.winner)
-                .map_err(|e| e.into_synthesis_error()),
-            EngineChoice::Single(_) => {
+        let opts = apply_attempt(&options, attempt).with_cancel_token(token.clone());
+        let job_started = Instant::now();
+        // The ladder's engine override degrades a raced job to the one
+        // named engine; undegraded attempts keep the configured choice.
+        let mut compute = |s: &Spec| {
+            if engine == EngineChoice::Race && attempt.engine.is_none() {
+                race_engines_permuted(s, &opts)
+                    .map(|r| r.winner)
+                    .map_err(|e| e.into_synthesis_error())
+            } else {
                 permuted::synthesize_with_output_permutation_in(s, &opts, session)
             }
         };
-        match &cache {
-            Some(c) => c.get_or_compute(spec, compute),
-            None => compute(spec),
+        let result = match &cache {
+            Some(c) => c.get_or_compute(&job.spec, compute),
+            None => compute(&job.spec),
+        };
+        // Journal the completion before reporting it, from inside the
+        // worker: a kill between jobs then loses nothing.
+        if let (Ok(p), Some(w)) = (&result, &writer) {
+            let record = journal_record(job, p, job_started.elapsed());
+            if let Err(e) = w.lock().expect("journal lock").append(&record) {
+                journal_error
+                    .lock()
+                    .expect("journal error lock")
+                    .get_or_insert(e);
+            }
         }
+        result
     };
-    let started = std::time::Instant::now();
-    let outcome = run_batch(work, &batch_config, None, run_one);
+    let started = Instant::now();
+    let outcome = run_batch(to_run, &batch_config, None, run_one);
     let total = started.elapsed();
-    let reports = &outcome.reports;
 
     writeln!(
         out,
@@ -865,7 +1157,24 @@ fn run_batch_command(
         "name", "gates", "solutions", "permutation", "time"
     )?;
     let mut failed = 0usize;
-    for r in reports {
+    let mut fresh = outcome.reports.into_iter();
+    for row in rows {
+        if let Some(rec) = row {
+            // A replayed job prints exactly like the original completion
+            // (including its recorded wall-clock time), so a resumed
+            // batch merges into the same report the unkilled run prints.
+            writeln!(
+                out,
+                "{:<12} {:>5} {:>9} {:<14} {:>8.1?}  ok",
+                rec.name,
+                rec.depth,
+                rec.solutions,
+                rec.permutation,
+                Duration::from_nanos(rec.elapsed_ns)
+            )?;
+            continue;
+        }
+        let r = fresh.next().expect("one report per scheduled job");
         match &r.status {
             JobStatus::Done(p) => writeln!(
                 out,
@@ -876,6 +1185,21 @@ fn run_batch_command(
                 format!("{:?}", p.permutation),
                 r.elapsed
             )?,
+            JobStatus::Degraded {
+                result: p,
+                attempts,
+                ladder_path,
+            } => writeln!(
+                out,
+                "{:<12} {:>5} {:>9} {:<14} {:>8.1?}  ok (recovered: {} attempts{})",
+                r.name,
+                p.result.depth(),
+                p.result.solutions().count_display(),
+                format!("{:?}", p.permutation),
+                r.elapsed,
+                attempts,
+                ladder_note(ladder_path)
+            )?,
             JobStatus::Failed(e) => {
                 failed += 1;
                 writeln!(
@@ -884,11 +1208,17 @@ fn run_batch_command(
                     r.name, "-", "-", "-", r.elapsed
                 )?;
             }
-            JobStatus::Panicked(msg) => {
+            JobStatus::Panicked {
+                message, location, ..
+            } => {
                 failed += 1;
+                let at = location
+                    .as_ref()
+                    .map(|l| format!(" at {l}"))
+                    .unwrap_or_default();
                 writeln!(
                     out,
-                    "{:<12} {:>5} {:>9} {:<14} {:>8.1?}  panicked: {msg}",
+                    "{:<12} {:>5} {:>9} {:<14} {:>8.1?}  panicked: {message}{at}",
                     r.name, "-", "-", "-", r.elapsed
                 )?;
             }
@@ -904,8 +1234,8 @@ fn run_batch_command(
     writeln!(
         out,
         "{} jobs, {} ok, {} failed in {:.1?} ({} engine, {} worker{}{cache_note})",
-        reports.len(),
-        reports.len() - failed,
+        total_jobs,
+        total_jobs - failed,
         failed,
         total,
         engine,
@@ -914,6 +1244,21 @@ fn run_batch_command(
     )?;
     if config.stats {
         writeln!(out, "sessions: {}", outcome.session_stats)?;
+        if _faults.armed() {
+            let fired = qsyn_faults::FaultPlane::fired();
+            if fired.is_empty() {
+                writeln!(out, "faults: none fired")?;
+            } else {
+                let list: Vec<String> = fired
+                    .iter()
+                    .map(|(site, kind)| format!("{} {kind}", site.name()))
+                    .collect();
+                writeln!(out, "faults: {}", list.join(", "))?;
+            }
+        }
+    }
+    if let Some(e) = journal_error.into_inner().expect("journal error lock") {
+        writeln!(out, "warning: journal write failed: {e}")?;
     }
     Ok(i32::from(failed > 0))
 }
@@ -1040,6 +1385,8 @@ mod tests {
             target,
             jobs,
             no_cache,
+            journal,
+            resume,
             config,
         } = cmd
         else {
@@ -1048,8 +1395,67 @@ mod tests {
         assert_eq!(target, "suite");
         assert_eq!(jobs, 4);
         assert!(no_cache);
+        assert_eq!(journal, None);
+        assert!(!resume);
         assert_eq!(config.engine, EngineChoice::Race);
         assert_eq!(config.timeout, Some(30));
+    }
+
+    #[test]
+    fn parses_robustness_flags() {
+        let cmd = parse(&[
+            "batch",
+            "suite",
+            "--journal",
+            "runs.jsonl",
+            "--resume",
+            "--retries",
+            "2",
+            "--ladder",
+            "qbf,sat",
+            "--fault-seed",
+            "7",
+        ])
+        .unwrap();
+        let Command::Batch {
+            journal,
+            resume,
+            config,
+            ..
+        } = cmd
+        else {
+            panic!("expected batch");
+        };
+        assert_eq!(journal.as_deref(), Some("runs.jsonl"));
+        assert!(resume);
+        assert_eq!(config.retries, 2);
+        assert_eq!(config.ladder, vec![Engine::Qbf, Engine::Sat]);
+        assert_eq!(config.fault_seed, Some(7));
+        let policy = config.retry_policy();
+        assert_eq!(policy.max_attempts, 3);
+        assert_eq!(policy.engine_ladder, vec![Engine::Qbf, Engine::Sat]);
+        // --ladder without --retries grants one retry per rung.
+        let cmd = parse(&["bench", "3_17", "--ladder", "sat"]).unwrap();
+        let Command::Synth { config, .. } = cmd else {
+            panic!("expected synth");
+        };
+        assert_eq!(config.retry_policy().max_attempts, 2);
+        // Malformed robustness flags are rejected.
+        assert!(parse(&["batch", "suite", "--resume"]).is_err());
+        assert!(parse(&["batch", "suite", "--ladder", "race"]).is_err());
+        assert!(parse(&["batch", "suite", "--ladder", ""]).is_err());
+        assert!(parse(&["batch", "suite", "--retries", "x"]).is_err());
+        assert!(parse(&["batch", "suite", "--fault-seed", "-1"]).is_err());
+    }
+
+    #[cfg(not(feature = "faults"))]
+    #[test]
+    fn fault_seed_is_rejected_without_the_faults_feature() {
+        let cmd = parse(&["bench", "3_17", "--fault-seed", "1"]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 2);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("--features faults"), "{text}");
     }
 
     #[test]
@@ -1086,6 +1492,74 @@ mod tests {
         assert!(text.contains("cnot-twin"), "{text}");
         assert!(text.contains("3 jobs, 3 ok, 0 failed"), "{text}");
         assert!(text.contains("cache 1 hits / 2 misses"), "{text}");
+    }
+
+    #[test]
+    fn batch_journal_records_and_resume_replays() {
+        let dir = std::env::temp_dir().join(format!("qsyn-cli-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cnot = dir.join("cnot.spec");
+        std::fs::write(
+            &cnot,
+            ".numvars 2\n.begin\n00 00\n01 11\n10 10\n11 01\n.end\n",
+        )
+        .unwrap();
+        let list = dir.join("jobs.txt");
+        std::fs::write(&list, format!("3_17\n{}\n", cnot.display())).unwrap();
+        let journal = dir.join("runs.jsonl");
+        let _ = std::fs::remove_file(&journal);
+
+        // Full run: every completion is journaled.
+        let cmd = parse(&[
+            "batch",
+            list.to_str().unwrap(),
+            "--journal",
+            journal.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        let full = crate::portfolio::read_journal(&journal).unwrap();
+        assert_eq!(full.len(), 2, "{full:?}");
+
+        // Simulate a kill after the first job: truncate the journal to
+        // its first record, then resume. The first job is replayed (its
+        // recorded time reappears verbatim), the second re-runs, and the
+        // rebuilt journal carries the same result digests as the full run.
+        std::fs::write(
+            &journal,
+            format!("{}\n", crate::portfolio::journal::render_record(&full[0])),
+        )
+        .unwrap();
+        let cmd = parse(&[
+            "batch",
+            list.to_str().unwrap(),
+            "--journal",
+            journal.to_str().unwrap(),
+            "--resume",
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("2 jobs, 2 ok, 0 failed"), "{text}");
+        assert!(
+            text.contains(&format!("{:.1?}", Duration::from_nanos(full[0].elapsed_ns))),
+            "replayed row reprints the journaled time\n{text}"
+        );
+        let resumed = crate::portfolio::read_journal(&journal).unwrap();
+        assert_eq!(resumed.len(), 2);
+        for (a, b) in full.iter().zip(&resumed) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.digest, b.digest, "resume must reproduce {}", a.name);
+        }
+
+        // A resume over a complete journal re-runs nothing: the cache
+        // sees no traffic at all.
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("cache 0 hits / 0 misses"), "{text}");
     }
 
     #[test]

@@ -2,13 +2,15 @@
 //! batch-scheduler determinism.
 
 use proptest::prelude::*;
+use qsyn::cli::{run, Command};
 use qsyn::portfolio::cache::{canonicalize, SpecCache};
 use qsyn::portfolio::race::race_engines_permuted;
+use qsyn::portfolio::read_journal;
 use qsyn::portfolio::scheduler::{run_batch, BatchConfig, JobStatus};
 use qsyn::revlogic::benchmarks::{random_incomplete_spec, random_permutation};
-use qsyn::revlogic::{GateLibrary, Spec};
+use qsyn::revlogic::{spec_format, GateLibrary, Spec};
 use qsyn::synth::permuted::{permute_spec, synthesize_with_output_permutation};
-use qsyn::synth::{CancelToken, Engine, SynthesisOptions, SynthesisSession};
+use qsyn::synth::{Attempt, CancelToken, Engine, RetryPolicy, SynthesisOptions, SynthesisSession};
 
 fn opts() -> SynthesisOptions {
     SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd).with_max_depth(10)
@@ -96,14 +98,16 @@ fn batch_with_four_workers_matches_sequential() {
             .collect()
     };
     let options = opts();
-    let run_one = |spec: &Spec, token: &CancelToken, session: &mut SynthesisSession| {
-        let o = options.clone().with_cancel_token(token.clone());
-        qsyn::synth::permuted::synthesize_with_output_permutation_in(spec, &o, session)
-    };
+    let run_one =
+        |spec: &Spec, token: &CancelToken, session: &mut SynthesisSession, _attempt: &Attempt| {
+            let o = options.clone().with_cancel_token(token.clone());
+            qsyn::synth::permuted::synthesize_with_output_permutation_in(spec, &o, session)
+        };
     let digest = |workers: usize| -> Vec<(String, u32, u128, Vec<u32>)> {
         let config = BatchConfig {
             workers,
             per_job_timeout: None,
+            retry: RetryPolicy::none(),
         };
         run_batch(jobs(), &config, None, run_one)
             .reports
@@ -120,6 +124,86 @@ fn batch_with_four_workers_matches_sequential() {
             .collect()
     };
     assert_eq!(digest(1), digest(4));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Satellite property: killing a journaled batch at a random point
+    /// and resuming yields a bit-identical merged result set. The kill is
+    /// simulated by truncating the journal **text** at a random byte —
+    /// covering both clean record boundaries and torn final records (and,
+    /// as a byproduct, corrupt trailing garbage) — after which `--resume`
+    /// must re-run exactly the lost jobs and reproduce every digest the
+    /// uninterrupted run recorded.
+    fn resume_after_kill_is_bit_identical(seed in any::<u64>(), cut_permille in 0u32..1000) {
+        let dir = std::env::temp_dir().join(format!(
+            "qsyn-resume-prop-{}-{seed}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut list_text = String::new();
+        for i in 0..3u64 {
+            let spec = Spec::from_permutation(&random_permutation(3, seed ^ (i * 0x9e37)));
+            let path = dir.join(format!("job{i}.spec"));
+            std::fs::write(&path, spec_format::write_spec(&spec)).unwrap();
+            list_text.push_str(&format!("{}\n", path.display()));
+        }
+        let list = dir.join("jobs.txt");
+        std::fs::write(&list, list_text).unwrap();
+        let journal = dir.join("runs.jsonl");
+        let _ = std::fs::remove_file(&journal);
+
+        let batch = |resume: bool| -> String {
+            let mut args = vec![
+                "batch".to_string(),
+                list.to_str().unwrap().to_string(),
+                "--journal".to_string(),
+                journal.to_str().unwrap().to_string(),
+                "--max-depth".to_string(),
+                "10".to_string(),
+            ];
+            if resume {
+                args.push("--resume".to_string());
+            }
+            let cmd = Command::parse(args).unwrap();
+            let mut buf = Vec::new();
+            assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+            String::from_utf8(buf).unwrap()
+        };
+
+        batch(false);
+        let full = read_journal(&journal).unwrap();
+        prop_assert_eq!(full.len(), 3);
+
+        // Kill: keep a random prefix of the journal bytes (re-cut to a
+        // char boundary so the write below stays valid UTF-8).
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let mut keep = text.len() * cut_permille as usize / 1000;
+        while keep > 0 && !text.is_char_boundary(keep) {
+            keep -= 1;
+        }
+        std::fs::write(&journal, &text[..keep]).unwrap();
+        let survivors = read_journal(&journal).unwrap().len();
+
+        let resumed_out = batch(true);
+        prop_assert!(resumed_out.contains("3 jobs, 3 ok, 0 failed"), "{}", resumed_out);
+        let resumed = read_journal(&journal).unwrap();
+        prop_assert_eq!(resumed.len(), 3, "lost jobs re-ran: {} survived", survivors);
+        let mut by_key: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+        for r in &resumed {
+            by_key.insert(&r.key, &r.digest);
+        }
+        for r in &full {
+            prop_assert_eq!(
+                by_key.get(r.key.as_str()).copied(),
+                Some(r.digest.as_str()),
+                "job {} must reproduce its digest after resume",
+                r.name
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 /// The race composes with the cache: racing on a class representative and

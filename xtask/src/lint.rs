@@ -17,6 +17,11 @@
 //! * **no-process-exit** — `process::exit` skips destructors (worker-pool
 //!   joins, cache flushes) and is allowed only in `bin/` targets and
 //!   xtask itself.
+//! * **no-catch-unwind** — panic isolation is the batch scheduler's job:
+//!   it pairs `catch_unwind` with panic-context capture, manager
+//!   quarantine and the retry supervisor. A `catch_unwind` anywhere else
+//!   silently swallows a broken invariant. Files with a legitimate
+//!   supervisor role are listed in `xtask/catch-unwind-allowlist.txt`.
 //!
 //! A finding on a line ending with `// lint: allow(<rule>)` is waived.
 //! Test code is exempt: `#[cfg(test)]` regions (tracked by brace
@@ -32,9 +37,14 @@ use std::process::ExitCode;
 
 const BASELINE_FILE: &str = "xtask/lint-baseline.txt";
 
+/// Files permitted to call `std::panic::catch_unwind`, one per line.
+const CATCH_UNWIND_ALLOWLIST_FILE: &str = "xtask/catch-unwind-allowlist.txt";
+
 /// Files in which `Ordering::Relaxed` is permitted (pure statistics
-/// counters where staleness is harmless).
-const RELAXED_ALLOWLIST: &[&str] = &["crates/portfolio/src/cache.rs"];
+/// counters where staleness is harmless). The fault plane's hot path
+/// qualifies: `fetch_add` is exact under any ordering, and arming
+/// happens-before the work it perturbs via thread spawn.
+const RELAXED_ALLOWLIST: &[&str] = &["crates/portfolio/src/cache.rs", "crates/faults/src/lib.rs"];
 
 /// Directories scanned for library code, relative to the workspace root.
 const SCAN_ROOTS: &[&str] = &["crates", "src"];
@@ -47,6 +57,14 @@ pub fn run(root: &Path, update_baseline: bool) -> ExitCode {
         collect_rs_files(&root.join(scan), &mut files);
     }
     files.sort();
+
+    let catch_unwind_allow = match load_allowlist(&root.join(CATCH_UNWIND_ALLOWLIST_FILE)) {
+        Ok(list) => list,
+        Err(e) => {
+            eprintln!("lint: cannot read {CATCH_UNWIND_ALLOWLIST_FILE}: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
     let mut findings = Vec::new();
     let mut expect_counts: BTreeMap<String, usize> = BTreeMap::new();
@@ -63,7 +81,7 @@ pub fn run(root: &Path, update_baseline: bool) -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let expects = scan_file(&rel, &source, &mut findings);
+        let expects = scan_file(&rel, &source, &catch_unwind_allow, &mut findings);
         if expects > 0 {
             expect_counts.insert(rel, expects);
         }
@@ -147,6 +165,22 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// Loads a one-path-per-line allowlist (`#` comments and blanks skipped).
+/// A missing file is an empty allowlist.
+fn load_allowlist(path: &Path) -> Result<Vec<String>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.to_string()),
+    };
+    Ok(text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect())
+}
+
 fn load_baseline(path: &Path) -> Result<BTreeMap<String, usize>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let mut map = BTreeMap::new();
@@ -199,7 +233,12 @@ fn is_bin_file(rel: &str) -> bool {
 
 /// Scans one file, pushing findings; returns the number of counted
 /// (non-test, non-waived) `.expect(` uses for the ratchet baseline.
-fn scan_file(rel: &str, source: &str, out: &mut Vec<Finding>) -> usize {
+fn scan_file(
+    rel: &str,
+    source: &str,
+    catch_unwind_allow: &[String],
+    out: &mut Vec<Finding>,
+) -> usize {
     if is_test_file(rel) || is_bin_file(rel) {
         return 0;
     }
@@ -244,6 +283,19 @@ fn scan_file(rel: &str, source: &str, out: &mut Vec<Finding>) -> usize {
                 file: rel.to_string(),
                 line: lineno,
                 message: "process::exit skips destructors — return ExitCode from main instead",
+            });
+        }
+        if line.contains("catch_unwind")
+            && !catch_unwind_allow.iter().any(|f| f == rel)
+            && !waived("no-catch-unwind")
+        {
+            out.push(Finding {
+                rule: "no-catch-unwind",
+                file: rel.to_string(),
+                line: lineno,
+                message: "catch_unwind outside the designated supervisors swallows broken \
+                          invariants — let the batch scheduler isolate panics, or add the file \
+                          to xtask/catch-unwind-allowlist.txt with a justification",
             });
         }
     }
@@ -492,7 +544,7 @@ mod tests {
     fn unwrap_in_test_code_is_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
         let mut findings = Vec::new();
-        scan_file("crates/foo/src/lib.rs", src, &mut findings);
+        scan_file("crates/foo/src/lib.rs", src, &[], &mut findings);
         assert!(findings.is_empty());
     }
 
@@ -500,7 +552,7 @@ mod tests {
     fn unwrap_in_library_code_is_flagged() {
         let src = "fn f() { x.unwrap(); }\n";
         let mut findings = Vec::new();
-        scan_file("crates/foo/src/lib.rs", src, &mut findings);
+        scan_file("crates/foo/src/lib.rs", src, &[], &mut findings);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "no-unwrap");
         assert_eq!(findings[0].line, 1);
@@ -510,7 +562,7 @@ mod tests {
     fn expect_is_counted_not_flagged() {
         let src = "fn f() { x.expect(\"reason\"); y.expect(\"other\"); }\n";
         let mut findings = Vec::new();
-        let expects = scan_file("crates/foo/src/lib.rs", src, &mut findings);
+        let expects = scan_file("crates/foo/src/lib.rs", src, &[], &mut findings);
         assert!(findings.is_empty());
         assert_eq!(expects, 2);
     }
@@ -519,9 +571,9 @@ mod tests {
     fn relaxed_ordering_respects_allowlist() {
         let src = "fn f() { c.load(Ordering::Relaxed); }\n";
         let mut findings = Vec::new();
-        scan_file("crates/portfolio/src/cache.rs", src, &mut findings);
+        scan_file("crates/portfolio/src/cache.rs", src, &[], &mut findings);
         assert!(findings.is_empty(), "allowlisted file");
-        scan_file("crates/bdd/src/manager.rs", src, &mut findings);
+        scan_file("crates/bdd/src/manager.rs", src, &[], &mut findings);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "relaxed-ordering");
     }
@@ -530,22 +582,55 @@ mod tests {
     fn process_exit_allowed_in_bin_only() {
         let src = "fn f() { std::process::exit(1); }\n";
         let mut findings = Vec::new();
-        scan_file("crates/bench/src/bin/probe.rs", src, &mut findings);
+        scan_file("crates/bench/src/bin/probe.rs", src, &[], &mut findings);
         assert!(findings.is_empty(), "bin target");
-        scan_file("crates/bench/src/lib.rs", src, &mut findings);
+        scan_file("crates/bench/src/lib.rs", src, &[], &mut findings);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "no-process-exit");
+    }
+
+    #[test]
+    fn catch_unwind_respects_the_allowlist() {
+        let src = "fn f() { let _ = std::panic::catch_unwind(|| {}); }\n";
+        let allow = vec!["crates/portfolio/src/scheduler.rs".to_string()];
+        let mut findings = Vec::new();
+        scan_file(
+            "crates/portfolio/src/scheduler.rs",
+            src,
+            &allow,
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "allowlisted supervisor");
+        scan_file("crates/core/src/driver.rs", src, &allow, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "no-catch-unwind");
+    }
+
+    #[test]
+    fn allowlist_parses_and_tolerates_absence() {
+        let dir = std::env::temp_dir().join("qsyn-lint-allowlist-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("allow.txt");
+        std::fs::write(&path, "# supervisors\ncrates/a/src/lib.rs\n\nsrc/cli.rs\n")
+            .expect("write allowlist");
+        let list = load_allowlist(&path).expect("parse");
+        assert_eq!(list, vec!["crates/a/src/lib.rs", "src/cli.rs"]);
+        let missing = dir.join("definitely-missing.txt");
+        assert_eq!(
+            load_allowlist(&missing).expect("missing ok"),
+            Vec::<String>::new()
+        );
     }
 
     #[test]
     fn inline_waiver_suppresses_a_finding() {
         let src = "fn f() { x.unwrap(); } // lint: allow(no-unwrap)\n";
         let mut findings = Vec::new();
-        scan_file("crates/foo/src/lib.rs", src, &mut findings);
+        scan_file("crates/foo/src/lib.rs", src, &[], &mut findings);
         assert!(findings.is_empty());
         // The waiver is rule-specific.
         let src2 = "fn f() { x.unwrap(); } // lint: allow(no-expect)\n";
-        scan_file("crates/foo/src/lib.rs", src2, &mut findings);
+        scan_file("crates/foo/src/lib.rs", src2, &[], &mut findings);
         assert_eq!(findings.len(), 1);
     }
 
@@ -554,10 +639,13 @@ mod tests {
         let src = "fn helper() { x.unwrap(); }\n";
         let mut findings = Vec::new();
         assert_eq!(
-            scan_file("crates/bdd/src/oracle_tests.rs", src, &mut findings),
+            scan_file("crates/bdd/src/oracle_tests.rs", src, &[], &mut findings),
             0
         );
-        assert_eq!(scan_file("crates/foo/src/tests.rs", src, &mut findings), 0);
+        assert_eq!(
+            scan_file("crates/foo/src/tests.rs", src, &[], &mut findings),
+            0
+        );
         assert!(findings.is_empty());
     }
 
@@ -565,7 +653,7 @@ mod tests {
     fn doc_comment_mentions_do_not_count() {
         let src = "/// Call `.unwrap()` and `process::exit` with care.\nfn f() {}\n";
         let mut findings = Vec::new();
-        scan_file("crates/foo/src/lib.rs", src, &mut findings);
+        scan_file("crates/foo/src/lib.rs", src, &[], &mut findings);
         assert!(findings.is_empty());
     }
 

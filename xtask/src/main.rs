@@ -1,18 +1,30 @@
 //! Workspace automation (`cargo xtask <task>`).
 //!
-//! The only task so far is `lint`: a dependency-free source scanner that
-//! enforces repo-specific rules `clippy` has no lints for (see
-//! `DESIGN.md` §8). Run as:
+//! * `lint` — a dependency-free source scanner that enforces
+//!   repo-specific rules `clippy` has no lints for (see `DESIGN.md` §9):
 //!
-//! ```text
-//! cargo xtask lint                    # check
-//! cargo xtask lint --update-baseline  # regenerate the expect baseline
-//! ```
+//!   ```text
+//!   cargo xtask lint                    # check
+//!   cargo xtask lint --update-baseline  # regenerate the expect baseline
+//!   ```
+//!
+//! * `chaos` — the fault-injection sweep: builds with `--features
+//!   faults`, runs the benchmark suite once fault-free and once per
+//!   seed, and asserts every injected fault is recovered with
+//!   bit-identical results (see `DESIGN.md` §10):
+//!
+//!   ```text
+//!   cargo xtask chaos --seeds 8 --timeout 120 [--jobs N]
+//!   ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
+mod chaos;
 mod lint;
+
+const USAGE: &str = "usage: cargo xtask lint [--update-baseline]\n       cargo xtask chaos [--seeds N] [--timeout SECS] [--jobs N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,15 +37,58 @@ fn main() -> ExitCode {
             }
             lint::run(&workspace_root(), update)
         }
+        Some("chaos") => match parse_chaos(&args[1..]) {
+            Ok(opts) => chaos::run(&workspace_root(), &opts),
+            Err(e) => {
+                eprintln!("{e}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
         Some(other) => {
-            eprintln!("unknown task: {other}\n\nusage: cargo xtask lint [--update-baseline]");
+            eprintln!("unknown task: {other}\n\n{USAGE}");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask lint [--update-baseline]");
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
     }
+}
+
+fn parse_chaos(args: &[String]) -> Result<chaos::ChaosOptions, String> {
+    let mut opts = chaos::ChaosOptions {
+        seeds: 8,
+        timeout: Duration::from_secs(120),
+        jobs: 2,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => {
+                opts.seeds = value()?.parse().map_err(|_| "bad seed count".to_string())?;
+            }
+            "--timeout" => {
+                let secs: u64 = value()?.parse().map_err(|_| "bad timeout".to_string())?;
+                opts.timeout = Duration::from_secs(secs);
+            }
+            "--jobs" => {
+                opts.jobs = value()?.parse().map_err(|_| "bad jobs".to_string())?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
+            other => return Err(format!("unknown chaos option: {other}")),
+        }
+    }
+    if opts.seeds == 0 {
+        return Err("--seeds must be at least 1".to_string());
+    }
+    Ok(opts)
 }
 
 /// The workspace root: xtask lives directly under it.
