@@ -1,0 +1,413 @@
+//! Emits `BENCH_pr6.json` — the tracked trajectory of the PR 6 serving
+//! subsystem (`qsyn-store` circuit database + `qsyn-serve` daemon core).
+//!
+//! The workload drives an in-process [`ServeCore`] backed by a
+//! throw-away disk store through three phases:
+//!
+//! 1. **cold** — an empty store; every class misses, synthesizes once,
+//!    and is written through. A fourth job is an output-permuted twin of
+//!    `3_17` and must hit the class the original just stored.
+//! 2. **warm** — the same four requests again on the live core; all of
+//!    them must answer from the index without an engine.
+//! 3. **restart** — the core is dropped, the store file reopened (its
+//!    bytes must be untouched by the reopen) and a fresh core must serve
+//!    all four requests with **zero** engine invocations.
+//!
+//! Gated by `--check BENCH_pr6.json`: per-job depth / solution count /
+//! quantum cost / cold-phase provenance, and the full counter block of
+//! every phase (requests, hits, misses, in-flight dedups, engine
+//! invocations, store records). Wall-clock latencies are recorded for
+//! the report but never gated — CI runners swing 2×; the *counters* are
+//! the acceptance criterion ("a repeat answers from the store without
+//! spawning an engine") and those are exact.
+//!
+//! ```text
+//! cargo run --release -p qsyn-bench --bin gen_bench_pr6              # regenerate
+//! cargo run --release -p qsyn-bench --bin gen_bench_pr6 -- --check BENCH_pr6.json
+//! ```
+
+use qsyn_core::permuted::permute_spec;
+use qsyn_revlogic::{benchmarks, Spec};
+use qsyn_serve::{ServeConfig, ServeCore, Source};
+use qsyn_store::Store;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The request trajectory, in order. `3_17-twin` is `3_17` with its
+/// output lines rotated — a distinct spec in the same equivalence class,
+/// so in the cold phase it must be served from the record `3_17` wrote.
+const JOBS: &[&str] = &["rd32-v0", "3_17", "3_17-twin", "decod24-v0"];
+
+/// Classes the trajectory contains (the twin collapses onto `3_17`).
+const CLASSES: u64 = 3;
+
+fn jobs() -> Vec<(String, Spec)> {
+    JOBS.iter()
+        .map(|&name| {
+            let spec = match name {
+                "3_17-twin" => {
+                    let base = benchmarks::by_name("3_17").expect("known benchmark");
+                    permute_spec(&base.spec, &[1, 2, 0]).expect("valid permutation")
+                }
+                _ => benchmarks::by_name(name).expect("known benchmark").spec,
+            };
+            (name.to_string(), spec)
+        })
+        .collect()
+}
+
+/// One phase's exact counter block.
+#[derive(Debug)]
+struct Phase {
+    label: &'static str,
+    requests: u64,
+    hits: u64,
+    misses: u64,
+    inflight_dedup: u64,
+    engine_invocations: u64,
+    store_records: u64,
+    /// Recorded, never gated.
+    elapsed_ms: f64,
+}
+
+struct JobRow {
+    name: String,
+    depth: u32,
+    solutions: u128,
+    quantum_cost: u64,
+    cold_source: &'static str,
+}
+
+struct Report {
+    jobs: Vec<JobRow>,
+    phases: Vec<Phase>,
+    /// Final warm-core latency percentiles (µs bucket bounds; recorded,
+    /// never gated).
+    p50_us: u64,
+    p90_us: u64,
+    p99_us: u64,
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        queue_capacity: 16,
+        ..ServeConfig::default()
+    }
+}
+
+fn phase_of(label: &'static str, core: &ServeCore, elapsed_ms: f64) -> Phase {
+    let s = core.snapshot();
+    Phase {
+        label,
+        requests: s.requests,
+        hits: s.hits,
+        misses: s.misses,
+        inflight_dedup: s.inflight_dedup,
+        engine_invocations: s.engine_invocations,
+        store_records: s.store_records,
+        elapsed_ms,
+    }
+}
+
+fn measure() -> Report {
+    let dir = std::env::temp_dir().join(format!("qsyn-bench-pr6-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("trajectory.store");
+    let _ = std::fs::remove_file(&path);
+    let jobs = jobs();
+
+    // Phase 1: cold — empty store, every class synthesizes once.
+    let store = Store::open(&path).expect("open fresh store");
+    assert!(store.is_empty(), "fresh store must be empty");
+    let core = ServeCore::start(&config(), Some(store));
+    let started = Instant::now();
+    let mut rows = Vec::new();
+    for (name, spec) in &jobs {
+        let served = core
+            .request(name, spec)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        rows.push(JobRow {
+            name: name.clone(),
+            depth: served.record.depth,
+            solutions: served.record.solution_count,
+            quantum_cost: served.record.quantum_cost,
+            cold_source: served.source.as_str(),
+        });
+    }
+    let cold = phase_of("cold", &core, started.elapsed().as_secs_f64() * 1e3);
+    assert_eq!(
+        rows[2].cold_source,
+        Source::Store.as_str(),
+        "the 3_17 twin must hit the class 3_17 stored"
+    );
+
+    // Phase 2: warm — repeats on the live core, no engine.
+    let started = Instant::now();
+    for (name, spec) in &jobs {
+        let served = core
+            .request(name, spec)
+            .unwrap_or_else(|e| panic!("warm {name}: {e}"));
+        assert_eq!(
+            served.source,
+            Source::Store,
+            "warm {name} must answer from the store"
+        );
+    }
+    let warm = phase_of("warm", &core, started.elapsed().as_secs_f64() * 1e3);
+    let final_warm = core.snapshot();
+    drop(core);
+
+    // Phase 3: restart — reopen must leave the file's bytes untouched
+    // and serve every request without an engine.
+    let bytes_before = std::fs::read(&path).expect("read store file");
+    let store = Store::open(&path).expect("reopen store");
+    assert_eq!(store.truncated_tail_bytes(), 0, "clean file, no torn tail");
+    let bytes_after = std::fs::read(&path).expect("re-read store file");
+    assert_eq!(
+        bytes_before, bytes_after,
+        "reopen must not rewrite the store"
+    );
+    assert_eq!(store.len() as u64, CLASSES);
+    let core = ServeCore::start(&config(), Some(store));
+    let started = Instant::now();
+    for (i, (name, spec)) in jobs.iter().enumerate() {
+        let served = core
+            .request(name, spec)
+            .unwrap_or_else(|e| panic!("restart {name}: {e}"));
+        assert_eq!(
+            served.source,
+            Source::Store,
+            "restart {name} must answer from the reopened store"
+        );
+        assert_eq!(
+            (served.record.depth, served.record.solution_count),
+            (rows[i].depth, rows[i].solutions),
+            "restart {name} must replay the identical record"
+        );
+    }
+    let restart = phase_of("restart", &core, started.elapsed().as_secs_f64() * 1e3);
+    assert_eq!(
+        restart.engine_invocations, 0,
+        "restart must not run an engine"
+    );
+    drop(core);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    Report {
+        jobs: rows,
+        phases: vec![cold, warm, restart],
+        p50_us: final_warm.p50_us,
+        p90_us: final_warm.p90_us,
+        p99_us: final_warm.p99_us,
+    }
+}
+
+fn report_json(r: &Report) -> String {
+    let mut out = String::from("{\n  \"generated_by\": \"gen_bench_pr6\",\n  \"jobs\": [\n");
+    for (i, j) in r.jobs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{ \"name\": \"{}\", \"depth\": {}, \"solutions\": {}, \"quantum_cost\": {}, \"cold_source\": \"{}\" }}{}",
+            j.name,
+            j.depth,
+            j.solutions,
+            j.quantum_cost,
+            j.cold_source,
+            if i + 1 == r.jobs.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ],\n  \"phases\": [\n");
+    for (i, p) in r.phases.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{ \"phase\": \"{}\", \"requests\": {}, \"hits\": {}, \"misses\": {}, \"inflight_dedup\": {}, \"engine_invocations\": {}, \"store_records\": {}, \"elapsed_ms\": {:.3} }}{}",
+            p.label,
+            p.requests,
+            p.hits,
+            p.misses,
+            p.inflight_dedup,
+            p.engine_invocations,
+            p.store_records,
+            p.elapsed_ms,
+            if i + 1 == r.phases.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  ],\n  \"latency\": {{ \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {} }}\n}}",
+        r.p50_us, r.p90_us, r.p99_us
+    );
+    out
+}
+
+/// Deterministic metrics scraped back out of a committed report.
+struct Baseline {
+    /// `name` → `(depth, solutions, quantum_cost, cold_source)`.
+    jobs: HashMap<String, (u32, u128, u64, String)>,
+    /// `phase` → counter block (elapsed zeroed; it is never compared).
+    phases: HashMap<String, Phase>,
+}
+
+fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let marker = format!("\"{name}\": ");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', ' ', '}']).next()
+    }
+}
+
+fn parse_baseline(text: &str) -> Baseline {
+    let mut jobs = HashMap::new();
+    let mut phases = HashMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with("{ \"name\":") {
+            if let (Some(name), Some(d), Some(s), Some(q), Some(src)) = (
+                field(line, "name"),
+                field(line, "depth").and_then(|v| v.parse().ok()),
+                field(line, "solutions").and_then(|v| v.parse().ok()),
+                field(line, "quantum_cost").and_then(|v| v.parse().ok()),
+                field(line, "cold_source"),
+            ) {
+                jobs.insert(name.to_string(), (d, s, q, src.to_string()));
+            }
+        } else if line.starts_with("{ \"phase\":") {
+            let num = |n: &str| field(line, n).and_then(|v| v.parse().ok());
+            if let (
+                Some(label),
+                Some(requests),
+                Some(hits),
+                Some(misses),
+                Some(dedup),
+                Some(engine),
+                Some(records),
+            ) = (
+                field(line, "phase"),
+                num("requests"),
+                num("hits"),
+                num("misses"),
+                num("inflight_dedup"),
+                num("engine_invocations"),
+                num("store_records"),
+            ) {
+                phases.insert(
+                    label.to_string(),
+                    Phase {
+                        label: "",
+                        requests,
+                        hits,
+                        misses,
+                        inflight_dedup: dedup,
+                        engine_invocations: engine,
+                        store_records: records,
+                        elapsed_ms: 0.0,
+                    },
+                );
+            }
+        }
+    }
+    Baseline { jobs, phases }
+}
+
+fn check(report: &Report, baseline: &Baseline) -> bool {
+    let mut failed = false;
+    for j in &report.jobs {
+        let Some((bd, bs, bq, bsrc)) = baseline.jobs.get(&j.name) else {
+            println!("{}: not in baseline, skipping", j.name);
+            continue;
+        };
+        if (j.depth, j.solutions, j.quantum_cost, j.cold_source) != (*bd, *bs, *bq, bsrc.as_str()) {
+            println!(
+                "REGRESSION {}: depth {} / {} solutions / qc {} / {} vs baseline {} / {} / {} / {}",
+                j.name, j.depth, j.solutions, j.quantum_cost, j.cold_source, bd, bs, bq, bsrc
+            );
+            failed = true;
+        }
+    }
+    for p in &report.phases {
+        let Some(b) = baseline.phases.get(p.label) else {
+            println!("phase {}: not in baseline, skipping", p.label);
+            continue;
+        };
+        let got = (
+            p.requests,
+            p.hits,
+            p.misses,
+            p.inflight_dedup,
+            p.engine_invocations,
+            p.store_records,
+        );
+        let want = (
+            b.requests,
+            b.hits,
+            b.misses,
+            b.inflight_dedup,
+            b.engine_invocations,
+            b.store_records,
+        );
+        if got != want {
+            println!("REGRESSION phase {}: {got:?} vs baseline {want:?}", p.label);
+            failed = true;
+        }
+    }
+    !failed
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut baseline_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => baseline_path = Some(args.next().expect("--check needs a file")),
+            "-o" | "--output" => out_path = Some(args.next().expect("-o needs a file")),
+            other => panic!("unknown option `{other}`"),
+        }
+    }
+
+    let report = measure();
+    println!(
+        "PR 6 serve/store trajectory ({} requests x 3 phases)",
+        JOBS.len()
+    );
+    for j in &report.jobs {
+        println!(
+            "  {}: {} gates, {} solutions, quantum cost {} (cold: {})",
+            j.name, j.depth, j.solutions, j.quantum_cost, j.cold_source
+        );
+    }
+    for p in &report.phases {
+        println!(
+            "  {}: {} requests, {} hits, {} misses, {} engine invocations, {} records ({:.1}ms)",
+            p.label,
+            p.requests,
+            p.hits,
+            p.misses,
+            p.engine_invocations,
+            p.store_records,
+            p.elapsed_ms
+        );
+    }
+    println!(
+        "  warm latency: p50 <= {}us, p90 <= {}us, p99 <= {}us (recorded, never gated)",
+        report.p50_us, report.p90_us, report.p99_us
+    );
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).expect("read baseline");
+        if !check(&report, &parse_baseline(&text)) {
+            println!("\nbench-smoke: FAILED against {path}");
+            std::process::exit(1);
+        }
+        println!("\nbench-smoke: ok against {path}");
+    } else {
+        let path = out_path.unwrap_or_else(|| "BENCH_pr6.json".to_string());
+        std::fs::write(&path, report_json(&report)).expect("write report");
+        println!("\nwrote {path}");
+    }
+}

@@ -91,6 +91,22 @@ pub struct SynthesisResult {
 }
 
 impl SynthesisResult {
+    /// Rebuilds a result from persisted parts (circuit store hits), so a
+    /// replayed answer flows through the same reporting paths as a live
+    /// one. No engine ran: `depth_times` is empty, `total_time` is zero
+    /// and there are no BDD counters — `engine` should name the replay
+    /// source (e.g. `"store"`) so reports stay honest about provenance.
+    pub fn replayed(solutions: SolutionSet, depth: u32, engine: &'static str) -> SynthesisResult {
+        SynthesisResult {
+            solutions,
+            depth,
+            engine,
+            depth_times: Vec::new(),
+            total_time: Duration::ZERO,
+            bdd_stats: None,
+        }
+    }
+
     /// Minimal number of gates (the `D` column of the paper's tables).
     pub fn depth(&self) -> u32 {
         self.depth

@@ -54,6 +54,26 @@ impl SolutionSet {
         }
     }
 
+    /// Rebuilds a set from one persisted circuit plus its recorded count,
+    /// for replaying a stored result without re-running an engine. The
+    /// store keeps only the quantum-cost-minimal circuit, so the set is
+    /// exhaustive exactly when that one circuit is provably the whole
+    /// solution space (`exact && total == 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0` (a stored result holds at least the circuit
+    /// it persisted).
+    pub fn replayed(circuit: Circuit, total: u128, exact: bool) -> SolutionSet {
+        assert!(total >= 1, "a replayed result counts its own circuit");
+        SolutionSet {
+            circuits: vec![circuit],
+            total,
+            exhaustive: exact && total == 1,
+            exact_count: exact,
+        }
+    }
+
     /// The materialized circuits.
     pub fn circuits(&self) -> &[Circuit] {
         &self.circuits

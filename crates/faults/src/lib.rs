@@ -60,17 +60,23 @@ pub enum Site {
     /// Batch scheduler worker, polled once per job — panics or cancels,
     /// modelling a worker crash or a shutdown race.
     SchedulerWorker,
+    /// Circuit-store record append (`qsyn-store`), polled before any byte
+    /// is written — fires a simulated I/O failure that the store surfaces
+    /// as a **retryable** error without touching the log, so an injected
+    /// write fault can never corrupt the database.
+    StoreAppend,
 }
 
 impl Site {
     /// Every site, in `repr` order.
-    pub const ALL: [Site; 6] = [
+    pub const ALL: [Site; 7] = [
         Site::BddAlloc,
         Site::BddGcSweep,
         Site::SatPropagate,
         Site::QbfDecision,
         Site::SessionCheckout,
         Site::SchedulerWorker,
+        Site::StoreAppend,
     ];
 
     /// Stable lowercase name, used by chaos reports and CLI flags.
@@ -82,6 +88,7 @@ impl Site {
             Site::QbfDecision => "qbf.decision",
             Site::SessionCheckout => "session.checkout",
             Site::SchedulerWorker => "scheduler.worker",
+            Site::StoreAppend => "store.append",
         }
     }
 
@@ -102,6 +109,7 @@ impl Site {
             Site::QbfDecision => 2_000,
             Site::SessionCheckout => 6,
             Site::SchedulerWorker => 4,
+            Site::StoreAppend => 4,
         }
     }
 
@@ -115,6 +123,7 @@ impl Site {
             Site::QbfDecision => &[FaultKind::Deadline, FaultKind::Cancel],
             Site::SessionCheckout => &[FaultKind::Panic],
             Site::SchedulerWorker => &[FaultKind::Panic, FaultKind::Cancel],
+            Site::StoreAppend => &[FaultKind::Io],
         }
     }
 }
@@ -139,6 +148,8 @@ pub enum FaultKind {
     Cancel,
     /// A worker panic (`panic!` raised at the site).
     Panic,
+    /// A failed I/O operation (write/fsync error surfaced at the site).
+    Io,
 }
 
 impl std::fmt::Display for FaultKind {
@@ -148,6 +159,7 @@ impl std::fmt::Display for FaultKind {
             FaultKind::Deadline => write!(f, "deadline"),
             FaultKind::Cancel => write!(f, "cancel"),
             FaultKind::Panic => write!(f, "panic"),
+            FaultKind::Io => write!(f, "io"),
         }
     }
 }
@@ -295,6 +307,7 @@ mod enabled {
             0 => FaultKind::Oom,
             1 => FaultKind::Deadline,
             2 => FaultKind::Cancel,
+            4 => FaultKind::Io,
             _ => FaultKind::Panic,
         }
     }
@@ -394,6 +407,22 @@ mod tests {
             }
             if let Some((_, kind)) = drain(Site::SessionCheckout, 100) {
                 assert_eq!(kind, FaultKind::Panic);
+            }
+        }
+        FaultPlane::disarm();
+    }
+
+    #[test]
+    fn store_append_site_only_fires_io() {
+        let _g = lock();
+        for seed in 0..32 {
+            FaultPlane::arm(seed);
+            if let Some((_, kind)) = drain(Site::StoreAppend, 100) {
+                assert_eq!(
+                    kind,
+                    FaultKind::Io,
+                    "store.append only simulates I/O faults"
+                );
             }
         }
         FaultPlane::disarm();

@@ -227,7 +227,7 @@ pub fn parse_record(line: &str) -> Option<JournalRecord> {
 /// Minimal JSON string escaping (quote, backslash, control characters) —
 /// names come from benchmark tables and file stems, so this is already
 /// more than the data needs.
-fn json_string(s: &str) -> String {
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -246,7 +246,7 @@ fn json_string(s: &str) -> String {
 }
 
 /// Extracts the string value of `"field":"…"` from `line`, unescaping.
-fn string_field(line: &str, field: &str) -> Option<String> {
+pub fn string_field(line: &str, field: &str) -> Option<String> {
     let marker = format!("\"{field}\":\"");
     let start = line.find(&marker)? + marker.len();
     let mut out = String::new();
@@ -273,7 +273,7 @@ fn string_field(line: &str, field: &str) -> Option<String> {
 }
 
 /// Extracts the numeric value of `"field":123` from `line`.
-fn number_field(line: &str, field: &str) -> Option<u64> {
+pub fn number_field(line: &str, field: &str) -> Option<u64> {
     let marker = format!("\"{field}\":");
     let start = line.find(&marker)? + marker.len();
     let digits: String = line[start..]

@@ -82,6 +82,26 @@ impl<T> WorkQueue<T> {
         }
     }
 
+    /// Non-blocking [`push`](Self::push): enqueues `item` only when there
+    /// is room right now, handing it back otherwise. The admission-control
+    /// primitive for serving layers — a full queue is an *overloaded*
+    /// signal to bounce back to the client, not a reason to park its
+    /// connection thread on the producer condvar.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        self.can_pop.notify_one();
+        Ok(())
+    }
+
+    /// Items currently queued (racy by nature; for stats and tests).
+    pub fn pending(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
     /// Blocks until an item is available (returning it) or the queue is
     /// closed *and* drained (returning `None`).
     pub fn pop(&self) -> Option<T> {
@@ -745,6 +765,24 @@ mod tests {
         assert_eq!(q.push(3), Err(3));
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn try_push_bounces_on_full_or_closed_instead_of_blocking() {
+        let q: WorkQueue<u32> = WorkQueue::bounded(2);
+        assert_eq!(q.pending(), 0);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pending(), 2);
+        // Full: the item comes straight back (no blocking, no enqueue).
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        q.close();
+        assert_eq!(q.try_push(4), Err(4));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
         assert_eq!(q.pop(), None);
     }
 

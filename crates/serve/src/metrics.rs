@@ -1,0 +1,230 @@
+//! Serving-path observability: request counters and latency histograms.
+//!
+//! Counters are lock-free (`Relaxed` atomics — they are statistics, no
+//! other memory depends on their order) so the hot hit path never takes a
+//! metrics lock. Latencies go into a log2-bucketed histogram: exact
+//! enough for p50/p90/p99 reporting, fixed-size, and recordable with one
+//! atomic increment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 latency buckets. Bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` microseconds, bucket 0 also catches 0; 40 buckets
+/// cover ~12 days, far beyond any request deadline.
+const BUCKETS: usize = 40;
+
+/// A log2-bucketed latency histogram over microseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A histogram with every bucket empty.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one sample of `micros` microseconds.
+    pub fn record(&self, micros: u64) {
+        let idx = (63 - u64::leading_zeros(micros.max(1)) as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The upper bound (in microseconds) of the bucket containing the
+    /// `p`-th percentile sample, or 0 when the histogram is empty.
+    /// `p` is in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+}
+
+/// All serving-path counters. One instance lives for the daemon's
+/// lifetime; snapshots are taken for the `STATS` verb and `--stats`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Synthesis requests received (any outcome).
+    pub requests: AtomicU64,
+    /// Requests answered from the in-memory/store index without
+    /// scheduling work.
+    pub hits: AtomicU64,
+    /// Requests that scheduled a cold synthesis job.
+    pub misses: AtomicU64,
+    /// Requests that found their class already being synthesized and
+    /// joined the in-flight job instead of scheduling a duplicate.
+    pub inflight_dedup: AtomicU64,
+    /// Times a worker actually constructed and ran a synthesis engine.
+    /// The acceptance criterion for store-served repeats: this stays flat
+    /// while hits climb.
+    pub engine_invocations: AtomicU64,
+    /// Requests bounced by admission control (work queue full).
+    pub rejected: AtomicU64,
+    /// Requests that ended in an error (synthesis failure, worker panic),
+    /// plus store write-through failures that survived their retry.
+    pub errors: AtomicU64,
+    /// Per-request wall-clock latency.
+    pub latency: Histogram,
+}
+
+/// A point-in-time copy of [`Metrics`], plus store gauges, for rendering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// See [`Metrics::requests`].
+    pub requests: u64,
+    /// See [`Metrics::hits`].
+    pub hits: u64,
+    /// See [`Metrics::misses`].
+    pub misses: u64,
+    /// See [`Metrics::inflight_dedup`].
+    pub inflight_dedup: u64,
+    /// See [`Metrics::engine_invocations`].
+    pub engine_invocations: u64,
+    /// See [`Metrics::rejected`].
+    pub rejected: u64,
+    /// See [`Metrics::errors`].
+    pub errors: u64,
+    /// Records in the circuit database (memory index size when no disk
+    /// store is attached).
+    pub store_records: u64,
+    /// Committed bytes of the store file (0 without a disk store).
+    pub store_bytes: u64,
+    /// Median request latency (bucket upper bound, µs).
+    pub p50_us: u64,
+    /// 90th-percentile request latency (bucket upper bound, µs).
+    pub p90_us: u64,
+    /// 99th-percentile request latency (bucket upper bound, µs).
+    pub p99_us: u64,
+}
+
+impl Metrics {
+    /// A fresh, all-zero metrics block.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Snapshots every counter, attaching the caller-supplied store
+    /// gauges.
+    pub fn snapshot(&self, store_records: u64, store_bytes: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inflight_dedup: self.inflight_dedup.load(Ordering::Relaxed),
+            engine_invocations: self.engine_invocations.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            store_records,
+            store_bytes,
+            p50_us: self.latency.percentile(50.0),
+            p90_us: self.latency.percentile(90.0),
+            p99_us: self.latency.percentile(99.0),
+        }
+    }
+
+    /// Bumps a counter by one (`Relaxed`; statistics only).
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests: {} ({} hits, {} misses, {} deduped in-flight, {} rejected, {} errors)",
+            self.requests, self.hits, self.misses, self.inflight_dedup, self.rejected, self.errors
+        )?;
+        writeln!(f, "engine invocations: {}", self.engine_invocations)?;
+        writeln!(
+            f,
+            "store: {} records, {} bytes",
+            self.store_records, self.store_bytes
+        )?;
+        write!(
+            f,
+            "latency: p50 ≤ {}µs, p90 ≤ {}µs, p99 ≤ {}µs",
+            self.p50_us, self.p90_us, self.p99_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn percentiles_walk_the_buckets() {
+        let h = Histogram::new();
+        // 90 fast samples (~8µs bucket), 10 slow (~1024µs bucket).
+        for _ in 0..90 {
+            h.record(8);
+        }
+        for _ in 0..10 {
+            h.record(1024);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(50.0), 16); // bucket [8, 16)
+        assert_eq!(h.percentile(90.0), 16);
+        assert_eq!(h.percentile(99.0), 2048); // bucket [1024, 2048)
+    }
+
+    #[test]
+    fn zero_latency_lands_in_the_first_bucket() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(100.0), 2);
+    }
+
+    #[test]
+    fn snapshot_copies_counters_and_gauges() {
+        let m = Metrics::new();
+        Metrics::inc(&m.requests);
+        Metrics::inc(&m.requests);
+        Metrics::inc(&m.hits);
+        m.latency.record(5);
+        let s = m.snapshot(7, 4096);
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.store_records, 7);
+        assert_eq!(s.store_bytes, 4096);
+        assert!(s.p50_us > 0);
+        let text = s.to_string();
+        assert!(text.contains("2 ("), "{text}");
+        assert!(text.contains("7 records"), "{text}");
+    }
+}

@@ -1,0 +1,348 @@
+//! The wire protocol: newline-delimited JSON, one object per line.
+//!
+//! # Grammar
+//!
+//! Requests (client → daemon), discriminated by the `verb` field:
+//!
+//! ```text
+//! {"verb":"synth","name":NAME?,"spec":SPEC_TEXT}   synthesize a .spec body
+//! {"verb":"synth","bench":BENCH_NAME}              synthesize a Table 1 benchmark
+//! {"verb":"stats"}                                 counters + latency percentiles
+//! {"verb":"ping"}                                  liveness probe
+//! {"verb":"shutdown"}                              stop accepting, drain, exit
+//! ```
+//!
+//! Responses (daemon → client), one line per request, `ok` first:
+//!
+//! ```text
+//! {"ok":true,"source":"store"|"engine","name":...,"depth":D,
+//!  "solutions":"N"|"≥N","quantum_cost":QC,"permutation":"[r0, r1, …]",
+//!  "circuit":REAL_TEXT,"elapsed_us":T}
+//! {"ok":true,"requests":…,…,"p99_us":…}            (stats)
+//! {"ok":true,"pong":1}                             (ping)
+//! {"ok":true,"closing":1}                          (shutdown acknowledge)
+//! {"ok":false,"error":MESSAGE,"retryable":0|1}
+//! ```
+//!
+//! Field scanning reuses the batch journal's JSON helpers
+//! (`qsyn_portfolio::journal`): the same minimal escaping rules on both
+//! sides of the wire, and no JSON dependency. The `permutation` is
+//! rendered in the journal's `"[0, 1]"` debug form so journal and serve
+//! outputs are directly comparable.
+
+use crate::metrics::MetricsSnapshot;
+use qsyn_portfolio::journal::{json_string, number_field, string_field};
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Synthesize a specification, given inline (`spec`, `.spec` format)
+    /// or by Table 1 benchmark name (`bench`).
+    Synth {
+        /// Job label for replies and store records; defaults to the bench
+        /// name or `"spec"`.
+        name: Option<String>,
+        /// Inline `.spec` text (mutually exclusive with `bench`).
+        spec: Option<String>,
+        /// Benchmark-suite name (mutually exclusive with `spec`).
+        bench: Option<String>,
+    },
+    /// Report counters and latency percentiles.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Drain and stop the daemon.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable message (rendered back over the wire with
+/// [`render_error`]) when the verb is missing, unknown, or `synth` names
+/// neither a spec nor a benchmark.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let verb = string_field(line, "verb").ok_or("missing \"verb\" field")?;
+    match verb.as_str() {
+        "synth" => {
+            let spec = string_field(line, "spec");
+            let bench = string_field(line, "bench");
+            if spec.is_none() && bench.is_none() {
+                return Err("synth needs a \"spec\" or a \"bench\" field".to_string());
+            }
+            if spec.is_some() && bench.is_some() {
+                return Err("synth takes \"spec\" or \"bench\", not both".to_string());
+            }
+            Ok(Request::Synth {
+                name: string_field(line, "name"),
+                spec,
+                bench,
+            })
+        }
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        v => Err(format!("unknown verb {v:?}")),
+    }
+}
+
+/// Renders a synth request line (the client side of [`parse_request`]).
+pub fn render_synth_request(name: Option<&str>, spec: Option<&str>, bench: Option<&str>) -> String {
+    let mut out = String::from("{\"verb\":\"synth\"");
+    if let Some(n) = name {
+        out.push_str(&format!(",\"name\":{}", json_string(n)));
+    }
+    if let Some(s) = spec {
+        out.push_str(&format!(",\"spec\":{}", json_string(s)));
+    }
+    if let Some(b) = bench {
+        out.push_str(&format!(",\"bench\":{}", json_string(b)));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a bare-verb request line (`stats`, `ping`, `shutdown`).
+pub fn render_verb_request(verb: &str) -> String {
+    format!("{{\"verb\":{}}}", json_string(verb))
+}
+
+/// A successful synthesis answer, wire-ready.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SynthReply {
+    /// `"store"` when answered from the circuit database without any
+    /// engine work this request, `"engine"` when synthesis ran (or was
+    /// joined in flight).
+    pub source: String,
+    /// Job label.
+    pub name: String,
+    /// Minimal gate count.
+    pub depth: u32,
+    /// Solution count, `count_display` form (`"N"` or `"≥N"`).
+    pub solutions: String,
+    /// Quantum cost of the returned circuit.
+    pub quantum_cost: u64,
+    /// Output permutation for the *requested* spec: entry `j` is the
+    /// circuit output line driving spec line `j`.
+    pub permutation: Vec<u32>,
+    /// The circuit, RevLib `.real` text.
+    pub circuit: String,
+    /// Request wall-clock latency in microseconds.
+    pub elapsed_us: u64,
+}
+
+/// Renders a [`SynthReply`] as its response line.
+pub fn render_synth_reply(r: &SynthReply) -> String {
+    format!(
+        "{{\"ok\":true,\"source\":{},\"name\":{},\"depth\":{},\"solutions\":{},\
+         \"quantum_cost\":{},\"permutation\":{},\"circuit\":{},\"elapsed_us\":{}}}",
+        json_string(&r.source),
+        json_string(&r.name),
+        r.depth,
+        json_string(&r.solutions),
+        r.quantum_cost,
+        json_string(&format!("{:?}", r.permutation)),
+        json_string(&r.circuit),
+        r.elapsed_us,
+    )
+}
+
+/// Parses a synth response line (the client side of
+/// [`render_synth_reply`]); `None` when the line is not a well-formed
+/// success reply.
+pub fn parse_synth_reply(line: &str) -> Option<SynthReply> {
+    if !line.starts_with("{\"ok\":true") {
+        return None;
+    }
+    let permutation: Vec<u32> = string_field(line, "permutation")?
+        .trim_start_matches('[')
+        .trim_end_matches(']')
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| s.trim().parse().ok())
+        .collect::<Option<_>>()?;
+    Some(SynthReply {
+        source: string_field(line, "source")?,
+        name: string_field(line, "name")?,
+        depth: number_field(line, "depth")? as u32,
+        solutions: string_field(line, "solutions")?,
+        quantum_cost: number_field(line, "quantum_cost")?,
+        permutation,
+        circuit: string_field(line, "circuit")?,
+        elapsed_us: number_field(line, "elapsed_us")?,
+    })
+}
+
+/// Renders an error response line.
+pub fn render_error(message: &str, retryable: bool) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":{},\"retryable\":{}}}",
+        json_string(message),
+        u8::from(retryable)
+    )
+}
+
+/// Parses an error response: `Some((message, retryable))`.
+pub fn parse_error(line: &str) -> Option<(String, bool)> {
+    if !line.starts_with("{\"ok\":false") {
+        return None;
+    }
+    Some((
+        string_field(line, "error")?,
+        number_field(line, "retryable")? != 0,
+    ))
+}
+
+/// Renders the `stats` response line.
+pub fn render_stats(s: &MetricsSnapshot) -> String {
+    format!(
+        "{{\"ok\":true,\"requests\":{},\"hits\":{},\"misses\":{},\"inflight_dedup\":{},\
+         \"engine_invocations\":{},\"rejected\":{},\"errors\":{},\"store_records\":{},\
+         \"store_bytes\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{}}}",
+        s.requests,
+        s.hits,
+        s.misses,
+        s.inflight_dedup,
+        s.engine_invocations,
+        s.rejected,
+        s.errors,
+        s.store_records,
+        s.store_bytes,
+        s.p50_us,
+        s.p90_us,
+        s.p99_us,
+    )
+}
+
+/// Parses a `stats` response line back into a snapshot.
+pub fn parse_stats(line: &str) -> Option<MetricsSnapshot> {
+    if !line.starts_with("{\"ok\":true") {
+        return None;
+    }
+    Some(MetricsSnapshot {
+        requests: number_field(line, "requests")?,
+        hits: number_field(line, "hits")?,
+        misses: number_field(line, "misses")?,
+        inflight_dedup: number_field(line, "inflight_dedup")?,
+        engine_invocations: number_field(line, "engine_invocations")?,
+        rejected: number_field(line, "rejected")?,
+        errors: number_field(line, "errors")?,
+        store_records: number_field(line, "store_records")?,
+        store_bytes: number_field(line, "store_bytes")?,
+        p50_us: number_field(line, "p50_us")?,
+        p90_us: number_field(line, "p90_us")?,
+        p99_us: number_field(line, "p99_us")?,
+    })
+}
+
+/// The `ping` acknowledgement line.
+pub fn render_pong() -> String {
+    "{\"ok\":true,\"pong\":1}".to_string()
+}
+
+/// The `shutdown` acknowledgement line.
+pub fn render_closing() -> String {
+    "{\"ok\":true,\"closing\":1}".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let line = render_synth_request(Some("job1"), Some(".numvars 2\nrows\n"), None);
+        assert_eq!(
+            parse_request(&line).unwrap(),
+            Request::Synth {
+                name: Some("job1".to_string()),
+                spec: Some(".numvars 2\nrows\n".to_string()),
+                bench: None,
+            }
+        );
+        let line = render_synth_request(None, None, Some("3_17"));
+        assert_eq!(
+            parse_request(&line).unwrap(),
+            Request::Synth {
+                name: None,
+                spec: None,
+                bench: Some("3_17".to_string()),
+            }
+        );
+        for verb in ["stats", "ping", "shutdown"] {
+            let parsed = parse_request(&render_verb_request(verb)).unwrap();
+            let expect = match verb {
+                "stats" => Request::Stats,
+                "ping" => Request::Ping,
+                _ => Request::Shutdown,
+            };
+            assert_eq!(parsed, expect);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        assert!(parse_request("{}").unwrap_err().contains("verb"));
+        assert!(parse_request("{\"verb\":\"nope\"}")
+            .unwrap_err()
+            .contains("nope"));
+        assert!(parse_request("{\"verb\":\"synth\"}")
+            .unwrap_err()
+            .contains("spec"));
+        assert!(
+            parse_request("{\"verb\":\"synth\",\"spec\":\"x\",\"bench\":\"y\"}")
+                .unwrap_err()
+                .contains("not both")
+        );
+    }
+
+    #[test]
+    fn synth_replies_round_trip_with_escaped_text() {
+        let reply = SynthReply {
+            source: "store".to_string(),
+            name: "rd32-v0".to_string(),
+            depth: 4,
+            solutions: "≥1".to_string(),
+            quantum_cost: 12,
+            permutation: vec![2, 0, 1],
+            circuit: ".numvars 3\n.begin\nt2 x1 x2\n.end\n".to_string(),
+            elapsed_us: 137,
+        };
+        let line = render_synth_reply(&reply);
+        assert!(!line.contains('\n'), "one line per reply: {line}");
+        assert_eq!(parse_synth_reply(&line), Some(reply));
+        assert_eq!(parse_error(&line), None);
+    }
+
+    #[test]
+    fn errors_round_trip() {
+        let line = render_error("queue full: 8 jobs pending", true);
+        assert_eq!(
+            parse_error(&line),
+            Some(("queue full: 8 jobs pending".to_string(), true))
+        );
+        assert_eq!(parse_synth_reply(&line), None);
+        let (_, retryable) = parse_error(&render_error("bad spec", false)).unwrap();
+        assert!(!retryable);
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let snapshot = MetricsSnapshot {
+            requests: 10,
+            hits: 6,
+            misses: 3,
+            inflight_dedup: 1,
+            engine_invocations: 3,
+            rejected: 0,
+            errors: 0,
+            store_records: 3,
+            store_bytes: 999,
+            p50_us: 16,
+            p90_us: 32,
+            p99_us: 4096,
+        };
+        assert_eq!(parse_stats(&render_stats(&snapshot)), Some(snapshot));
+    }
+}

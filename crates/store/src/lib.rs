@@ -1,0 +1,949 @@
+//! Disk-backed circuit database.
+//!
+//! Exact synthesis is expensive per call but its results are small,
+//! canonical and eternally reusable, so `qsyn` persists them: one
+//! [`Store`] is an **append-only record log** plus an in-memory index
+//! keyed by the FNV-1a digest of the *canonical* specification (the
+//! output-permutation class representative computed by
+//! `qsyn_portfolio::cache::canonicalize`). Each [`StoredCircuit`] record
+//! carries the canonical truth table, the minimal circuit (RevLib `.real`
+//! text), its gate count, quantum cost, exact-or-lower-bound solution
+//! count and the output permutation under which the circuit realizes the
+//! canonical spec — everything a cache hit needs to answer a synthesis
+//! request without touching an engine.
+//!
+//! # Durability
+//!
+//! Every [`put`](Store::put) appends one length-prefixed, checksummed
+//! record in a single `write` call and `fsync`s (`File::sync_data`)
+//! before returning, so a record either survives a crash whole or not at
+//! all. [`open`](Store::open) replays the log and **truncates the torn
+//! tail**: the first record whose length prefix, checksum or payload does
+//! not decode marks the end of the valid log, the file is cut back to the
+//! last good byte, and the lost record's job simply re-synthesizes. This
+//! is the same kill-at-any-byte contract the batch journal established
+//! (PR 5) — the store adds checksums and physical truncation because its
+//! records, unlike journal rows, are served back to users.
+//!
+//! # Record format
+//!
+//! ```text
+//! file   := magic record*            magic  = "QSYNSTO1" (8 bytes)
+//! record := len payload checksum     len    = u32 LE, payload byte count
+//!                                    checksum = u64 LE FNV-1a of payload
+//! ```
+//!
+//! Payload layout (all integers little-endian): digest `u64`, lines
+//! `u32`, row count `u32` then `(value, care)` `u32` pairs, depth `u32`,
+//! quantum cost `u64`, solution count `u128`, exact-count flag `u8`,
+//! permutation length `u32` then entries `u32`, then length-prefixed
+//! UTF-8 name and `.real` circuit text.
+//!
+//! # Collisions
+//!
+//! The 64-bit digest is an index key, not an identity: every record
+//! stores its full canonical truth table, and both [`get`](Store::get)
+//! and [`put`](Store::put) compare tables on a digest match. Two distinct
+//! functions landing on one digest is surfaced as
+//! [`StoreError::DigestCollision`] — never a silently wrong circuit.
+//!
+//! # Fault injection
+//!
+//! With the `faults` feature, [`put`](Store::put) polls the
+//! `store.append` site **before any byte is written**; an injected fault
+//! surfaces as the retryable [`StoreError::Injected`] with the log
+//! untouched, which `cargo xtask chaos` exercises per seed.
+
+#![warn(missing_docs)]
+
+use qsyn_revlogic::{cost, real, Spec, SpecRow};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// First bytes of every store file; the trailing digit versions the
+/// record layout.
+pub const MAGIC: &[u8; 8] = b"QSYNSTO1";
+
+/// Records larger than this are rejected at decode time; a length prefix
+/// beyond it is treated as torn-tail garbage, not an allocation request.
+const MAX_RECORD_BYTES: u32 = 1 << 24;
+
+/// 64-bit FNV-1a over `bytes`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The store key of a specification: FNV-1a over its line count and
+/// `(value, care)` rows. Callers must pass the **canonical** spec (the
+/// output-permutation class representative) so equivalent requests share
+/// one record.
+pub fn spec_digest(spec: &Spec) -> u64 {
+    let mut bytes = Vec::with_capacity(4 + spec.num_rows() * 8);
+    bytes.extend_from_slice(&spec.lines().to_le_bytes());
+    for row in spec.rows() {
+        bytes.extend_from_slice(&row.value.to_le_bytes());
+        bytes.extend_from_slice(&row.care.to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+/// One persisted synthesis result; see the module docs for the on-disk
+/// layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoredCircuit {
+    /// [`spec_digest`] of the canonical spec — the index key.
+    pub digest: u64,
+    /// Informational name (benchmark name or file stem of the first
+    /// request that synthesized the class).
+    pub name: String,
+    /// Line count of the canonical spec and the circuit.
+    pub lines: u32,
+    /// `(value, care)` rows of the canonical spec, in row order.
+    pub rows: Vec<(u32, u32)>,
+    /// Minimal gate count.
+    pub depth: u32,
+    /// Quantum cost of the stored circuit.
+    pub quantum_cost: u64,
+    /// Number of minimal networks (exact or a lower bound, per
+    /// [`count_is_exact`](Self::count_is_exact)).
+    pub solution_count: u128,
+    /// `true` when `solution_count` is exact (BDD model counting);
+    /// `false` when it is a first-model lower bound.
+    pub count_is_exact: bool,
+    /// Output permutation `q`: the stored circuit realizes
+    /// `permute_spec(canonical, q)`, i.e. circuit output `q[j]` drives
+    /// canonical spec line `j`.
+    pub permutation: Vec<u32>,
+    /// The minimal circuit, as RevLib `.real` text.
+    pub circuit: String,
+}
+
+impl StoredCircuit {
+    /// Builds a record for `canonical` (digest and rows derived from it).
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_spec(
+        canonical: &Spec,
+        name: &str,
+        depth: u32,
+        quantum_cost: u64,
+        solution_count: u128,
+        count_is_exact: bool,
+        permutation: Vec<u32>,
+        circuit: String,
+    ) -> StoredCircuit {
+        StoredCircuit {
+            digest: spec_digest(canonical),
+            name: name.to_string(),
+            lines: canonical.lines(),
+            rows: canonical.rows().iter().map(|r| (r.value, r.care)).collect(),
+            depth,
+            quantum_cost,
+            solution_count,
+            count_is_exact,
+            permutation,
+            circuit,
+        }
+    }
+
+    /// `true` when this record's truth table equals `spec`'s.
+    pub fn matches_spec(&self, spec: &Spec) -> bool {
+        self.lines == spec.lines()
+            && self.rows.len() == spec.num_rows()
+            && self
+                .rows
+                .iter()
+                .zip(spec.rows())
+                .all(|(&(v, c), row)| v == row.value && c == row.care)
+    }
+
+    /// Reconstructs the canonical spec this record answers.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when the stored rows do not form a valid
+    /// (realizable) specification.
+    pub fn spec(&self) -> Result<Spec, StoreError> {
+        let rows = self
+            .rows
+            .iter()
+            .map(|&(value, care)| SpecRow { value, care })
+            .collect();
+        Spec::new_incomplete(self.lines, rows).map_err(|e| StoreError::Corrupt {
+            offset: 0,
+            detail: format!("record {:016x}: invalid spec rows: {e}", self.digest),
+        })
+    }
+
+    /// Rendered `count_display` form (`"N"` exact, `"≥N"` lower bound),
+    /// matching `SolutionSet::count_display`.
+    pub fn count_display(&self) -> String {
+        if self.count_is_exact {
+            self.solution_count.to_string()
+        } else {
+            format!("≥{}", self.solution_count)
+        }
+    }
+}
+
+/// Store failure modes.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem error. Retryable: the log is rolled back
+    /// to its last committed record before this is returned.
+    Io(std::io::Error),
+    /// The log is unusable beyond torn-tail repair (bad magic, or two
+    /// committed records disagree about one digest).
+    Corrupt {
+        /// Byte offset of the offending data (0 when not file-positional).
+        offset: u64,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Two distinct truth tables landed on one 64-bit digest.
+    DigestCollision {
+        /// The shared digest.
+        digest: u64,
+    },
+    /// A seeded fault fired at the `store.append` site before any byte
+    /// was written. Retryable by contract (each site fires once per
+    /// arming).
+    Injected,
+}
+
+impl StoreError {
+    /// `true` for transient failures a caller should retry (I/O errors
+    /// after rollback, injected write faults); `false` for corruption and
+    /// collisions, which retrying cannot fix.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, StoreError::Io(_) | StoreError::Injected)
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt { offset, detail } => {
+                write!(f, "store corrupt at byte {offset}: {detail}")
+            }
+            StoreError::DigestCollision { digest } => write!(
+                f,
+                "digest collision on {digest:016x}: two distinct functions share one key"
+            ),
+            StoreError::Injected => write!(f, "injected store write fault (retryable)"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// Outcome of a [`Store::put`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PutOutcome {
+    /// The record was appended and fsync'd.
+    Inserted,
+    /// An identical-spec record already existed; nothing was written
+    /// (results are write-once — both answers are minimal).
+    AlreadyPresent,
+}
+
+/// Serializes `record` into its payload bytes (no length prefix or
+/// checksum). Public so tests can round-trip and corrupt records.
+pub fn encode_record(r: &StoredCircuit) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + r.rows.len() * 8 + r.name.len() + r.circuit.len());
+    out.extend_from_slice(&r.digest.to_le_bytes());
+    out.extend_from_slice(&r.lines.to_le_bytes());
+    out.extend_from_slice(&(r.rows.len() as u32).to_le_bytes());
+    for &(value, care) in &r.rows {
+        out.extend_from_slice(&value.to_le_bytes());
+        out.extend_from_slice(&care.to_le_bytes());
+    }
+    out.extend_from_slice(&r.depth.to_le_bytes());
+    out.extend_from_slice(&r.quantum_cost.to_le_bytes());
+    out.extend_from_slice(&r.solution_count.to_le_bytes());
+    out.push(u8::from(r.count_is_exact));
+    out.extend_from_slice(&(r.permutation.len() as u32).to_le_bytes());
+    for &p in &r.permutation {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+    out.extend_from_slice(&(r.name.len() as u32).to_le_bytes());
+    out.extend_from_slice(r.name.as_bytes());
+    out.extend_from_slice(&(r.circuit.len() as u32).to_le_bytes());
+    out.extend_from_slice(r.circuit.as_bytes());
+    out
+}
+
+/// Cursor-based field readers for [`decode_record`].
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice converts to [u8; 4]")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice converts to [u8; 8]")))
+    }
+
+    fn u128(&mut self) -> Option<u128> {
+        self.take(16)
+            .map(|b| u128::from_le_bytes(b.try_into().expect("16-byte slice converts to [u8; 16]")))
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+/// Parses one payload written by [`encode_record`]; `None` on any
+/// malformation (truncation, length overrun, invalid UTF-8, trailing
+/// garbage).
+pub fn decode_record(payload: &[u8]) -> Option<StoredCircuit> {
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let digest = c.u64()?;
+    let lines = c.u32()?;
+    let num_rows = c.u32()? as usize;
+    // A row table never exceeds 2^lines ≤ 2^32 entries, but a torn length
+    // field could claim anything; bound by the payload that actually exists.
+    if num_rows > payload.len() / 8 + 1 {
+        return None;
+    }
+    let mut rows = Vec::with_capacity(num_rows);
+    for _ in 0..num_rows {
+        rows.push((c.u32()?, c.u32()?));
+    }
+    let depth = c.u32()?;
+    let quantum_cost = c.u64()?;
+    let solution_count = c.u128()?;
+    let count_is_exact = match c.u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let perm_len = c.u32()? as usize;
+    if perm_len > payload.len() / 4 + 1 {
+        return None;
+    }
+    let mut permutation = Vec::with_capacity(perm_len);
+    for _ in 0..perm_len {
+        permutation.push(c.u32()?);
+    }
+    let name = c.string()?;
+    let circuit = c.string()?;
+    if c.pos != payload.len() {
+        return None;
+    }
+    Some(StoredCircuit {
+        digest,
+        name,
+        lines,
+        rows,
+        depth,
+        quantum_cost,
+        solution_count,
+        count_is_exact,
+        permutation,
+        circuit,
+    })
+}
+
+/// The disk-backed circuit database; see the module docs.
+///
+/// Not internally synchronized: wrap in a `Mutex` for concurrent access
+/// (the serve layer does). Reads after [`open`](Store::open) are pure
+/// index lookups; only [`put`](Store::put) touches the file.
+#[derive(Debug)]
+pub struct Store {
+    file: File,
+    path: PathBuf,
+    index: HashMap<u64, StoredCircuit>,
+    /// Insertion order of digests, for deterministic iteration.
+    order: Vec<u64>,
+    /// Committed end of the log (everything before this offset is valid).
+    end: u64,
+    /// Bytes dropped by torn-tail repair at open (0 for a clean log).
+    truncated: u64,
+}
+
+impl Store {
+    /// Opens (creating if absent) the store at `path`, replaying the log
+    /// into the in-memory index and truncating any torn tail (see the
+    /// module docs).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures, [`StoreError::Corrupt`]
+    /// when the magic is wrong or two committed records disagree about a
+    /// digest.
+    pub fn open(path: &Path) -> Result<Store, StoreError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.is_empty() {
+            file.write_all(MAGIC)?;
+            file.sync_data()?;
+            return Ok(Store {
+                file,
+                path: path.to_path_buf(),
+                index: HashMap::new(),
+                order: Vec::new(),
+                end: MAGIC.len() as u64,
+                truncated: 0,
+            });
+        }
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(StoreError::Corrupt {
+                offset: 0,
+                detail: format!("bad magic (want {:?})", String::from_utf8_lossy(MAGIC)),
+            });
+        }
+        let mut index: HashMap<u64, StoredCircuit> = HashMap::new();
+        let mut order: Vec<u64> = Vec::new();
+        let mut pos = MAGIC.len();
+        // Scan records; the first malformed one marks the torn tail.
+        let end = loop {
+            if pos == bytes.len() {
+                break pos;
+            }
+            let record = read_record_at(&bytes, pos);
+            let Some((record, next)) = record else {
+                break pos;
+            };
+            match index.get(&record.digest) {
+                Some(existing) if existing.rows != record.rows => {
+                    // Two *committed* records disagree: not a torn tail
+                    // (the checksum held) but a genuine inconsistency.
+                    return Err(StoreError::DigestCollision {
+                        digest: record.digest,
+                    });
+                }
+                Some(_) => {
+                    // A crash between lookup and append in another process
+                    // can duplicate a record; identical content is harmless.
+                }
+                None => order.push(record.digest),
+            }
+            index.insert(record.digest, record);
+            pos = next;
+        };
+        let truncated = (bytes.len() - end) as u64;
+        if truncated > 0 {
+            file.set_len(end as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(Store {
+            file,
+            path: path.to_path_buf(),
+            index,
+            order,
+            end: end as u64,
+            truncated,
+        })
+    }
+
+    /// The record for `canonical`, or `None` when the class has not been
+    /// synthesized yet.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::DigestCollision`] when a record shares the digest
+    /// but stores a different truth table.
+    pub fn get(&self, canonical: &Spec) -> Result<Option<&StoredCircuit>, StoreError> {
+        let digest = spec_digest(canonical);
+        match self.index.get(&digest) {
+            None => Ok(None),
+            Some(r) if r.matches_spec(canonical) => Ok(Some(r)),
+            Some(_) => Err(StoreError::DigestCollision { digest }),
+        }
+    }
+
+    /// Appends `record`, fsync'd, and indexes it. Results are write-once:
+    /// an identical-spec record already present is left alone
+    /// ([`PutOutcome::AlreadyPresent`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::DigestCollision`] when a different truth table
+    /// already owns the digest; [`StoreError::Injected`] when the seeded
+    /// `store.append` fault fires (retryable, nothing written);
+    /// [`StoreError::Io`] on filesystem failures (the log is rolled back
+    /// to its last committed record first, so a failed put never leaves
+    /// partial bytes behind).
+    pub fn put(&mut self, record: StoredCircuit) -> Result<PutOutcome, StoreError> {
+        if qsyn_faults::hit(qsyn_faults::Site::StoreAppend).is_some() {
+            return Err(StoreError::Injected);
+        }
+        match self.index.get(&record.digest) {
+            Some(existing) if existing.rows == record.rows => {
+                return Ok(PutOutcome::AlreadyPresent)
+            }
+            Some(_) => {
+                return Err(StoreError::DigestCollision {
+                    digest: record.digest,
+                })
+            }
+            None => {}
+        }
+        let payload = encode_record(&record);
+        let mut framed = Vec::with_capacity(payload.len() + 12);
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        framed.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        // One write call for the whole frame: a crash window tears at most
+        // this record, which open() then truncates away.
+        let written = self
+            .file
+            .write_all(&framed)
+            .and_then(|()| self.file.sync_data());
+        if let Err(e) = written {
+            // Roll back any partial bytes so the in-memory view and the
+            // log stay consistent; if even that fails the next open()'s
+            // torn-tail repair handles it.
+            let _ = self.file.set_len(self.end);
+            let _ = self.file.seek(SeekFrom::End(0));
+            return Err(StoreError::Io(e));
+        }
+        self.end += framed.len() as u64;
+        self.order.push(record.digest);
+        self.index.insert(record.digest, record);
+        Ok(PutOutcome::Inserted)
+    }
+
+    /// Number of stored equivalence classes.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` when no record is stored.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Committed size of the log in bytes (magic included).
+    pub fn file_bytes(&self) -> u64 {
+        self.end
+    }
+
+    /// Bytes dropped by torn-tail repair when this handle opened the
+    /// store (0 for a clean log).
+    pub fn truncated_tail_bytes(&self) -> u64 {
+        self.truncated
+    }
+
+    /// The store's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Every record, in insertion (log) order.
+    pub fn records(&self) -> impl Iterator<Item = &StoredCircuit> {
+        self.order.iter().filter_map(|d| self.index.get(d))
+    }
+
+    /// Deep-verifies every record: the `.real` text parses, the circuit's
+    /// line count, gate count and quantum cost match the stored metadata,
+    /// and simulating the circuit through the stored permutation
+    /// reproduces the canonical truth table on every cared bit.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] naming the first record that fails.
+    pub fn verify(&self) -> Result<(), StoreError> {
+        for r in self.records() {
+            let bad = |detail: String| StoreError::Corrupt { offset: 0, detail };
+            let circuit = real::parse_real(&r.circuit)
+                .map_err(|e| bad(format!("record {} ({:016x}): {e}", r.name, r.digest)))?;
+            if circuit.lines() != r.lines {
+                return Err(bad(format!(
+                    "record {}: circuit has {} lines, spec {}",
+                    r.name,
+                    circuit.lines(),
+                    r.lines
+                )));
+            }
+            if circuit.len() as u32 != r.depth {
+                return Err(bad(format!(
+                    "record {}: circuit has {} gates, metadata says {}",
+                    r.name,
+                    circuit.len(),
+                    r.depth
+                )));
+            }
+            if cost::circuit_cost(&circuit) != r.quantum_cost {
+                return Err(bad(format!(
+                    "record {}: quantum cost {} != stored {}",
+                    r.name,
+                    cost::circuit_cost(&circuit),
+                    r.quantum_cost
+                )));
+            }
+            if r.permutation.len() != r.lines as usize {
+                return Err(bad(format!(
+                    "record {}: permutation length {} != {} lines",
+                    r.name,
+                    r.permutation.len(),
+                    r.lines
+                )));
+            }
+            let spec = r.spec()?;
+            if spec_digest(&spec) != r.digest {
+                return Err(bad(format!(
+                    "record {}: stored digest {:016x} != digest of stored rows",
+                    r.name, r.digest
+                )));
+            }
+            for row in 0..spec.num_rows() as u32 {
+                let out = circuit.simulate(row);
+                let sr = spec.row(row);
+                for (j, &p) in r.permutation.iter().enumerate() {
+                    let bit = 1u32 << j;
+                    if sr.care & bit != 0 && (out >> p) & 1 != (sr.value >> j) & 1 {
+                        return Err(bad(format!(
+                            "record {}: circuit does not realize its spec (row {row}, line {j})",
+                            r.name
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reads the record framed at `pos`; `Some((record, next_pos))` when the
+/// frame is whole and valid, `None` when it is torn or corrupt.
+fn read_record_at(bytes: &[u8], pos: usize) -> Option<(StoredCircuit, usize)> {
+    let len_bytes = bytes.get(pos..pos + 4)?;
+    let len = u32::from_le_bytes(len_bytes.try_into().expect("4-byte slice")) as usize;
+    if len as u32 > MAX_RECORD_BYTES {
+        return None;
+    }
+    let payload = bytes.get(pos + 4..pos + 4 + len)?;
+    let checksum_bytes = bytes.get(pos + 4 + len..pos + 12 + len)?;
+    let checksum = u64::from_le_bytes(checksum_bytes.try_into().expect("8-byte slice"));
+    if fnv1a(payload) != checksum {
+        return None;
+    }
+    let record = decode_record(payload)?;
+    Some((record, pos + 12 + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use qsyn_revlogic::Permutation;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("qsyn-store-{tag}-{}.qstore", std::process::id()))
+    }
+
+    /// A CNOT record over the x2 ^= x1 spec, with a tweakable name.
+    fn cnot_record(name: &str) -> StoredCircuit {
+        let spec = Spec::from_permutation(&Permutation::from_map(2, vec![0, 3, 2, 1]));
+        StoredCircuit::for_spec(
+            &spec,
+            name,
+            1,
+            1,
+            1,
+            true,
+            vec![0, 1],
+            ".numvars 2\n.variables x1 x2\n.begin\nt2 x1 x2\n.end\n".to_string(),
+        )
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A structurally arbitrary record (not semantically valid — exactly
+    /// what serialization must round-trip regardless).
+    fn random_record(seed: u64) -> StoredCircuit {
+        let mut s = seed;
+        let rows = (0..(splitmix(&mut s) % 16))
+            .map(|_| (splitmix(&mut s) as u32, splitmix(&mut s) as u32))
+            .collect();
+        let permutation = (0..(splitmix(&mut s) % 8)).map(|i| i as u32).collect();
+        StoredCircuit {
+            digest: splitmix(&mut s),
+            name: format!("job-{}\"\\‖\n", splitmix(&mut s) % 100),
+            lines: (splitmix(&mut s) % 9) as u32,
+            rows,
+            depth: (splitmix(&mut s) % 40) as u32,
+            quantum_cost: splitmix(&mut s),
+            solution_count: u128::from(splitmix(&mut s)) << 64 | u128::from(splitmix(&mut s)),
+            count_is_exact: splitmix(&mut s) & 1 == 0,
+            permutation,
+            circuit: format!(".numvars 2\n# {}\n.begin\n.end\n", splitmix(&mut s)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Record serialization round-trips bit-exactly for arbitrary
+        /// field contents, including non-ASCII names and wide counts.
+        fn record_serialization_round_trips(seed in any::<u64>()) {
+            let r = random_record(seed);
+            let payload = encode_record(&r);
+            prop_assert_eq!(decode_record(&payload), Some(r));
+        }
+
+        /// Any strict prefix of a payload fails to decode — a torn record
+        /// can never be mistaken for a shorter valid one.
+        fn truncated_payloads_never_decode(seed in any::<u64>(), cut_permille in 0u32..1000) {
+            let r = random_record(seed);
+            let payload = encode_record(&r);
+            let cut = payload.len() * cut_permille as usize / 1000;
+            prop_assert!(cut < payload.len());
+            prop_assert_eq!(decode_record(&payload[..cut]), None);
+        }
+
+        /// Kill-at-any-byte: truncating the store file at a random byte
+        /// and reopening recovers exactly the records whose frames fully
+        /// survive, physically truncates the torn tail, and leaves the
+        /// store appendable.
+        fn torn_tail_recovery(seed in any::<u64>(), cut_permille in 0u32..1000) {
+            let path = temp_path(&format!("torn-{seed}-{cut_permille}"));
+            let _ = std::fs::remove_file(&path);
+            let mut frame_ends = vec![MAGIC.len() as u64];
+            {
+                let mut store = Store::open(&path).unwrap();
+                for i in 0..3u64 {
+                    let mut r = random_record(seed ^ (i.wrapping_mul(0x9e37)));
+                    r.digest = i; // distinct digests, no accidental dedup
+                    store.put(r).unwrap();
+                    frame_ends.push(store.file_bytes());
+                }
+            }
+            let full = std::fs::read(&path).unwrap();
+            let cut = MAGIC.len()
+                + (full.len() - MAGIC.len()) * cut_permille as usize / 1000;
+            std::fs::write(&path, &full[..cut]).unwrap();
+
+            let mut store = Store::open(&path).unwrap();
+            let survivors = frame_ends
+                .iter()
+                .filter(|&&end| end > MAGIC.len() as u64 && end <= cut as u64)
+                .count();
+            prop_assert_eq!(store.len(), survivors, "cut at byte {}", cut);
+            // The torn tail is physically gone: the file now ends at the
+            // last whole frame.
+            let consistent_end = frame_ends
+                .iter()
+                .filter(|&&end| end <= cut as u64)
+                .max()
+                .copied()
+                .unwrap();
+            prop_assert_eq!(store.file_bytes(), consistent_end);
+            prop_assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                consistent_end
+            );
+            // And the log is appendable: a fresh record lands cleanly and
+            // survives another reopen.
+            let mut fresh = random_record(!seed);
+            fresh.digest = 99;
+            store.put(fresh.clone()).unwrap();
+            drop(store);
+            let store = Store::open(&path).unwrap();
+            prop_assert_eq!(store.truncated_tail_bytes(), 0);
+            prop_assert_eq!(store.len(), survivors + 1);
+            prop_assert_eq!(store.records().last(), Some(&fresh));
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn open_put_get_survives_reopen() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let record = cnot_record("cnot");
+        let spec = record.spec().unwrap();
+        {
+            let mut store = Store::open(&path).unwrap();
+            assert!(store.is_empty());
+            assert_eq!(store.put(record.clone()).unwrap(), PutOutcome::Inserted);
+            assert_eq!(store.get(&spec).unwrap(), Some(&record));
+        }
+        let store = Store::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.truncated_tail_bytes(), 0);
+        assert_eq!(store.get(&spec).unwrap(), Some(&record));
+        store.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn results_are_write_once() {
+        let path = temp_path("write-once");
+        let _ = std::fs::remove_file(&path);
+        let mut store = Store::open(&path).unwrap();
+        store.put(cnot_record("first")).unwrap();
+        let bytes = store.file_bytes();
+        // Same class again (even under a different name): nothing written.
+        assert_eq!(
+            store.put(cnot_record("second")).unwrap(),
+            PutOutcome::AlreadyPresent
+        );
+        assert_eq!(store.file_bytes(), bytes);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.records().next().unwrap().name, "first");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn digest_collisions_are_rejected_not_conflated() {
+        let path = temp_path("collision");
+        let _ = std::fs::remove_file(&path);
+        let mut store = Store::open(&path).unwrap();
+        let record = cnot_record("cnot");
+        store.put(record.clone()).unwrap();
+        // A *different* function forced onto the same digest: put refuses.
+        let swap = Spec::from_permutation(&Permutation::from_map(2, vec![0, 2, 1, 3]));
+        let mut forged = StoredCircuit::for_spec(
+            &swap,
+            "forged",
+            3,
+            3,
+            1,
+            true,
+            vec![0, 1],
+            record.circuit.clone(),
+        );
+        forged.digest = record.digest;
+        assert!(matches!(
+            store.put(forged),
+            Err(StoreError::DigestCollision { .. })
+        ));
+        // And a lookup whose spec disagrees with the stored rows refuses
+        // too, instead of serving the wrong circuit. Simulate by editing
+        // the indexed record's rows through a crafted log.
+        drop(store);
+        let mut tampered = record.clone();
+        tampered.rows[1].0 ^= 1; // rows no longer match the digest's spec
+        let payload = encode_record(&tampered);
+        let mut framed = Vec::new();
+        framed.extend_from_slice(MAGIC);
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        framed.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        std::fs::write(&path, framed).unwrap();
+        let store = Store::open(&path).unwrap();
+        assert!(matches!(
+            store.get(&record.spec().unwrap()),
+            Err(StoreError::DigestCollision { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn committed_records_disagreeing_fail_open() {
+        let path = temp_path("disagree");
+        let _ = std::fs::remove_file(&path);
+        let a = cnot_record("a");
+        let mut b = a.clone();
+        b.rows[0].0 ^= 2; // same digest field, different truth table
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        for r in [&a, &b] {
+            let payload = encode_record(r);
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+            bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        }
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            Store::open(&path),
+            Err(StoreError::DigestCollision { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt_not_truncated() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"NOTQSYN0rest").unwrap();
+        assert!(matches!(
+            Store::open(&path),
+            Err(StoreError::Corrupt { offset: 0, .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn verify_flags_tampered_records() {
+        let path = temp_path("verify");
+        let _ = std::fs::remove_file(&path);
+        let mut bad = cnot_record("bad");
+        bad.depth = 7; // metadata no longer matches the circuit
+        let payload = encode_record(&bad);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        let store = Store::open(&path).unwrap();
+        let err = store.verify().unwrap_err();
+        assert!(err.to_string().contains("gates"), "{err}");
+        assert!(!err.is_retryable());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn count_display_matches_solution_set_convention() {
+        let mut r = cnot_record("c");
+        r.solution_count = 24;
+        r.count_is_exact = true;
+        assert_eq!(r.count_display(), "24");
+        r.count_is_exact = false;
+        r.solution_count = 1;
+        assert_eq!(r.count_display(), "≥1");
+    }
+}

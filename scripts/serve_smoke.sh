@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Serve-smoke: end-to-end check of the `qsyn serve` / `qsyn query` /
+# `qsyn store` surface over a real TCP socket (CI runs this; it is also
+# handy locally). The sequence mirrors the PR 6 acceptance criteria:
+#
+#   1. boot a daemon on an ephemeral port against a fresh store,
+#   2. cold miss (engine), repeat (store hit), STATS counter check,
+#   3. SIGKILL the daemon mid-flight and verify the store reopens
+#      cleanly (`qsyn store verify`),
+#   4. restart with `--preload`, prove the repeat answers with ZERO
+#      engine invocations, and shut down over the wire.
+#
+# Usage: scripts/serve_smoke.sh   (expects target/release/qsyn; override
+# with QSYN=path/to/qsyn)
+set -euo pipefail
+
+QSYN=${QSYN:-target/release/qsyn}
+DIR=$(mktemp -d)
+DAEMON=""
+trap '[ -n "$DAEMON" ] && kill -9 "$DAEMON" 2>/dev/null; rm -rf "$DIR"' EXIT
+STORE="$DIR/smoke.store"
+
+wait_ready() {
+  for _ in $(seq 1 150); do
+    grep -q "listening on " "$1" && return 0
+    sleep 0.2
+  done
+  echo "serve-smoke: daemon never became ready" >&2
+  cat "$1" >&2
+  return 1
+}
+
+step() { echo "serve-smoke: $*"; }
+
+step "boot (fresh store)"
+"$QSYN" serve 127.0.0.1:0 --store "$STORE" --jobs 1 >"$DIR/serve1.log" 2>&1 &
+DAEMON=$!
+wait_ready "$DIR/serve1.log"
+ADDR=$(awk '/listening on /{print $3; exit}' "$DIR/serve1.log")
+
+step "ping $ADDR"
+"$QSYN" query "$ADDR" --ping
+
+step "cold miss synthesizes"
+"$QSYN" query "$ADDR" 3_17 | grep "(engine in"
+
+step "repeat answers from the store"
+"$QSYN" query "$ADDR" 3_17 | grep "(store in"
+
+step "counters agree (1 engine invocation, 1 hit)"
+STATS=$("$QSYN" query "$ADDR" --stats)
+echo "$STATS"
+echo "$STATS" | grep -q "engine invocations: 1"
+echo "$STATS" | grep -q "1 hits"
+
+step "SIGKILL the daemon"
+kill -9 "$DAEMON"
+wait "$DAEMON" 2>/dev/null || true
+DAEMON=""
+
+step "killed daemon's store verifies"
+"$QSYN" store verify "$STORE"
+
+step "restart with --preload on the survived store"
+echo 3_17 >"$DIR/preload.list"
+"$QSYN" serve 127.0.0.1:0 --store "$STORE" --preload "$DIR/preload.list" --jobs 1 \
+  >"$DIR/serve2.log" 2>&1 &
+DAEMON=$!
+wait_ready "$DIR/serve2.log"
+ADDR=$(awk '/listening on /{print $3; exit}' "$DIR/serve2.log")
+grep -q "preloaded 1 jobs (0 failed)" "$DIR/serve2.log"
+
+step "repeat after restart never touches an engine"
+"$QSYN" query "$ADDR" 3_17 | grep "(store in"
+STATS=$("$QSYN" query "$ADDR" --stats)
+echo "$STATS"
+echo "$STATS" | grep -q "engine invocations: 0"
+
+step "shutdown over the wire"
+"$QSYN" query "$ADDR" --shutdown
+wait "$DAEMON" 2>/dev/null || true
+DAEMON=""
+
+echo "serve-smoke: ok"

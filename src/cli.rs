@@ -14,23 +14,30 @@
 //! * `audit [files…] [--self-test]` — run the invariant auditors over
 //!   `.real` / `.cnf` / `.qdimacs` files, or over seeded self-test
 //!   corruptions,
+//! * `serve <addr>` — long-running synthesis daemon: newline-delimited
+//!   JSON over TCP, answering repeats from a persistent circuit database,
+//! * `query <addr> …` — one-shot client for a running daemon,
+//! * `store verify|stats <file>` — inspect a circuit database offline,
 //! * `list` — list the built-in benchmarks.
 //!
 //! The argument grammar is deliberately tiny and fully testable; see
 //! [`Command::parse`].
 
-use crate::portfolio::cache::SpecCache;
+use crate::portfolio::cache::{canonicalize, SpecCache};
 use crate::portfolio::journal::{job_key, read_journal, Fnv1a, JournalRecord, JournalWriter};
 use crate::portfolio::race::{race_engines, race_engines_permuted};
 use crate::portfolio::scheduler::{run_batch, BatchConfig, JobStatus};
 use crate::revlogic::{benchmarks, cost, real, spec_format, GateLibrary, Spec};
+use crate::serve::{protocol, roundtrip, serve_tcp, ServeConfig, ServeCore};
+use crate::store::{Store, StoredCircuit};
 use crate::synth::permuted::PermutedSynthesisResult;
 use crate::synth::{
     equivalence, permuted, run_with_retry, synthesize, Attempt, CancelToken, Engine, RetryPolicy,
-    SynthesisError, SynthesisOptions, SynthesisSession,
+    SolutionSet, SynthesisError, SynthesisOptions, SynthesisResult, SynthesisSession,
 };
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A parsed command line.
@@ -59,6 +66,9 @@ pub enum Command {
         /// Skip jobs already completed in the journal (`--resume`),
         /// replaying their recorded rows instead of re-running them.
         resume: bool,
+        /// Persistent circuit database (`--store FILE`): hits replay the
+        /// stored record without an engine, fresh results are appended.
+        store: Option<String>,
         /// Synthesis configuration shared by every job (`--timeout` is
         /// enforced per job).
         config: SynthConfig,
@@ -96,6 +106,39 @@ pub enum Command {
         /// accept a clean artifact and reject a seeded corruption.
         self_test: bool,
     },
+    /// `serve <addr>`: run the synthesis daemon on a TCP address.
+    Serve {
+        /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port;
+        /// the bound address is printed).
+        addr: String,
+        /// Persistent circuit database (`--store FILE`); omitted, the
+        /// daemon serves from memory only.
+        store: Option<String>,
+        /// Warm-start target (`--preload <suite|dir|list>`, the `batch`
+        /// target grammar): synthesized or store-loaded before the
+        /// listener accepts connections.
+        preload: Option<String>,
+        /// Synthesis worker threads (`--jobs N`).
+        jobs: usize,
+        /// Cold-miss queue bound for admission control (`--queue N`).
+        queue: usize,
+        /// Engine configuration for cold misses (single engine only).
+        config: SynthConfig,
+    },
+    /// `query <addr> …`: one-shot client for a running daemon.
+    Query {
+        /// Daemon address.
+        addr: String,
+        /// What to ask.
+        action: QueryAction,
+    },
+    /// `store verify|stats <file>`: offline circuit-database inspection.
+    Store {
+        /// Subcommand action.
+        action: StoreAction,
+        /// Database file path.
+        path: String,
+    },
     /// `list`.
     List,
     /// `help` (also `-h`, `--help`).
@@ -109,6 +152,36 @@ pub enum Source {
     File(String),
     /// A built-in benchmark name.
     Benchmark(String),
+}
+
+/// What `qsyn query` asks a running daemon.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryAction {
+    /// Synthesize a benchmark name or `.spec` file (resolved in that
+    /// order), optionally labeled with `--name`.
+    Synth {
+        /// Benchmark name or spec file path.
+        target: String,
+        /// Job label (`--name`), defaulting to the benchmark name or the
+        /// spec file stem.
+        name: Option<String>,
+    },
+    /// `--stats`: counters and latency percentiles.
+    Stats,
+    /// `--ping`: liveness probe.
+    Ping,
+    /// `--shutdown`: ask the daemon to drain and exit.
+    Shutdown,
+}
+
+/// What `qsyn store` does with a database file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreAction {
+    /// Re-simulate every record against its specification and re-derive
+    /// every digest; exit 0 only if the whole database checks out.
+    Verify,
+    /// Print record/byte counts and one line per stored circuit.
+    Stats,
 }
 
 /// Decision-engine selection (`--engine bdd|qbf|sat|race`).
@@ -261,6 +334,14 @@ USAGE:
                                        .real/.cnf/.qdimacs files; --self-test
                                        seeds corruptions and checks every
                                        auditor family rejects them
+  qsyn serve <addr> [OPTIONS]          run the synthesis daemon (newline-
+                                       delimited JSON over TCP); repeats are
+                                       answered from the circuit database
+                                       without running an engine
+  qsyn query <addr> <bench|file.spec> [--name N]
+  qsyn query <addr> --stats|--ping|--shutdown
+                                       one-shot client for a running daemon
+  qsyn store verify|stats <file>       check or summarize a circuit database
   qsyn list                            list built-in benchmarks
 
 OPTIONS (synth/bench/batch):
@@ -290,11 +371,29 @@ OPTIONS (batch only):
                              JSONL), enabling crash-safe resume
   --resume                   skip jobs already recorded in --journal,
                              replaying their rows from the journal
+  --store FILE               persistent circuit database: jobs whose
+                             equivalence class is stored replay the record
+                             without an engine; fresh results are appended
 
   `batch` targets: the literal `suite` (built-in benchmarks), a directory
   of `.spec` files, or a text file with one benchmark name or spec path
   per line. Batch jobs always synthesize with free output permutation, so
   equivalent specs share one cache entry.
+
+OPTIONS (serve only):
+  --store FILE               persistent circuit database (crash-safe,
+                             append-only; reopened state is served as hits)
+  --preload <suite|dir|list> warm the index before accepting connections
+                             (batch target grammar)
+  --jobs N                   synthesis worker threads    [default: 2]
+  --queue N                  cold-miss queue bound; a full queue bounces
+                             requests as retryable       [default: 64]
+  --stats                    print final counters on shutdown
+
+  `serve` also accepts `--engine bdd|qbf|sat`, `--library`,
+  `--mixed-polarity`, `--max-depth` and `--timeout` (the per-request
+  wall-clock budget). Daemon answers always allow free output relabeling,
+  like `batch`.
 ";
 
 impl Command {
@@ -380,6 +479,7 @@ impl Command {
                 let mut no_cache = false;
                 let mut journal = None;
                 let mut resume = false;
+                let mut store = None;
                 while let Some(flag) = args.next() {
                     match flag.as_str() {
                         "--jobs" => {
@@ -394,6 +494,9 @@ impl Command {
                             journal = Some(args.next().ok_or("--journal needs a file")?);
                         }
                         "--resume" => resume = true,
+                        "--store" => {
+                            store = Some(args.next().ok_or("--store needs a file")?);
+                        }
                         _ => {
                             if !parse_synth_flag(&flag, &mut args, &mut config)? {
                                 return Err(format!("unknown option `{flag}`"));
@@ -410,8 +513,129 @@ impl Command {
                     no_cache,
                     journal,
                     resume,
+                    store,
                     config,
                 })
+            }
+            "serve" => {
+                let addr = args.next().ok_or("serve: missing bind address")?;
+                let mut config = SynthConfig::default();
+                let mut store = None;
+                let mut preload = None;
+                let mut jobs = 2usize;
+                let mut queue = 64usize;
+                while let Some(flag) = args.next() {
+                    match flag.as_str() {
+                        "--store" => {
+                            store = Some(args.next().ok_or("--store needs a file")?);
+                        }
+                        "--preload" => {
+                            preload = Some(args.next().ok_or("--preload needs a target")?);
+                        }
+                        "--jobs" => {
+                            let v = args.next().ok_or("--jobs needs a value")?;
+                            jobs = v.parse().map_err(|_| format!("bad job count `{v}`"))?;
+                            if jobs == 0 {
+                                return Err("--jobs must be at least 1".to_string());
+                            }
+                        }
+                        "--queue" => {
+                            let v = args.next().ok_or("--queue needs a value")?;
+                            queue = v.parse().map_err(|_| format!("bad queue bound `{v}`"))?;
+                            if queue == 0 {
+                                return Err("--queue must be at least 1".to_string());
+                            }
+                        }
+                        _ => {
+                            if !parse_synth_flag(&flag, &mut args, &mut config)? {
+                                return Err(format!("unknown option `{flag}`"));
+                            }
+                        }
+                    }
+                }
+                if config.engine == EngineChoice::Race {
+                    return Err("serve: --engine race is not supported; pick one engine".into());
+                }
+                for (set, flag) in [
+                    (config.all, "--all"),
+                    (config.output.is_some(), "-o"),
+                    (config.heuristic, "--heuristic"),
+                    (config.retries != 0, "--retries"),
+                    (!config.ladder.is_empty(), "--ladder"),
+                    (config.fault_seed.is_some(), "--fault-seed"),
+                ] {
+                    if set {
+                        return Err(format!("serve does not take {flag}"));
+                    }
+                }
+                Ok(Command::Serve {
+                    addr,
+                    store,
+                    preload,
+                    jobs,
+                    queue,
+                    config,
+                })
+            }
+            "query" => {
+                let addr = args.next().ok_or("query: missing daemon address")?;
+                let mut target = None;
+                let mut name = None;
+                let mut verb: Option<QueryAction> = None;
+                while let Some(arg) = args.next() {
+                    match arg.as_str() {
+                        "--stats" => verb = Some(QueryAction::Stats),
+                        "--ping" => verb = Some(QueryAction::Ping),
+                        "--shutdown" => verb = Some(QueryAction::Shutdown),
+                        "--name" => {
+                            name = Some(args.next().ok_or("--name needs a value")?);
+                        }
+                        flag if flag.starts_with('-') => {
+                            return Err(format!("unknown option `{flag}`"))
+                        }
+                        _ => {
+                            if target.is_none() {
+                                target = Some(arg);
+                            } else {
+                                return Err(format!("unexpected argument `{arg}`"));
+                            }
+                        }
+                    }
+                }
+                let action =
+                    match (target, verb) {
+                        (Some(target), None) => QueryAction::Synth { target, name },
+                        (None, Some(v)) => {
+                            if name.is_some() {
+                                return Err("--name only applies to synthesis queries".to_string());
+                            }
+                            v
+                        }
+                        (Some(_), Some(_)) => {
+                            return Err(
+                                "query takes a target or --stats/--ping/--shutdown, not both"
+                                    .to_string(),
+                            )
+                        }
+                        (None, None) => return Err(
+                            "query: nothing to ask (give a target or --stats/--ping/--shutdown)"
+                                .to_string(),
+                        ),
+                    };
+                Ok(Command::Query { addr, action })
+            }
+            "store" => {
+                let action = match args.next().as_deref() {
+                    Some("verify") => StoreAction::Verify,
+                    Some("stats") => StoreAction::Stats,
+                    Some(other) => {
+                        return Err(format!("store: unknown action `{other}` (verify|stats)"))
+                    }
+                    None => return Err("store: missing action (verify|stats)".to_string()),
+                };
+                let path = args.next().ok_or("store: missing database file")?;
+                reject_extra(args)?;
+                Ok(Command::Store { action, path })
             }
             other => Err(format!("unknown command `{other}` (try `qsyn help`)")),
         }
@@ -614,6 +838,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             no_cache,
             journal,
             resume,
+            store,
             config,
         } => run_batch_command(
             target,
@@ -621,9 +846,28 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             *no_cache,
             journal.as_deref(),
             *resume,
+            store.as_deref(),
             config,
             out,
         ),
+        Command::Serve {
+            addr,
+            store,
+            preload,
+            jobs,
+            queue,
+            config,
+        } => run_serve(
+            addr,
+            store.as_deref(),
+            preload.as_deref(),
+            *jobs,
+            *queue,
+            config,
+            out,
+        ),
+        Command::Query { addr, action } => run_query(addr, action, out),
+        Command::Store { action, path } => run_store_command(*action, path, out),
     }
 }
 
@@ -1034,16 +1278,28 @@ fn result_digest(p: &PermutedSynthesisResult) -> String {
     format!("{:016x}", h.finish())
 }
 
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn run_batch_command(
     target: &str,
     jobs: usize,
     no_cache: bool,
     journal: Option<&str>,
     resume: bool,
+    store_path: Option<&str>,
     config: &SynthConfig,
     out: &mut dyn std::io::Write,
 ) -> std::io::Result<i32> {
+    if store_path.is_some() && (config.library != "mct" || config.mixed_polarity) {
+        // Store records are keyed by canonical spec alone; replaying an
+        // mct-minimal circuit into a run that asked for another gate
+        // library would answer with out-of-library gates or a wrong
+        // minimum. Key-per-library is a ROADMAP item.
+        return fail(
+            out,
+            "--store is keyed by spec only and holds mct-library circuits; \
+             it cannot be combined with --library or --mixed-polarity",
+        );
+    }
     let work = match batch_jobs(target) {
         Ok(w) => w,
         Err(e) => return fail(out, &e),
@@ -1062,6 +1318,19 @@ fn run_batch_command(
     } else {
         Some(SpecCache::new())
     };
+    // The persistent circuit database sits below the in-memory cache:
+    // only a class the cache has not seen this run consults the store,
+    // and only an engine-computed result is appended.
+    let store = match store_path {
+        Some(path) => match Store::open(std::path::Path::new(path)) {
+            Ok(s) => Some(Mutex::new(s)),
+            Err(e) => return fail(out, &format!("{path}: {e}")),
+        },
+        None => None,
+    };
+    let store_hits = AtomicU64::new(0);
+    let store_misses = AtomicU64::new(0);
+    let store_error: Mutex<Option<String>> = Mutex::new(None);
     let batch_config = BatchConfig {
         workers: jobs,
         per_job_timeout: config.timeout.map(Duration::from_secs),
@@ -1121,7 +1390,7 @@ fn run_batch_command(
         let job_started = Instant::now();
         // The ladder's engine override degrades a raced job to the one
         // named engine; undegraded attempts keep the configured choice.
-        let mut compute = |s: &Spec| {
+        let mut engine_compute = |s: &Spec| {
             if engine == EngineChoice::Race && attempt.engine.is_none() {
                 race_engines_permuted(s, &opts)
                     .map(|r| r.winner)
@@ -1129,6 +1398,18 @@ fn run_batch_command(
             } else {
                 permuted::synthesize_with_output_permutation_in(s, &opts, session)
             }
+        };
+        let compute = |s: &Spec| match &store {
+            Some(db) => store_or_compute(
+                db,
+                s,
+                &job.name,
+                &store_hits,
+                &store_misses,
+                &store_error,
+                engine_compute,
+            ),
+            None => engine_compute(s),
         };
         let result = match &cache {
             Some(c) => c.get_or_compute(&job.spec, compute),
@@ -1231,9 +1512,18 @@ fn run_batch_command(
         }
         None => String::new(),
     };
+    let store_note = match &store {
+        Some(db) => format!(
+            ", store {} hits / {} misses ({} records)",
+            store_hits.load(Ordering::SeqCst),
+            store_misses.load(Ordering::SeqCst),
+            db.lock().expect("store lock").len()
+        ),
+        None => String::new(),
+    };
     writeln!(
         out,
-        "{} jobs, {} ok, {} failed in {:.1?} ({} engine, {} worker{}{cache_note})",
+        "{} jobs, {} ok, {} failed in {:.1?} ({} engine, {} worker{}{cache_note}{store_note})",
         total_jobs,
         total_jobs - failed,
         failed,
@@ -1260,7 +1550,104 @@ fn run_batch_command(
     if let Some(e) = journal_error.into_inner().expect("journal error lock") {
         writeln!(out, "warning: journal write failed: {e}")?;
     }
+    if let Some(e) = store_error.into_inner().expect("store error lock") {
+        writeln!(out, "warning: store write failed: {e}")?;
+    }
     Ok(i32::from(failed > 0))
+}
+
+/// Output-permutation synthesis through the persistent circuit store: a
+/// stored record for the spec's equivalence class replays without any
+/// engine work; a fresh engine result is appended before it is reported
+/// (one retry on transient failures, and a final failure degrades to a
+/// warning — the batch answer is never lost to a store fault).
+fn store_or_compute<F>(
+    store: &Mutex<Store>,
+    spec: &Spec,
+    name: &str,
+    hits: &AtomicU64,
+    misses: &AtomicU64,
+    store_error: &Mutex<Option<String>>,
+    compute: F,
+) -> Result<PermutedSynthesisResult, SynthesisError>
+where
+    F: FnOnce(&Spec) -> Result<PermutedSynthesisResult, SynthesisError>,
+{
+    let canonical = canonicalize(spec);
+    let stored = {
+        let guard = store.lock().expect("store lock");
+        // A digest collision (or unreadable record) must not fail the
+        // job: treat it as a miss and synthesize fresh.
+        match guard.get(&canonical.spec) {
+            Ok(found) => found.cloned(),
+            Err(_) => None,
+        }
+    };
+    if let Some(record) = stored {
+        if let Some(p) = replay_record(&record, &canonical.witness) {
+            hits.fetch_add(1, Ordering::SeqCst);
+            return Ok(p);
+        }
+    }
+    misses.fetch_add(1, Ordering::SeqCst);
+    let p = compute(spec)?;
+    // Derive the canonical-class record. Canonical line `witness[j]`
+    // carries spec line `j`'s function, and circuit output
+    // `p.permutation[j]` drives spec line `j`, so the stored permutation
+    // `q` satisfies `q[witness[j]] = p.permutation[j]` (the inverse of
+    // the composition `SpecCache::get_or_compute` applies on replay).
+    let mut q = vec![0u32; p.permutation.len()];
+    for (j, &i) in canonical.witness.iter().enumerate() {
+        q[i as usize] = p.permutation[j];
+    }
+    let solutions = p.result.solutions();
+    let best = solutions.best_by_quantum_cost();
+    let record = StoredCircuit::for_spec(
+        &canonical.spec,
+        name,
+        p.result.depth(),
+        cost::circuit_cost(best),
+        solutions.count(),
+        solutions.count_is_exact(),
+        q,
+        real::write_real(best),
+    );
+    let mut guard = store.lock().expect("store lock");
+    let mut attempt = guard.put(record.clone());
+    if attempt
+        .as_ref()
+        .is_err_and(crate::store::StoreError::is_retryable)
+    {
+        attempt = guard.put(record);
+    }
+    if let Err(e) = attempt {
+        store_error
+            .lock()
+            .expect("store error lock")
+            .get_or_insert_with(|| format!("{name}: {e}"));
+    }
+    Ok(p)
+}
+
+/// Rebuilds a [`PermutedSynthesisResult`] from a stored record, composed
+/// for the spec whose canonicalization `witness` selected the record's
+/// class. `None` when the record is unusable (unparsable circuit or a
+/// permutation that does not cover the witness) — callers fall back to
+/// the engine.
+fn replay_record(record: &StoredCircuit, witness: &[u32]) -> Option<PermutedSynthesisResult> {
+    if record.solution_count == 0 {
+        return None;
+    }
+    let circuit = real::parse_real(&record.circuit).ok()?;
+    let permutation = witness
+        .iter()
+        .map(|&i| record.permutation.get(i as usize).copied())
+        .collect::<Option<Vec<u32>>>()?;
+    let solutions = SolutionSet::replayed(circuit, record.solution_count, record.count_is_exact);
+    Some(PermutedSynthesisResult {
+        result: SynthesisResult::replayed(solutions, record.depth, "store"),
+        permutation,
+    })
 }
 
 fn emit_circuits(
@@ -1296,6 +1683,244 @@ fn load_circuit(path: &str) -> Result<crate::revlogic::Circuit, String> {
 fn fail(out: &mut dyn std::io::Write, message: &str) -> std::io::Result<i32> {
     writeln!(out, "error: {message}")?;
     Ok(2)
+}
+
+/// Executes `qsyn serve`: opens the database, boots the daemon core
+/// (optionally warm-started via `--preload`), prints the bound address
+/// and serves the line protocol until a `shutdown` verb arrives.
+fn run_serve(
+    addr: &str,
+    store_path: Option<&str>,
+    preload: Option<&str>,
+    jobs: usize,
+    queue: usize,
+    config: &SynthConfig,
+    out: &mut dyn std::io::Write,
+) -> std::io::Result<i32> {
+    let library = match config.gate_library() {
+        Ok(l) => l,
+        Err(e) => return fail(out, &e),
+    };
+    let EngineChoice::Single(engine) = config.engine else {
+        return fail(
+            out,
+            "serve: --engine race is not supported; pick one engine",
+        );
+    };
+    if store_path.is_some() && (config.library != "mct" || config.mixed_polarity) {
+        // Same invariant as `batch --store`: records are keyed by
+        // canonical spec alone, so a persistent store must hold circuits
+        // from one gate library (the default). Key-per-library is a
+        // ROADMAP item. A store-less daemon may use any library: its
+        // in-memory index lives exactly as long as this configuration.
+        return fail(
+            out,
+            "--store is keyed by spec only and holds mct-library circuits; \
+             it cannot be combined with --library or --mixed-polarity",
+        );
+    }
+    let store = match store_path {
+        Some(path) => match Store::open(std::path::Path::new(path)) {
+            Ok(s) => {
+                if s.truncated_tail_bytes() > 0 {
+                    writeln!(
+                        out,
+                        "store: {path} recovered ({} records, {} torn tail bytes truncated)",
+                        s.len(),
+                        s.truncated_tail_bytes()
+                    )?;
+                } else {
+                    writeln!(out, "store: {path} ({} records)", s.len())?;
+                }
+                Some(s)
+            }
+            Err(e) => return fail(out, &format!("{path}: {e}")),
+        },
+        None => None,
+    };
+    let serve_config = ServeConfig {
+        workers: jobs,
+        queue_capacity: queue,
+        library,
+        engine,
+        max_depth: config.max_depth,
+        time_budget: config.timeout.map(Duration::from_secs),
+    };
+    let core = Arc::new(ServeCore::start(&serve_config, store));
+    if let Some(target) = preload {
+        let work = match batch_jobs(target) {
+            Ok(w) => w,
+            Err(e) => return fail(out, &e),
+        };
+        let (served, failed) = core.preload(&work);
+        writeln!(out, "preloaded {served} jobs ({failed} failed)")?;
+    }
+    let listener = match std::net::TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => return fail(out, &format!("{addr}: {e}")),
+    };
+    writeln!(out, "listening on {}", listener.local_addr()?)?;
+    // Smoke harnesses wait for that line through a pipe: flush before
+    // blocking in accept.
+    out.flush()?;
+    let snapshot = serve_tcp(listener, &core)?;
+    if config.stats {
+        writeln!(out, "{snapshot}")?;
+    }
+    Ok(0)
+}
+
+/// Executes `qsyn query`: one request line to a running daemon, one
+/// reply rendered for humans. Exit 0 on a served answer, 2 on daemon
+/// errors or connection failures.
+fn run_query(
+    addr: &str,
+    action: &QueryAction,
+    out: &mut dyn std::io::Write,
+) -> std::io::Result<i32> {
+    match action {
+        QueryAction::Ping => match roundtrip(addr, &protocol::render_verb_request("ping")) {
+            Ok(reply) if reply == protocol::render_pong() => {
+                writeln!(out, "pong")?;
+                Ok(0)
+            }
+            Ok(reply) => fail(out, &format!("unexpected reply: {reply}")),
+            Err(e) => fail(out, &format!("{addr}: {e}")),
+        },
+        QueryAction::Shutdown => {
+            match roundtrip(addr, &protocol::render_verb_request("shutdown")) {
+                Ok(reply) if reply == protocol::render_closing() => {
+                    writeln!(out, "daemon closing")?;
+                    Ok(0)
+                }
+                Ok(reply) => fail(out, &format!("unexpected reply: {reply}")),
+                Err(e) => fail(out, &format!("{addr}: {e}")),
+            }
+        }
+        QueryAction::Stats => match roundtrip(addr, &protocol::render_verb_request("stats")) {
+            Ok(reply) => match protocol::parse_stats(&reply) {
+                Some(s) => {
+                    writeln!(out, "{s}")?;
+                    Ok(0)
+                }
+                None => fail(out, &format!("unexpected reply: {reply}")),
+            },
+            Err(e) => fail(out, &format!("{addr}: {e}")),
+        },
+        QueryAction::Synth { target, name } => {
+            // A benchmark name is sent by name (the daemon owns the
+            // suite); anything else must be a readable `.spec` file,
+            // validated locally so malformed input fails before the wire.
+            let (spec_text, bench, default_name);
+            if benchmarks::by_name(target).is_some() {
+                (spec_text, bench, default_name) = (None, Some(target.as_str()), target.clone());
+            } else {
+                let text = match std::fs::read_to_string(target) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        return fail(
+                            out,
+                            &format!(
+                                "`{target}` is neither a benchmark name nor a readable \
+                                 spec file ({e})"
+                            ),
+                        )
+                    }
+                };
+                if let Err(e) = spec_format::parse_spec(&text) {
+                    return fail(out, &format!("{target}: {e}"));
+                }
+                let stem = std::path::Path::new(target)
+                    .file_stem()
+                    .map_or_else(|| target.clone(), |s| s.to_string_lossy().into_owned());
+                (spec_text, bench, default_name) = (Some(text), None, stem);
+            }
+            let label = name.clone().unwrap_or(default_name);
+            let line = protocol::render_synth_request(Some(&label), spec_text.as_deref(), bench);
+            let reply = match roundtrip(addr, &line) {
+                Ok(r) => r,
+                Err(e) => return fail(out, &format!("{addr}: {e}")),
+            };
+            if let Some(r) = protocol::parse_synth_reply(&reply) {
+                writeln!(
+                    out,
+                    "{}: {} gates, {} solutions, quantum cost {}, permutation {:?} \
+                     ({} in {}µs)",
+                    r.name,
+                    r.depth,
+                    r.solutions,
+                    r.quantum_cost,
+                    r.permutation,
+                    r.source,
+                    r.elapsed_us
+                )?;
+                write!(out, "{}", r.circuit)?;
+                Ok(0)
+            } else if let Some((message, retryable)) = protocol::parse_error(&reply) {
+                let suffix = if retryable { " (retryable)" } else { "" };
+                fail(out, &format!("{message}{suffix}"))
+            } else {
+                fail(out, &format!("unexpected reply: {reply}"))
+            }
+        }
+    }
+}
+
+/// Executes `qsyn store verify|stats`: offline inspection of a circuit
+/// database. `verify` exits 0 only when every record checks out (exit 1
+/// on a verification failure, 2 on an unreadable file); `stats` prints
+/// counts plus one deterministic line per record.
+fn run_store_command(
+    action: StoreAction,
+    path: &str,
+    out: &mut dyn std::io::Write,
+) -> std::io::Result<i32> {
+    let store = match Store::open(std::path::Path::new(path)) {
+        Ok(s) => s,
+        Err(e) => return fail(out, &format!("{path}: {e}")),
+    };
+    match action {
+        StoreAction::Verify => match store.verify() {
+            Ok(()) => {
+                writeln!(
+                    out,
+                    "ok: {} records, {} bytes ({} torn tail bytes truncated on open)",
+                    store.len(),
+                    store.file_bytes(),
+                    store.truncated_tail_bytes()
+                )?;
+                Ok(0)
+            }
+            Err(e) => {
+                writeln!(out, "FAILED: {e}")?;
+                Ok(1)
+            }
+        },
+        StoreAction::Stats => {
+            writeln!(out, "records: {}", store.len())?;
+            writeln!(out, "bytes: {}", store.file_bytes())?;
+            writeln!(
+                out,
+                "torn tail truncated: {} bytes",
+                store.truncated_tail_bytes()
+            )?;
+            for r in store.records() {
+                writeln!(
+                    out,
+                    "{:016x} {:<12} {} lines, {} gates, {} solutions, quantum cost {}, \
+                     permutation {:?}",
+                    r.digest,
+                    r.name,
+                    r.lines,
+                    r.depth,
+                    r.count_display(),
+                    r.quantum_cost,
+                    r.permutation
+                )?;
+            }
+            Ok(0)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1387,6 +2012,7 @@ mod tests {
             no_cache,
             journal,
             resume,
+            store,
             config,
         } = cmd
         else {
@@ -1397,6 +2023,7 @@ mod tests {
         assert!(no_cache);
         assert_eq!(journal, None);
         assert!(!resume);
+        assert_eq!(store, None);
         assert_eq!(config.engine, EngineChoice::Race);
         assert_eq!(config.timeout, Some(30));
     }
@@ -1774,5 +2401,344 @@ mod tests {
         assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("minimal gates: 0"), "{text}");
+    }
+
+    #[test]
+    fn parses_serve_with_options() {
+        let cmd = parse(&[
+            "serve",
+            "127.0.0.1:7878",
+            "--store",
+            "db.qsyn",
+            "--preload",
+            "suite",
+            "--jobs",
+            "3",
+            "--queue",
+            "8",
+            "--engine",
+            "sat",
+            "--max-depth",
+            "10",
+            "--timeout",
+            "30",
+            "--stats",
+        ])
+        .unwrap();
+        let Command::Serve {
+            addr,
+            store,
+            preload,
+            jobs,
+            queue,
+            config,
+        } = cmd
+        else {
+            panic!("expected serve");
+        };
+        assert_eq!(addr, "127.0.0.1:7878");
+        assert_eq!(store.as_deref(), Some("db.qsyn"));
+        assert_eq!(preload.as_deref(), Some("suite"));
+        assert_eq!(jobs, 3);
+        assert_eq!(queue, 8);
+        assert_eq!(config.engine, EngineChoice::Single(Engine::Sat));
+        assert_eq!(config.max_depth, 10);
+        assert_eq!(config.timeout, Some(30));
+        assert!(config.stats);
+        // Flags that make no sense for a daemon are rejected at parse time.
+        assert!(parse(&["serve"]).is_err());
+        assert!(parse(&["serve", ":0", "--engine", "race"]).is_err());
+        assert!(parse(&["serve", ":0", "--all"]).is_err());
+        assert!(parse(&["serve", ":0", "-o", "x.real"]).is_err());
+        assert!(parse(&["serve", ":0", "--heuristic"]).is_err());
+        assert!(parse(&["serve", ":0", "--retries", "1"]).is_err());
+        assert!(parse(&["serve", ":0", "--ladder", "sat"]).is_err());
+        assert!(parse(&["serve", ":0", "--fault-seed", "1"]).is_err());
+        assert!(parse(&["serve", ":0", "--jobs", "0"]).is_err());
+        assert!(parse(&["serve", ":0", "--queue", "0"]).is_err());
+        assert!(parse(&["serve", ":0", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn parses_query_variants() {
+        assert_eq!(
+            parse(&["query", "localhost:7878", "3_17"]),
+            Ok(Command::Query {
+                addr: "localhost:7878".into(),
+                action: QueryAction::Synth {
+                    target: "3_17".into(),
+                    name: None,
+                },
+            })
+        );
+        assert_eq!(
+            parse(&["query", ":1", "f.spec", "--name", "job7"]),
+            Ok(Command::Query {
+                addr: ":1".into(),
+                action: QueryAction::Synth {
+                    target: "f.spec".into(),
+                    name: Some("job7".into()),
+                },
+            })
+        );
+        for (flag, action) in [
+            ("--stats", QueryAction::Stats),
+            ("--ping", QueryAction::Ping),
+            ("--shutdown", QueryAction::Shutdown),
+        ] {
+            assert_eq!(
+                parse(&["query", ":1", flag]),
+                Ok(Command::Query {
+                    addr: ":1".into(),
+                    action,
+                })
+            );
+        }
+        assert!(parse(&["query"]).is_err());
+        assert!(parse(&["query", ":1"]).is_err());
+        assert!(parse(&["query", ":1", "3_17", "--stats"]).is_err());
+        assert!(parse(&["query", ":1", "--name", "x", "--ping"]).is_err());
+        assert!(parse(&["query", ":1", "a", "b"]).is_err());
+        assert!(parse(&["query", ":1", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn parses_store_actions() {
+        assert_eq!(
+            parse(&["store", "verify", "db.qsyn"]),
+            Ok(Command::Store {
+                action: StoreAction::Verify,
+                path: "db.qsyn".into(),
+            })
+        );
+        assert_eq!(
+            parse(&["store", "stats", "db.qsyn"]),
+            Ok(Command::Store {
+                action: StoreAction::Stats,
+                path: "db.qsyn".into(),
+            })
+        );
+        assert!(parse(&["store"]).is_err());
+        assert!(parse(&["store", "frob", "db.qsyn"]).is_err());
+        assert!(parse(&["store", "verify"]).is_err());
+        assert!(parse(&["store", "verify", "db.qsyn", "extra"]).is_err());
+        // batch grows a --store flag.
+        let cmd = parse(&["batch", "suite", "--store", "db.qsyn"]).unwrap();
+        let Command::Batch { store, .. } = cmd else {
+            panic!("expected batch");
+        };
+        assert_eq!(store.as_deref(), Some("db.qsyn"));
+    }
+
+    #[test]
+    fn store_rejects_non_default_gate_libraries() {
+        // Store records are keyed by spec only, so a persistent database
+        // must not mix gate libraries (a stored mct circuit would answer
+        // an mcf or mixed-polarity run).
+        for args in [
+            vec![
+                "batch",
+                "3_17",
+                "--store",
+                "/tmp/x.db",
+                "--library",
+                "mct+mcf",
+            ],
+            vec!["batch", "3_17", "--store", "/tmp/x.db", "--mixed-polarity"],
+            vec![
+                "serve",
+                "127.0.0.1:0",
+                "--store",
+                "/tmp/x.db",
+                "--library",
+                "all",
+            ],
+            vec![
+                "serve",
+                "127.0.0.1:0",
+                "--store",
+                "/tmp/x.db",
+                "--mixed-polarity",
+            ],
+        ] {
+            let cmd = parse(&args).unwrap();
+            let mut buf = Vec::new();
+            assert_eq!(run(&cmd, &mut buf).unwrap(), 2, "{args:?}");
+            let text = String::from_utf8(buf).unwrap();
+            assert!(text.contains("keyed by spec only"), "{args:?}: {text}");
+        }
+    }
+
+    #[test]
+    fn batch_store_populates_then_replays_without_an_engine() {
+        let dir = std::env::temp_dir().join(format!("qsyn-cli-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let db = dir.join("circuits.qsyn");
+        let _ = std::fs::remove_file(&db);
+        let cnot = dir.join("cnot.spec");
+        std::fs::write(
+            &cnot,
+            ".numvars 2\n.begin\n00 00\n01 11\n10 10\n11 01\n.end\n",
+        )
+        .unwrap();
+        let list = dir.join("jobs.txt");
+        std::fs::write(&list, format!("3_17\n{}\n", cnot.display())).unwrap();
+
+        // Cold run: every class misses the store and is appended.
+        let cmd = parse(&[
+            "batch",
+            list.to_str().unwrap(),
+            "--store",
+            db.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("2 jobs, 2 ok, 0 failed"), "{text}");
+        assert!(
+            text.contains("store 0 hits / 2 misses (2 records)"),
+            "{text}"
+        );
+
+        // Second run (fresh cache): both classes replay from disk.
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("2 jobs, 2 ok, 0 failed"), "{text}");
+        assert!(
+            text.contains("store 2 hits / 0 misses (2 records)"),
+            "{text}"
+        );
+        // Replayed rows report the same depths as the fresh run.
+        assert!(text.contains("3_17"), "{text}");
+
+        // An equivalent respelling of a stored class is also a hit: the
+        // cnot-twin spec permutes cnot's output lines.
+        let twin = dir.join("cnot-twin.spec");
+        std::fs::write(
+            &twin,
+            ".numvars 2\n.begin\n00 00\n01 11\n10 01\n11 10\n.end\n",
+        )
+        .unwrap();
+        let list2 = dir.join("jobs2.txt");
+        std::fs::write(&list2, format!("{}\n", twin.display())).unwrap();
+        let cmd = parse(&[
+            "batch",
+            list2.to_str().unwrap(),
+            "--store",
+            db.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("store 1 hits / 0 misses (2 records)"),
+            "{text}"
+        );
+
+        // Offline inspection: verify passes, stats lists both records.
+        let cmd = parse(&["store", "verify", db.to_str().unwrap()]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        assert!(String::from_utf8(buf).unwrap().starts_with("ok: 2 records"));
+        let cmd = parse(&["store", "stats", db.to_str().unwrap()]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("records: 2"), "{text}");
+        assert!(text.contains("3_17"), "{text}");
+        // Missing databases fail with exit 2, not a panic.
+        let cmd = parse(&["store", "verify", "/nonexistent/db.qsyn"]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 2);
+    }
+
+    /// A byte sink shared with a daemon thread, so the test can read the
+    /// bound address while `run` is still blocked in the accept loop.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8_lossy(&self.0.lock().unwrap()).into_owned()
+        }
+    }
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn serve_and_query_round_trip_over_tcp() {
+        let serve_cmd = parse(&[
+            "serve",
+            "127.0.0.1:0",
+            "--jobs",
+            "1",
+            "--max-depth",
+            "8",
+            "--stats",
+        ])
+        .unwrap();
+        let server_out = SharedBuf::default();
+        let mut thread_out = server_out.clone();
+        let server = std::thread::spawn(move || run(&serve_cmd, &mut thread_out).unwrap());
+        let addr = loop {
+            let text = server_out.text();
+            if let Some(rest) = text.split("listening on ").nth(1) {
+                break rest.lines().next().unwrap().trim().to_string();
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+
+        let query = |args: &[&str]| -> (i32, String) {
+            let mut full = vec!["query", &addr];
+            full.extend_from_slice(args);
+            let cmd = parse(&full).unwrap();
+            let mut buf = Vec::new();
+            let code = run(&cmd, &mut buf).unwrap();
+            (code, String::from_utf8(buf).unwrap())
+        };
+
+        let (code, text) = query(&["--ping"]);
+        assert_eq!(code, 0, "{text}");
+        assert_eq!(text.trim(), "pong");
+
+        // Cold: the engine synthesizes; repeat: served from the index.
+        let (code, text) = query(&["3_17"]);
+        assert_eq!(code, 0, "{text}");
+        // The daemon synthesizes with free output relabeling, so 3_17's
+        // class minimum (5 gates) beats its identity-output depth (6).
+        assert!(text.contains("3_17: 5 gates"), "{text}");
+        assert!(text.contains("(engine in"), "{text}");
+        assert!(text.contains(".begin"), "{text}");
+        let (code, text) = query(&["3_17", "--name", "again"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("(store in"), "{text}");
+
+        let (code, text) = query(&["--stats"]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("engine invocations: 1"), "{text}");
+
+        // Unknown targets fail client-side without touching the daemon.
+        let (code, text) = query(&["no-such-bench"]);
+        assert_eq!(code, 2, "{text}");
+
+        let (code, text) = query(&["--shutdown"]);
+        assert_eq!(code, 0, "{text}");
+        assert_eq!(text.trim(), "daemon closing");
+        assert_eq!(server.join().unwrap(), 0);
+        let text = server_out.text();
+        assert!(text.contains("listening on"), "{text}");
+        assert!(text.contains("engine invocations: 1"), "{text}");
     }
 }

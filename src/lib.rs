@@ -16,7 +16,11 @@
 //! * [`portfolio`] — engine racing, batch scheduling across a worker pool,
 //!   and the canonical-spec result cache,
 //! * [`audit`] — invariant auditors for BDD managers, CNF/QBF formulas and
-//!   circuits (run automatically in debug builds and via `qsyn audit`).
+//!   circuits (run automatically in debug builds and via `qsyn audit`),
+//! * [`store`] — crash-safe disk-backed circuit database keyed by
+//!   canonical specification digests,
+//! * [`serve`] — the long-running synthesis daemon (newline-delimited
+//!   JSON over TCP) answering repeats from the store.
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 //!
@@ -45,5 +49,7 @@ pub use qsyn_portfolio as portfolio;
 pub use qsyn_qbf as qbf;
 pub use qsyn_revlogic as revlogic;
 pub use qsyn_sat as sat;
+pub use qsyn_serve as serve;
+pub use qsyn_store as store;
 
 pub mod cli;

@@ -15,6 +15,13 @@
 //!
 //! The journal (not stdout) is compared so recovery annotations and
 //! wall-clock noise don't enter the verdict.
+//!
+//! Every run (reference and seeded) also populates a per-run circuit
+//! database via `--store`, which puts the `store.append` injection site
+//! in the armed runs' line of fire. After each seeded run the store must
+//! pass `qsyn store verify` (checksums + digest/spec agreement) and its
+//! `qsyn store stats` records must match the fault-free reference's — a
+//! faulted append may cost a retry, never a corrupt or divergent store.
 
 use std::path::Path;
 use std::process::{Command, ExitCode, Stdio};
@@ -99,7 +106,15 @@ pub fn run(root: &Path, opts: &ChaosOptions) -> ExitCode {
     );
 
     let reference_journal = dir.join("reference.jsonl");
-    let reference = match batch_run(&qsyn, &job_list, None, &reference_journal, opts) {
+    let reference_store = dir.join("reference.store");
+    let reference = match batch_run(
+        &qsyn,
+        &job_list,
+        None,
+        &reference_journal,
+        &reference_store,
+        opts,
+    ) {
         Ok(run) => {
             println!(
                 "chaos: reference run ok — {} jobs in {:.1?}",
@@ -117,21 +132,42 @@ pub fn run(root: &Path, opts: &ChaosOptions) -> ExitCode {
         eprintln!("chaos: reference journal is empty");
         return ExitCode::FAILURE;
     }
+    let reference_db = match store_report(&qsyn, &reference_store) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("chaos: fault-free reference store failed verification: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let mut failures = 0usize;
     for seed in 1..=opts.seeds {
         let journal = dir.join(format!("seed-{seed}.jsonl"));
-        match batch_run(&qsyn, &job_list, Some(seed), &journal, opts) {
-            Ok(run) => match compare(&reference, &run.records) {
-                Ok(()) => println!(
-                    "chaos: seed {seed} ok — {} in {:.1?} (faults recovered, results bit-identical)",
-                    run.recovery, run.elapsed
-                ),
-                Err(diff) => {
-                    eprintln!("chaos: seed {seed} DIVERGED: {diff}");
-                    failures += 1;
+        let store = dir.join(format!("seed-{seed}.store"));
+        match batch_run(&qsyn, &job_list, Some(seed), &journal, &store, opts) {
+            Ok(run) => {
+                let verdict = compare(&reference, &run.records).and_then(|()| {
+                    let db = store_report(&qsyn, &store)
+                        .map_err(|e| format!("store failed verification: {e}"))?;
+                    if db == reference_db {
+                        Ok(())
+                    } else {
+                        Err(format!(
+                            "store records diverged from reference:\n  reference: {reference_db:?}\n  seeded:    {db:?}"
+                        ))
+                    }
+                });
+                match verdict {
+                    Ok(()) => println!(
+                        "chaos: seed {seed} ok — {} in {:.1?} (faults recovered, results and store bit-identical)",
+                        run.recovery, run.elapsed
+                    ),
+                    Err(diff) => {
+                        eprintln!("chaos: seed {seed} DIVERGED: {diff}");
+                        failures += 1;
+                    }
                 }
-            },
+            }
             Err(e) => {
                 eprintln!("chaos: seed {seed} FAILED: {e}");
                 failures += 1;
@@ -163,14 +199,18 @@ fn batch_run(
     job_list: &Path,
     seed: Option<u64>,
     journal: &Path,
+    store: &Path,
     opts: &ChaosOptions,
 ) -> Result<BatchRun, String> {
     let _ = std::fs::remove_file(journal);
+    let _ = std::fs::remove_file(store);
     let mut cmd = Command::new(qsyn);
     cmd.arg("batch")
         .arg(job_list)
         .arg("--journal")
         .arg(journal)
+        .arg("--store")
+        .arg(store)
         .args(["--jobs", &opts.jobs.to_string(), "--stats"]);
     if let Some(seed) = seed {
         // Escalation-only retries: an engine ladder would change which
@@ -249,6 +289,69 @@ fn compare(reference: &[ResultRecord], seeded: &[ResultRecord]) -> Result<(), St
     Ok(())
 }
 
+/// Verifies a run's circuit database and returns its normalized record
+/// listing: the `records:` header plus one line per record, sorted.
+///
+/// Two normalizations make the listing comparable across runs with a
+/// parallel scheduler: record order is dropped (insertion order is
+/// worker completion order) and the record *name* column is dropped (the
+/// name is whichever job of an equivalence class completed first). All
+/// remaining fields — digest, line count, depth, solution count, quantum
+/// cost, output permutation — are deterministic, because the cache
+/// always hands the engine the class's canonical representative.
+fn store_report(qsyn: &Path, store: &Path) -> Result<Vec<String>, String> {
+    let run = |action: &str| -> Result<std::process::Output, String> {
+        Command::new(qsyn)
+            .args(["store", action])
+            .arg(store)
+            .output()
+            .map_err(|e| format!("qsyn store {action}: {e}"))
+    };
+    let verify = run("verify")?;
+    if !verify.status.success() {
+        return Err(format!(
+            "qsyn store verify exited {}: {}{}",
+            verify.status,
+            String::from_utf8_lossy(&verify.stdout),
+            String::from_utf8_lossy(&verify.stderr)
+        ));
+    }
+    let stats = run("stats")?;
+    if !stats.status.success() {
+        return Err(format!("qsyn store stats exited {}", stats.status));
+    }
+    let stdout = String::from_utf8_lossy(&stats.stdout);
+    let mut header = None;
+    let mut records = Vec::new();
+    for line in stdout.lines() {
+        if line.starts_with("records:") {
+            header = Some(line.to_string());
+        } else if line.starts_with("bytes:")
+            || line.starts_with("torn tail")
+            || line.trim().is_empty()
+        {
+            // Byte totals vary with the stored names; torn tails are
+            // covered by `verify` returning 0 truncated bytes on a
+            // cleanly-closed file.
+        } else {
+            records.push(normalize_record_line(line));
+        }
+    }
+    records.sort();
+    let mut out = vec![header.ok_or("store stats printed no records header")?];
+    out.append(&mut records);
+    Ok(out)
+}
+
+/// Drops the name column (token 1) from a `store stats` record line.
+fn normalize_record_line(line: &str) -> String {
+    let mut tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.len() > 1 {
+        tokens.remove(1);
+    }
+    tokens.join(" ")
+}
+
 /// Parses the result fields out of a batch journal. A tiny field-level
 /// JSONL reader is duplicated here on purpose: xtask stays dependency-free
 /// (it must build before — and lint — the workspace crates).
@@ -306,6 +409,15 @@ mod tests {
         assert_eq!(string_field(line, "permutation").as_deref(), Some("[0, 1]"));
         assert_eq!(number_field(line, "depth"), Some(5));
         assert_eq!(string_field(line, "missing"), None);
+    }
+
+    #[test]
+    fn record_line_normalization_drops_the_name_column() {
+        let a = "00c0ffee00c0ffee 3_17         3 lines, 5 gates, 3 solutions, quantum cost 13, permutation [0, 1, 2]";
+        let b = "00c0ffee00c0ffee 3_17-twin    3 lines, 5 gates, 3 solutions, quantum cost 13, permutation [0, 1, 2]";
+        assert_eq!(normalize_record_line(a), normalize_record_line(b));
+        assert!(normalize_record_line(a).starts_with("00c0ffee00c0ffee 3 lines,"));
+        assert!(normalize_record_line(a).ends_with("permutation [0, 1, 2]"));
     }
 
     #[test]
