@@ -279,7 +279,11 @@ impl ManagerPool {
             ..SessionStats::default()
         };
         for m in pool.idle.iter() {
-            let s = m.stats();
+            // concheck resolves `m.stats()` by bare name and merges it
+            // with this very function, inferring a self.inner re-lock.
+            // `m` is a `Manager`, whose `stats()` reads plain counters
+            // and takes no lock.
+            let s = m.stats(); // lint: allow(lock-order)
             agg.resets += s.resets;
             agg.peak_live = agg.peak_live.max(s.peak_live);
             agg.cache_hits += s.cache_hits;

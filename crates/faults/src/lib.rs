@@ -252,7 +252,10 @@ mod enabled {
     static TRIGGERS: [AtomicU64; SITES] = [const { AtomicU64::new(0) }; SITES];
     /// Per-site kind, encoded as `FaultKind as u64`.
     static KINDS: [AtomicU64; SITES] = [const { AtomicU64::new(0) }; SITES];
-    /// Faults fired since the last arming, for chaos reporting.
+    /// Faults fired since the last arming, for chaos reporting. Leaf
+    /// lock: the short record/drain critical sections take no other lock
+    /// and do no I/O, so the plane stays invisible to `concheck`'s
+    /// lock-order and blocking-under-lock analyses.
     static FIRED: Mutex<Vec<(Site, FaultKind)>> = Mutex::new(Vec::new());
 
     fn splitmix64(state: &mut u64) -> u64 {

@@ -67,6 +67,10 @@ impl<T> WorkQueue<T> {
 
     /// Blocks until there is room, then enqueues `item`. Returns the item
     /// back when the queue has been closed in the meantime.
+    ///
+    /// `concheck` treats `queue.push` as a blocking operation
+    /// (receiver-qualified): never call it while holding another lock.
+    /// `try_push` is the non-blocking admission-control alternative.
     pub fn push(&self, item: T) -> Result<(), T> {
         let mut state = self.state.lock().expect("queue lock");
         loop {
@@ -104,6 +108,10 @@ impl<T> WorkQueue<T> {
 
     /// Blocks until an item is available (returning it) or the queue is
     /// closed *and* drained (returning `None`).
+    ///
+    /// Like [`push`](Self::push), `queue.pop` is a `concheck`-qualified
+    /// blocking operation: workers call it lock-free at the top of their
+    /// loop.
     pub fn pop(&self) -> Option<T> {
         let mut state = self.state.lock().expect("queue lock");
         loop {

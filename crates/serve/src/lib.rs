@@ -535,6 +535,9 @@ fn publish(
             .insert(job.digest, Arc::clone(record));
         if fresh {
             if let Some(store) = &shared.store {
+                // fsync under the store mutex is the durability
+                // serialization point — waived in
+                // xtask/concheck-allowlist.txt (blocking-under-lock).
                 let mut store = store.lock().expect("store lock");
                 let mut attempt = store.put((**record).clone());
                 if attempt.as_ref().is_err_and(|e| e.is_retryable()) {

@@ -509,6 +509,11 @@ impl Store {
     /// [`StoreError::Io`] on filesystem failures (the log is rolled back
     /// to its last committed record first, so a failed put never leaves
     /// partial bytes behind).
+    ///
+    /// This is the append+fsync sink every `concheck` blocking-under-lock
+    /// reason chain terminates in (`put → write_all`): callers either
+    /// keep the store behind its own leaf-level mutex (the waived
+    /// serialization-point pattern) or call it with no other lock held.
     pub fn put(&mut self, record: StoredCircuit) -> Result<PutOutcome, StoreError> {
         if qsyn_faults::hit(qsyn_faults::Site::StoreAppend).is_some() {
             return Err(StoreError::Injected);

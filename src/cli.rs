@@ -1612,6 +1612,8 @@ where
         q,
         real::write_real(best),
     );
+    // fsync under the store mutex is the durability serialization point —
+    // waived in xtask/concheck-allowlist.txt (blocking-under-lock).
     let mut guard = store.lock().expect("store lock");
     let mut attempt = guard.put(record.clone());
     if attempt

@@ -1,0 +1,532 @@
+//! Shared token-level Rust scanning for the xtask analyzers.
+//!
+//! Both `cargo xtask lint` and `cargo xtask concheck` are dependency-free
+//! source scanners: they must build (and pass judgement) before any
+//! workspace crate compiles, so they cannot lean on `syn` or rustc
+//! internals. This module is the one place that knows how to read Rust
+//! source at that fidelity:
+//!
+//! * [`mask_comments_and_strings`] — blanks comments, string/char
+//!   literals and raw strings (any `#` depth) while preserving byte
+//!   length and line structure, so pattern matching never fires on prose;
+//! * [`tokenize`] — splits masked source into word and punctuation
+//!   tokens, each carrying its 1-based line, the substrate for the
+//!   concheck guard-lifetime and call-graph extraction;
+//! * [`cfg_test_lines`] — per-line flags for `#[cfg(test)]` items
+//!   (attribute through matching closing brace);
+//! * the shared scan-root walk ([`collect_rs_files`]) and the policy
+//!   conventions ([`is_test_file`], [`is_bin_file`], [`load_allowlist`])
+//!   so every analyzer exempts exactly the same code.
+//!
+//! The masking is a *scanner*, not a parser: it is total (any byte
+//! sequence in, same-length masked text out) and errs toward leaving
+//! bytes visible rather than hiding code. Its contract is pinned by the
+//! property tests below — never panics, preserves line count, round-trips
+//! byte length.
+
+use std::path::{Path, PathBuf};
+
+/// Directories scanned for library code, relative to the workspace root.
+/// `xtask/src` is included so the analyzers are held to their own rules.
+pub const SCAN_ROOTS: &[&str] = &["crates", "src", "xtask/src"];
+
+/// Recursively collects `.rs` files under `dir` into `out`.
+pub fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Loads a one-entry-per-line allowlist (`#` comments and blanks
+/// skipped). A missing file is an empty allowlist.
+///
+/// # Errors
+///
+/// The I/O error text for anything but a missing file.
+pub fn load_allowlist(path: &Path) -> Result<Vec<String>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.to_string()),
+    };
+    Ok(text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect())
+}
+
+/// `true` for files that hold test code by repo convention: `tests.rs`,
+/// `*_tests.rs` (included under `#[cfg(test)] mod`), and `tests/` trees.
+pub fn is_test_file(rel: &str) -> bool {
+    let name = rel.rsplit('/').next().unwrap_or(rel);
+    name == "tests.rs" || name.ends_with("_tests.rs") || rel.contains("/tests/")
+}
+
+/// `true` for binary-target files (`src/bin/...`), where process exits and
+/// terminal unwraps on startup errors are accepted.
+pub fn is_bin_file(rel: &str) -> bool {
+    rel.contains("/bin/")
+}
+
+/// Replaces the contents of comments, string literals and char literals
+/// with spaces, preserving line structure so line numbers survive.
+pub fn mask_comments_and_strings(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+
+    // Emits `b` or a space for non-newline bytes inside masked regions.
+    fn push_masked(out: &mut Vec<u8>, b: u8) {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    push_masked(&mut out, bytes[i]);
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        push_masked(&mut out, bytes[i]);
+                        push_masked(&mut out, bytes[i + 1]);
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        push_masked(&mut out, bytes[i]);
+                        push_masked(&mut out, bytes[i + 1]);
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        push_masked(&mut out, bytes[i]);
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if matches!(bytes.get(i + 1), Some(b'"' | b'#')) => {
+                // Raw string r"..." / r#"..."#.
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    out.push(b'r');
+                    out.extend(std::iter::repeat_n(b'#', hashes));
+                    out.push(b'"');
+                    i = j + 1;
+                    'raw: while i < bytes.len() {
+                        if bytes[i] == b'"' {
+                            let close = (1..=hashes).all(|k| bytes.get(i + k) == Some(&b'#'));
+                            if close {
+                                out.push(b'"');
+                                out.extend(std::iter::repeat_n(b'#', hashes));
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        push_masked(&mut out, bytes[i]);
+                        i += 1;
+                    }
+                } else {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            b'"' => {
+                out.push(b'"');
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                        push_masked(&mut out, bytes[i]);
+                        push_masked(&mut out, bytes[i + 1]);
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        out.push(b'"');
+                        i += 1;
+                        break;
+                    } else {
+                        push_masked(&mut out, bytes[i]);
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. A char literal closes with a
+                // quote one or two (escaped) positions later; a lifetime
+                // has no closing quote.
+                let close = if bytes.get(i + 1) == Some(&b'\\') {
+                    // '\n', '\'', '\\', '\x7f', '\u{...}'
+                    (i + 2..bytes.len().min(i + 12)).find(|&k| bytes[k] == b'\'')
+                } else if bytes.get(i + 2) == Some(&b'\'') {
+                    Some(i + 2)
+                } else {
+                    None
+                };
+                if let Some(end) = close {
+                    out.push(b'\'');
+                    for &c in &bytes[i + 1..end] {
+                        push_masked(&mut out, c);
+                    }
+                    out.push(b'\'');
+                    i = end + 1;
+                } else {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Per-line flags marking `#[cfg(test)]` items (attribute through matching
+/// closing brace), computed on masked source.
+pub fn cfg_test_lines(masked: &str) -> Vec<bool> {
+    let lines: Vec<&str> = masked.lines().collect();
+    let mut flags = vec![false; lines.len()];
+    let bytes = masked.as_bytes();
+
+    // Byte offset -> line index.
+    let mut line_of = Vec::with_capacity(bytes.len() + 1);
+    let mut ln = 0usize;
+    for &b in bytes {
+        line_of.push(ln);
+        if b == b'\n' {
+            ln += 1;
+        }
+    }
+    line_of.push(ln);
+
+    let needle = b"#[cfg(test)]";
+    let mut i = 0;
+    while i + needle.len() <= bytes.len() {
+        if &bytes[i..i + needle.len()] != needle {
+            i += 1;
+            continue;
+        }
+        let start_line = line_of[i];
+        // Find the item's opening brace, then its match. A `;` before any
+        // `{` means the item is brace-less (e.g. `mod prop_tests;`): the
+        // attribute applies to an out-of-line module whose *file* is
+        // handled by `is_test_file`.
+        let mut j = i + needle.len();
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                _ => j += 1,
+            }
+        }
+        let end = match open {
+            Some(open_at) => {
+                let mut depth = 0usize;
+                let mut k = open_at;
+                loop {
+                    if k >= bytes.len() {
+                        break k;
+                    }
+                    match bytes[k] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break k;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            None => j,
+        };
+        let end_line = line_of[end.min(line_of.len() - 1)];
+        for f in flags.iter_mut().take(end_line + 1).skip(start_line) {
+            *f = true;
+        }
+        i = end + 1;
+    }
+    flags
+}
+
+/// One lexical token of masked source: a word (identifier, keyword or
+/// number) or a single punctuation character, with its 1-based line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token text: a `[A-Za-z0-9_]+` word or one punctuation char.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// `true` for word tokens starting with a letter or underscore
+    /// (identifiers and keywords, not numeric literals).
+    pub fn is_ident(&self) -> bool {
+        self.text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+    }
+}
+
+/// Tokenizes masked source into words and punctuation. Run it on the
+/// output of [`mask_comments_and_strings`]: string bodies are already
+/// spaces, so the only `"` tokens left are the masked literals' delimiters
+/// and token text never spans a literal.
+pub fn tokenize(masked: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut word_start: Option<(usize, usize)> = None; // (byte idx, line)
+    let bytes = masked.as_bytes();
+    let flush = |out: &mut Vec<Token>, start: Option<(usize, usize)>, end: usize, m: &str| {
+        if let Some((s, l)) = start {
+            out.push(Token {
+                text: m[s..end].to_string(),
+                line: l,
+            });
+        }
+    };
+    for (i, &b) in bytes.iter().enumerate() {
+        let is_word = b.is_ascii_alphanumeric() || b == b'_';
+        if is_word {
+            if word_start.is_none() {
+                word_start = Some((i, line));
+            }
+        } else {
+            flush(&mut out, word_start.take(), i, masked);
+            if b == b'\n' {
+                line += 1;
+            } else if !b.is_ascii_whitespace() && b.is_ascii() {
+                out.push(Token {
+                    text: (b as char).to_string(),
+                    line,
+                });
+            }
+            // Non-ASCII bytes (masked literals leave none; stray unicode
+            // in code is illegal Rust anyway) are skipped.
+        }
+    }
+    flush(&mut out, word_start.take(), bytes.len(), masked);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn masking_blanks_comments_and_strings() {
+        let src = "let a = \"x.unwrap()\"; // call .unwrap() here\nlet b = 1;\n";
+        let masked = mask_comments_and_strings(src);
+        assert!(!masked.contains(".unwrap()"));
+        assert!(masked.contains("let a = \""));
+        assert!(masked.contains("let b = 1;"));
+        assert_eq!(masked.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn masking_handles_raw_strings_and_chars() {
+        let src = "let s = r#\"a \" .unwrap() \"#; let c = '\\''; let l: &'static str = \"\";";
+        let masked = mask_comments_and_strings(src);
+        assert!(!masked.contains(".unwrap()"));
+        assert!(masked.contains("let l: &'static str"));
+    }
+
+    #[test]
+    fn masking_handles_raw_strings_with_many_hashes() {
+        let src = "let s = r##\"inner \"# quote .lock() \"##; let live = x.lock();";
+        let masked = mask_comments_and_strings(src);
+        assert_eq!(masked.len(), src.len());
+        assert_eq!(
+            masked.matches(".lock()").count(),
+            1,
+            "only the code mention survives: {masked}"
+        );
+        assert!(masked.ends_with("let live = x.lock();"));
+    }
+
+    #[test]
+    fn masking_handles_nested_block_comments() {
+        let src = "/* outer /* inner .unwrap() */ still comment */ let x = 1;";
+        let masked = mask_comments_and_strings(src);
+        assert!(!masked.contains(".unwrap()"));
+        assert!(masked.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn masking_distinguishes_lifetimes_from_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = 'x'; let e = '\\n'; c }";
+        let masked = mask_comments_and_strings(src);
+        assert!(masked.contains("fn f<'a>(x: &'a str)"), "got {masked}");
+        assert!(!masked.contains("'x'"), "char body masked: {masked}");
+        assert_eq!(masked.len(), src.len());
+    }
+
+    #[test]
+    fn masking_survives_unterminated_constructs() {
+        for src in [
+            "let s = \"never closed...",
+            "/* never closed",
+            "let r = r#\"never closed",
+            "let q = '",
+        ] {
+            let masked = mask_comments_and_strings(src);
+            assert_eq!(masked.len(), src.len(), "length for {src:?}");
+        }
+    }
+
+    #[test]
+    fn tokenizer_yields_words_and_punct_with_lines() {
+        let toks = tokenize("let g = m.lock();\n  drop(g);");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["let", "g", "=", "m", ".", "lock", "(", ")", ";", "drop", "(", "g", ")", ";"]
+        );
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[9].line, 2, "drop is on line 2");
+        assert!(toks[1].is_ident());
+        assert!(!toks[2].is_ident());
+    }
+
+    #[test]
+    fn cfg_test_region_is_tracked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let masked = mask_comments_and_strings(src);
+        let flags = cfg_test_lines(&masked);
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn allowlist_parses_and_tolerates_absence() {
+        let dir = std::env::temp_dir().join("qsyn-lexer-allowlist-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("allow.txt");
+        std::fs::write(&path, "# supervisors\ncrates/a/src/lib.rs\n\nsrc/cli.rs\n")
+            .expect("write allowlist");
+        let list = load_allowlist(&path).expect("parse");
+        assert_eq!(list, vec!["crates/a/src/lib.rs", "src/cli.rs"]);
+        let missing = dir.join("definitely-missing.txt");
+        assert_eq!(
+            load_allowlist(&missing).expect("missing ok"),
+            Vec::<String>::new()
+        );
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Adversarial near-Rust text: random joins of the fragments the
+    /// masking state machine branches on (quotes, escapes, raw-string
+    /// openers/closers, comment delimiters, lifetimes, multibyte chars).
+    fn arbitrary_source(seed: u64, fragments: usize) -> String {
+        const FRAGMENTS: &[&str] = &[
+            "\"",
+            "\\",
+            "\\\"",
+            "r\"",
+            "r#\"",
+            "r##\"",
+            "\"#",
+            "\"##",
+            "'",
+            "'a",
+            "'x'",
+            "'\\''",
+            "/*",
+            "*/",
+            "//",
+            "\n",
+            "{",
+            "}",
+            "(",
+            ")",
+            ";",
+            "=",
+            ".lock()",
+            ".unwrap()",
+            "ident",
+            "let x",
+            "λμ",
+            "#",
+            "r",
+            "b",
+            " ",
+        ];
+        let mut s = seed;
+        (0..fragments)
+            .map(|_| FRAGMENTS[(splitmix(&mut s) % FRAGMENTS.len() as u64) as usize])
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// Masking is total and structure-preserving on arbitrary input:
+        /// it never panics, round-trips the byte length exactly, and
+        /// keeps every newline (so findings keep their line numbers).
+        fn masking_is_total_and_structure_preserving(
+            seed in any::<u64>(),
+            fragments in 0usize..200,
+        ) {
+            let src = arbitrary_source(seed, fragments);
+            let masked = mask_comments_and_strings(&src);
+            prop_assert_eq!(masked.len(), src.len(), "byte length for {:?}", src);
+            prop_assert_eq!(
+                masked.matches('\n').count(),
+                src.matches('\n').count(),
+                "line count for {:?}",
+                src
+            );
+        }
+
+        /// The downstream passes accept anything the masker emits.
+        fn tokenize_and_cfg_test_accept_masked_output(
+            seed in any::<u64>(),
+            fragments in 0usize..120,
+        ) {
+            let src = arbitrary_source(seed, fragments);
+            let masked = mask_comments_and_strings(&src);
+            let toks = tokenize(&masked);
+            let max_line = 1 + masked.matches('\n').count();
+            prop_assert!(toks.iter().all(|t| t.line >= 1 && t.line <= max_line));
+            prop_assert_eq!(cfg_test_lines(&masked).len(), masked.lines().count());
+        }
+    }
+}

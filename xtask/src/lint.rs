@@ -12,8 +12,9 @@
 //!   new ones fail the build. Regenerate with `--update-baseline` after
 //!   removing uses to ratchet the budget down.
 //! * **relaxed-ordering** — `Ordering::Relaxed` is allowed only in the
-//!   allowlisted statistics counters of `crates/portfolio/src/cache.rs`;
-//!   everywhere else Acquire/Release/SeqCst must be chosen deliberately.
+//!   files listed in `xtask/relaxed-allowlist.txt` (pure statistics
+//!   counters where staleness is harmless); everywhere else
+//!   Acquire/Release/SeqCst must be chosen deliberately.
 //! * **no-process-exit** — `process::exit` skips destructors (worker-pool
 //!   joins, cache flushes) and is allowed only in `bin/` targets and
 //!   xtask itself.
@@ -27,34 +28,29 @@
 //! Test code is exempt: `#[cfg(test)]` regions (tracked by brace
 //! matching), `*_tests.rs` / `tests.rs` files (included only under
 //! `#[cfg(test)]` by convention here), and anything under `tests/`.
-//! The scanner masks comments and string literals before matching, so
-//! prose mentioning `.unwrap()` does not count.
+//! The scanner masks comments and string literals before matching (see
+//! the shared `lexer` module, also used by `concheck`), so prose
+//! mentioning `.unwrap()` does not count.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::process::ExitCode;
+
+use crate::lexer::{
+    cfg_test_lines, collect_rs_files, is_bin_file, is_test_file, load_allowlist,
+    mask_comments_and_strings, SCAN_ROOTS,
+};
 
 const BASELINE_FILE: &str = "xtask/lint-baseline.txt";
 
 /// Files permitted to call `std::panic::catch_unwind`, one per line.
 const CATCH_UNWIND_ALLOWLIST_FILE: &str = "xtask/catch-unwind-allowlist.txt";
 
-/// Files in which `Ordering::Relaxed` is permitted (pure statistics
-/// counters where staleness is harmless). The fault plane's hot path
-/// qualifies: `fetch_add` is exact under any ordering, and arming
-/// happens-before the work it perturbs via thread spawn. The serve
-/// metrics block qualifies for the same reason: hit/miss counters and
-/// histogram buckets are reporting-only, and `fetch_add` loses nothing
-/// under relaxed ordering.
-const RELAXED_ALLOWLIST: &[&str] = &[
-    "crates/portfolio/src/cache.rs",
-    "crates/faults/src/lib.rs",
-    "crates/serve/src/metrics.rs",
-];
-
-/// Directories scanned for library code, relative to the workspace root.
-const SCAN_ROOTS: &[&str] = &["crates", "src"];
+/// Files in which `Ordering::Relaxed` is permitted, one per line with a
+/// written justification (pure statistics counters where staleness is
+/// harmless).
+const RELAXED_ALLOWLIST_FILE: &str = "xtask/relaxed-allowlist.txt";
 
 /// Runs the lint pass over `root`; with `update_baseline`, rewrites the
 /// expect baseline to the current counts instead of checking against it.
@@ -65,10 +61,17 @@ pub fn run(root: &Path, update_baseline: bool) -> ExitCode {
     }
     files.sort();
 
-    let catch_unwind_allow = match load_allowlist(&root.join(CATCH_UNWIND_ALLOWLIST_FILE)) {
+    let unwind_allow = match load_allowlist(&root.join(CATCH_UNWIND_ALLOWLIST_FILE)) {
         Ok(list) => list,
         Err(e) => {
             eprintln!("lint: cannot read {CATCH_UNWIND_ALLOWLIST_FILE}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let relaxed_allow = match load_allowlist(&root.join(RELAXED_ALLOWLIST_FILE)) {
+        Ok(list) => list,
+        Err(e) => {
+            eprintln!("lint: cannot read {RELAXED_ALLOWLIST_FILE}: {e}");
             return ExitCode::from(2);
         }
     };
@@ -88,7 +91,7 @@ pub fn run(root: &Path, update_baseline: bool) -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let expects = scan_file(&rel, &source, &catch_unwind_allow, &mut findings);
+        let expects = scan_file(&rel, &source, &unwind_allow, &relaxed_allow, &mut findings);
         if expects > 0 {
             expect_counts.insert(rel, expects);
         }
@@ -158,36 +161,6 @@ pub fn run(root: &Path, update_baseline: bool) -> ExitCode {
     }
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Loads a one-path-per-line allowlist (`#` comments and blanks skipped).
-/// A missing file is an empty allowlist.
-fn load_allowlist(path: &Path) -> Result<Vec<String>, String> {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(e.to_string()),
-    };
-    Ok(text
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(str::to_string)
-        .collect())
-}
-
 fn load_baseline(path: &Path) -> Result<BTreeMap<String, usize>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let mut map = BTreeMap::new();
@@ -225,25 +198,13 @@ impl std::fmt::Display for Finding {
     }
 }
 
-/// `true` for files that hold test code by repo convention: `tests.rs`,
-/// `*_tests.rs` (included under `#[cfg(test)] mod`), and `tests/` trees.
-fn is_test_file(rel: &str) -> bool {
-    let name = rel.rsplit('/').next().unwrap_or(rel);
-    name == "tests.rs" || name.ends_with("_tests.rs") || rel.contains("/tests/")
-}
-
-/// `true` for binary-target files (`src/bin/...`), where process exits and
-/// terminal unwraps on startup errors are accepted.
-fn is_bin_file(rel: &str) -> bool {
-    rel.contains("/bin/")
-}
-
 /// Scans one file, pushing findings; returns the number of counted
 /// (non-test, non-waived) `.expect(` uses for the ratchet baseline.
 fn scan_file(
     rel: &str,
     source: &str,
-    catch_unwind_allow: &[String],
+    unwind_allow: &[String],
+    relaxed_allow: &[String],
     out: &mut Vec<Finding>,
 ) -> usize {
     if is_test_file(rel) || is_bin_file(rel) {
@@ -274,14 +235,15 @@ fn scan_file(
             expects += line.matches(".expect(").count();
         }
         if line.contains("Ordering::Relaxed")
-            && !RELAXED_ALLOWLIST.contains(&rel)
+            && !relaxed_allow.iter().any(|f| f == rel)
             && !waived("relaxed-ordering")
         {
             out.push(Finding {
                 rule: "relaxed-ordering",
                 file: rel.to_string(),
                 line: lineno,
-                message: "Ordering::Relaxed outside the allowlist — justify Acquire/Release/SeqCst",
+                message: "Ordering::Relaxed outside xtask/relaxed-allowlist.txt — justify \
+                          Acquire/Release/SeqCst, or allowlist the file with a justification",
             });
         }
         if line.contains("process::exit") && !waived("no-process-exit") {
@@ -293,7 +255,7 @@ fn scan_file(
             });
         }
         if line.contains("catch_unwind")
-            && !catch_unwind_allow.iter().any(|f| f == rel)
+            && !unwind_allow.iter().any(|f| f == rel)
             && !waived("no-catch-unwind")
         {
             out.push(Finding {
@@ -309,249 +271,19 @@ fn scan_file(
     expects
 }
 
-/// Replaces the contents of comments, string literals and char literals
-/// with spaces, preserving line structure so line numbers survive.
-fn mask_comments_and_strings(source: &str) -> String {
-    let bytes = source.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-
-    // Emits `b` or a space for non-newline bytes inside masked regions.
-    fn push_masked(out: &mut Vec<u8>, b: u8) {
-        out.push(if b == b'\n' { b'\n' } else { b' ' });
-    }
-
-    while i < bytes.len() {
-        let b = bytes[i];
-        match b {
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    push_masked(&mut out, bytes[i]);
-                    i += 1;
-                }
-            }
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
-                let mut depth = 0usize;
-                while i < bytes.len() {
-                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-                        depth += 1;
-                        push_masked(&mut out, bytes[i]);
-                        push_masked(&mut out, bytes[i + 1]);
-                        i += 2;
-                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-                        depth -= 1;
-                        push_masked(&mut out, bytes[i]);
-                        push_masked(&mut out, bytes[i + 1]);
-                        i += 2;
-                        if depth == 0 {
-                            break;
-                        }
-                    } else {
-                        push_masked(&mut out, bytes[i]);
-                        i += 1;
-                    }
-                }
-            }
-            b'r' if matches!(bytes.get(i + 1), Some(b'"' | b'#')) => {
-                // Raw string r"..." / r#"..."#.
-                let mut j = i + 1;
-                let mut hashes = 0;
-                while bytes.get(j) == Some(&b'#') {
-                    hashes += 1;
-                    j += 1;
-                }
-                if bytes.get(j) == Some(&b'"') {
-                    out.push(b'r');
-                    out.extend(std::iter::repeat_n(b'#', hashes));
-                    out.push(b'"');
-                    i = j + 1;
-                    'raw: while i < bytes.len() {
-                        if bytes[i] == b'"' {
-                            let close = (1..=hashes).all(|k| bytes.get(i + k) == Some(&b'#'));
-                            if close {
-                                out.push(b'"');
-                                out.extend(std::iter::repeat_n(b'#', hashes));
-                                i += 1 + hashes;
-                                break 'raw;
-                            }
-                        }
-                        push_masked(&mut out, bytes[i]);
-                        i += 1;
-                    }
-                } else {
-                    out.push(b);
-                    i += 1;
-                }
-            }
-            b'"' => {
-                out.push(b'"');
-                i += 1;
-                while i < bytes.len() {
-                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
-                        push_masked(&mut out, bytes[i]);
-                        push_masked(&mut out, bytes[i + 1]);
-                        i += 2;
-                    } else if bytes[i] == b'"' {
-                        out.push(b'"');
-                        i += 1;
-                        break;
-                    } else {
-                        push_masked(&mut out, bytes[i]);
-                        i += 1;
-                    }
-                }
-            }
-            b'\'' => {
-                // Char literal or lifetime. A char literal closes with a
-                // quote one or two (escaped) positions later; a lifetime
-                // has no closing quote.
-                let close = if bytes.get(i + 1) == Some(&b'\\') {
-                    // '\n', '\'', '\\', '\x7f', '\u{...}'
-                    (i + 2..bytes.len().min(i + 12)).find(|&k| bytes[k] == b'\'')
-                } else if bytes.get(i + 2) == Some(&b'\'') {
-                    Some(i + 2)
-                } else {
-                    None
-                };
-                if let Some(end) = close {
-                    out.push(b'\'');
-                    for &c in &bytes[i + 1..end] {
-                        push_masked(&mut out, c);
-                    }
-                    out.push(b'\'');
-                    i = end + 1;
-                } else {
-                    out.push(b);
-                    i += 1;
-                }
-            }
-            _ => {
-                out.push(b);
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-/// Per-line flags marking `#[cfg(test)]` items (attribute through matching
-/// closing brace), computed on masked source.
-fn cfg_test_lines(masked: &str) -> Vec<bool> {
-    let lines: Vec<&str> = masked.lines().collect();
-    let mut flags = vec![false; lines.len()];
-    let bytes = masked.as_bytes();
-
-    // Byte offset -> line index.
-    let mut line_of = Vec::with_capacity(bytes.len() + 1);
-    let mut ln = 0usize;
-    for &b in bytes {
-        line_of.push(ln);
-        if b == b'\n' {
-            ln += 1;
-        }
-    }
-    line_of.push(ln);
-
-    let needle = b"#[cfg(test)]";
-    let mut i = 0;
-    while i + needle.len() <= bytes.len() {
-        if &bytes[i..i + needle.len()] != needle {
-            i += 1;
-            continue;
-        }
-        let start_line = line_of[i];
-        // Find the item's opening brace, then its match. A `;` before any
-        // `{` means the item is brace-less (e.g. `mod prop_tests;`): the
-        // attribute applies to an out-of-line module whose *file* is
-        // handled by `is_test_file`.
-        let mut j = i + needle.len();
-        let mut open = None;
-        while j < bytes.len() {
-            match bytes[j] {
-                b'{' => {
-                    open = Some(j);
-                    break;
-                }
-                b';' => break,
-                _ => j += 1,
-            }
-        }
-        let end = match open {
-            Some(open_at) => {
-                let mut depth = 0usize;
-                let mut k = open_at;
-                loop {
-                    if k >= bytes.len() {
-                        break k;
-                    }
-                    match bytes[k] {
-                        b'{' => depth += 1,
-                        b'}' => {
-                            depth -= 1;
-                            if depth == 0 {
-                                break k;
-                            }
-                        }
-                        _ => {}
-                    }
-                    k += 1;
-                }
-            }
-            None => j,
-        };
-        let end_line = line_of[end.min(line_of.len() - 1)];
-        for f in flags.iter_mut().take(end_line + 1).skip(start_line) {
-            *f = true;
-        }
-        i = end + 1;
-    }
-    flags
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn masking_blanks_comments_and_strings() {
-        let src = "let a = \"x.unwrap()\"; // call .unwrap() here\nlet b = 1;\n";
-        let masked = mask_comments_and_strings(src);
-        assert!(!masked.contains(".unwrap()"));
-        assert!(masked.contains("let a = \""));
-        assert!(masked.contains("let b = 1;"));
-        assert_eq!(masked.lines().count(), src.lines().count());
-    }
-
-    #[test]
-    fn masking_handles_raw_strings_and_chars() {
-        let src = "let s = r#\"a \" .unwrap() \"#; let c = '\\''; let l: &'static str = \"\";";
-        let masked = mask_comments_and_strings(src);
-        assert!(!masked.contains(".unwrap()"));
-        assert!(masked.contains("let l: &'static str"));
-    }
-
-    #[test]
-    fn masking_handles_nested_block_comments() {
-        let src = "/* outer /* inner .unwrap() */ still comment */ let x = 1;";
-        let masked = mask_comments_and_strings(src);
-        assert!(!masked.contains(".unwrap()"));
-        assert!(masked.contains("let x = 1;"));
-    }
-
-    #[test]
-    fn cfg_test_region_is_tracked() {
-        let src =
-            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
-        let masked = mask_comments_and_strings(src);
-        let flags = cfg_test_lines(&masked);
-        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    fn scan(rel: &str, src: &str, findings: &mut Vec<Finding>) -> usize {
+        scan_file(rel, src, &[], &[], findings)
     }
 
     #[test]
     fn unwrap_in_test_code_is_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
         let mut findings = Vec::new();
-        scan_file("crates/foo/src/lib.rs", src, &[], &mut findings);
+        scan("crates/foo/src/lib.rs", src, &mut findings);
         assert!(findings.is_empty());
     }
 
@@ -559,7 +291,7 @@ mod tests {
     fn unwrap_in_library_code_is_flagged() {
         let src = "fn f() { x.unwrap(); }\n";
         let mut findings = Vec::new();
-        scan_file("crates/foo/src/lib.rs", src, &[], &mut findings);
+        scan("crates/foo/src/lib.rs", src, &mut findings);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "no-unwrap");
         assert_eq!(findings[0].line, 1);
@@ -569,7 +301,7 @@ mod tests {
     fn expect_is_counted_not_flagged() {
         let src = "fn f() { x.expect(\"reason\"); y.expect(\"other\"); }\n";
         let mut findings = Vec::new();
-        let expects = scan_file("crates/foo/src/lib.rs", src, &[], &mut findings);
+        let expects = scan("crates/foo/src/lib.rs", src, &mut findings);
         assert!(findings.is_empty());
         assert_eq!(expects, 2);
     }
@@ -577,10 +309,17 @@ mod tests {
     #[test]
     fn relaxed_ordering_respects_allowlist() {
         let src = "fn f() { c.load(Ordering::Relaxed); }\n";
+        let allow = vec!["crates/portfolio/src/cache.rs".to_string()];
         let mut findings = Vec::new();
-        scan_file("crates/portfolio/src/cache.rs", src, &[], &mut findings);
+        scan_file(
+            "crates/portfolio/src/cache.rs",
+            src,
+            &[],
+            &allow,
+            &mut findings,
+        );
         assert!(findings.is_empty(), "allowlisted file");
-        scan_file("crates/bdd/src/manager.rs", src, &[], &mut findings);
+        scan_file("crates/bdd/src/manager.rs", src, &[], &allow, &mut findings);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "relaxed-ordering");
     }
@@ -589,9 +328,9 @@ mod tests {
     fn process_exit_allowed_in_bin_only() {
         let src = "fn f() { std::process::exit(1); }\n";
         let mut findings = Vec::new();
-        scan_file("crates/bench/src/bin/probe.rs", src, &[], &mut findings);
+        scan("crates/bench/src/bin/probe.rs", src, &mut findings);
         assert!(findings.is_empty(), "bin target");
-        scan_file("crates/bench/src/lib.rs", src, &[], &mut findings);
+        scan("crates/bench/src/lib.rs", src, &mut findings);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "no-process-exit");
     }
@@ -605,39 +344,24 @@ mod tests {
             "crates/portfolio/src/scheduler.rs",
             src,
             &allow,
+            &[],
             &mut findings,
         );
         assert!(findings.is_empty(), "allowlisted supervisor");
-        scan_file("crates/core/src/driver.rs", src, &allow, &mut findings);
+        scan_file("crates/core/src/driver.rs", src, &allow, &[], &mut findings);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "no-catch-unwind");
-    }
-
-    #[test]
-    fn allowlist_parses_and_tolerates_absence() {
-        let dir = std::env::temp_dir().join("qsyn-lint-allowlist-test");
-        std::fs::create_dir_all(&dir).expect("tmp dir");
-        let path = dir.join("allow.txt");
-        std::fs::write(&path, "# supervisors\ncrates/a/src/lib.rs\n\nsrc/cli.rs\n")
-            .expect("write allowlist");
-        let list = load_allowlist(&path).expect("parse");
-        assert_eq!(list, vec!["crates/a/src/lib.rs", "src/cli.rs"]);
-        let missing = dir.join("definitely-missing.txt");
-        assert_eq!(
-            load_allowlist(&missing).expect("missing ok"),
-            Vec::<String>::new()
-        );
     }
 
     #[test]
     fn inline_waiver_suppresses_a_finding() {
         let src = "fn f() { x.unwrap(); } // lint: allow(no-unwrap)\n";
         let mut findings = Vec::new();
-        scan_file("crates/foo/src/lib.rs", src, &[], &mut findings);
+        scan("crates/foo/src/lib.rs", src, &mut findings);
         assert!(findings.is_empty());
         // The waiver is rule-specific.
         let src2 = "fn f() { x.unwrap(); } // lint: allow(no-expect)\n";
-        scan_file("crates/foo/src/lib.rs", src2, &[], &mut findings);
+        scan("crates/foo/src/lib.rs", src2, &mut findings);
         assert_eq!(findings.len(), 1);
     }
 
@@ -646,13 +370,10 @@ mod tests {
         let src = "fn helper() { x.unwrap(); }\n";
         let mut findings = Vec::new();
         assert_eq!(
-            scan_file("crates/bdd/src/oracle_tests.rs", src, &[], &mut findings),
+            scan("crates/bdd/src/oracle_tests.rs", src, &mut findings),
             0
         );
-        assert_eq!(
-            scan_file("crates/foo/src/tests.rs", src, &[], &mut findings),
-            0
-        );
+        assert_eq!(scan("crates/foo/src/tests.rs", src, &mut findings), 0);
         assert!(findings.is_empty());
     }
 
@@ -660,7 +381,7 @@ mod tests {
     fn doc_comment_mentions_do_not_count() {
         let src = "/// Call `.unwrap()` and `process::exit` with care.\nfn f() {}\n";
         let mut findings = Vec::new();
-        scan_file("crates/foo/src/lib.rs", src, &[], &mut findings);
+        scan("crates/foo/src/lib.rs", src, &mut findings);
         assert!(findings.is_empty());
     }
 

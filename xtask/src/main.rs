@@ -8,6 +8,16 @@
 //!   cargo xtask lint --update-baseline  # regenerate the expect baseline
 //!   ```
 //!
+//! * `concheck` — static concurrency analysis: lock-order cycles,
+//!   blocking calls under a live guard, and naked condvar waits, from a
+//!   token-level scan plus an approximate call graph (see `DESIGN.md`
+//!   §13). `--self-test` runs it over an embedded corpus of seeded
+//!   defects and fails unless all are flagged:
+//!
+//!   ```text
+//!   cargo xtask concheck [--self-test]
+//!   ```
+//!
 //! * `chaos` — the fault-injection sweep: builds with `--features
 //!   faults`, runs the benchmark suite once fault-free and once per
 //!   seed, and asserts every injected fault is recovered with
@@ -22,9 +32,11 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 mod chaos;
+mod concheck;
+mod lexer;
 mod lint;
 
-const USAGE: &str = "usage: cargo xtask lint [--update-baseline]\n       cargo xtask chaos [--seeds N] [--timeout SECS] [--jobs N]";
+const USAGE: &str = "usage: cargo xtask lint [--update-baseline]\n       cargo xtask concheck [--self-test]\n       cargo xtask chaos [--seeds N] [--timeout SECS] [--jobs N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,6 +48,14 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
             lint::run(&workspace_root(), update)
+        }
+        Some("concheck") => {
+            let self_test = args.iter().any(|a| a == "--self-test");
+            if let Some(bad) = args[1..].iter().find(|a| *a != "--self-test") {
+                eprintln!("unknown concheck option: {bad}");
+                return ExitCode::from(2);
+            }
+            concheck::run(&workspace_root(), self_test)
         }
         Some("chaos") => match parse_chaos(&args[1..]) {
             Ok(opts) => chaos::run(&workspace_root(), &opts),
