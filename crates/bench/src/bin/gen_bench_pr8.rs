@@ -1,0 +1,293 @@
+//! Emits `BENCH_pr8.json` — the tracked A/B trajectory of the PR 8
+//! permutation-space pruning (`qsyn-core::permuted`).
+//!
+//! Each fast Table 1 job is synthesized twice over all output
+//! permutations:
+//!
+//! * **pruned** — the production path: conjugation-class
+//!   canonicalization, transferred depth floors, lazily built probe
+//!   engines, first-SAT sibling cancellation; and
+//! * **brute** — the pre-PR 8 reference (`n!` engines from depth 0,
+//!   kept `#[doc(hidden)]` as the validation oracle).
+//!
+//! Both must agree on minimal depth and winning permutation — output
+//! relabeling freedom is a correctness feature, so the A/B is an oracle
+//! check, not just a speed report. Gated by `--check BENCH_pr8.json`:
+//! per-job depth, solution count, winning permutation, probe-space
+//! counters (`n!`, classes, engines built, probes run, floor skips) and
+//! the blowup invariant `probes_run < n! * (depth + 1)` on every job
+//! with 4 or more lines. All of those are deterministic for a fixed
+//! spec + options. Wall-clock (both paths) is recorded for the report
+//! but never gated — CI runners swing 2x; the *counters* are the
+//! acceptance criterion.
+//!
+//! ```text
+//! cargo run --release -p qsyn-bench --bin gen_bench_pr8              # regenerate
+//! cargo run --release -p qsyn-bench --bin gen_bench_pr8 -- --check BENCH_pr8.json
+//! ```
+
+use qsyn_core::permuted::{
+    synthesize_with_output_permutation_brute_in, synthesize_with_output_permutation_in,
+};
+use qsyn_core::{Engine, SynthesisOptions, SynthesisSession};
+use qsyn_revlogic::{benchmarks, GateLibrary};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The fast Table 1 jobs — every one completes in seconds under both
+/// paths, so the brute oracle stays affordable. `3_17` is the 3-line
+/// control; the six 4-line jobs carry the `probes_run < n!(d+1)` gate.
+const JOBS: &[&str] = &[
+    "3_17",
+    "rd32-v0",
+    "rd32-v1",
+    "decod24-v0",
+    "decod24-v1",
+    "decod24-v2",
+    "decod24-v3",
+];
+
+fn options() -> SynthesisOptions {
+    SynthesisOptions::new(GateLibrary::mct(), Engine::Bdd).with_max_depth(16)
+}
+
+struct JobRow {
+    name: String,
+    lines: u32,
+    depth: u32,
+    solutions: u128,
+    permutation: String,
+    permutations: u64,
+    classes: u64,
+    engines_built: u64,
+    probes_run: u64,
+    floor_skips: u64,
+    /// Recorded, never gated.
+    pruned_ms: f64,
+    brute_ms: f64,
+}
+
+fn measure() -> Vec<JobRow> {
+    let opts = options();
+    let mut rows = Vec::new();
+    for &name in JOBS {
+        let spec = benchmarks::by_name(name)
+            .unwrap_or_else(|| panic!("{name}: unknown benchmark"))
+            .spec;
+
+        let mut session = SynthesisSession::new();
+        let started = Instant::now();
+        let pruned = synthesize_with_output_permutation_in(&spec, &opts, &mut session)
+            .unwrap_or_else(|e| panic!("{name}: pruned synthesis failed: {e}"));
+        let pruned_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        let mut session = SynthesisSession::new();
+        let started = Instant::now();
+        let brute = synthesize_with_output_permutation_brute_in(&spec, &opts, &mut session)
+            .unwrap_or_else(|e| panic!("{name}: brute synthesis failed: {e}"));
+        let brute_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        // The oracle check proper: identical minimal depth and identical
+        // winning permutation (both paths share the lexicographic,
+        // identity-first tie-break).
+        assert_eq!(
+            pruned.result.depth(),
+            brute.result.depth(),
+            "{name}: pruned and brute minimal depths diverged"
+        );
+        assert_eq!(
+            pruned.permutation, brute.permutation,
+            "{name}: pruned and brute winning permutations diverged"
+        );
+        assert_eq!(
+            pruned.result.solutions().count(),
+            brute.result.solutions().count(),
+            "{name}: solution counts diverged"
+        );
+
+        let s = pruned.stats;
+        let depth = pruned.result.depth();
+        if spec.lines() >= 4 {
+            let blind = s.permutations * (u64::from(depth) + 1);
+            assert!(
+                s.probes_run < blind,
+                "{name}: pruned path ran {} probes, not under the blind {blind}",
+                s.probes_run
+            );
+        }
+        rows.push(JobRow {
+            name: name.to_string(),
+            lines: spec.lines(),
+            depth,
+            solutions: pruned.result.solutions().count(),
+            permutation: format!("{:?}", pruned.permutation),
+            permutations: s.permutations,
+            classes: s.classes,
+            engines_built: s.engines_built,
+            probes_run: s.probes_run,
+            floor_skips: s.depth_floor_skips,
+            pruned_ms,
+            brute_ms,
+        });
+    }
+    rows
+}
+
+fn report_json(rows: &[JobRow]) -> String {
+    let mut out = String::from("{\n  \"generated_by\": \"gen_bench_pr8\",\n  \"jobs\": [\n");
+    for (i, j) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{ \"name\": \"{}\", \"lines\": {}, \"depth\": {}, \"solutions\": {}, \"permutation\": \"{}\", \"permutations\": {}, \"classes\": {}, \"engines_built\": {}, \"probes_run\": {}, \"floor_skips\": {}, \"pruned_ms\": {:.3}, \"brute_ms\": {:.3} }}{}",
+            j.name,
+            j.lines,
+            j.depth,
+            j.solutions,
+            j.permutation,
+            j.permutations,
+            j.classes,
+            j.engines_built,
+            j.probes_run,
+            j.floor_skips,
+            j.pruned_ms,
+            j.brute_ms,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Deterministic metrics scraped back out of a committed report:
+/// `name` → everything but the wall-clock columns.
+type BaselineRow = (u32, u32, u128, String, u64, u64, u64, u64, u64);
+
+fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let marker = format!("\"{name}\": ");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', ' ', '}']).next()
+    }
+}
+
+fn parse_baseline(text: &str) -> HashMap<String, BaselineRow> {
+    let mut jobs = HashMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with("{ \"name\":") {
+            continue;
+        }
+        let num = |n: &str| field(line, n).and_then(|v| v.parse::<u64>().ok());
+        if let (
+            Some(name),
+            Some(lines),
+            Some(depth),
+            Some(solutions),
+            Some(permutation),
+            Some(permutations),
+            Some(classes),
+            Some(engines),
+            Some(probes),
+            Some(skips),
+        ) = (
+            field(line, "name"),
+            num("lines"),
+            num("depth"),
+            field(line, "solutions").and_then(|v| v.parse::<u128>().ok()),
+            field(line, "permutation"),
+            num("permutations"),
+            num("classes"),
+            num("engines_built"),
+            num("probes_run"),
+            num("floor_skips"),
+        ) {
+            jobs.insert(
+                name.to_string(),
+                (
+                    lines as u32,
+                    depth as u32,
+                    solutions,
+                    permutation.to_string(),
+                    permutations,
+                    classes,
+                    engines,
+                    probes,
+                    skips,
+                ),
+            );
+        }
+    }
+    jobs
+}
+
+fn check(rows: &[JobRow], baseline: &HashMap<String, BaselineRow>) -> bool {
+    let mut failed = false;
+    for j in rows {
+        let Some(b) = baseline.get(&j.name) else {
+            println!("{}: not in baseline, skipping", j.name);
+            continue;
+        };
+        let got = (
+            j.lines,
+            j.depth,
+            j.solutions,
+            j.permutation.clone(),
+            j.permutations,
+            j.classes,
+            j.engines_built,
+            j.probes_run,
+            j.floor_skips,
+        );
+        if got != *b {
+            println!("REGRESSION {}: {got:?} vs baseline {b:?}", j.name);
+            failed = true;
+        }
+    }
+    !failed
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut baseline_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => baseline_path = Some(args.next().expect("--check needs a file")),
+            "-o" | "--output" => out_path = Some(args.next().expect("-o needs a file")),
+            other => panic!("unknown option `{other}`"),
+        }
+    }
+
+    let rows = measure();
+    println!("PR 8 permutation pruning A/B ({} jobs)", rows.len());
+    for j in &rows {
+        println!(
+            "  {}: depth {}, {} -> {} classes, {} probes (+{} floor skips), pruned {:.0}ms vs brute {:.0}ms",
+            j.name,
+            j.depth,
+            j.permutations,
+            j.classes,
+            j.probes_run,
+            j.floor_skips,
+            j.pruned_ms,
+            j.brute_ms
+        );
+    }
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).expect("read baseline");
+        if !check(&rows, &parse_baseline(&text)) {
+            println!("\nbench-smoke: FAILED against {path}");
+            std::process::exit(1);
+        }
+        println!("\nbench-smoke: ok against {path}");
+    } else {
+        let path = out_path.unwrap_or_else(|| "BENCH_pr8.json".to_string());
+        std::fs::write(&path, report_json(&rows)).expect("write report");
+        println!("\nwrote {path}");
+    }
+}

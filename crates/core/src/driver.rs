@@ -107,6 +107,27 @@ impl SynthesisResult {
         }
     }
 
+    /// Assembles a result from a live engine's outcome — used by drivers
+    /// (like the pruned permutation search) that run the per-depth loop
+    /// themselves instead of going through [`drive`].
+    pub(crate) fn from_parts(
+        solutions: SolutionSet,
+        depth: u32,
+        engine: &'static str,
+        depth_times: Vec<Duration>,
+        total_time: Duration,
+        bdd_stats: Option<qsyn_bdd::ManagerStats>,
+    ) -> SynthesisResult {
+        SynthesisResult {
+            solutions,
+            depth,
+            engine,
+            depth_times,
+            total_time,
+            bdd_stats,
+        }
+    }
+
     /// Minimal number of gates (the `D` column of the paper's tables).
     pub fn depth(&self) -> u32 {
         self.depth

@@ -10,13 +10,63 @@
 //! but each depth is checked against every line permutation of the
 //! specification (the search is minimal in the gate count, and among the
 //! depth-minimal options the identity permutation is preferred).
+//!
+//! # Permutation-space pruning
+//!
+//! A blind search drives `n!` independent engines in lock-step. This
+//! module prunes that probe set three ways (DESIGN.md §14):
+//!
+//! 1. **Class collapse.** Two permuted specifications with the same table
+//!    are one probe, and so are two specifications related by a
+//!    *simultaneous* relabeling of the circuit lines (conjugation): every
+//!    gate library here is closed under line relabeling, so relabeling the
+//!    wires of a depth-`d` realization of one member yields a depth-`d`
+//!    realization of any other. One engine per class decides SAT/UNSAT for
+//!    all of its members at once.
+//! 2. **Transferred depth floors.** The driver's
+//!    [`depth_lower_bound`](crate::depth_lower_bound) counts lines whose
+//!    function differs from their input projection — a count that is
+//!    invariant under conjugation, so the bound proven for a class
+//!    representative applies to every sibling probe in the class. Each
+//!    class enters the lock-step at its transferred floor instead of depth
+//!    0, and the whole search starts at the smallest floor.
+//! 3. **First-SAT cancellation.** All probe engines run under one merged
+//!    [`CancelToken`]; the first SAT hit cancels it, so sibling probes
+//!    (and their pooled managers) stop and unwind immediately instead of
+//!    finishing their depth.
+//!
+//! The winning class's own solutions are returned directly (its
+//! representative *is* the first — identity-preferring — member of the
+//! class), so no re-synthesis pass is needed.
 
-use crate::driver::{synthesize_in, SynthesisResult};
+use crate::driver::{depth_lower_bound, synthesize_in, SynthesisResult};
 use crate::error::SynthesisError;
 use crate::options::{Engine, SynthesisOptions};
 use crate::session::{ResourceGovernor, SynthesisSession};
-use crate::{BddEngine, DepthSolver, QbfEngine, SatEngine};
-use qsyn_revlogic::{Spec, SpecError};
+use crate::solutions::SolutionSet;
+use crate::{BddEngine, CancelToken, DepthSolver, QbfEngine, SatEngine};
+use qsyn_revlogic::{Spec, SpecError, SpecRow};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Counters describing how much of the `n!` probe space a pruned
+/// output-permutation search actually visited. Deterministic for a given
+/// specification and options (they gate the PR 8 bench trajectory).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PermutedSearchStats {
+    /// `n!` — the probes the blind lock-step would have driven.
+    pub permutations: u64,
+    /// Equivalence classes after table-identity + conjugation grouping.
+    pub classes: u64,
+    /// Probe engines actually constructed (classes whose floor was
+    /// reached before the winner).
+    pub engines_built: u64,
+    /// Per-depth probe calls actually issued across all classes.
+    pub probes_run: u64,
+    /// Per-depth probe calls skipped because a class's transferred lower
+    /// bound proved the depth UNSAT without running an engine.
+    pub depth_floor_skips: u64,
+}
 
 /// A successful output-permutation synthesis.
 #[derive(Clone, Debug)]
@@ -26,6 +76,9 @@ pub struct PermutedSynthesisResult {
     /// `permutation[j]` = circuit output line that drives specification
     /// line `j` (identity when no permutation was needed).
     pub permutation: Vec<u32>,
+    /// Probe-space accounting for this search (all zeros for replayed or
+    /// plain results — no probes ran).
+    pub stats: PermutedSearchStats,
 }
 
 impl PermutedSynthesisResult {
@@ -35,6 +88,17 @@ impl PermutedSynthesisResult {
             .iter()
             .enumerate()
             .all(|(i, &p)| i as u32 == p)
+    }
+
+    /// Wraps a plain (no permutation search) synthesis result with the
+    /// identity permutation, so `--no-permute` workloads flow through the
+    /// same reporting, journal and store paths as permuted ones.
+    pub fn plain(result: SynthesisResult, lines: u32) -> PermutedSynthesisResult {
+        PermutedSynthesisResult {
+            result,
+            permutation: (0..lines).collect(),
+            stats: PermutedSearchStats::default(),
+        }
     }
 }
 
@@ -95,6 +159,154 @@ pub fn permute_spec(spec: &Spec, permutation: &[u32]) -> Result<Spec, SpecError>
     Spec::new_incomplete(n, rows)
 }
 
+/// One pruned probe: the lexicographically first member of an equivalence
+/// class of permuted specifications, standing in for all of them.
+struct ProbeClass {
+    /// First (identity-preferring) member permutation of the class.
+    permutation: Vec<u32>,
+    /// That member's permuted specification — what the engine solves.
+    spec: Spec,
+    /// How many of the `n!` permutations collapsed into this class.
+    members: u64,
+    /// Transferred depth floor: [`depth_lower_bound`] of the
+    /// representative, valid for every member (conjugation-invariant).
+    floor: u32,
+    /// Lazily built engine; `None` until the lock-step reaches `floor`.
+    engine: Option<Box<dyn DepthSolver>>,
+}
+
+/// Bit-permutation lookup tables for one line relabeling `σ`: `fwd[v]`
+/// moves bit `j` of `v` to line `σ[j]`; `inv` is the inverse table.
+struct SigmaLut {
+    fwd: Vec<u32>,
+    inv: Vec<u32>,
+}
+
+fn sigma_luts(perms: &[Vec<u32>], n: u32) -> Vec<SigmaLut> {
+    let rows = 1usize << n;
+    perms
+        .iter()
+        .map(|sigma| {
+            let mut fwd = vec![0u32; rows];
+            for (v, slot) in fwd.iter_mut().enumerate() {
+                let mut out = 0u32;
+                for (j, &s) in sigma.iter().enumerate() {
+                    out |= ((v as u32 >> j) & 1) << s;
+                }
+                *slot = out;
+            }
+            let mut inv = vec![0u32; rows];
+            for (v, &w) in fwd.iter().enumerate() {
+                inv[w as usize] = v as u32;
+            }
+            SigmaLut { fwd, inv }
+        })
+        .collect()
+}
+
+/// Lexicographically minimal row table over all simultaneous line
+/// relabelings (conjugations) of `rows` — the grouping key of the class
+/// collapse. Conjugating by `σ` maps row `r` to row `σ(r)` with value and
+/// care bits relabeled, and maps any realizing circuit gate-for-gate, so
+/// every spec sharing a key shares its minimal depth.
+fn conjugation_key(rows: &[SpecRow], luts: &[SigmaLut]) -> Vec<SpecRow> {
+    let mut best: Vec<SpecRow> = rows.to_vec();
+    let mut scratch: Vec<SpecRow> = Vec::with_capacity(rows.len());
+    for lut in luts {
+        // Build the conjugated table in row order, comparing against the
+        // current best as we go so non-minimal candidates abort early.
+        scratch.clear();
+        let mut ordering = std::cmp::Ordering::Equal;
+        for r2 in 0..rows.len() {
+            let src = rows[lut.inv[r2] as usize];
+            let row = SpecRow {
+                value: lut.fwd[src.value as usize],
+                care: lut.fwd[src.care as usize],
+            };
+            let b = best[r2];
+            ordering = (row.value, row.care).cmp(&(b.value, b.care));
+            if ordering != std::cmp::Ordering::Equal {
+                if ordering == std::cmp::Ordering::Less {
+                    scratch.push(row);
+                }
+                break;
+            }
+            scratch.push(row);
+        }
+        if ordering == std::cmp::Ordering::Less {
+            // Finish materializing the smaller candidate.
+            for r2 in scratch.len()..rows.len() {
+                let src = rows[lut.inv[r2] as usize];
+                scratch.push(SpecRow {
+                    value: lut.fwd[src.value as usize],
+                    care: lut.fwd[src.care as usize],
+                });
+            }
+            std::mem::swap(&mut best, &mut scratch);
+        }
+    }
+    best
+}
+
+/// Conjugation canonicalization costs `n!` relabelings per probe; beyond
+/// 6 lines fall back to identical-table grouping only (exact synthesis is
+/// out of reach there anyway, and the table-identity collapse is free).
+const CONJUGATION_LINE_CAP: u32 = 6;
+
+/// Groups the `n!` permuted specifications of `spec` into probe classes,
+/// in first-member order (so the identity permutation leads the first
+/// class it belongs to, preserving the identity-on-ties preference).
+fn build_probe_classes(
+    spec: &Spec,
+    perms: &[Vec<u32>],
+    options: &SynthesisOptions,
+) -> Vec<ProbeClass> {
+    let n = spec.lines();
+    let luts = if n <= CONJUGATION_LINE_CAP {
+        sigma_luts(perms, n)
+    } else {
+        Vec::new()
+    };
+    let mut classes: Vec<ProbeClass> = Vec::new();
+    let mut by_key: HashMap<Vec<SpecRow>, usize> = HashMap::new();
+    for p in perms {
+        let Ok(permuted) = permute_spec(spec, p) else {
+            continue;
+        };
+        let key = if luts.is_empty() {
+            permuted.rows().to_vec()
+        } else {
+            conjugation_key(permuted.rows(), &luts)
+        };
+        if let Some(&idx) = by_key.get(&key) {
+            classes[idx].members += 1;
+            continue;
+        }
+        by_key.insert(key, classes.len());
+        let floor = depth_lower_bound(&permuted, options);
+        classes.push(ProbeClass {
+            permutation: p.clone(),
+            spec: permuted,
+            members: 1,
+            floor,
+            engine: None,
+        });
+    }
+    classes
+}
+
+fn build_engine(
+    spec: &Spec,
+    options: &SynthesisOptions,
+    session: &mut SynthesisSession,
+) -> Box<dyn DepthSolver> {
+    match options.engine {
+        Engine::Bdd => Box::new(BddEngine::new_in(spec, options, session)),
+        Engine::Qbf => Box::new(QbfEngine::new_in(spec, options, session)),
+        Engine::Sat => Box::new(SatEngine::new_in(spec, options, session)),
+    }
+}
+
 /// Iterative-deepening synthesis over all output permutations: returns a
 /// gate-count-minimal circuit together with the permutation under which it
 /// realizes `spec`.
@@ -114,9 +326,9 @@ pub fn synthesize_with_output_permutation(
 }
 
 /// [`synthesize_with_output_permutation`], but borrowing a caller-owned
-/// [`SynthesisSession`]. All `n!` per-permutation engines draw their BDD
-/// managers from the session's pool, which grows to the lock-step
-/// high-water mark once and recycles managers thereafter.
+/// [`SynthesisSession`]. Probe engines are built lazily — one per
+/// equivalence class, only once the lock-step reaches the class's depth
+/// floor — and draw their BDD managers from the session's pool.
 ///
 /// # Errors
 ///
@@ -132,27 +344,149 @@ pub fn synthesize_with_output_permutation_in(
         });
     }
     session.begin_job();
+    let start = Instant::now();
     let perms = permutations(spec.lines());
-    // One engine per permutation so the incremental BDD state is reused
-    // across depths within each permutation.
+    let mut stats = PermutedSearchStats {
+        permutations: perms.len() as u64,
+        ..PermutedSearchStats::default()
+    };
+    let mut classes = build_probe_classes(spec, &perms, options);
+    stats.classes = classes.len() as u64;
+    // The caller's governor arms the run-wide deadline once; probe engines
+    // run under a merged token so the first SAT hit cancels the siblings
+    // without touching the caller's token (which the winner's result and
+    // any retry still use).
+    let governor = ResourceGovernor::from_options(options);
+    governor.arm();
+    let probe_token = CancelToken::new();
+    let probe_options = options
+        .clone()
+        .with_cancel_token(CancelToken::merged([&options.cancel, &probe_token]));
+    let use_floors = options.start_at_lower_bound;
+    let first_depth = if use_floors {
+        classes
+            .iter()
+            .map(|c| c.floor)
+            .min()
+            .unwrap_or(0)
+            .min(options.max_depth)
+    } else {
+        0
+    };
+    let mut winner: Option<(usize, u32, SolutionSet)> = None;
+    let mut depth_times = Vec::new();
+    'deepen: for d in first_depth..=options.max_depth {
+        governor.check(d)?;
+        let depth_start = Instant::now();
+        for (idx, class) in classes.iter_mut().enumerate() {
+            if use_floors && class.floor > d {
+                // The transferred lower bound already proves this depth
+                // UNSAT for every member of the class.
+                stats.depth_floor_skips += 1;
+                continue;
+            }
+            let engine = match &mut class.engine {
+                Some(e) => e,
+                None => {
+                    stats.engines_built += 1;
+                    class
+                        .engine
+                        .insert(build_engine(&class.spec, &probe_options, session))
+                }
+            };
+            stats.probes_run += 1;
+            match engine.solve_depth(d) {
+                Ok(Some(solutions)) => {
+                    winner = Some((idx, d, solutions));
+                    depth_times.push(depth_start.elapsed());
+                    break 'deepen;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    probe_token.cancel();
+                    return Err(e);
+                }
+            }
+        }
+        depth_times.push(depth_start.elapsed());
+    }
+    let Some((idx, d, solutions)) = winner else {
+        return Err(SynthesisError::DepthLimitReached {
+            max_depth: options.max_depth,
+        });
+    };
+    // First SAT at depth d: cancel the sibling probes (any engine state
+    // polling the merged token observes it), then tear them down so their
+    // pooled managers return to the session.
+    probe_token.cancel();
+    let class = classes.swap_remove(idx);
+    let engine = class.engine.expect("winning class has an engine");
+    let (name, manager_stats) = (engine.name(), engine.manager_stats());
+    drop(engine);
+    drop(classes);
+    // Debug builds lint every materialized circuit, exactly as the plain
+    // driver does after a SAT depth — see `qsyn_audit`.
+    #[cfg(debug_assertions)]
+    for c in solutions.circuits() {
+        if let Err(e) = qsyn_audit::circuit_audit::audit_circuit(c, Some(&options.library)) {
+            panic!("permuted synthesis at depth {d} failed its audit: {e}");
+        }
+    }
+    debug_assert!(
+        solutions
+            .circuits()
+            .iter()
+            .all(|c| class.spec.is_realized_by(c)),
+        "winning solutions must realize the class representative"
+    );
+    session.note_permuted_search(&stats);
+    let result = SynthesisResult::from_parts(
+        solutions,
+        d,
+        name,
+        depth_times,
+        start.elapsed(),
+        manager_stats,
+    );
+    Ok(PermutedSynthesisResult {
+        result,
+        permutation: class.permutation,
+        stats,
+    })
+}
+
+/// The pre-pruning reference search: one engine per permutation, all `n!`
+/// built up front and driven in lock-step from depth 0, the winner
+/// re-synthesized through the stock driver.
+///
+/// Kept (test-only) as the oracle the pruned path is validated against —
+/// property tests and the `gen_bench_pr8` A/B compare minimal depths and
+/// winning permutations between the two. Do not use in production paths:
+/// this is exactly the `n!` blowup the pruned search exists to avoid.
+///
+/// # Errors
+///
+/// See [`synthesize_with_output_permutation`].
+#[doc(hidden)]
+pub fn synthesize_with_output_permutation_brute_in(
+    spec: &Spec,
+    options: &SynthesisOptions,
+    session: &mut SynthesisSession,
+) -> Result<PermutedSynthesisResult, SynthesisError> {
+    if spec.lines() > 8 {
+        return Err(SynthesisError::SpecTooLarge {
+            lines: spec.lines(),
+        });
+    }
+    session.begin_job();
+    let perms = permutations(spec.lines());
     let mut candidates: Vec<(Vec<u32>, Spec)> = perms
         .into_iter()
         .filter_map(|p| permute_spec(spec, &p).ok().map(|s| (p, s)))
         .collect();
-    // Per-permutation single-depth probing, all permutations advancing in
-    // lock-step so the first hit is depth-minimal. Each engine builds its
-    // own governor from `options` (arming the shared deadline once — see
-    // `ResourceGovernor::arm`) and checks a manager out of the session
-    // pool.
     let mut engines: Vec<Box<dyn DepthSolver>> = candidates
         .iter()
-        .map(|(_, s)| -> Box<dyn DepthSolver> {
-            match options.engine {
-                Engine::Bdd => Box::new(BddEngine::new_in(s, options, session)),
-                Engine::Qbf => Box::new(QbfEngine::new_in(s, options, session)),
-                Engine::Sat => Box::new(SatEngine::new_in(s, options, session)),
-            }
-        })
+        .map(|(_, s)| build_engine(s, options, session))
         .collect();
     let governor = ResourceGovernor::from_options(options);
     governor.arm();
@@ -175,9 +509,6 @@ pub fn synthesize_with_output_permutation_in(
     // Drop the probe engines first so their pooled managers return to the
     // session before the winner re-runs.
     drop(engines);
-    // Re-run the stock driver on the winning spec to get a fully-populated
-    // result (timings, engine label); its minimal depth is d by
-    // construction.
     let result = {
         let mut capped = options.clone();
         capped.max_depth = d;
@@ -187,6 +518,7 @@ pub fn synthesize_with_output_permutation_in(
     Ok(PermutedSynthesisResult {
         result,
         permutation,
+        stats: PermutedSearchStats::default(),
     })
 }
 
@@ -275,5 +607,112 @@ mod tests {
         let permuted = permute_spec(&spec, &p).unwrap();
         let back = permute_spec(&permuted, &p).unwrap();
         assert_eq!(back.rows(), spec.rows());
+    }
+
+    #[test]
+    fn classes_collapse_and_stats_account_for_the_probe_space() {
+        // hwb4 is conjugation-symmetric under line rotation: its 24
+        // permuted specs collapse to 10 classes (all distinct as tables).
+        let spec = qsyn_revlogic::benchmarks::by_name("hwb4").unwrap().spec;
+        let options = opts();
+        let classes = build_probe_classes(&spec, &permutations(4), &options);
+        assert_eq!(classes.len(), 10);
+        assert_eq!(classes.iter().map(|c| c.members).sum::<u64>(), 24);
+        // The identity permutation leads the first class.
+        assert_eq!(classes[0].permutation, vec![0, 1, 2, 3]);
+        // Fully don't-care output lines are interchangeable: an embedded
+        // single-output function on 4 lines collapses much further.
+        let rd32 = qsyn_revlogic::benchmarks::by_name("rd32-v0").unwrap().spec;
+        let classes = build_probe_classes(&rd32, &permutations(4), &options);
+        assert_eq!(classes.len(), 3);
+    }
+
+    #[test]
+    fn floors_transfer_across_class_members() {
+        // Every member of a class shares the representative's lower bound:
+        // the differing-line count is conjugation-invariant.
+        let spec = qsyn_revlogic::benchmarks::by_name("hwb4").unwrap().spec;
+        let options = opts();
+        let luts = sigma_luts(&permutations(4), 4);
+        for p in permutations(4) {
+            let permuted = permute_spec(&spec, &p).unwrap();
+            let direct = depth_lower_bound(&permuted, &options);
+            let key = conjugation_key(permuted.rows(), &luts);
+            let canonical = Spec::new_incomplete(4, key).unwrap();
+            assert_eq!(direct, depth_lower_bound(&canonical, &options), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn pruned_search_reports_probe_savings() {
+        let spec = Spec::from_permutation(&Permutation::from_map(2, vec![2, 0, 3, 1]));
+        let permuted = synthesize_with_output_permutation(&spec, &opts()).unwrap();
+        let s = permuted.stats;
+        assert_eq!(s.permutations, 2);
+        assert!(s.classes <= s.permutations);
+        assert!(s.engines_built <= s.classes);
+        assert!(s.probes_run >= 1);
+    }
+
+    proptest::proptest! {
+        // Each case runs a pruned AND a brute-force n! search; keep the
+        // count modest and the specs small (n ≤ 4, sparse cares at n=4).
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn prop_pruned_matches_brute_force(lines in 2u32..=4, seed in 0u64..5000) {
+            use proptest::prelude::{prop_assert, prop_assert_eq};
+            use qsyn_revlogic::benchmarks::{random_incomplete_spec, random_permutation};
+            // Complete random permutations on 4 lines can be deep; keep
+            // them for n ≤ 3 and exercise n = 4 through sparse
+            // incompletely-specified functions (always realizable).
+            let spec = match lines {
+                4 => random_incomplete_spec(4, seed, 350),
+                _ => {
+                    if seed % 2 == 0 {
+                        Spec::from_permutation(&random_permutation(lines, seed))
+                    } else {
+                        random_incomplete_spec(lines, seed, 600)
+                    }
+                }
+            };
+            let options = opts();
+            let mut session = SynthesisSession::new();
+            let pruned =
+                synthesize_with_output_permutation_in(&spec, &options, &mut session).unwrap();
+            let brute =
+                synthesize_with_output_permutation_brute_in(&spec, &options, &mut session)
+                    .unwrap();
+            prop_assert_eq!(pruned.result.depth(), brute.result.depth());
+            prop_assert_eq!(&pruned.permutation, &brute.permutation);
+            let pspec = permute_spec(&spec, &pruned.permutation).unwrap();
+            for c in pruned.result.solutions().circuits() {
+                prop_assert!(pspec.is_realized_by(c));
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_agrees_with_brute_force_on_small_specs() {
+        use qsyn_revlogic::benchmarks::{random_incomplete_spec, random_permutation};
+        let options = opts();
+        let mut session = SynthesisSession::new();
+        let mut specs = Vec::new();
+        for seed in 0..4u64 {
+            specs.push(Spec::from_permutation(&random_permutation(3, seed)));
+            specs.push(random_incomplete_spec(3, seed, 700));
+        }
+        for spec in &specs {
+            let pruned =
+                synthesize_with_output_permutation_in(spec, &options, &mut session).unwrap();
+            let brute =
+                synthesize_with_output_permutation_brute_in(spec, &options, &mut session).unwrap();
+            assert_eq!(pruned.result.depth(), brute.result.depth());
+            assert_eq!(pruned.permutation, brute.permutation);
+            assert!(
+                pruned.stats.probes_run
+                    <= pruned.stats.permutations * (brute.result.depth() as u64 + 1)
+            );
+        }
     }
 }

@@ -398,6 +398,15 @@ pub struct SessionStats {
     pub quarantined: u64,
     /// Supervised retry attempts recorded by the batch scheduler.
     pub retries: u64,
+    /// Output-permutation probe calls actually issued by pruned searches
+    /// (vs the `perm_space` a blind `n!` lock-step would have driven).
+    pub perm_probes: u64,
+    /// Permutations the pruned searches covered (`Σ n!` over jobs).
+    pub perm_space: u64,
+    /// Probe equivalence classes those permutations collapsed into.
+    pub perm_classes: u64,
+    /// Per-depth probes skipped via transferred lower-bound floors.
+    pub perm_floor_skips: u64,
 }
 
 impl SessionStats {
@@ -415,6 +424,10 @@ impl SessionStats {
         self.gc_freed += other.gc_freed;
         self.quarantined += other.quarantined;
         self.retries += other.retries;
+        self.perm_probes += other.perm_probes;
+        self.perm_space += other.perm_space;
+        self.perm_classes += other.perm_classes;
+        self.perm_floor_skips += other.perm_floor_skips;
     }
 
     /// Computed-table hit rate in percent (0 when no lookups happened).
@@ -447,7 +460,16 @@ impl std::fmt::Display for SessionStats {
             self.gc_freed,
             self.retries,
             self.quarantined,
-        )
+        )?;
+        if self.perm_space > 0 {
+            write!(
+                f,
+                ", perm search: {} probes over {} classes from {} permutations \
+                 ({} floor skips)",
+                self.perm_probes, self.perm_classes, self.perm_space, self.perm_floor_skips,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -463,6 +485,7 @@ impl std::fmt::Display for SessionStats {
 pub struct SynthesisSession {
     pool: ManagerPool,
     jobs: u64,
+    perm: crate::permuted::PermutedSearchStats,
 }
 
 impl SynthesisSession {
@@ -481,11 +504,25 @@ impl SynthesisSession {
         self.jobs += 1;
     }
 
+    /// Accumulates one pruned permutation search's probe-space counters
+    /// (surfaced through [`SessionStats`] for `qsyn batch --stats`).
+    pub fn note_permuted_search(&mut self, s: &crate::permuted::PermutedSearchStats) {
+        self.perm.permutations += s.permutations;
+        self.perm.classes += s.classes;
+        self.perm.engines_built += s.engines_built;
+        self.perm.probes_run += s.probes_run;
+        self.perm.depth_floor_skips += s.depth_floor_skips;
+    }
+
     /// Aggregated counters over everything this session has run. Call
     /// between jobs: managers still checked out are not counted.
     pub fn stats(&self) -> SessionStats {
         let mut s = self.pool.stats();
         s.jobs = self.jobs;
+        s.perm_probes = self.perm.probes_run;
+        s.perm_space = self.perm.permutations;
+        s.perm_classes = self.perm.classes;
+        s.perm_floor_skips = self.perm.depth_floor_skips;
         s
     }
 }

@@ -167,6 +167,9 @@ impl SpecCache {
         Ok(PermutedSynthesisResult {
             result: stored.result,
             permutation,
+            // Probe accounting belongs to the run that actually searched;
+            // replays (and the winning member) report the stored counters.
+            stats: stored.stats,
         })
     }
 

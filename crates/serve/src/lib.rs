@@ -78,6 +78,17 @@ pub struct ServeConfig {
     /// [`ResourceGovernor`](qsyn_core::ResourceGovernor) deadline); a
     /// request over budget fails retryable instead of pinning a worker.
     pub time_budget: Option<Duration>,
+    /// Run the output-permutation search during `--preload` warm-starts.
+    ///
+    /// Off by default: a preload is a bulk cache fill, and plain synthesis
+    /// of the canonical representative is enough to answer every later
+    /// request correctly (the canonical spec *is* what workers solve, so
+    /// the replay composition holds with the identity search permutation).
+    /// The tradeoff is that a preloaded record's depth is minimal for the
+    /// canonical labeling only, not necessarily over the whole
+    /// permutation class; interactive requests always run the full
+    /// search.
+    pub preload_permute: bool,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +100,7 @@ impl Default for ServeConfig {
             engine: Engine::Bdd,
             max_depth: 32,
             time_budget: Some(Duration::from_secs(120)),
+            preload_permute: false,
         }
     }
 }
@@ -189,6 +201,9 @@ struct Job {
     canonical: Spec,
     digest: u64,
     name: String,
+    /// Run the full output-permutation search (`false` for plain preload
+    /// fills — see [`ServeConfig::preload_permute`]).
+    permute: bool,
     slot: Arc<Slot>,
 }
 
@@ -236,6 +251,9 @@ struct Shared {
     store: Option<Mutex<Store>>,
     metrics: Metrics,
     options: SynthesisOptions,
+    /// [`ServeConfig::preload_permute`]: whether preload fills run the
+    /// output-permutation search.
+    preload_permute: bool,
     closing: AtomicBool,
 }
 
@@ -270,6 +288,7 @@ impl ServeCore {
             store: store.map(Mutex::new),
             metrics: Metrics::new(),
             options,
+            preload_permute: config.preload_permute,
             closing: AtomicBool::new(false),
         });
         let workers = (0..config.workers.max(1))
@@ -295,6 +314,15 @@ impl ServeCore {
     /// [`ServeError`]; [`ServeError::is_retryable`] tells transient from
     /// deterministic failures.
     pub fn request(&self, name: &str, spec: &Spec) -> Result<ServedResult, ServeError> {
+        self.request_inner(name, spec, true)
+    }
+
+    fn request_inner(
+        &self,
+        name: &str,
+        spec: &Spec,
+        permute: bool,
+    ) -> Result<ServedResult, ServeError> {
         let start = Instant::now();
         let m = &self.shared.metrics;
         Metrics::inc(&m.requests);
@@ -343,6 +371,7 @@ impl ServeCore {
                     canonical: canonical.spec.clone(),
                     digest,
                     name: name.to_string(),
+                    permute,
                     slot: Arc::clone(&slot),
                 };
                 if self.shared.queue.try_push(job).is_err() {
@@ -374,7 +403,7 @@ impl ServeCore {
         let mut failed = 0;
         for (name, spec) in jobs {
             loop {
-                match self.request(name, spec) {
+                match self.request_inner(name, spec, self.shared.preload_permute) {
                     Ok(_) => {
                         served += 1;
                         break;
@@ -500,8 +529,19 @@ fn worker_loop(shared: &Arc<Shared>) {
         // first-arming-wins per token).
         let options = shared.options.clone().with_cancel_token(CancelToken::new());
         let canonical = job.canonical.clone();
+        let permute = job.permute;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            synthesize_with_output_permutation_in(&canonical, &options, &mut session)
+            if permute {
+                synthesize_with_output_permutation_in(&canonical, &options, &mut session)
+            } else {
+                // Plain preload fill: solve the canonical spec under its
+                // own labeling. The record's permutation is the search
+                // identity, so the usual replay composition holds; only
+                // class-wide depth minimality is waived (documented on
+                // `ServeConfig::preload_permute`).
+                qsyn_core::synthesize_in(&canonical, &options, &mut session)
+                    .map(|r| PermutedSynthesisResult::plain(r, canonical.lines()))
+            }
         }));
         match outcome {
             Ok(Ok(r)) => {
@@ -813,6 +853,39 @@ mod tests {
         let r = core.request("again", &cnot_spec()).unwrap();
         assert_eq!(r.source, Source::Store);
         assert_eq!(core.snapshot().engine_invocations, 1);
+    }
+
+    #[test]
+    fn plain_preload_records_replay_correctly_for_every_class_member() {
+        // SWAP's class contains the identity, so its canonical
+        // representative needs zero gates — the case where a plain
+        // (default) preload and a permuted one differ most. The worker
+        // solves the *canonical* spec, so the stored record must still
+        // answer the original phrasing through permutation composition.
+        let swap = Spec::from_permutation(&Permutation::from_map(2, vec![0, 2, 1, 3]));
+        let core = ServeCore::start(&quick_config(), None);
+        assert!(!quick_config().preload_permute, "plain is the default");
+        let (served, failed) = core.preload(&[("swap".to_string(), swap.clone())]);
+        assert_eq!((served, failed), (1, 0));
+
+        let r = core.request("swap-again", &swap).unwrap();
+        assert_eq!(r.source, Source::Store);
+        assert_eq!(
+            core.snapshot().engine_invocations,
+            1,
+            "the preload fill is the only engine run"
+        );
+        let circuit = real::parse_real(&r.record.circuit).unwrap();
+        for row in 0..swap.num_rows() as u32 {
+            let out = circuit.simulate(row);
+            let sr = swap.row(row);
+            for (j, &p) in r.permutation.iter().enumerate() {
+                let bit = 1u32 << j;
+                if sr.care & bit != 0 {
+                    assert_eq!((out >> p) & 1, (sr.value >> j) & 1, "row {row} line {j}");
+                }
+            }
+        }
     }
 
     #[test]

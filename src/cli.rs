@@ -69,6 +69,11 @@ pub enum Command {
         /// Persistent circuit database (`--store FILE`): hits replay the
         /// stored record without an engine, fresh results are appended.
         store: Option<String>,
+        /// Skip the output-permutation search (`--no-permute`): each job
+        /// synthesizes under its own output labeling. Incompatible with
+        /// `--store` (records are canonical-class circuits) and disables
+        /// the class cache.
+        no_permute: bool,
         /// Synthesis configuration shared by every job (`--timeout` is
         /// enforced per job).
         config: SynthConfig,
@@ -122,6 +127,10 @@ pub enum Command {
         jobs: usize,
         /// Cold-miss queue bound for admission control (`--queue N`).
         queue: usize,
+        /// Run the full output-permutation search during `--preload`
+        /// (`--preload-permute`); preload fills are plain synthesis by
+        /// default.
+        preload_permute: bool,
         /// Engine configuration for cold misses (single engine only).
         config: SynthConfig,
     },
@@ -374,17 +383,24 @@ OPTIONS (batch only):
   --store FILE               persistent circuit database: jobs whose
                              equivalence class is stored replay the record
                              without an engine; fresh results are appended
+  --no-permute               plain synthesis per job (skip the output-
+                             permutation search); disables the class cache
+                             and cannot be combined with --store
 
   `batch` targets: the literal `suite` (built-in benchmarks), a directory
   of `.spec` files, or a text file with one benchmark name or spec path
-  per line. Batch jobs always synthesize with free output permutation, so
-  equivalent specs share one cache entry.
+  per line. Batch jobs synthesize with free output permutation by default,
+  so equivalent specs share one cache entry; `--no-permute` opts a run out
+  of the search (and the sharing) entirely.
 
 OPTIONS (serve only):
   --store FILE               persistent circuit database (crash-safe,
                              append-only; reopened state is served as hits)
   --preload <suite|dir|list> warm the index before accepting connections
-                             (batch target grammar)
+                             (batch target grammar); preload fills run
+                             plain synthesis of each canonical spec
+  --preload-permute          run the full output-permutation search during
+                             --preload (slower, class-minimal depths)
   --jobs N                   synthesis worker threads    [default: 2]
   --queue N                  cold-miss queue bound; a full queue bounces
                              requests as retryable       [default: 64]
@@ -392,8 +408,8 @@ OPTIONS (serve only):
 
   `serve` also accepts `--engine bdd|qbf|sat`, `--library`,
   `--mixed-polarity`, `--max-depth` and `--timeout` (the per-request
-  wall-clock budget). Daemon answers always allow free output relabeling,
-  like `batch`.
+  wall-clock budget). Interactive daemon answers always allow free output
+  relabeling, like `batch`.
 ";
 
 impl Command {
@@ -480,8 +496,10 @@ impl Command {
                 let mut journal = None;
                 let mut resume = false;
                 let mut store = None;
+                let mut no_permute = false;
                 while let Some(flag) = args.next() {
                     match flag.as_str() {
+                        "--no-permute" => no_permute = true,
                         "--jobs" => {
                             let v = args.next().ok_or("--jobs needs a value")?;
                             jobs = v.parse().map_err(|_| format!("bad job count `{v}`"))?;
@@ -507,6 +525,15 @@ impl Command {
                 if resume && journal.is_none() {
                     return Err("--resume requires --journal".to_string());
                 }
+                if no_permute && store.is_some() {
+                    return Err(
+                        "--no-permute results depend on each job's output labeling, but \
+                         --store records one canonical circuit per permutation class; \
+                         storing labeling-specific answers would corrupt later replays. \
+                         Drop --no-permute or --store"
+                            .to_string(),
+                    );
+                }
                 Ok(Command::Batch {
                     target,
                     jobs,
@@ -514,6 +541,7 @@ impl Command {
                     journal,
                     resume,
                     store,
+                    no_permute,
                     config,
                 })
             }
@@ -524,8 +552,10 @@ impl Command {
                 let mut preload = None;
                 let mut jobs = 2usize;
                 let mut queue = 64usize;
+                let mut preload_permute = false;
                 while let Some(flag) = args.next() {
                     match flag.as_str() {
+                        "--preload-permute" => preload_permute = true,
                         "--store" => {
                             store = Some(args.next().ok_or("--store needs a file")?);
                         }
@@ -568,12 +598,16 @@ impl Command {
                         return Err(format!("serve does not take {flag}"));
                     }
                 }
+                if preload_permute && preload.is_none() {
+                    return Err("--preload-permute requires --preload".to_string());
+                }
                 Ok(Command::Serve {
                     addr,
                     store,
                     preload,
                     jobs,
                     queue,
+                    preload_permute,
                     config,
                 })
             }
@@ -839,6 +873,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             journal,
             resume,
             store,
+            no_permute,
             config,
         } => run_batch_command(
             target,
@@ -847,6 +882,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             journal.as_deref(),
             *resume,
             store.as_deref(),
+            *no_permute,
             config,
             out,
         ),
@@ -856,11 +892,12 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<i32> 
             preload,
             jobs,
             queue,
+            preload_permute,
             config,
         } => run_serve(
             addr,
             store.as_deref(),
-            preload.as_deref(),
+            preload.as_deref().map(|target| (target, *preload_permute)),
             *jobs,
             *queue,
             config,
@@ -1286,19 +1323,20 @@ fn run_batch_command(
     journal: Option<&str>,
     resume: bool,
     store_path: Option<&str>,
+    no_permute: bool,
     config: &SynthConfig,
     out: &mut dyn std::io::Write,
 ) -> std::io::Result<i32> {
-    if store_path.is_some() && (config.library != "mct" || config.mixed_polarity) {
+    if let Some(message) = store_library_conflict(config) {
         // Store records are keyed by canonical spec alone; replaying an
         // mct-minimal circuit into a run that asked for another gate
         // library would answer with out-of-library gates or a wrong
-        // minimum. Key-per-library is a ROADMAP item.
-        return fail(
-            out,
-            "--store is keyed by spec only and holds mct-library circuits; \
-             it cannot be combined with --library or --mixed-polarity",
-        );
+        // minimum. Key-per-library is a ROADMAP item. Refusing up front
+        // (with the offending flag named) beats the old behaviour of a
+        // generic refusal — and far beats silently dropping records.
+        if store_path.is_some() {
+            return fail(out, &message);
+        }
     }
     let work = match batch_jobs(target) {
         Ok(w) => w,
@@ -1313,7 +1351,10 @@ fn run_batch_command(
         Err(e) => return fail(out, &e),
     };
     let engine = config.engine;
-    let cache = if no_cache {
+    let cache = if no_cache || no_permute {
+        // The cache is keyed by permutation class; a --no-permute answer
+        // is specific to its job's output labeling, so sharing it across
+        // the class would hand class members a wrongly-labeled circuit.
         None
     } else {
         Some(SpecCache::new())
@@ -1328,9 +1369,7 @@ fn run_batch_command(
         },
         None => None,
     };
-    let store_hits = AtomicU64::new(0);
-    let store_misses = AtomicU64::new(0);
-    let store_error: Mutex<Option<String>> = Mutex::new(None);
+    let store_report = StoreReport::default();
     let batch_config = BatchConfig {
         workers: jobs,
         per_job_timeout: config.timeout.map(Duration::from_secs),
@@ -1391,24 +1430,23 @@ fn run_batch_command(
         // The ladder's engine override degrades a raced job to the one
         // named engine; undegraded attempts keep the configured choice.
         let mut engine_compute = |s: &Spec| {
-            if engine == EngineChoice::Race && attempt.engine.is_none() {
-                race_engines_permuted(s, &opts)
+            let race = engine == EngineChoice::Race && attempt.engine.is_none();
+            match (no_permute, race) {
+                (true, true) => race_engines(s, &opts)
+                    .map(|r| PermutedSynthesisResult::plain(r.winner, s.lines()))
+                    .map_err(|e| e.into_synthesis_error()),
+                (true, false) => crate::synth::synthesize_in(s, &opts, session)
+                    .map(|r| PermutedSynthesisResult::plain(r, s.lines())),
+                (false, true) => race_engines_permuted(s, &opts)
                     .map(|r| r.winner)
-                    .map_err(|e| e.into_synthesis_error())
-            } else {
-                permuted::synthesize_with_output_permutation_in(s, &opts, session)
+                    .map_err(|e| e.into_synthesis_error()),
+                (false, false) => {
+                    permuted::synthesize_with_output_permutation_in(s, &opts, session)
+                }
             }
         };
         let compute = |s: &Spec| match &store {
-            Some(db) => store_or_compute(
-                db,
-                s,
-                &job.name,
-                &store_hits,
-                &store_misses,
-                &store_error,
-                engine_compute,
-            ),
+            Some(db) => store_or_compute(db, s, &job.name, &store_report, engine_compute),
             None => engine_compute(s),
         };
         let result = match &cache {
@@ -1515,8 +1553,8 @@ fn run_batch_command(
     let store_note = match &store {
         Some(db) => format!(
             ", store {} hits / {} misses ({} records)",
-            store_hits.load(Ordering::SeqCst),
-            store_misses.load(Ordering::SeqCst),
+            store_report.hits.load(Ordering::SeqCst),
+            store_report.misses.load(Ordering::SeqCst),
             db.lock().expect("store lock").len()
         ),
         None => String::new(),
@@ -1550,10 +1588,27 @@ fn run_batch_command(
     if let Some(e) = journal_error.into_inner().expect("journal error lock") {
         writeln!(out, "warning: journal write failed: {e}")?;
     }
-    if let Some(e) = store_error.into_inner().expect("store error lock") {
+    if let Some(e) = store_report.error.into_inner().expect("store error lock") {
         writeln!(out, "warning: store write failed: {e}")?;
     }
+    for skip in store_report.skips.into_inner().expect("store skip lock") {
+        writeln!(
+            out,
+            "warning: store record skipped for {skip} (synthesized fresh)"
+        )?;
+    }
     Ok(i32::from(failed > 0))
+}
+
+/// Shared bookkeeping sinks for [`store_or_compute`] across batch
+/// workers: hit/miss counters for the summary line, the first store
+/// write failure, and the replay-skip reasons reported after the table.
+#[derive(Default)]
+struct StoreReport {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    error: Mutex<Option<String>>,
+    skips: Mutex<Vec<String>>,
 }
 
 /// Output-permutation synthesis through the persistent circuit store: a
@@ -1565,9 +1620,7 @@ fn store_or_compute<F>(
     store: &Mutex<Store>,
     spec: &Spec,
     name: &str,
-    hits: &AtomicU64,
-    misses: &AtomicU64,
-    store_error: &Mutex<Option<String>>,
+    report: &StoreReport,
     compute: F,
 ) -> Result<PermutedSynthesisResult, SynthesisError>
 where
@@ -1580,16 +1633,35 @@ where
         // job: treat it as a miss and synthesize fresh.
         match guard.get(&canonical.spec) {
             Ok(found) => found.cloned(),
-            Err(_) => None,
+            Err(e) => {
+                report
+                    .skips
+                    .lock()
+                    .expect("store skip lock")
+                    .push(format!("{name}: {e}"));
+                None
+            }
         }
     };
     if let Some(record) = stored {
-        if let Some(p) = replay_record(&record, &canonical.witness) {
-            hits.fetch_add(1, Ordering::SeqCst);
-            return Ok(p);
+        match replay_record(&record, &canonical.witness) {
+            Ok(p) => {
+                report.hits.fetch_add(1, Ordering::SeqCst);
+                return Ok(p);
+            }
+            Err(reason) => {
+                // A record this run cannot replay is reported, not
+                // silently re-synthesized: the operator should know the
+                // database holds an unusable entry for this class.
+                report
+                    .skips
+                    .lock()
+                    .expect("store skip lock")
+                    .push(format!("{name}: {reason}"));
+            }
         }
     }
-    misses.fetch_add(1, Ordering::SeqCst);
+    report.misses.fetch_add(1, Ordering::SeqCst);
     let p = compute(spec)?;
     // Derive the canonical-class record. Canonical line `witness[j]`
     // carries spec line `j`'s function, and circuit output
@@ -1623,7 +1695,8 @@ where
         attempt = guard.put(record);
     }
     if let Err(e) = attempt {
-        store_error
+        report
+            .error
             .lock()
             .expect("store error lock")
             .get_or_insert_with(|| format!("{name}: {e}"));
@@ -1633,22 +1706,57 @@ where
 
 /// Rebuilds a [`PermutedSynthesisResult`] from a stored record, composed
 /// for the spec whose canonicalization `witness` selected the record's
-/// class. `None` when the record is unusable (unparsable circuit or a
-/// permutation that does not cover the witness) — callers fall back to
-/// the engine.
-fn replay_record(record: &StoredCircuit, witness: &[u32]) -> Option<PermutedSynthesisResult> {
+/// class. `Err` carries the reason the record is unusable (unparsable
+/// circuit, or a permutation that does not cover the witness) — callers
+/// report it and fall back to the engine.
+fn replay_record(
+    record: &StoredCircuit,
+    witness: &[u32],
+) -> Result<PermutedSynthesisResult, String> {
     if record.solution_count == 0 {
-        return None;
+        return Err("stored record has no solutions".to_string());
     }
-    let circuit = real::parse_real(&record.circuit).ok()?;
+    let circuit = real::parse_real(&record.circuit)
+        .map_err(|e| format!("stored circuit failed to parse: {e}"))?;
     let permutation = witness
         .iter()
         .map(|&i| record.permutation.get(i as usize).copied())
-        .collect::<Option<Vec<u32>>>()?;
+        .collect::<Option<Vec<u32>>>()
+        .ok_or_else(|| {
+            format!(
+                "stored permutation covers {} lines but the spec needs {}",
+                record.permutation.len(),
+                witness.len()
+            )
+        })?;
     let solutions = SolutionSet::replayed(circuit, record.solution_count, record.count_is_exact);
-    Some(PermutedSynthesisResult {
+    Ok(PermutedSynthesisResult {
         result: SynthesisResult::replayed(solutions, record.depth, "store"),
         permutation,
+        stats: permuted::PermutedSearchStats::default(),
+    })
+}
+
+/// Why this configuration cannot share a persistent circuit store, if it
+/// cannot: records are keyed by canonical spec alone and hold circuits
+/// from the default (pure-mct) library, so any other library would replay
+/// out-of-library gates or a wrong minimum. The message names the
+/// offending flag so the operator knows exactly what to drop.
+fn store_library_conflict(config: &SynthConfig) -> Option<String> {
+    let offending = if config.library != "mct" {
+        Some(format!("--library {}", config.library))
+    } else if config.mixed_polarity {
+        Some("--mixed-polarity".to_string())
+    } else {
+        None
+    };
+    offending.map(|flag| {
+        format!(
+            "--store is keyed by spec only and holds mct-library circuits; \
+             replaying one into a `{flag}` run would answer with out-of-library \
+             gates or a wrong minimum. Drop {flag} or --store \
+             (per-library store keys are a ROADMAP item)"
+        )
     })
 }
 
@@ -1690,10 +1798,14 @@ fn fail(out: &mut dyn std::io::Write, message: &str) -> std::io::Result<i32> {
 /// Executes `qsyn serve`: opens the database, boots the daemon core
 /// (optionally warm-started via `--preload`), prints the bound address
 /// and serves the line protocol until a `shutdown` verb arrives.
+///
+/// `preload` carries the batch target together with the
+/// `--preload-permute` flag; the flag is meaningless without a target
+/// (it only changes how preload fills are synthesized).
 fn run_serve(
     addr: &str,
     store_path: Option<&str>,
-    preload: Option<&str>,
+    preload: Option<(&str, bool)>,
     jobs: usize,
     queue: usize,
     config: &SynthConfig,
@@ -1709,17 +1821,15 @@ fn run_serve(
             "serve: --engine race is not supported; pick one engine",
         );
     };
-    if store_path.is_some() && (config.library != "mct" || config.mixed_polarity) {
+    if let Some(message) = store_library_conflict(config) {
         // Same invariant as `batch --store`: records are keyed by
         // canonical spec alone, so a persistent store must hold circuits
-        // from one gate library (the default). Key-per-library is a
-        // ROADMAP item. A store-less daemon may use any library: its
-        // in-memory index lives exactly as long as this configuration.
-        return fail(
-            out,
-            "--store is keyed by spec only and holds mct-library circuits; \
-             it cannot be combined with --library or --mixed-polarity",
-        );
+        // from one gate library (the default). A store-less daemon may
+        // use any library: its in-memory index lives exactly as long as
+        // this configuration.
+        if store_path.is_some() {
+            return fail(out, &message);
+        }
     }
     let store = match store_path {
         Some(path) => match Store::open(std::path::Path::new(path)) {
@@ -1747,9 +1857,10 @@ fn run_serve(
         engine,
         max_depth: config.max_depth,
         time_budget: config.timeout.map(Duration::from_secs),
+        preload_permute: preload.is_some_and(|(_, permute)| permute),
     };
     let core = Arc::new(ServeCore::start(&serve_config, store));
-    if let Some(target) = preload {
+    if let Some((target, _)) = preload {
         let work = match batch_jobs(target) {
             Ok(w) => w,
             Err(e) => return fail(out, &e),
@@ -2015,6 +2126,7 @@ mod tests {
             journal,
             resume,
             store,
+            no_permute,
             config,
         } = cmd
         else {
@@ -2026,6 +2138,7 @@ mod tests {
         assert_eq!(journal, None);
         assert!(!resume);
         assert_eq!(store, None);
+        assert!(!no_permute);
         assert_eq!(config.engine, EngineChoice::Race);
         assert_eq!(config.timeout, Some(30));
     }
@@ -2433,6 +2546,7 @@ mod tests {
             preload,
             jobs,
             queue,
+            preload_permute,
             config,
         } = cmd
         else {
@@ -2443,10 +2557,26 @@ mod tests {
         assert_eq!(preload.as_deref(), Some("suite"));
         assert_eq!(jobs, 3);
         assert_eq!(queue, 8);
+        assert!(!preload_permute, "preload runs plain synthesis by default");
         assert_eq!(config.engine, EngineChoice::Single(Engine::Sat));
         assert_eq!(config.max_depth, 10);
         assert_eq!(config.timeout, Some(30));
         assert!(config.stats);
+        // Opting preload back into the permutation search parses, but only
+        // alongside --preload.
+        let cmd = parse(&["serve", ":0", "--preload", "suite", "--preload-permute"]).unwrap();
+        let Command::Serve {
+            preload_permute, ..
+        } = cmd
+        else {
+            panic!("expected serve");
+        };
+        assert!(preload_permute);
+        let err = parse(&["serve", ":0", "--preload-permute"]).unwrap_err();
+        assert!(
+            err.contains("--preload-permute requires --preload"),
+            "{err}"
+        );
         // Flags that make no sense for a daemon are rejected at parse time.
         assert!(parse(&["serve"]).is_err());
         assert!(parse(&["serve", ":0", "--engine", "race"]).is_err());
@@ -2569,6 +2699,131 @@ mod tests {
             let text = String::from_utf8(buf).unwrap();
             assert!(text.contains("keyed by spec only"), "{args:?}: {text}");
         }
+    }
+
+    #[test]
+    fn store_conflict_message_names_the_offending_flag() {
+        // The refusal must say *which* setting conflicts, not just that
+        // something does — the old generic message left the operator
+        // guessing which flag to drop.
+        let cmd = parse(&[
+            "batch",
+            "3_17",
+            "--store",
+            "/tmp/x.db",
+            "--library",
+            "mct+mcf",
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 2);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("--library mct+mcf"), "{text}");
+        assert!(text.contains("Drop --library mct+mcf or --store"), "{text}");
+
+        let cmd = parse(&["batch", "3_17", "--store", "/tmp/x.db", "--mixed-polarity"]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 2);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Drop --mixed-polarity or --store"), "{text}");
+
+        // Without --store the same library flags are fine.
+        let dir = std::env::temp_dir().join(format!("qsyn-cli-conflict-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let list = dir.join("jobs.txt");
+        std::fs::write(&list, "3_17\n").unwrap();
+        let cmd = parse(&["batch", list.to_str().unwrap(), "--library", "mct+mcf"]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn unusable_store_record_is_reported_not_silently_dropped() {
+        let dir = std::env::temp_dir().join(format!("qsyn-cli-skip-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let db = dir.join("bad.qsyn");
+        let _ = std::fs::remove_file(&db);
+        // Seed the database with an unusable record for 3_17's class: a
+        // zero-solution entry can never replay.
+        let spec = benchmarks::by_name("3_17").unwrap().spec;
+        let canonical = canonicalize(&spec).spec;
+        {
+            let mut store = Store::open(&db).unwrap();
+            let record = StoredCircuit::for_spec(
+                &canonical,
+                "3_17",
+                0,
+                0,
+                0,
+                true,
+                (0..spec.lines()).collect(),
+                String::new(),
+            );
+            store.put(record).unwrap();
+        }
+        let list = dir.join("jobs.txt");
+        std::fs::write(&list, "3_17\n").unwrap();
+        let cmd = parse(&[
+            "batch",
+            list.to_str().unwrap(),
+            "--store",
+            db.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        // The job still completes (engine fallback)…
+        assert!(text.contains("1 jobs, 1 ok, 0 failed"), "{text}");
+        // …but the skip is reported with its reason.
+        assert!(
+            text.contains(
+                "warning: store record skipped for 3_17: stored record has no solutions \
+                 (synthesized fresh)"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn batch_no_permute_synthesizes_under_the_given_labeling() {
+        let dir = std::env::temp_dir().join(format!("qsyn-cli-noperm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // SWAP: free output relabeling gives depth 0; plain synthesis
+        // must pay the 3 CNOTs and report the identity permutation.
+        let swap = dir.join("swap.spec");
+        std::fs::write(
+            &swap,
+            ".numvars 2\n.begin\n00 00\n01 10\n10 01\n11 11\n.end\n",
+        )
+        .unwrap();
+        let list = dir.join("jobs.txt");
+        std::fs::write(&list, format!("{}\n", swap.display())).unwrap();
+
+        let cmd = parse(&["batch", list.to_str().unwrap(), "--no-permute"]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("1 jobs, 1 ok, 0 failed"), "{text}");
+        let row = text.lines().find(|l| l.starts_with("swap")).unwrap();
+        assert!(row.contains("[0, 1]"), "identity labeling: {row}");
+        assert!(row.split_whitespace().nth(1) == Some("3"), "3 gates: {row}");
+
+        // The default (permuted) run absorbs SWAP into the labeling.
+        let cmd = parse(&["batch", list.to_str().unwrap()]).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(run(&cmd, &mut buf).unwrap(), 0);
+        let text = String::from_utf8(buf).unwrap();
+        let row = text.lines().find(|l| l.starts_with("swap")).unwrap();
+        assert!(row.split_whitespace().nth(1) == Some("0"), "0 gates: {row}");
+
+        // --no-permute refuses to feed labeling-specific answers into the
+        // canonical-class store.
+        let err = parse(&["batch", "suite", "--no-permute", "--store", "/tmp/x.db"]).unwrap_err();
+        assert!(
+            err.contains("one canonical circuit per permutation class"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! `cargo xtask chaos` — deterministic fault-injection sweep.
 //!
-//! Builds the release binary with `--features faults`, runs the fast
-//! Table 1 jobs ([`FAST_SET`]) once fault-free as a reference, then once
-//! per seed with the fault plane armed (`--fault-seed N`) and supervised
-//! retries enabled. Every seeded run must
+//! Builds the release binary with `--features faults`, runs the **full
+//! Table 1 suite** (`qsyn batch suite`) once fault-free as a reference,
+//! then once per seed with the fault plane armed (`--fault-seed N`) and
+//! supervised retries enabled (`--fast` restricts the sweep to the
+//! sub-second [`FAST_SET`] jobs for local iteration). Every seeded run
+//! must
 //!
 //! * exit 0 — each injected OOM / deadline trip / cancellation / panic
 //!   was recovered by the retry supervisor (quarantined managers are
@@ -27,12 +29,11 @@ use std::path::Path;
 use std::process::{Command, ExitCode, Stdio};
 use std::time::{Duration, Instant};
 
-/// The Table 1 jobs the sweep runs — the subset that batches in under a
-/// second each. `qsyn batch` synthesizes every job minimally over all
-/// output permutations (n! lock-step engines), which puts the 5- and
-/// 6-line functions (mod5*, graycode6, alu*, 4_49, hwb4) at minutes to
-/// hours per job; sweeping those per seed is future work and is logged as
-/// excluded below so the bounded coverage is visible.
+/// The `--fast` subset: the Table 1 jobs that batch in under a second
+/// each, for quick local sweeps. The default sweep covers the whole
+/// suite — the permutation search prunes the `n!` probe space down to
+/// conjugation classes with shared depth floors, which brought the 5-
+/// and 6-line jobs from minutes-to-hours into CI range.
 const FAST_SET: &[&str] = &[
     "3_17",
     "rd32-v0",
@@ -43,7 +44,7 @@ const FAST_SET: &[&str] = &[
     "decod24-v3",
 ];
 
-/// Sweep configuration (`--seeds`, `--timeout`, `--jobs`).
+/// Sweep configuration (`--seeds`, `--timeout`, `--jobs`, `--fast`).
 pub struct ChaosOptions {
     /// Fault seeds to sweep: `1..=seeds`.
     pub seeds: u64,
@@ -52,6 +53,8 @@ pub struct ChaosOptions {
     pub timeout: Duration,
     /// `--jobs` forwarded to the batch scheduler.
     pub jobs: usize,
+    /// Sweep only [`FAST_SET`] instead of the full Table 1 suite.
+    pub fast: bool,
 }
 
 /// One journaled result, minus wall-clock time.
@@ -67,8 +70,9 @@ struct ResultRecord {
 
 pub fn run(root: &Path, opts: &ChaosOptions) -> ExitCode {
     println!(
-        "chaos: {} seeds over the fast Table 1 set, {}s per run, {} worker(s)",
+        "chaos: {} seeds over the {} Table 1 set, {}s per run, {} worker(s)",
         opts.seeds,
+        if opts.fast { "fast" } else { "full" },
         opts.timeout.as_secs(),
         opts.jobs
     );
@@ -94,22 +98,26 @@ pub fn run(root: &Path, opts: &ChaosOptions) -> ExitCode {
         eprintln!("chaos: cannot create {}: {e}", dir.display());
         return ExitCode::FAILURE;
     }
-    let job_list = dir.join("table1-fast.list");
-    if let Err(e) = std::fs::write(&job_list, FAST_SET.join("\n")) {
-        eprintln!("chaos: cannot write {}: {e}", job_list.display());
-        return ExitCode::FAILURE;
-    }
-    println!(
-        "chaos: sweeping {} Table 1 jobs; the 5/6-line jobs are excluded \
-         (their free-output-permutation batch synthesis runs for minutes to hours)",
-        FAST_SET.len()
-    );
+    let target = if opts.fast {
+        let job_list = dir.join("table1-fast.list");
+        if let Err(e) = std::fs::write(&job_list, FAST_SET.join("\n")) {
+            eprintln!("chaos: cannot write {}: {e}", job_list.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "chaos: --fast — sweeping only the {} sub-second Table 1 jobs",
+            FAST_SET.len()
+        );
+        job_list.to_string_lossy().into_owned()
+    } else {
+        "suite".to_string()
+    };
 
     let reference_journal = dir.join("reference.jsonl");
     let reference_store = dir.join("reference.store");
     let reference = match batch_run(
         &qsyn,
-        &job_list,
+        &target,
         None,
         &reference_journal,
         &reference_store,
@@ -144,7 +152,7 @@ pub fn run(root: &Path, opts: &ChaosOptions) -> ExitCode {
     for seed in 1..=opts.seeds {
         let journal = dir.join(format!("seed-{seed}.jsonl"));
         let store = dir.join(format!("seed-{seed}.store"));
-        match batch_run(&qsyn, &job_list, Some(seed), &journal, &store, opts) {
+        match batch_run(&qsyn, &target, Some(seed), &journal, &store, opts) {
             Ok(run) => {
                 let verdict = compare(&reference, &run.records).and_then(|()| {
                     let db = store_report(&qsyn, &store)
@@ -196,7 +204,7 @@ struct BatchRun {
 /// timeout, returning its parsed journal.
 fn batch_run(
     qsyn: &Path,
-    job_list: &Path,
+    target: &str,
     seed: Option<u64>,
     journal: &Path,
     store: &Path,
@@ -206,7 +214,7 @@ fn batch_run(
     let _ = std::fs::remove_file(store);
     let mut cmd = Command::new(qsyn);
     cmd.arg("batch")
-        .arg(job_list)
+        .arg(target)
         .arg("--journal")
         .arg(journal)
         .arg("--store")

@@ -19,12 +19,13 @@
 //!   ```
 //!
 //! * `chaos` — the fault-injection sweep: builds with `--features
-//!   faults`, runs the benchmark suite once fault-free and once per
+//!   faults`, runs the full Table 1 suite once fault-free and once per
 //!   seed, and asserts every injected fault is recovered with
-//!   bit-identical results (see `DESIGN.md` §10):
+//!   bit-identical results (see `DESIGN.md` §10). `--fast` sweeps only
+//!   the sub-second jobs for local iteration:
 //!
 //!   ```text
-//!   cargo xtask chaos --seeds 8 --timeout 120 [--jobs N]
+//!   cargo xtask chaos --seeds 2 --timeout 1200 [--jobs N] [--fast]
 //!   ```
 
 use std::path::PathBuf;
@@ -36,7 +37,7 @@ mod concheck;
 mod lexer;
 mod lint;
 
-const USAGE: &str = "usage: cargo xtask lint [--update-baseline]\n       cargo xtask concheck [--self-test]\n       cargo xtask chaos [--seeds N] [--timeout SECS] [--jobs N]";
+const USAGE: &str = "usage: cargo xtask lint [--update-baseline]\n       cargo xtask concheck [--self-test]\n       cargo xtask chaos [--seeds N] [--timeout SECS] [--jobs N] [--fast]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,8 +79,9 @@ fn main() -> ExitCode {
 fn parse_chaos(args: &[String]) -> Result<chaos::ChaosOptions, String> {
     let mut opts = chaos::ChaosOptions {
         seeds: 8,
-        timeout: Duration::from_secs(120),
+        timeout: Duration::from_secs(1200),
         jobs: 2,
+        fast: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -102,6 +104,7 @@ fn parse_chaos(args: &[String]) -> Result<chaos::ChaosOptions, String> {
                     return Err("--jobs must be at least 1".to_string());
                 }
             }
+            "--fast" => opts.fast = true,
             other => return Err(format!("unknown chaos option: {other}")),
         }
     }
